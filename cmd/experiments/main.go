@@ -1,0 +1,116 @@
+// Command experiments regenerates the tables and figures of the Stay-Away
+// paper's evaluation (§7) against the simulated substrate.
+//
+// Usage:
+//
+//	experiments [-seed N] [-o DIR] [-fig LIST | -summary | -all]
+//
+//	-fig 1,8,9     regenerate specific figures (1,4,5,6,7,8,9,10,11,12,
+//	               13,14,15,16,17,18)
+//	-summary       run the headline utilization summary (10–70% claim)
+//	-all           regenerate everything including the summary
+//	-o DIR         additionally write each figure to DIR/<id>.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "random seed for all scenarios")
+	figList := flag.String("fig", "", "comma-separated figure numbers to regenerate")
+	summary := flag.Bool("summary", false, "run the headline utilization summary")
+	all := flag.Bool("all", false, "regenerate every figure and the summary")
+	outDir := flag.String("o", "", "directory to write per-figure text files into")
+	flag.Parse()
+
+	gens := map[int]func(int64) (*experiments.Figure, error){
+		1:  experiments.Fig01,
+		4:  func(int64) (*experiments.Figure, error) { return experiments.Fig04() },
+		5:  experiments.Fig05,
+		6:  experiments.Fig06,
+		7:  experiments.Fig07,
+		8:  experiments.Fig08,
+		9:  experiments.Fig09,
+		10: experiments.Fig10,
+		11: experiments.Fig11,
+		12: experiments.Fig12,
+		13: experiments.Fig13,
+		14: experiments.Fig14,
+		15: experiments.Fig15,
+		16: experiments.Fig16,
+		17: func(s int64) (*experiments.Figure, error) { f, _, err := experiments.Fig17(s); return f, err },
+		18: experiments.Fig18,
+	}
+	order := []int{1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+
+	var wanted []int
+	switch {
+	case *all:
+		wanted = order
+	case *figList != "":
+		for _, part := range strings.Split(*figList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad figure number %q", part)
+			}
+			if _, ok := gens[n]; !ok {
+				return fmt.Errorf("unknown figure %d", n)
+			}
+			wanted = append(wanted, n)
+		}
+	case *summary:
+		// summary only; handled below
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -fig, -summary or -all")
+	}
+
+	emit := func(f *experiments.Figure) error {
+		fmt.Printf("======== %s — %s ========\n%s\n", f.ID, f.Title, f.Text)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, f.ID+".txt")
+			if err := os.WriteFile(path, []byte(f.Title+"\n\n"+f.Text), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, n := range wanted {
+		f, err := gens[n](*seed)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", n, err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	if *summary || *all {
+		f, err := experiments.Summary(*seed)
+		if err != nil {
+			return fmt.Errorf("summary: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

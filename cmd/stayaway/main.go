@@ -1,0 +1,214 @@
+// Command stayaway runs the Stay-Away middleware against a simulated host:
+// pick a latency-sensitive application and a set of batch co-runners, and
+// watch the Mapping → Prediction → Action loop operate period by period.
+//
+// Usage:
+//
+//	stayaway [-sensitive APP] [-batch LIST] [-ticks N] [-seed N]
+//	         [-observe] [-no-stayaway] [-template-in FILE]
+//	         [-template-out FILE] [-v]
+//
+//	-sensitive   vlc | web-cpu | web-mem | web-mix        (default vlc)
+//	-batch       comma list of cpubomb, memorybomb, twitter, soplex,
+//	             transcode                                 (default cpubomb)
+//	-observe     map and predict but never throttle (observe-only)
+//	-no-stayaway run the co-location completely unprotected
+//	-template-in seed the runtime with a previously exported template
+//	-template-out export the learned map on exit
+//	-v           print every period's event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stayaway:", err)
+		os.Exit(1)
+	}
+}
+
+func sensitiveFactory(name string) (func(rng *rand.Rand) sim.QoSApp, error) {
+	switch name {
+	case "vlc":
+		return func(rng *rand.Rand) sim.QoSApp {
+			return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+		}, nil
+	case "web-cpu", "web-mem", "web-mix":
+		kind := map[string]apps.WorkloadKind{
+			"web-cpu": apps.CPUIntensive,
+			"web-mem": apps.MemoryIntensive,
+			"web-mix": apps.Mixed,
+		}[name]
+		return func(rng *rand.Rand) sim.QoSApp {
+			return apps.NewWebservice(apps.DefaultWebserviceConfig(kind), rng)
+		}, nil
+	case "webkv-cpu", "webkv-mem", "webkv-mix":
+		// The request-driven Webservice: demands derive from executing
+		// requests against a real Memcached layer instead of the analytic
+		// model.
+		kind := map[string]apps.WorkloadKind{
+			"webkv-cpu": apps.CPUIntensive,
+			"webkv-mem": apps.MemoryIntensive,
+			"webkv-mix": apps.Mixed,
+		}[name]
+		return func(rng *rand.Rand) sim.QoSApp {
+			w, err := apps.NewRequestWebservice(apps.DefaultRequestWebserviceConfig(kind), rng)
+			if err != nil {
+				panic(err) // defaults are always valid
+			}
+			return w
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown sensitive app %q", name)
+	}
+}
+
+func batchFactory(name string) (func(rng *rand.Rand) sim.App, error) {
+	switch name {
+	case "cpubomb":
+		return func(*rand.Rand) sim.App { return apps.NewCPUBomb(apps.DefaultCPUBombConfig()) }, nil
+	case "memorybomb":
+		return func(rng *rand.Rand) sim.App { return apps.NewMemoryBomb(apps.DefaultMemoryBombConfig(), rng) }, nil
+	case "twitter":
+		return func(rng *rand.Rand) sim.App {
+			cfg := apps.DefaultTwitterConfig()
+			cfg.TotalWork = 0
+			return apps.NewTwitterAnalysis(cfg, rng)
+		}, nil
+	case "soplex":
+		return func(rng *rand.Rand) sim.App {
+			cfg := apps.DefaultSoplexConfig()
+			cfg.TotalWork = 0
+			return apps.NewSoplex(cfg, rng)
+		}, nil
+	case "transcode":
+		return func(rng *rand.Rand) sim.App {
+			return apps.NewVLCTranscode(apps.DefaultVLCTranscodeConfig(), rng)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown batch app %q", name)
+	}
+}
+
+func run() error {
+	sensitiveName := flag.String("sensitive", "vlc", "sensitive application")
+	batchList := flag.String("batch", "cpubomb", "comma-separated batch applications")
+	ticks := flag.Int("ticks", 300, "simulation length in monitoring periods")
+	seed := flag.Int64("seed", 1, "random seed")
+	observe := flag.Bool("observe", false, "observe-only (no throttling)")
+	noStayAway := flag.Bool("no-stayaway", false, "run unprotected (no runtime at all)")
+	templateIn := flag.String("template-in", "", "template JSON to seed the runtime with")
+	templateOut := flag.String("template-out", "", "write the learned template JSON here")
+	csvOut := flag.String("csv", "", "write per-tick run records as CSV here")
+	verbose := flag.Bool("v", false, "print every period event")
+	flag.Parse()
+
+	sensitive, err := sensitiveFactory(*sensitiveName)
+	if err != nil {
+		return err
+	}
+	var placements []experiments.Placement
+	for i, name := range strings.Split(*batchList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f, err := batchFactory(name)
+		if err != nil {
+			return err
+		}
+		placements = append(placements, experiments.Placement{
+			ID:        fmt.Sprintf("%s-%d", name, i),
+			StartTick: 20,
+			App:       f,
+		})
+	}
+
+	var tpl *statespace.Template
+	if *templateIn != "" {
+		f, err := os.Open(*templateIn)
+		if err != nil {
+			return err
+		}
+		tpl, err = statespace.ReadTemplate(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded template for %q: %d states\n", tpl.SensitiveApp, len(tpl.States))
+	}
+
+	res, err := experiments.Run(experiments.Scenario{
+		Name:           "stayaway-cli",
+		SensitiveID:    "sensitive",
+		Sensitive:      sensitive,
+		Batch:          placements,
+		Ticks:          *ticks,
+		Seed:           *seed,
+		StayAway:       !*noStayAway,
+		DisableActions: *observe,
+		Template:       tpl,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *verbose {
+		for _, ev := range res.Events {
+			fmt.Println(ev)
+		}
+	}
+
+	vs := experiments.Violations(res.Records)
+	fmt.Printf("\n%s + [%s], %d periods (seed %d)\n", *sensitiveName, *batchList, *ticks, *seed)
+	fmt.Printf("QoS violations: %d/%d (%.1f%%)\n", vs.Violations, vs.Ticks, 100*vs.Rate)
+	fmt.Printf("mean gained utilization: %.1f%%\n", 100*experiments.Mean(experiments.GainSeries(res.Records)))
+	fmt.Printf("mean machine utilization: %.1f%%\n", 100*res.AvgUtilization)
+	if res.Runtime != nil {
+		fmt.Println(res.Report)
+		threshold := 1.0
+		fmt.Println(experiments.RenderSeries(experiments.ChartOptions{
+			Title: "normalized QoS (threshold at 1.0)",
+			HLine: &threshold, YMin: 0, YMax: 1.3, Height: 10,
+		}, experiments.QoSSeries(res.Records)))
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteRunCSV(f, res.Records); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("run records written to %s\n", *csvOut)
+	}
+
+	if *templateOut != "" && res.Runtime != nil {
+		f, err := os.Create(*templateOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := res.Runtime.ExportTemplate(*sensitiveName).WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("template written to %s\n", *templateOut)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command stayawayd runs the Stay-Away middleware against real Linux
+// processes: per-PID resource usage is sampled from /proc, QoS violations
+// are read from a report file the sensitive application rewrites each
+// period ("<value> <threshold>"), and batch processes are throttled with
+// SIGSTOP/SIGCONT — the exact actuation of the paper's prototype.
+//
+// Usage (as root or owning the target processes):
+//
+//	stayawayd -sensitive-pids 1234 -batch-pids 5678,5679 \
+//	          -qos-file /run/vlc.qos -period 1s [-cores 4] [-v]
+//
+// The daemon runs until SIGINT/SIGTERM; on shutdown it resumes any
+// throttled batch processes and prints the final report. A learned map
+// can be exported with -template-out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/procenv"
+	"repro/internal/throttle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stayawayd:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePIDs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pid, err := strconv.Atoi(part)
+		if err != nil || pid <= 0 {
+			return nil, fmt.Errorf("invalid PID %q", part)
+		}
+		out = append(out, pid)
+	}
+	return out, nil
+}
+
+func run() error {
+	sensitivePIDs := flag.String("sensitive-pids", "", "comma-separated PIDs of the sensitive application")
+	batchPIDs := flag.String("batch-pids", "", "comma-separated PIDs of the batch applications")
+	qosFile := flag.String("qos-file", "", "file the sensitive app rewrites with \"<value> <threshold>\"")
+	period := flag.Duration("period", time.Second, "monitoring period")
+	cores := flag.Int("cores", runtime.NumCPU(), "host cores (CPU normalization range)")
+	memoryMB := flag.Float64("memory-mb", 4096, "host memory (normalization range)")
+	diskMBps := flag.Float64("disk-mbps", 200, "disk capacity (normalization range)")
+	templateOut := flag.String("template-out", "", "write the learned template JSON on exit")
+	verbose := flag.Bool("v", false, "print every period event")
+	flag.Parse()
+
+	sens, err := parsePIDs(*sensitivePIDs)
+	if err != nil || len(sens) == 0 {
+		return fmt.Errorf("-sensitive-pids required: %v", err)
+	}
+	batch, err := parsePIDs(*batchPIDs)
+	if err != nil || len(batch) == 0 {
+		return fmt.Errorf("-batch-pids required: %v", err)
+	}
+	if *qosFile == "" {
+		return fmt.Errorf("-qos-file required")
+	}
+
+	collector, err := procenv.NewCollector("/proc", 100, []procenv.Group{
+		{Name: "sensitive", PIDs: sens},
+		{Name: "batch", PIDs: batch},
+	})
+	if err != nil {
+		return err
+	}
+	env, err := procenv.NewEnvironment(collector, "sensitive", []string{"batch"},
+		procenv.FileQoS{Path: *qosFile})
+	if err != nil {
+		return err
+	}
+
+	// The runtime throttles the logical "batch" VM; the actuator translates
+	// that into signals to the concrete PIDs behind it.
+	actuator := &throttle.ProcessActuator{}
+	batchStrings := env.BatchPIDs()
+	wrapped := throttle.FuncActuator{
+		PauseFn:  func([]string) error { return actuator.Pause(batchStrings) },
+		ResumeFn: func([]string) error { return actuator.Resume(batchStrings) },
+	}
+	cfg := core.DefaultConfig("sensitive", []string{"batch"},
+		metrics.DefaultRanges(*cores, *memoryMB, *diskMBps, 1000))
+	cfg.Seed = time.Now().UnixNano()
+	rt, err := core.New(cfg, env, wrapped)
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*period)
+	defer ticker.Stop()
+
+	fmt.Printf("stayawayd: monitoring sensitive=%v batch=%v every %v\n", sens, batch, *period)
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			ev, err := rt.Period()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stayawayd: period:", err)
+				continue
+			}
+			if *verbose || ev.Violation || ev.Action != throttle.ActionNone {
+				fmt.Println(ev)
+			}
+			if !env.BatchActive() && !env.SensitiveRunning() {
+				fmt.Println("stayawayd: all monitored processes exited")
+				break loop
+			}
+		}
+	}
+
+	// Never leave batch processes stopped on exit.
+	if err := actuator.Resume(batchStrings); err != nil {
+		fmt.Fprintln(os.Stderr, "stayawayd: final resume:", err)
+	}
+	fmt.Println(rt.Report())
+	if *templateOut != "" {
+		f, err := os.Create(*templateOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := rt.ExportTemplate("sensitive").WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("template written to %s\n", *templateOut)
+	}
+	return nil
+}

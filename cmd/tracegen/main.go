@@ -1,0 +1,54 @@
+// Command tracegen emits a synthetic Wikipedia-like diurnal request-rate
+// trace as CSV (Fig 1 of the paper), suitable for driving the Webservice
+// workload.
+//
+// Usage:
+//
+//	tracegen [-days N] [-rate R] [-amplitude A] [-noise S] [-drift D]
+//	         [-samples-per-hour K] [-seed N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := trace.DefaultConfig()
+	flag.IntVar(&cfg.Days, "days", cfg.Days, "trace length in days")
+	flag.Float64Var(&cfg.BaseRate, "rate", cfg.BaseRate, "mean request rate (req/s)")
+	flag.Float64Var(&cfg.DailyAmplitude, "amplitude", cfg.DailyAmplitude, "diurnal amplitude fraction [0,1]")
+	flag.Float64Var(&cfg.Noise, "noise", cfg.Noise, "relative multiplicative noise")
+	flag.Float64Var(&cfg.Drift, "drift", cfg.Drift, "per-day relative growth")
+	flag.IntVar(&cfg.SamplesPerHour, "samples-per-hour", cfg.SamplesPerHour, "samples per hour")
+	flag.Float64Var(&cfg.PeakHour, "peak-hour", cfg.PeakHour, "hour of day with maximal load")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	pts, err := trace.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.WriteCSV(w, pts)
+}

@@ -1,0 +1,147 @@
+// Template reuse example (§6, Figs 17–18): learn a state-space map for a
+// repeatable sensitive application with one batch co-runner, export it as
+// a JSON template, then seed a fresh execution with a *different* batch
+// co-runner from that template — the learned violation knowledge carries
+// over, so the second run throttles dangerous transitions it has never
+// itself experienced.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "templatereuse:", err)
+		os.Exit(1)
+	}
+}
+
+func vlc(rng *rand.Rand) sim.QoSApp {
+	return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+}
+
+func run() error {
+	// Run 1: learn with CPUBomb, Stay-Away active.
+	learn, err := experiments.Run(experiments.Scenario{
+		Name:        "template-learn",
+		SensitiveID: "vlc",
+		Sensitive:   vlc,
+		Batch: []experiments.Placement{{ID: "batch", StartTick: 20, App: func(*rand.Rand) sim.App {
+			return apps.NewCPUBomb(apps.DefaultCPUBombConfig())
+		}}},
+		Ticks:    250,
+		Seed:     42,
+		StayAway: true,
+	})
+	if err != nil {
+		return err
+	}
+	tpl := learn.Runtime.ExportTemplate("vlc-stream")
+	var buf bytes.Buffer
+	if _, err := tpl.WriteTo(&buf); err != nil {
+		return err
+	}
+	fmt.Printf("learned template with CPUBomb: %d states (%d violation), %d bytes of JSON\n",
+		len(tpl.States), learn.Report.ViolationStates, buf.Len())
+
+	// The template survives serialization: parse it back as a new run
+	// would from disk.
+	parsed, err := statespace.ReadTemplate(&buf)
+	if err != nil {
+		return err
+	}
+
+	soplex := func(rng *rand.Rand) sim.App {
+		cfg := apps.DefaultSoplexConfig()
+		cfg.TotalWork = 0
+		return apps.NewSoplex(cfg, rng)
+	}
+
+	// Run 2: the same VLC stream alongside Soplex — a batch application
+	// the template has never seen — with the template loaded and actions
+	// disabled (the Fig 18 validation protocol). Every violation the new
+	// co-location suffers should map into the violation region the
+	// CPUBomb run learned: the violation states characterize the
+	// *sensitive application's* starvation, not the co-runner's identity.
+	validate, err := experiments.Run(experiments.Scenario{
+		Name:           "template-validate",
+		SensitiveID:    "vlc",
+		Sensitive:      vlc,
+		Batch:          []experiments.Placement{{ID: "batch", StartTick: 20, App: soplex}},
+		Ticks:          250,
+		Seed:           43,
+		StayAway:       true,
+		DisableActions: true,
+		Template:       parsed,
+	})
+	if err != nil {
+		return err
+	}
+	tplSpace, err := statespace.Import(parsed)
+	if err != nil {
+		return err
+	}
+	var total, inRegion int
+	for _, r := range validate.Records {
+		if !r.Violation {
+			continue
+		}
+		total++
+		if _, in := tplSpace.InViolationRange(r.Coord); in {
+			inRegion++
+		}
+	}
+	fmt.Printf("\nVLC + Soplex with the CPUBomb template, actions disabled (Fig 18 protocol):\n")
+	fmt.Printf("  violations observed:                    %d\n", total)
+	fmt.Printf("  inside the template's violation region: %d\n", inRegion)
+
+	// Run 3: the same co-location with actions enabled and the template
+	// loaded — the seeded runtime throttles transitions it never itself
+	// experienced. Compare when protection first engages.
+	firstPause := func(records []experiments.TickRecord) int {
+		for _, r := range records {
+			if r.Throttled {
+				return r.Tick
+			}
+		}
+		return -1
+	}
+	cold, err := experiments.Run(experiments.Scenario{
+		Name:        "template-cold",
+		SensitiveID: "vlc",
+		Sensitive:   vlc,
+		Batch:       []experiments.Placement{{ID: "batch", StartTick: 20, App: soplex}},
+		Ticks:       250,
+		Seed:        43,
+		StayAway:    true,
+	})
+	if err != nil {
+		return err
+	}
+	seeded, err := experiments.Run(experiments.Scenario{
+		Name:        "template-seeded",
+		SensitiveID: "vlc",
+		Sensitive:   vlc,
+		Batch:       []experiments.Placement{{ID: "batch", StartTick: 20, App: soplex}},
+		Ticks:       250,
+		Seed:        43,
+		StayAway:    true,
+		Template:    parsed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nWith actions enabled (batch starts at tick 20):\n")
+	fmt.Printf("  cold start:      first throttle at tick %d\n", firstPause(cold.Records))
+	fmt.Printf("  template-seeded: first throttle at tick %d\n", firstPause(seeded.Records))
+	return nil
+}

@@ -1,0 +1,74 @@
+// VLC streaming example: the paper's headline scenario (§7.2, Figs 8–11).
+// A VLC streaming server is co-located first with CPUBomb (the worst-case
+// co-runner) and then with Twitter-Analysis (a phase-alternating batch
+// job), each with and without Stay-Away, printing QoS and gained
+// utilization for all four runs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vlcstreaming:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	vlc := func(rng *rand.Rand) sim.QoSApp {
+		return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+	}
+	batches := []struct {
+		name string
+		app  func(rng *rand.Rand) sim.App
+	}{
+		{"cpubomb", func(*rand.Rand) sim.App { return apps.NewCPUBomb(apps.DefaultCPUBombConfig()) }},
+		{"twitter", func(rng *rand.Rand) sim.App {
+			cfg := apps.DefaultTwitterConfig()
+			cfg.TotalWork = 0
+			return apps.NewTwitterAnalysis(cfg, rng)
+		}},
+	}
+
+	threshold := 1.0
+	for _, b := range batches {
+		fmt.Printf("=== VLC streaming + %s ===\n\n", b.name)
+		for _, protected := range []bool{false, true} {
+			res, err := experiments.Run(experiments.Scenario{
+				Name:        "vlc-" + b.name,
+				SensitiveID: "vlc",
+				Sensitive:   vlc,
+				Batch:       []experiments.Placement{{ID: b.name, StartTick: 20, App: b.app}},
+				Ticks:       300,
+				Seed:        42,
+				StayAway:    protected,
+			})
+			if err != nil {
+				return err
+			}
+			label := "without prevention"
+			if protected {
+				label = "with Stay-Away"
+			}
+			vs := experiments.Violations(res.Records)
+			fmt.Println(experiments.RenderSeries(experiments.ChartOptions{
+				Title: fmt.Sprintf("%s — normalized QoS (threshold line at 1.0)", label),
+				HLine: &threshold,
+				YMin:  0, YMax: 1.3,
+				Height: 9,
+			}, experiments.QoSSeries(res.Records)))
+			fmt.Printf("violations: %d/%d (%.1f%%)   gained utilization: %.1f%%\n\n",
+				vs.Violations, vs.Ticks, 100*vs.Rate,
+				100*experiments.Mean(experiments.GainSeries(res.Records)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package apps implements the workloads of the paper's evaluation (§7.1)
+// as demand models for the sim substrate:
+//
+//   - VLCStream — the latency-sensitive streaming server (QoS: transcode
+//     rate vs the real-time threshold);
+//   - VLCTranscode — offline transcoding as a CPU-heavy batch job;
+//   - Webservice — the memcached-backed analytics service with
+//     CPU-intensive, memory-intensive and mixed workloads (QoS:
+//     transactions/s);
+//   - Soplex — SPEC CPU 2006 soplex: steady compute with a slowly growing
+//     working set ("linear trajectory with a consistent orientation");
+//   - TwitterAnalysis — CloudSuite Twitter influence ranking: alternating
+//     CPU-intensive and memory-intensive phases;
+//   - CPUBomb / MemoryBomb — the isolation-benchmark stressors.
+//
+// The numbers are calibrated against sim.DefaultHostConfig (4 cores = 400
+// CPU units, 4096 MB RAM, 10 GB/s memory bandwidth) so that each
+// co-location interferes through the channel the paper describes: CPU
+// over-subscription for the bombs and Soplex, swap pressure for the memory
+// stressors against the memory-intensive Webservice, and spiky CPU-phase
+// contention for Twitter against VLC.
+package apps
+
+import "math/rand"
+
+// Intensity drives a workload's load level over time, in [0,1]. The
+// Webservice experiments drive it from the diurnal trace.
+type Intensity func(tick int) float64
+
+// ConstantIntensity returns a fixed intensity, clamped to [0,1].
+func ConstantIntensity(v float64) Intensity {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return func(int) float64 { return v }
+}
+
+// SeriesIntensity replays a normalized series, one value per tick,
+// clamping past the end to the final value. An empty series yields 0.
+func SeriesIntensity(series []float64) Intensity {
+	cp := append([]float64(nil), series...)
+	return func(tick int) float64 {
+		if len(cp) == 0 {
+			return 0
+		}
+		if tick < 0 {
+			tick = 0
+		}
+		if tick >= len(cp) {
+			tick = len(cp) - 1
+		}
+		v := cp[tick]
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+}
+
+// StepIntensity switches between levels at the given tick boundaries:
+// value levels[i] holds for ticks in [boundaries[i-1], boundaries[i]),
+// with boundaries[-1] = 0 and the last level holding forever.
+// len(levels) must be len(boundaries)+1.
+func StepIntensity(levels []float64, boundaries []int) Intensity {
+	ls := append([]float64(nil), levels...)
+	bs := append([]int(nil), boundaries...)
+	return func(tick int) float64 {
+		i := 0
+		for i < len(bs) && tick >= bs[i] {
+			i++
+		}
+		if i >= len(ls) {
+			i = len(ls) - 1
+		}
+		v := ls[i]
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+}
+
+// jitter multiplies base by (1 + rel·N(0,1)), floored at zero. A nil rng
+// or rel ≤ 0 returns base unchanged, so tests can run deterministically.
+func jitter(rng *rand.Rand, base, rel float64) float64 {
+	if rng == nil || rel <= 0 || base == 0 {
+		return base
+	}
+	v := base * (1 + rel*rng.NormFloat64())
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// qosFromGrant converts a demand/grant pair into a normalized service rate:
+// effective CPU received over CPU demanded, in [0,1]. An idle period (no
+// demand) counts as perfect service.
+func qosFromGrant(demandCPU, effectiveCPU float64) float64 {
+	if demandCPU <= 0 {
+		return 1
+	}
+	r := effectiveCPU / demandCPU
+	if r > 1 {
+		return 1
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConstantIntensity(t *testing.T) {
+	if got := ConstantIntensity(0.7)(99); got != 0.7 {
+		t.Errorf("intensity = %v, want 0.7", got)
+	}
+	if got := ConstantIntensity(-1)(0); got != 0 {
+		t.Errorf("negative clamps: %v", got)
+	}
+	if got := ConstantIntensity(2)(0); got != 1 {
+		t.Errorf("overflow clamps: %v", got)
+	}
+}
+
+func TestSeriesIntensity(t *testing.T) {
+	f := SeriesIntensity([]float64{0.1, 0.5, 0.9})
+	if f(0) != 0.1 || f(1) != 0.5 || f(2) != 0.9 {
+		t.Error("series values wrong")
+	}
+	if f(10) != 0.9 {
+		t.Errorf("past end = %v, want last value", f(10))
+	}
+	if f(-1) != 0.1 {
+		t.Errorf("negative tick = %v, want first value", f(-1))
+	}
+	if got := SeriesIntensity(nil)(0); got != 0 {
+		t.Errorf("empty series = %v, want 0", got)
+	}
+	// Out-of-range values clamp.
+	g := SeriesIntensity([]float64{-0.5, 1.5})
+	if g(0) != 0 || g(1) != 1 {
+		t.Errorf("clamping failed: %v %v", g(0), g(1))
+	}
+	// Mutating the source does not affect the function.
+	src := []float64{0.3}
+	h := SeriesIntensity(src)
+	src[0] = 0.9
+	if h(0) != 0.3 {
+		t.Error("series aliased source")
+	}
+}
+
+func TestStepIntensity(t *testing.T) {
+	// levels [0.2, 0.8, 0.4], boundaries [5, 10]:
+	// ticks 0–4 → 0.2, 5–9 → 0.8, 10+ → 0.4.
+	f := StepIntensity([]float64{0.2, 0.8, 0.4}, []int{5, 10})
+	tests := []struct {
+		tick int
+		want float64
+	}{
+		{0, 0.2}, {4, 0.2}, {5, 0.8}, {9, 0.8}, {10, 0.4}, {100, 0.4},
+	}
+	for _, tt := range tests {
+		if got := f(tt.tick); got != tt.want {
+			t.Errorf("f(%d) = %v, want %v", tt.tick, got, tt.want)
+		}
+	}
+	// Clamping of levels.
+	g := StepIntensity([]float64{2}, nil)
+	if g(0) != 1 {
+		t.Errorf("level clamp = %v", g(0))
+	}
+}
+
+func TestJitter(t *testing.T) {
+	if got := jitter(nil, 100, 0.1); got != 100 {
+		t.Errorf("nil rng jitter = %v, want base", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := jitter(rng, 100, 0); got != 100 {
+		t.Errorf("zero rel jitter = %v, want base", got)
+	}
+	if got := jitter(rng, 0, 0.5); got != 0 {
+		t.Errorf("zero base jitter = %v, want 0", got)
+	}
+	// Jitter never goes negative even with huge relative spread.
+	for i := 0; i < 1000; i++ {
+		if got := jitter(rng, 10, 3); got < 0 {
+			t.Fatalf("negative jitter %v", got)
+		}
+	}
+	// Mean stays near base.
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += jitter(rng, 100, 0.1)
+	}
+	if mean := sum / n; mean < 95 || mean > 105 {
+		t.Errorf("jitter mean = %v, want ≈100", mean)
+	}
+}
+
+func TestQoSFromGrant(t *testing.T) {
+	tests := []struct {
+		demand, effective, want float64
+	}{
+		{100, 100, 1},
+		{100, 50, 0.5},
+		{100, 150, 1}, // over-delivery clamps
+		{0, 50, 1},    // no demand = perfect service
+		{100, -10, 0}, // garbage clamps
+	}
+	for _, tt := range tests {
+		if got := qosFromGrant(tt.demand, tt.effective); got != tt.want {
+			t.Errorf("qosFromGrant(%v,%v) = %v, want %v", tt.demand, tt.effective, got, tt.want)
+		}
+	}
+}

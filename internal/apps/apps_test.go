@@ -1,0 +1,411 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runAlone drives an app alone on a default host for n ticks and returns
+// the container.
+func runAlone(t *testing.T, app sim.App, n int) (*sim.Simulator, *sim.Container) {
+	t.Helper()
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AddContainer("c", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(n)
+	return s, c
+}
+
+func TestVLCStreamAloneHasPerfectQoS(t *testing.T) {
+	v := NewVLCStream(DefaultVLCStreamConfig(), rand.New(rand.NewSource(1)))
+	runAlone(t, v, 50)
+	value, threshold := v.QoS()
+	if value < threshold {
+		t.Errorf("isolated VLC QoS %v below threshold %v", value, threshold)
+	}
+	if value != 1 {
+		t.Errorf("isolated VLC QoS = %v, want 1", value)
+	}
+}
+
+func TestVLCStreamDuration(t *testing.T) {
+	cfg := DefaultVLCStreamConfig()
+	cfg.Duration = 10
+	v := NewVLCStream(cfg, nil)
+	_, c := runAlone(t, v, 20)
+	if c.State() != sim.StateFinished {
+		t.Errorf("state = %v, want finished after duration", c.State())
+	}
+	if c.TicksRun() != 10 {
+		t.Errorf("ticks run = %d, want 10", c.TicksRun())
+	}
+}
+
+func TestVLCStreamVsCPUBombViolates(t *testing.T) {
+	// The paper's worst case: CPUBomb saturates all cores; without
+	// prevention VLC's transcode rate collapses below threshold.
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVLCStream(DefaultVLCStreamConfig(), rand.New(rand.NewSource(1)))
+	if _, err := s.AddContainer("vlc", v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("bomb", NewCPUBomb(DefaultCPUBombConfig())); err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := 0; i < 50; i++ {
+		s.Step()
+		if value, threshold := v.QoS(); value < threshold {
+			violations++
+		}
+	}
+	if violations < 45 {
+		t.Errorf("violations = %d/50, want near-constant violation under CPUBomb", violations)
+	}
+	// Freezing the bomb must restore QoS immediately.
+	if err := s.Freeze("bomb"); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if value, threshold := v.QoS(); value < threshold {
+		t.Errorf("QoS %v still below %v after freezing the bomb", value, threshold)
+	}
+}
+
+func TestVLCStreamVsTwitterSporadicViolations(t *testing.T) {
+	// Twitter's CPU phase co-runs with VLC most of the time but VLC's
+	// scene-complexity spikes overshoot capacity sporadically; the memory
+	// phase must be harmless to VLC.
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVLCStream(DefaultVLCStreamConfig(), rand.New(rand.NewSource(7)))
+	tw := NewTwitterAnalysis(DefaultTwitterConfig(), rand.New(rand.NewSource(8)))
+	if _, err := s.AddContainer("vlc", v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("tw", tw); err != nil {
+		t.Fatal(err)
+	}
+	var cpuPhaseViol, memPhaseViol, total int
+	for i := 0; i < 200; i++ {
+		s.Step()
+		value, threshold := v.QoS()
+		if value < threshold {
+			total++
+			if tw.InMemoryPhase() {
+				memPhaseViol++
+			} else {
+				cpuPhaseViol++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("expected sporadic violations with Twitter co-location")
+	}
+	if total > 150 {
+		t.Errorf("violations = %d/200; Twitter should not be as bad as CPUBomb", total)
+	}
+	if cpuPhaseViol <= memPhaseViol {
+		t.Errorf("violations should concentrate in the CPU phase: cpu=%d mem=%d", cpuPhaseViol, memPhaseViol)
+	}
+}
+
+func TestVLCTranscodeFinishes(t *testing.T) {
+	cfg := DefaultVLCTranscodeConfig()
+	cfg.TotalWork = 1000
+	tr := NewVLCTranscode(cfg, nil)
+	_, c := runAlone(t, tr, 20)
+	if c.State() != sim.StateFinished {
+		t.Errorf("state = %v, want finished", c.State())
+	}
+	if tr.Remaining() > 0 {
+		t.Errorf("remaining = %v", tr.Remaining())
+	}
+}
+
+func TestWebserviceKinds(t *testing.T) {
+	for _, kind := range []WorkloadKind{CPUIntensive, MemoryIntensive, Mixed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			w := NewWebservice(DefaultWebserviceConfig(kind), rand.New(rand.NewSource(1)))
+			runAlone(t, w, 30)
+			value, threshold := w.QoS()
+			if value < threshold {
+				t.Errorf("isolated %v QoS %v below threshold %v", kind, value, threshold)
+			}
+		})
+	}
+	if CPUIntensive.String() != "cpu-intensive" || MemoryIntensive.String() != "memory-intensive" || Mixed.String() != "mixed" {
+		t.Error("kind strings wrong")
+	}
+	if WorkloadKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestWebserviceIntensityScalesDemand(t *testing.T) {
+	low := NewWebservice(WebserviceConfig{Kind: CPUIntensive, Intensity: ConstantIntensity(0.1), Threshold: 0.9}, nil)
+	high := NewWebservice(WebserviceConfig{Kind: CPUIntensive, Intensity: ConstantIntensity(1), Threshold: 0.9}, nil)
+	dl := low.Demand(0)
+	dh := high.Demand(0)
+	if dl.CPU >= dh.CPU {
+		t.Errorf("low intensity CPU %v should be below high %v", dl.CPU, dh.CPU)
+	}
+}
+
+func TestWebserviceNilIntensityDefaults(t *testing.T) {
+	w := NewWebservice(WebserviceConfig{Kind: Mixed, Threshold: 0.9}, nil)
+	if d := w.Demand(0); d.CPU <= 0 {
+		t.Errorf("nil intensity demand = %+v", d)
+	}
+}
+
+func TestWebserviceMemoryVsMemoryBombSwaps(t *testing.T) {
+	// Memory-intensive Webservice at full load plus the MemoryBomb's
+	// reading bursts overflow RAM: QoS must collapse during bursts.
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWebservice(DefaultWebserviceConfig(MemoryIntensive), rand.New(rand.NewSource(1)))
+	if _, err := s.AddContainer("web", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("bomb", NewMemoryBomb(DefaultMemoryBombConfig(), rand.New(rand.NewSource(2)))); err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := 0; i < 100; i++ {
+		s.Step()
+		if value, threshold := w.QoS(); value < threshold {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("expected swap-driven violations")
+	}
+	if violations > 90 {
+		t.Errorf("violations = %d/100; bursts should be intermittent", violations)
+	}
+}
+
+func TestWebserviceCPUVsMemoryBombCoexists(t *testing.T) {
+	// The CPU-intensive Webservice barely touches memory: the MemoryBomb
+	// should be able to co-run with only rare interference (§7.2: all
+	// batch apps except MemoryBomb interfere with the CPU workload).
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWebservice(DefaultWebserviceConfig(CPUIntensive), rand.New(rand.NewSource(1)))
+	if _, err := s.AddContainer("web", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("bomb", NewMemoryBomb(DefaultMemoryBombConfig(), rand.New(rand.NewSource(2)))); err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := 0; i < 100; i++ {
+		s.Step()
+		if value, threshold := w.QoS(); value < threshold {
+			violations++
+		}
+	}
+	if violations > 20 {
+		t.Errorf("violations = %d/100, want mostly clean coexistence", violations)
+	}
+}
+
+func TestSoplexLinearMemoryGrowth(t *testing.T) {
+	cfg := DefaultSoplexConfig()
+	cfg.TotalWork = 0 // never finish
+	sp := NewSoplex(cfg, nil)
+	_, c := runAlone(t, sp, 60)
+	d := c.LastDemand()
+	// After 60 of 120 growth ticks, memory is halfway between start/end.
+	want := cfg.StartMemoryMB + (cfg.EndMemoryMB-cfg.StartMemoryMB)*0.5
+	if diff := d.MemoryMB - want; diff < -50 || diff > 50 {
+		t.Errorf("memory after 60 ticks = %v, want ≈%v", d.MemoryMB, want)
+	}
+	// Growth is monotone.
+	sp2 := NewSoplex(cfg, nil)
+	prev := -1.0
+	s2, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s2.AddContainer("s", sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		s2.Step()
+		if m := c2.LastDemand().MemoryMB; m < prev {
+			t.Fatalf("memory shrank at tick %d: %v < %v", i, m, prev)
+		} else {
+			prev = m
+		}
+	}
+}
+
+func TestSoplexPhaseClockPausesWhenFrozen(t *testing.T) {
+	cfg := DefaultSoplexConfig()
+	cfg.TotalWork = 0
+	sp := NewSoplex(cfg, nil)
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AddContainer("s", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	memAt10 := c.LastDemand().MemoryMB
+	if err := s.Freeze("s"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(20) // frozen: no growth
+	if err := s.Thaw("s"); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	memAfter := c.LastDemand().MemoryMB
+	growth := memAfter - memAt10
+	perTick := (cfg.EndMemoryMB - cfg.StartMemoryMB) / float64(cfg.GrowthTicks)
+	if growth > 2*perTick+1 {
+		t.Errorf("frozen period grew memory by %v (>%v)", growth, 2*perTick)
+	}
+}
+
+func TestTwitterPhaseAlternation(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.TotalWork = 0
+	tw := NewTwitterAnalysis(cfg, nil)
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("t", tw); err != nil {
+		t.Fatal(err)
+	}
+	var phases []bool
+	for i := 0; i < cfg.CPUPhaseTicks+cfg.MemPhaseTicks; i++ {
+		s.Step()
+		phases = append(phases, tw.InMemoryPhase())
+	}
+	for i := 0; i < cfg.CPUPhaseTicks; i++ {
+		if phases[i] {
+			t.Errorf("tick %d should be CPU phase", i)
+		}
+	}
+	for i := cfg.CPUPhaseTicks; i < len(phases); i++ {
+		if !phases[i] {
+			t.Errorf("tick %d should be memory phase", i)
+		}
+	}
+}
+
+func TestTwitterDemandDiffersByPhase(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	tw := NewTwitterAnalysis(cfg, nil)
+	dCPU := tw.Demand(0)
+	// Fast-forward the phase clock by advancing running ticks.
+	for i := 0; i < cfg.CPUPhaseTicks; i++ {
+		tw.Advance(i, sim.Grant{CPU: 1, CPUEfficiency: 1})
+	}
+	dMem := tw.Demand(0)
+	if dCPU.CPU <= dMem.CPU {
+		t.Errorf("CPU-phase compute %v should exceed memory-phase %v", dCPU.CPU, dMem.CPU)
+	}
+	if dMem.ActiveMemMB <= dCPU.ActiveMemMB {
+		t.Errorf("memory-phase active set %v should exceed CPU-phase %v", dMem.ActiveMemMB, dCPU.ActiveMemMB)
+	}
+}
+
+func TestCPUBombSaturates(t *testing.T) {
+	b := NewCPUBomb(DefaultCPUBombConfig())
+	_, c := runAlone(t, b, 10)
+	if c.State() != sim.StateRunning {
+		t.Errorf("default bomb should run forever: %v", c.State())
+	}
+	if c.LastGrant().CPU != 400 {
+		t.Errorf("alone, bomb gets %v, want 400", c.LastGrant().CPU)
+	}
+	// Finite bomb finishes.
+	fb := NewCPUBomb(CPUBombConfig{CPU: 400, TotalWork: 800})
+	_, c2 := runAlone(t, fb, 10)
+	if c2.State() != sim.StateFinished {
+		t.Errorf("finite bomb state = %v", c2.State())
+	}
+}
+
+func TestMemoryBombRampAndBursts(t *testing.T) {
+	cfg := DefaultMemoryBombConfig()
+	b := NewMemoryBomb(cfg, nil)
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AddContainer("b", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the ramp, resident memory grows.
+	s.Run(10)
+	early := c.LastDemand().MemoryMB
+	s.Run(30)
+	late := c.LastDemand().MemoryMB
+	if late <= early {
+		t.Errorf("resident set did not grow: %v -> %v", early, late)
+	}
+	if late < cfg.PeakMemoryMB*0.99 {
+		t.Errorf("resident = %v, want ≈peak %v after ramp", late, cfg.PeakMemoryMB)
+	}
+	// Active memory alternates between idle fraction and full bursts.
+	var sawIdle, sawBurst bool
+	for i := 0; i < cfg.ReadEveryTicks+cfg.ReadBurstTicks+2; i++ {
+		s.Step()
+		d := c.LastDemand()
+		if d.ActiveMemMB >= d.MemoryMB*0.99 {
+			sawBurst = true
+		}
+		if d.ActiveMemMB <= d.MemoryMB*cfg.IdleActiveFraction*1.01 {
+			sawIdle = true
+		}
+	}
+	if !sawIdle || !sawBurst {
+		t.Errorf("bursts not alternating: idle=%v burst=%v", sawIdle, sawBurst)
+	}
+}
+
+func TestBatchAppsFinishEventually(t *testing.T) {
+	// Every default-config finite batch app must complete when run alone.
+	tests := []struct {
+		name string
+		app  sim.App
+	}{
+		{"vlc-transcode", NewVLCTranscode(DefaultVLCTranscodeConfig(), nil)},
+		{"soplex", NewSoplex(DefaultSoplexConfig(), nil)},
+		{"twitter", NewTwitterAnalysis(DefaultTwitterConfig(), nil)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, c := runAlone(t, tt.app, 800)
+			if c.State() != sim.StateFinished {
+				t.Errorf("state = %v after 800 ticks, want finished", c.State())
+			}
+		})
+	}
+}

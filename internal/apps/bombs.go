@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// CPUBombConfig tunes the CPU stressor.
+type CPUBombConfig struct {
+	// CPU is the bomb's demand; the isolation-benchmark bomb saturates
+	// every core, so the default equals a 4-core host's full capacity.
+	CPU float64
+	// TotalWork is the job size in effective-CPU units; <= 0 runs forever.
+	TotalWork float64
+}
+
+// DefaultCPUBombConfig returns the isolation-benchmark CPU bomb.
+func DefaultCPUBombConfig() CPUBombConfig {
+	return CPUBombConfig{CPU: 400, TotalWork: 0}
+}
+
+// CPUBomb is the isolation benchmark's CPU stressor: it "constantly
+// consumes CPU and does not experience any phase transition" (§7.2) — the
+// worst-case co-runner.
+type CPUBomb struct {
+	cfg       CPUBombConfig
+	remaining float64
+}
+
+var _ sim.App = (*CPUBomb)(nil)
+
+// NewCPUBomb returns a CPU bomb.
+func NewCPUBomb(cfg CPUBombConfig) *CPUBomb {
+	return &CPUBomb{cfg: cfg, remaining: cfg.TotalWork}
+}
+
+// Name implements sim.App.
+func (b *CPUBomb) Name() string { return "cpubomb" }
+
+// Demand implements sim.App.
+func (b *CPUBomb) Demand(tick int) sim.Demand {
+	return sim.Demand{CPU: b.cfg.CPU, MemoryMB: 50, ActiveMemMB: 20}
+}
+
+// Advance implements sim.App.
+func (b *CPUBomb) Advance(tick int, g sim.Grant) bool {
+	if b.cfg.TotalWork <= 0 {
+		return false
+	}
+	b.remaining -= g.EffectiveCPU()
+	return b.remaining <= 0
+}
+
+// MemoryBombConfig tunes the synthetic memory stressor of §7.1: it
+// "generates stress on the memory subsystem by allocating large chunks of
+// memory and occasionally reading the allocated content".
+type MemoryBombConfig struct {
+	// CPU is the bomb's modest compute demand.
+	CPU float64
+	// PeakMemoryMB is the allocation target.
+	PeakMemoryMB float64
+	// RampTicks is how many running ticks the allocation ramp takes —
+	// producing the gradual state-space transition of Fig 7's kind.
+	RampTicks int
+	// ReadEveryTicks is the cadence of the "occasionally reading" bursts;
+	// between bursts only a small fraction of the allocation stays hot.
+	ReadEveryTicks int
+	// ReadBurstTicks is how long each reading burst lasts.
+	ReadBurstTicks int
+	// IdleActiveFraction is the hot fraction between bursts.
+	IdleActiveFraction float64
+	// MemBWMBps is the bandwidth demand during reading bursts.
+	MemBWMBps float64
+	// TotalWork is the job size in effective-CPU units; <= 0 runs forever.
+	TotalWork float64
+}
+
+// DefaultMemoryBombConfig returns the evaluation's memory bomb.
+func DefaultMemoryBombConfig() MemoryBombConfig {
+	return MemoryBombConfig{
+		CPU:                60,
+		PeakMemoryMB:       3400,
+		RampTicks:          30,
+		ReadEveryTicks:     12,
+		ReadBurstTicks:     5,
+		IdleActiveFraction: 0.15,
+		MemBWMBps:          8000,
+		TotalWork:          0,
+	}
+}
+
+// MemoryBomb is the custom synthetic memory stressor.
+type MemoryBomb struct {
+	cfg       MemoryBombConfig
+	rng       *rand.Rand
+	ranTicks  int
+	remaining float64
+}
+
+var _ sim.App = (*MemoryBomb)(nil)
+
+// NewMemoryBomb returns a memory bomb. rng may be nil.
+func NewMemoryBomb(cfg MemoryBombConfig, rng *rand.Rand) *MemoryBomb {
+	return &MemoryBomb{cfg: cfg, rng: rng, remaining: cfg.TotalWork}
+}
+
+// Name implements sim.App.
+func (b *MemoryBomb) Name() string { return "memorybomb" }
+
+// Demand implements sim.App.
+func (b *MemoryBomb) Demand(tick int) sim.Demand {
+	frac := 1.0
+	if b.cfg.RampTicks > 0 && b.ranTicks < b.cfg.RampTicks {
+		frac = float64(b.ranTicks) / float64(b.cfg.RampTicks)
+	}
+	resident := b.cfg.PeakMemoryMB * frac
+
+	reading := false
+	if b.cfg.ReadEveryTicks > 0 {
+		cycle := b.cfg.ReadEveryTicks + b.cfg.ReadBurstTicks
+		reading = b.ranTicks%cycle >= b.cfg.ReadEveryTicks
+	}
+	active := resident * b.cfg.IdleActiveFraction
+	bw := 200.0
+	if reading {
+		active = resident
+		bw = b.cfg.MemBWMBps
+	}
+	return sim.Demand{
+		CPU:         jitter(b.rng, b.cfg.CPU, 0.05),
+		MemoryMB:    resident,
+		ActiveMemMB: active,
+		MemBWMBps:   bw,
+	}
+}
+
+// Advance implements sim.App.
+func (b *MemoryBomb) Advance(tick int, g sim.Grant) bool {
+	b.ranTicks++
+	if b.cfg.TotalWork <= 0 {
+		return false
+	}
+	b.remaining -= g.EffectiveCPU()
+	return b.remaining <= 0
+}

@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// SoplexConfig tunes the SPEC CPU 2006 soplex model.
+type SoplexConfig struct {
+	// CPU is the solver's steady compute demand.
+	CPU float64
+	// CPUJitter is the small per-tick variation ("slightly varying step
+	// length").
+	CPUJitter float64
+	// StartMemoryMB and EndMemoryMB bound the linearly growing working
+	// set; the monotone growth is what draws Soplex's characteristic
+	// "linear trajectory with a consistent orientation" in the mapped
+	// space (Fig 5).
+	StartMemoryMB float64
+	EndMemoryMB   float64
+	// GrowthTicks is how many running ticks the working set takes to grow
+	// from start to end.
+	GrowthTicks int
+	// MemBWMBps is the solver's bandwidth demand.
+	MemBWMBps float64
+	// TotalWork is the job size in effective-CPU units; <= 0 never
+	// finishes.
+	TotalWork float64
+}
+
+// DefaultSoplexConfig returns the evaluation's soplex instance: a hungry
+// LP solver whose demand alongside VLC overshoots the 4-core host.
+func DefaultSoplexConfig() SoplexConfig {
+	return SoplexConfig{
+		CPU:           280,
+		CPUJitter:     0.05,
+		StartMemoryMB: 200,
+		EndMemoryMB:   900,
+		GrowthTicks:   120,
+		MemBWMBps:     2500,
+		TotalWork:     50000,
+	}
+}
+
+// Soplex models the SPEC CPU 2006 linear-programming solver used as a
+// batch co-runner in Figs 5 and 18.
+type Soplex struct {
+	cfg       SoplexConfig
+	rng       *rand.Rand
+	ranTicks  int
+	remaining float64
+}
+
+var _ sim.App = (*Soplex)(nil)
+
+// NewSoplex returns a solver instance.
+func NewSoplex(cfg SoplexConfig, rng *rand.Rand) *Soplex {
+	return &Soplex{cfg: cfg, rng: rng, remaining: cfg.TotalWork}
+}
+
+// Name implements sim.App.
+func (s *Soplex) Name() string { return "soplex" }
+
+// Demand implements sim.App. The working set grows with *running* ticks,
+// not wall ticks: a frozen solver does not allocate.
+func (s *Soplex) Demand(tick int) sim.Demand {
+	frac := 1.0
+	if s.cfg.GrowthTicks > 0 && s.ranTicks < s.cfg.GrowthTicks {
+		frac = float64(s.ranTicks) / float64(s.cfg.GrowthTicks)
+	}
+	mem := s.cfg.StartMemoryMB + (s.cfg.EndMemoryMB-s.cfg.StartMemoryMB)*frac
+	return sim.Demand{
+		CPU:         jitter(s.rng, s.cfg.CPU, s.cfg.CPUJitter),
+		MemoryMB:    mem,
+		ActiveMemMB: mem * 0.8,
+		MemBWMBps:   s.cfg.MemBWMBps,
+	}
+}
+
+// Advance implements sim.App.
+func (s *Soplex) Advance(tick int, g sim.Grant) bool {
+	s.ranTicks++
+	if s.cfg.TotalWork <= 0 {
+		return false
+	}
+	s.remaining -= g.EffectiveCPU()
+	return s.remaining <= 0
+}
+
+// Remaining returns outstanding work.
+func (s *Soplex) Remaining() float64 { return s.remaining }

@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// TwitterConfig tunes the CloudSuite Twitter-influence-ranking model.
+type TwitterConfig struct {
+	// CPUPhaseTicks and MemPhaseTicks are the lengths of the alternating
+	// phases (in running ticks; a frozen job's phase clock pauses).
+	CPUPhaseTicks int
+	MemPhaseTicks int
+	// CPUPhaseCPU is compute demand during the CPU-intensive phase. It is
+	// sized to co-run with a moderately loaded sensitive application but
+	// to overshoot the host when the sensitive load peaks — producing the
+	// sporadic CPU-phase violations of Fig 9 and the workload-dependent
+	// throttling of Fig 13.
+	CPUPhaseCPU float64
+	// MemPhaseCPU is compute demand during the memory-intensive phase.
+	MemPhaseCPU float64
+	// MemPhaseMemoryMB is the graph working set during the memory phase.
+	// Against the memory-intensive Webservice at high intensity, the
+	// combined active sets overflow RAM and force swapping — the §7.2
+	// observation that Twitter "is throttled only when it performs
+	// extensive memory operations".
+	MemPhaseMemoryMB float64
+	// CPUPhaseMemoryMB is the modest CPU-phase working set.
+	CPUPhaseMemoryMB float64
+	// MemPhaseBWMBps / CPUPhaseBWMBps are per-phase bandwidth demands.
+	MemPhaseBWMBps float64
+	CPUPhaseBWMBps float64
+	// Jitter is the relative per-tick demand variation.
+	Jitter float64
+	// TotalWork is the job size in effective-CPU units; <= 0 never
+	// finishes.
+	TotalWork float64
+}
+
+// DefaultTwitterConfig returns the evaluation's Twitter-Analysis job.
+func DefaultTwitterConfig() TwitterConfig {
+	return TwitterConfig{
+		CPUPhaseTicks:    14,
+		MemPhaseTicks:    10,
+		CPUPhaseCPU:      245,
+		MemPhaseCPU:      90,
+		MemPhaseMemoryMB: 2400,
+		CPUPhaseMemoryMB: 500,
+		MemPhaseBWMBps:   7000,
+		CPUPhaseBWMBps:   1500,
+		Jitter:           0.03,
+		TotalWork:        55000,
+	}
+}
+
+// TwitterAnalysis models the CloudSuite Twitter influence-ranking batch
+// job: it alternates between a CPU-intensive ranking phase and a
+// memory-intensive graph phase.
+type TwitterAnalysis struct {
+	cfg       TwitterConfig
+	rng       *rand.Rand
+	ranTicks  int
+	remaining float64
+
+	inMemPhase bool
+}
+
+var _ sim.App = (*TwitterAnalysis)(nil)
+
+// NewTwitterAnalysis returns a Twitter-Analysis job.
+func NewTwitterAnalysis(cfg TwitterConfig, rng *rand.Rand) *TwitterAnalysis {
+	return &TwitterAnalysis{cfg: cfg, rng: rng, remaining: cfg.TotalWork}
+}
+
+// Name implements sim.App.
+func (t *TwitterAnalysis) Name() string { return "twitter-analysis" }
+
+// InMemoryPhase reports whether the job is currently in its
+// memory-intensive phase.
+func (t *TwitterAnalysis) InMemoryPhase() bool { return t.inMemPhase }
+
+// Demand implements sim.App. The phase is derived from running ticks so
+// that freezing pauses the phase clock, exactly like a SIGSTOPped process.
+func (t *TwitterAnalysis) Demand(tick int) sim.Demand {
+	cycle := t.cfg.CPUPhaseTicks + t.cfg.MemPhaseTicks
+	pos := 0
+	if cycle > 0 {
+		pos = t.ranTicks % cycle
+	}
+	t.inMemPhase = pos >= t.cfg.CPUPhaseTicks
+	if t.inMemPhase {
+		return sim.Demand{
+			CPU:         jitter(t.rng, t.cfg.MemPhaseCPU, t.cfg.Jitter),
+			MemoryMB:    t.cfg.MemPhaseMemoryMB,
+			ActiveMemMB: t.cfg.MemPhaseMemoryMB,
+			MemBWMBps:   t.cfg.MemPhaseBWMBps,
+		}
+	}
+	return sim.Demand{
+		CPU:         jitter(t.rng, t.cfg.CPUPhaseCPU, t.cfg.Jitter),
+		MemoryMB:    t.cfg.CPUPhaseMemoryMB,
+		ActiveMemMB: t.cfg.CPUPhaseMemoryMB * 0.7,
+		MemBWMBps:   t.cfg.CPUPhaseBWMBps,
+	}
+}
+
+// Advance implements sim.App.
+func (t *TwitterAnalysis) Advance(tick int, g sim.Grant) bool {
+	t.ranTicks++
+	if t.cfg.TotalWork <= 0 {
+		return false
+	}
+	t.remaining -= g.EffectiveCPU()
+	return t.remaining <= 0
+}
+
+// Remaining returns outstanding work.
+func (t *TwitterAnalysis) Remaining() float64 { return t.remaining }

@@ -1,0 +1,215 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// VLCStreamConfig tunes the latency-sensitive streaming server.
+type VLCStreamConfig struct {
+	// CPU is the transcoding demand during ordinary (light) scenes, in
+	// percent-of-core units. It is also the demand used when no scene
+	// model is configured (SceneCPUs empty or nil RNG).
+	CPU float64
+	// SceneCPUs are the demand levels of the scene-complexity ladder
+	// (light → heavy) and SceneProbs their stationary probabilities.
+	// Scene changes are sudden and sustained — the paper's "instantaneous
+	// jumps to violation states characterised by sudden increase in the
+	// use of CPU" — while the intermediate levels produce the near-miss
+	// safe states that let the violation-range anneal (§3.2.2).
+	SceneCPUs  []float64
+	SceneProbs []float64
+	// SceneChangeProb is the per-tick probability that the current scene
+	// ends and a new level is drawn (geometric scene durations).
+	SceneChangeProb float64
+	// CPUJitter is the small residual per-tick demand variation.
+	CPUJitter float64
+	// MemoryMB and ActiveMemMB size the streaming buffers.
+	MemoryMB    float64
+	ActiveMemMB float64
+	// MemBWMBps is the frame-copy bandwidth.
+	MemBWMBps float64
+	// NetMbps is the streaming bitrate.
+	NetMbps float64
+	// Duration is how many ticks the stream lasts; <= 0 streams forever.
+	Duration int
+	// Threshold is the normalized minimum transcode rate for real-time
+	// playback (the QoS threshold of §7.1).
+	Threshold float64
+}
+
+// DefaultVLCStreamConfig returns the evaluation's streaming server.
+func DefaultVLCStreamConfig() VLCStreamConfig {
+	return VLCStreamConfig{
+		CPU:             145,
+		SceneCPUs:       []float64{145, 175, 230},
+		SceneProbs:      []float64{0.65, 0.22, 0.13},
+		SceneChangeProb: 0.25,
+		CPUJitter:       0.02,
+		MemoryMB:        400,
+		ActiveMemMB:     150,
+		MemBWMBps:       2000,
+		NetMbps:         60,
+		Duration:        0,
+		Threshold:       0.9,
+	}
+}
+
+// VLCStream is the sensitive application of Figs 5–11 and 17–18: it
+// transcodes and streams a movie in real time; QoS is the achieved
+// transcode rate normalized by demand ("the minimum transcoding rate
+// required to provide real time viewing without any loss of frames").
+type VLCStream struct {
+	cfg  VLCStreamConfig
+	rng  *rand.Rand
+	tick int
+
+	sceneLevel    int
+	lastDemandCPU float64
+	lastNetDemand float64
+	lastQoS       float64
+}
+
+var _ sim.QoSApp = (*VLCStream)(nil)
+
+// NewVLCStream returns a streaming server. rng may be nil for a fully
+// deterministic (jitter-free) instance.
+func NewVLCStream(cfg VLCStreamConfig, rng *rand.Rand) *VLCStream {
+	return &VLCStream{cfg: cfg, rng: rng, lastQoS: 1}
+}
+
+// Name implements sim.App.
+func (v *VLCStream) Name() string { return "vlc-stream" }
+
+// SceneLevel returns the current scene-complexity level (0 = lightest).
+func (v *VLCStream) SceneLevel() int { return v.sceneLevel }
+
+// InHeavyScene reports whether the stream is transcoding a scene at the
+// top complexity level.
+func (v *VLCStream) InHeavyScene() bool {
+	return len(v.cfg.SceneCPUs) > 0 && v.sceneLevel == len(v.cfg.SceneCPUs)-1
+}
+
+// drawScene samples a scene level from the stationary probabilities.
+func (v *VLCStream) drawScene() int {
+	u := v.rng.Float64()
+	var cum float64
+	for i, p := range v.cfg.SceneProbs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return len(v.cfg.SceneCPUs) - 1
+}
+
+// Demand implements sim.App.
+func (v *VLCStream) Demand(tick int) sim.Demand {
+	base := v.cfg.CPU
+	if v.rng != nil && len(v.cfg.SceneCPUs) > 0 && len(v.cfg.SceneProbs) == len(v.cfg.SceneCPUs) {
+		if v.rng.Float64() < v.cfg.SceneChangeProb {
+			v.sceneLevel = v.drawScene()
+		}
+		base = v.cfg.SceneCPUs[v.sceneLevel]
+	}
+	cpu := jitter(v.rng, base, v.cfg.CPUJitter)
+	v.lastDemandCPU = cpu
+	v.lastNetDemand = v.cfg.NetMbps
+	return sim.Demand{
+		CPU:         cpu,
+		MemoryMB:    v.cfg.MemoryMB,
+		ActiveMemMB: v.cfg.ActiveMemMB,
+		MemBWMBps:   v.cfg.MemBWMBps,
+		NetMbps:     v.cfg.NetMbps,
+	}
+}
+
+// Advance implements sim.App: the transcode rate is the fraction of
+// demanded compute actually received, further limited by the streaming
+// path's network share.
+func (v *VLCStream) Advance(tick int, g sim.Grant) bool {
+	cpuRate := qosFromGrant(v.lastDemandCPU, g.EffectiveCPU())
+	netRate := 1.0
+	if v.lastNetDemand > 0 {
+		netRate = math.Min(1, g.NetMbps/v.lastNetDemand)
+	}
+	v.lastQoS = math.Min(cpuRate, netRate)
+	v.tick++
+	return v.cfg.Duration > 0 && v.tick >= v.cfg.Duration
+}
+
+// QoS implements sim.QoSApp.
+func (v *VLCStream) QoS() (value, threshold float64) {
+	return v.lastQoS, v.cfg.Threshold
+}
+
+// VLCTranscodeConfig tunes the batch transcoding job.
+type VLCTranscodeConfig struct {
+	// CPU is the transcoder's demand; offline transcoding saturates all
+	// the compute it can get.
+	CPU float64
+	// CPUJitter varies demand per tick.
+	CPUJitter float64
+	// MemoryMB / ActiveMemMB size the frame buffers.
+	MemoryMB    float64
+	ActiveMemMB float64
+	// MemBWMBps is frame-copy bandwidth.
+	MemBWMBps float64
+	// TotalWork is the job size in effective-CPU units; <= 0 never
+	// finishes.
+	TotalWork float64
+}
+
+// DefaultVLCTranscodeConfig returns the Fig 6 batch transcoder.
+func DefaultVLCTranscodeConfig() VLCTranscodeConfig {
+	return VLCTranscodeConfig{
+		CPU:         380,
+		CPUJitter:   0.08,
+		MemoryMB:    600,
+		ActiveMemMB: 300,
+		MemBWMBps:   2500,
+		TotalWork:   60000,
+	}
+}
+
+// VLCTranscode is offline video transcoding run as a batch application
+// (the co-runner of Fig 6).
+type VLCTranscode struct {
+	cfg       VLCTranscodeConfig
+	rng       *rand.Rand
+	remaining float64
+}
+
+var _ sim.App = (*VLCTranscode)(nil)
+
+// NewVLCTranscode returns a batch transcoder.
+func NewVLCTranscode(cfg VLCTranscodeConfig, rng *rand.Rand) *VLCTranscode {
+	return &VLCTranscode{cfg: cfg, rng: rng, remaining: cfg.TotalWork}
+}
+
+// Name implements sim.App.
+func (v *VLCTranscode) Name() string { return "vlc-transcode" }
+
+// Demand implements sim.App.
+func (v *VLCTranscode) Demand(tick int) sim.Demand {
+	return sim.Demand{
+		CPU:         jitter(v.rng, v.cfg.CPU, v.cfg.CPUJitter),
+		MemoryMB:    v.cfg.MemoryMB,
+		ActiveMemMB: v.cfg.ActiveMemMB,
+		MemBWMBps:   v.cfg.MemBWMBps,
+	}
+}
+
+// Advance implements sim.App.
+func (v *VLCTranscode) Advance(tick int, g sim.Grant) bool {
+	if v.cfg.TotalWork <= 0 {
+		return false
+	}
+	v.remaining -= g.EffectiveCPU()
+	return v.remaining <= 0
+}
+
+// Remaining returns the outstanding work.
+func (v *VLCTranscode) Remaining() float64 { return v.remaining }

@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// WorkloadKind selects the Webservice's operation mix (§7.1: "The workload
+// comprises of CPU intensive, Memory intensive and mix of CPU and memory
+// intensive operations").
+type WorkloadKind int
+
+const (
+	// CPUIntensive: statistical analysis and aggregation over cached data.
+	CPUIntensive WorkloadKind = iota
+	// MemoryIntensive: serving from the Memcached layer with a large hot
+	// working set.
+	MemoryIntensive
+	// Mixed: both operation classes interleaved.
+	Mixed
+)
+
+// String names the workload kind.
+func (k WorkloadKind) String() string {
+	switch k {
+	case CPUIntensive:
+		return "cpu-intensive"
+	case MemoryIntensive:
+		return "memory-intensive"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("workload(%d)", int(k))
+	}
+}
+
+// WebserviceConfig tunes the sensitive Webservice.
+type WebserviceConfig struct {
+	// Kind is the operation mix.
+	Kind WorkloadKind
+	// Intensity drives the request rate over time (trace-driven in the
+	// timeline experiments). Nil means constant full load.
+	Intensity Intensity
+	// Threshold is the normalized minimum transactions/s rate.
+	Threshold float64
+	// Jitter is the per-tick relative demand variation.
+	Jitter float64
+}
+
+// DefaultWebserviceConfig returns a full-load Webservice of the given
+// kind.
+func DefaultWebserviceConfig(kind WorkloadKind) WebserviceConfig {
+	return WebserviceConfig{
+		Kind:      kind,
+		Intensity: ConstantIntensity(1),
+		Threshold: 0.9,
+		Jitter:    0.06,
+	}
+}
+
+// Webservice is the second sensitive application of the evaluation
+// (Figs 12–16): a Memcached-backed analytics service. Its QoS is the
+// achieved transaction rate relative to the offered load; swap stalls and
+// CPU starvation both depress it.
+type Webservice struct {
+	cfg WebserviceConfig
+	rng *rand.Rand
+
+	lastDemandCPU float64
+	lastQoS       float64
+}
+
+var _ sim.QoSApp = (*Webservice)(nil)
+
+// NewWebservice returns a Webservice. rng may be nil for a deterministic
+// instance.
+func NewWebservice(cfg WebserviceConfig, rng *rand.Rand) *Webservice {
+	if cfg.Intensity == nil {
+		cfg.Intensity = ConstantIntensity(1)
+	}
+	return &Webservice{cfg: cfg, rng: rng, lastQoS: 1}
+}
+
+// Name implements sim.App.
+func (w *Webservice) Name() string { return "webservice-" + w.cfg.Kind.String() }
+
+// Kind returns the workload kind.
+func (w *Webservice) Kind() WorkloadKind { return w.cfg.Kind }
+
+// Demand implements sim.App. Per kind, at intensity x in [0,1]:
+//
+//	CPU-intensive:    CPU 60+240x, active memory ≈300 MB, light bandwidth;
+//	Memory-intensive: CPU 80+60x,  active memory 600+2400x MB, heavy
+//	                  bandwidth — at high intensity its hot set alone
+//	                  approaches the host's RAM, so any co-located active
+//	                  memory forces swapping (§7.2);
+//	Mixed:            CPU 70+170x, active memory 500+1700x MB.
+func (w *Webservice) Demand(tick int) sim.Demand {
+	x := w.cfg.Intensity(tick)
+	var d sim.Demand
+	switch w.cfg.Kind {
+	case CPUIntensive:
+		d = sim.Demand{
+			CPU:         60 + 240*x,
+			MemoryMB:    700,
+			ActiveMemMB: 300,
+			MemBWMBps:   600,
+			NetMbps:     30 + 40*x,
+		}
+	case MemoryIntensive:
+		d = sim.Demand{
+			CPU:         80 + 60*x,
+			MemoryMB:    800 + 2400*x,
+			ActiveMemMB: 600 + 2400*x,
+			MemBWMBps:   2000,
+			DiskMBps:    10,
+			NetMbps:     30 + 40*x,
+		}
+	default: // Mixed
+		d = sim.Demand{
+			CPU:         70 + 170*x,
+			MemoryMB:    700 + 1700*x,
+			ActiveMemMB: 500 + 1700*x,
+			MemBWMBps:   1200,
+			DiskMBps:    5,
+			NetMbps:     30 + 40*x,
+		}
+	}
+	d.CPU = jitter(w.rng, d.CPU, w.cfg.Jitter)
+	w.lastDemandCPU = d.CPU
+	return d
+}
+
+// Advance implements sim.App.
+func (w *Webservice) Advance(tick int, g sim.Grant) bool {
+	w.lastQoS = qosFromGrant(w.lastDemandCPU, g.EffectiveCPU())
+	return false // a service never finishes
+}
+
+// QoS implements sim.QoSApp.
+func (w *Webservice) QoS() (value, threshold float64) {
+	return w.lastQoS, w.cfg.Threshold
+}

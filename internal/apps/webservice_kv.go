@@ -1,0 +1,253 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// RequestWebservice is the request-driven variant of the Webservice: where
+// the plain Webservice model prescribes resource demands analytically,
+// this one derives them from actually executing requests against a real
+// Memcached layer (internal/kvstore) over a CONFINE-like dataset — cache
+// hits, misses, evictions and aggregation windows produce the CPU, memory
+// and disk demands. It implements the same sim.QoSApp surface, so every
+// experiment can swap it in for the analytic model.
+
+// RequestWebserviceConfig tunes the request-driven Webservice.
+type RequestWebserviceConfig struct {
+	// Kind selects the operation mix per §7.1.
+	Kind WorkloadKind
+	// Intensity drives offered load; nil = constant full load.
+	Intensity Intensity
+	// MaxRPT is the offered requests per tick at intensity 1.
+	MaxRPT int
+	// Dataset is the backing dataset; nil uses a scaled default.
+	Dataset *kvstore.Dataset
+	// CacheMB is the Memcached layer's capacity in MB.
+	CacheMB int64
+	// BaseMemoryMB is the process's resident set outside the cache.
+	BaseMemoryMB float64
+	// ReuseWindowTicks approximates how many ticks of touched data stay
+	// hot (drives the active working set).
+	ReuseWindowTicks int
+	// CPUPerUnit converts kvstore CPU units into percent-of-core demand.
+	CPUPerUnit float64
+	// MaxCPU caps per-tick CPU demand; offered work beyond the cap queues
+	// as backlog and is demanded on later ticks (request bursts become
+	// sustained demand, as a real thread pool would render them).
+	MaxCPU float64
+	// Threshold is the QoS threshold.
+	Threshold float64
+}
+
+// DefaultRequestWebserviceConfig returns a request-driven Webservice
+// calibrated to land in the same demand ranges as the analytic model:
+// ≈300 CPU at full CPU-intensive load, ≈3 GB active set at full
+// memory-intensive load.
+func DefaultRequestWebserviceConfig(kind WorkloadKind) RequestWebserviceConfig {
+	cfg := RequestWebserviceConfig{
+		Kind:             kind,
+		Intensity:        ConstantIntensity(1),
+		MaxRPT:           60,
+		BaseMemoryMB:     300,
+		ReuseWindowTicks: 4,
+		Threshold:        0.9,
+	}
+	switch kind {
+	case CPUIntensive:
+		// Analysis-heavy over compact summary records: a modest cache
+		// suffices, compute dominates.
+		cfg.CacheMB = 400
+		cfg.CPUPerUnit = 0 // calibrated in NewRequestWebservice
+		cfg.MaxCPU = 330
+	case MemoryIntensive:
+		// Serving-heavy over bulky records; the hot set approaches RAM.
+		cfg.CacheMB = 2600
+		cfg.MaxCPU = 170
+	default: // Mixed
+		cfg.CacheMB = 1400
+		cfg.MaxCPU = 260
+	}
+	return cfg
+}
+
+// scaledDataset returns the CONFINE-like dataset with record sizes chosen
+// per workload kind: analyses run over compact summary records; the
+// serving-heavy workload handles bulky monitoring blobs.
+func scaledDataset(kind WorkloadKind) *kvstore.Dataset {
+	d := kvstore.DefaultDataset()
+	switch kind {
+	case CPUIntensive:
+		d.MinRecordBytes = 8 << 10
+		d.MaxRecordBytes = 64 << 10
+	case MemoryIntensive:
+		d.MinRecordBytes = 128 << 10
+		d.MaxRecordBytes = 2 << 20
+	default:
+		d.MinRecordBytes = 64 << 10
+		d.MaxRecordBytes = 1 << 20
+	}
+	return d
+}
+
+// defaultCPUPerUnit calibrates kvstore CPU units to percent-of-core so
+// that full offered load sustains roughly the analytic model's demand
+// (≈300 / ≈140 / ≈240 CPU for cpu / memory / mixed).
+func defaultCPUPerUnit(kind WorkloadKind) float64 {
+	switch kind {
+	case CPUIntensive:
+		return 0.49
+	case MemoryIntensive:
+		return 0.22
+	default:
+		return 0.32
+	}
+}
+
+// mixFor maps workload kinds to operation mixes.
+func mixFor(kind WorkloadKind) kvstore.Mix {
+	switch kind {
+	case CPUIntensive:
+		return kvstore.Mix{kvstore.OpGet: 0.90, kvstore.OpAnalyze: 0.10}
+	case MemoryIntensive:
+		return kvstore.Mix{kvstore.OpGet: 0.65, kvstore.OpAggregate: 0.35}
+	default:
+		return kvstore.Mix{kvstore.OpGet: 0.75, kvstore.OpAggregate: 0.17, kvstore.OpAnalyze: 0.08}
+	}
+}
+
+// RequestWebservice implements sim.QoSApp over the kvstore substrate.
+type RequestWebservice struct {
+	cfg RequestWebserviceConfig
+	svc *kvstore.Service
+	rng *rand.Rand
+	mix kvstore.Mix
+
+	// hotRing holds the hot MB touched in the most recent ticks; its sum
+	// approximates the active working set.
+	hotRing []float64
+	ringPos int
+
+	// backlogUnits is queued work beyond the per-tick CPU cap.
+	backlogUnits float64
+	// demandedUnits is the work demanded this tick (≤ cap).
+	demandedUnits float64
+
+	lastQoS float64
+	tick    int
+}
+
+var _ sim.QoSApp = (*RequestWebservice)(nil)
+
+// NewRequestWebservice builds the service. rng is required (request
+// sampling is stochastic).
+func NewRequestWebservice(cfg RequestWebserviceConfig, rng *rand.Rand) (*RequestWebservice, error) {
+	if cfg.Intensity == nil {
+		cfg.Intensity = ConstantIntensity(1)
+	}
+	if cfg.MaxRPT <= 0 {
+		cfg.MaxRPT = 60
+	}
+	if cfg.ReuseWindowTicks <= 0 {
+		cfg.ReuseWindowTicks = 4
+	}
+	if cfg.CPUPerUnit <= 0 {
+		cfg.CPUPerUnit = defaultCPUPerUnit(cfg.Kind)
+	}
+	if cfg.MaxCPU <= 0 {
+		cfg.MaxCPU = 330
+	}
+	data := cfg.Dataset
+	if data == nil {
+		data = scaledDataset(cfg.Kind)
+	}
+	svc, err := kvstore.NewService(data, cfg.CacheMB<<20)
+	if err != nil {
+		return nil, err
+	}
+	return &RequestWebservice{
+		cfg:     cfg,
+		svc:     svc,
+		rng:     rng,
+		mix:     mixFor(cfg.Kind),
+		hotRing: make([]float64, cfg.ReuseWindowTicks),
+		lastQoS: 1,
+	}, nil
+}
+
+// Name implements sim.App.
+func (w *RequestWebservice) Name() string {
+	return "webservice-kv-" + w.cfg.Kind.String()
+}
+
+// Service exposes the underlying kvstore service for inspection.
+func (w *RequestWebservice) Service() *kvstore.Service { return w.svc }
+
+// Demand implements sim.App: execute this tick's offered requests against
+// the Memcached layer and translate the accumulated cost — plus any queued
+// backlog — into resource demand, capped at MaxCPU (the thread pool's
+// width).
+func (w *RequestWebservice) Demand(tick int) sim.Demand {
+	x := w.cfg.Intensity(tick)
+	n := int(float64(w.cfg.MaxRPT)*x + 0.5)
+	// The collector pipeline ingests the current period's fleet records,
+	// keeping the hot query window cached.
+	cost := w.svc.IngestPeriod(w.tick)
+	for i := 0; i < n; i++ {
+		req := w.svc.SampleRequest(w.rng, w.mix, w.tick)
+		cost.Add(w.svc.Execute(req))
+	}
+	w.backlogUnits += cost.CPUUnits
+	w.demandedUnits = w.backlogUnits
+	if capUnits := w.cfg.MaxCPU / w.cfg.CPUPerUnit; w.demandedUnits > capUnits {
+		w.demandedUnits = capUnits
+	}
+
+	hotMB := float64(cost.HotBytes) / (1 << 20)
+	w.hotRing[w.ringPos] = hotMB
+	w.ringPos = (w.ringPos + 1) % len(w.hotRing)
+	var active float64
+	for _, h := range w.hotRing {
+		active += h
+	}
+
+	cacheMB := float64(w.svc.Cache().UsedBytes()) / (1 << 20)
+	return sim.Demand{
+		CPU:         w.demandedUnits * w.cfg.CPUPerUnit,
+		MemoryMB:    w.cfg.BaseMemoryMB + cacheMB,
+		ActiveMemMB: w.cfg.BaseMemoryMB*0.3 + active,
+		MemBWMBps:   hotMB * 2, // hot data streams through the caches
+		DiskMBps:    float64(cost.DiskBytes) / (1 << 20),
+		NetMbps:     float64(n) * 0.6,
+	}
+}
+
+// Advance implements sim.App: the transaction rate is the fraction of
+// demanded work actually completed; unfinished work stays queued.
+func (w *RequestWebservice) Advance(tick int, g sim.Grant) bool {
+	served := g.EffectiveCPU() / w.cfg.CPUPerUnit
+	if served > w.demandedUnits {
+		served = w.demandedUnits
+	}
+	w.backlogUnits -= served
+	if w.backlogUnits < 0 {
+		w.backlogUnits = 0
+	}
+	if w.demandedUnits > 0 {
+		w.lastQoS = served / w.demandedUnits
+	} else {
+		w.lastQoS = 1
+	}
+	w.tick++
+	return false
+}
+
+// Backlog returns the queued work in kvstore CPU units.
+func (w *RequestWebservice) Backlog() float64 { return w.backlogUnits }
+
+// QoS implements sim.QoSApp.
+func (w *RequestWebservice) QoS() (value, threshold float64) {
+	return w.lastQoS, w.cfg.Threshold
+}

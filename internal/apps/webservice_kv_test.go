@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newKVWeb(t *testing.T, kind WorkloadKind, seed int64) *RequestWebservice {
+	t.Helper()
+	w, err := NewRequestWebservice(DefaultRequestWebserviceConfig(kind), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRequestWebserviceDefaults(t *testing.T) {
+	// Zero-ish config gets sane defaults.
+	w, err := NewRequestWebservice(RequestWebserviceConfig{
+		Kind:    Mixed,
+		CacheMB: 100,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := w.Demand(0); d.CPU <= 0 {
+		t.Errorf("demand = %+v", d)
+	}
+	if w.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestRequestWebserviceInvalidCache(t *testing.T) {
+	cfg := DefaultRequestWebserviceConfig(Mixed)
+	cfg.CacheMB = 0
+	if _, err := NewRequestWebservice(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero cache should error")
+	}
+}
+
+func TestRequestWebserviceIsolatedQoS(t *testing.T) {
+	for _, kind := range []WorkloadKind{CPUIntensive, MemoryIntensive, Mixed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			w := newKVWeb(t, kind, 1)
+			runAlone(t, w, 40)
+			value, threshold := w.QoS()
+			if value < threshold {
+				t.Errorf("isolated QoS %v below threshold %v", value, threshold)
+			}
+		})
+	}
+}
+
+func TestRequestWebserviceDemandShapes(t *testing.T) {
+	// After warmup, the CPU-intensive mix must demand more compute than
+	// the memory-intensive mix, and the memory-intensive mix must hold a
+	// larger resident and active set.
+	cpu := newKVWeb(t, CPUIntensive, 2)
+	mem := newKVWeb(t, MemoryIntensive, 2)
+	var cpuD, memD sim.Demand
+	for i := 0; i < 30; i++ {
+		cpuD = cpu.Demand(i)
+		cpu.Advance(i, sim.Grant{CPU: cpuD.CPU, CPUEfficiency: 1})
+		memD = mem.Demand(i)
+		mem.Advance(i, sim.Grant{CPU: memD.CPU, CPUEfficiency: 1})
+	}
+	if cpuD.CPU <= memD.CPU {
+		t.Errorf("cpu-mix CPU %v should exceed memory-mix %v", cpuD.CPU, memD.CPU)
+	}
+	if memD.MemoryMB <= cpuD.MemoryMB {
+		t.Errorf("memory-mix resident %v should exceed cpu-mix %v", memD.MemoryMB, cpuD.MemoryMB)
+	}
+	// Memory-intensive at full load should hold a multi-GB hot set — the
+	// regime where batch memory pressure forces swapping.
+	if memD.ActiveMemMB < 1500 {
+		t.Errorf("memory-mix active set = %v MB, want > 1500", memD.ActiveMemMB)
+	}
+	// Neither should overshoot the host alone.
+	if cpuD.CPU > 390 {
+		t.Errorf("cpu-mix demand %v should fit the host alone", cpuD.CPU)
+	}
+}
+
+func TestRequestWebserviceCacheWarming(t *testing.T) {
+	w := newKVWeb(t, MemoryIntensive, 3)
+	for i := 0; i < 5; i++ {
+		w.Demand(i)
+		w.Advance(i, sim.Grant{CPU: 100, CPUEfficiency: 1})
+	}
+	early := w.Service().Cache().HitRate()
+	for i := 5; i < 60; i++ {
+		w.Demand(i)
+		w.Advance(i, sim.Grant{CPU: 100, CPUEfficiency: 1})
+	}
+	late := w.Service().Cache().HitRate()
+	if late <= early {
+		t.Errorf("hit rate should improve with warming: early %v late %v", early, late)
+	}
+	// Misses generate disk traffic at least initially.
+	if w.Service().Cache().UsedBytes() == 0 {
+		t.Error("cache never populated")
+	}
+}
+
+func TestRequestWebserviceIntensityScales(t *testing.T) {
+	low, err := NewRequestWebservice(RequestWebserviceConfig{
+		Kind: CPUIntensive, Intensity: ConstantIntensity(0.1), CacheMB: 600,
+	}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := NewRequestWebservice(RequestWebserviceConfig{
+		Kind: CPUIntensive, Intensity: ConstantIntensity(1), CacheMB: 600,
+	}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowSum, highSum float64
+	for i := 0; i < 20; i++ {
+		ld := low.Demand(i)
+		lowSum += ld.CPU
+		low.Advance(i, sim.Grant{CPU: ld.CPU, CPUEfficiency: 1})
+		hd := high.Demand(i)
+		highSum += hd.CPU
+		high.Advance(i, sim.Grant{CPU: hd.CPU, CPUEfficiency: 1})
+	}
+	if lowSum*3 > highSum {
+		t.Errorf("low-intensity CPU %v should be far below high %v", lowSum, highSum)
+	}
+}
+
+func TestRequestWebserviceVsMemoryBomb(t *testing.T) {
+	// The request-driven memory-intensive Webservice must reproduce the
+	// analytic model's contention story: MemoryBomb's reading bursts force
+	// swapping and QoS collapses intermittently.
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newKVWeb(t, MemoryIntensive, 5)
+	if _, err := s.AddContainer("web", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("bomb", NewMemoryBomb(DefaultMemoryBombConfig(), rand.New(rand.NewSource(6)))); err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := 0; i < 120; i++ {
+		s.Step()
+		if value, threshold := w.QoS(); value < threshold {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("expected swap-driven violations against MemoryBomb")
+	}
+	if violations > 110 {
+		t.Errorf("violations = %d/120, want intermittent", violations)
+	}
+}

@@ -1,0 +1,184 @@
+// Package baseline implements the comparison points the paper argues
+// against: running co-locations with no prevention at all (the
+// "without prevention" upper bands of §7.2, available by running an
+// experiments.Scenario with StayAway=false), and a Bubble-Up-style static
+// profiling policy (§1, §8) that profiles applications in isolation and
+// admits a co-location only when the summed peak demands fit the host.
+//
+// The static policy demonstrates the limitation the paper motivates
+// Stay-Away with: because it keys on isolated *peaks*, it rejects
+// co-locations whose contention is rare or phase-dependent, forfeiting
+// all the utilization Stay-Away harvests from low-intensity periods.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Profile captures an application's peak isolated resource demands, the
+// information a static profiler extracts before deployment.
+type Profile struct {
+	// App names the profiled application.
+	App string
+	// PeakCPU, PeakActiveMemMB and PeakMemBWMBps are the maxima observed
+	// over the profiling window.
+	PeakCPU         float64
+	PeakActiveMemMB float64
+	PeakMemBWMBps   float64
+	// Ticks is the length of the profiling window.
+	Ticks int
+}
+
+// ProfileApp runs the application alone on the given host for the given
+// number of ticks and records its peak demands. The application instance
+// is consumed (its state advances); pass a fresh instance.
+func ProfileApp(host sim.HostConfig, app sim.App, ticks int) (Profile, error) {
+	if app == nil {
+		return Profile{}, fmt.Errorf("baseline: nil app")
+	}
+	if ticks <= 0 {
+		return Profile{}, fmt.Errorf("baseline: profiling ticks must be positive, got %d", ticks)
+	}
+	s, err := sim.NewSimulator(host)
+	if err != nil {
+		return Profile{}, err
+	}
+	c, err := s.AddContainer("profilee", app)
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{App: app.Name(), Ticks: ticks}
+	for i := 0; i < ticks; i++ {
+		s.Step()
+		d := c.LastDemand()
+		if d.CPU > p.PeakCPU {
+			p.PeakCPU = d.CPU
+		}
+		if d.ActiveMemMB > p.PeakActiveMemMB {
+			p.PeakActiveMemMB = d.ActiveMemMB
+		}
+		if d.MemBWMBps > p.PeakMemBWMBps {
+			p.PeakMemBWMBps = d.MemBWMBps
+		}
+		if c.State() != sim.StateRunning {
+			break
+		}
+	}
+	return p, nil
+}
+
+// Decision is a static admission verdict.
+type Decision struct {
+	Allow  bool
+	Reason string
+}
+
+// Decide applies the static peak-fit test: the co-location is admitted
+// only when, for every resource, the summed isolated peaks fit within the
+// host capacity scaled by headroom (e.g. 0.9 keeps a 10% safety margin).
+func Decide(host sim.HostConfig, sensitive Profile, batch []Profile, headroom float64) Decision {
+	if headroom <= 0 || headroom > 1 {
+		headroom = 1
+	}
+	cpu := sensitive.PeakCPU
+	mem := sensitive.PeakActiveMemMB
+	bw := sensitive.PeakMemBWMBps
+	for _, b := range batch {
+		cpu += b.PeakCPU
+		mem += b.PeakActiveMemMB
+		bw += b.PeakMemBWMBps
+	}
+	if cap := host.CPUCapacity() * headroom; cpu > cap {
+		return Decision{Reason: fmt.Sprintf("peak CPU %.0f exceeds %.0f", cpu, cap)}
+	}
+	if cap := host.MemoryMB * headroom; mem > cap {
+		return Decision{Reason: fmt.Sprintf("peak active memory %.0f MB exceeds %.0f MB", mem, cap)}
+	}
+	if cap := host.MemBWMBps * headroom; bw > cap {
+		return Decision{Reason: fmt.Sprintf("peak memory bandwidth %.0f exceeds %.0f", bw, cap)}
+	}
+	return Decision{Allow: true, Reason: "peak demands fit"}
+}
+
+// Outcome summarizes a policy's result on one co-location.
+type Outcome struct {
+	// Admitted reports the static decision.
+	Admitted bool
+	// Reason is the decision's explanation.
+	Reason string
+	// ViolationRate is the sensitive application's violation fraction
+	// over the run (0 when the batch was rejected: isolation is safe).
+	ViolationRate float64
+	// MeanGain is the mean batch CPU share of the machine.
+	MeanGain float64
+}
+
+// AppFactory builds a fresh application instance.
+type AppFactory func(rng *rand.Rand) sim.App
+
+// QoSAppFactory builds a fresh QoS-reporting application instance.
+type QoSAppFactory func(rng *rand.Rand) sim.QoSApp
+
+// RunStatic evaluates the static policy on one co-location: profile both
+// sides in isolation, admit or reject, and if admitted run the co-location
+// with no runtime control. seed drives all randomness.
+func RunStatic(host sim.HostConfig, sensitive QoSAppFactory, batch []AppFactory,
+	profileTicks, runTicks int, headroom float64, seed int64) (Outcome, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	sensProfile, err := ProfileApp(host, sensitive(rand.New(rand.NewSource(rng.Int63()))), profileTicks)
+	if err != nil {
+		return Outcome{}, err
+	}
+	batchProfiles := make([]Profile, len(batch))
+	for i, f := range batch {
+		p, err := ProfileApp(host, f(rand.New(rand.NewSource(rng.Int63()))), profileTicks)
+		if err != nil {
+			return Outcome{}, err
+		}
+		batchProfiles[i] = p
+	}
+	d := Decide(host, sensProfile, batchProfiles, headroom)
+	out := Outcome{Admitted: d.Allow, Reason: d.Reason}
+	if !d.Allow {
+		// The batch never runs: QoS is perfect, gain is zero.
+		return out, nil
+	}
+
+	s, err := sim.NewSimulator(host)
+	if err != nil {
+		return Outcome{}, err
+	}
+	qosApp := sensitive(rand.New(rand.NewSource(rng.Int63())))
+	if _, err := s.AddContainer("sensitive", qosApp); err != nil {
+		return Outcome{}, err
+	}
+	batchIDs := make([]string, len(batch))
+	for i, f := range batch {
+		batchIDs[i] = fmt.Sprintf("batch%d", i)
+		if _, err := s.AddContainer(batchIDs[i], f(rand.New(rand.NewSource(rng.Int63())))); err != nil {
+			return Outcome{}, err
+		}
+	}
+	var violations int
+	var gainSum float64
+	for tick := 0; tick < runTicks; tick++ {
+		s.Step()
+		if value, threshold := qosApp.QoS(); value < threshold {
+			violations++
+		}
+		var batchCPU float64
+		for _, id := range batchIDs {
+			if c, err := s.Container(id); err == nil {
+				batchCPU += c.LastGrant().CPU
+			}
+		}
+		gainSum += batchCPU / host.CPUCapacity()
+	}
+	out.ViolationRate = float64(violations) / float64(runTicks)
+	out.MeanGain = gainSum / float64(runTicks)
+	return out, nil
+}

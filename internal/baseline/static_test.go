@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+func host() sim.HostConfig { return sim.DefaultHostConfig() }
+
+func TestProfileAppValidation(t *testing.T) {
+	if _, err := ProfileApp(host(), nil, 10); err == nil {
+		t.Error("nil app should error")
+	}
+	bomb := apps.NewCPUBomb(apps.DefaultCPUBombConfig())
+	if _, err := ProfileApp(host(), bomb, 0); err == nil {
+		t.Error("zero ticks should error")
+	}
+}
+
+func TestProfileAppCapturesPeaks(t *testing.T) {
+	p, err := ProfileApp(host(), apps.NewCPUBomb(apps.DefaultCPUBombConfig()), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakCPU != 400 {
+		t.Errorf("bomb peak CPU = %v, want 400", p.PeakCPU)
+	}
+	if p.App != "cpubomb" {
+		t.Errorf("app name = %q", p.App)
+	}
+
+	// Twitter's memory phase peak requires profiling past its CPU phase.
+	cfg := apps.DefaultTwitterConfig()
+	cfg.TotalWork = 0
+	p2, err := ProfileApp(host(), apps.NewTwitterAnalysis(cfg, rand.New(rand.NewSource(1))), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PeakActiveMemMB < cfg.MemPhaseMemoryMB*0.95 {
+		t.Errorf("twitter peak memory = %v, want ≈%v", p2.PeakActiveMemMB, cfg.MemPhaseMemoryMB)
+	}
+	if p2.PeakCPU < cfg.CPUPhaseCPU*0.9 {
+		t.Errorf("twitter peak CPU = %v, want ≈%v", p2.PeakCPU, cfg.CPUPhaseCPU)
+	}
+}
+
+func TestDecide(t *testing.T) {
+	sens := Profile{PeakCPU: 230, PeakActiveMemMB: 150, PeakMemBWMBps: 2000}
+	tests := []struct {
+		name  string
+		batch Profile
+		allow bool
+	}{
+		{"fits", Profile{PeakCPU: 100, PeakActiveMemMB: 100, PeakMemBWMBps: 500}, true},
+		{"cpu overshoot", Profile{PeakCPU: 300}, false},
+		{"memory overshoot", Profile{PeakActiveMemMB: 4000}, false},
+		{"bandwidth overshoot", Profile{PeakMemBWMBps: 9000}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := Decide(host(), sens, []Profile{tt.batch}, 0.95)
+			if d.Allow != tt.allow {
+				t.Errorf("allow = %v (%s), want %v", d.Allow, d.Reason, tt.allow)
+			}
+			if d.Reason == "" {
+				t.Error("decision must carry a reason")
+			}
+		})
+	}
+	// Degenerate headroom falls back to 1.
+	d := Decide(host(), sens, nil, -1)
+	if !d.Allow {
+		t.Errorf("sensitive alone should fit: %s", d.Reason)
+	}
+}
+
+func TestRunStaticRejectsTwitterWithVLC(t *testing.T) {
+	// The paper's motivating limitation: static peak-fit rejects the
+	// VLC+Twitter co-location (peak CPU 230+245 exceeds the margin), so
+	// the batch never runs and the utilization Stay-Away harvests is
+	// forfeited.
+	out, err := RunStatic(host(),
+		func(rng *rand.Rand) sim.QoSApp { return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng) },
+		[]AppFactory{func(rng *rand.Rand) sim.App {
+			cfg := apps.DefaultTwitterConfig()
+			cfg.TotalWork = 0
+			return apps.NewTwitterAnalysis(cfg, rng)
+		}},
+		60, 100, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Admitted {
+		t.Fatalf("static policy admitted VLC+Twitter (%s)", out.Reason)
+	}
+	if out.MeanGain != 0 || out.ViolationRate != 0 {
+		t.Errorf("rejected co-location: gain=%v violations=%v, want zeros", out.MeanGain, out.ViolationRate)
+	}
+}
+
+func TestRunStaticAdmitsSmallBatch(t *testing.T) {
+	small := func(rng *rand.Rand) sim.App {
+		return apps.NewCPUBomb(apps.CPUBombConfig{CPU: 80, TotalWork: 0})
+	}
+	out, err := RunStatic(host(),
+		func(rng *rand.Rand) sim.QoSApp { return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng) },
+		[]AppFactory{small}, 60, 100, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Admitted {
+		t.Fatalf("static policy rejected a fitting batch: %s", out.Reason)
+	}
+	if out.MeanGain <= 0.15 {
+		t.Errorf("gain = %v, want ≈0.2 (80/400)", out.MeanGain)
+	}
+	if out.ViolationRate > 0.02 {
+		t.Errorf("violation rate = %v, want ≈0 for a fitting co-location", out.ViolationRate)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mds"
+	"repro/internal/throttle"
+	"repro/internal/trajectory"
+)
+
+// Event records everything the runtime did in one monitoring period. The
+// experiment harness renders figures from these.
+type Event struct {
+	// Period is the monitoring period index.
+	Period int
+	// Mode is the detected execution mode.
+	Mode trajectory.Mode
+	// StateID is the mapped state this period's vector landed on.
+	StateID int
+	// NewState marks a freshly created representative.
+	NewState bool
+	// Coord is the state's position in the mapped space.
+	Coord mds.Coord
+	// Violation marks an application-reported QoS violation.
+	Violation bool
+	// Predicted marks a predicted transition toward a violation.
+	Predicted bool
+	// Action is what the throttle controller did.
+	Action throttle.Action
+	// Throttled is the batch state after the action.
+	Throttled bool
+	// RandomResume marks anti-starvation resumes.
+	RandomResume bool
+	// Beta is the controller's threshold after the period.
+	Beta float64
+}
+
+// String renders a compact single-line summary, e.g. for the daemon log.
+func (e Event) String() string {
+	flags := ""
+	if e.NewState {
+		flags += "N"
+	}
+	if e.Violation {
+		flags += "V"
+	}
+	if e.Predicted {
+		flags += "P"
+	}
+	if e.Throttled {
+		flags += "T"
+	}
+	if flags == "" {
+		flags = "-"
+	}
+	return fmt.Sprintf("p=%d mode=%s state=%d (%.3f,%.3f) %s action=%s",
+		e.Period, e.Mode, e.StateID, e.Coord.X, e.Coord.Y, flags, e.Action)
+}
+
+// Report aggregates a run's counters.
+type Report struct {
+	// Periods processed.
+	Periods int
+	// Violations reported by the sensitive application.
+	Violations int
+	// PredictedViolations is how many periods predicted an impending
+	// violation.
+	PredictedViolations int
+	// Pauses, Resumes and RandomResumes count actuations.
+	Pauses        int
+	Resumes       int
+	RandomResumes int
+	// States and ViolationStates describe the learned space.
+	States          int
+	ViolationStates int
+	// Refreshes counts full SMACOF refreshes; LastStress is the stress-1
+	// of the most recent one.
+	Refreshes  int
+	LastStress float64
+	// Accuracy, Precision and Recall score one-period-ahead violation
+	// prediction against reported outcomes.
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+}
+
+// String renders a multi-line report.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"periods=%d violations=%d predicted=%d pauses=%d resumes=%d (random=%d)\n"+
+			"states=%d (violation=%d) refreshes=%d stress=%.4f\n"+
+			"prediction: accuracy=%.3f precision=%.3f recall=%.3f",
+		r.Periods, r.Violations, r.PredictedViolations, r.Pauses, r.Resumes, r.RandomResumes,
+		r.States, r.ViolationStates, r.Refreshes, r.LastStress,
+		r.Accuracy, r.Precision, r.Recall)
+}

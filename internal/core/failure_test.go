@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+	"repro/internal/throttle"
+)
+
+// Failure injection: the runtime must surface actuator and environment
+// faults as errors instead of silently corrupting its state.
+
+func TestPeriodSurfacesActuatorPauseFailure(t *testing.T) {
+	env := &fakeEnv{script: rampScenario()}
+	act := throttle.NewRecordingActuator()
+	r, err := New(baseConfig(), env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act.FailPause = errors.New("cgroup freezer unavailable")
+	var sawErr bool
+	for i := 0; i < len(env.script); i++ {
+		if _, err := r.Period(); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("pause failure never surfaced")
+	}
+	if r.Throttled() {
+		t.Error("controller believes batch is throttled despite pause failure")
+	}
+}
+
+func TestPeriodSurfacesActuatorResumeFailure(t *testing.T) {
+	env := &fakeEnv{script: rampScenario()}
+	act := throttle.NewRecordingActuator()
+	r, err := New(baseConfig(), env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until the first pause happens, then make resumes fail.
+	paused := false
+	for i := 0; i < len(env.script) && !paused; i++ {
+		ev, err := r.Period()
+		if err != nil {
+			t.Fatal(err)
+		}
+		paused = ev.Action == throttle.ActionPause
+	}
+	if !paused {
+		t.Fatal("scenario never paused")
+	}
+	act.FailResume = errors.New("process gone")
+	var sawErr bool
+	for i := 0; i < 200; i++ {
+		if _, err := r.Period(); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("resume failure never surfaced")
+	}
+}
+
+// badEnv reports a sample for a VM the schema does not know.
+type badEnv struct{ fakeEnv }
+
+func (b *badEnv) Collect() []metrics.Sample {
+	return []metrics.Sample{metrics.NewSample("intruder", map[metrics.Metric]float64{metrics.MetricCPU: 1})}
+}
+
+func TestPeriodRejectsUnknownVM(t *testing.T) {
+	// A sample for a container the runtime is not configured for means the
+	// deployment wiring is wrong: fail loudly.
+	cfg := baseConfig()
+	cfg.BatchIDs = nil // "intruder" matches neither sensitive nor batch
+	r, _ := newTestRuntime(t, cfg, &badEnv{})
+	if _, err := r.Period(); err == nil {
+		t.Error("unknown VM should surface an error")
+	}
+}
+
+func TestImportTemplateRejectsCollapsingStates(t *testing.T) {
+	// Template states closer than DedupEpsilon would merge and skew
+	// state indices — the import must refuse.
+	tpl := &statespace.Template{
+		Version: 1,
+		Dim:     2,
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: "safe", Vector: []float64{0.5, 0.5}},
+			{X: 1, Y: 1, Label: "safe", Vector: []float64{0.5001, 0.5001}},
+		},
+	}
+	env := &fakeEnv{script: []envStep{{sensitiveCPU: 10, sensRunning: true}}}
+	r, _ := newTestRuntime(t, baseConfig(), env)
+	if err := r.ImportTemplate(tpl); err == nil {
+		t.Error("collapsing template should be rejected")
+	}
+}
+
+func TestRuntimeRecoversAfterTransientActuatorFailure(t *testing.T) {
+	// After a failed pause the controller is not throttled; once the
+	// actuator heals, the next dangerous period pauses again.
+	env := &fakeEnv{script: rampScenario()}
+	act := throttle.NewRecordingActuator()
+	r, err := New(baseConfig(), env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act.FailPause = errors.New("transient")
+	var failedAt = -1
+	for i := 0; i < len(env.script); i++ {
+		if _, err := r.Period(); err != nil {
+			failedAt = i
+			break
+		}
+	}
+	if failedAt < 0 {
+		t.Fatal("no failure observed")
+	}
+	act.FailPause = nil
+	var pausedLater bool
+	for i := failedAt; i < len(env.script); i++ {
+		ev, err := r.Period()
+		if err != nil {
+			t.Fatalf("period after heal: %v", err)
+		}
+		if ev.Action == throttle.ActionPause {
+			pausedLater = true
+			break
+		}
+	}
+	if !pausedLater {
+		t.Error("runtime never paused after the actuator healed")
+	}
+}
+
+func TestSingleModelConfigWiring(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SingleModel = true
+	env := &fakeEnv{script: rampScenario()}
+	r, _ := newTestRuntime(t, cfg, env)
+	for range env.script {
+		if _, err := r.Period(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With a single model, all steps land in one shared model.
+	m, err := r.Models().ModelFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() == 0 {
+		t.Error("shared model collected no steps")
+	}
+}
+
+func TestRangePolicyWiring(t *testing.T) {
+	// A huge fixed radius must make the runtime dramatically more
+	// trigger-happy than the Rayleigh default.
+	run := func(policy statespace.RangePolicy) int {
+		cfg := baseConfig()
+		cfg.RangePolicy = policy
+		env := &fakeEnv{script: rampScenario()}
+		r, _ := newTestRuntime(t, cfg, env)
+		for range env.script {
+			if _, err := r.Period(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.Report().PredictedViolations
+	}
+	rayleigh := run(nil)
+	huge := run(func(d, c float64) float64 { return 100 })
+	if huge <= rayleigh {
+		t.Errorf("huge fixed radius predicted %d ≤ rayleigh %d", huge, rayleigh)
+	}
+}

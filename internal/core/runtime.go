@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mds"
+	"repro/internal/metrics"
+	"repro/internal/predictor"
+	"repro/internal/statespace"
+	"repro/internal/throttle"
+	"repro/internal/trajectory"
+)
+
+// Runtime is the Stay-Away middleware instance for one host. It is not
+// safe for concurrent use: all methods are called from the single periodic
+// monitoring loop.
+type Runtime struct {
+	cfg Config
+	env Environment
+	rng *rand.Rand
+
+	schema     *metrics.Schema
+	normalizer *metrics.Normalizer
+	reducer    *mds.OnlineReducer
+	space      *statespace.Space
+	series     *metrics.Series
+	models     *trajectory.ModeModels
+	pred       *predictor.Predictor
+	controller *throttle.Controller
+
+	period           int
+	createdSinceSMAC int
+	havePrev         bool
+	prevCoord        mds.Coord
+	prevMode         trajectory.Mode
+
+	events  []Event
+	report  Report
+	tracker predictor.Tracker
+	// pendingPrediction holds last period's verdict so accuracy is scored
+	// against this period's actual outcome.
+	pendingPrediction bool
+	havePending       bool
+}
+
+// New assembles a runtime against the given environment and actuator.
+func New(cfg Config, env Environment, act throttle.Actuator) (*Runtime, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if env == nil {
+		return nil, fmt.Errorf("core: nil environment")
+	}
+	if act == nil {
+		return nil, fmt.Errorf("core: nil actuator")
+	}
+
+	schemaVMs := []string{cfg.SensitiveID, cfg.LogicalBatchVM}
+	if cfg.DisableBatchAggregation {
+		schemaVMs = append([]string{cfg.SensitiveID}, cfg.BatchIDs...)
+	}
+	schema, err := metrics.NewSchema(schemaVMs, metrics.DefaultMetrics())
+	if err != nil {
+		return nil, err
+	}
+	normalizer, err := metrics.NewNormalizer(cfg.Ranges)
+	if err != nil {
+		return nil, err
+	}
+	series, err := metrics.NewSeries(cfg.SeriesWindow)
+	if err != nil {
+		return nil, err
+	}
+	var models *trajectory.ModeModels
+	if cfg.SingleModel {
+		models, err = trajectory.NewSingleModel(cfg.Trajectory)
+	} else {
+		models, err = trajectory.NewModeModels(cfg.Trajectory)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pred, err := predictor.New(cfg.Predictor, models, rng)
+	if err != nil {
+		return nil, err
+	}
+	controller, err := throttle.New(cfg.Throttle, act, cfg.BatchIDs, rng)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.DedupEpsilon
+	if eps < 0 {
+		eps = 0
+	}
+	space := statespace.NewSpace()
+	space.SetRangePolicy(cfg.RangePolicy)
+	return &Runtime{
+		cfg:        cfg,
+		env:        env,
+		rng:        rng,
+		schema:     schema,
+		normalizer: normalizer,
+		reducer:    mds.NewOnlineReducer(eps),
+		space:      space,
+		series:     series,
+		models:     models,
+		pred:       pred,
+		controller: controller,
+	}, nil
+}
+
+// Period executes one full Mapping → Prediction → Action cycle and returns
+// the event describing it.
+func (r *Runtime) Period() (Event, error) {
+	ev := Event{Period: r.period}
+
+	// ---- Mapping (§3.1) ----
+	samples := r.env.Collect()
+	if !r.cfg.DisableBatchAggregation {
+		isBatch := make(map[string]bool, len(r.cfg.BatchIDs))
+		for _, id := range r.cfg.BatchIDs {
+			isBatch[id] = true
+		}
+		samples = metrics.AggregateByRole(r.cfg.LogicalBatchVM, samples,
+			func(vm string) bool { return isBatch[vm] })
+	}
+	normalized := r.normalizer.NormalizeAll(samples)
+	vec, err := r.schema.Flatten(normalized)
+	if err != nil {
+		return ev, fmt.Errorf("core: flatten samples: %w", err)
+	}
+	r.series.Push(r.period, vec)
+
+	stateID, created, err := r.mapVector(vec)
+	if err != nil {
+		return ev, err
+	}
+	ev.StateID = stateID
+	ev.NewState = created
+	st, err := r.space.State(stateID)
+	if err != nil {
+		return ev, err
+	}
+	ev.Coord = st.Coord
+
+	violation := r.env.QoSViolation()
+	ev.Violation = violation
+	if violation {
+		if err := r.space.MarkViolation(stateID); err != nil {
+			return ev, err
+		}
+		r.report.Violations++
+	}
+
+	// ---- Execution mode & trajectory learning (§3.2.3) ----
+	mode := trajectory.DetectMode(r.env.SensitiveRunning(), r.env.BatchRunning())
+	ev.Mode = mode
+	sensitiveStep := 0.0
+	if r.havePrev && r.prevMode == mode {
+		step := trajectory.StepBetween(r.prevCoord, st.Coord)
+		if err := r.models.Observe(mode, step); err != nil {
+			return ev, err
+		}
+		if mode == trajectory.ModeSensitiveOnly {
+			sensitiveStep = step.Distance
+		}
+	}
+
+	// ---- Prediction (§3.2) ----
+	decision, err := r.pred.Predict(r.space, mode, st.Coord)
+	if err != nil {
+		return ev, err
+	}
+	ev.Predicted = decision.WillViolate
+	if decision.WillViolate {
+		r.report.PredictedViolations++
+	}
+
+	// Score last period's prediction against this period's outcome.
+	if r.havePending {
+		r.tracker.Record(r.pendingPrediction, violation)
+	}
+	r.pendingPrediction = decision.WillViolate
+	r.havePending = true
+
+	// ---- Action (§3.3) ----
+	if !r.cfg.DisableActions {
+		res, err := r.controller.Step(throttle.Input{
+			Period:                r.period,
+			PredictedViolation:    decision.WillViolate,
+			ActualViolation:       violation,
+			SensitiveStepDistance: sensitiveStep,
+			BatchActive:           r.env.BatchActive(),
+		})
+		if err != nil {
+			return ev, err
+		}
+		ev.Action = res.Action
+		ev.Throttled = res.Throttled
+		ev.RandomResume = res.RandomResume
+		ev.Beta = res.Beta
+		switch res.Action {
+		case throttle.ActionPause:
+			r.report.Pauses++
+		case throttle.ActionResume:
+			r.report.Resumes++
+			if res.RandomResume {
+				r.report.RandomResumes++
+			}
+		}
+	}
+
+	r.havePrev = true
+	r.prevCoord = st.Coord
+	r.prevMode = mode
+	r.period++
+	r.report.Periods++
+	r.events = append(r.events, ev)
+	return ev, nil
+}
+
+// mapVector maps a normalized measurement vector to a state, creating and
+// placing a new representative when needed, and refreshing the whole
+// embedding periodically.
+func (r *Runtime) mapVector(vec []float64) (stateID int, created bool, err error) {
+	rep, isNew := r.reducer.Observe(vec)
+	if !isNew {
+		if err := r.space.Observe(rep, r.period); err != nil {
+			return 0, false, err
+		}
+		return rep, false, nil
+	}
+
+	// Incremental placement against the existing configuration (§4's
+	// low-overhead path).
+	coords := r.space.Coords()
+	delta := make([]float64, len(coords))
+	vectors := r.space.Vectors()
+	for i, v := range vectors {
+		delta[i] = mds.Euclidean(vec, v)
+	}
+	pos, _, err := mds.Place(coords, delta, mds.PlaceOptions{})
+	if err != nil {
+		return 0, false, fmt.Errorf("core: incremental placement: %w", err)
+	}
+	id := r.space.Add(pos, vec, r.period)
+	if id != rep {
+		return 0, false, fmt.Errorf("core: state/representative index skew: %d vs %d", id, rep)
+	}
+	r.createdSinceSMAC++
+
+	// Periodic full refresh: SMACOF over all representatives, aligned back
+	// onto the previous layout so trajectories stay comparable across
+	// refreshes. The first refresh fires as soon as four distinct states
+	// exist, because purely incremental placement of the earliest states
+	// is at its least reliable then.
+	needRefresh := r.createdSinceSMAC >= r.cfg.RefreshEvery ||
+		(r.report.Refreshes == 0 && r.space.Len() >= 4)
+	if r.cfg.RefreshEvery > 0 && needRefresh && r.space.Len() >= 3 {
+		if err := r.refreshEmbedding(); err != nil {
+			return 0, false, err
+		}
+		r.createdSinceSMAC = 0
+	}
+	return id, true, nil
+}
+
+// refreshEmbedding re-solves the full MDS problem and keeps the layout
+// aligned with the previous one.
+func (r *Runtime) refreshEmbedding() error {
+	vectors := r.space.Vectors()
+	delta, err := mds.DistanceMatrix(vectors)
+	if err != nil {
+		return fmt.Errorf("core: distance matrix: %w", err)
+	}
+	// Solve from a Torgerson (classical-scaling) start rather than the
+	// current layout: incremental placement can degenerate toward
+	// low-dimensional configurations, and a warm start cannot escape them
+	// (the Guttman transform preserves collinearity). The fresh solution
+	// is Procrustes-aligned back onto the previous layout below, so
+	// trajectories remain comparable across refreshes. Above the
+	// configured threshold the full quadratic solve is replaced by
+	// landmark MDS.
+	prev := r.space.Coords()
+	var config []mds.Coord
+	var stress float64
+	if r.cfg.LandmarkThreshold > 0 && r.space.Len() > r.cfg.LandmarkThreshold {
+		res, err := mds.LandmarkMDS(delta, r.cfg.LandmarkThreshold, mds.DefaultOptions(r.rng))
+		if err != nil {
+			return fmt.Errorf("core: landmark refresh: %w", err)
+		}
+		config, stress = res.Config, res.Stress
+	} else {
+		res, err := mds.SMACOF(delta, mds.DefaultOptions(r.rng))
+		if err != nil {
+			return fmt.Errorf("core: smacof refresh: %w", err)
+		}
+		config, stress = res.Config, res.Stress
+	}
+	aligned, err := mds.AlignTo(config, prev)
+	if err != nil {
+		return fmt.Errorf("core: procrustes alignment: %w", err)
+	}
+	if err := r.space.SetCoords(aligned); err != nil {
+		return err
+	}
+	r.report.Refreshes++
+	r.report.LastStress = stress
+	return nil
+}
+
+// Space exposes the learned state space (read-mostly; used by experiments
+// and template export).
+func (r *Runtime) Space() *statespace.Space { return r.space }
+
+// Models exposes the per-mode trajectory models for figure generation.
+func (r *Runtime) Models() *trajectory.ModeModels { return r.models }
+
+// Throttled reports whether the batch applications are currently paused.
+func (r *Runtime) Throttled() bool { return r.controller.Throttled() }
+
+// Beta returns the controller's learned resume threshold.
+func (r *Runtime) Beta() float64 { return r.controller.Beta() }
+
+// Events returns all per-period events so far.
+func (r *Runtime) Events() []Event { return append([]Event(nil), r.events...) }
+
+// Report returns aggregate counters.
+func (r *Runtime) Report() Report {
+	rep := r.report
+	rep.States = r.space.Len()
+	rep.ViolationStates = len(r.space.ViolationIDs())
+	rep.Accuracy = r.tracker.Accuracy()
+	rep.Precision = r.tracker.Precision()
+	rep.Recall = r.tracker.Recall()
+	return rep
+}
+
+// Tracker exposes the raw prediction-accuracy tracker.
+func (r *Runtime) Tracker() *predictor.Tracker { return &r.tracker }
+
+// ExportTemplate captures the learned map for reuse (§6).
+func (r *Runtime) ExportTemplate(sensitiveApp string) *statespace.Template {
+	return statespace.Export(r.space, sensitiveApp, r.normalizer.Snapshot())
+}
+
+// ImportTemplate seeds the runtime with a previously learned map. It must
+// be called before the first Period: the imported states become the
+// starting state space and the normalizer adopts the template's ranges so
+// new vectors are comparable with the template's.
+func (r *Runtime) ImportTemplate(t *statespace.Template) error {
+	if r.period != 0 {
+		return fmt.Errorf("core: template import after %d periods", r.period)
+	}
+	space, err := statespace.Import(t)
+	if err != nil {
+		return err
+	}
+	if err := r.normalizer.Restore(t.Ranges); err != nil {
+		return err
+	}
+	// Rebuild the reducer so new observations dedup against template
+	// states.
+	eps := r.cfg.DedupEpsilon
+	if eps < 0 {
+		eps = 0
+	}
+	reducer := mds.NewOnlineReducer(eps)
+	for _, st := range space.States() {
+		reducer.Observe(st.Vector)
+	}
+	if reducer.Len() != space.Len() {
+		// Template states closer than our DedupEpsilon would merge and
+		// skew state/representative indices; reject rather than corrupt.
+		return fmt.Errorf("core: template states collapse under DedupEpsilon %v (%d -> %d)",
+			eps, space.Len(), reducer.Len())
+	}
+	space.SetRangePolicy(r.cfg.RangePolicy)
+	r.space = space
+	r.reducer = reducer
+	return nil
+}

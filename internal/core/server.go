@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Server drives a Runtime from its own goroutine on a periodic tick,
+// exposing thread-safe snapshots. The Runtime itself is single-threaded by
+// design (one Mapping→Prediction→Action loop per host); the Server owns
+// that loop and is the safe surface for daemons to query concurrently.
+type Server struct {
+	rt *Runtime
+
+	// OnEvent, when non-nil, is invoked after every period from the loop
+	// goroutine (set before Start).
+	OnEvent func(Event)
+	// OnError, when non-nil, receives period errors; returning false stops
+	// the loop. Nil means errors stop the loop.
+	OnError func(error) bool
+
+	mu      sync.Mutex
+	started bool
+	stopped chan struct{}
+	lastEv  Event
+	lastErr error
+	periods int
+}
+
+// NewServer wraps a runtime. The runtime must not be driven by anyone else
+// once the server starts.
+func NewServer(rt *Runtime) (*Server, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("core: nil runtime")
+	}
+	return &Server{rt: rt}, nil
+}
+
+// Start launches the loop, executing one Period per tick delivered by
+// ticks. The loop exits when ctx is done, ticks closes, or a period error
+// occurs with no OnError handler (or one that returns false). Start
+// returns immediately; Wait blocks until the loop exits.
+//
+// ticks is a channel rather than a duration so callers choose their clock:
+// time.Tick for production, a hand-driven channel in tests.
+func (s *Server) Start(ctx context.Context, ticks <-chan time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("core: server already started")
+	}
+	if ticks == nil {
+		return fmt.Errorf("core: nil tick channel")
+	}
+	s.started = true
+	s.stopped = make(chan struct{})
+	go s.loop(ctx, ticks)
+	return nil
+}
+
+func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
+	defer close(s.stopped)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case _, ok := <-ticks:
+			if !ok {
+				return
+			}
+			ev, err := s.rt.Period()
+			s.mu.Lock()
+			if err != nil {
+				s.lastErr = err
+			} else {
+				s.lastEv = ev
+				s.periods++
+			}
+			onEvent, onError := s.OnEvent, s.OnError
+			s.mu.Unlock()
+			if err != nil {
+				if onError == nil || !onError(err) {
+					return
+				}
+				continue
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		}
+	}
+}
+
+// Wait blocks until the loop has exited (after ctx cancellation, tick
+// channel closure, or a fatal error). Calling Wait before Start returns
+// immediately.
+func (s *Server) Wait() {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped != nil {
+		<-stopped
+	}
+}
+
+// Snapshot returns the most recent event, the period count, and the last
+// error, race-free.
+func (s *Server) Snapshot() (last Event, periods int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEv, s.periods, s.lastErr
+}
+
+// Report returns the runtime's aggregate report. It must only be called
+// after the loop has exited (the runtime is not concurrency-safe while
+// running); Wait first.
+func (s *Server) Report() Report { return s.rt.Report() }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/throttle"
+)
+
+func newServerFixture(t *testing.T, env Environment) *Server {
+	t.Helper()
+	r, _ := newTestRuntime(t, baseConfig(), env)
+	s, err := NewServer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil runtime should error")
+	}
+}
+
+func TestServerStartValidation(t *testing.T) {
+	s := newServerFixture(t, &fakeEnv{})
+	if err := s.Start(context.Background(), nil); err == nil {
+		t.Error("nil tick channel should error")
+	}
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background(), ticks); err == nil {
+		t.Error("double start should error")
+	}
+	close(ticks)
+	s.Wait()
+}
+
+func TestServerRunsPeriodsPerTick(t *testing.T) {
+	env := &fakeEnv{script: rampScenario()}
+	s := newServerFixture(t, env)
+	var events []Event
+	s.OnEvent = func(ev Event) { events = append(events, ev) }
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ticks <- time.Time{}
+	}
+	close(ticks)
+	s.Wait()
+	last, periods, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot err: %v", err)
+	}
+	if periods != 10 || len(events) != 10 {
+		t.Errorf("periods=%d events=%d, want 10", periods, len(events))
+	}
+	if last.Period != 9 {
+		t.Errorf("last period = %d", last.Period)
+	}
+	if s.Report().Periods != 10 {
+		t.Errorf("report periods = %d", s.Report().Periods)
+	}
+}
+
+func TestServerStopsOnContextCancel(t *testing.T) {
+	s := newServerFixture(t, &fakeEnv{script: rampScenario()})
+	ctx, cancel := context.WithCancel(context.Background())
+	ticks := make(chan time.Time, 1)
+	if err := s.Start(ctx, ticks); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not stop on cancellation")
+	}
+}
+
+func TestServerStopsOnFatalError(t *testing.T) {
+	env := &fakeEnv{script: rampScenario()}
+	act := throttle.NewRecordingActuator()
+	act.FailPause = errors.New("boom")
+	r, err := New(baseConfig(), env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	// Feed ticks until the loop dies on the pause failure.
+	go func() {
+		for i := 0; i < len(env.script); i++ {
+			select {
+			case ticks <- time.Time{}:
+			case <-time.After(time.Second):
+				return
+			}
+		}
+	}()
+	s.Wait()
+	_, _, lastErr := s.Snapshot()
+	if lastErr == nil {
+		t.Error("fatal error not recorded")
+	}
+}
+
+func TestServerOnErrorContinues(t *testing.T) {
+	env := &fakeEnv{script: rampScenario()}
+	act := throttle.NewRecordingActuator()
+	r, err := New(baseConfig(), env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errCount int
+	s.OnError = func(error) bool {
+		errCount++
+		act.FailPause = nil // heal after first failure
+		return true
+	}
+	act.FailPause = errors.New("transient")
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(env.script); i++ {
+		ticks <- time.Time{}
+	}
+	close(ticks)
+	s.Wait()
+	if errCount == 0 {
+		t.Error("OnError never invoked")
+	}
+	_, periods, _ := s.Snapshot()
+	if periods == 0 {
+		t.Error("no successful periods after healing")
+	}
+}
+
+func TestServerWaitBeforeStart(t *testing.T) {
+	s := newServerFixture(t, &fakeEnv{})
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait before Start should return immediately")
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII rendering for figures: time-series charts and 2-D scatter plots,
+// so `cmd/experiments` reproduces every figure as terminal output.
+
+// ChartOptions tunes RenderSeries.
+type ChartOptions struct {
+	// Width and Height are the plot body dimensions in characters.
+	Width, Height int
+	// YMin and YMax fix the axis range; when both are 0 the range is
+	// derived from the data.
+	YMin, YMax float64
+	// HLine draws a horizontal marker (e.g. the QoS threshold) at this
+	// value when non-nil.
+	HLine *float64
+	// Title is printed above the plot.
+	Title string
+}
+
+// RenderSeries plots one or more equally long series. Each series gets its
+// own glyph in order: '*', 'o', '+', 'x'.
+func RenderSeries(opts ChartOptions, series ...[]float64) string {
+	glyphs := []byte{'*', 'o', '+', 'x'}
+	w := opts.Width
+	if w <= 0 {
+		w = 72
+	}
+	h := opts.Height
+	if h <= 0 {
+		h = 14
+	}
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	if n == 0 {
+		return opts.Title + "\n(no data)\n"
+	}
+
+	lo, hi := opts.YMin, opts.YMax
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if opts.HLine != nil {
+			lo = math.Min(lo, *opts.HLine)
+			hi = math.Max(hi, *opts.HLine)
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+		pad := (hi - lo) * 0.05
+		lo -= pad
+		hi += pad
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	toRow := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		row := int(math.Round(float64(h-1) * (1 - frac)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= h {
+			row = h - 1
+		}
+		return row
+	}
+	if opts.HLine != nil {
+		r := toRow(*opts.HLine)
+		for x := 0; x < w; x++ {
+			grid[r][x] = '-'
+		}
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s {
+			x := 0
+			if n > 1 {
+				x = i * (w - 1) / (n - 1)
+			}
+			grid[toRow(v)][x] = g
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for i, row := range grid {
+		yVal := hi - (hi-lo)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  tick 0%s%d\n", "", strings.Repeat(" ", maxInt(1, w-7-len(fmt.Sprint(n-1)))), n-1)
+	return b.String()
+}
+
+// ScatterPoint is one labelled point for RenderScatter.
+type ScatterPoint struct {
+	X, Y  float64
+	Glyph byte
+}
+
+// RenderScatter plots labelled 2-D points (state-space snapshots).
+func RenderScatter(title string, width, height int, points []ScatterPoint) string {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(points) == 0 {
+		return title + "\n(no points)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		x := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+		y := int(math.Round((1 - (p.Y-minY)/(maxY-minY)) * float64(height-1)))
+		grid[y][x] = p.Glyph
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "y: %.3f..%.3f  x: %.3f..%.3f\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", string(row))
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSeriesBasics(t *testing.T) {
+	out := RenderSeries(ChartOptions{Title: "demo", Width: 20, Height: 5},
+		[]float64{0, 1, 2, 3, 4})
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + label
+	if len(lines) != 8 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs")
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	out := RenderSeries(ChartOptions{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderSeriesHLine(t *testing.T) {
+	h := 0.5
+	out := RenderSeries(ChartOptions{Width: 10, Height: 5, HLine: &h, YMin: 0, YMax: 1},
+		[]float64{0.9})
+	if !strings.Contains(out, "----------") {
+		t.Error("threshold line missing")
+	}
+}
+
+func TestRenderSeriesMultipleGlyphs(t *testing.T) {
+	out := RenderSeries(ChartOptions{Width: 12, Height: 6, YMin: 0, YMax: 1},
+		[]float64{0.2, 0.2}, []float64{0.8, 0.8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+}
+
+func TestRenderSeriesConstantValue(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := RenderSeries(ChartOptions{Width: 10, Height: 4}, []float64{5, 5, 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant render:\n%s", out)
+	}
+}
+
+func TestRenderScatter(t *testing.T) {
+	out := RenderScatter("scatter", 20, 8, []ScatterPoint{
+		{X: 0, Y: 0, Glyph: 'a'},
+		{X: 1, Y: 1, Glyph: 'z'},
+	})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "z") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scatter") {
+		t.Error("title missing")
+	}
+}
+
+func TestRenderScatterEmpty(t *testing.T) {
+	out := RenderScatter("none", 10, 5, nil)
+	if !strings.Contains(out, "(no points)") {
+		t.Errorf("empty scatter = %q", out)
+	}
+}
+
+func TestRenderScatterDegenerate(t *testing.T) {
+	// Coincident points must not divide by zero.
+	out := RenderScatter("dot", 10, 5, []ScatterPoint{
+		{X: 2, Y: 2, Glyph: 'x'},
+		{X: 2, Y: 2, Glyph: 'x'},
+	})
+	if !strings.Contains(out, "x") {
+		t.Errorf("degenerate scatter:\n%s", out)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRunCSV emits a run's per-tick records as CSV for external plotting
+// (gnuplot, pandas, spreadsheets) — the raw data behind every figure.
+func WriteRunCSV(w io.Writer, records []TickRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"tick", "qos", "threshold", "violation", "sensitive_running",
+		"utilization", "batch_cpu_share", "batch_running", "throttled",
+		"predicted", "mode", "x", "y", "action",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range records {
+		rec := []string{
+			strconv.Itoa(r.Tick),
+			f(r.QoS), f(r.Threshold), b(r.Violation), b(r.SensitiveRunning),
+			f(r.Utilization), f(r.BatchCPUShare), b(r.BatchRunning), b(r.Throttled),
+			b(r.Predicted), r.Mode.String(), f(r.Coord.X), f(r.Coord.Y), r.Action.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: write csv row %d: %w", r.Tick, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,107 @@
+// Package experiments wires the Stay-Away runtime to the simulator
+// substrate and regenerates every table and figure of the paper's
+// evaluation (§7). Each FigNN function builds the corresponding scenario,
+// runs it, and returns both structured series data and an ASCII rendering.
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/throttle"
+)
+
+// SimEnvironment adapts a simulator to core.Environment: it is the
+// monitoring side of the middleware, reading per-container usage and the
+// sensitive application's QoS report.
+type SimEnvironment struct {
+	sim         *sim.Simulator
+	sensitiveID string
+	batchIDs    []string
+	qosApp      sim.QoSApp
+}
+
+var _ core.Environment = (*SimEnvironment)(nil)
+
+// NewSimEnvironment returns an environment observing the given simulator.
+// qosApp is the sensitive application instance (its QoS report is the
+// violation signal).
+func NewSimEnvironment(s *sim.Simulator, sensitiveID string, batchIDs []string, qosApp sim.QoSApp) *SimEnvironment {
+	return &SimEnvironment{
+		sim:         s,
+		sensitiveID: sensitiveID,
+		batchIDs:    append([]string(nil), batchIDs...),
+		qosApp:      qosApp,
+	}
+}
+
+// Collect implements core.Environment.
+func (e *SimEnvironment) Collect() []metrics.Sample { return e.sim.Samples() }
+
+// QoSViolation implements core.Environment: the sensitive application
+// reports a violation when its value drops below threshold while it runs.
+func (e *SimEnvironment) QoSViolation() bool {
+	if !e.SensitiveRunning() {
+		return false
+	}
+	value, threshold := e.qosApp.QoS()
+	return value < threshold
+}
+
+// SensitiveRunning implements core.Environment.
+func (e *SimEnvironment) SensitiveRunning() bool {
+	c, err := e.sim.Container(e.sensitiveID)
+	if err != nil {
+		return false
+	}
+	return c.Running()
+}
+
+// BatchRunning implements core.Environment.
+func (e *SimEnvironment) BatchRunning() bool {
+	for _, id := range e.batchIDs {
+		c, err := e.sim.Container(id)
+		if err != nil {
+			continue
+		}
+		if c.Running() {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchActive implements core.Environment.
+func (e *SimEnvironment) BatchActive() bool {
+	for _, id := range e.batchIDs {
+		c, err := e.sim.Container(id)
+		if err != nil {
+			continue
+		}
+		if c.Active() {
+			return true
+		}
+	}
+	return false
+}
+
+// NewSimActuator returns a throttle actuator that freezes and thaws the
+// simulator's containers — the simulated equivalent of SIGSTOP/SIGCONT.
+// Unknown IDs (containers not yet scheduled) are skipped.
+func NewSimActuator(s *sim.Simulator) throttle.Actuator {
+	do := func(ids []string, f func(string) error) error {
+		for _, id := range ids {
+			if _, err := s.Container(id); err != nil {
+				continue
+			}
+			if err := f(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return throttle.FuncActuator{
+		PauseFn:  func(ids []string) error { return do(ids, s.Freeze) },
+		ResumeFn: func(ids []string) error { return do(ids, s.Thaw) },
+	}
+}

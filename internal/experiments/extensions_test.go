@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// §5 aggregation: with multiple batch containers, aggregating them into
+// one logical VM keeps the embedding dimensionality (and hence its
+// 2-D stress) low; per-container schemas distort.
+func TestAggregationKeepsStressLow(t *testing.T) {
+	run := func(disable bool) core.Report {
+		res, err := Run(Scenario{
+			Name:        "aggregation-ablation",
+			SensitiveID: "vlc",
+			Sensitive: func(rng *rand.Rand) sim.QoSApp {
+				return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+			},
+			Batch: []Placement{
+				{ID: "b1", StartTick: 20, App: func(rng *rand.Rand) sim.App {
+					cfg := apps.DefaultTwitterConfig()
+					cfg.TotalWork = 0
+					return apps.NewTwitterAnalysis(cfg, rng)
+				}},
+				{ID: "b2", StartTick: 25, App: func(rng *rand.Rand) sim.App {
+					cfg := apps.DefaultSoplexConfig()
+					cfg.TotalWork = 0
+					return apps.NewSoplex(cfg, rng)
+				}},
+			},
+			Ticks:    250,
+			Seed:     21,
+			StayAway: true,
+			Tune:     func(c *core.Config) { c.DisableBatchAggregation = disable },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report
+	}
+	aggregated := run(false)
+	perVM := run(true)
+	if aggregated.Refreshes == 0 || perVM.Refreshes == 0 {
+		t.Fatalf("both runs need at least one SMACOF refresh: %d vs %d",
+			aggregated.Refreshes, perVM.Refreshes)
+	}
+	if aggregated.LastStress > 0.15 {
+		t.Errorf("aggregated stress = %v, want low per §5", aggregated.LastStress)
+	}
+	if perVM.LastStress < aggregated.LastStress {
+		t.Errorf("per-VM stress %v should not beat aggregated %v (dimensionality penalty)",
+			perVM.LastStress, aggregated.LastStress)
+	}
+}
+
+// §2.1: "if multiple sensitive applications are co-scheduled Stay-Away can
+// choose to migrate or scale resources of the lower priority sensitive
+// application." With throttling as the action, a lower-priority sensitive
+// application is simply configured as a throttle target: the high-priority
+// application's QoS is protected at the low-priority one's expense.
+func TestPriorityDemotionOfLowPrioritySensitive(t *testing.T) {
+	var lowPrio *apps.VLCStream
+	lowViolations := 0
+	res, err := Run(Scenario{
+		Name:        "priority-demotion",
+		SensitiveID: "web-high",
+		Sensitive: func(rng *rand.Rand) sim.QoSApp {
+			return apps.NewWebservice(apps.DefaultWebserviceConfig(apps.CPUIntensive), rng)
+		},
+		// The low-priority sensitive app is wired as a throttleable
+		// container. Its own QoS is tracked via the Hook below.
+		Batch: []Placement{{ID: "vlc-low", StartTick: 20, App: func(rng *rand.Rand) sim.App {
+			cfg := apps.DefaultVLCStreamConfig()
+			lowPrio = apps.NewVLCStream(cfg, rng)
+			return lowPrio
+		}}},
+		Ticks:    250,
+		Seed:     23,
+		StayAway: true,
+		Hook: func(tick int) {
+			if lowPrio != nil && tick > 20 {
+				if v, th := lowPrio.QoS(); v < th {
+					lowViolations++
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	highVs := Violations(res.Records)
+	// The high-priority application ends up well protected...
+	if highVs.Rate > 0.12 {
+		t.Errorf("high-priority violation rate = %v, want protected", highVs.Rate)
+	}
+	// ...at the cost of the demoted application being paused at times.
+	if res.Report.Pauses == 0 {
+		t.Error("the low-priority sensitive app was never throttled")
+	}
+}
+
+// Model validation: the analytic Webservice and the request-driven
+// (kvstore-backed) Webservice must tell the same §7.2 story against the
+// same batch co-runner — similar violation behaviour unprotected, and a
+// clear improvement under Stay-Away for both.
+func TestAnalyticVsRequestDrivenWebservice(t *testing.T) {
+	twitter := func(rng *rand.Rand) sim.App {
+		cfg := apps.DefaultTwitterConfig()
+		cfg.TotalWork = 0
+		return apps.NewTwitterAnalysis(cfg, rng)
+	}
+	type outcome struct{ noPrev, withSA float64 }
+	runPair := func(sensitive func(rng *rand.Rand) sim.QoSApp) outcome {
+		base := Scenario{
+			Name:        "model-compare",
+			SensitiveID: "web",
+			Sensitive:   sensitive,
+			Batch:       []Placement{{ID: "tw", StartTick: 20, App: twitter}},
+			Ticks:       250,
+			Seed:        31,
+		}
+		no, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prot := base
+		prot.StayAway = true
+		sa, err := Run(prot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{Violations(no.Records).Rate, Violations(sa.Records).Rate}
+	}
+
+	analytic := runPair(func(rng *rand.Rand) sim.QoSApp {
+		return apps.NewWebservice(apps.DefaultWebserviceConfig(apps.MemoryIntensive), rng)
+	})
+	requestDriven := runPair(func(rng *rand.Rand) sim.QoSApp {
+		w, err := apps.NewRequestWebservice(apps.DefaultRequestWebserviceConfig(apps.MemoryIntensive), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	})
+
+	for name, o := range map[string]outcome{"analytic": analytic, "request-driven": requestDriven} {
+		if o.noPrev == 0 {
+			t.Errorf("%s: no violations unprotected; contention story missing", name)
+		}
+		if o.withSA >= o.noPrev {
+			t.Errorf("%s: Stay-Away rate %v did not improve on %v", name, o.withSA, o.noPrev)
+		}
+	}
+}

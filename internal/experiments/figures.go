@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/trajectory"
+)
+
+// Figure is one regenerated table or figure.
+type Figure struct {
+	// ID is the experiment identifier ("fig01" … "fig18", "table1").
+	ID string
+	// Title describes the figure.
+	Title string
+	// Text is the rendered ASCII figure plus summary lines.
+	Text string
+	// Summary carries the headline numbers for EXPERIMENTS.md and for the
+	// regression assertions in tests/benches.
+	Summary map[string]float64
+}
+
+// Standard app factories used across figures.
+
+func vlcStreamApp(rng *rand.Rand) sim.QoSApp {
+	return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+}
+
+func vlcStreamAppWithDuration(d int) func(*rand.Rand) sim.QoSApp {
+	return func(rng *rand.Rand) sim.QoSApp {
+		cfg := apps.DefaultVLCStreamConfig()
+		cfg.Duration = d
+		return apps.NewVLCStream(cfg, rng)
+	}
+}
+
+// vlcTranscodeQoSApp models Fig 6's sensitive transcoder: "a violation is
+// said to have occurred when the rate of transcoding frames fall below a
+// certain threshold." It reuses the stream model with transcoding-shaped
+// demand (heavier CPU, no streaming output).
+func vlcTranscodeQoSApp(rng *rand.Rand) sim.QoSApp {
+	cfg := apps.VLCStreamConfig{
+		CPU:         280,
+		CPUJitter:   0.05,
+		MemoryMB:    600,
+		ActiveMemMB: 300,
+		MemBWMBps:   2500,
+		NetMbps:     0,
+		Threshold:   0.9,
+	}
+	return apps.NewVLCStream(cfg, rng)
+}
+
+func cpuBombApp(rng *rand.Rand) sim.App {
+	return apps.NewCPUBomb(apps.DefaultCPUBombConfig())
+}
+
+func memoryBombApp(rng *rand.Rand) sim.App {
+	return apps.NewMemoryBomb(apps.DefaultMemoryBombConfig(), rng)
+}
+
+func twitterApp(rng *rand.Rand) sim.App {
+	cfg := apps.DefaultTwitterConfig()
+	cfg.TotalWork = 0 // endless for steady-state figures
+	return apps.NewTwitterAnalysis(cfg, rng)
+}
+
+func soplexApp(rng *rand.Rand) sim.App {
+	cfg := apps.DefaultSoplexConfig()
+	cfg.TotalWork = 0
+	return apps.NewSoplex(cfg, rng)
+}
+
+func webserviceApp(kind apps.WorkloadKind, intensity apps.Intensity) func(*rand.Rand) sim.QoSApp {
+	return func(rng *rand.Rand) sim.QoSApp {
+		cfg := apps.DefaultWebserviceConfig(kind)
+		if intensity != nil {
+			cfg.Intensity = intensity
+		}
+		return apps.NewWebservice(cfg, rng)
+	}
+}
+
+// modeGlyph maps execution modes to scatter glyphs.
+func modeGlyph(m trajectory.Mode, violation bool) byte {
+	if violation {
+		return 'V'
+	}
+	switch m {
+	case trajectory.ModeIdle:
+		return '.'
+	case trajectory.ModeBatchOnly:
+		return 'b'
+	case trajectory.ModeSensitiveOnly:
+		return 's'
+	default:
+		return 'c'
+	}
+}
+
+// statePoints converts run records into scatter points.
+func statePoints(records []TickRecord) []ScatterPoint {
+	out := make([]ScatterPoint, 0, len(records))
+	for _, r := range records {
+		out = append(out, ScatterPoint{X: r.Coord.X, Y: r.Coord.Y, Glyph: modeGlyph(r.Mode, r.Violation)})
+	}
+	return out
+}
+
+// Fig01 regenerates Figure 1: the diurnal Wikipedia read workload.
+func Fig01(seed int64) (*Figure, error) {
+	cfg := trace.DefaultConfig()
+	pts, err := trace.Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	rates := make([]float64, len(pts))
+	var lo, hi float64 = pts[0].Rate, pts[0].Rate
+	for i, p := range pts {
+		rates[i] = p.Rate
+		if p.Rate < lo {
+			lo = p.Rate
+		}
+		if p.Rate > hi {
+			hi = p.Rate
+		}
+	}
+	var b strings.Builder
+	b.WriteString(RenderSeries(ChartOptions{
+		Title: "Fig 1 — Wikipedia-like total read workload (4 days, hourly)",
+	}, rates))
+	fmt.Fprintf(&b, "peak=%.0f trough=%.0f ratio=%.2f\n", hi, lo, hi/lo)
+	return &Figure{
+		ID:    "fig01",
+		Title: "Total workload variation (diurnal trace)",
+		Text:  b.String(),
+		Summary: map[string]float64{
+			"peak":   hi,
+			"trough": lo,
+			"ratio":  hi / lo,
+		},
+	}, nil
+}
+
+// Fig04 regenerates Figure 4: the violation-range radius R = d·e^(−d²/2c²)
+// as the distance d to the nearest safe-state varies.
+func Fig04() (*Figure, error) {
+	const c = 1.0
+	const n = 60
+	radii := make([]float64, n)
+	var peakD, peakR float64
+	for i := 0; i < n; i++ {
+		d := 3 * c * float64(i) / float64(n-1)
+		r := stats.RayleighWeight(d, c)
+		radii[i] = r
+		if r > peakR {
+			peakD, peakR = d, r
+		}
+	}
+	var b strings.Builder
+	b.WriteString(RenderSeries(ChartOptions{
+		Title: "Fig 4 — violation-range radius vs distance to nearest safe-state (c=1)",
+	}, radii))
+	fmt.Fprintf(&b, "peak radius %.4f at d=%.3f (theory: %.4f at d=c=1)\n",
+		peakR, peakD, stats.RayleighWeight(c, c))
+	return &Figure{
+		ID:    "fig04",
+		Title: "Violation-range radius (Rayleigh weighting)",
+		Text:  b.String(),
+		Summary: map[string]float64{
+			"peak_d": peakD,
+			"peak_r": peakR,
+		},
+	}, nil
+}

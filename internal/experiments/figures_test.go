@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure tests assert the paper's qualitative "shape" claims, not
+// absolute numbers. Seeds are fixed so the assertions are stable.
+
+const figSeed = 42
+
+func TestFig01Shape(t *testing.T) {
+	f, err := Fig01(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diurnal trace has pronounced valleys: peak/trough well above 2.
+	if f.Summary["ratio"] < 2 {
+		t.Errorf("peak/trough ratio = %v, want > 2", f.Summary["ratio"])
+	}
+	if !strings.Contains(f.Text, "Fig 1") {
+		t.Error("rendering missing")
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	f, err := Fig04()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius peaks at d = c = 1 with value e^(−1/2).
+	if d := f.Summary["peak_d"]; d < 0.9 || d > 1.1 {
+		t.Errorf("peak at d = %v, want ≈1", d)
+	}
+	if r := f.Summary["peak_r"]; r < 0.55 || r > 0.65 {
+		t.Errorf("peak radius = %v, want ≈0.607", r)
+	}
+}
+
+func TestFig05Shape(t *testing.T) {
+	f, err := Fig05(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Summary["modes_seen"] != 4 {
+		t.Errorf("modes seen = %v, want all 4", f.Summary["modes_seen"])
+	}
+	// Each mode's trajectory model must have collected steps (idle may be
+	// sparse but sensible modes must be well fed).
+	for _, mode := range []string{"sensitive-only", "co-located", "batch-only"} {
+		if f.Summary["steps_"+mode] < 5 {
+			t.Errorf("mode %s steps = %v, want ≥ 5", mode, f.Summary["steps_"+mode])
+		}
+	}
+}
+
+func TestFig06Shape(t *testing.T) {
+	f, err := Fig06(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Summary["violation_states"] == 0 {
+		t.Error("CPUBomb co-location must learn violation states")
+	}
+	// The transition into co-location is instantaneous: a large one-period
+	// jump exists.
+	if f.Summary["max_jump"] < 0.1 {
+		t.Errorf("max jump = %v, want a visible instantaneous transition", f.Summary["max_jump"])
+	}
+}
+
+func TestFig07Shape(t *testing.T) {
+	f, err := Fig07(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Summary["pauses"] == 0 {
+		t.Error("Stay-Away should have acted at least once")
+	}
+	// Twitter must NOT be throttled most of the time (its gain story).
+	if f.Summary["throttled_ticks"] > 125 {
+		t.Errorf("throttled %v/250 ticks; Twitter should mostly run", f.Summary["throttled_ticks"])
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	f, err := Fig08(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without prevention CPUBomb destroys QoS; Stay-Away cuts violations
+	// by an order of magnitude.
+	if f.Summary["violation_rate_noprev"] < 0.7 {
+		t.Errorf("unprotected rate = %v, want near-constant violation", f.Summary["violation_rate_noprev"])
+	}
+	if f.Summary["violation_rate_stayaway"] > 0.2 {
+		t.Errorf("Stay-Away rate = %v, want < 0.2", f.Summary["violation_rate_stayaway"])
+	}
+	if f.Summary["violation_rate_stayaway"] >= f.Summary["violation_rate_noprev"]/3 {
+		t.Error("Stay-Away should cut violations by at least 3x")
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	f, err := Fig09(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Summary["violation_rate_noprev"] < 0.03 {
+		t.Errorf("unprotected rate = %v, want visible violations", f.Summary["violation_rate_noprev"])
+	}
+	if f.Summary["violation_rate_stayaway"] >= f.Summary["violation_rate_noprev"] {
+		t.Error("Stay-Away should reduce violations")
+	}
+}
+
+func TestFig10And11GainOrdering(t *testing.T) {
+	f10, err := Fig10(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11, err := Fig11(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's central utilization result: CPUBomb is the worst
+	// co-runner (small spiky gain, ≈5%); Twitter-Analysis gains far more.
+	gBomb := f10.Summary["gain_stayaway"]
+	gTwitter := f11.Summary["gain_stayaway"]
+	if gBomb > 0.15 {
+		t.Errorf("CPUBomb gain = %v, want small (paper ≈5%%)", gBomb)
+	}
+	if gTwitter < 3*gBomb {
+		t.Errorf("Twitter gain %v should dwarf CPUBomb gain %v", gTwitter, gBomb)
+	}
+	if gTwitter < 0.15 {
+		t.Errorf("Twitter gain = %v, want substantial", gTwitter)
+	}
+	// Stay-Away never exceeds the no-prevention upper band.
+	if gBomb > f10.Summary["gain_noprev"] || gTwitter > f11.Summary["gain_noprev"] {
+		t.Error("gain exceeded the no-prevention upper band")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	f, err := Fig13(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig 13 story: Twitter runs during low-intensity valleys and is
+	// throttled under high load.
+	for _, prefix := range []string{"a_", "b_"} {
+		low := f.Summary[prefix+"low_intensity_run"]
+		high := f.Summary[prefix+"high_intensity_run"]
+		if low <= high {
+			t.Errorf("%s: low-intensity run fraction %v should exceed high-intensity %v",
+				prefix, low, high)
+		}
+		if low < 0.5 {
+			t.Errorf("%s: batch should mostly run during valleys, got %v", prefix, low)
+		}
+	}
+}
+
+func TestFig17And18TemplateStory(t *testing.T) {
+	f17, tpl, err := Fig17(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f17.Summary["violation_states"] == 0 || len(tpl.States) == 0 {
+		t.Fatal("template must carry learned violation states")
+	}
+	f18, err := Fig18(figSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f18.Summary["violations"] == 0 {
+		t.Fatal("Soplex run produced no violations to validate against")
+	}
+	// §6: violations with a different batch app land in the template's
+	// violation region.
+	if f18.Summary["nearer_fraction"] < 0.7 {
+		t.Errorf("only %v of violations near the template violation region",
+			f18.Summary["nearer_fraction"])
+	}
+	if f18.Summary["in_region_fraction"] < 0.5 {
+		t.Errorf("only %v of violations inside template violation-ranges",
+			f18.Summary["in_region_fraction"])
+	}
+}

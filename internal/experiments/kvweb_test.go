@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// The request-driven Webservice (real Memcached layer) must be a drop-in
+// replacement for the analytic model in end-to-end scenarios: unprotected
+// co-location with a memory stressor violates, Stay-Away mitigates.
+func TestRequestWebserviceUnderStayAway(t *testing.T) {
+	kvWeb := func(rng *rand.Rand) sim.QoSApp {
+		w, err := apps.NewRequestWebservice(
+			apps.DefaultRequestWebserviceConfig(apps.MemoryIntensive), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	memBomb := func(rng *rand.Rand) sim.App {
+		return apps.NewMemoryBomb(apps.DefaultMemoryBombConfig(), rng)
+	}
+	base := Scenario{
+		Name:        "kvweb-membomb",
+		SensitiveID: "web",
+		Sensitive:   kvWeb,
+		Batch:       []Placement{{ID: "bomb", StartTick: 20, App: memBomb}},
+		Ticks:       200,
+		Seed:        11,
+	}
+	noPrev, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := base
+	protected.StayAway = true
+	sa, err := Run(protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsNo := Violations(noPrev.Records)
+	vsSA := Violations(sa.Records)
+	if vsNo.Violations == 0 {
+		t.Fatal("unprotected run should violate under memory pressure")
+	}
+	if vsSA.Rate >= vsNo.Rate {
+		t.Errorf("Stay-Away rate %v should beat unprotected %v", vsSA.Rate, vsNo.Rate)
+	}
+	if sa.Report.Pauses == 0 {
+		t.Error("Stay-Away never paused the bomb")
+	}
+}
+
+// The request-driven CPU-intensive Webservice should run clean in
+// isolation (no batch at all): the substrate swap must not introduce
+// self-inflicted violations.
+func TestRequestWebserviceIsolatedScenario(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:        "kvweb-isolated",
+		SensitiveID: "web",
+		Sensitive: func(rng *rand.Rand) sim.QoSApp {
+			w, err := apps.NewRequestWebservice(
+				apps.DefaultRequestWebserviceConfig(apps.CPUIntensive), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return w
+		},
+		Ticks: 120,
+		Seed:  12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Violations(res.Records)
+	if vs.Rate > 0.02 {
+		t.Errorf("isolated violation rate = %v, want ≈0", vs.Rate)
+	}
+}

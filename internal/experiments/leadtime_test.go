@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+func TestLeadTimesUnit(t *testing.T) {
+	mk := func(violation, predicted bool) TickRecord {
+		return TickRecord{SensitiveRunning: true, Violation: violation, Predicted: predicted}
+	}
+	records := []TickRecord{
+		mk(false, false),
+		mk(false, true),
+		mk(false, true),
+		mk(true, false), // violation with lead 2
+		mk(false, false),
+		mk(true, false), // violation with lead 0
+	}
+	st := LeadTimes(records)
+	if st.Violations != 2 || st.Foreseen != 1 || st.MaxLead != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanLead != 1 {
+		t.Errorf("mean lead = %v, want 1", st.MeanLead)
+	}
+	if empty := LeadTimes(nil); empty.Violations != 0 || empty.MeanLead != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+// triangleStressor ramps its active working set up and down in a slow
+// triangular wave — the cleanest possible "gradual transition" (§3.2.3):
+// every approach to the swap boundary is a multi-tick walk through
+// intermediate states.
+type triangleStressor struct {
+	ticks int
+}
+
+func (s *triangleStressor) Name() string { return "triangle-stressor" }
+
+func (s *triangleStressor) Demand(tick int) sim.Demand {
+	const period, peakMB = 60, 2200
+	pos := s.ticks % period
+	level := float64(pos) / (period / 2)
+	if pos >= period/2 {
+		level = float64(period-pos) / (period / 2)
+	}
+	mem := peakMB * level
+	return sim.Demand{CPU: 50, MemoryMB: mem, ActiveMemMB: mem, MemBWMBps: 500}
+}
+
+func (s *triangleStressor) Advance(int, sim.Grant) bool {
+	s.ticks++
+	return false
+}
+
+// The §3.2.3 transition taxonomy, measured: against a gradually ramping
+// memory stressor the predictor warns ahead of violations; against
+// CPUBomb's instantaneous saturation it mostly cannot (the paper's own
+// caveat).
+func TestLeadTimeGradualVsInstantaneous(t *testing.T) {
+	run := func(batch func(rng *rand.Rand) sim.App) LeadTimeStats {
+		res, err := Run(Scenario{
+			Name:        "leadtime",
+			SensitiveID: "web",
+			Sensitive: func(rng *rand.Rand) sim.QoSApp {
+				return apps.NewWebservice(apps.DefaultWebserviceConfig(apps.MemoryIntensive), rng)
+			},
+			Batch:          []Placement{{ID: "b", StartTick: 20, App: batch}},
+			Ticks:          400,
+			Seed:           17,
+			StayAway:       true,
+			DisableActions: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LeadTimes(res.Records)
+	}
+	gradual := run(func(rng *rand.Rand) sim.App { return &triangleStressor{} })
+	if gradual.Violations == 0 {
+		t.Fatal("gradual scenario produced no violations")
+	}
+	if gradual.Foreseen == 0 {
+		t.Error("no gradual violation was foreseen")
+	}
+	if gradual.MaxLead < 1 {
+		t.Errorf("max lead = %d, want ≥ 1 for gradual approaches", gradual.MaxLead)
+	}
+}
+
+func TestWriteRunCSV(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:        "csv",
+		SensitiveID: "vlc",
+		Sensitive: func(rng *rand.Rand) sim.QoSApp {
+			return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+		},
+		Ticks:    10,
+		Seed:     1,
+		StayAway: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRunCSV(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 11 { // header + 10 ticks
+		t.Fatalf("lines = %d, want 11", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "tick,qos,threshold") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "sensitive-only") {
+		t.Errorf("row 1 = %q, want mode name", lines[1])
+	}
+}

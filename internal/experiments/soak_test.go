@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// Soak: a long co-located run must stay healthy — no errors, bounded state
+// space (the §4 reduction at work), sticky violation knowledge, and a
+// stable violation rate after the learning phase. The paper's services
+// "may run for extended periods"; the runtime must not degrade with time.
+func TestSoakLongRunBoundedState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	res, err := Run(Scenario{
+		Name:        "soak",
+		SensitiveID: "vlc",
+		Sensitive: func(rng *rand.Rand) sim.QoSApp {
+			return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+		},
+		Batch: []Placement{{ID: "twitter", StartTick: 20, App: func(rng *rand.Rand) sim.App {
+			cfg := apps.DefaultTwitterConfig()
+			cfg.TotalWork = 0
+			return apps.NewTwitterAnalysis(cfg, rng)
+		}}},
+		Ticks:    3000,
+		Seed:     99,
+		StayAway: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Periods != 3000 {
+		t.Fatalf("periods = %d", rep.Periods)
+	}
+	// The representative reduction must keep the state space bounded far
+	// below the period count.
+	if rep.States > 200 {
+		t.Errorf("states = %d after 3000 periods; reduction is not holding", rep.States)
+	}
+	// The violation rate over the last two thirds must not exceed the
+	// overall rate: learning must not regress.
+	lateVs := Violations(res.Records[1000:])
+	allVs := Violations(res.Records)
+	if lateVs.Rate > allVs.Rate*1.5+0.01 {
+		t.Errorf("late violation rate %v regressed vs overall %v", lateVs.Rate, allVs.Rate)
+	}
+	// Utilization gain persists through the whole run.
+	lateGain := Mean(GainSeries(res.Records[1500:]))
+	if lateGain < 0.1 {
+		t.Errorf("late gain = %v; the controller starved the batch long-term", lateGain)
+	}
+}
+
+// Determinism over a long horizon: two identical soak runs must agree
+// tick-for-tick.
+func TestSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sc := Scenario{
+		Name:        "soak-determinism",
+		SensitiveID: "web",
+		Sensitive: func(rng *rand.Rand) sim.QoSApp {
+			return apps.NewWebservice(apps.DefaultWebserviceConfig(apps.Mixed), rng)
+		},
+		Batch: []Placement{{ID: "bomb", StartTick: 10, App: func(rng *rand.Rand) sim.App {
+			return apps.NewMemoryBomb(apps.DefaultMemoryBombConfig(), rng)
+		}}},
+		Ticks:    1500,
+		Seed:     7,
+		StayAway: true,
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("divergence at tick %d", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Dataset describes a CONFINE-like monitoring dataset: periodic host
+// metrics and topology records for a fleet of community-network nodes.
+// Records are addressed (node, metric, period); sizes are deterministic
+// pseudo-random so experiments are reproducible without storing payloads.
+type Dataset struct {
+	// Nodes is the fleet size (the paper's dataset covers "more than 80
+	// nodes").
+	Nodes int
+	// Metrics are the monitored per-node series.
+	Metrics []string
+	// Periods is the number of stored monitoring periods per series.
+	Periods int
+	// MinRecordBytes and MaxRecordBytes bound record sizes.
+	MinRecordBytes, MaxRecordBytes int64
+}
+
+// DefaultDataset mirrors the community-lab testbed's shape.
+func DefaultDataset() *Dataset {
+	return &Dataset{
+		Nodes:          84,
+		Metrics:        []string{"cpu", "memory", "traffic", "links", "uptime"},
+		Periods:        1440, // a day of minute-granularity records
+		MinRecordBytes: 256,
+		MaxRecordBytes: 4096,
+	}
+}
+
+// Validate checks the dataset's shape.
+func (d *Dataset) Validate() error {
+	if d.Nodes <= 0 || len(d.Metrics) == 0 || d.Periods <= 0 {
+		return fmt.Errorf("kvstore: empty dataset dimensions: %+v", d)
+	}
+	if d.MinRecordBytes <= 0 || d.MaxRecordBytes < d.MinRecordBytes {
+		return fmt.Errorf("kvstore: invalid record size bounds [%d,%d]", d.MinRecordBytes, d.MaxRecordBytes)
+	}
+	return nil
+}
+
+// NumKeys returns the total number of addressable records.
+func (d *Dataset) NumKeys() int { return d.Nodes * len(d.Metrics) * d.Periods }
+
+// Key renders the record address. Indices are taken modulo the dataset
+// dimensions so samplers cannot address outside the dataset.
+func (d *Dataset) Key(node, metricIdx, period int) string {
+	node = mod(node, d.Nodes)
+	metricIdx = mod(metricIdx, len(d.Metrics))
+	period = mod(period, d.Periods)
+	return fmt.Sprintf("%d/%s/%d", node, d.Metrics[metricIdx], period)
+}
+
+// RecordSize returns the deterministic size of a record in bytes.
+func (d *Dataset) RecordSize(key string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	span := d.MaxRecordBytes - d.MinRecordBytes + 1
+	return d.MinRecordBytes + int64(h.Sum64()%uint64(span))
+}
+
+// TotalBytes estimates the whole dataset's size from the mean record size.
+func (d *Dataset) TotalBytes() int64 {
+	mean := (d.MinRecordBytes + d.MaxRecordBytes) / 2
+	return int64(d.NumKeys()) * mean
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

@@ -1,0 +1,33 @@
+package kvstore_test
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+)
+
+// The Memcached layer: byte-bounded LRU with eviction.
+func ExampleLRU() {
+	cache, _ := kvstore.NewLRU(100)
+	_ = cache.Put("a", 60)
+	_ = cache.Put("b", 60) // evicts "a"
+	_, hitA := cache.Get("a")
+	_, hitB := cache.Get("b")
+	fmt.Printf("a cached: %v, b cached: %v\n", hitA, hitB)
+	// Output:
+	// a cached: false, b cached: true
+}
+
+// Serving a record twice: the first access misses to the backend, the
+// second hits the cache at lower cost.
+func ExampleService_Execute() {
+	svc, _ := kvstore.NewService(kvstore.DefaultDataset(), 1<<20)
+	req := kvstore.Request{Op: kvstore.OpGet, Node: 3, MetricIdx: 0, PeriodStart: 42}
+	first := svc.Execute(req)
+	second := svc.Execute(req)
+	fmt.Printf("first from backend: %v\n", first.DiskBytes > 0)
+	fmt.Printf("second from cache:  %v\n", second.DiskBytes == 0)
+	// Output:
+	// first from backend: true
+	// second from cache:  true
+}

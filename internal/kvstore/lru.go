@@ -1,0 +1,117 @@
+// Package kvstore implements the Webservice's storage substrate (§7.1):
+// "It consists of a Memcached layer for in-memory data storage and
+// performs analytics, if necessary, before serving the data. The data
+// used for storage and analysis is the open dataset [of] periodic network
+// topology information and monitored host metrics of more than 80 nodes."
+//
+// The package provides a byte-bounded LRU cache (the Memcached layer), a
+// synthetic monitoring dataset shaped like the CONFINE open data, and a
+// request engine whose operation costs drive the request-driven
+// Webservice application model.
+package kvstore
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// LRU is a byte-capacity-bounded least-recently-used cache. It is not safe
+// for concurrent use; the Webservice model serializes requests.
+type LRU struct {
+	capacity  int64
+	used      int64
+	order     *list.List // front = most recent
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type lruEntry struct {
+	key  string
+	size int64
+}
+
+// NewLRU returns a cache holding at most capacity bytes.
+func NewLRU(capacity int64) (*LRU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("kvstore: capacity must be positive, got %d", capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Get looks the key up, promoting it on hit. It returns the stored size.
+func (c *LRU) Get(key string) (size int64, ok bool) {
+	el, found := c.items[key]
+	if !found {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).size, true
+}
+
+// Put inserts or updates the key, evicting LRU entries until the value
+// fits. Values larger than the whole cache are rejected.
+func (c *LRU) Put(key string, size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("kvstore: value size must be positive, got %d", size)
+	}
+	if size > c.capacity {
+		return fmt.Errorf("kvstore: value of %d bytes exceeds cache capacity %d", size, c.capacity)
+	}
+	if el, ok := c.items[key]; ok {
+		c.used += size - el.Value.(*lruEntry).size
+		el.Value.(*lruEntry).size = size
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&lruEntry{key: key, size: size})
+		c.used += size
+	}
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		c.order.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.size
+		c.evictions++
+	}
+	return nil
+}
+
+// Contains reports presence without touching recency or stats.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int { return c.order.Len() }
+
+// UsedBytes returns the current cache occupancy.
+func (c *LRU) UsedBytes() int64 { return c.used }
+
+// Capacity returns the configured byte capacity.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (c *LRU) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

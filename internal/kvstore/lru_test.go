@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLRUValidation(t *testing.T) {
+	if _, err := NewLRU(0); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := NewLRU(-5); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	c, err := NewLRU(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	if err := c.Put("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	size, ok := c.Get("a")
+	if !ok || size != 40 {
+		t.Errorf("get a = %d,%v", size, ok)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	if c.Len() != 1 || c.UsedBytes() != 40 || c.Capacity() != 100 {
+		t.Errorf("len=%d used=%d cap=%d", c.Len(), c.UsedBytes(), c.Capacity())
+	}
+}
+
+func TestLRUPutValidation(t *testing.T) {
+	c, _ := NewLRU(100)
+	if err := c.Put("x", 0); err == nil {
+		t.Error("zero size should error")
+	}
+	if err := c.Put("x", 101); err == nil {
+		t.Error("oversized value should error")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := NewLRU(100)
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 100 holds 4 of the 5: k0 evicted.
+	if c.Contains("k0") {
+		t.Error("k0 should have been evicted")
+	}
+	for i := 1; i < 5; i++ {
+		if !c.Contains(fmt.Sprintf("k%d", i)) {
+			t.Errorf("k%d missing", i)
+		}
+	}
+	_, _, ev := c.Stats()
+	if ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c, _ := NewLRU(100)
+	for i := 0; i < 4; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 should be present")
+	}
+	if err := c.Put("k4", 25); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("k0") {
+		t.Error("recently used k0 was evicted")
+	}
+	if c.Contains("k1") {
+		t.Error("LRU victim k1 survived")
+	}
+}
+
+func TestLRUUpdateSize(t *testing.T) {
+	c, _ := NewLRU(100)
+	if err := c.Put("a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || c.UsedBytes() != 60 {
+		t.Errorf("len=%d used=%d after resize", c.Len(), c.UsedBytes())
+	}
+	// Shrinking works too.
+	if err := c.Put("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.UsedBytes() != 10 {
+		t.Errorf("used = %d after shrink", c.UsedBytes())
+	}
+}
+
+func TestLRUHitRate(t *testing.T) {
+	c, _ := NewLRU(100)
+	if c.HitRate() != 0 {
+		t.Error("fresh hit rate should be 0")
+	}
+	_ = c.Put("a", 10)
+	c.Get("a")
+	c.Get("b")
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", c.HitRate())
+	}
+}
+
+// Property: occupancy never exceeds capacity and equals the sum of
+// resident entry sizes.
+func TestLRUInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := NewLRU(1000)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%50)
+			size := int64(op%400) + 1
+			if op%3 == 0 {
+				c.Get(key)
+			} else if err := c.Put(key, size); err != nil {
+				return false
+			}
+			if c.UsedBytes() > c.Capacity() || c.UsedBytes() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

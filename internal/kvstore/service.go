@@ -1,0 +1,227 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a Webservice operation class (§7.1: "capable of performing
+// statistical analysis and aggregation of data for each monitored metric
+// and to serve requested data for any specific period").
+type OpKind int
+
+const (
+	// OpGet serves one record for a specific period.
+	OpGet OpKind = iota
+	// OpAggregate aggregates one node's metric over a period window.
+	OpAggregate
+	// OpAnalyze runs statistical analysis of one metric across the whole
+	// fleet for a period window — the CPU-heavy operation.
+	OpAnalyze
+)
+
+// String names the operation.
+func (o OpKind) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpAggregate:
+		return "aggregate"
+	case OpAnalyze:
+		return "analyze"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request is one client operation.
+type Request struct {
+	Op          OpKind
+	Node        int
+	MetricIdx   int
+	PeriodStart int
+	// PeriodCount is the window length for aggregate/analyze.
+	PeriodCount int
+	// NodeCount bounds how many nodes an analysis scans, starting at
+	// Node; 0 scans the whole fleet.
+	NodeCount int
+}
+
+// Cost is the resource consumption of executing one request: the request-
+// driven Webservice model translates accumulated costs into a sim.Demand.
+type Cost struct {
+	// CPUUnits is abstract compute (1 ≈ the work of serving one cached
+	// record).
+	CPUUnits float64
+	// HotBytes is data actually touched (drives the active working set).
+	HotBytes int64
+	// DiskBytes is backend traffic for cache misses.
+	DiskBytes int64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.CPUUnits += o.CPUUnits
+	c.HotBytes += o.HotBytes
+	c.DiskBytes += o.DiskBytes
+}
+
+// Mix is a distribution over operation kinds; weights need not sum to 1.
+type Mix map[OpKind]float64
+
+// Service executes requests against the Memcached layer, faulting misses
+// in from the (simulated) backing store.
+type Service struct {
+	data  *Dataset
+	cache *LRU
+
+	// analyzeCPUPerRecord scales OpAnalyze's per-record compute: analysis
+	// does statistics on top of fetching.
+	analyzeCPUPerRecord float64
+}
+
+// NewService builds a service over the dataset with a Memcached layer of
+// the given byte capacity.
+func NewService(data *Dataset, cacheBytes int64) (*Service, error) {
+	if data == nil {
+		return nil, fmt.Errorf("kvstore: nil dataset")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	cache, err := NewLRU(cacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{data: data, cache: cache, analyzeCPUPerRecord: 4}, nil
+}
+
+// Cache exposes the Memcached layer for inspection.
+func (s *Service) Cache() *LRU { return s.cache }
+
+// touch fetches one record through the cache and returns its cost.
+func (s *Service) touch(key string) Cost {
+	if size, ok := s.cache.Get(key); ok {
+		return Cost{CPUUnits: 1, HotBytes: size}
+	}
+	size := s.data.RecordSize(key)
+	// A miss reads the backend and populates the cache.
+	_ = s.cache.Put(key, size)
+	return Cost{CPUUnits: 1.5, HotBytes: size, DiskBytes: size}
+}
+
+// Execute runs one request and returns its cost.
+func (s *Service) Execute(req Request) Cost {
+	var cost Cost
+	switch req.Op {
+	case OpGet:
+		cost = s.touch(s.data.Key(req.Node, req.MetricIdx, req.PeriodStart))
+	case OpAggregate:
+		// Aggregation windows look backward from the requested period
+		// ("average the last n samples"), keeping them inside the hot set
+		// when the request targets the present.
+		n := req.PeriodCount
+		if n < 1 {
+			n = 1
+		}
+		for p := 0; p < n; p++ {
+			cost.Add(s.touch(s.data.Key(req.Node, req.MetricIdx, req.PeriodStart-p)))
+		}
+		cost.CPUUnits += 0.5 * float64(n) // the aggregation itself
+	case OpAnalyze:
+		n := req.PeriodCount
+		if n < 1 {
+			n = 1
+		}
+		nodes := req.NodeCount
+		if nodes <= 0 || nodes > s.data.Nodes {
+			nodes = s.data.Nodes
+		}
+		for i := 0; i < nodes; i++ {
+			for p := 0; p < n; p++ {
+				cost.Add(s.touch(s.data.Key(req.Node+i, req.MetricIdx, req.PeriodStart-p)))
+			}
+		}
+		cost.CPUUnits += s.analyzeCPUPerRecord * float64(nodes*n)
+	}
+	return cost
+}
+
+// IngestPeriod writes one monitoring period's records for the whole fleet
+// into the Memcached layer — the collector pipeline that keeps "now"
+// queries hot. It returns the ingestion cost (CPU for deserialization and
+// the bytes touched; the data arrives over the network, not from disk).
+func (s *Service) IngestPeriod(period int) Cost {
+	var cost Cost
+	for node := 0; node < s.data.Nodes; node++ {
+		for m := range s.data.Metrics {
+			key := s.data.Key(node, m, period)
+			size := s.data.RecordSize(key)
+			_ = s.cache.Put(key, size)
+			cost.CPUUnits += 0.3
+			cost.HotBytes += size
+		}
+	}
+	return cost
+}
+
+// hotWindowPeriods and hotFraction shape request locality: most
+// monitoring queries ask about the recently completed periods.
+const (
+	hotWindowPeriods = 4
+	hotFraction      = 0.85
+)
+
+// SampleRequest draws a request from the mix, with locality: hotFraction
+// of requests address the last hotWindowPeriods periods ("what is the
+// fleet doing now"), the rest spread uniformly over the archive. The hot
+// window is what makes the Memcached layer effective.
+func (s *Service) SampleRequest(rng *rand.Rand, mix Mix, nowPeriod int) Request {
+	op := sampleOp(rng, mix)
+	var back int
+	if rng.Float64() < hotFraction {
+		back = 1 + rng.Intn(hotWindowPeriods) // completed, ingested periods
+	} else {
+		back = rng.Intn(s.data.Periods)
+	}
+	req := Request{
+		Op:          op,
+		Node:        rng.Intn(s.data.Nodes),
+		MetricIdx:   rng.Intn(len(s.data.Metrics)),
+		PeriodStart: nowPeriod - back,
+	}
+	switch op {
+	case OpAggregate:
+		req.PeriodCount = 5 + rng.Intn(20)
+	case OpAnalyze:
+		// Analyses scan node groups, not the whole fleet per request —
+		// dashboards fan one fleet sweep out into many group queries.
+		req.PeriodCount = 1 + rng.Intn(3)
+		req.NodeCount = 4 + rng.Intn(8)
+	}
+	return req
+}
+
+func sampleOp(rng *rand.Rand, mix Mix) OpKind {
+	total := 0.0
+	for _, w := range mix {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return OpGet
+	}
+	u := rng.Float64() * total
+	for _, op := range []OpKind{OpGet, OpAggregate, OpAnalyze} {
+		w := mix[op]
+		if w <= 0 {
+			continue
+		}
+		if u < w {
+			return op
+		}
+		u -= w
+	}
+	return OpGet
+}

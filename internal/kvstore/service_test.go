@@ -1,0 +1,192 @@
+package kvstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDatasetValidate(t *testing.T) {
+	d := DefaultDataset()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *d
+	bad.Nodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nodes should error")
+	}
+	bad = *d
+	bad.MaxRecordBytes = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("max < min should error")
+	}
+}
+
+func TestDatasetKeys(t *testing.T) {
+	d := DefaultDataset()
+	k := d.Key(3, 1, 100)
+	if k != "3/memory/100" {
+		t.Errorf("key = %q", k)
+	}
+	// Indices wrap instead of panicking.
+	if d.Key(-1, 0, 0) == "" || d.Key(d.Nodes+2, 0, -5) == "" {
+		t.Error("wrapped keys should render")
+	}
+	if d.NumKeys() != 84*5*1440 {
+		t.Errorf("NumKeys = %d", d.NumKeys())
+	}
+}
+
+func TestDatasetRecordSizeDeterministic(t *testing.T) {
+	d := DefaultDataset()
+	k := d.Key(1, 2, 3)
+	a, b := d.RecordSize(k), d.RecordSize(k)
+	if a != b {
+		t.Errorf("sizes differ: %d vs %d", a, b)
+	}
+	if a < d.MinRecordBytes || a > d.MaxRecordBytes {
+		t.Errorf("size %d outside [%d,%d]", a, d.MinRecordBytes, d.MaxRecordBytes)
+	}
+	if d.TotalBytes() <= 0 {
+		t.Error("total bytes should be positive")
+	}
+}
+
+func newTestService(t *testing.T, cacheBytes int64) *Service {
+	t.Helper()
+	s, err := NewService(DefaultDataset(), cacheBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(nil, 1024); err == nil {
+		t.Error("nil dataset should error")
+	}
+	bad := DefaultDataset()
+	bad.Periods = 0
+	if _, err := NewService(bad, 1024); err == nil {
+		t.Error("invalid dataset should error")
+	}
+	if _, err := NewService(DefaultDataset(), 0); err == nil {
+		t.Error("zero cache should error")
+	}
+}
+
+func TestExecuteGetMissThenHit(t *testing.T) {
+	s := newTestService(t, 1<<20)
+	req := Request{Op: OpGet, Node: 1, MetricIdx: 0, PeriodStart: 10}
+	miss := s.Execute(req)
+	if miss.DiskBytes == 0 {
+		t.Error("first get should miss and read the backend")
+	}
+	hit := s.Execute(req)
+	if hit.DiskBytes != 0 {
+		t.Error("second get should hit the cache")
+	}
+	if hit.CPUUnits >= miss.CPUUnits {
+		t.Errorf("hit CPU %v should be below miss CPU %v", hit.CPUUnits, miss.CPUUnits)
+	}
+	if hit.HotBytes == 0 {
+		t.Error("hits still touch memory")
+	}
+}
+
+func TestExecuteAggregateTouchesWindow(t *testing.T) {
+	s := newTestService(t, 1<<22)
+	req := Request{Op: OpAggregate, Node: 2, MetricIdx: 1, PeriodStart: 0, PeriodCount: 20}
+	cost := s.Execute(req)
+	if cost.CPUUnits < 20 {
+		t.Errorf("aggregate over 20 periods cost %v CPU, want ≥ 20", cost.CPUUnits)
+	}
+	if s.Cache().Len() < 20 {
+		t.Errorf("cache has %d entries, want ≥ 20", s.Cache().Len())
+	}
+	// Degenerate window clamps to 1.
+	c2 := s.Execute(Request{Op: OpAggregate, Node: 2, MetricIdx: 1, PeriodStart: 5})
+	if c2.CPUUnits <= 0 {
+		t.Error("zero-window aggregate should still do work")
+	}
+}
+
+func TestExecuteAnalyzeIsCPUHeavy(t *testing.T) {
+	s := newTestService(t, 1<<24)
+	get := s.Execute(Request{Op: OpGet, Node: 0, MetricIdx: 0, PeriodStart: 0})
+	analyze := s.Execute(Request{Op: OpAnalyze, MetricIdx: 0, PeriodStart: 0, PeriodCount: 1})
+	if analyze.CPUUnits < 100*get.CPUUnits {
+		t.Errorf("analyze CPU %v should dwarf get CPU %v", analyze.CPUUnits, get.CPUUnits)
+	}
+	// Analysis touches every node's record.
+	if s.Cache().Len() < DefaultDataset().Nodes {
+		t.Errorf("cache has %d entries after fleet analysis", s.Cache().Len())
+	}
+}
+
+func TestSmallCacheThrashes(t *testing.T) {
+	// A cache far smaller than the working set must keep missing: this is
+	// the memory-pressure regime of the memory-intensive workload.
+	small := newTestService(t, 64<<10)
+	big := newTestService(t, 64<<20)
+	rng := rand.New(rand.NewSource(1))
+	mix := Mix{OpGet: 1}
+	for i := 0; i < 3000; i++ {
+		req := small.SampleRequest(rng, mix, 1000)
+		small.Execute(req)
+		big.Execute(req)
+	}
+	if small.Cache().HitRate() >= big.Cache().HitRate() {
+		t.Errorf("small cache hit rate %v should trail big cache %v",
+			small.Cache().HitRate(), big.Cache().HitRate())
+	}
+	_, _, ev := small.Cache().Stats()
+	if ev == 0 {
+		t.Error("small cache should evict")
+	}
+}
+
+func TestRecencyBiasImprovesHitRate(t *testing.T) {
+	// With a cache sized to the hot window (the last few periods of every
+	// series plus recent aggregation spans ≈ 25 MB, ~14% of the dataset),
+	// the recency-biased sampler should achieve a solid hit rate.
+	s := newTestService(t, 32<<20)
+	rng := rand.New(rand.NewSource(2))
+	mix := Mix{OpGet: 0.8, OpAggregate: 0.2}
+	for i := 0; i < 5000; i++ {
+		s.Execute(s.SampleRequest(rng, mix, 1000))
+	}
+	if hr := s.Cache().HitRate(); hr < 0.4 {
+		t.Errorf("hit rate = %v, want ≥ 0.4 with recency bias", hr)
+	}
+}
+
+func TestSampleRequestMix(t *testing.T) {
+	s := newTestService(t, 1<<20)
+	rng := rand.New(rand.NewSource(3))
+	counts := map[OpKind]int{}
+	mix := Mix{OpGet: 0.7, OpAnalyze: 0.3}
+	for i := 0; i < 2000; i++ {
+		counts[s.SampleRequest(rng, mix, 100).Op]++
+	}
+	if counts[OpAggregate] != 0 {
+		t.Errorf("aggregate sampled %d times with zero weight", counts[OpAggregate])
+	}
+	frac := float64(counts[OpGet]) / 2000
+	if frac < 0.63 || frac > 0.77 {
+		t.Errorf("get fraction = %v, want ≈0.7", frac)
+	}
+	// Empty mix defaults to OpGet.
+	if op := s.SampleRequest(rng, Mix{}, 0).Op; op != OpGet {
+		t.Errorf("empty mix sampled %v", op)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpGet.String() != "get" || OpAggregate.String() != "aggregate" || OpAnalyze.String() != "analyze" {
+		t.Error("op strings wrong")
+	}
+	if OpKind(9).String() == "" {
+		t.Error("unknown op should format")
+	}
+}

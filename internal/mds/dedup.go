@@ -1,0 +1,106 @@
+package mds
+
+// Representative-sample reduction (§4): "we significantly reduce this
+// overhead by choosing one representative sample from the set of samples
+// that are very close to each other (Euclidean distance) and discarding
+// other similar samples." The reduction keeps SMACOF's quadratic cost
+// bounded by the number of *distinct* system states rather than the number
+// of monitoring periods.
+
+// Reduction maps original sample indices onto a smaller representative set.
+type Reduction struct {
+	// Representatives holds the retained vectors.
+	Representatives [][]float64
+	// Assignment[i] is the index into Representatives for original sample i.
+	Assignment []int
+	// Weights[r] counts how many original samples representative r stands
+	// for.
+	Weights []int
+}
+
+// Reduce greedily merges samples within epsilon (Euclidean) of an existing
+// representative. The first sample of each cluster becomes its
+// representative, so the reduction is deterministic and order-stable:
+// re-running with the same inputs yields the same representatives, and the
+// representative positions are actual observed states (never synthetic
+// averages), which keeps violation labels attached to real measurements.
+//
+// epsilon <= 0 disables merging (every sample is its own representative).
+func Reduce(samples [][]float64, epsilon float64) *Reduction {
+	r := &Reduction{Assignment: make([]int, len(samples))}
+	for i, s := range samples {
+		idx := -1
+		if epsilon > 0 {
+			for j, rep := range r.Representatives {
+				if Euclidean(s, rep) <= epsilon {
+					idx = j
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			idx = len(r.Representatives)
+			r.Representatives = append(r.Representatives, s)
+			r.Weights = append(r.Weights, 0)
+		}
+		r.Assignment[i] = idx
+		r.Weights[idx]++
+	}
+	return r
+}
+
+// Expand maps a configuration of the representatives back onto the original
+// sample order: original sample i receives the coordinates of its
+// representative.
+func (r *Reduction) Expand(repConfig []Coord) []Coord {
+	out := make([]Coord, len(r.Assignment))
+	for i, idx := range r.Assignment {
+		out[i] = repConfig[idx]
+	}
+	return out
+}
+
+// Incremental reduction for the runtime: an OnlineReducer maintains the
+// representative set across periods so per-period cost stays proportional
+// to the number of distinct states.
+type OnlineReducer struct {
+	epsilon float64
+	reps    [][]float64
+	weights []int
+}
+
+// NewOnlineReducer returns a reducer with the given merge threshold.
+func NewOnlineReducer(epsilon float64) *OnlineReducer {
+	return &OnlineReducer{epsilon: epsilon}
+}
+
+// Observe registers a sample, returning the representative index it maps
+// to and whether a new representative was created.
+func (o *OnlineReducer) Observe(sample []float64) (rep int, created bool) {
+	if o.epsilon > 0 {
+		for j, r := range o.reps {
+			if Euclidean(sample, r) <= o.epsilon {
+				o.weights[j]++
+				return j, false
+			}
+		}
+	}
+	cp := append([]float64(nil), sample...)
+	o.reps = append(o.reps, cp)
+	o.weights = append(o.weights, 1)
+	return len(o.reps) - 1, true
+}
+
+// Len returns the number of representatives.
+func (o *OnlineReducer) Len() int { return len(o.reps) }
+
+// Representative returns representative i (not a copy; callers must not
+// modify it).
+func (o *OnlineReducer) Representative(i int) []float64 { return o.reps[i] }
+
+// Representatives returns the underlying representative set (shared, not
+// copied) for distance-matrix construction.
+func (o *OnlineReducer) Representatives() [][]float64 { return o.reps }
+
+// Weight returns how many observations representative i has absorbed.
+func (o *OnlineReducer) Weight(i int) int { return o.weights[i] }

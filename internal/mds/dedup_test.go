@@ -1,0 +1,186 @@
+package mds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceMergesCloseSamples(t *testing.T) {
+	samples := [][]float64{
+		{0, 0},
+		{0.001, 0.001}, // merges with sample 0
+		{1, 1},
+		{0.999, 1.001}, // merges with sample 2
+		{5, 5},
+	}
+	r := Reduce(samples, 0.01)
+	if len(r.Representatives) != 3 {
+		t.Fatalf("representatives = %d, want 3", len(r.Representatives))
+	}
+	wantAssign := []int{0, 0, 1, 1, 2}
+	for i, a := range r.Assignment {
+		if a != wantAssign[i] {
+			t.Errorf("assignment[%d] = %d, want %d", i, a, wantAssign[i])
+		}
+	}
+	wantWeights := []int{2, 2, 1}
+	for i, w := range r.Weights {
+		if w != wantWeights[i] {
+			t.Errorf("weight[%d] = %d, want %d", i, w, wantWeights[i])
+		}
+	}
+}
+
+func TestReduceZeroEpsilonKeepsAll(t *testing.T) {
+	samples := [][]float64{{0}, {0}, {0}}
+	r := Reduce(samples, 0)
+	if len(r.Representatives) != 3 {
+		t.Errorf("representatives = %d, want 3 with epsilon=0", len(r.Representatives))
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	r := Reduce(nil, 0.1)
+	if len(r.Representatives) != 0 || len(r.Assignment) != 0 {
+		t.Errorf("empty reduce: %+v", r)
+	}
+}
+
+func TestReduceRepresentativesAreObservedStates(t *testing.T) {
+	samples := [][]float64{{1, 2}, {1.0001, 2.0001}, {9, 9}}
+	r := Reduce(samples, 0.01)
+	// The representative of the first cluster must be exactly sample 0,
+	// never an average.
+	if r.Representatives[0][0] != 1 || r.Representatives[0][1] != 2 {
+		t.Errorf("representative mutated: %v", r.Representatives[0])
+	}
+}
+
+func TestReduceExpand(t *testing.T) {
+	samples := [][]float64{{0}, {0.001}, {5}}
+	r := Reduce(samples, 0.01)
+	cfg := []Coord{{1, 1}, {2, 2}}
+	full := r.Expand(cfg)
+	if len(full) != 3 {
+		t.Fatalf("expanded length = %d, want 3", len(full))
+	}
+	if full[0] != cfg[0] || full[1] != cfg[0] || full[2] != cfg[1] {
+		t.Errorf("expand wrong: %v", full)
+	}
+}
+
+// Property: weights sum to the number of samples, every sample maps within
+// epsilon of its representative.
+func TestReduceInvariantsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		samples := make([][]float64, len(raw))
+		for i, r := range raw {
+			samples[i] = []float64{float64(r) / 255}
+		}
+		const eps = 0.05
+		red := Reduce(samples, eps)
+		total := 0
+		for _, w := range red.Weights {
+			total += w
+		}
+		if total != len(samples) {
+			return false
+		}
+		for i, a := range red.Assignment {
+			if Euclidean(samples[i], red.Representatives[a]) > eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineReducer(t *testing.T) {
+	o := NewOnlineReducer(0.1)
+	rep, created := o.Observe([]float64{0.5, 0.5})
+	if rep != 0 || !created {
+		t.Errorf("first observe = %d,%v; want 0,true", rep, created)
+	}
+	rep, created = o.Observe([]float64{0.55, 0.5})
+	if rep != 0 || created {
+		t.Errorf("close observe = %d,%v; want 0,false", rep, created)
+	}
+	rep, created = o.Observe([]float64{0.9, 0.9})
+	if rep != 1 || !created {
+		t.Errorf("far observe = %d,%v; want 1,true", rep, created)
+	}
+	if o.Len() != 2 {
+		t.Errorf("Len = %d, want 2", o.Len())
+	}
+	if o.Weight(0) != 2 || o.Weight(1) != 1 {
+		t.Errorf("weights = %d,%d; want 2,1", o.Weight(0), o.Weight(1))
+	}
+}
+
+func TestOnlineReducerCopiesSamples(t *testing.T) {
+	o := NewOnlineReducer(0.01)
+	s := []float64{1, 2}
+	o.Observe(s)
+	s[0] = 99
+	if o.Representative(0)[0] != 1 {
+		t.Error("reducer aliased the caller's slice")
+	}
+}
+
+func TestOnlineReducerMatchesBatchReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([][]float64, 200)
+	for i := range samples {
+		samples[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	const eps = 0.15
+	batch := Reduce(samples, eps)
+	online := NewOnlineReducer(eps)
+	for _, s := range samples {
+		online.Observe(s)
+	}
+	if online.Len() != len(batch.Representatives) {
+		t.Fatalf("online reps = %d, batch reps = %d", online.Len(), len(batch.Representatives))
+	}
+	for i := 0; i < online.Len(); i++ {
+		if Euclidean(online.Representative(i), batch.Representatives[i]) != 0 {
+			t.Errorf("representative %d differs", i)
+		}
+	}
+}
+
+func TestReduceCutsSMACOFCost(t *testing.T) {
+	// The §4 optimization: heavy duplication should collapse to a tiny
+	// representative set whose embedding still reproduces the distinct
+	// structure.
+	var samples [][]float64
+	for i := 0; i < 100; i++ {
+		samples = append(samples, []float64{0.1, 0.1})
+	}
+	for i := 0; i < 100; i++ {
+		samples = append(samples, []float64{0.9, 0.9})
+	}
+	r := Reduce(samples, 0.01)
+	if len(r.Representatives) != 2 {
+		t.Fatalf("representatives = %d, want 2", len(r.Representatives))
+	}
+	delta, err := DistanceMatrix(r.Representatives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SMACOF(delta, DefaultOptions(rand.New(rand.NewSource(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := r.Expand(res.Config)
+	if len(full) != 200 {
+		t.Fatalf("expanded = %d, want 200", len(full))
+	}
+	if d := full[0].Dist(full[150]); d < 0.5 {
+		t.Errorf("cluster separation lost after reduction: %v", d)
+	}
+}

@@ -1,0 +1,133 @@
+// Package mds implements the Multi-Dimensional Scaling machinery of §2.2
+// and §4 of the Stay-Away paper: SMACOF stress majorization for embedding
+// high-dimensional measurement vectors into 2-D, classical (Torgerson)
+// initialization, normalized stress, representative-sample reduction to
+// keep the quadratic cost bounded, incremental single-point placement for
+// the per-period fast path, and Procrustes alignment so successive
+// embeddings stay visually and temporally comparable.
+package mds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense symmetric dissimilarity matrix. Only the values are
+// stored; symmetry is enforced at construction.
+type Matrix struct {
+	n    int
+	data []float64
+}
+
+// NewMatrix returns an n×n zero matrix. n must be positive.
+func NewMatrix(n int) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mds: matrix size must be positive, got %d", n)
+	}
+	return &Matrix{n: n, data: make([]float64, n*n)}, nil
+}
+
+// Size returns the matrix dimension n.
+func (m *Matrix) Size() int { return m.n }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns element (i, j) and (j, i) symmetrically.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.data[i*m.n+j] = v
+	m.data[j*m.n+i] = v
+}
+
+// Euclidean returns the Euclidean distance between two equal-length vectors.
+// It panics if the lengths differ, which always indicates a programming
+// error in the caller (measurement vectors have a fixed schema).
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mds: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistanceMatrix computes the pairwise Euclidean dissimilarity matrix of
+// the given vectors. All vectors must share the same dimension.
+func DistanceMatrix(vectors [][]float64) (*Matrix, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("mds: no vectors")
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("mds: vector %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	m, err := NewMatrix(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, Euclidean(vectors[i], vectors[j]))
+		}
+	}
+	return m, nil
+}
+
+// Coord is a point in the 2-D embedded space.
+type Coord struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two embedded points.
+func (c Coord) Dist(o Coord) float64 {
+	return math.Hypot(c.X-o.X, c.Y-o.Y)
+}
+
+// Add returns c + o.
+func (c Coord) Add(o Coord) Coord { return Coord{c.X + o.X, c.Y + o.Y} }
+
+// Sub returns c − o.
+func (c Coord) Sub(o Coord) Coord { return Coord{c.X - o.X, c.Y - o.Y} }
+
+// Scale returns c scaled by f.
+func (c Coord) Scale(f float64) Coord { return Coord{c.X * f, c.Y * f} }
+
+// Angle returns the absolute angle of the vector from c to o with respect
+// to the x-axis, in [−π, π). This is the "absolute angle α" trajectory
+// parameter of §3.2.3.
+func (c Coord) Angle(o Coord) float64 {
+	return math.Atan2(o.Y-c.Y, o.X-c.X)
+}
+
+// configDistances returns the pairwise distances of an embedding.
+func configDistances(x []Coord) *Matrix {
+	m, _ := NewMatrix(len(x))
+	for i := range x {
+		for j := i + 1; j < len(x); j++ {
+			m.Set(i, j, x[i].Dist(x[j]))
+		}
+	}
+	return m
+}
+
+// centerConfig translates the embedding so its centroid is the origin.
+func centerConfig(x []Coord) {
+	var cx, cy float64
+	for _, p := range x {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(x))
+	cx /= n
+	cy /= n
+	for i := range x {
+		x[i].X -= cx
+		x[i].Y -= cy
+	}
+}

@@ -1,0 +1,157 @@
+package mds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("NewMatrix(0) should error")
+	}
+	if _, err := NewMatrix(-1); err == nil {
+		t.Error("NewMatrix(-1) should error")
+	}
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Errorf("Size = %d, want 3", m.Size())
+	}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	m, _ := NewMatrix(4)
+	m.Set(1, 3, 2.5)
+	if m.At(1, 3) != 2.5 || m.At(3, 1) != 2.5 {
+		t.Errorf("asymmetric: (1,3)=%v (3,1)=%v", m.At(1, 3), m.At(3, 1))
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2}, []float64{1, 2}, 0},
+		{"3-4-5", []float64{0, 0}, []float64{3, 4}, 5},
+		{"1d", []float64{2}, []float64{-1}, 3},
+		{"empty", nil, nil, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Euclidean(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Euclidean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEuclideanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	vecs := [][]float64{{0, 0}, {3, 4}, {0, 8}}
+	m, err := DistanceMatrix(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.At(0, 1), 5, 1e-12) {
+		t.Errorf("d(0,1) = %v, want 5", m.At(0, 1))
+	}
+	if !almostEqual(m.At(0, 2), 8, 1e-12) {
+		t.Errorf("d(0,2) = %v, want 8", m.At(0, 2))
+	}
+	if !almostEqual(m.At(1, 2), 5, 1e-12) {
+		t.Errorf("d(1,2) = %v, want 5", m.At(1, 2))
+	}
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("d(%d,%d) = %v, want 0", i, i, m.At(i, i))
+		}
+	}
+}
+
+func TestDistanceMatrixErrors(t *testing.T) {
+	if _, err := DistanceMatrix(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := DistanceMatrix([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged input should error")
+	}
+}
+
+func TestCoordOps(t *testing.T) {
+	a := Coord{1, 2}
+	b := Coord{4, 6}
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Add(b); got != (Coord{5, 8}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Coord{3, 4}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Coord{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestCoordAngle(t *testing.T) {
+	o := Coord{0, 0}
+	tests := []struct {
+		to   Coord
+		want float64
+	}{
+		{Coord{1, 0}, 0},
+		{Coord{0, 1}, math.Pi / 2},
+		{Coord{-1, 0}, math.Pi},
+		{Coord{0, -1}, -math.Pi / 2},
+		{Coord{1, 1}, math.Pi / 4},
+	}
+	for _, tt := range tests {
+		if got := o.Angle(tt.to); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Angle to %v = %v, want %v", tt.to, got, tt.want)
+		}
+	}
+}
+
+// Property: the triangle inequality holds for Euclidean distances.
+func TestEuclideanTriangleProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := []float64{float64(ax), float64(ay)}
+		b := []float64{float64(bx), float64(by)}
+		c := []float64{float64(cx), float64(cy)}
+		return Euclidean(a, c) <= Euclidean(a, b)+Euclidean(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCenterConfig(t *testing.T) {
+	x := []Coord{{1, 1}, {3, 5}}
+	centerConfig(x)
+	var cx, cy float64
+	for _, p := range x {
+		cx += p.X
+		cy += p.Y
+	}
+	if !almostEqual(cx, 0, 1e-12) || !almostEqual(cy, 0, 1e-12) {
+		t.Errorf("centroid after centering = (%v,%v)", cx, cy)
+	}
+}

@@ -1,0 +1,123 @@
+package mds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Landmark MDS — the "fast approximation to multidimensional scaling" §4
+// cites as the alternative to representative-sample reduction: embed only
+// k landmark points with full SMACOF, then place every remaining point
+// against the landmark configuration by single-point majorization. Cost
+// drops from O(n²) per iteration to O(k² + n·k).
+
+// LandmarkResult carries the output of a landmark MDS run.
+type LandmarkResult struct {
+	// Config is the full embedded configuration (all n points), centered.
+	Config []Coord
+	// Landmarks are the indices chosen as landmarks.
+	Landmarks []int
+	// Stress is the normalized stress-1 of the *full* configuration
+	// against the complete dissimilarity matrix.
+	Stress float64
+}
+
+// LandmarkMDS embeds delta using k landmarks chosen by greedy farthest-
+// point (maxmin) selection. k is clamped to [3, n]; with k = n it reduces
+// to plain SMACOF.
+func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
+	n := delta.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("mds: empty dissimilarity matrix")
+	}
+	if opts.RNG == nil {
+		return nil, fmt.Errorf("mds: RNG required for landmark selection")
+	}
+	if k < 3 {
+		k = 3
+	}
+	if k > n {
+		k = n
+	}
+
+	landmarks := maxminLandmarks(delta, k, opts.RNG)
+
+	// Full SMACOF on the landmark submatrix.
+	sub, err := NewMatrix(len(landmarks))
+	if err != nil {
+		return nil, err
+	}
+	for i, li := range landmarks {
+		for j, lj := range landmarks {
+			if j > i {
+				sub.Set(i, j, delta.At(li, lj))
+			}
+		}
+	}
+	subOpts := opts
+	subOpts.Init = nil
+	res, err := SMACOF(sub, subOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Place every non-landmark against the landmark configuration.
+	config := make([]Coord, n)
+	isLandmark := make(map[int]int, len(landmarks))
+	for i, li := range landmarks {
+		isLandmark[li] = i
+		config[li] = res.Config[i]
+	}
+	d := make([]float64, len(landmarks))
+	for p := 0; p < n; p++ {
+		if _, ok := isLandmark[p]; ok {
+			continue
+		}
+		for i, li := range landmarks {
+			d[i] = delta.At(p, li)
+		}
+		pos, _, err := Place(res.Config, d, PlaceOptions{})
+		if err != nil {
+			return nil, err
+		}
+		config[p] = pos
+	}
+	centerConfig(config)
+	return &LandmarkResult{
+		Config:    config,
+		Landmarks: landmarks,
+		Stress:    Stress1(delta, config),
+	}, nil
+}
+
+// maxminLandmarks greedily picks k points maximizing the minimum distance
+// to already-chosen landmarks, starting from a random seed point. This is
+// the standard farthest-point heuristic: it spreads landmarks across the
+// data's extent so the triangulation anchors every region.
+func maxminLandmarks(delta *Matrix, k int, rng *rand.Rand) []int {
+	n := delta.Size()
+	chosen := make([]int, 0, k)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	next := rng.Intn(n)
+	for len(chosen) < k {
+		chosen = append(chosen, next)
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if d := delta.At(i, next); d < minDist[i] {
+				minDist[i] = d
+			}
+			if minDist[i] > bestD && minDist[i] > 0 {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if best < 0 {
+			break // all remaining points coincide with landmarks
+		}
+		next = best
+	}
+	return chosen
+}

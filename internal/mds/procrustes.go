@@ -1,0 +1,114 @@
+package mds
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Procrustes alignment. MDS solutions are unique only up to rotation,
+// reflection, translation and (for stress-1) scale, so when the runtime
+// periodically refreshes the embedding with a full SMACOF pass, the new
+// configuration must be aligned back onto the previous one — otherwise
+// trajectories and templates would jump between arbitrary orientations.
+//
+// For 2-D configurations the optimal similarity transform has a closed
+// form over the complex plane: writing points as z = x + iy, the transform
+// z ↦ a·z + b (with a, b complex) that minimizes Σ‖a·z_i + b − w_i‖² is an
+// ordinary complex least-squares problem; allowing reflection corresponds
+// to fitting against conj(z) and keeping whichever residual is lower.
+
+// Transform is a 2-D similarity transform w = a·z + b over complex
+// coordinates, optionally preceded by conjugation (reflection across the
+// x-axis).
+type Transform struct {
+	A, B    complex128
+	Reflect bool
+}
+
+// Apply maps a single point through the transform.
+func (t Transform) Apply(p Coord) Coord {
+	z := complex(p.X, p.Y)
+	if t.Reflect {
+		z = cmplx.Conj(z)
+	}
+	w := t.A*z + t.B
+	return Coord{real(w), imag(w)}
+}
+
+// ApplyAll maps a whole configuration through the transform.
+func (t Transform) ApplyAll(ps []Coord) []Coord {
+	out := make([]Coord, len(ps))
+	for i, p := range ps {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// Procrustes finds the similarity transform (rotation, reflection, scale,
+// translation) mapping src onto dst with minimal summed squared error, and
+// returns the transform together with that residual error.
+func Procrustes(src, dst []Coord) (Transform, float64, error) {
+	if len(src) != len(dst) {
+		return Transform{}, 0, fmt.Errorf("mds: procrustes size mismatch %d vs %d", len(src), len(dst))
+	}
+	if len(src) == 0 {
+		return Transform{A: 1}, 0, nil
+	}
+	if len(src) == 1 {
+		// A single correspondence pins translation only.
+		b := complex(dst[0].X-src[0].X, dst[0].Y-src[0].Y)
+		return Transform{A: 1, B: b}, 0, nil
+	}
+
+	direct, errDirect := fitComplex(src, dst, false)
+	mirror, errMirror := fitComplex(src, dst, true)
+	if errMirror < errDirect {
+		return mirror, errMirror, nil
+	}
+	return direct, errDirect, nil
+}
+
+// fitComplex solves min Σ |a·z_i + b − w_i|² in closed form.
+func fitComplex(src, dst []Coord, reflect bool) (Transform, float64) {
+	n := complex(float64(len(src)), 0)
+	var sz, sw, szw, szz complex128
+	zs := make([]complex128, len(src))
+	ws := make([]complex128, len(src))
+	for i := range src {
+		z := complex(src[i].X, src[i].Y)
+		if reflect {
+			z = cmplx.Conj(z)
+		}
+		w := complex(dst[i].X, dst[i].Y)
+		zs[i], ws[i] = z, w
+		sz += z
+		sw += w
+		szw += cmplx.Conj(z) * w
+		szz += cmplx.Conj(z) * z
+	}
+	den := n*szz - cmplx.Conj(sz)*sz
+	var a complex128
+	if cmplx.Abs(den) < 1e-15 {
+		// Degenerate source (all points coincide): translation only.
+		a = 1
+	} else {
+		a = (n*szw - cmplx.Conj(sz)*sw) / den
+	}
+	b := (sw - a*sz) / n
+
+	var residual float64
+	for i := range zs {
+		d := a*zs[i] + b - ws[i]
+		residual += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return Transform{A: a, B: b, Reflect: reflect}, residual
+}
+
+// AlignTo returns src aligned onto dst (convenience wrapper).
+func AlignTo(src, dst []Coord) ([]Coord, error) {
+	t, _, err := Procrustes(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return t.ApplyAll(src), nil
+}

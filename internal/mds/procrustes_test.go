@@ -1,0 +1,148 @@
+package mds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func rotate(ps []Coord, theta float64) []Coord {
+	c, s := math.Cos(theta), math.Sin(theta)
+	out := make([]Coord, len(ps))
+	for i, p := range ps {
+		out[i] = Coord{p.X*c - p.Y*s, p.X*s + p.Y*c}
+	}
+	return out
+}
+
+func TestProcrustesRecoversRotation(t *testing.T) {
+	src := []Coord{{0, 0}, {1, 0}, {0, 1}, {2, 2}}
+	dst := rotate(src, math.Pi/3)
+	tr, residual, err := Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-12 {
+		t.Errorf("residual = %v, want ≈0", residual)
+	}
+	for i, p := range tr.ApplyAll(src) {
+		if p.Dist(dst[i]) > 1e-9 {
+			t.Errorf("point %d: %v, want %v", i, p, dst[i])
+		}
+	}
+}
+
+func TestProcrustesRecoversFullSimilarity(t *testing.T) {
+	src := []Coord{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {-1, 2}}
+	// Rotate by -0.7, scale by 2.5, translate by (3, -4).
+	dst := rotate(src, -0.7)
+	for i := range dst {
+		dst[i] = dst[i].Scale(2.5).Add(Coord{3, -4})
+	}
+	tr, residual, err := Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-9 {
+		t.Errorf("residual = %v, want ≈0", residual)
+	}
+	if tr.Reflect {
+		t.Error("pure similarity should not need reflection")
+	}
+}
+
+func TestProcrustesRecoversReflection(t *testing.T) {
+	src := []Coord{{0, 0}, {1, 0}, {0, 1}, {2, 1}}
+	dst := make([]Coord, len(src))
+	for i, p := range src {
+		dst[i] = Coord{p.X, -p.Y} // mirror across x-axis
+	}
+	tr, residual, err := Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-12 {
+		t.Errorf("residual = %v, want ≈0", residual)
+	}
+	if !tr.Reflect {
+		t.Error("mirrored configuration should select reflection")
+	}
+}
+
+func TestProcrustesEdgeCases(t *testing.T) {
+	if _, _, err := Procrustes([]Coord{{0, 0}}, []Coord{{0, 0}, {1, 1}}); err == nil {
+		t.Error("size mismatch should error")
+	}
+	tr, residual, err := Procrustes(nil, nil)
+	if err != nil || residual != 0 {
+		t.Errorf("empty procrustes: %v, %v", residual, err)
+	}
+	if tr.Apply(Coord{1, 2}) != (Coord{1, 2}) {
+		t.Error("empty procrustes should be identity")
+	}
+
+	// Single point: translation only.
+	tr, _, err = Procrustes([]Coord{{1, 1}}, []Coord{{4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Apply(Coord{1, 1}); got.Dist(Coord{4, 5}) > 1e-12 {
+		t.Errorf("single-point transform = %v, want (4,5)", got)
+	}
+
+	// Degenerate source: all points coincide.
+	src := []Coord{{2, 2}, {2, 2}, {2, 2}}
+	dst := []Coord{{0, 0}, {0, 0}, {0, 0}}
+	tr, _, err = Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Apply(Coord{2, 2}); got.Dist(Coord{0, 0}) > 1e-9 {
+		t.Errorf("degenerate transform maps to %v, want origin", got)
+	}
+}
+
+func TestAlignToPreservesInternalDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]Coord, 10)
+	for i := range src {
+		src[i] = Coord{rng.Float64() * 5, rng.Float64() * 5}
+	}
+	dst := rotate(src, 1.1)
+	aligned, err := AlignTo(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rigid alignment (scale 1 here) must keep all pairwise distances.
+	for i := range src {
+		for j := i + 1; j < len(src); j++ {
+			want := src[i].Dist(src[j])
+			got := aligned[i].Dist(aligned[j])
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("distance (%d,%d) changed: %v -> %v", i, j, want, got)
+			}
+		}
+	}
+}
+
+func TestProcrustesNoisyAlignment(t *testing.T) {
+	// With noise, alignment should still bring configurations close.
+	rng := rand.New(rand.NewSource(10))
+	src := make([]Coord, 20)
+	for i := range src {
+		src[i] = Coord{rng.Float64() * 3, rng.Float64() * 3}
+	}
+	dst := rotate(src, 0.4)
+	for i := range dst {
+		dst[i] = dst[i].Add(Coord{rng.NormFloat64() * 0.01, rng.NormFloat64() * 0.01})
+	}
+	aligned, err := AlignTo(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range aligned {
+		if aligned[i].Dist(dst[i]) > 0.1 {
+			t.Errorf("point %d misaligned by %v", i, aligned[i].Dist(dst[i]))
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package metrics
+
+// Logical-VM aggregation (§5): "the monitored metrics of all the batch
+// applications are aggregated together to model their collective behaviour
+// as a single logical VM. Since resources are shared between all the batch
+// applications, contention can be accurately represented by a linear
+// composition of resource usage values."
+
+// Aggregate sums the metric values of all samples into a single sample
+// named logicalVM. An empty input yields a zero-usage sample (all batch
+// applications stopped consume nothing).
+func Aggregate(logicalVM string, samples []Sample) Sample {
+	out := Sample{VM: logicalVM, Values: make(map[Metric]float64)}
+	for _, s := range samples {
+		for m, v := range s.Values {
+			out.Values[m] += v
+		}
+	}
+	return out
+}
+
+// AggregateByRole splits samples into one logical batch sample plus the
+// untouched sensitive samples, according to the isBatch predicate. This is
+// the exact preprocessing the runtime applies before flattening: with one
+// sensitive VM the result is always a two-VM vector regardless of how many
+// batch containers are co-located, which keeps the MDS dimensionality (and
+// therefore the 2-D stress) stable.
+func AggregateByRole(logicalVM string, samples []Sample, isBatch func(vm string) bool) []Sample {
+	var batch []Sample
+	var rest []Sample
+	for _, s := range samples {
+		if isBatch(s.VM) {
+			batch = append(batch, s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	out := append(rest, Aggregate(logicalVM, batch))
+	SortSamples(out)
+	return out
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import "testing"
+
+func TestAggregateSums(t *testing.T) {
+	samples := []Sample{
+		NewSample("b1", map[Metric]float64{MetricCPU: 30, MetricMemory: 100}),
+		NewSample("b2", map[Metric]float64{MetricCPU: 50, MetricIO: 5}),
+	}
+	out := Aggregate("batch", samples)
+	if out.VM != "batch" {
+		t.Errorf("VM = %q, want batch", out.VM)
+	}
+	if out.Get(MetricCPU) != 80 {
+		t.Errorf("cpu = %v, want 80", out.Get(MetricCPU))
+	}
+	if out.Get(MetricMemory) != 100 {
+		t.Errorf("memory = %v, want 100", out.Get(MetricMemory))
+	}
+	if out.Get(MetricIO) != 5 {
+		t.Errorf("io = %v, want 5", out.Get(MetricIO))
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	out := Aggregate("batch", nil)
+	if out.VM != "batch" || len(out.Values) != 0 {
+		t.Errorf("empty aggregate = %+v", out)
+	}
+}
+
+func TestAggregateByRole(t *testing.T) {
+	samples := []Sample{
+		NewSample("web", map[Metric]float64{MetricCPU: 40}),
+		NewSample("b1", map[Metric]float64{MetricCPU: 10}),
+		NewSample("b2", map[Metric]float64{MetricCPU: 20}),
+	}
+	isBatch := func(vm string) bool { return vm == "b1" || vm == "b2" }
+	out := AggregateByRole("batch", samples, isBatch)
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2 (sensitive + logical batch)", len(out))
+	}
+	// Sorted: "batch" < "web".
+	if out[0].VM != "batch" || out[0].Get(MetricCPU) != 30 {
+		t.Errorf("batch sample = %+v", out[0])
+	}
+	if out[1].VM != "web" || out[1].Get(MetricCPU) != 40 {
+		t.Errorf("web sample = %+v", out[1])
+	}
+}
+
+func TestAggregateByRoleNoBatch(t *testing.T) {
+	samples := []Sample{NewSample("web", map[Metric]float64{MetricCPU: 40})}
+	out := AggregateByRole("batch", samples, func(string) bool { return false })
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	// The logical batch VM exists with zero usage — a stable schema even
+	// when no batch container runs.
+	if out[0].VM != "batch" || out[0].Get(MetricCPU) != 0 {
+		t.Errorf("zero batch sample = %+v", out[0])
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestNormalizer(t *testing.T) *Normalizer {
+	t.Helper()
+	n, err := NewNormalizer(map[Metric]Range{
+		MetricCPU:    {Max: 400}, // fixed: 4 cores
+		MetricMemory: {Max: 1000, Adaptive: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNormalizerValidation(t *testing.T) {
+	if _, err := NewNormalizer(nil); err == nil {
+		t.Error("empty ranges should error")
+	}
+	if _, err := NewNormalizer(map[Metric]Range{MetricCPU: {Max: 0}}); err == nil {
+		t.Error("zero max should error")
+	}
+	if _, err := NewNormalizer(map[Metric]Range{MetricCPU: {Max: -5}}); err == nil {
+		t.Error("negative max should error")
+	}
+	if _, err := NewNormalizer(map[Metric]Range{MetricCPU: {Max: math.NaN()}}); err == nil {
+		t.Error("NaN max should error")
+	}
+}
+
+func TestNormalizeFixedRange(t *testing.T) {
+	n := newTestNormalizer(t)
+	s := NewSample("vm", map[Metric]float64{MetricCPU: 200})
+	out := n.Normalize(s)
+	if out.Get(MetricCPU) != 0.5 {
+		t.Errorf("cpu = %v, want 0.5", out.Get(MetricCPU))
+	}
+}
+
+func TestNormalizeClamps(t *testing.T) {
+	n := newTestNormalizer(t)
+	tests := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"above max", 800, 1},
+		{"negative", -10, 0},
+		{"nan", math.NaN(), 0},
+		{"zero", 0, 0},
+		{"at max", 400, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := n.Normalize(NewSample("vm", map[Metric]float64{MetricCPU: tt.in}))
+			if got := out.Get(MetricCPU); got != tt.want {
+				t.Errorf("normalize(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeAdaptiveRangeGrows(t *testing.T) {
+	n := newTestNormalizer(t)
+	// Observe a value beyond the initial adaptive max.
+	n.Observe(NewSample("vm", map[Metric]float64{MetricMemory: 2000}))
+	r, ok := n.RangeFor(MetricMemory)
+	if !ok || r.Max != 2000 {
+		t.Fatalf("adaptive max = %v, want 2000", r.Max)
+	}
+	out := n.Normalize(NewSample("vm", map[Metric]float64{MetricMemory: 1000}))
+	if got := out.Get(MetricMemory); got != 0.5 {
+		t.Errorf("memory = %v, want 0.5 after range growth", got)
+	}
+}
+
+func TestObserveIgnoresFixedAndInvalid(t *testing.T) {
+	n := newTestNormalizer(t)
+	n.Observe(NewSample("vm", map[Metric]float64{
+		MetricCPU:    900,         // fixed range must not grow
+		MetricMemory: math.Inf(1), // invalid must be ignored
+	}))
+	if r, _ := n.RangeFor(MetricCPU); r.Max != 400 {
+		t.Errorf("fixed range grew to %v", r.Max)
+	}
+	if r, _ := n.RangeFor(MetricMemory); r.Max != 1000 {
+		t.Errorf("adaptive range absorbed Inf: %v", r.Max)
+	}
+}
+
+func TestNormalizeUnknownMetricPassesThrough(t *testing.T) {
+	n := newTestNormalizer(t)
+	out := n.Normalize(NewSample("vm", map[Metric]float64{"custom": 7}))
+	if out.Get("custom") != 7 {
+		t.Errorf("unknown metric = %v, want 7", out.Get("custom"))
+	}
+}
+
+func TestNormalizeAllSharesRanges(t *testing.T) {
+	n := newTestNormalizer(t)
+	samples := []Sample{
+		NewSample("a", map[Metric]float64{MetricMemory: 4000}),
+		NewSample("b", map[Metric]float64{MetricMemory: 1000}),
+	}
+	out := n.NormalizeAll(samples)
+	// Both samples must be scaled by the same (grown) max of 4000.
+	if out[0].Get(MetricMemory) != 1 {
+		t.Errorf("a = %v, want 1", out[0].Get(MetricMemory))
+	}
+	if out[1].Get(MetricMemory) != 0.25 {
+		t.Errorf("b = %v, want 0.25", out[1].Get(MetricMemory))
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	n := newTestNormalizer(t)
+	n.Observe(NewSample("vm", map[Metric]float64{MetricMemory: 5000}))
+	snap := n.Snapshot()
+
+	m, err := NewNormalizer(map[Metric]Range{MetricCPU: {Max: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := m.RangeFor(MetricMemory)
+	if !ok || r.Max != 5000 || !r.Adaptive {
+		t.Errorf("restored range = %+v", r)
+	}
+	// Restore validates like the constructor.
+	if err := m.Restore(map[Metric]Range{MetricCPU: {Max: -1}}); err == nil {
+		t.Error("restoring invalid ranges should error")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	n := newTestNormalizer(t)
+	snap := n.Snapshot()
+	snap[MetricCPU] = Range{Max: 1}
+	if r, _ := n.RangeFor(MetricCPU); r.Max != 400 {
+		t.Error("snapshot aliased internal state")
+	}
+}
+
+// Property: normalized values always land in [0,1] for configured metrics.
+func TestNormalizeBoundsProperty(t *testing.T) {
+	n := newTestNormalizer(t)
+	f := func(raw int32) bool {
+		v := float64(raw)
+		out := n.Normalize(NewSample("vm", map[Metric]float64{MetricCPU: v}))
+		got := out.Get(MetricCPU)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

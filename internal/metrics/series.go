@@ -1,0 +1,78 @@
+package metrics
+
+import "fmt"
+
+// TimedVector is one flattened, normalized measurement vector with its
+// monitoring period index.
+type TimedVector struct {
+	// Period is the monitoring period the vector was captured in.
+	Period int
+	// Values is the flattened vector (schema order).
+	Values []float64
+}
+
+// Series is a bounded ring buffer of measurement vectors, oldest first.
+// Trajectory analysis only needs a recent window; a bounded buffer keeps
+// the runtime's memory footprint constant over long executions
+// (the paper: "negligible memory consumption").
+type Series struct {
+	buf   []TimedVector
+	start int
+	count int
+}
+
+// NewSeries returns a series retaining at most capacity vectors.
+func NewSeries(capacity int) (*Series, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("metrics: series capacity must be positive, got %d", capacity)
+	}
+	return &Series{buf: make([]TimedVector, capacity)}, nil
+}
+
+// Len returns the number of stored vectors.
+func (s *Series) Len() int { return s.count }
+
+// Cap returns the maximum number of retained vectors.
+func (s *Series) Cap() int { return len(s.buf) }
+
+// Push appends a vector, evicting the oldest when full. The values slice
+// is copied.
+func (s *Series) Push(period int, values []float64) {
+	tv := TimedVector{Period: period, Values: append([]float64(nil), values...)}
+	if s.count < len(s.buf) {
+		s.buf[(s.start+s.count)%len(s.buf)] = tv
+		s.count++
+		return
+	}
+	s.buf[s.start] = tv
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// At returns the i-th oldest stored vector (0 = oldest).
+func (s *Series) At(i int) TimedVector {
+	if i < 0 || i >= s.count {
+		panic(fmt.Sprintf("metrics: series index %d out of range [0,%d)", i, s.count))
+	}
+	return s.buf[(s.start+i)%len(s.buf)]
+}
+
+// Last returns the most recent vector and true, or a zero value and false
+// when empty.
+func (s *Series) Last() (TimedVector, bool) {
+	if s.count == 0 {
+		return TimedVector{}, false
+	}
+	return s.At(s.count - 1), true
+}
+
+// Window returns up to n most recent vectors, oldest first.
+func (s *Series) Window(n int) []TimedVector {
+	if n > s.count {
+		n = s.count
+	}
+	out := make([]TimedVector, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.At(s.count - n + i)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import "testing"
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries(0); err == nil {
+		t.Error("capacity 0 should error")
+	}
+	if _, err := NewSeries(-1); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestSeriesPushAndAt(t *testing.T) {
+	s, _ := NewSeries(3)
+	if s.Len() != 0 || s.Cap() != 3 {
+		t.Fatalf("fresh series len=%d cap=%d", s.Len(), s.Cap())
+	}
+	s.Push(1, []float64{1})
+	s.Push(2, []float64{2})
+	if s.Len() != 2 {
+		t.Errorf("len = %d, want 2", s.Len())
+	}
+	if s.At(0).Period != 1 || s.At(1).Period != 2 {
+		t.Errorf("order wrong: %v %v", s.At(0), s.At(1))
+	}
+}
+
+func TestSeriesEviction(t *testing.T) {
+	s, _ := NewSeries(3)
+	for p := 1; p <= 5; p++ {
+		s.Push(p, []float64{float64(p)})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	want := []int{3, 4, 5}
+	for i, w := range want {
+		if s.At(i).Period != w {
+			t.Errorf("At(%d).Period = %d, want %d", i, s.At(i).Period, w)
+		}
+	}
+}
+
+func TestSeriesLast(t *testing.T) {
+	s, _ := NewSeries(2)
+	if _, ok := s.Last(); ok {
+		t.Error("empty series should report no last")
+	}
+	s.Push(7, []float64{7})
+	last, ok := s.Last()
+	if !ok || last.Period != 7 {
+		t.Errorf("last = %v, %v", last, ok)
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	s, _ := NewSeries(5)
+	for p := 1; p <= 4; p++ {
+		s.Push(p, []float64{float64(p)})
+	}
+	w := s.Window(2)
+	if len(w) != 2 || w[0].Period != 3 || w[1].Period != 4 {
+		t.Errorf("window = %v", w)
+	}
+	// Requesting more than stored returns all.
+	w = s.Window(10)
+	if len(w) != 4 {
+		t.Errorf("oversized window len = %d, want 4", len(w))
+	}
+}
+
+func TestSeriesPushCopiesValues(t *testing.T) {
+	s, _ := NewSeries(2)
+	v := []float64{1, 2}
+	s.Push(1, v)
+	v[0] = 99
+	if s.At(0).Values[0] != 1 {
+		t.Error("series aliased caller's slice")
+	}
+}
+
+func TestSeriesAtPanicsOutOfRange(t *testing.T) {
+	s, _ := NewSeries(2)
+	s.Push(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	s.At(5)
+}

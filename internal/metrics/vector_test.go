@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestNewSampleCopies(t *testing.T) {
+	src := map[Metric]float64{MetricCPU: 50}
+	s := NewSample("vm1", src)
+	src[MetricCPU] = 99
+	if s.Get(MetricCPU) != 50 {
+		t.Error("NewSample aliased caller's map")
+	}
+	if s.Get(MetricMemory) != 0 {
+		t.Error("missing metric should read 0")
+	}
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	ms := DefaultMetrics()
+	tests := []struct {
+		name    string
+		vms     []string
+		metrics []Metric
+		wantErr bool
+	}{
+		{"valid", []string{"a", "b"}, ms, false},
+		{"no vms", nil, ms, true},
+		{"no metrics", []string{"a"}, nil, true},
+		{"duplicate vm", []string{"a", "a"}, ms, true},
+		{"empty vm name", []string{""}, ms, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSchema(tt.vms, tt.metrics)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSchemaDimAndLabel(t *testing.T) {
+	s, err := NewSchema([]string{"web", "batch"}, DefaultMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 8 {
+		t.Errorf("Dim = %d, want 8", s.Dim())
+	}
+	if got := s.Label(0); got != "web/cpu" {
+		t.Errorf("Label(0) = %q, want web/cpu", got)
+	}
+	if got := s.Label(5); got != "batch/memory" {
+		t.Errorf("Label(5) = %q, want batch/memory", got)
+	}
+}
+
+func TestSchemaFlatten(t *testing.T) {
+	s, _ := NewSchema([]string{"web", "batch"}, []Metric{MetricCPU, MetricMemory})
+	samples := []Sample{
+		NewSample("batch", map[Metric]float64{MetricCPU: 30, MetricMemory: 200}),
+		NewSample("web", map[Metric]float64{MetricCPU: 70, MetricMemory: 500}),
+	}
+	v, err := s.Flatten(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{70, 500, 30, 200}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("v[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestSchemaFlattenMissingVMIsZero(t *testing.T) {
+	s, _ := NewSchema([]string{"web", "batch"}, []Metric{MetricCPU})
+	v, err := s.Flatten([]Sample{NewSample("web", map[Metric]float64{MetricCPU: 40})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 40 || v[1] != 0 {
+		t.Errorf("v = %v, want [40 0]", v)
+	}
+}
+
+func TestSchemaFlattenErrors(t *testing.T) {
+	s, _ := NewSchema([]string{"web"}, []Metric{MetricCPU})
+	if _, err := s.Flatten([]Sample{NewSample("ghost", nil)}); err == nil {
+		t.Error("unknown VM should error")
+	}
+	dup := []Sample{
+		NewSample("web", map[Metric]float64{MetricCPU: 1}),
+		NewSample("web", map[Metric]float64{MetricCPU: 2}),
+	}
+	if _, err := s.Flatten(dup); err == nil {
+		t.Error("duplicate VM should error")
+	}
+}
+
+func TestSchemaAccessorsCopy(t *testing.T) {
+	s, _ := NewSchema([]string{"a", "b"}, DefaultMetrics())
+	vms := s.VMs()
+	vms[0] = "mutated"
+	if s.VMs()[0] != "a" {
+		t.Error("VMs() leaked internal slice")
+	}
+	ms := s.Metrics()
+	ms[0] = "mutated"
+	if s.Metrics()[0] != MetricCPU {
+		t.Error("Metrics() leaked internal slice")
+	}
+}
+
+func TestSortSamples(t *testing.T) {
+	samples := []Sample{{VM: "c"}, {VM: "a"}, {VM: "b"}}
+	SortSamples(samples)
+	if samples[0].VM != "a" || samples[1].VM != "b" || samples[2].VM != "c" {
+		t.Errorf("sorted order wrong: %v", samples)
+	}
+}

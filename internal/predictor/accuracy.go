@@ -1,0 +1,57 @@
+package predictor
+
+// Tracker accumulates prediction-vs-outcome counts so experiments can
+// report the accuracy figures of §3.2.3 ("more than 90% accuracy on
+// average") and the sample-count ablation.
+type Tracker struct {
+	tp, fp, tn, fn int
+}
+
+// Record logs one (predicted, actual) pair, where predicted is the
+// predictor's violation verdict for a period and actual is whether a
+// violation in fact materialized.
+func (t *Tracker) Record(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		t.tp++
+	case predicted && !actual:
+		t.fp++
+	case !predicted && actual:
+		t.fn++
+	default:
+		t.tn++
+	}
+}
+
+// Total returns the number of recorded periods.
+func (t *Tracker) Total() int { return t.tp + t.fp + t.tn + t.fn }
+
+// Accuracy returns (TP+TN)/total, or 0 with no data.
+func (t *Tracker) Accuracy() float64 {
+	n := t.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.tp+t.tn) / float64(n)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positive prediction was made.
+func (t *Tracker) Precision() float64 {
+	if t.tp+t.fp == 0 {
+		return 0
+	}
+	return float64(t.tp) / float64(t.tp+t.fp)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no violation ever materialized.
+func (t *Tracker) Recall() float64 {
+	if t.tp+t.fn == 0 {
+		return 0
+	}
+	return float64(t.tp) / float64(t.tp+t.fn)
+}
+
+// Counts returns the raw confusion-matrix cells (tp, fp, tn, fn).
+func (t *Tracker) Counts() (tp, fp, tn, fn int) {
+	return t.tp, t.fp, t.tn, t.fn
+}

@@ -1,0 +1,50 @@
+package predictor
+
+import "testing"
+
+func TestTrackerEmpty(t *testing.T) {
+	var tr Tracker
+	if tr.Total() != 0 || tr.Accuracy() != 0 || tr.Precision() != 0 || tr.Recall() != 0 {
+		t.Errorf("empty tracker: total=%d acc=%v prec=%v rec=%v",
+			tr.Total(), tr.Accuracy(), tr.Precision(), tr.Recall())
+	}
+}
+
+func TestTrackerConfusionMatrix(t *testing.T) {
+	var tr Tracker
+	tr.Record(true, true)   // tp
+	tr.Record(true, true)   // tp
+	tr.Record(true, false)  // fp
+	tr.Record(false, true)  // fn
+	tr.Record(false, false) // tn
+	tr.Record(false, false) // tn
+
+	tp, fp, tn, fn := tr.Counts()
+	if tp != 2 || fp != 1 || tn != 2 || fn != 1 {
+		t.Fatalf("counts = %d,%d,%d,%d", tp, fp, tn, fn)
+	}
+	if tr.Total() != 6 {
+		t.Errorf("total = %d", tr.Total())
+	}
+	if got := tr.Accuracy(); got != 4.0/6.0 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := tr.Precision(); got != 2.0/3.0 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := tr.Recall(); got != 2.0/3.0 {
+		t.Errorf("recall = %v", got)
+	}
+}
+
+func TestTrackerAllNegative(t *testing.T) {
+	var tr Tracker
+	tr.Record(false, false)
+	tr.Record(false, false)
+	if tr.Accuracy() != 1 {
+		t.Errorf("accuracy = %v, want 1", tr.Accuracy())
+	}
+	if tr.Precision() != 0 || tr.Recall() != 0 {
+		t.Errorf("precision/recall with no positives = %v/%v", tr.Precision(), tr.Recall())
+	}
+}

@@ -1,0 +1,223 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mds"
+	"repro/internal/statespace"
+	"repro/internal/trajectory"
+)
+
+func newTestPredictor(t *testing.T, cfg Config) (*Predictor, *trajectory.ModeModels) {
+	t.Helper()
+	models, err := trajectory.NewModeModels(trajectory.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(cfg, models, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, models
+}
+
+func TestNewValidation(t *testing.T) {
+	models, err := trajectory.NewModeModels(trajectory.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(Config{Samples: 0, MajorityFraction: 0.5}, models, rng); err == nil {
+		t.Error("zero samples should error")
+	}
+	if _, err := New(Config{Samples: 5, MajorityFraction: 0}, models, rng); err == nil {
+		t.Error("zero majority should error")
+	}
+	if _, err := New(Config{Samples: 5, MajorityFraction: 1.5}, models, rng); err == nil {
+		t.Error("majority > 1 should error")
+	}
+	if _, err := New(DefaultConfig(), nil, rng); err == nil {
+		t.Error("nil models should error")
+	}
+	if _, err := New(DefaultConfig(), models, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+}
+
+func TestPredictNilSpace(t *testing.T) {
+	p, _ := newTestPredictor(t, DefaultConfig())
+	if _, err := p.Predict(nil, trajectory.ModeColocated, mds.Coord{}); err == nil {
+		t.Error("nil space should error")
+	}
+}
+
+func TestPredictNoViolationsLearnedYet(t *testing.T) {
+	p, models := newTestPredictor(t, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		if err := models.Observe(trajectory.ModeColocated, trajectory.Step{Distance: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := statespace.NewSpace()
+	space.Add(mds.Coord{}, nil, 0)
+	d, err := p.Predict(space, trajectory.ModeColocated, mds.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WillViolate || d.Hits != 0 || len(d.Candidates) != 0 {
+		t.Errorf("decision without learned violations = %+v", d)
+	}
+}
+
+// buildViolationSpace returns a space with safe states on the left and a
+// violation state at (1, 0), with pinned extent so ranges are meaningful.
+func buildViolationSpace(t *testing.T) *statespace.Space {
+	t.Helper()
+	s := statespace.NewSpace()
+	s.Add(mds.Coord{X: -1, Y: -1}, nil, 0)
+	s.Add(mds.Coord{X: -1, Y: 1}, nil, 0)
+	s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	v := s.Add(mds.Coord{X: 1, Y: 0}, nil, 0)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPredictMovingTowardViolation(t *testing.T) {
+	p, models := newTestPredictor(t, DefaultConfig())
+	// Trajectory: consistent eastward steps of 0.5.
+	for i := 0; i < 30; i++ {
+		if err := models.Observe(trajectory.ModeColocated, trajectory.Step{Distance: 0.5, Angle: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := buildViolationSpace(t)
+	// Current position 0.5 east of origin: the next eastward step lands at
+	// (1, 0), the violation state.
+	d, err := p.Predict(space, trajectory.ModeColocated, mds.Coord{X: 0.5, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.WillViolate {
+		t.Errorf("expected violation prediction: %+v", d)
+	}
+	if d.Disc.StateID == 0 && d.Disc.Radius == 0 {
+		t.Error("decision should carry the offending disc")
+	}
+	if len(d.Candidates) != 5 {
+		t.Errorf("candidates = %d, want 5", len(d.Candidates))
+	}
+}
+
+func TestPredictMovingAwayFromViolation(t *testing.T) {
+	p, models := newTestPredictor(t, DefaultConfig())
+	// Trajectory: consistent westward steps.
+	for i := 0; i < 30; i++ {
+		if err := models.Observe(trajectory.ModeColocated, trajectory.Step{Distance: 0.5, Angle: -math.Pi}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := buildViolationSpace(t)
+	d, err := p.Predict(space, trajectory.ModeColocated, mds.Coord{X: 0.5, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WillViolate {
+		t.Errorf("moving away should not predict violation: %+v", d)
+	}
+}
+
+func TestPredictStationaryFarFromViolation(t *testing.T) {
+	p, models := newTestPredictor(t, DefaultConfig())
+	for i := 0; i < 30; i++ {
+		if err := models.Observe(trajectory.ModeSensitiveOnly, trajectory.Step{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := buildViolationSpace(t)
+	d, err := p.Predict(space, trajectory.ModeSensitiveOnly, mds.Coord{X: -1, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WillViolate {
+		t.Errorf("stationary far state should be safe: %+v", d)
+	}
+}
+
+func TestPredictMajorityThreshold(t *testing.T) {
+	// With MajorityFraction=1.0 every candidate must hit; a mixed
+	// trajectory should then not trigger.
+	cfg := DefaultConfig()
+	cfg.MajorityFraction = 1.0
+	p, models := newTestPredictor(t, cfg)
+	// Half the steps head east (toward violation), half west.
+	for i := 0; i < 40; i++ {
+		angle := 0.0
+		if i%2 == 1 {
+			angle = -math.Pi
+		}
+		if err := models.Observe(trajectory.ModeColocated, trajectory.Step{Distance: 0.5, Angle: angle}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := buildViolationSpace(t)
+	d, err := p.Predict(space, trajectory.ModeColocated, mds.Coord{X: 0.5, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WillViolate && d.Hits < len(d.Candidates) {
+		t.Errorf("unanimity config triggered on %d/%d hits", d.Hits, len(d.Candidates))
+	}
+}
+
+func TestPredictUsesModeSpecificModel(t *testing.T) {
+	p, models := newTestPredictor(t, DefaultConfig())
+	// Co-located mode heads east (toward the violation); sensitive-only
+	// mode is stationary. Prediction under sensitive-only must be safe
+	// even though co-located data would predict violation.
+	for i := 0; i < 30; i++ {
+		if err := models.Observe(trajectory.ModeColocated, trajectory.Step{Distance: 0.5, Angle: 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := models.Observe(trajectory.ModeSensitiveOnly, trajectory.Step{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Build a space whose violation-range is tight: a safe state sits only
+	// 0.1 away from the violation, so the Rayleigh radius shrinks to ≈0.1
+	// and a stationary state at distance 0.5 is safely outside it.
+	space := statespace.NewSpace()
+	space.Add(mds.Coord{X: -1, Y: -1}, nil, 0)
+	space.Add(mds.Coord{X: -1, Y: 1}, nil, 0)
+	space.Add(mds.Coord{X: 0.9, Y: 0}, nil, 0)
+	v := space.Add(mds.Coord{X: 1, Y: 0}, nil, 0)
+	if err := space.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	cur := mds.Coord{X: 0.5, Y: 0}
+	dCo, err := p.Predict(space, trajectory.ModeColocated, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSens, err := p.Predict(space, trajectory.ModeSensitiveOnly, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dCo.WillViolate {
+		t.Errorf("co-located should predict violation: %+v", dCo)
+	}
+	if dSens.WillViolate {
+		t.Errorf("sensitive-only should be safe: %+v", dSens)
+	}
+}
+
+func TestPredictInvalidMode(t *testing.T) {
+	p, _ := newTestPredictor(t, DefaultConfig())
+	space := buildViolationSpace(t)
+	if _, err := p.Predict(space, trajectory.Mode(42), mds.Coord{}); err == nil {
+		t.Error("invalid mode should error")
+	}
+}

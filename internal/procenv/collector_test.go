@@ -1,0 +1,167 @@
+package procenv
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector("", 100, nil); err == nil {
+		t.Error("empty root should error")
+	}
+	if _, err := NewCollector("/proc", 0, nil); err == nil {
+		t.Error("zero clock tick should error")
+	}
+	if _, err := NewCollector("/proc", 100, []Group{{Name: ""}}); err == nil {
+		t.Error("empty group name should error")
+	}
+	dup := []Group{{Name: "a"}, {Name: "a"}}
+	if _, err := NewCollector("/proc", 100, dup); err == nil {
+		t.Error("duplicate group should error")
+	}
+}
+
+func TestCollectorRates(t *testing.T) {
+	root := t.TempDir()
+	// 100 jiffies/s. Process burns 100 jiffies (1 CPU-second) and reads
+	// 2 MiB between samples taken 2s apart → 50% CPU, 1 MiB/s.
+	writeFakeProc(t, root, 10, "svc", 'R', 1000, 0, 1024, 0, 0)
+	c, err := NewCollector(root, 100, []Group{{Name: "svc", PIDs: []int{10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	c.now = func() time.Time { return base }
+
+	// First sample primes counters: zero rates, but memory is absolute.
+	s := c.Sample()
+	if len(s) != 1 || s[0].VM != "svc" {
+		t.Fatalf("samples = %v", s)
+	}
+	if s[0].Get(metrics.MetricCPU) != 0 || s[0].Get(metrics.MetricIO) != 0 {
+		t.Errorf("priming sample rates = %+v", s[0])
+	}
+	if s[0].Get(metrics.MetricMemory) != 1 {
+		t.Errorf("memory = %v MB, want 1", s[0].Get(metrics.MetricMemory))
+	}
+
+	writeFakeProc(t, root, 10, "svc", 'R', 1080, 20, 2048, 1<<21, 0)
+	c.now = func() time.Time { return base.Add(2 * time.Second) }
+	s = c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 50 {
+		t.Errorf("cpu = %v%%, want 50", got)
+	}
+	if got := s[0].Get(metrics.MetricIO); got != 1 {
+		t.Errorf("io = %v MB/s, want 1", got)
+	}
+	if got := s[0].Get(metrics.MetricMemory); got != 2 {
+		t.Errorf("memory = %v MB, want 2", got)
+	}
+}
+
+func TestCollectorAggregatesGroupPIDs(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 11, "w1", 'R', 100, 0, 1024, 0, 0)
+	writeFakeProc(t, root, 12, "w2", 'R', 100, 0, 2048, 0, 0)
+	c, err := NewCollector(root, 100, []Group{{Name: "pool", PIDs: []int{11, 12}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	c.now = func() time.Time { return base }
+	c.Sample()
+
+	writeFakeProc(t, root, 11, "w1", 'R', 150, 0, 1024, 0, 0)
+	writeFakeProc(t, root, 12, "w2", 'R', 150, 0, 2048, 0, 0)
+	c.now = func() time.Time { return base.Add(time.Second) }
+	s := c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 100 {
+		t.Errorf("pooled cpu = %v%%, want 100 (50+50)", got)
+	}
+	if got := s[0].Get(metrics.MetricMemory); got != 3 {
+		t.Errorf("pooled memory = %v MB, want 3", got)
+	}
+}
+
+func TestCollectorVanishedProcess(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 13, "gone", 'R', 100, 0, 1024, 0, 0)
+	c, err := NewCollector(root, 100, []Group{{Name: "g", PIDs: []int{13}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	c.now = func() time.Time { return base }
+	c.Sample()
+	if err := os.RemoveAll(root + "/13"); err != nil {
+		t.Fatal(err)
+	}
+	c.now = func() time.Time { return base.Add(time.Second) }
+	s := c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 0 {
+		t.Errorf("vanished pid cpu = %v, want 0", got)
+	}
+}
+
+func TestCollectorCounterReset(t *testing.T) {
+	// PID reuse can make cumulative counters go backwards; the rate must
+	// clamp to zero rather than going negative.
+	root := t.TempDir()
+	writeFakeProc(t, root, 14, "p", 'R', 500, 0, 1024, 1<<20, 0)
+	c, err := NewCollector(root, 100, []Group{{Name: "g", PIDs: []int{14}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	c.now = func() time.Time { return base }
+	c.Sample()
+	c.now = func() time.Time { return base.Add(time.Second) }
+	c.Sample()
+
+	writeFakeProc(t, root, 14, "p", 'R', 10, 0, 1024, 0, 0) // counters reset
+	c.now = func() time.Time { return base.Add(2 * time.Second) }
+	s := c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 0 {
+		t.Errorf("cpu after reset = %v, want 0", got)
+	}
+	if got := s[0].Get(metrics.MetricIO); got != 0 {
+		t.Errorf("io after reset = %v, want 0", got)
+	}
+}
+
+func TestGroupRunningAndActive(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 20, "run", 'R', 0, 0, 0, 0, 0)
+	writeFakeProc(t, root, 21, "stopped", 'T', 0, 0, 0, 0, 0)
+	writeFakeProc(t, root, 22, "zombie", 'Z', 0, 0, 0, 0, 0)
+	c, err := NewCollector(root, 100, []Group{
+		{Name: "running", PIDs: []int{20}},
+		{Name: "frozen", PIDs: []int{21}},
+		{Name: "dead", PIDs: []int{22}},
+		{Name: "missing", PIDs: []int{99}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		group           string
+		running, active bool
+	}{
+		{"running", true, true},
+		{"frozen", false, true}, // SIGSTOPped: not running, still has work
+		{"dead", false, false},
+		{"missing", false, false},
+		{"unknown", false, false},
+	}
+	for _, tt := range tests {
+		if got := c.GroupRunning(tt.group); got != tt.running {
+			t.Errorf("GroupRunning(%s) = %v, want %v", tt.group, got, tt.running)
+		}
+		if got := c.GroupActive(tt.group); got != tt.active {
+			t.Errorf("GroupActive(%s) = %v, want %v", tt.group, got, tt.active)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package procenv
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// QoSSource reports the sensitive application's most recent QoS value and
+// threshold, mirroring §3.1: "Stay-Away relies on the application to
+// report whenever a QoS violation happens."
+type QoSSource interface {
+	// QoS returns (value, threshold, ok); ok is false when no fresh report
+	// is available, in which case the period counts as non-violating.
+	QoS() (value, threshold float64, ok bool)
+}
+
+// FileQoS reads QoS reports from a file the application rewrites each
+// period, containing one line: "<value> <threshold>". This is the
+// lightest possible reporting channel for instrumented applications (the
+// paper instrumented VLC 2.0.5 the same way).
+type FileQoS struct {
+	// Path is the report file's location.
+	Path string
+}
+
+var _ QoSSource = FileQoS{}
+
+// QoS implements QoSSource.
+func (f FileQoS) QoS() (float64, float64, bool) {
+	data, err := os.ReadFile(f.Path)
+	if err != nil {
+		return 0, 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, 0, false
+	}
+	v, err1 := strconv.ParseFloat(fields[0], 64)
+	t, err2 := strconv.ParseFloat(fields[1], 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return v, t, true
+}
+
+// StaticQoS always reports the same value; useful for tests and dry runs.
+type StaticQoS struct {
+	Value, Threshold float64
+}
+
+var _ QoSSource = StaticQoS{}
+
+// QoS implements QoSSource.
+func (s StaticQoS) QoS() (float64, float64, bool) { return s.Value, s.Threshold, true }
+
+// Environment adapts a Collector plus a QoSSource to core.Environment for
+// real processes.
+type Environment struct {
+	collector *Collector
+	sensitive string
+	batch     []string
+	qos       QoSSource
+}
+
+var _ core.Environment = (*Environment)(nil)
+
+// NewEnvironment builds an environment over the collector's groups. The
+// sensitive name must match one group; batch names must match the rest.
+func NewEnvironment(c *Collector, sensitiveGroup string, batchGroups []string, qos QoSSource) (*Environment, error) {
+	if c == nil {
+		return nil, fmt.Errorf("procenv: nil collector")
+	}
+	if qos == nil {
+		return nil, fmt.Errorf("procenv: nil QoS source")
+	}
+	known := map[string]bool{}
+	for _, g := range c.groups {
+		known[g.Name] = true
+	}
+	if !known[sensitiveGroup] {
+		return nil, fmt.Errorf("procenv: sensitive group %q not in collector", sensitiveGroup)
+	}
+	for _, b := range batchGroups {
+		if !known[b] {
+			return nil, fmt.Errorf("procenv: batch group %q not in collector", b)
+		}
+	}
+	return &Environment{
+		collector: c,
+		sensitive: sensitiveGroup,
+		batch:     append([]string(nil), batchGroups...),
+		qos:       qos,
+	}, nil
+}
+
+// Collect implements core.Environment.
+func (e *Environment) Collect() []metrics.Sample { return e.collector.Sample() }
+
+// QoSViolation implements core.Environment.
+func (e *Environment) QoSViolation() bool {
+	if !e.SensitiveRunning() {
+		return false
+	}
+	v, t, ok := e.qos.QoS()
+	return ok && v < t
+}
+
+// SensitiveRunning implements core.Environment.
+func (e *Environment) SensitiveRunning() bool {
+	return e.collector.GroupRunning(e.sensitive)
+}
+
+// BatchRunning implements core.Environment.
+func (e *Environment) BatchRunning() bool {
+	for _, b := range e.batch {
+		if e.collector.GroupRunning(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchActive implements core.Environment.
+func (e *Environment) BatchActive() bool {
+	for _, b := range e.batch {
+		if e.collector.GroupActive(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchPIDs returns the decimal PID strings of all batch groups, in the
+// form throttle.ProcessActuator consumes.
+func (e *Environment) BatchPIDs() []string {
+	var out []string
+	for _, b := range e.batch {
+		for _, g := range e.collector.groups {
+			if g.Name != b {
+				continue
+			}
+			for _, pid := range g.PIDs {
+				out = append(out, strconv.Itoa(pid))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package procenv
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzReadProcStat: arbitrary stat file contents (including adversarial
+// comm fields full of spaces and parentheses) must never panic the parser.
+func FuzzReadProcStat(f *testing.F) {
+	f.Add("1 (init) S 0 1 1 0 -1 4194560 0 0 0 0 10 20 0 0 20 0 1 0 1 0 0\n")
+	f.Add("7 (a b) c) R 1 1 1 0 -1 0 0 0 0 0 1 2 0 0\n")
+	f.Add("")
+	f.Add("((((")
+	f.Add("9 (x)")
+	f.Add("9 (x) R 1 2\n")
+	f.Fuzz(func(t *testing.T, content string) {
+		root := t.TempDir()
+		dir := filepath.Join(root, "5")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := readProcStat(root, 5)
+		if err != nil {
+			return
+		}
+		// Accepted stats must carry a plausible state byte.
+		if st.State == 0 {
+			t.Fatal("accepted stat with zero state byte")
+		}
+	})
+}
+
+// FuzzParsePIDLikeStrings exercises the daemon's PID parsing indirectly
+// through the collector's group configuration.
+func FuzzCollectorGroupNames(f *testing.F) {
+	f.Add("svc")
+	f.Add("")
+	f.Add(strconv.Itoa(1 << 30))
+	f.Fuzz(func(t *testing.T, name string) {
+		_, err := NewCollector(t.TempDir(), 100, []Group{{Name: name}})
+		if name == "" && err == nil {
+			t.Fatal("empty group name accepted")
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package procenv
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// writeFakeProc creates a procfs fixture for one pid.
+func writeFakeProc(t *testing.T, root string, pid int, comm string, state byte,
+	utime, stime uint64, rssKB uint64, readBytes, writeBytes uint64) {
+	t.Helper()
+	dir := filepath.Join(root, strconv.Itoa(pid))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Fields after comm: state ppid pgrp session tty tpgid flags minflt
+	// cminflt majflt cmajflt utime stime ... (utime is field 14, 1-based).
+	stat := strconv.Itoa(pid) + " (" + comm + ") " + string(state) +
+		" 1 1 1 0 -1 4194560 100 0 0 0 " +
+		strconv.FormatUint(utime, 10) + " " + strconv.FormatUint(stime, 10) +
+		" 0 0 20 0 1 0 100 0 0\n"
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(stat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status := "Name:\t" + comm + "\nVmRSS:\t" + strconv.FormatUint(rssKB, 10) + " kB\n"
+	if err := os.WriteFile(filepath.Join(dir, "status"), []byte(status), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	io := "rchar: 0\nwchar: 0\nread_bytes: " + strconv.FormatUint(readBytes, 10) +
+		"\nwrite_bytes: " + strconv.FormatUint(writeBytes, 10) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "io"), []byte(io), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadProcStat(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 42, "my app (weird)", 'S', 1500, 500, 2048, 0, 0)
+	st, err := readProcStat(root, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != 'S' || st.UTime != 1500 || st.STime != 500 {
+		t.Errorf("stat = %+v", st)
+	}
+}
+
+func TestReadProcStatErrors(t *testing.T) {
+	root := t.TempDir()
+	if _, err := readProcStat(root, 1); err == nil {
+		t.Error("missing pid should error")
+	}
+	dir := filepath.Join(root, "7")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readProcStat(root, 7); err == nil {
+		t.Error("malformed stat should error")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte("7 (x) R 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readProcStat(root, 7); err == nil {
+		t.Error("truncated stat should error")
+	}
+}
+
+func TestReadVmRSS(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 5, "svc", 'R', 0, 0, 3072, 0, 0)
+	mb, err := readVmRSS(root, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb != 3 {
+		t.Errorf("rss = %v MB, want 3", mb)
+	}
+	// Kernel-thread style status without VmRSS reads as 0.
+	dir := filepath.Join(root, "6")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "status"), []byte("Name:\tkthread\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mb, err = readVmRSS(root, 6)
+	if err != nil || mb != 0 {
+		t.Errorf("kernel thread rss = %v, %v", mb, err)
+	}
+}
+
+func TestReadProcIO(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 9, "io", 'R', 0, 0, 0, 4096, 8192)
+	io, err := readProcIO(root, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.ReadBytes != 4096 || io.WriteBytes != 8192 {
+		t.Errorf("io = %+v", io)
+	}
+}
+
+func TestPidExists(t *testing.T) {
+	root := t.TempDir()
+	writeFakeProc(t, root, 3, "x", 'R', 0, 0, 0, 0, 0)
+	if !pidExists(root, 3) {
+		t.Error("pid 3 should exist")
+	}
+	if pidExists(root, 4) {
+		t.Error("pid 4 should not exist")
+	}
+}
+
+// Integration: parse this test process's own procfs entries on a real
+// Linux /proc.
+func TestRealProcSelf(t *testing.T) {
+	if _, err := os.Stat("/proc/self/stat"); err != nil {
+		t.Skip("no /proc available")
+	}
+	pid := os.Getpid()
+	st, err := readProcStat("/proc", pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != 'R' && st.State != 'S' && st.State != 'D' {
+		t.Errorf("own state = %c", st.State)
+	}
+	rss, err := readVmRSS("/proc", pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rss <= 0 {
+		t.Errorf("own RSS = %v MB, want positive", rss)
+	}
+	if !pidExists("/proc", pid) {
+		t.Error("own pid should exist")
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import "fmt"
+
+// App is a workload running inside a container. Implementations live in
+// the apps package; the simulator only needs demand generation and
+// progress application.
+type App interface {
+	// Name identifies the application (used in labels and reports).
+	Name() string
+	// Demand returns the resources the application wants for the coming
+	// tick.
+	Demand(tick int) Demand
+	// Advance applies one tick's grant. It returns true when the
+	// application has finished all its work (batch jobs); services return
+	// false forever.
+	Advance(tick int, g Grant) (done bool)
+}
+
+// QoSApp is implemented by latency-sensitive applications that report
+// their own QoS, mirroring §3.1: "Stay-Away relies on the application to
+// report whenever a QoS violation happens."
+type QoSApp interface {
+	App
+	// QoS returns the most recent period's QoS value and the violation
+	// threshold; Value < Threshold is a violation.
+	QoS() (value, threshold float64)
+}
+
+// ContainerState is the lifecycle state of a container.
+type ContainerState int
+
+const (
+	// StateRunning: the application executes normally.
+	StateRunning ContainerState = iota
+	// StateFrozen: the container is paused (SIGSTOP/cgroup freezer): no
+	// CPU, no active memory, resident set retained.
+	StateFrozen
+	// StateFinished: the application completed its work.
+	StateFinished
+	// StateStopped: the container was administratively stopped.
+	StateStopped
+)
+
+// String names the state.
+func (s ContainerState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateFrozen:
+		return "frozen"
+	case StateFinished:
+		return "finished"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Container is one LXC-like container hosting an application.
+type Container struct {
+	id    string
+	app   App
+	state ContainerState
+
+	// lastDemand and lastGrant are the most recent tick's values.
+	lastDemand Demand
+	lastGrant  Grant
+
+	// residentMB tracks the resident set across freezes (a frozen process
+	// keeps its memory).
+	residentMB float64
+
+	// totals accumulate effective CPU and granted bytes for utilization
+	// accounting.
+	totalEffectiveCPU float64
+	totalCPU          float64
+	ticksRun          int
+	ticksFrozen       int
+}
+
+// ID returns the container's identifier.
+func (c *Container) ID() string { return c.id }
+
+// AppName returns the hosted application's name.
+func (c *Container) AppName() string { return c.app.Name() }
+
+// State returns the container state.
+func (c *Container) State() ContainerState { return c.state }
+
+// Running reports whether the container is actively executing.
+func (c *Container) Running() bool { return c.state == StateRunning }
+
+// Active reports whether the container still has work (running or frozen,
+// not finished/stopped).
+func (c *Container) Active() bool {
+	return c.state == StateRunning || c.state == StateFrozen
+}
+
+// LastGrant returns the most recent tick's grant.
+func (c *Container) LastGrant() Grant { return c.lastGrant }
+
+// LastDemand returns the most recent tick's demand.
+func (c *Container) LastDemand() Demand { return c.lastDemand }
+
+// TotalCPU returns cumulative granted CPU (percent-of-core × ticks).
+func (c *Container) TotalCPU() float64 { return c.totalCPU }
+
+// TotalEffectiveCPU returns cumulative useful compute.
+func (c *Container) TotalEffectiveCPU() float64 { return c.totalEffectiveCPU }
+
+// TicksRun returns how many ticks the container spent running.
+func (c *Container) TicksRun() int { return c.ticksRun }
+
+// TicksFrozen returns how many ticks the container spent frozen.
+func (c *Container) TicksFrozen() int { return c.ticksFrozen }
+
+// demandForTick produces the container's demand respecting its state.
+func (c *Container) demandForTick(tick int) Demand {
+	switch c.state {
+	case StateRunning:
+		d := c.app.Demand(tick)
+		d.clampNonNegative()
+		c.residentMB = d.MemoryMB
+		return d
+	case StateFrozen:
+		// Frozen: resident set persists, nothing else is consumed. The
+		// cold pages stop creating swap pressure, which is exactly why
+		// throttling a memory-hungry batch app restores the sensitive
+		// app's performance.
+		return Demand{MemoryMB: c.residentMB}
+	default:
+		return Demand{}
+	}
+}

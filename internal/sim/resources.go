@@ -1,0 +1,125 @@
+// Package sim is the virtualization substrate Stay-Away runs against in
+// this reproduction: a discrete-time simulator of one physical host running
+// LXC-like containers. The paper's testbed (a 4-core i5 with LXC) is
+// replaced by a contention model that reproduces the observable surface the
+// middleware depends on — per-container usage vectors, an application-level
+// QoS signal, and freeze/thaw actuation — together with the contention
+// dynamics the evaluation exercises: CPU over-subscription causes
+// instantaneous proportional-share slowdowns, memory over-commit causes
+// swap thrash with disk traffic and response-time collapse, and memory
+// bandwidth saturation stretches compute.
+//
+// Time advances in fixed ticks; one tick is also one Stay-Away monitoring
+// period in the experiments. Nothing reads the wall clock.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Demand is what a container's application wants to consume during one
+// tick.
+type Demand struct {
+	// CPU is compute demand in percent-of-one-core units (two saturated
+	// cores = 200).
+	CPU float64
+	// MemoryMB is the resident set the application holds.
+	MemoryMB float64
+	// ActiveMemMB is the working set actively touched this tick; only
+	// active memory creates swap pressure. Frozen processes keep their
+	// resident set but touch nothing.
+	ActiveMemMB float64
+	// MemBWMBps is memory-bandwidth demand.
+	MemBWMBps float64
+	// DiskMBps is disk-throughput demand.
+	DiskMBps float64
+	// NetMbps is network-throughput demand.
+	NetMbps float64
+}
+
+// clampNonNegative sanitizes a demand in place.
+func (d *Demand) clampNonNegative() {
+	d.CPU = math.Max(0, d.CPU)
+	d.MemoryMB = math.Max(0, d.MemoryMB)
+	d.ActiveMemMB = math.Max(0, math.Min(d.ActiveMemMB, d.MemoryMB))
+	d.MemBWMBps = math.Max(0, d.MemBWMBps)
+	d.DiskMBps = math.Max(0, d.DiskMBps)
+	d.NetMbps = math.Max(0, d.NetMbps)
+}
+
+// Grant is what the host actually allocated to a container for one tick.
+type Grant struct {
+	// CPU is granted compute in percent-of-core units.
+	CPU float64
+	// CPUEfficiency in (0,1] scales how much useful work each granted CPU
+	// unit performs: swap thrash and memory-bandwidth starvation stall
+	// cycles without reducing the CPU accounting.
+	CPUEfficiency float64
+	// MemoryMB is the resident set (always granted; over-commit shows up
+	// as swapping, not allocation failure).
+	MemoryMB float64
+	// MemBWMBps, DiskMBps, NetMbps are granted throughputs.
+	MemBWMBps float64
+	DiskMBps  float64
+	NetMbps   float64
+	// SwapIOMBps is this container's share of swap traffic, visible in
+	// its I/O metric — the signature by which memory contention manifests
+	// in the measurement vector.
+	SwapIOMBps float64
+}
+
+// EffectiveCPU returns granted CPU discounted by efficiency: the quantity
+// that determines application progress.
+func (g Grant) EffectiveCPU() float64 { return g.CPU * g.CPUEfficiency }
+
+// HostConfig describes the simulated physical host.
+type HostConfig struct {
+	// Cores is the number of physical cores (paper testbed: 4).
+	Cores int
+	// MemoryMB is installed RAM.
+	MemoryMB float64
+	// MemBWMBps is the saturating memory bandwidth.
+	MemBWMBps float64
+	// DiskMBps is the disk throughput capacity.
+	DiskMBps float64
+	// NetMbps is the network capacity.
+	NetMbps float64
+	// SwapPenalty scales how violently over-commit degrades efficiency:
+	// efficiency = 1/(1 + SwapPenalty·(overcommit−1)) for containers with
+	// active memory.
+	SwapPenalty float64
+	// SwapIOPerMB converts each MB of active-memory overflow into disk
+	// swap traffic (MB/s per overflowed MB).
+	SwapIOPerMB float64
+}
+
+// DefaultHostConfig models the paper's testbed: a 4-core machine with a
+// few GB of RAM.
+func DefaultHostConfig() HostConfig {
+	return HostConfig{
+		Cores:       4,
+		MemoryMB:    4096,
+		MemBWMBps:   10000,
+		DiskMBps:    200,
+		NetMbps:     1000,
+		SwapPenalty: 12,
+		SwapIOPerMB: 0.05,
+	}
+}
+
+func (c HostConfig) validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: Cores must be positive, got %d", c.Cores)
+	}
+	if c.MemoryMB <= 0 || c.MemBWMBps <= 0 || c.DiskMBps <= 0 || c.NetMbps <= 0 {
+		return fmt.Errorf("sim: capacities must be positive: %+v", c)
+	}
+	if c.SwapPenalty < 0 || c.SwapIOPerMB < 0 {
+		return fmt.Errorf("sim: swap parameters must be non-negative: %+v", c)
+	}
+	return nil
+}
+
+// CPUCapacity returns total CPU capacity in percent-of-core units.
+func (c HostConfig) CPUCapacity() float64 { return 100 * float64(c.Cores) }

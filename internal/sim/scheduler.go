@@ -1,0 +1,111 @@
+package sim
+
+import "math"
+
+// allocate implements the host's contention model for one tick: given each
+// container's demand, produce each container's grant.
+//
+// The model is deliberately simple but reproduces the phenomenology the
+// paper's evaluation depends on:
+//
+//   - CPU: proportional share under over-subscription (a CFS-like fair
+//     split with equal weights). A CPU spike by one container immediately
+//     shrinks everyone's grant — the "instantaneous transition" of §3.2.3.
+//   - Memory: resident sets are always granted (over-commit manifests as
+//     swapping, not OOM). When the sum of *active* working sets exceeds
+//     RAM, every container actively touching memory suffers an efficiency
+//     collapse 1/(1+penalty·(r−1)) and generates swap I/O that both shows
+//     up in its I/O metric and consumes disk capacity — the "gradual
+//     transition" signature, and the §7.2 observation that batch memory
+//     pressure "forces the OS to swap pages of Webservice to disk".
+//   - Memory bandwidth: proportional share; starved containers stall
+//     (efficiency multiplied by granted/demanded).
+//   - Disk and network: proportional share of what swap traffic left over.
+func allocate(cfg HostConfig, demands []Demand) []Grant {
+	n := len(demands)
+	grants := make([]Grant, n)
+	if n == 0 {
+		return grants
+	}
+
+	// --- CPU: proportional share. ---
+	var totalCPU float64
+	for _, d := range demands {
+		totalCPU += d.CPU
+	}
+	cpuRatio := 1.0
+	if cap := cfg.CPUCapacity(); totalCPU > cap {
+		cpuRatio = cap / totalCPU
+	}
+
+	// --- Memory: swap pressure from active working sets. ---
+	var totalActive float64
+	for _, d := range demands {
+		totalActive += d.ActiveMemMB
+	}
+	swapEff := 1.0
+	var swapIOTotal float64
+	if totalActive > cfg.MemoryMB {
+		r := totalActive / cfg.MemoryMB
+		swapEff = 1 / (1 + cfg.SwapPenalty*(r-1))
+		overflow := totalActive - cfg.MemoryMB
+		swapIOTotal = math.Min(cfg.DiskMBps, overflow*cfg.SwapIOPerMB)
+	}
+
+	// --- Memory bandwidth: proportional share. ---
+	var totalBW float64
+	for _, d := range demands {
+		totalBW += d.MemBWMBps
+	}
+	bwRatio := 1.0
+	if totalBW > cfg.MemBWMBps {
+		bwRatio = cfg.MemBWMBps / totalBW
+	}
+
+	// --- Disk: swap traffic consumes capacity first. ---
+	diskCap := math.Max(0, cfg.DiskMBps-swapIOTotal)
+	var totalDisk float64
+	for _, d := range demands {
+		totalDisk += d.DiskMBps
+	}
+	diskRatio := 1.0
+	if totalDisk > diskCap {
+		if totalDisk > 0 {
+			diskRatio = diskCap / totalDisk
+		} else {
+			diskRatio = 0
+		}
+	}
+
+	// --- Network: proportional share. ---
+	var totalNet float64
+	for _, d := range demands {
+		totalNet += d.NetMbps
+	}
+	netRatio := 1.0
+	if totalNet > cfg.NetMbps {
+		netRatio = cfg.NetMbps / totalNet
+	}
+
+	for i, d := range demands {
+		g := &grants[i]
+		g.CPU = d.CPU * cpuRatio
+		g.MemoryMB = d.MemoryMB
+		g.MemBWMBps = d.MemBWMBps * bwRatio
+		g.DiskMBps = d.DiskMBps * diskRatio
+		g.NetMbps = d.NetMbps * netRatio
+
+		eff := 1.0
+		if d.ActiveMemMB > 0 {
+			eff *= swapEff
+			if totalActive > 0 {
+				g.SwapIOMBps = swapIOTotal * (d.ActiveMemMB / totalActive)
+			}
+		}
+		if d.MemBWMBps > 0 {
+			eff *= bwRatio
+		}
+		g.CPUEfficiency = eff
+	}
+	return grants
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testHost() HostConfig { return DefaultHostConfig() }
+
+func TestAllocateNoContention(t *testing.T) {
+	cfg := testHost()
+	demands := []Demand{
+		{CPU: 100, MemoryMB: 500, ActiveMemMB: 200, MemBWMBps: 1000, DiskMBps: 10, NetMbps: 50},
+		{CPU: 150, MemoryMB: 800, ActiveMemMB: 300, MemBWMBps: 2000, DiskMBps: 20, NetMbps: 100},
+	}
+	grants := allocate(cfg, demands)
+	for i, g := range grants {
+		d := demands[i]
+		if g.CPU != d.CPU || g.MemoryMB != d.MemoryMB || g.MemBWMBps != d.MemBWMBps ||
+			g.DiskMBps != d.DiskMBps || g.NetMbps != d.NetMbps {
+			t.Errorf("grant %d = %+v, want full demand %+v", i, g, d)
+		}
+		if g.CPUEfficiency != 1 {
+			t.Errorf("grant %d efficiency = %v, want 1", i, g.CPUEfficiency)
+		}
+		if g.SwapIOMBps != 0 {
+			t.Errorf("grant %d swap = %v, want 0", i, g.SwapIOMBps)
+		}
+	}
+}
+
+func TestAllocateCPUProportionalShare(t *testing.T) {
+	cfg := testHost() // capacity 400
+	demands := []Demand{{CPU: 400}, {CPU: 400}}
+	grants := allocate(cfg, demands)
+	for i, g := range grants {
+		if math.Abs(g.CPU-200) > 1e-9 {
+			t.Errorf("grant %d CPU = %v, want 200 (fair split)", i, g.CPU)
+		}
+	}
+	// Unequal demands split proportionally.
+	grants = allocate(cfg, []Demand{{CPU: 300}, {CPU: 100}, {CPU: 400}})
+	want := []float64{150, 50, 200}
+	for i, g := range grants {
+		if math.Abs(g.CPU-want[i]) > 1e-9 {
+			t.Errorf("grant %d CPU = %v, want %v", i, g.CPU, want[i])
+		}
+	}
+}
+
+func TestAllocateCPUSpikeShrinksOthers(t *testing.T) {
+	// The "instantaneous transition": a bomb spiking from 0 to full
+	// saturation halves the victim's grant within one tick.
+	cfg := testHost()
+	before := allocate(cfg, []Demand{{CPU: 250}, {CPU: 0}})
+	after := allocate(cfg, []Demand{{CPU: 250}, {CPU: 400}})
+	if before[0].CPU != 250 {
+		t.Errorf("uncontended grant = %v, want 250", before[0].CPU)
+	}
+	if after[0].CPU >= before[0].CPU {
+		t.Errorf("contended grant %v should shrink below %v", after[0].CPU, before[0].CPU)
+	}
+}
+
+func TestAllocateSwapCollapse(t *testing.T) {
+	cfg := testHost() // 4096 MB RAM
+	// Two containers actively touching 3 GB each: 6 GB active > 4 GB RAM.
+	demands := []Demand{
+		{CPU: 100, MemoryMB: 3000, ActiveMemMB: 3000},
+		{CPU: 100, MemoryMB: 3000, ActiveMemMB: 3000},
+	}
+	grants := allocate(cfg, demands)
+	r := 6000.0 / cfg.MemoryMB
+	wantEff := 1 / (1 + cfg.SwapPenalty*(r-1))
+	for i, g := range grants {
+		if math.Abs(g.CPUEfficiency-wantEff) > 1e-9 {
+			t.Errorf("grant %d efficiency = %v, want %v", i, g.CPUEfficiency, wantEff)
+		}
+		if g.SwapIOMBps <= 0 {
+			t.Errorf("grant %d swap IO = %v, want positive", i, g.SwapIOMBps)
+		}
+		if g.MemoryMB != 3000 {
+			t.Errorf("resident memory must still be granted: %v", g.MemoryMB)
+		}
+	}
+	// Swap traffic splits proportionally to active memory; equal here.
+	if math.Abs(grants[0].SwapIOMBps-grants[1].SwapIOMBps) > 1e-9 {
+		t.Errorf("swap split unequal: %v vs %v", grants[0].SwapIOMBps, grants[1].SwapIOMBps)
+	}
+}
+
+func TestAllocateSwapSparesInactiveContainers(t *testing.T) {
+	cfg := testHost()
+	// A frozen memory hog (resident but inactive) must not thrash the
+	// active container.
+	demands := []Demand{
+		{CPU: 100, MemoryMB: 500, ActiveMemMB: 400},
+		{MemoryMB: 6000, ActiveMemMB: 0}, // frozen hog
+	}
+	grants := allocate(cfg, demands)
+	if grants[0].CPUEfficiency != 1 {
+		t.Errorf("active container efficiency = %v, want 1 (no active overflow)", grants[0].CPUEfficiency)
+	}
+	if grants[0].SwapIOMBps != 0 || grants[1].SwapIOMBps != 0 {
+		t.Error("no swap traffic expected with cold resident pages")
+	}
+}
+
+func TestAllocateMemoryBandwidthContention(t *testing.T) {
+	cfg := testHost() // 10000 MBps
+	demands := []Demand{
+		{CPU: 100, MemBWMBps: 8000},
+		{CPU: 100, MemBWMBps: 8000},
+	}
+	grants := allocate(cfg, demands)
+	for i, g := range grants {
+		if math.Abs(g.MemBWMBps-5000) > 1e-9 {
+			t.Errorf("grant %d BW = %v, want 5000", i, g.MemBWMBps)
+		}
+		if math.Abs(g.CPUEfficiency-0.625) > 1e-9 {
+			t.Errorf("grant %d efficiency = %v, want 0.625 (granted/demanded)", i, g.CPUEfficiency)
+		}
+	}
+	// A container not touching memory bandwidth is unaffected.
+	grants = allocate(cfg, []Demand{{CPU: 100}, {CPU: 100, MemBWMBps: 20000}})
+	if grants[0].CPUEfficiency != 1 {
+		t.Errorf("non-BW container efficiency = %v, want 1", grants[0].CPUEfficiency)
+	}
+}
+
+func TestAllocateSwapConsumesDiskCapacity(t *testing.T) {
+	cfg := testHost()
+	cfg.DiskMBps = 100
+	cfg.SwapIOPerMB = 0.01
+	// 4096 RAM; active 9096 → overflow 5000 MB → swap demand 50 MBps.
+	demands := []Demand{
+		{CPU: 50, MemoryMB: 9096, ActiveMemMB: 9096},
+		{CPU: 50, DiskMBps: 100}, // wants the whole disk
+	}
+	grants := allocate(cfg, demands)
+	if grants[0].SwapIOMBps <= 0 {
+		t.Fatal("expected swap traffic")
+	}
+	// Disk left for regular IO is 100 − 50 = 50.
+	if math.Abs(grants[1].DiskMBps-50) > 1e-9 {
+		t.Errorf("disk grant = %v, want 50 after swap steals capacity", grants[1].DiskMBps)
+	}
+}
+
+func TestAllocateNetworkContention(t *testing.T) {
+	cfg := testHost() // 1000 Mbps
+	grants := allocate(cfg, []Demand{{NetMbps: 800}, {NetMbps: 400}})
+	total := grants[0].NetMbps + grants[1].NetMbps
+	if math.Abs(total-1000) > 1e-9 {
+		t.Errorf("total net = %v, want 1000", total)
+	}
+	if math.Abs(grants[0].NetMbps/grants[1].NetMbps-2) > 1e-9 {
+		t.Errorf("net split = %v/%v, want 2:1", grants[0].NetMbps, grants[1].NetMbps)
+	}
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	if got := allocate(testHost(), nil); len(got) != 0 {
+		t.Errorf("empty allocate = %v", got)
+	}
+}
+
+// Property: grants never exceed demand, never negative, and the CPU grant
+// total never exceeds capacity.
+func TestAllocateConservationProperty(t *testing.T) {
+	cfg := testHost()
+	f := func(raws []uint16) bool {
+		if len(raws) > 12 {
+			raws = raws[:12]
+		}
+		demands := make([]Demand, 0, len(raws)/3)
+		for i := 0; i+2 < len(raws); i += 3 {
+			demands = append(demands, Demand{
+				CPU:         float64(raws[i]) / 65535 * 600,
+				MemoryMB:    float64(raws[i+1]) / 65535 * 8000,
+				ActiveMemMB: float64(raws[i+1]) / 65535 * 8000,
+				MemBWMBps:   float64(raws[i+2]) / 65535 * 20000,
+			})
+		}
+		grants := allocate(cfg, demands)
+		var totalCPU float64
+		for i, g := range grants {
+			d := demands[i]
+			if g.CPU < 0 || g.CPU > d.CPU+1e-9 {
+				return false
+			}
+			if g.CPUEfficiency <= 0 || g.CPUEfficiency > 1 {
+				return false
+			}
+			if g.MemBWMBps < 0 || g.MemBWMBps > d.MemBWMBps+1e-9 {
+				return false
+			}
+			totalCPU += g.CPU
+		}
+		return totalCPU <= cfg.CPUCapacity()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHostConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*HostConfig)
+	}{
+		{"zero cores", func(c *HostConfig) { c.Cores = 0 }},
+		{"zero memory", func(c *HostConfig) { c.MemoryMB = 0 }},
+		{"zero bw", func(c *HostConfig) { c.MemBWMBps = 0 }},
+		{"zero disk", func(c *HostConfig) { c.DiskMBps = 0 }},
+		{"zero net", func(c *HostConfig) { c.NetMbps = 0 }},
+		{"negative swap penalty", func(c *HostConfig) { c.SwapPenalty = -1 }},
+		{"negative swap io", func(c *HostConfig) { c.SwapIOPerMB = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultHostConfig()
+			tt.mutate(&cfg)
+			if err := cfg.validate(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if err := DefaultHostConfig().validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if got := DefaultHostConfig().CPUCapacity(); got != 400 {
+		t.Errorf("capacity = %v, want 400", got)
+	}
+}
+
+func TestDemandClamp(t *testing.T) {
+	d := Demand{CPU: -5, MemoryMB: 100, ActiveMemMB: 500, MemBWMBps: -1, DiskMBps: -2, NetMbps: -3}
+	d.clampNonNegative()
+	if d.CPU != 0 || d.MemBWMBps != 0 || d.DiskMBps != 0 || d.NetMbps != 0 {
+		t.Errorf("negative fields not clamped: %+v", d)
+	}
+	if d.ActiveMemMB != 100 {
+		t.Errorf("active mem = %v, want clamped to resident 100", d.ActiveMemMB)
+	}
+}
+
+func TestGrantEffectiveCPU(t *testing.T) {
+	g := Grant{CPU: 200, CPUEfficiency: 0.5}
+	if g.EffectiveCPU() != 100 {
+		t.Errorf("effective = %v, want 100", g.EffectiveCPU())
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Simulator steps a host and its containers through discrete time.
+type Simulator struct {
+	cfg        HostConfig
+	containers map[string]*Container
+	order      []string // deterministic iteration order (insertion order)
+	tick       int
+
+	// utilization accounting
+	totalGrantedCPU float64 // across all containers and ticks
+	capacityTicks   float64 // CPU capacity × ticks elapsed
+}
+
+// NewSimulator returns a simulator for the given host.
+func NewSimulator(cfg HostConfig) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:        cfg,
+		containers: make(map[string]*Container),
+	}, nil
+}
+
+// Config returns the host configuration.
+func (s *Simulator) Config() HostConfig { return s.cfg }
+
+// Tick returns the number of completed ticks.
+func (s *Simulator) Tick() int { return s.tick }
+
+// AddContainer creates a container hosting app. IDs must be unique and
+// non-empty.
+func (s *Simulator) AddContainer(id string, app App) (*Container, error) {
+	if id == "" {
+		return nil, fmt.Errorf("sim: empty container ID")
+	}
+	if app == nil {
+		return nil, fmt.Errorf("sim: nil app for container %q", id)
+	}
+	if _, dup := s.containers[id]; dup {
+		return nil, fmt.Errorf("sim: duplicate container ID %q", id)
+	}
+	c := &Container{id: id, app: app, state: StateRunning}
+	s.containers[id] = c
+	s.order = append(s.order, id)
+	return c, nil
+}
+
+// Container returns the container with the given ID.
+func (s *Simulator) Container(id string) (*Container, error) {
+	c, ok := s.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown container %q", id)
+	}
+	return c, nil
+}
+
+// Containers returns all containers in insertion order.
+func (s *Simulator) Containers() []*Container {
+	out := make([]*Container, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.containers[id])
+	}
+	return out
+}
+
+// Freeze pauses a running container (cgroup freezer / SIGSTOP semantics).
+// Freezing a non-running container is a no-op, matching the idempotent
+// behaviour of the real mechanisms.
+func (s *Simulator) Freeze(id string) error {
+	c, err := s.Container(id)
+	if err != nil {
+		return err
+	}
+	if c.state == StateRunning {
+		c.state = StateFrozen
+	}
+	return nil
+}
+
+// Thaw resumes a frozen container.
+func (s *Simulator) Thaw(id string) error {
+	c, err := s.Container(id)
+	if err != nil {
+		return err
+	}
+	if c.state == StateFrozen {
+		c.state = StateRunning
+	}
+	return nil
+}
+
+// Stop administratively terminates a container.
+func (s *Simulator) Stop(id string) error {
+	c, err := s.Container(id)
+	if err != nil {
+		return err
+	}
+	if c.state == StateRunning || c.state == StateFrozen {
+		c.state = StateStopped
+	}
+	return nil
+}
+
+// Step advances the simulation by one tick: collect demands, allocate
+// under contention, and let every running application consume its grant.
+func (s *Simulator) Step() {
+	ids := s.order
+	demands := make([]Demand, len(ids))
+	for i, id := range ids {
+		demands[i] = s.containers[id].demandForTick(s.tick)
+	}
+	grants := allocate(s.cfg, demands)
+	for i, id := range ids {
+		c := s.containers[id]
+		c.lastDemand = demands[i]
+		c.lastGrant = grants[i]
+		switch c.state {
+		case StateRunning:
+			c.ticksRun++
+			c.totalCPU += grants[i].CPU
+			c.totalEffectiveCPU += grants[i].EffectiveCPU()
+			s.totalGrantedCPU += grants[i].CPU
+			if done := c.app.Advance(s.tick, grants[i]); done {
+				c.state = StateFinished
+				c.residentMB = 0
+			}
+		case StateFrozen:
+			c.ticksFrozen++
+		}
+	}
+	s.tick++
+	s.capacityTicks += s.cfg.CPUCapacity()
+}
+
+// Run advances n ticks.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Samples returns the per-container usage samples for the most recent
+// tick, in the form Stay-Away's monitoring collects them: granted CPU,
+// resident memory, I/O including swap traffic, and network.
+func (s *Simulator) Samples() []metrics.Sample {
+	out := make([]metrics.Sample, 0, len(s.order))
+	for _, id := range s.order {
+		c := s.containers[id]
+		g := c.lastGrant
+		out = append(out, metrics.NewSample(id, map[metrics.Metric]float64{
+			metrics.MetricCPU:     g.CPU,
+			metrics.MetricMemory:  g.MemoryMB,
+			metrics.MetricIO:      g.DiskMBps + g.SwapIOMBps,
+			metrics.MetricNetwork: g.NetMbps,
+		}))
+	}
+	return out
+}
+
+// Utilization returns the machine's average CPU utilization in [0,1] over
+// all elapsed ticks.
+func (s *Simulator) Utilization() float64 {
+	if s.capacityTicks == 0 {
+		return 0
+	}
+	return s.totalGrantedCPU / s.capacityTicks
+}
+
+// LastTickUtilization returns the CPU utilization of the most recent tick.
+func (s *Simulator) LastTickUtilization() float64 {
+	var granted float64
+	for _, c := range s.containers {
+		granted += c.lastGrant.CPU
+	}
+	u := granted / s.cfg.CPUCapacity()
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ActiveIDs returns the IDs of containers that still have work, sorted.
+func (s *Simulator) ActiveIDs() []string {
+	var out []string
+	for id, c := range s.containers {
+		if c.Active() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// stubApp is a deterministic App for simulator tests.
+type stubApp struct {
+	name    string
+	demand  Demand
+	work    float64 // effective CPU units until done; <0 = never done
+	doneAt  int     // tick at which Advance reported done (-1 while running)
+	grants  []Grant
+	demands int
+}
+
+func newStubApp(name string, d Demand, work float64) *stubApp {
+	return &stubApp{name: name, demand: d, work: work, doneAt: -1}
+}
+
+func (a *stubApp) Name() string { return a.name }
+
+func (a *stubApp) Demand(tick int) Demand {
+	a.demands++
+	return a.demand
+}
+
+func (a *stubApp) Advance(tick int, g Grant) bool {
+	a.grants = append(a.grants, g)
+	if a.work < 0 {
+		return false
+	}
+	a.work -= g.EffectiveCPU()
+	if a.work <= 0 {
+		a.doneAt = tick
+		return true
+	}
+	return false
+}
+
+func mustSim(t *testing.T) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	cfg := DefaultHostConfig()
+	cfg.Cores = 0
+	if _, err := NewSimulator(cfg); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestAddContainerValidation(t *testing.T) {
+	s := mustSim(t)
+	if _, err := s.AddContainer("", newStubApp("a", Demand{}, -1)); err == nil {
+		t.Error("empty ID should error")
+	}
+	if _, err := s.AddContainer("c1", nil); err == nil {
+		t.Error("nil app should error")
+	}
+	if _, err := s.AddContainer("c1", newStubApp("a", Demand{}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("c1", newStubApp("b", Demand{}, -1)); err == nil {
+		t.Error("duplicate ID should error")
+	}
+	if _, err := s.Container("ghost"); err == nil {
+		t.Error("unknown container should error")
+	}
+}
+
+func TestStepAdvancesApps(t *testing.T) {
+	s := mustSim(t)
+	app := newStubApp("svc", Demand{CPU: 100}, -1)
+	c, err := s.AddContainer("c1", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	if s.Tick() != 3 {
+		t.Errorf("tick = %d, want 3", s.Tick())
+	}
+	if len(app.grants) != 3 {
+		t.Errorf("advances = %d, want 3", len(app.grants))
+	}
+	if c.TicksRun() != 3 || c.TotalCPU() != 300 {
+		t.Errorf("ticksRun=%d totalCPU=%v", c.TicksRun(), c.TotalCPU())
+	}
+	if c.LastGrant().CPU != 100 || c.LastDemand().CPU != 100 {
+		t.Errorf("last grant/demand = %+v / %+v", c.LastGrant(), c.LastDemand())
+	}
+}
+
+func TestAppCompletion(t *testing.T) {
+	s := mustSim(t)
+	app := newStubApp("job", Demand{CPU: 100}, 250) // needs 2.5 ticks at 100
+	c, err := s.AddContainer("c1", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	if c.State() != StateFinished {
+		t.Errorf("state = %v, want finished", c.State())
+	}
+	if app.doneAt != 2 {
+		t.Errorf("done at tick %d, want 2", app.doneAt)
+	}
+	// After finishing, the app is no longer advanced and demands nothing.
+	if len(app.grants) != 3 {
+		t.Errorf("advances = %d, want 3 (stop after done)", len(app.grants))
+	}
+	if c.LastGrant().CPU != 0 {
+		t.Errorf("finished container still granted CPU: %+v", c.LastGrant())
+	}
+}
+
+func TestFreezeThaw(t *testing.T) {
+	s := mustSim(t)
+	app := newStubApp("batch", Demand{CPU: 200, MemoryMB: 1000, ActiveMemMB: 500}, -1)
+	c, err := s.AddContainer("b", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step() // running tick: resident set registered
+	if err := s.Freeze("b"); err != nil {
+		t.Fatal(err)
+	}
+	s.Step() // frozen tick
+	if c.State() != StateFrozen || c.TicksFrozen() != 1 {
+		t.Errorf("state=%v frozen=%d", c.State(), c.TicksFrozen())
+	}
+	// Frozen: no CPU, resident memory kept, no active memory.
+	if c.LastDemand().CPU != 0 || c.LastDemand().MemoryMB != 1000 || c.LastDemand().ActiveMemMB != 0 {
+		t.Errorf("frozen demand = %+v", c.LastDemand())
+	}
+	// The app must not be advanced while frozen.
+	if len(app.grants) != 1 {
+		t.Errorf("advances while frozen: %d", len(app.grants))
+	}
+	if err := s.Thaw("b"); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if c.State() != StateRunning || len(app.grants) != 2 {
+		t.Errorf("after thaw: state=%v advances=%d", c.State(), len(app.grants))
+	}
+}
+
+func TestFreezeIdempotentAndStates(t *testing.T) {
+	s := mustSim(t)
+	if _, err := s.AddContainer("x", newStubApp("a", Demand{CPU: 10}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Thaw("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Thaw("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze("ghost"); err == nil {
+		t.Error("freezing unknown container should error")
+	}
+	if err := s.Stop("x"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Container("x")
+	if c.State() != StateStopped || c.Active() {
+		t.Errorf("state = %v", c.State())
+	}
+	// Freezing a stopped container is a no-op.
+	if err := s.Freeze("x"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateStopped {
+		t.Errorf("state after freeze-on-stopped = %v", c.State())
+	}
+}
+
+func TestSamples(t *testing.T) {
+	s := mustSim(t)
+	if _, err := s.AddContainer("web", newStubApp("web", Demand{CPU: 100, MemoryMB: 500, DiskMBps: 5, NetMbps: 20}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("batch", newStubApp("batch", Demand{CPU: 50}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0].VM != "web" || samples[1].VM != "batch" {
+		t.Errorf("sample order: %v, %v", samples[0].VM, samples[1].VM)
+	}
+	if samples[0].Get(metrics.MetricCPU) != 100 ||
+		samples[0].Get(metrics.MetricMemory) != 500 ||
+		samples[0].Get(metrics.MetricIO) != 5 ||
+		samples[0].Get(metrics.MetricNetwork) != 20 {
+		t.Errorf("web sample = %+v", samples[0])
+	}
+}
+
+func TestSamplesIncludeSwapIO(t *testing.T) {
+	s := mustSim(t)
+	if _, err := s.AddContainer("hog", newStubApp("hog", Demand{CPU: 50, MemoryMB: 9000, ActiveMemMB: 9000}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	samples := s.Samples()
+	if io := samples[0].Get(metrics.MetricIO); io <= 0 {
+		t.Errorf("IO = %v, want swap traffic visible", io)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	s := mustSim(t) // capacity 400
+	if _, err := s.AddContainer("a", newStubApp("a", Demand{CPU: 100}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if got := s.Utilization(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.25", got)
+	}
+	if got := s.LastTickUtilization(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("last-tick utilization = %v, want 0.25", got)
+	}
+	if got := mustSim(t).Utilization(); got != 0 {
+		t.Errorf("utilization before any tick = %v", got)
+	}
+}
+
+func TestActiveIDs(t *testing.T) {
+	s := mustSim(t)
+	if _, err := s.AddContainer("b", newStubApp("b", Demand{CPU: 10}, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("a", newStubApp("a", Demand{CPU: 10}, 5)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ActiveIDs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("active = %v", got)
+	}
+	s.Run(2) // "a" finishes (needs 5 effective CPU, gets 10/tick)
+	got = s.ActiveIDs()
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("active after completion = %v", got)
+	}
+}
+
+func TestContentionEndToEnd(t *testing.T) {
+	// A sensitive service demanding 200 CPU against a bomb demanding 400:
+	// the service receives a fair share of ~133 and progresses slower.
+	s := mustSim(t)
+	svc := newStubApp("svc", Demand{CPU: 200}, -1)
+	bomb := newStubApp("bomb", Demand{CPU: 400}, -1)
+	if _, err := s.AddContainer("svc", svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("bomb", bomb); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	got := svc.grants[0].CPU
+	want := 200.0 * 400 / 600
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("svc grant = %v, want %v", got, want)
+	}
+	// Freezing the bomb restores the service's full demand.
+	if err := s.Freeze("bomb"); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if got := svc.grants[1].CPU; got != 200 {
+		t.Errorf("svc grant after freeze = %v, want 200", got)
+	}
+}
+
+func TestContainerStateString(t *testing.T) {
+	want := map[ContainerState]string{
+		StateRunning:  "running",
+		StateFrozen:   "frozen",
+		StateFinished: "finished",
+		StateStopped:  "stopped",
+	}
+	for st, w := range want {
+		if st.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), w)
+		}
+	}
+	if ContainerState(9).String() == "" {
+		t.Error("unknown state should format")
+	}
+}
+
+func TestContainersOrder(t *testing.T) {
+	s := mustSim(t)
+	for _, id := range []string{"z", "a", "m"} {
+		if _, err := s.AddContainer(id, newStubApp(id, Demand{}, -1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := s.Containers()
+	if cs[0].ID() != "z" || cs[1].ID() != "a" || cs[2].ID() != "m" {
+		t.Errorf("order = %v,%v,%v; want insertion order", cs[0].ID(), cs[1].ID(), cs[2].ID())
+	}
+}

@@ -1,0 +1,47 @@
+package statespace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTemplate: template parsing must never panic, and anything it
+// accepts must survive Import (or be rejected by Import's validation) —
+// never corrupt a Space.
+func FuzzReadTemplate(f *testing.F) {
+	f.Add(`{"version":1,"sensitive_app":"vlc","dim":2,"states":[{"x":1,"y":2,"label":"safe","weight":1,"vector":[0.1,0.2]}],"ranges":{}}`)
+	f.Add(`{"version":1,"states":[{"label":"violation","vector":[]}]}`)
+	f.Add(`{}`)
+	f.Add(`{"version":99}`)
+	f.Add(`not json`)
+	f.Add(`{"version":1,"dim":3,"states":[{"vector":[1]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tpl, err := ReadTemplate(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		space, err := Import(tpl)
+		if err != nil {
+			return
+		}
+		// An imported space must be internally consistent.
+		if space.Len() != len(tpl.States) {
+			t.Fatalf("states %d vs template %d", space.Len(), len(tpl.States))
+		}
+		for _, id := range space.ViolationIDs() {
+			st, err := space.State(id)
+			if err != nil {
+				t.Fatalf("violation id %d invalid: %v", id, err)
+			}
+			if st.Label != Violation {
+				t.Fatalf("violation id %d labelled %v", id, st.Label)
+			}
+		}
+		// Violation ranges must respect the R < d invariant where defined.
+		for _, d := range space.ViolationRanges() {
+			if d.Radius < 0 {
+				t.Fatalf("negative radius %v", d.Radius)
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package statespace
+
+import (
+	"math"
+
+	"repro/internal/mds"
+)
+
+// grid is a uniform spatial hash over state positions for nearest-neighbour
+// queries. State counts stay modest (representative reduction keeps only
+// distinct states), but nearest-safe-state queries run for every
+// violation-state every period, so an index keeps the controller's
+// per-period cost low (the paper's ~2% CPU overhead budget).
+type grid struct {
+	states   []State
+	cellSize float64
+	minX     float64
+	minY     float64
+	cols     int
+	rows     int
+	cells    map[int][]int // cell key -> state IDs
+}
+
+// targetPerCell tunes cell granularity: cells sized so an average cell
+// holds about this many states.
+const targetPerCell = 4
+
+func buildGrid(states []State) *grid {
+	g := &grid{states: states, cells: make(map[int][]int)}
+	if len(states) == 0 {
+		g.cellSize = 1
+		g.cols, g.rows = 1, 1
+		return g
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, st := range states {
+		minX = math.Min(minX, st.Coord.X)
+		maxX = math.Max(maxX, st.Coord.X)
+		minY = math.Min(minY, st.Coord.Y)
+		maxY = math.Max(maxY, st.Coord.Y)
+	}
+	g.minX, g.minY = minX, minY
+	w, h := maxX-minX, maxY-minY
+	span := math.Max(w, h)
+	if span <= 0 {
+		// All states coincide: one cell is enough.
+		g.cellSize = 1
+		g.cols, g.rows = 1, 1
+		for i := range states {
+			g.cells[0] = append(g.cells[0], i)
+		}
+		return g
+	}
+	nCells := math.Max(1, float64(len(states))/targetPerCell)
+	side := math.Sqrt(nCells)
+	g.cellSize = span / side
+	g.cols = int(w/g.cellSize) + 1
+	g.rows = int(h/g.cellSize) + 1
+	for i, st := range states {
+		g.cells[g.key(st.Coord)] = append(g.cells[g.key(st.Coord)], i)
+	}
+	return g
+}
+
+func (g *grid) cellOf(p mds.Coord) (cx, cy int) {
+	cx = int((p.X - g.minX) / g.cellSize)
+	cy = int((p.Y - g.minY) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *grid) key(p mds.Coord) int {
+	cx, cy := g.cellOf(p)
+	return cy*g.cols + cx
+}
+
+// nearest finds the closest state satisfying pred using an expanding-ring
+// search over grid cells. It returns ok=false when no state matches.
+func (g *grid) nearest(p mds.Coord, pred func(*State) bool) (dist float64, id int, ok bool) {
+	if len(g.states) == 0 {
+		return 0, 0, false
+	}
+	cx, cy := g.cellOf(p)
+	best := math.Inf(1)
+	bestID := -1
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, one extra ring guarantees correctness:
+		// a state in a farther ring is at least (ring−1)·cellSize away.
+		if bestID >= 0 && float64(ring-1)*g.cellSize > best {
+			break
+		}
+		g.visitRing(cx, cy, ring, func(ids []int) {
+			for _, i := range ids {
+				st := &g.states[i]
+				if !pred(st) {
+					continue
+				}
+				d := p.Dist(st.Coord)
+				if d < best {
+					best = d
+					bestID = i
+				}
+			}
+		})
+	}
+	if bestID < 0 {
+		return 0, 0, false
+	}
+	return best, g.states[bestID].ID, true
+}
+
+// visitRing calls fn for every populated cell on the square ring of the
+// given radius around (cx, cy).
+func (g *grid) visitRing(cx, cy, ring int, fn func(ids []int)) {
+	if ring == 0 {
+		if ids, ok := g.cells[cy*g.cols+cx]; ok {
+			fn(ids)
+		}
+		return
+	}
+	for dx := -ring; dx <= ring; dx++ {
+		for _, dy := range ringDY(dx, ring) {
+			x, y := cx+dx, cy+dy
+			if x < 0 || y < 0 || x >= g.cols || y >= g.rows {
+				continue
+			}
+			if ids, ok := g.cells[y*g.cols+x]; ok {
+				fn(ids)
+			}
+		}
+	}
+}
+
+// ringDY returns the dy offsets forming the ring boundary for a given dx.
+func ringDY(dx, ring int) []int {
+	if dx == -ring || dx == ring {
+		out := make([]int, 0, 2*ring+1)
+		for dy := -ring; dy <= ring; dy++ {
+			out = append(out, dy)
+		}
+		return out
+	}
+	return []int{-ring, ring}
+}

@@ -1,0 +1,128 @@
+package statespace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mds"
+)
+
+// bruteNearest is the reference implementation the grid must match.
+func bruteNearest(states []State, p mds.Coord, pred func(*State) bool) (float64, int, bool) {
+	best := math.Inf(1)
+	bestID := -1
+	for i := range states {
+		if !pred(&states[i]) {
+			continue
+		}
+		d := p.Dist(states[i].Coord)
+		if d < best {
+			best = d
+			bestID = states[i].ID
+		}
+	}
+	if bestID < 0 {
+		return 0, 0, false
+	}
+	return best, bestID, true
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewSpace()
+	for i := 0; i < 300; i++ {
+		id := s.Add(mds.Coord{X: rng.Float64() * 20, Y: rng.Float64() * 20}, nil, 0)
+		if rng.Float64() < 0.3 {
+			if err := s.MarkViolation(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	states := s.States()
+	safePred := func(st *State) bool { return st.Label == Safe }
+	for q := 0; q < 200; q++ {
+		p := mds.Coord{X: rng.Float64()*30 - 5, Y: rng.Float64()*30 - 5}
+		gd, gid, gok := s.NearestSafe(p)
+		bd, bid, bok := bruteNearest(states, p, safePred)
+		if gok != bok {
+			t.Fatalf("query %v: ok %v vs brute %v", p, gok, bok)
+		}
+		if !gok {
+			continue
+		}
+		if math.Abs(gd-bd) > 1e-9 {
+			t.Fatalf("query %v: dist %v (id %d) vs brute %v (id %d)", p, gd, gid, bd, bid)
+		}
+	}
+}
+
+func TestGridCoincidentStates(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 5; i++ {
+		s.Add(mds.Coord{X: 1, Y: 1}, nil, 0)
+	}
+	d, _, ok := s.NearestAny(mds.Coord{X: 1, Y: 1})
+	if !ok || d != 0 {
+		t.Errorf("nearest among coincident = %v,%v", d, ok)
+	}
+	d, _, ok = s.NearestAny(mds.Coord{X: 4, Y: 5})
+	if !ok || math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+}
+
+func TestGridRebuildAfterSetCoords(t *testing.T) {
+	s := NewSpace()
+	a := s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	b := s.Add(mds.Coord{X: 10, Y: 0}, nil, 0)
+	// Prime the grid.
+	if _, id, _ := s.NearestAny(mds.Coord{X: 1, Y: 0}); id != a {
+		t.Fatalf("nearest = %d, want %d", id, a)
+	}
+	// Swap positions; the cached grid must be invalidated.
+	if err := s.SetCoords([]mds.Coord{{X: 10, Y: 0}, {X: 0, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, id, _ := s.NearestAny(mds.Coord{X: 1, Y: 0}); id != b {
+		t.Errorf("nearest after move = %d, want %d", id, b)
+	}
+}
+
+func TestGridQueryFarOutsideBounds(t *testing.T) {
+	s := NewSpace()
+	s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	s.Add(mds.Coord{X: 1, Y: 1}, nil, 0)
+	d, id, ok := s.NearestAny(mds.Coord{X: 1000, Y: 1000})
+	if !ok {
+		t.Fatal("expected a result")
+	}
+	want := mds.Coord{X: 1, Y: 1}.Dist(mds.Coord{X: 1000, Y: 1000})
+	if id != 1 || math.Abs(d-want) > 1e-9 {
+		t.Errorf("far query: id=%d d=%v, want id=1 d=%v", id, d, want)
+	}
+}
+
+func TestRingDY(t *testing.T) {
+	// Edges of the ring enumerate all dy; interior columns only ±ring.
+	if got := ringDY(2, 2); len(got) != 5 {
+		t.Errorf("edge column dys = %v", got)
+	}
+	if got := ringDY(0, 2); len(got) != 2 || got[0] != -2 || got[1] != 2 {
+		t.Errorf("interior column dys = %v", got)
+	}
+}
+
+func BenchmarkGridNearest1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSpace()
+	for i := 0; i < 1000; i++ {
+		s.Add(mds.Coord{X: rng.Float64() * 100, Y: rng.Float64() * 100}, nil, 0)
+	}
+	s.ensureGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mds.Coord{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		s.NearestAny(p)
+	}
+}

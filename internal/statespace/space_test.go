@@ -1,0 +1,279 @@
+package statespace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mds"
+	"repro/internal/stats"
+)
+
+func TestLabelString(t *testing.T) {
+	if Safe.String() != "safe" || Violation.String() != "violation" {
+		t.Errorf("labels: %v %v", Safe, Violation)
+	}
+	if Label(9).String() == "" {
+		t.Error("unknown label should still format")
+	}
+}
+
+func TestSpaceAddAndState(t *testing.T) {
+	s := NewSpace()
+	if s.Len() != 0 {
+		t.Fatalf("fresh space len = %d", s.Len())
+	}
+	vec := []float64{0.1, 0.2}
+	id := s.Add(mds.Coord{X: 1, Y: 2}, vec, 5)
+	if id != 0 || s.Len() != 1 {
+		t.Fatalf("id=%d len=%d", id, s.Len())
+	}
+	st, err := s.State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Coord != (mds.Coord{X: 1, Y: 2}) || st.Label != Safe || st.Weight != 1 {
+		t.Errorf("state = %+v", st)
+	}
+	if st.FirstPeriod != 5 || st.LastPeriod != 5 {
+		t.Errorf("periods = %d,%d", st.FirstPeriod, st.LastPeriod)
+	}
+	// The stored vector must be a copy in both directions.
+	vec[0] = 99
+	st2, _ := s.State(id)
+	if st2.Vector[0] != 0.1 {
+		t.Error("Add aliased caller's vector")
+	}
+	st2.Vector[0] = 77
+	st3, _ := s.State(id)
+	if st3.Vector[0] != 0.1 {
+		t.Error("State leaked internal vector")
+	}
+}
+
+func TestSpaceStateOutOfRange(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.State(0); err == nil {
+		t.Error("State(0) on empty space should error")
+	}
+	if err := s.Observe(3, 1); err == nil {
+		t.Error("Observe out of range should error")
+	}
+	if err := s.MarkViolation(-1); err == nil {
+		t.Error("MarkViolation out of range should error")
+	}
+	if err := s.SetCoord(0, mds.Coord{}); err == nil {
+		t.Error("SetCoord out of range should error")
+	}
+}
+
+func TestSpaceObserve(t *testing.T) {
+	s := NewSpace()
+	id := s.Add(mds.Coord{}, nil, 1)
+	if err := s.Observe(id, 9); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.State(id)
+	if st.Weight != 2 || st.LastPeriod != 9 || st.FirstPeriod != 1 {
+		t.Errorf("after observe: %+v", st)
+	}
+}
+
+func TestMarkViolationSticky(t *testing.T) {
+	s := NewSpace()
+	id := s.Add(mds.Coord{}, nil, 0)
+	if s.HasViolations() {
+		t.Error("fresh space should have no violations")
+	}
+	if err := s.MarkViolation(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkViolation(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ViolationIDs(); len(got) != 1 || got[0] != id {
+		t.Errorf("violation IDs = %v, want [%d] exactly once", got, id)
+	}
+	if !s.HasViolations() {
+		t.Error("HasViolations should be true")
+	}
+}
+
+func TestSetCoords(t *testing.T) {
+	s := NewSpace()
+	s.Add(mds.Coord{}, nil, 0)
+	s.Add(mds.Coord{}, nil, 0)
+	if err := s.SetCoords([]mds.Coord{{X: 1}}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	want := []mds.Coord{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	if err := s.SetCoords(want); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Coords()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coord %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCoordinateRangeMedian(t *testing.T) {
+	s := NewSpace()
+	if got := s.CoordinateRangeMedian(); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+	s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	if got := s.CoordinateRangeMedian(); got != 0 {
+		t.Errorf("single-state median = %v, want 0", got)
+	}
+	s.Add(mds.Coord{X: 4, Y: 2}, nil, 0)
+	// Ranges: x extent 4, y extent 2 → median (mean of two) = 3.
+	if got := s.CoordinateRangeMedian(); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+}
+
+func TestNearestSafe(t *testing.T) {
+	s := NewSpace()
+	a := s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	b := s.Add(mds.Coord{X: 10, Y: 0}, nil, 0)
+	v := s.Add(mds.Coord{X: 4, Y: 0}, nil, 0)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	dist, id, ok := s.NearestSafe(mds.Coord{X: 4, Y: 0})
+	if !ok {
+		t.Fatal("expected a safe state")
+	}
+	if id != a || dist != 4 {
+		t.Errorf("nearest safe = state %d at %v, want state %d at 4", id, dist, a)
+	}
+	// From the right-hand side, b is nearer.
+	dist, id, ok = s.NearestSafe(mds.Coord{X: 8, Y: 0})
+	if !ok || id != b || dist != 2 {
+		t.Errorf("nearest safe = %d at %v, want %d at 2", id, dist, b)
+	}
+}
+
+func TestNearestSafeNoneExists(t *testing.T) {
+	s := NewSpace()
+	v := s.Add(mds.Coord{}, nil, 0)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.NearestSafe(mds.Coord{X: 1}); ok {
+		t.Error("no safe states exist; ok should be false")
+	}
+	if _, _, ok := s.NearestAny(mds.Coord{X: 1}); !ok {
+		t.Error("NearestAny should find the violation state")
+	}
+}
+
+func TestNearestOnEmptySpace(t *testing.T) {
+	s := NewSpace()
+	if _, _, ok := s.NearestAny(mds.Coord{}); ok {
+		t.Error("empty space should report no nearest")
+	}
+}
+
+func TestViolationRangesRayleigh(t *testing.T) {
+	s := NewSpace()
+	safe := s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	_ = safe
+	v := s.Add(mds.Coord{X: 3, Y: 0}, nil, 0)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	discs := s.ViolationRanges()
+	if len(discs) != 1 {
+		t.Fatalf("discs = %d, want 1", len(discs))
+	}
+	c := s.CoordinateRangeMedian() // x extent 3, y extent 0 → median 1.5
+	wantR := stats.RayleighWeight(3, c)
+	if math.Abs(discs[0].Radius-wantR) > 1e-12 {
+		t.Errorf("radius = %v, want %v", discs[0].Radius, wantR)
+	}
+	if discs[0].StateID != v || discs[0].Center != (mds.Coord{X: 3, Y: 0}) {
+		t.Errorf("disc = %+v", discs[0])
+	}
+	// The radius never reaches the safe state (R < d).
+	if discs[0].Radius >= 3 {
+		t.Errorf("radius %v must be < distance 3", discs[0].Radius)
+	}
+}
+
+func TestViolationRangesNoSafeStates(t *testing.T) {
+	s := NewSpace()
+	v1 := s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)
+	v2 := s.Add(mds.Coord{X: 2, Y: 2}, nil, 0)
+	if err := s.MarkViolation(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkViolation(v2); err != nil {
+		t.Fatal(err)
+	}
+	discs := s.ViolationRanges()
+	if len(discs) != 2 {
+		t.Fatalf("discs = %d, want 2", len(discs))
+	}
+	// With no safe state, d falls back to c: radius = c·e^(−1/2).
+	c := s.CoordinateRangeMedian()
+	want := stats.RayleighWeight(c, c)
+	for _, d := range discs {
+		if math.Abs(d.Radius-want) > 1e-12 {
+			t.Errorf("radius = %v, want %v", d.Radius, want)
+		}
+	}
+}
+
+func TestInViolationRange(t *testing.T) {
+	s := NewSpace()
+	s.Add(mds.Coord{X: 0, Y: 0}, nil, 0) // safe
+	v := s.Add(mds.Coord{X: 2, Y: 0}, nil, 0)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	d, in := s.InViolationRange(mds.Coord{X: 2, Y: 0})
+	if !in || d.StateID != v {
+		t.Errorf("center of violation must be in range: %+v, %v", d, in)
+	}
+	if _, in := s.InViolationRange(mds.Coord{X: -5, Y: -5}); in {
+		t.Error("far point must not be in violation range")
+	}
+}
+
+func TestViolationRangeShrinksAsSafeStateApproaches(t *testing.T) {
+	// §3.2.2: "the closer there is a known safe-state, the lesser is the
+	// area of the violation-range". Keep the overall extent fixed with two
+	// pinned corner states so c is constant, and move the safe state in.
+	radiusWith := func(safeX float64) float64 {
+		s := NewSpace()
+		s.Add(mds.Coord{X: 0, Y: 0}, nil, 0)   // pin extent
+		s.Add(mds.Coord{X: 10, Y: 10}, nil, 0) // pin extent
+		s.Add(mds.Coord{X: safeX, Y: 5}, nil, 0)
+		v := s.Add(mds.Coord{X: 5, Y: 5}, nil, 0)
+		if err := s.MarkViolation(v); err != nil {
+			t.Fatal(err)
+		}
+		return s.ViolationRanges()[0].Radius
+	}
+	// c = 10; distances 0.5, 1, 2 are all below the Rayleigh peak (d=c),
+	// so the radius must grow with distance.
+	r1 := radiusWith(4.5) // d = 0.5
+	r2 := radiusWith(4)   // d = 1
+	r3 := radiusWith(3)   // d = 2
+	if !(r1 < r2 && r2 < r3) {
+		t.Errorf("radii %v, %v, %v should increase with distance below the peak", r1, r2, r3)
+	}
+}
+
+func TestStatesCopy(t *testing.T) {
+	s := NewSpace()
+	s.Add(mds.Coord{X: 1}, []float64{0.5}, 0)
+	all := s.States()
+	all[0].Vector[0] = 99
+	st, _ := s.State(0)
+	if st.Vector[0] != 0.5 {
+		t.Error("States leaked internal vectors")
+	}
+}

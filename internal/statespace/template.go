@@ -1,0 +1,119 @@
+package statespace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mds"
+	"repro/internal/metrics"
+)
+
+// Template properties (§6): "the violation-states in the generated map from
+// a previous execution can be used as a starting point and is a valid map
+// for a new execution with a different batch application." A template
+// captures the states, their labels, and the normalization ranges they were
+// measured under — without matching ranges the vectors of the new run would
+// not be comparable to the template's.
+
+// templateVersion guards against loading templates from incompatible
+// releases.
+const templateVersion = 1
+
+// Template is the serializable snapshot of a learned state space.
+type Template struct {
+	// Version is the template format version.
+	Version int `json:"version"`
+	// SensitiveApp names the latency-sensitive application the map
+	// characterizes. Templates are only valid across runs of the same
+	// sensitive application (§6).
+	SensitiveApp string `json:"sensitive_app"`
+	// Dim is the measurement-vector dimension.
+	Dim int `json:"dim"`
+	// States carries every learned state.
+	States []TemplateState `json:"states"`
+	// Ranges carries the normalizer snapshot the vectors were scaled with.
+	Ranges map[metrics.Metric]metrics.Range `json:"ranges"`
+}
+
+// TemplateState is one serialized state.
+type TemplateState struct {
+	X      float64   `json:"x"`
+	Y      float64   `json:"y"`
+	Label  string    `json:"label"`
+	Weight int       `json:"weight"`
+	Vector []float64 `json:"vector"`
+}
+
+// Export captures the space into a template.
+func Export(s *Space, sensitiveApp string, ranges map[metrics.Metric]metrics.Range) *Template {
+	t := &Template{
+		Version:      templateVersion,
+		SensitiveApp: sensitiveApp,
+		Ranges:       ranges,
+	}
+	for _, st := range s.States() {
+		if t.Dim == 0 {
+			t.Dim = len(st.Vector)
+		}
+		t.States = append(t.States, TemplateState{
+			X:      st.Coord.X,
+			Y:      st.Coord.Y,
+			Label:  st.Label.String(),
+			Weight: st.Weight,
+			Vector: st.Vector,
+		})
+	}
+	return t
+}
+
+// Import reconstructs a state space from a template. The returned space
+// contains every template state with weight and label preserved; periods
+// are reset to 0 (they belong to the old execution's timeline).
+func Import(t *Template) (*Space, error) {
+	if t == nil {
+		return nil, fmt.Errorf("statespace: nil template")
+	}
+	if t.Version != templateVersion {
+		return nil, fmt.Errorf("statespace: template version %d, want %d", t.Version, templateVersion)
+	}
+	s := NewSpace()
+	for i, ts := range t.States {
+		if t.Dim > 0 && len(ts.Vector) != t.Dim {
+			return nil, fmt.Errorf("statespace: template state %d has dim %d, want %d", i, len(ts.Vector), t.Dim)
+		}
+		id := s.Add(mds.Coord{X: ts.X, Y: ts.Y}, ts.Vector, 0)
+		s.states[id].Weight = ts.Weight
+		switch ts.Label {
+		case Safe.String():
+		case Violation.String():
+			if err := s.MarkViolation(id); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("statespace: template state %d has unknown label %q", i, ts.Label)
+		}
+	}
+	return s, nil
+}
+
+// WriteTo serializes the template as indented JSON.
+func (t *Template) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("statespace: marshal template: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadTemplate parses a template from JSON.
+func ReadTemplate(r io.Reader) (*Template, error) {
+	var t Template
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("statespace: decode template: %w", err)
+	}
+	return &t, nil
+}

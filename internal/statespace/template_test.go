@@ -1,0 +1,132 @@
+package statespace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mds"
+	"repro/internal/metrics"
+)
+
+func buildSampleSpace(t *testing.T) *Space {
+	t.Helper()
+	s := NewSpace()
+	s.Add(mds.Coord{X: 0, Y: 0}, []float64{0.1, 0.2}, 1)
+	v := s.Add(mds.Coord{X: 3, Y: 4}, []float64{0.9, 0.8}, 2)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleRanges() map[metrics.Metric]metrics.Range {
+	return map[metrics.Metric]metrics.Range{
+		metrics.MetricCPU:    {Max: 400},
+		metrics.MetricMemory: {Max: 2048, Adaptive: true},
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := buildSampleSpace(t)
+	tpl := Export(s, "vlc-stream", sampleRanges())
+	if tpl.SensitiveApp != "vlc-stream" || tpl.Dim != 2 || len(tpl.States) != 2 {
+		t.Fatalf("template = %+v", tpl)
+	}
+
+	s2, err := Import(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("imported len = %d, want 2", s2.Len())
+	}
+	st0, _ := s2.State(0)
+	if st0.Label != Safe || st0.Weight != 2 || st0.Vector[0] != 0.1 {
+		t.Errorf("state 0 = %+v", st0)
+	}
+	st1, _ := s2.State(1)
+	if st1.Label != Violation || st1.Coord != (mds.Coord{X: 3, Y: 4}) {
+		t.Errorf("state 1 = %+v", st1)
+	}
+	if ids := s2.ViolationIDs(); len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("violation IDs = %v", ids)
+	}
+}
+
+func TestTemplateJSONRoundTrip(t *testing.T) {
+	s := buildSampleSpace(t)
+	tpl := Export(s, "vlc-stream", sampleRanges())
+	var buf bytes.Buffer
+	if _, err := tpl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadTemplate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.SensitiveApp != tpl.SensitiveApp || len(parsed.States) != len(tpl.States) {
+		t.Errorf("parsed = %+v", parsed)
+	}
+	r, ok := parsed.Ranges[metrics.MetricMemory]
+	if !ok || r.Max != 2048 || !r.Adaptive {
+		t.Errorf("ranges lost: %+v", parsed.Ranges)
+	}
+	// The imported space must reproduce violation ranges.
+	s2, err := Import(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.ViolationRanges()) != 1 {
+		t.Error("imported space lost its violation range")
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	if _, err := Import(nil); err == nil {
+		t.Error("nil template should error")
+	}
+	if _, err := Import(&Template{Version: 99}); err == nil {
+		t.Error("wrong version should error")
+	}
+	bad := &Template{
+		Version: templateVersion,
+		Dim:     2,
+		States:  []TemplateState{{Vector: []float64{1}}},
+	}
+	if _, err := Import(bad); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	badLabel := &Template{
+		Version: templateVersion,
+		States:  []TemplateState{{Label: "weird"}},
+	}
+	if _, err := Import(badLabel); err == nil {
+		t.Error("unknown label should error")
+	}
+}
+
+func TestReadTemplateMalformed(t *testing.T) {
+	if _, err := ReadTemplate(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+}
+
+func TestTemplateViolationsSurviveAsViolations(t *testing.T) {
+	// §6's core claim: a state labelled violation in the template remains a
+	// violation-state for the next execution, whatever batch app runs.
+	s := buildSampleSpace(t)
+	tpl := Export(s, "vlc", sampleRanges())
+	s2, err := Import(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point mapped to the old violation location is flagged immediately,
+	// before the new run has seen any violation of its own.
+	if _, in := s2.InViolationRange(mds.Coord{X: 3, Y: 4}); !in {
+		t.Error("template violation not active in new run")
+	}
+}

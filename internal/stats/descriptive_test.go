@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSum(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 3.5},
+		{"mixed signs", []float64{1, -2, 3, -4}, -2},
+		{"zeros", []float64{0, 0, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Sum(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Sum(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, -3}, -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVariance(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 0},
+		{"constant", []float64{2, 2, 2, 2}, 0},
+		{"simple", []float64{1, 2, 3, 4, 5}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Variance(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Variance(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	// Sample variance of {1,2,3,4,5} is 2.5.
+	got := SampleVariance([]float64{1, 2, 3, 4, 5})
+	if !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 2.5", got)
+	}
+	if SampleVariance([]float64{1}) != 0 {
+		t.Error("SampleVariance of single element should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got := StdDev([]float64{1, 2, 3, 4, 5})
+	if !almostEqual(got, math.Sqrt(2), 1e-12) {
+		t.Errorf("StdDev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestMinMaxFunctions(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	lo, err := Min(xs)
+	if err != nil || lo != -9 {
+		t.Errorf("Min = %v, %v; want -9, nil", lo, err)
+	}
+	hi, err := Max(xs)
+	if err != nil || hi != 6 {
+		t.Errorf("Max = %v, %v; want 6, nil", hi, err)
+	}
+	l2, h2, err := MinMax(xs)
+	if err != nil || l2 != -9 || h2 != 6 {
+		t.Errorf("MinMax = %v, %v, %v; want -9, 6, nil", l2, h2, err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{9}, 9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Median(tt.in)
+			if err != nil {
+				t.Fatalf("Median error: %v", err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Errorf("Median(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{0.25, 20},
+		{0.5, 30},
+		{0.75, 40},
+		{1, 50},
+		{0.1, 14},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v) error: %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("Quantile(-0.1) should error")
+	}
+	if _, err := Quantile(xs, 1.1); err == nil {
+		t.Error("Quantile(1.1) should error")
+	}
+	if _, err := Quantile(xs, math.NaN()); err == nil {
+		t.Error("Quantile(NaN) should error")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp = %v, want 5", got)
+	}
+	if got := Lerp(2, 2, 0.7); got != 2 {
+		t.Errorf("Lerp = %v, want 2", got)
+	}
+}
+
+// Property: the mean always lies within [min, max] of its inputs.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		lo, hi, _ := MinMax(clean)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, err1 := Quantile(clean, qa)
+		vb, err2 := Quantile(clean, qb)
+		return err1 == nil && err2 == nil && va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is non-negative and invariant under translation.
+func TestVarianceProperties(t *testing.T) {
+	f := func(xs []float64, shiftRaw int16) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		v := Variance(clean)
+		if v < 0 {
+			return false
+		}
+		shift := float64(shiftRaw)
+		shifted := make([]float64, len(clean))
+		for i, x := range clean {
+			shifted[i] = x + shift
+		}
+		return almostEqual(Variance(shifted), v, 1e-3+v*1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The violation-range radius of §3.2.2: zero at d=0, peaking at d=c,
+// fading for distant safe states.
+func ExampleRayleighWeight() {
+	c := 1.0
+	for _, d := range []float64{0.2, 1.0, 3.0} {
+		fmt.Printf("d=%.1f R=%.3f\n", d, stats.RayleighWeight(d, c))
+	}
+	// Output:
+	// d=0.2 R=0.196
+	// d=1.0 R=0.607
+	// d=3.0 R=0.033
+}
+
+// Inverse-transform sampling: draws reproduce the histogram's shape.
+func ExampleHistogram_InverseCDF() {
+	h, _ := stats.NewHistogram(0, 1, 4)
+	h.AddWeighted(0.125, 3) // 75% of mass in the first bin
+	h.AddWeighted(0.875, 1) // 25% in the last
+	fmt.Printf("u=0.50 -> %.3f\n", h.InverseCDF(0.50))
+	fmt.Printf("u=0.90 -> %.3f\n", h.InverseCDF(0.90))
+	// Output:
+	// u=0.50 -> 0.167
+	// u=0.90 -> 0.900
+}

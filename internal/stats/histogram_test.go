@@ -1,0 +1,309 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustHistogram(t *testing.T, lo, hi float64, bins int) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		t.Fatalf("NewHistogram(%v,%v,%d): %v", lo, hi, bins, err)
+	}
+	return h
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		lo, hi  float64
+		bins    int
+		wantErr bool
+	}{
+		{"valid", 0, 1, 10, false},
+		{"single bin", 0, 1, 1, false},
+		{"zero bins", 0, 1, 0, true},
+		{"negative bins", 0, 1, -3, true},
+		{"empty range", 1, 1, 5, true},
+		{"inverted range", 2, 1, 5, true},
+		{"nan lo", math.NaN(), 1, 5, true},
+		{"inf hi", 0, math.Inf(1), 5, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewHistogram(tt.lo, tt.hi, tt.bins)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := mustHistogram(t, 0, 10, 10)
+	h.Add(0)    // bin 0
+	h.Add(0.5)  // bin 0
+	h.Add(1)    // bin 1
+	h.Add(9.99) // bin 9
+	h.Add(10)   // upper edge -> bin 9, not an outlier
+	if got := h.Count(0); got != 2 {
+		t.Errorf("bin 0 = %v, want 2", got)
+	}
+	if got := h.Count(1); got != 1 {
+		t.Errorf("bin 1 = %v, want 1", got)
+	}
+	if got := h.Count(9); got != 2 {
+		t.Errorf("bin 9 = %v, want 2", got)
+	}
+	if h.Outliers() != 0 {
+		t.Errorf("outliers = %d, want 0", h.Outliers())
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %v, want 5", h.Total())
+	}
+}
+
+func TestHistogramOutlierClamping(t *testing.T) {
+	h := mustHistogram(t, 0, 1, 4)
+	h.Add(-5)         // clamps to bin 0
+	h.Add(7)          // clamps to bin 3
+	h.Add(math.NaN()) // dropped, counted as outlier
+	if h.Outliers() != 3 {
+		t.Errorf("outliers = %d, want 3", h.Outliers())
+	}
+	if h.Count(0) != 1 || h.Count(3) != 1 {
+		t.Errorf("boundary bins = %v, %v; want 1, 1", h.Count(0), h.Count(3))
+	}
+	if h.Total() != 2 {
+		t.Errorf("total = %v, want 2 (NaN must not add weight)", h.Total())
+	}
+}
+
+func TestHistogramWeighted(t *testing.T) {
+	h := mustHistogram(t, 0, 1, 2)
+	h.AddWeighted(0.25, 3)
+	h.AddWeighted(0.75, 1)
+	h.AddWeighted(0.5, 0)  // zero weight ignored
+	h.AddWeighted(0.5, -2) // negative weight ignored
+	if h.Count(0) != 3 || h.Count(1) != 1 {
+		t.Errorf("counts = %v,%v; want 3,1", h.Count(0), h.Count(1))
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %v, want 4", h.Total())
+	}
+}
+
+func TestHistogramPDFIntegratesToOne(t *testing.T) {
+	h := mustHistogram(t, -2, 3, 7)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		h.Add(rng.Float64()*5 - 2)
+	}
+	pdf := h.PDF()
+	var integral float64
+	for _, p := range pdf {
+		integral += p * h.BinWidth()
+	}
+	if !almostEqual(integral, 1, 1e-9) {
+		t.Errorf("PDF integral = %v, want 1", integral)
+	}
+}
+
+func TestHistogramEmptyPDFUniform(t *testing.T) {
+	h := mustHistogram(t, 0, 2, 4)
+	pdf := h.PDF()
+	for i, p := range pdf {
+		if !almostEqual(p, 0.5, 1e-12) {
+			t.Errorf("empty PDF bin %d = %v, want 0.5", i, p)
+		}
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := mustHistogram(t, 0, 4, 4)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(3.5)
+	cdf := h.CDF()
+	want := []float64{0.25, 0.75, 0.75, 1}
+	for i := range want {
+		if !almostEqual(cdf[i], want[i], 1e-12) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestHistogramEmptyCDFUniform(t *testing.T) {
+	h := mustHistogram(t, 0, 1, 4)
+	cdf := h.CDF()
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(cdf[i], want[i], 1e-12) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestHistogramInverseCDF(t *testing.T) {
+	h := mustHistogram(t, 0, 10, 10)
+	// All mass in bin 4 ([4,5)).
+	for i := 0; i < 100; i++ {
+		h.Add(4.5)
+	}
+	for _, u := range []float64{0, 0.2, 0.5, 0.9, 1} {
+		x := h.InverseCDF(u)
+		if x < 4 || x > 5 {
+			t.Errorf("InverseCDF(%v) = %v, want in [4,5]", u, x)
+		}
+	}
+	// Out-of-range u is clamped, not panicking.
+	if x := h.InverseCDF(-1); x < 4 || x > 5 {
+		t.Errorf("InverseCDF(-1) = %v, want clamped into [4,5]", x)
+	}
+	if x := h.InverseCDF(2); x < 4 || x > 10 {
+		t.Errorf("InverseCDF(2) = %v out of range", x)
+	}
+}
+
+func TestHistogramInverseCDFRoundTrip(t *testing.T) {
+	// Drawing many samples through the inverse CDF must reproduce the
+	// source distribution (two-bin 80/20 split).
+	h := mustHistogram(t, 0, 1, 2)
+	h.AddWeighted(0.25, 80)
+	h.AddWeighted(0.75, 20)
+	rng := rand.New(rand.NewSource(42))
+	var lowCount int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if h.InverseCDF(rng.Float64()) < 0.5 {
+			lowCount++
+		}
+	}
+	frac := float64(lowCount) / n
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Errorf("low-bin fraction = %v, want ≈0.8", frac)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := mustHistogram(t, 0, 1, 4)
+	b := mustHistogram(t, 0, 1, 4)
+	a.Add(0.1)
+	b.Add(0.1)
+	b.Add(0.9)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count(0) != 2 || a.Count(3) != 1 || a.Total() != 3 {
+		t.Errorf("after merge: counts=%v total=%v", a.Counts(), a.Total())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v, want nil", err)
+	}
+	c := mustHistogram(t, 0, 2, 4)
+	if err := a.Merge(c); err == nil {
+		t.Error("Merge with mismatched range should error")
+	}
+	d := mustHistogram(t, 0, 1, 8)
+	if err := a.Merge(d); err == nil {
+		t.Error("Merge with mismatched bins should error")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := mustHistogram(t, 0, 1, 4)
+	h.Add(0.5)
+	h.Add(-1)
+	h.Reset()
+	if h.Total() != 0 || h.Outliers() != 0 {
+		t.Errorf("after reset: total=%v outliers=%d", h.Total(), h.Outliers())
+	}
+	for i := 0; i < h.Bins(); i++ {
+		if h.Count(i) != 0 {
+			t.Errorf("bin %d = %v after reset", i, h.Count(i))
+		}
+	}
+}
+
+func TestHistogramModeAndMean(t *testing.T) {
+	h := mustHistogram(t, 0, 10, 10)
+	if got := h.Mode(); got != 5 {
+		t.Errorf("empty Mode = %v, want 5", got)
+	}
+	if got := h.Mean(); got != 5 {
+		t.Errorf("empty Mean = %v, want 5", got)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(7.3)
+	}
+	h.Add(2.2)
+	if got := h.Mode(); !almostEqual(got, 7.5, 1e-12) {
+		t.Errorf("Mode = %v, want 7.5", got)
+	}
+	wantMean := (10*7.5 + 2.5) / 11
+	if got := h.Mean(); !almostEqual(got, wantMean, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestHistogramSkewIndex(t *testing.T) {
+	h := mustHistogram(t, 0, 10, 10)
+	if h.SkewIndex() != 0 {
+		t.Error("empty SkewIndex should be 0")
+	}
+	for i := 0; i < 9; i++ {
+		h.Add(8)
+	}
+	h.Add(1)
+	if got := h.SkewIndex(); !almostEqual(got, 0.8, 1e-12) {
+		t.Errorf("SkewIndex = %v, want 0.8", got)
+	}
+}
+
+// Property: CDF is monotone non-decreasing and ends at 1.
+func TestHistogramCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h, err := NewHistogram(0, 1, 16)
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			h.Add(float64(r) / 65535)
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, c := range cdf {
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return almostEqual(cdf[len(cdf)-1], 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InverseCDF output always lies within [lo, hi].
+func TestHistogramInverseCDFBoundsProperty(t *testing.T) {
+	f := func(raw []uint16, uRaw uint16) bool {
+		h, err := NewHistogram(-3, 7, 20)
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			h.Add(float64(r)/6553.5 - 3)
+		}
+		u := float64(uRaw) / 65535
+		x := h.InverseCDF(u)
+		return x >= -3 && x <= 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

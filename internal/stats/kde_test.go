@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSilvermanBandwidth(t *testing.T) {
+	if got := SilvermanBandwidth(nil); got <= 0 {
+		t.Errorf("bandwidth of nil = %v, want positive floor", got)
+	}
+	if got := SilvermanBandwidth([]float64{5}); got <= 0 {
+		t.Errorf("bandwidth of singleton = %v, want positive floor", got)
+	}
+	if got := SilvermanBandwidth([]float64{2, 2, 2}); got <= 0 {
+		t.Errorf("bandwidth of constant = %v, want positive floor", got)
+	}
+	// Known value: sd of {1..5} sample variance 2.5, sd≈1.5811, n=5.
+	want := 1.06 * math.Sqrt(2.5) * math.Pow(5, -0.2)
+	if got := SilvermanBandwidth([]float64{1, 2, 3, 4, 5}); !almostEqual(got, want, 1e-9) {
+		t.Errorf("bandwidth = %v, want %v", got, want)
+	}
+}
+
+func TestKDEEmptyEvaluatesZero(t *testing.T) {
+	k := NewKDE(nil, 0)
+	if got := k.Evaluate(0); got != 0 {
+		t.Errorf("empty KDE at 0 = %v, want 0", got)
+	}
+}
+
+func TestKDEPeaksAtData(t *testing.T) {
+	k := NewKDE([]float64{0, 0, 0, 0, 10}, 0.5)
+	if k.Evaluate(0) <= k.Evaluate(5) {
+		t.Error("density at cluster should exceed density between clusters")
+	}
+	if k.Evaluate(10) <= k.Evaluate(5) {
+		t.Error("density at lone sample should exceed density in the gap")
+	}
+	if k.Evaluate(0) <= k.Evaluate(10) {
+		t.Error("density at 4-sample cluster should exceed lone sample")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	k := NewKDE(samples, 0)
+	// Trapezoid integration over a wide range.
+	const n = 4000
+	lo, hi := -10.0, 10.0
+	step := (hi - lo) / n
+	var integral float64
+	for i := 0; i <= n; i++ {
+		x := lo + float64(i)*step
+		w := step
+		if i == 0 || i == n {
+			w = step / 2
+		}
+		integral += k.Evaluate(x) * w
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("KDE integral = %v, want ≈1", integral)
+	}
+}
+
+func TestKDEFromHistogram(t *testing.T) {
+	h := mustHistogram(t, 0, 10, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(2.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(7.5)
+	}
+	k := NewKDEFromHistogram(h, 0)
+	if k.Bandwidth() <= 0 {
+		t.Fatalf("bandwidth = %v, want > 0", k.Bandwidth())
+	}
+	if k.Evaluate(2.5) <= k.Evaluate(7.5) {
+		t.Error("heavier bin should have higher density")
+	}
+	if k.Evaluate(7.5) <= k.Evaluate(5.0)/10 {
+		t.Error("lighter bin should still carry visible density")
+	}
+}
+
+func TestKDEFromEmptyHistogram(t *testing.T) {
+	h := mustHistogram(t, 0, 1, 4)
+	k := NewKDEFromHistogram(h, 0)
+	if got := k.Evaluate(0.5); got != 0 {
+		t.Errorf("empty histogram KDE = %v, want 0", got)
+	}
+}
+
+func TestKDEGrid(t *testing.T) {
+	k := NewKDE([]float64{1, 2, 3}, 0.5)
+	xs, ys := k.Grid(0, 4, 9)
+	if len(xs) != 9 || len(ys) != 9 {
+		t.Fatalf("grid lengths = %d,%d; want 9,9", len(xs), len(ys))
+	}
+	if xs[0] != 0 || xs[8] != 4 {
+		t.Errorf("grid endpoints = %v,%v; want 0,4", xs[0], xs[8])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Errorf("grid xs not increasing at %d", i)
+		}
+	}
+	// Degenerate n is coerced to 2.
+	xs, ys = k.Grid(0, 1, 0)
+	if len(xs) != 2 || len(ys) != 2 {
+		t.Errorf("degenerate grid lengths = %d,%d; want 2,2", len(xs), len(ys))
+	}
+}

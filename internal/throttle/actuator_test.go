@@ -1,0 +1,123 @@
+package throttle
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestFuncActuatorNilFunctions(t *testing.T) {
+	var f FuncActuator
+	if err := f.Pause([]string{"a"}); err != nil {
+		t.Errorf("nil PauseFn = %v", err)
+	}
+	if err := f.Resume([]string{"a"}); err != nil {
+		t.Errorf("nil ResumeFn = %v", err)
+	}
+}
+
+func TestFuncActuatorDelegates(t *testing.T) {
+	var pausedWith, resumedWith []string
+	f := FuncActuator{
+		PauseFn:  func(ids []string) error { pausedWith = ids; return nil },
+		ResumeFn: func(ids []string) error { resumedWith = ids; return nil },
+	}
+	if err := f.Pause([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Resume([]string{"y"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pausedWith) != 1 || pausedWith[0] != "x" {
+		t.Errorf("paused with %v", pausedWith)
+	}
+	if len(resumedWith) != 1 || resumedWith[0] != "y" {
+		t.Errorf("resumed with %v", resumedWith)
+	}
+}
+
+func TestRecordingActuator(t *testing.T) {
+	r := NewRecordingActuator()
+	if err := r.Pause([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Paused(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("paused = %v, want [b]", got)
+	}
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Action != ActionPause || ev[1].Action != ActionResume {
+		t.Errorf("events = %v", ev)
+	}
+}
+
+func TestProcessActuatorSignals(t *testing.T) {
+	type call struct {
+		pid int
+		sig syscall.Signal
+	}
+	var calls []call
+	p := &ProcessActuator{Kill: func(pid int, sig syscall.Signal) error {
+		calls = append(calls, call{pid, sig})
+		return nil
+	}}
+	if err := p.Pause([]string{"123", "456"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Resume([]string{"123"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []call{{123, syscall.SIGSTOP}, {456, syscall.SIGSTOP}, {123, syscall.SIGCONT}}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("call %d = %v, want %v", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestProcessActuatorInvalidPIDs(t *testing.T) {
+	p := &ProcessActuator{Kill: func(int, syscall.Signal) error { return nil }}
+	for _, bad := range []string{"", "abc", "12x", "-5", "0", "99999999999"} {
+		if err := p.Pause([]string{bad}); err == nil {
+			t.Errorf("PID %q should error", bad)
+		}
+	}
+}
+
+func TestProcessActuatorContinuesPastFailures(t *testing.T) {
+	var signalled []int
+	failErr := errors.New("no such process")
+	p := &ProcessActuator{Kill: func(pid int, sig syscall.Signal) error {
+		signalled = append(signalled, pid)
+		if pid == 1 {
+			return failErr
+		}
+		return nil
+	}}
+	err := p.Pause([]string{"1", "2"})
+	if err == nil {
+		t.Error("first failure should be reported")
+	}
+	if len(signalled) != 2 {
+		t.Errorf("signalled = %v, want both PIDs attempted", signalled)
+	}
+}
+
+func TestProcessActuatorToleratesESRCH(t *testing.T) {
+	// A vanished process is vacuous success: resuming it has nothing left
+	// to do, and erroring would wedge the controller throttled.
+	p := &ProcessActuator{Kill: func(pid int, sig syscall.Signal) error {
+		return syscall.ESRCH
+	}}
+	if err := p.Resume([]string{"123"}); err != nil {
+		t.Errorf("ESRCH should be tolerated, got %v", err)
+	}
+	if err := p.Pause([]string{"123"}); err != nil {
+		t.Errorf("ESRCH should be tolerated, got %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package throttle implements Stay-Away's action step (§3.3): pausing the
+// batch application(s) when a violation is predicted, and deciding when to
+// resume them — either because the sensitive application changed phase
+// (consecutive sensitive-only states drift more than the learned threshold
+// β) or, after a long stable stretch, by a randomized anti-starvation
+// resume. β starts at 0.01 and is incremented whenever a phase-change
+// resume immediately leads back to a violation, so the threshold "attains
+// accuracy" over time.
+package throttle
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Action is what the controller did in one period.
+type Action int
+
+const (
+	// ActionNone: no actuation this period.
+	ActionNone Action = iota
+	// ActionPause: batch applications were paused.
+	ActionPause
+	// ActionResume: batch applications were resumed.
+	ActionResume
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionPause:
+		return "pause"
+	case ActionResume:
+		return "resume"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Actuator applies throttle decisions to the batch applications. The
+// prototype's actuator sends SIGSTOP/SIGCONT (§3.3); the simulator freezes
+// and thaws containers.
+type Actuator interface {
+	// Pause suspends the given batch applications.
+	Pause(ids []string) error
+	// Resume continues the given batch applications.
+	Resume(ids []string) error
+}
+
+// Config tunes the controller.
+type Config struct {
+	// InitialBeta is the starting phase-change threshold. The paper:
+	// "Initially β is set to 0.01."
+	InitialBeta float64
+	// BetaIncrement is added to β when a phase-change resume immediately
+	// leads back to a violation ("the system increments β by a small
+	// amount").
+	BetaIncrement float64
+	// MaxBeta caps β growth so a mis-learned threshold cannot block
+	// resumes forever.
+	MaxBeta float64
+	// PrematureWindow is how many periods after a resume a violation (or
+	// violation prediction) counts as evidence the resume was premature.
+	PrematureWindow int
+	// StarvationPeriods is how many consecutive throttled periods with
+	// distance below β must pass before the randomized resume may fire:
+	// "Stay-Away uses a random factor to resume the execution of the batch
+	// application when the distance falls below β for a long time."
+	StarvationPeriods int
+	// StarvationProbability is the per-period chance of the randomized
+	// resume once StarvationPeriods have elapsed.
+	StarvationProbability float64
+}
+
+// DefaultConfig returns the prototype's parameters.
+func DefaultConfig() Config {
+	return Config{
+		InitialBeta:           0.01,
+		BetaIncrement:         0.01,
+		MaxBeta:               0.5,
+		PrematureWindow:       3,
+		StarvationPeriods:     20,
+		StarvationProbability: 0.2,
+	}
+}
+
+func (c Config) validate() error {
+	if c.InitialBeta <= 0 {
+		return fmt.Errorf("throttle: InitialBeta must be positive, got %v", c.InitialBeta)
+	}
+	if c.BetaIncrement < 0 {
+		return fmt.Errorf("throttle: BetaIncrement must be non-negative, got %v", c.BetaIncrement)
+	}
+	if c.MaxBeta < c.InitialBeta {
+		return fmt.Errorf("throttle: MaxBeta %v below InitialBeta %v", c.MaxBeta, c.InitialBeta)
+	}
+	if c.PrematureWindow < 1 {
+		return fmt.Errorf("throttle: PrematureWindow must be positive, got %d", c.PrematureWindow)
+	}
+	if c.StarvationPeriods < 1 {
+		return fmt.Errorf("throttle: StarvationPeriods must be positive, got %d", c.StarvationPeriods)
+	}
+	if c.StarvationProbability < 0 || c.StarvationProbability > 1 {
+		return fmt.Errorf("throttle: StarvationProbability must be in [0,1], got %v", c.StarvationProbability)
+	}
+	return nil
+}
+
+// Input is everything the controller needs for one period's decision.
+type Input struct {
+	// Period is the current monitoring period.
+	Period int
+	// PredictedViolation is the predictor's verdict for this period.
+	PredictedViolation bool
+	// ActualViolation reports whether the sensitive application reported a
+	// QoS violation this period.
+	ActualViolation bool
+	// SensitiveStepDistance is the 2-D distance between the two most
+	// recent sensitive-only mapped states. Only meaningful while
+	// throttled; it is the phase-change signal of §3.3.
+	SensitiveStepDistance float64
+	// BatchActive reports whether any batch application still has work;
+	// when false there is nothing to pause or resume.
+	BatchActive bool
+}
+
+// Result reports what the controller decided.
+type Result struct {
+	// Action performed this period.
+	Action Action
+	// Throttled is the batch state after the action.
+	Throttled bool
+	// Beta is the current learned threshold.
+	Beta float64
+	// RandomResume marks a resume triggered by the anti-starvation factor
+	// rather than a detected phase change.
+	RandomResume bool
+	// BetaIncremented marks periods where a premature resume raised β.
+	BetaIncremented bool
+}
+
+// Controller drives the actuator. It is not safe for concurrent use; the
+// Stay-Away runtime invokes it from a single periodic loop.
+type Controller struct {
+	cfg Config
+	act Actuator
+	rng *rand.Rand
+
+	batchIDs []string
+
+	throttled        bool
+	beta             float64
+	stablePeriods    int // consecutive throttled periods with distance < β
+	lastResumePeriod int
+	lastResumePhase  bool // last resume was phase-change triggered
+	resumed          bool // a resume happened at some point
+}
+
+// New returns a controller driving the given actuator for the given batch
+// application IDs.
+func New(cfg Config, act Actuator, batchIDs []string, rng *rand.Rand) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if act == nil {
+		return nil, fmt.Errorf("throttle: nil actuator")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("throttle: nil RNG")
+	}
+	return &Controller{
+		cfg:              cfg,
+		act:              act,
+		rng:              rng,
+		batchIDs:         append([]string(nil), batchIDs...),
+		beta:             cfg.InitialBeta,
+		lastResumePeriod: -1 << 30,
+	}, nil
+}
+
+// Beta returns the current learned threshold.
+func (c *Controller) Beta() float64 { return c.beta }
+
+// Throttled reports whether the batch applications are currently paused.
+func (c *Controller) Throttled() bool { return c.throttled }
+
+// SetBatchIDs replaces the set of batch applications under control (§5's
+// collective throttling of the logical batch VM).
+func (c *Controller) SetBatchIDs(ids []string) {
+	c.batchIDs = append([]string(nil), ids...)
+}
+
+// Step runs one period of the §3.3 decision logic.
+func (c *Controller) Step(in Input) (Result, error) {
+	res := Result{Throttled: c.throttled, Beta: c.beta}
+
+	// β learning: a violation soon after a phase-change resume means the
+	// phase change "was not enough to avoid degradation".
+	if c.resumed && c.lastResumePhase && !c.throttled &&
+		(in.ActualViolation || in.PredictedViolation) &&
+		in.Period-c.lastResumePeriod <= c.cfg.PrematureWindow {
+		if c.beta < c.cfg.MaxBeta {
+			c.beta += c.cfg.BetaIncrement
+			if c.beta > c.cfg.MaxBeta {
+				c.beta = c.cfg.MaxBeta
+			}
+			res.BetaIncremented = true
+		}
+		res.Beta = c.beta
+		// Only charge the resume once.
+		c.lastResumePhase = false
+	}
+
+	switch {
+	case !c.throttled:
+		if in.BatchActive && (in.PredictedViolation || in.ActualViolation) {
+			if err := c.act.Pause(c.batchIDs); err != nil {
+				return res, fmt.Errorf("throttle: pause: %w", err)
+			}
+			c.throttled = true
+			c.stablePeriods = 0
+			res.Action = ActionPause
+		}
+	default: // throttled
+		if !in.BatchActive {
+			// The batch workload ended while paused; release state.
+			if err := c.act.Resume(c.batchIDs); err != nil {
+				return res, fmt.Errorf("throttle: resume: %w", err)
+			}
+			c.throttled = false
+			res.Action = ActionResume
+			break
+		}
+		if in.SensitiveStepDistance > c.beta {
+			// Phase change or workload-intensity change detected.
+			if err := c.act.Resume(c.batchIDs); err != nil {
+				return res, fmt.Errorf("throttle: resume: %w", err)
+			}
+			c.throttled = false
+			c.resumed = true
+			c.lastResumePeriod = in.Period
+			c.lastResumePhase = true
+			res.Action = ActionResume
+			break
+		}
+		c.stablePeriods++
+		if c.stablePeriods >= c.cfg.StarvationPeriods &&
+			c.rng.Float64() < c.cfg.StarvationProbability {
+			// Anti-starvation randomized resume "in hope that the batch
+			// application may experience a phase transition".
+			if err := c.act.Resume(c.batchIDs); err != nil {
+				return res, fmt.Errorf("throttle: resume: %w", err)
+			}
+			c.throttled = false
+			c.resumed = true
+			c.lastResumePeriod = in.Period
+			c.lastResumePhase = false
+			res.Action = ActionResume
+			res.RandomResume = true
+		}
+	}
+
+	res.Throttled = c.throttled
+	res.Beta = c.beta
+	return res, nil
+}

@@ -1,0 +1,366 @@
+package throttle
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newTestController(t *testing.T, cfg Config) (*Controller, *RecordingActuator) {
+	t.Helper()
+	act := NewRecordingActuator()
+	c, err := New(cfg, act, []string{"batch1", "batch2"}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, act
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero beta", func(c *Config) { c.InitialBeta = 0 }},
+		{"negative increment", func(c *Config) { c.BetaIncrement = -1 }},
+		{"max below initial", func(c *Config) { c.MaxBeta = 0.001 }},
+		{"zero premature window", func(c *Config) { c.PrematureWindow = 0 }},
+		{"zero starvation periods", func(c *Config) { c.StarvationPeriods = 0 }},
+		{"probability > 1", func(c *Config) { c.StarvationProbability = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := New(cfg, NewRecordingActuator(), nil, rand.New(rand.NewSource(1))); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := New(base, nil, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil actuator should error")
+	}
+	if _, err := New(base, NewRecordingActuator(), nil, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	c, _ := newTestController(t, DefaultConfig())
+	if c.Throttled() {
+		t.Error("fresh controller should not be throttled")
+	}
+	if c.Beta() != 0.01 {
+		t.Errorf("beta = %v, want 0.01", c.Beta())
+	}
+}
+
+func TestPauseOnPredictedViolation(t *testing.T) {
+	c, act := newTestController(t, DefaultConfig())
+	res, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause || !res.Throttled {
+		t.Errorf("result = %+v, want pause", res)
+	}
+	if got := act.Paused(); len(got) != 2 {
+		t.Errorf("paused = %v, want both batch apps", got)
+	}
+}
+
+func TestPauseOnActualViolation(t *testing.T) {
+	c, _ := newTestController(t, DefaultConfig())
+	res, err := c.Step(Input{Period: 1, ActualViolation: true, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause {
+		t.Errorf("action = %v, want pause", res.Action)
+	}
+}
+
+func TestNoPauseWhenBatchInactive(t *testing.T) {
+	c, act := newTestController(t, DefaultConfig())
+	res, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionNone || res.Throttled {
+		t.Errorf("result = %+v, want no action", res)
+	}
+	if len(act.Events()) != 0 {
+		t.Errorf("events = %v, want none", act.Events())
+	}
+}
+
+func TestNoActionWhenSafe(t *testing.T) {
+	c, _ := newTestController(t, DefaultConfig())
+	res, err := c.Step(Input{Period: 1, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionNone || res.Throttled {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestResumeOnPhaseChange(t *testing.T) {
+	c, act := newTestController(t, DefaultConfig())
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Distance below beta: stay throttled.
+	res, err := c.Step(Input{Period: 2, BatchActive: true, SensitiveStepDistance: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionNone || !res.Throttled {
+		t.Errorf("below-beta step = %+v, want still throttled", res)
+	}
+	// Distance above beta: phase change -> resume.
+	res, err = c.Step(Input{Period: 3, BatchActive: true, SensitiveStepDistance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionResume || res.Throttled || res.RandomResume {
+		t.Errorf("phase-change step = %+v, want resume", res)
+	}
+	if got := act.Paused(); len(got) != 0 {
+		t.Errorf("still paused: %v", got)
+	}
+}
+
+func TestBetaIncrementOnPrematureResume(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := newTestController(t, cfg)
+	// Pause, then phase-change resume at period 3.
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 3, BatchActive: true, SensitiveStepDistance: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	// Violation right after the resume: beta must grow and a new pause
+	// fire.
+	res, err := c.Step(Input{Period: 4, ActualViolation: true, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BetaIncremented {
+		t.Errorf("result = %+v, want beta incremented", res)
+	}
+	if got := c.Beta(); got != cfg.InitialBeta+cfg.BetaIncrement {
+		t.Errorf("beta = %v, want %v", got, cfg.InitialBeta+cfg.BetaIncrement)
+	}
+	if res.Action != ActionPause {
+		t.Errorf("action = %v, want pause", res.Action)
+	}
+}
+
+func TestBetaNotIncrementedOutsideWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := newTestController(t, cfg)
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 2, BatchActive: true, SensitiveStepDistance: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	// Violation long after the resume: not the resume's fault.
+	res, err := c.Step(Input{Period: 2 + cfg.PrematureWindow + 5, ActualViolation: true, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BetaIncremented || c.Beta() != cfg.InitialBeta {
+		t.Errorf("beta = %v (incremented=%v), want unchanged", c.Beta(), res.BetaIncremented)
+	}
+}
+
+func TestBetaChargedOnlyOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := newTestController(t, cfg)
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 2, BatchActive: true, SensitiveStepDistance: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	// Two violations inside the window: only the first increments.
+	if _, err := c.Step(Input{Period: 3, ActualViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	// (now throttled again; resume not phase-triggered yet)
+	if _, err := c.Step(Input{Period: 4, ActualViolation: true, BatchActive: true, SensitiveStepDistance: 0}); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.InitialBeta + cfg.BetaIncrement
+	if c.Beta() != want {
+		t.Errorf("beta = %v, want %v (single increment)", c.Beta(), want)
+	}
+}
+
+func TestBetaCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialBeta = 0.4
+	cfg.BetaIncrement = 0.2
+	cfg.MaxBeta = 0.5
+	c, _ := newTestController(t, cfg)
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 2, BatchActive: true, SensitiveStepDistance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 3, ActualViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Beta() != cfg.MaxBeta {
+		t.Errorf("beta = %v, want capped at %v", c.Beta(), cfg.MaxBeta)
+	}
+}
+
+func TestRandomResumeAfterStarvation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StarvationPeriods = 5
+	cfg.StarvationProbability = 1.0 // deterministic for the test
+	c, _ := newTestController(t, cfg)
+	if _, err := c.Step(Input{Period: 0, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bool
+	for p := 1; p <= 6; p++ {
+		res, err := c.Step(Input{Period: p, BatchActive: true, SensitiveStepDistance: 0.001})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action == ActionResume {
+			if !res.RandomResume {
+				t.Error("resume should be flagged as random")
+			}
+			if p < 5 {
+				t.Errorf("random resume at period %d, before starvation threshold", p)
+			}
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Error("controller never random-resumed despite probability 1")
+	}
+}
+
+func TestRandomResumeProbabilityZeroNeverFires(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StarvationPeriods = 2
+	cfg.StarvationProbability = 0
+	c, _ := newTestController(t, cfg)
+	if _, err := c.Step(Input{Period: 0, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p < 50; p++ {
+		res, err := c.Step(Input{Period: p, BatchActive: true, SensitiveStepDistance: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action == ActionResume {
+			t.Fatalf("resume fired at period %d with probability 0", p)
+		}
+	}
+}
+
+func TestResumeWhenBatchFinishes(t *testing.T) {
+	c, act := newTestController(t, DefaultConfig())
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Step(Input{Period: 2, BatchActive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionResume || res.Throttled {
+		t.Errorf("result = %+v, want state released", res)
+	}
+	if len(act.Paused()) != 0 {
+		t.Errorf("paused = %v", act.Paused())
+	}
+}
+
+func TestPauseAfterRandomResumeViolation(t *testing.T) {
+	// "if the batch application continues to degrade performance of the
+	// sensitive application, it is paused again" — without charging β.
+	cfg := DefaultConfig()
+	cfg.StarvationPeriods = 1
+	cfg.StarvationProbability = 1
+	c, _ := newTestController(t, cfg)
+	if _, err := c.Step(Input{Period: 0, ActualViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	// One stable throttled period reaches the starvation threshold, so the
+	// probability-1 random resume fires immediately.
+	res, err := c.Step(Input{Period: 1, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionResume || !res.RandomResume {
+		t.Fatalf("expected random resume, got %+v", res)
+	}
+	// Violation immediately after the random resume: pause again, beta
+	// unchanged (the resume was a gamble, not a phase-change belief).
+	res, err = c.Step(Input{Period: 2, ActualViolation: true, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause {
+		t.Errorf("action = %v, want pause", res.Action)
+	}
+	if res.BetaIncremented || c.Beta() != cfg.InitialBeta {
+		t.Errorf("beta = %v (incremented=%v), want unchanged after random resume", c.Beta(), res.BetaIncremented)
+	}
+}
+
+func TestActuatorErrorsPropagate(t *testing.T) {
+	act := NewRecordingActuator()
+	act.FailPause = errors.New("boom")
+	c, err := New(DefaultConfig(), act, []string{"b"}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err == nil {
+		t.Error("pause failure should propagate")
+	}
+
+	act2 := NewRecordingActuator()
+	c2, err := New(DefaultConfig(), act2, []string{"b"}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	act2.FailResume = errors.New("boom")
+	if _, err := c2.Step(Input{Period: 2, BatchActive: true, SensitiveStepDistance: 1}); err == nil {
+		t.Error("resume failure should propagate")
+	}
+}
+
+func TestSetBatchIDs(t *testing.T) {
+	c, act := newTestController(t, DefaultConfig())
+	c.SetBatchIDs([]string{"only"})
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := act.Paused(); len(got) != 1 || got[0] != "only" {
+		t.Errorf("paused = %v, want [only]", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionNone.String() != "none" || ActionPause.String() != "pause" || ActionResume.String() != "resume" {
+		t.Error("action strings wrong")
+	}
+	if Action(9).String() == "" {
+		t.Error("unknown action should format")
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the trace parser must never panic and must only accept
+// rows it can faithfully round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("hour,rate\n0,100\n1,200\n")
+	f.Add("0,10\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("1,2,3\n")
+	f.Add("0,-5\n")
+	f.Add("1e309,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		pts, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(pts) == 0 {
+			t.Fatal("accepted input with zero rows")
+		}
+		for _, p := range pts {
+			if p.Rate < 0 {
+				t.Fatalf("accepted negative rate %v", p.Rate)
+			}
+		}
+		// Accepted data must round-trip through WriteCSV.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pts); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip changed row count: %d vs %d", len(again), len(pts))
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero days", func(c *Config) { c.Days = 0 }},
+		{"zero samples", func(c *Config) { c.SamplesPerHour = 0 }},
+		{"zero base", func(c *Config) { c.BaseRate = 0 }},
+		{"amplitude > 1", func(c *Config) { c.DailyAmplitude = 1.5 }},
+		{"negative noise", func(c *Config) { c.Noise = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg, rand.New(rand.NewSource(1))); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := Generate(DefaultConfig(), nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	pts, err := Generate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4*24 {
+		t.Fatalf("points = %d, want 96", len(pts))
+	}
+	for i, p := range pts {
+		if p.Rate <= 0 {
+			t.Fatalf("non-positive rate at %d: %v", i, p.Rate)
+		}
+		if i > 0 && p.Hour <= pts[i-1].Hour {
+			t.Fatalf("hours not increasing at %d", i)
+		}
+	}
+}
+
+func TestGenerateDiurnalPattern(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Noise = 0 // deterministic shape
+	pts, err := Generate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak at hour 14, trough at hour 2 (14−12).
+	peak := pts[14].Rate
+	trough := pts[2].Rate
+	if peak <= trough {
+		t.Errorf("peak %v should exceed trough %v", peak, trough)
+	}
+	wantPeak := cfg.BaseRate * (1 + cfg.DailyAmplitude)
+	if math.Abs(peak-wantPeak) > 1 {
+		t.Errorf("peak = %v, want %v", peak, wantPeak)
+	}
+	// Day 2 repeats day 1 without drift.
+	if math.Abs(pts[14].Rate-pts[14+24].Rate) > 1e-6 {
+		t.Errorf("non-stationary without drift: %v vs %v", pts[14].Rate, pts[14+24].Rate)
+	}
+}
+
+func TestGenerateDrift(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	cfg.Drift = 0.1
+	pts, err := Generate(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[14+24].Rate <= pts[14].Rate {
+		t.Errorf("positive drift should grow rates: %v vs %v", pts[14+24].Rate, pts[14].Rate)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Generate(cfg, rand.New(rand.NewSource(5)))
+	b, _ := Generate(cfg, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := []Point{{0, 100}, {1, 300}, {2, 200}}
+	got := Normalize(pts)
+	want := []float64{0, 1, 0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := Normalize(nil); got != nil {
+		t.Errorf("normalize(nil) = %v", got)
+	}
+	// Constant trace normalizes to 1s.
+	got = Normalize([]Point{{0, 5}, {1, 5}})
+	if got[0] != 1 || got[1] != 1 {
+		t.Errorf("constant normalize = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 1
+	pts, err := Generate(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(pts) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(pts))
+	}
+	for i := range pts {
+		if math.Abs(parsed[i].Rate-pts[i].Rate) > 1e-9 {
+			t.Errorf("row %d rate = %v, want %v", i, parsed[i].Rate, pts[i].Rate)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("hour,rate\n")); err == nil {
+		t.Error("header-only input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("hour,rate\n1,abc\n")); err == nil {
+		t.Error("bad data row should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,-5\n")); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("wrong field count should error")
+	}
+	// Headerless numeric data is accepted.
+	pts, err := ReadCSV(strings.NewReader("0,10\n1,20\n"))
+	if err != nil || len(pts) != 2 {
+		t.Errorf("headerless parse: %v, %v", pts, err)
+	}
+}

@@ -1,0 +1,126 @@
+package trajectory
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Walk classification. §3.2.3 observes that different co-locations follow
+// different movement models: "co-located execution mode may show
+// characteristics of a Biased Random Walk whereas for a different
+// combination, the execution mode may follow the trajectory model of levy
+// flight. Levy flight trajectories were observed for applications that
+// experience sudden phase changes." The classifier labels a step window
+// with the best-matching family; the runtime uses it only for reporting
+// and figures (prediction itself is purely empirical).
+
+// WalkKind is a trajectory family.
+type WalkKind int
+
+const (
+	// WalkUnknown: too few steps to classify.
+	WalkUnknown WalkKind = iota
+	// WalkDirected: consistent orientation with regular step lengths —
+	// the paper's description of Soplex ("linear trajectory with a
+	// consistent orientation and slightly varying step length").
+	WalkDirected
+	// WalkOscillating: successive steps reverse direction — the paper's
+	// co-located execution ("an oscillating trajectory with bigger step
+	// lengths").
+	WalkOscillating
+	// WalkLevyFlight: heavy-tailed step lengths (rare long jumps among
+	// short moves), typical of sudden phase changes.
+	WalkLevyFlight
+	// WalkBiasedRandom: skewed but neither directed nor oscillating — a
+	// biased random walk.
+	WalkBiasedRandom
+)
+
+// String names the walk kind.
+func (k WalkKind) String() string {
+	switch k {
+	case WalkDirected:
+		return "directed"
+	case WalkOscillating:
+		return "oscillating"
+	case WalkLevyFlight:
+		return "levy-flight"
+	case WalkBiasedRandom:
+		return "biased-random-walk"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification carries the label and its supporting evidence.
+type Classification struct {
+	Kind WalkKind
+	// DirectionConcentration is the mean resultant length R̄ of absolute
+	// angles (1 = perfectly directed).
+	DirectionConcentration float64
+	// ReversalConcentration is R̄ of turning angles shifted by π: near 1
+	// when successive steps reverse.
+	ReversalConcentration float64
+	// TailRatio is max step length over the median step length: large
+	// values indicate heavy (Lévy-like) tails.
+	TailRatio float64
+}
+
+// Classification thresholds, calibrated on the synthetic generators in the
+// tests: directed walks exceed directedThreshold in R̄; oscillating walks
+// exceed reversalThreshold on reversed turning angles; Lévy tails show a
+// max/median step ratio above tailThreshold.
+const (
+	directedThreshold = 0.8
+	reversalThreshold = 0.8
+	tailThreshold     = 8.0
+	minClassifySteps  = 8
+)
+
+// Classify labels a step window.
+func Classify(steps []Step) Classification {
+	var angles []float64
+	var dists []float64
+	for _, s := range steps {
+		if s.Distance > 0 {
+			angles = append(angles, s.Angle)
+			dists = append(dists, s.Distance)
+		}
+	}
+	out := Classification{Kind: WalkUnknown}
+	if len(dists) < minClassifySteps {
+		return out
+	}
+	out.DirectionConcentration = stats.MeanResultantLength(angles)
+
+	// A turning angle near ±π means reversal; shifting by π maps reversals
+	// near 0 so the resultant length measures their concentration.
+	turns := TurningAngles(steps)
+	shifted := make([]float64, len(turns))
+	for i, a := range turns {
+		shifted[i] = stats.NormalizeAngle(a + math.Pi)
+	}
+	out.ReversalConcentration = stats.MeanResultantLength(shifted)
+
+	sorted := append([]float64(nil), dists...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	maxd := sorted[len(sorted)-1]
+	if median > 0 {
+		out.TailRatio = maxd / median
+	}
+
+	switch {
+	case out.TailRatio >= tailThreshold:
+		out.Kind = WalkLevyFlight
+	case out.DirectionConcentration >= directedThreshold:
+		out.Kind = WalkDirected
+	case out.ReversalConcentration >= reversalThreshold:
+		out.Kind = WalkOscillating
+	default:
+		out.Kind = WalkBiasedRandom
+	}
+	return out
+}

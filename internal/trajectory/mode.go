@@ -1,0 +1,67 @@
+// Package trajectory models the temporal evolution of mapped states
+// (§3.2.3): steps between successive 2-D positions are summarized per
+// execution mode by histograms of step distance d and absolute angle α;
+// inverse-transform sampling over those histograms generates candidate
+// future states; and a walk classifier distinguishes the characteristic
+// trajectory shapes the paper observes (directed Soplex-like movement,
+// oscillating co-located execution, Lévy-flight phase jumpers).
+package trajectory
+
+import "fmt"
+
+// Mode is one of the four execution modes of §3.2.3. "At any point in
+// time, one of these 4 execution modes hold true", and each mode gets its
+// own prediction model because a single global model "fails to capture the
+// inherent patterns and sequence specific to each execution mode".
+type Mode int
+
+const (
+	// ModeIdle: no application is running.
+	ModeIdle Mode = iota
+	// ModeBatchOnly: only batch application(s) run.
+	ModeBatchOnly
+	// ModeSensitiveOnly: only the latency-sensitive application runs
+	// (including periods where batch applications are throttled).
+	ModeSensitiveOnly
+	// ModeColocated: both sensitive and batch applications execute.
+	ModeColocated
+
+	// NumModes is the number of distinct execution modes.
+	NumModes = 4
+)
+
+// String returns a short mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeIdle:
+		return "idle"
+	case ModeBatchOnly:
+		return "batch-only"
+	case ModeSensitiveOnly:
+		return "sensitive-only"
+	case ModeColocated:
+		return "co-located"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined modes.
+func (m Mode) Valid() bool { return m >= ModeIdle && m < NumModes }
+
+// DetectMode derives the execution mode from which application classes are
+// actively running. The Stay-Away runtime is the middleware managing the
+// containers, so it "can any time determine the current execution mode the
+// system is in".
+func DetectMode(sensitiveActive, batchActive bool) Mode {
+	switch {
+	case sensitiveActive && batchActive:
+		return ModeColocated
+	case sensitiveActive:
+		return ModeSensitiveOnly
+	case batchActive:
+		return ModeBatchOnly
+	default:
+		return ModeIdle
+	}
+}

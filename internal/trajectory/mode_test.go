@@ -1,0 +1,48 @@
+package trajectory
+
+import "testing"
+
+func TestDetectMode(t *testing.T) {
+	tests := []struct {
+		sensitive, batch bool
+		want             Mode
+	}{
+		{false, false, ModeIdle},
+		{false, true, ModeBatchOnly},
+		{true, false, ModeSensitiveOnly},
+		{true, true, ModeColocated},
+	}
+	for _, tt := range tests {
+		if got := DetectMode(tt.sensitive, tt.batch); got != tt.want {
+			t.Errorf("DetectMode(%v,%v) = %v, want %v", tt.sensitive, tt.batch, got, tt.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		ModeIdle:          "idle",
+		ModeBatchOnly:     "batch-only",
+		ModeSensitiveOnly: "sensitive-only",
+		ModeColocated:     "co-located",
+	}
+	for m, w := range want {
+		if got := m.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, w)
+		}
+	}
+	if Mode(17).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}
+
+func TestModeValid(t *testing.T) {
+	for m := ModeIdle; m < NumModes; m++ {
+		if !m.Valid() {
+			t.Errorf("mode %v should be valid", m)
+		}
+	}
+	if Mode(-1).Valid() || Mode(NumModes).Valid() {
+		t.Error("out-of-range modes should be invalid")
+	}
+}

@@ -1,0 +1,84 @@
+// Package stayaway is the public entry point of this reproduction of
+// "Stay-Away, protecting sensitive applications from performance
+// interference" (Rameshan, Navarro, Vlassov, Monte — ACM Middleware 2014).
+//
+// Stay-Away is a per-host middleware that lets best-effort batch
+// applications run co-located with a latency-sensitive application
+// without sacrificing its QoS. Every monitoring period it:
+//
+//  1. Maps the per-container resource-usage vector into a 2-D state space
+//     with multidimensional scaling (SMACOF), labelling states observed
+//     during application-reported QoS violations;
+//  2. Predicts whether the trajectory is heading into the Rayleigh-
+//     weighted violation-range around any learned violation-state, by
+//     inverse-transform sampling candidate future states from per-
+//     execution-mode step histograms;
+//  3. Acts by pausing the batch containers (SIGSTOP/freeze) and resuming
+//     them when the sensitive application changes phase (a learned
+//     distance threshold β) or via a randomized anti-starvation resume.
+//
+// The package re-exports the runtime types; the implementation lives in
+// internal/ packages:
+//
+//	internal/core        the Mapping→Prediction→Action runtime
+//	internal/mds         SMACOF, Torgerson, Procrustes, reduction
+//	internal/statespace  states, violation-ranges, templates (§6)
+//	internal/trajectory  per-mode step models, walk classification
+//	internal/predictor   candidate sampling + majority vote
+//	internal/throttle    β-learning controller, SIGSTOP/sim actuators
+//	internal/metrics     measurement vectors, normalization, aggregation
+//	internal/sim         the simulated host/container substrate
+//	internal/apps        the evaluation's workload models
+//	internal/trace       diurnal (Wikipedia-like) workload traces
+//	internal/baseline    no-prevention and static-profiling baselines
+//	internal/experiments scenario runner and every figure of §7
+//
+// See examples/quickstart for end-to-end wiring against the simulator.
+package stayaway
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+	"repro/internal/throttle"
+)
+
+// Core runtime types, re-exported for downstream use.
+type (
+	// Config assembles a Runtime; see core.Config for field semantics.
+	Config = core.Config
+	// Runtime is the Stay-Away middleware instance for one host.
+	Runtime = core.Runtime
+	// Environment is what the runtime observes each period.
+	Environment = core.Environment
+	// Event records one monitoring period's outcome.
+	Event = core.Event
+	// Report aggregates a run's counters.
+	Report = core.Report
+	// Actuator applies throttle decisions to batch applications.
+	Actuator = throttle.Actuator
+	// Template is a learned state-space map reusable across runs (§6).
+	Template = statespace.Template
+	// Metric names one monitored resource dimension.
+	Metric = metrics.Metric
+	// Range describes how one metric normalizes into [0,1].
+	Range = metrics.Range
+)
+
+// New assembles a runtime against the given environment and actuator.
+func New(cfg Config, env Environment, act Actuator) (*Runtime, error) {
+	return core.New(cfg, env, act)
+}
+
+// DefaultConfig returns a runtime configuration for one sensitive
+// container and a set of batch containers, with the given normalization
+// ranges.
+func DefaultConfig(sensitiveID string, batchIDs []string, ranges map[Metric]Range) Config {
+	return core.DefaultConfig(sensitiveID, batchIDs, ranges)
+}
+
+// DefaultRanges returns normalization ranges for the default metric set on
+// a host with the given capacities.
+func DefaultRanges(cores int, memoryMB, diskMBps, netMbps float64) map[Metric]Range {
+	return metrics.DefaultRanges(cores, memoryMB, diskMBps, netMbps)
+}
