@@ -6,7 +6,7 @@
 //
 //	stayaway [-sensitive APP] [-batch LIST] [-ticks N] [-seed N]
 //	         [-observe] [-no-stayaway] [-template-in FILE]
-//	         [-template-out FILE] [-v]
+//	         [-template-out FILE] [-registry URL] [-app NAME] [-v]
 //
 //	-sensitive   vlc | web-cpu | web-mem | web-mix        (default vlc)
 //	-batch       comma list of cpubomb, memorybomb, twitter, soplex,
@@ -15,18 +15,24 @@
 //	-no-stayaway run the co-location completely unprotected
 //	-template-in seed the runtime with a previously exported template
 //	-template-out export the learned map on exit
+//	-registry    fleet registry URL: pull the consensus template for
+//	             -app before the run, push the learned map after it
+//	-app         fleet-wide application name              (default: -sensitive)
 //	-v           print every period's event
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 	"repro/internal/statespace"
 )
@@ -111,8 +117,13 @@ func run() error {
 	templateIn := flag.String("template-in", "", "template JSON to seed the runtime with")
 	templateOut := flag.String("template-out", "", "write the learned template JSON here")
 	csvOut := flag.String("csv", "", "write per-tick run records as CSV here")
+	registryURL := flag.String("registry", "", "fleet registry base URL (empty = standalone)")
+	appName := flag.String("app", "", "fleet-wide application name (default: -sensitive)")
 	verbose := flag.Bool("v", false, "print every period event")
 	flag.Parse()
+	if *appName == "" {
+		*appName = *sensitiveName
+	}
 
 	sensitive, err := sensitiveFactory(*sensitiveName)
 	if err != nil {
@@ -147,6 +158,36 @@ func run() error {
 			return err
 		}
 		fmt.Printf("loaded template for %q: %d states\n", tpl.SensitiveApp, len(tpl.States))
+	}
+
+	// Fleet: pull the consensus template unless one was given explicitly;
+	// a cold or unreachable registry falls back to learning from scratch.
+	var syncer *fleet.Syncer
+	if *registryURL != "" {
+		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL})
+		if err != nil {
+			return err
+		}
+		host, err := os.Hostname()
+		if err != nil {
+			host = "stayaway-cli"
+		}
+		syncer = fleet.NewSyncer(client, host, *appName)
+		if tpl == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			pulled, rev, err := syncer.Bootstrap(ctx)
+			cancel()
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "stayaway: registry bootstrap failed, starting cold: %v\n", err)
+			case pulled == nil:
+				fmt.Printf("registry has no template for %q yet, learning from scratch\n", *appName)
+			default:
+				tpl = pulled
+				fmt.Printf("pulled fleet template for %q: revision %d, %d states\n",
+					*appName, rev, len(tpl.States))
+			}
+		}
 	}
 
 	res, err := experiments.Run(experiments.Scenario{
@@ -209,6 +250,15 @@ func run() error {
 			return err
 		}
 		fmt.Printf("template written to %s\n", *templateOut)
+	}
+
+	// Contribute what this run learned back to the fleet.
+	if syncer != nil && res.Runtime != nil {
+		if err := syncer.PushTemplate(res.Runtime.ExportTemplate(*appName)); err != nil {
+			fmt.Fprintln(os.Stderr, "stayaway: registry push failed:", err)
+		} else {
+			fmt.Printf("pushed learned template to the registry (revision %d)\n", syncer.LastRevision())
+		}
 	}
 	return nil
 }

@@ -12,9 +12,17 @@
 // The daemon runs until SIGINT/SIGTERM; on shutdown it resumes any
 // throttled batch processes and prints the final report. A learned map
 // can be exported with -template-out.
+//
+// With -registry the daemon joins a fleet: it pulls the consensus template
+// for -app at startup (skipping the learning phase when another host has
+// already mapped the application), pushes its own map every -sync-every
+// periods plus once on shutdown, and heartbeats its status. Registry
+// outages never interrupt control — the daemon degrades to its local map
+// and resyncs when the registry returns.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/procenv"
 	"repro/internal/throttle"
@@ -63,6 +72,10 @@ func run() error {
 	memoryMB := flag.Float64("memory-mb", 4096, "host memory (normalization range)")
 	diskMBps := flag.Float64("disk-mbps", 200, "disk capacity (normalization range)")
 	templateOut := flag.String("template-out", "", "write the learned template JSON on exit")
+	registryURL := flag.String("registry", "", "fleet registry base URL (empty = standalone)")
+	app := flag.String("app", "sensitive", "fleet-wide application name for template sharing")
+	hostID := flag.String("host-id", "", "host identity reported to the registry (default: hostname)")
+	syncEvery := flag.Int("sync-every", 30, "periods between registry pushes")
 	verbose := flag.Bool("v", false, "print every period event")
 	flag.Parse()
 
@@ -102,15 +115,68 @@ func run() error {
 	cfg := core.DefaultConfig("sensitive", []string{"batch"},
 		metrics.DefaultRanges(*cores, *memoryMB, *diskMBps, 1000))
 	cfg.Seed = time.Now().UnixNano()
+	cfg.SensitiveApp = *app
 	rt, err := core.New(cfg, env, wrapped)
 	if err != nil {
 		return err
+	}
+
+	// Fleet wiring: pull the consensus map before the first period; a cold
+	// or unreachable registry never blocks startup.
+	var syncer *fleet.Syncer
+	if *registryURL != "" {
+		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL})
+		if err != nil {
+			return err
+		}
+		host := *hostID
+		if host == "" {
+			if host, err = os.Hostname(); err != nil {
+				host = "unknown-host"
+			}
+		}
+		syncer = fleet.NewSyncer(client, host, *app)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		tpl, rev, err := syncer.Bootstrap(ctx)
+		cancel()
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "stayawayd: registry bootstrap failed, starting cold: %v\n", err)
+		case tpl == nil:
+			fmt.Printf("stayawayd: registry has no template for %q yet, learning from scratch\n", *app)
+		default:
+			if err := rt.ImportTemplate(tpl); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: fleet template rejected, starting cold: %v\n", err)
+			} else {
+				fmt.Printf("stayawayd: bootstrapped %q from fleet revision %d (%d states)\n",
+					*app, rev, len(tpl.States))
+			}
+		}
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
+
+	if *syncEvery <= 0 {
+		*syncEvery = 30
+	}
+	var periods, violations int
+	sync := func(throttled bool) {
+		if rt.Space().Len() > 0 {
+			if err := syncer.PushTemplate(rt.ExportTemplate(*app)); err != nil {
+				fmt.Fprintln(os.Stderr, "stayawayd: registry push failed (degraded, continuing):", err)
+			}
+		}
+		if err := syncer.Heartbeat(fleet.Heartbeat{
+			Periods: periods, Violations: violations, Throttled: throttled,
+		}); err == nil {
+			if degraded, _ := syncer.Degraded(); !degraded && *verbose {
+				fmt.Println("stayawayd: registry sync ok, revision", syncer.LastRevision())
+			}
+		}
+	}
 
 	fmt.Printf("stayawayd: monitoring sensitive=%v batch=%v every %v\n", sens, batch, *period)
 loop:
@@ -124,8 +190,15 @@ loop:
 				fmt.Fprintln(os.Stderr, "stayawayd: period:", err)
 				continue
 			}
+			periods++
+			if ev.Violation {
+				violations++
+			}
 			if *verbose || ev.Violation || ev.Action != throttle.ActionNone {
 				fmt.Println(ev)
+			}
+			if syncer != nil && periods%*syncEvery == 0 {
+				sync(ev.Throttled)
 			}
 			if !env.BatchActive() && !env.SensitiveRunning() {
 				fmt.Println("stayawayd: all monitored processes exited")
@@ -137,6 +210,10 @@ loop:
 	// Never leave batch processes stopped on exit.
 	if err := actuator.Resume(batchStrings); err != nil {
 		fmt.Fprintln(os.Stderr, "stayawayd: final resume:", err)
+	}
+	// Share the freshest map with the fleet before exiting.
+	if syncer != nil {
+		sync(false)
 	}
 	fmt.Println(rt.Report())
 	if *templateOut != "" {

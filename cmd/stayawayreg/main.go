@@ -1,0 +1,88 @@
+// Command stayawayreg serves the fleet template registry: a small HTTP
+// control plane through which Stay-Away hosts share learned state-space
+// maps (§6 templates, fleet-wide). Daemons PUT their exported templates,
+// the registry merges them into a per-application consensus map (Procrustes
+// alignment + weighted state dedup), and freshly started hosts GET the
+// consensus to skip the learning phase.
+//
+// Usage:
+//
+//	stayawayreg -addr :8723 [-data-dir /var/lib/stayaway] [-merge-eps 0.05] [-v]
+//
+// With -data-dir the store persists across restarts (one JSON file per
+// (application, schema) key, written atomically); without it the registry
+// is in-memory. The server runs until SIGINT/SIGTERM and drains in-flight
+// requests on shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/registry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stayawayreg:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8723", "listen address")
+	dataDir := flag.String("data-dir", "", "persist templates here (empty = in-memory)")
+	mergeEps := flag.Float64("merge-eps", registry.DefaultMergeEpsilon, "state-dedup radius when merging host maps")
+	verbose := flag.Bool("v", false, "log every request outcome")
+	flag.Parse()
+
+	reg, err := registry.Open(registry.Config{Dir: *dataDir, MergeEpsilon: *mergeEps})
+	if err != nil {
+		return err
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Printf("stayawayreg: "+format+"\n", args...)
+		}
+	}
+	srv, err := fleet.NewServer(fleet.ServerConfig{Registry: reg, Logf: logf})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("stayawayreg: listening on %s (%d templates loaded)\n", *addr, reg.Len())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("stayawayreg: %v, shutting down\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

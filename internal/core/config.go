@@ -26,6 +26,12 @@ type Config struct {
 	// LogicalBatchVM names the aggregated batch VM in the measurement
 	// schema. Defaults to "batch".
 	LogicalBatchVM string
+	// SensitiveApp is the fleet-wide name of the sensitive *application*
+	// (as opposed to SensitiveID, the local container). Templates exported
+	// for the registry are keyed by it, so hosts running the same
+	// application under different container IDs still share one map.
+	// Defaults to SensitiveID.
+	SensitiveApp string
 
 	// Ranges configures metric normalization (§4). Required.
 	Ranges map[metrics.Metric]metrics.Range
@@ -101,6 +107,9 @@ func DefaultConfig(sensitiveID string, batchIDs []string, ranges map[metrics.Met
 func (c *Config) applyDefaults() {
 	if c.LogicalBatchVM == "" {
 		c.LogicalBatchVM = "batch"
+	}
+	if c.SensitiveApp == "" {
+		c.SensitiveApp = c.SensitiveID
 	}
 	if c.DedupEpsilon == 0 {
 		c.DedupEpsilon = 0.03

@@ -312,6 +312,10 @@ func (r *Runtime) refreshEmbedding() error {
 	return nil
 }
 
+// SensitiveApp returns the fleet-wide application name templates are
+// keyed by (Config.SensitiveApp, defaulted to SensitiveID).
+func (r *Runtime) SensitiveApp() string { return r.cfg.SensitiveApp }
+
 // Space exposes the learned state space (read-mostly; used by experiments
 // and template export).
 func (r *Runtime) Space() *statespace.Space { return r.space }
@@ -342,9 +346,10 @@ func (r *Runtime) Report() Report {
 // Tracker exposes the raw prediction-accuracy tracker.
 func (r *Runtime) Tracker() *predictor.Tracker { return &r.tracker }
 
-// ExportTemplate captures the learned map for reuse (§6).
+// ExportTemplate captures the learned map for reuse (§6), stamped with the
+// runtime's measurement schema so importers can reject incompatible maps.
 func (r *Runtime) ExportTemplate(sensitiveApp string) *statespace.Template {
-	return statespace.Export(r.space, sensitiveApp, r.normalizer.Snapshot())
+	return statespace.Export(r.space, sensitiveApp, r.normalizer.Snapshot(), r.schema)
 }
 
 // ImportTemplate seeds the runtime with a previously learned map. It must
@@ -358,6 +363,12 @@ func (r *Runtime) ImportTemplate(t *statespace.Template) error {
 	space, err := statespace.Import(t)
 	if err != nil {
 		return err
+	}
+	// A template measured under a different metric schema would produce
+	// vectors incomparable with this runtime's; reject instead of silently
+	// mixing them.
+	if err := t.CompatibleWith(r.schema); err != nil {
+		return fmt.Errorf("core: template import: %w", err)
 	}
 	if err := r.normalizer.Restore(t.Ranges); err != nil {
 		return err

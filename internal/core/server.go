@@ -5,7 +5,18 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/statespace"
 )
+
+// TemplateSink receives periodic snapshots of the learned map. It is how
+// the runtime feeds the fleet control plane (§6 across hosts): the fleet
+// syncer implements it, pushing each snapshot to the template registry.
+// Sink errors are recorded but never stop the control loop — losing the
+// registry must not cost the host its protection.
+type TemplateSink interface {
+	PushTemplate(t *statespace.Template) error
+}
 
 // Server drives a Runtime from its own goroutine on a periodic tick,
 // exposing thread-safe snapshots. The Runtime itself is single-threaded by
@@ -20,13 +31,24 @@ type Server struct {
 	// OnError, when non-nil, receives period errors; returning false stops
 	// the loop. Nil means errors stop the loop.
 	OnError func(error) bool
+	// Sink, when non-nil, receives the exported template every SyncEvery
+	// periods and once more when the loop exits (set before Start). Push
+	// failures are recorded (SyncStatus) and the loop continues on its
+	// local map — graceful degradation when the registry is unreachable.
+	Sink TemplateSink
+	// SyncEvery is the push cadence in periods; defaults to 30 when a
+	// Sink is set.
+	SyncEvery int
 
-	mu      sync.Mutex
-	started bool
-	stopped chan struct{}
-	lastEv  Event
-	lastErr error
-	periods int
+	mu        sync.Mutex
+	started   bool
+	stopped   chan struct{}
+	lastEv    Event
+	lastErr   error
+	periods   int
+	syncs     int
+	syncFails int
+	syncErr   error
 }
 
 // NewServer wraps a runtime. The runtime must not be driven by anyone else
@@ -56,12 +78,36 @@ func (s *Server) Start(ctx context.Context, ticks <-chan time.Time) error {
 	}
 	s.started = true
 	s.stopped = make(chan struct{})
+	if s.Sink != nil && s.SyncEvery <= 0 {
+		s.SyncEvery = 30
+	}
 	go s.loop(ctx, ticks)
 	return nil
 }
 
+// Bootstrap seeds the runtime with a fleet template (pull-on-start). It
+// must be called before Start; the template's schema must match the
+// runtime's.
+func (s *Server) Bootstrap(t *statespace.Template) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("core: bootstrap after start")
+	}
+	return s.rt.ImportTemplate(t)
+}
+
 func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 	defer close(s.stopped)
+	// Sink and SyncEvery are fixed at Start (documented), so the loop may
+	// read them without the mutex.
+	sink, syncEvery := s.Sink, s.SyncEvery
+	if sink != nil {
+		// Share what was learned even when the loop exits between sync
+		// points — the last periods before shutdown often hold the
+		// freshest violation states.
+		defer s.pushTemplate(sink)
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -78,6 +124,7 @@ func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 				s.lastEv = ev
 				s.periods++
 			}
+			periods := s.periods
 			onEvent, onError := s.OnEvent, s.OnError
 			s.mu.Unlock()
 			if err != nil {
@@ -89,8 +136,39 @@ func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 			if onEvent != nil {
 				onEvent(ev)
 			}
+			if sink != nil && periods%syncEvery == 0 {
+				s.pushTemplate(sink)
+			}
 		}
 	}
+}
+
+// pushTemplate exports the current map into the sink from the loop
+// goroutine (the only goroutine allowed to touch the runtime while it
+// runs) and records the outcome.
+func (s *Server) pushTemplate(sink TemplateSink) {
+	if s.rt.Space().Len() == 0 {
+		return
+	}
+	err := sink.PushTemplate(s.rt.ExportTemplate(s.rt.SensitiveApp()))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.syncFails++
+		s.syncErr = err
+		return
+	}
+	s.syncs++
+	s.syncErr = nil
+}
+
+// SyncStatus reports template-push outcomes: successful and failed pushes
+// and the error from the most recent failure (nil after a success —
+// degraded mode has healed).
+func (s *Server) SyncStatus() (syncs, failures int, lastErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs, s.syncFails, s.syncErr
 }
 
 // Wait blocks until the loop has exited (after ctx cancellation, tick

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+)
+
+// recordingSink captures every pushed template and can be scripted to fail.
+type recordingSink struct {
+	pushes []*statespace.Template
+	fail   error
+}
+
+func (rs *recordingSink) PushTemplate(t *statespace.Template) error {
+	if rs.fail != nil {
+		return rs.fail
+	}
+	rs.pushes = append(rs.pushes, t)
+	return nil
+}
+
+// runWithSink drives a server over the ramp scenario with the given sink
+// and cadence, synchronising each tick on OnEvent completion.
+func runWithSink(t *testing.T, sink TemplateSink, every int) *Server {
+	t.Helper()
+	env := &fakeEnv{script: rampScenario()}
+	s := newServerFixture(t, env)
+	s.Sink = sink
+	s.SyncEvery = every
+	done := make(chan struct{})
+	s.OnEvent = func(Event) { done <- struct{}{} }
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(env.script); i++ {
+		ticks <- time.Time{}
+		<-done
+	}
+	close(ticks)
+	s.Wait()
+	return s
+}
+
+func TestServerPushesTemplateOnCadence(t *testing.T) {
+	sink := &recordingSink{}
+	s := runWithSink(t, sink, 10)
+
+	// 28 scripted periods with SyncEvery=10: pushes at 10, 20, and the
+	// final flush on loop exit.
+	if len(sink.pushes) != 3 {
+		t.Fatalf("pushes = %d, want 3 (two periodic + final)", len(sink.pushes))
+	}
+	for i, tpl := range sink.pushes {
+		if tpl.SensitiveApp != "web" || len(tpl.States) == 0 {
+			t.Errorf("push %d: app %q states %d", i, tpl.SensitiveApp, len(tpl.States))
+		}
+		if err := tpl.Validate(); err != nil {
+			t.Errorf("push %d invalid: %v", i, err)
+		}
+	}
+	syncs, failures, lastErr := s.SyncStatus()
+	if syncs != 3 || failures != 0 || lastErr != nil {
+		t.Errorf("sync status = %d/%d/%v, want 3/0/nil", syncs, failures, lastErr)
+	}
+}
+
+func TestServerToleratesSinkFailures(t *testing.T) {
+	boom := errors.New("registry down")
+	sink := &recordingSink{fail: boom}
+	s := runWithSink(t, sink, 5)
+
+	// Every push failed, yet the loop ran the full script.
+	_, periods, err := s.Snapshot()
+	if err != nil || periods != len(rampScenario()) {
+		t.Fatalf("periods = %d err = %v; sink failures must not stop the loop", periods, err)
+	}
+	syncs, failures, lastErr := s.SyncStatus()
+	if syncs != 0 || failures == 0 || !errors.Is(lastErr, boom) {
+		t.Errorf("sync status = %d/%d/%v, want 0 syncs and the sink error", syncs, failures, lastErr)
+	}
+}
+
+func TestServerSkipsFinalPushWhileMapEmpty(t *testing.T) {
+	// The loop exits before any period runs: the final flush finds an
+	// empty space and must not push a stateless template.
+	sink := &recordingSink{}
+	s := newServerFixture(t, &fakeEnv{})
+	s.Sink = sink
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	close(ticks)
+	s.Wait()
+	if len(sink.pushes) != 0 {
+		t.Errorf("pushed %d empty templates", len(sink.pushes))
+	}
+	if syncs, failures, _ := s.SyncStatus(); syncs != 0 || failures != 0 {
+		t.Errorf("sync status = %d/%d for an empty map", syncs, failures)
+	}
+}
+
+func TestServerSyncEveryDefaultsWithSink(t *testing.T) {
+	s := newServerFixture(t, &fakeEnv{})
+	s.Sink = &recordingSink{}
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	if s.SyncEvery != 30 {
+		t.Errorf("SyncEvery = %d, want default 30", s.SyncEvery)
+	}
+	close(ticks)
+	s.Wait()
+}
+
+func TestServerBootstrap(t *testing.T) {
+	// Learn a map on a "first host" runtime, then bootstrap a fresh
+	// server from its exported template — the fleet pull-on-start path.
+	donor, _ := newTestRuntime(t, baseConfig(), &fakeEnv{script: rampScenario()})
+	for range rampScenario() {
+		if _, err := donor.Period(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tpl := donor.ExportTemplate("web")
+	if len(tpl.States) == 0 {
+		t.Fatal("donor learned nothing")
+	}
+
+	env := &fakeEnv{script: rampScenario()}
+	s := newServerFixture(t, env)
+	if err := s.Bootstrap(tpl); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+
+	// Schema mismatch is rejected before the loop ever runs.
+	bad := &statespace.Template{Version: 2, SensitiveApp: "web", Dim: 1,
+		SchemaVMs:     []string{"web"},
+		SchemaMetrics: []metrics.Metric{metrics.MetricCPU},
+		States:        []statespace.TemplateState{{Vector: []float64{0.5}, Label: statespace.Safe.String(), Weight: 1}},
+		Ranges:        testRanges(),
+	}
+	if err := s.Bootstrap(bad); err == nil {
+		t.Error("mismatched template accepted")
+	}
+
+	ticks := make(chan time.Time)
+	if err := s.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bootstrap(tpl); err == nil {
+		t.Error("bootstrap after start accepted")
+	}
+	close(ticks)
+	s.Wait()
+}

@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/statespace"
+)
+
+// ErrNotFound marks a pull for an application the registry has no
+// template for — a normal cold-fleet condition, not a failure.
+var ErrNotFound = errors.New("fleet: template not found")
+
+// RetryConfig shapes the client's exponential backoff. Transient failures
+// (network errors, 5xx, 429) are retried; other HTTP errors are not.
+type RetryConfig struct {
+	// Attempts is the total number of tries per request (first try
+	// included). Defaults to 4; 1 disables retries.
+	Attempts int
+	// BaseDelay is the delay before the first retry; each subsequent
+	// retry doubles it. Defaults to 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay. Defaults to 5s.
+	MaxDelay time.Duration
+	// JitterFrac spreads each delay uniformly within ±JitterFrac of
+	// itself so a fleet of clients doesn't retry in lockstep. Defaults
+	// to 0.2; negative disables jitter.
+	JitterFrac float64
+	// Sleep waits between retries; injectable so tests never really
+	// sleep. Nil uses a context-aware timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand yields uniform values in [0,1) for jitter; nil uses math/rand.
+	Rand func() float64
+}
+
+func (rc *RetryConfig) applyDefaults() {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 4
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 100 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 5 * time.Second
+	}
+	if rc.JitterFrac == 0 {
+		rc.JitterFrac = 0.2
+	}
+	if rc.Sleep == nil {
+		rc.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if rc.Rand == nil {
+		rc.Rand = rand.Float64
+	}
+}
+
+// delay computes the backoff before retry attempt n (0-based).
+func (rc *RetryConfig) delay(n int) time.Duration {
+	d := rc.BaseDelay << uint(n)
+	if d > rc.MaxDelay || d <= 0 {
+		d = rc.MaxDelay
+	}
+	if rc.JitterFrac > 0 {
+		spread := 1 + rc.JitterFrac*(2*rc.Rand()-1)
+		d = time.Duration(float64(d) * spread)
+	}
+	return d
+}
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// BaseURL is the registry server root, e.g. "http://registry:7700".
+	// Required.
+	BaseURL string
+	// Timeout bounds each individual HTTP attempt. Defaults to 5s.
+	Timeout time.Duration
+	// Transport overrides the HTTP transport; injectable for tests.
+	// Nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Retry shapes the backoff; zero values take defaults.
+	Retry RetryConfig
+}
+
+// Client talks to the fleet control plane. Safe for concurrent use.
+type Client struct {
+	base  *url.URL
+	http  *http.Client
+	retry RetryConfig
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("fleet: BaseURL required")
+	}
+	base, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: parse BaseURL: %w", err)
+	}
+	if base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("fleet: BaseURL %q needs scheme and host", cfg.BaseURL)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	cfg.Retry.applyDefaults()
+	return &Client{
+		base:  base,
+		http:  &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
+		retry: cfg.Retry,
+	}, nil
+}
+
+// transientStatus reports whether an HTTP status is worth retrying.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// httpError is a non-2xx reply, carrying the server's error body.
+type httpError struct {
+	Status int
+	Msg    string
+}
+
+func (e *httpError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("fleet: server returned %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("fleet: server returned %d", e.Status)
+}
+
+// do runs one request with retry/backoff. build constructs a fresh request
+// per attempt (bodies cannot be reused); handle consumes a 2xx/304
+// response. Non-transient HTTP errors abort the retry loop immediately.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error), handle func(*http.Response) error) error {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.retry.Sleep(ctx, c.retry.delay(attempt-1)); err != nil {
+				return err
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req.WithContext(ctx))
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = fmt.Errorf("fleet: %s %s: %w", req.Method, req.URL.Path, err)
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 || resp.StatusCode == http.StatusNotModified {
+			err := handle(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return err
+		}
+		herr := &httpError{Status: resp.StatusCode}
+		var body errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil {
+			herr.Msg = body.Error
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if !transientStatus(resp.StatusCode) {
+			return herr
+		}
+		lastErr = herr
+	}
+	return fmt.Errorf("fleet: giving up after %d attempts: %w", c.retry.Attempts, lastErr)
+}
+
+func (c *Client) endpoint(parts ...string) string {
+	u := *c.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/" + strings.Join(parts, "/")
+	return u.String()
+}
+
+// PushTemplate uploads a learned template for app on behalf of host and
+// returns the consensus revision the registry assigned.
+func (c *Client) PushTemplate(ctx context.Context, host, app string, t *statespace.Template) (PutTemplateResponse, error) {
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		return PutTemplateResponse{}, err
+	}
+	body := buf.Bytes()
+	var out PutTemplateResponse
+	err := c.do(ctx,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPut,
+				c.endpoint("v1", "templates", url.PathEscape(app)), bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(hostHeader, host)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&out)
+		})
+	return out, err
+}
+
+// PullTemplate downloads the consensus template for app. schema narrows to
+// an exact schema fingerprint; haveRevision, when non-zero, turns the pull
+// into a freshness check: if the registry still holds that revision the
+// call returns (nil, haveRevision, nil) without transferring the body.
+// A registry that has never seen the app returns ErrNotFound.
+func (c *Client) PullTemplate(ctx context.Context, app, schema string, haveRevision int) (*statespace.Template, int, error) {
+	var tpl *statespace.Template
+	rev := 0
+	err := c.do(ctx,
+		func() (*http.Request, error) {
+			u := c.endpoint("v1", "templates", url.PathEscape(app))
+			q := url.Values{}
+			if schema != "" {
+				q.Set("schema", schema)
+			}
+			if haveRevision > 0 {
+				q.Set("rev", strconv.Itoa(haveRevision))
+			}
+			if len(q) > 0 {
+				u += "?" + q.Encode()
+			}
+			return http.NewRequest(http.MethodGet, u, nil)
+		},
+		func(resp *http.Response) error {
+			rev, _ = strconv.Atoi(resp.Header.Get(revisionHeader))
+			if resp.StatusCode == http.StatusNotModified {
+				return nil
+			}
+			t, err := statespace.ReadTemplate(resp.Body)
+			if err != nil {
+				return fmt.Errorf("fleet: pulled template: %w", err)
+			}
+			tpl = t
+			return nil
+		})
+	if err != nil {
+		var herr *httpError
+		if errors.As(err, &herr) && herr.Status == http.StatusNotFound {
+			return nil, 0, ErrNotFound
+		}
+		return nil, 0, err
+	}
+	return tpl, rev, nil
+}
+
+// SendHeartbeat reports host liveness and throttle state.
+func (c *Client) SendHeartbeat(ctx context.Context, hb Heartbeat) error {
+	body, err := json.Marshal(hb)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPost, c.endpoint("v1", "heartbeat"), bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		},
+		func(*http.Response) error { return nil })
+}
+
+// Status fetches the fleet-wide summary.
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	var out StatusResponse
+	err := c.do(ctx,
+		func() (*http.Request, error) {
+			return http.NewRequest(http.MethodGet, c.endpoint("v1", "status"), nil)
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&out)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy probes /healthz once (no retries — health checks want the truth,
+// not persistence).
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("healthz"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &httpError{Status: resp.StatusCode}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/throttle"
+)
+
+// The acceptance scenario for the fleet control plane: host A learns a
+// state-space map against CPUBomb and pushes it to the registry; host B —
+// a different machine running the same sensitive application against a
+// co-runner A never saw (Soplex) — pulls the map and skips the
+// learning-phase QoS violations a cold start would have suffered. This is
+// the paper's Fig 17→18 template story, across hosts instead of across
+// runs.
+func TestE2ETemplateSharedAcrossHosts(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ctx := context.Background()
+
+	vlc := func(rng *rand.Rand) sim.QoSApp {
+		return apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rng)
+	}
+	soplex := func(rng *rand.Rand) sim.App {
+		cfg := apps.DefaultSoplexConfig()
+		cfg.TotalWork = 0
+		return apps.NewSoplex(cfg, rng)
+	}
+
+	// Host A: learn against CPUBomb with Stay-Away active, then push.
+	learn, err := experiments.Run(experiments.Scenario{
+		Name:        "fleet-host-a-learn",
+		SensitiveID: "vlc",
+		Sensitive:   vlc,
+		Batch: []experiments.Placement{{ID: "batch", StartTick: 20, App: func(*rand.Rand) sim.App {
+			return apps.NewCPUBomb(apps.DefaultCPUBombConfig())
+		}}},
+		Ticks:    250,
+		Seed:     42,
+		StayAway: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientA := newTestClient(t, ts.URL)
+	pushed, err := clientA.PushTemplate(ctx, "host-a", "vlc-stream",
+		learn.Runtime.ExportTemplate("vlc-stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed.Revision != 1 || pushed.ViolationStates == 0 {
+		t.Fatalf("host A push = %+v; need violation states to share", pushed)
+	}
+
+	// Host B: pull the consensus map — no template learned locally.
+	clientB := newTestClient(t, ts.URL)
+	tpl, rev, err := clientB.PullTemplate(ctx, "vlc-stream", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != pushed.Revision || len(tpl.States) == 0 {
+		t.Fatalf("host B pulled rev=%d states=%d", rev, len(tpl.States))
+	}
+
+	// Host B runs VLC against Soplex twice: cold (no template) and
+	// bootstrapped from the registry. Identical seeds, identical
+	// co-location; only the starting map differs.
+	run := func(name string, seeded bool) *experiments.RunResult {
+		sc := experiments.Scenario{
+			Name:        name,
+			SensitiveID: "vlc",
+			Sensitive:   vlc,
+			Batch:       []experiments.Placement{{ID: "batch", StartTick: 20, App: soplex}},
+			Ticks:       250,
+			Seed:        43,
+			StayAway:    true,
+		}
+		if seeded {
+			sc.Template = tpl
+		}
+		res, err := experiments.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run("fleet-host-b-cold", false)
+	seeded := run("fleet-host-b-seeded", true)
+
+	firstThrottle := func(res *experiments.RunResult) int {
+		for _, r := range res.Records {
+			if r.Throttled {
+				return r.Tick
+			}
+		}
+		return len(res.Records)
+	}
+	// Learning-phase window: from batch arrival until the cold run first
+	// learned to throttle, plus slack — the ticks where the cold host is
+	// still paying for knowledge the fleet already has.
+	coldStart, seededStart := firstThrottle(cold), firstThrottle(seeded)
+	if seededStart > coldStart {
+		t.Errorf("bootstrapped host engaged protection at tick %d, cold at %d — template gave no head start",
+			seededStart, coldStart)
+	}
+	window := coldStart + 20
+	countViolationsUpTo := func(res *experiments.RunResult, tick int) int {
+		n := 0
+		for _, r := range res.Records {
+			if r.Tick <= tick && r.Violation {
+				n++
+			}
+		}
+		return n
+	}
+	coldV, seededV := countViolationsUpTo(cold, window), countViolationsUpTo(seeded, window)
+	t.Logf("first throttle: cold %d seeded %d; violations ≤ tick %d: cold %d seeded %d; full run: cold %d seeded %d",
+		coldStart, seededStart, window, coldV, seededV, cold.Report.Violations, seeded.Report.Violations)
+	if seededV > coldV {
+		t.Errorf("learning-phase violations: seeded %d > cold %d — sharing the map made things worse",
+			seededV, coldV)
+	}
+
+	// Host B's own learning flows back: its push merges into revision 2
+	// and the consensus accumulates both hosts' contributions.
+	resp, err := clientB.PushTemplate(ctx, "host-b", "vlc-stream",
+		seeded.Runtime.ExportTemplate("vlc-stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Revision != 2 || resp.Hosts != 2 {
+		t.Errorf("host B merge = %+v, want revision 2 from 2 hosts", resp)
+	}
+	status, err := clientB.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Templates) != 1 || status.Templates[0].Hosts != 2 {
+		t.Errorf("status templates = %+v", status.Templates)
+	}
+}
+
+// e2eEnv scripts a minimal core.Environment: a sensitive container under
+// growing batch pressure, violating QoS above a CPU threshold.
+type e2eEnv struct {
+	tick int
+}
+
+func (e *e2eEnv) Collect() []metrics.Sample {
+	e.tick++
+	batch := float64((e.tick * 37) % 400)
+	return []metrics.Sample{
+		metrics.NewSample("web", map[metrics.Metric]float64{
+			metrics.MetricCPU:    100,
+			metrics.MetricMemory: 500,
+		}),
+		metrics.NewSample("b1", map[metrics.Metric]float64{
+			metrics.MetricCPU: batch,
+		}),
+	}
+}
+
+func (e *e2eEnv) QoSViolation() bool     { return (e.tick*37)%400 > 300 }
+func (e *e2eEnv) SensitiveRunning() bool { return true }
+func (e *e2eEnv) BatchRunning() bool     { return true }
+func (e *e2eEnv) BatchActive() bool      { return true }
+
+// The degraded-mode half of the acceptance scenario: a registry outage in
+// the middle of a run must not interrupt the control loop — the daemon
+// keeps protecting from its local map, records the sync failures, and the
+// first periodic push after recovery resyncs the registry.
+func TestE2ERegistryOutageMidRun(t *testing.T) {
+	ts, reg := newTestServer(t)
+	gate := &gatedTransport{inner: http.DefaultTransport}
+	client, err := NewClient(ClientConfig{
+		BaseURL:   ts.URL,
+		Transport: gate,
+		Retry: RetryConfig{
+			Attempts: 2,
+			Sleep:    func(context.Context, time.Duration) error { return nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncer := NewSyncer(client, "host-a", "web")
+
+	cfg := core.DefaultConfig("web", []string{"b1"}, metrics.DefaultRanges(4, 4096, 200, 1000))
+	rt, err := core.New(cfg, &e2eEnv{}, throttle.NewRecordingActuator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Sink = syncer
+	srv.SyncEvery = 5
+	done := make(chan struct{})
+	srv.OnEvent = func(core.Event) { done <- struct{}{} }
+
+	ticks := make(chan time.Time)
+	if err := srv.Start(context.Background(), ticks); err != nil {
+		t.Fatal(err)
+	}
+	// Each step waits for the period to complete, so assertions after
+	// step() observe a quiescent loop.
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			ticks <- time.Time{}
+			<-done
+		}
+	}
+
+	// Healthy phase: two sync points (periods 5 and 10) pass. The loop
+	// pushes after OnEvent, so phases end off the sync cadence — the two
+	// trailing ticks guarantee the last push settled before the gate flips.
+	step(12)
+	// Outage strikes mid-run: pushes at periods 15 and 20 fail.
+	gate.setDown(true)
+	step(10)
+	if _, periods, err := srv.Snapshot(); err != nil || periods != 22 {
+		t.Fatalf("loop did not keep controlling through the outage: periods=%d err=%v", periods, err)
+	}
+	if degraded, lastErr := syncer.Degraded(); !degraded || lastErr == nil {
+		t.Error("outage not reflected in syncer state")
+	}
+	if _, failures, syncErr := srv.SyncStatus(); failures == 0 || syncErr == nil {
+		t.Error("outage not reflected in server sync status")
+	}
+
+	// Recovery: the push at period 25 resyncs without any intervention,
+	// and shutdown flushes one final snapshot.
+	gate.setDown(false)
+	step(3)
+	close(ticks)
+	srv.Wait()
+
+	if degraded, _ := syncer.Degraded(); degraded {
+		t.Error("syncer still degraded after recovery")
+	}
+	syncs, failures, syncErr := srv.SyncStatus()
+	if syncs < 3 || failures != 2 || syncErr != nil {
+		t.Errorf("sync status = %d ok / %d failed / err %v, want ≥3 ok, 2 failed, nil", syncs, failures, syncErr)
+	}
+	entry, ok := reg.Get("web", "")
+	if !ok {
+		t.Fatal("registry never received the host's map")
+	}
+	if entry.Revision < 3 {
+		t.Errorf("registry revision = %d, want ≥3 (healthy pushes + resync)", entry.Revision)
+	}
+	if len(entry.Template.States) == 0 {
+		t.Error("registry holds an empty map")
+	}
+	if rt.Report().Periods != 25 {
+		t.Errorf("runtime periods = %d, want 25", rt.Report().Periods)
+	}
+}

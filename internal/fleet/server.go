@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/statespace"
+)
+
+// maxTemplateBytes bounds uploaded template bodies; a fleet template of a
+// few thousand states is well under 1 MiB.
+const maxTemplateBytes = 16 << 20
+
+// revisionHeader carries an entry's revision on template GET/PUT replies.
+const revisionHeader = "X-Stayaway-Revision"
+
+// hostHeader identifies the uploading host on template PUTs.
+const hostHeader = "X-Stayaway-Host"
+
+// ServerConfig tunes the control-plane server.
+type ServerConfig struct {
+	// Registry is the backing template store. Required.
+	Registry *registry.Registry
+	// Now is the clock, injectable for tests; nil uses time.Now.
+	Now func() time.Time
+	// Logf, when non-nil, receives one line per rejected request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the fleet control plane. Safe for concurrent use.
+type Server struct {
+	cfg ServerConfig
+
+	mu    sync.Mutex
+	hosts map[string]HostStatus
+}
+
+// NewServer builds a control-plane server over the given registry.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("fleet: nil registry")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{cfg: cfg, hosts: make(map[string]HostStatus)}, nil
+}
+
+// Handler returns the HTTP routing table:
+//
+//	PUT  /v1/templates/{app}  upload a learned template (merged in)
+//	GET  /v1/templates/{app}  download the consensus template
+//	POST /v1/heartbeat        report host liveness and throttle state
+//	GET  /v1/status           fleet-wide host/template summary
+//	GET  /healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/templates/{app}", s.putTemplate)
+	mux.HandleFunc("GET /v1/templates/{app}", s.getTemplate)
+	mux.HandleFunc("POST /v1/heartbeat", s.postHeartbeat)
+	mux.HandleFunc("GET /v1/status", s.getStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.logf("fleet: %d %s", code, msg)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) putTemplate(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	tpl, err := statespace.ReadTemplate(http.MaxBytesReader(w, r.Body, maxTemplateBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse template: %v", err)
+		return
+	}
+	if tpl.SensitiveApp == "" {
+		tpl.SensitiveApp = app
+	}
+	if tpl.SensitiveApp != app {
+		s.writeError(w, http.StatusBadRequest,
+			"template names app %q but was uploaded for %q", tpl.SensitiveApp, app)
+		return
+	}
+	host := r.Header.Get(hostHeader)
+	entry, err := s.cfg.Registry.Put(host, tpl)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, statespace.ErrSchemaMismatch) {
+			code = http.StatusConflict
+		}
+		s.writeError(w, code, "store template: %v", err)
+		return
+	}
+	w.Header().Set(revisionHeader, strconv.Itoa(entry.Revision))
+	writeJSON(w, http.StatusOK, PutTemplateResponse{
+		Revision:        entry.Revision,
+		States:          len(entry.Template.States),
+		ViolationStates: countViolations(entry.Template),
+		Hosts:           len(entry.Hosts),
+	})
+}
+
+func (s *Server) getTemplate(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	entry, ok := s.cfg.Registry.Get(app, r.URL.Query().Get("schema"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no template for app %q", app)
+		return
+	}
+	w.Header().Set(revisionHeader, strconv.Itoa(entry.Revision))
+	// Cheap freshness check: a client that already holds this revision
+	// skips the body.
+	if ifRev := r.URL.Query().Get("rev"); ifRev != "" {
+		if rev, err := strconv.Atoi(ifRev); err == nil && rev == entry.Revision {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := entry.Template.WriteTo(&buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encode template: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) postHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&hb); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parse heartbeat: %v", err)
+		return
+	}
+	if hb.Host == "" {
+		s.writeError(w, http.StatusBadRequest, "heartbeat without host")
+		return
+	}
+	s.mu.Lock()
+	s.hosts[hb.Host] = HostStatus{
+		Host:             hb.Host,
+		App:              hb.App,
+		Periods:          hb.Periods,
+		Violations:       hb.Violations,
+		Throttled:        hb.Throttled,
+		TemplateRevision: hb.TemplateRevision,
+		LastSeen:         s.cfg.Now(),
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) getStatus(w http.ResponseWriter, _ *http.Request) {
+	var resp StatusResponse
+	s.mu.Lock()
+	for _, h := range s.hosts {
+		resp.Hosts = append(resp.Hosts, h)
+		if h.Throttled {
+			resp.ThrottledHosts++
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(resp.Hosts, func(i, j int) bool { return resp.Hosts[i].Host < resp.Hosts[j].Host })
+	for _, e := range s.cfg.Registry.Entries() {
+		resp.Templates = append(resp.Templates, TemplateStatus{
+			App:             e.Key.App,
+			Schema:          e.Key.Schema,
+			Revision:        e.Revision,
+			States:          len(e.Template.States),
+			ViolationStates: countViolations(e.Template),
+			Hosts:           len(e.Hosts),
+			UpdatedAt:       e.UpdatedAt,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func countViolations(t *statespace.Template) int {
+	n := 0
+	for _, st := range t.States {
+		if st.Label == statespace.Violation.String() {
+			n++
+		}
+	}
+	return n
+}

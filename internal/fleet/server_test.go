@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/statespace"
+)
+
+func testMetricsList() []metrics.Metric {
+	return []metrics.Metric{metrics.MetricCPU, metrics.MetricMemory}
+}
+
+// testTemplate builds a small valid template for app with one safe and one
+// violation state.
+func testTemplate(app string) *statespace.Template {
+	return &statespace.Template{
+		Version:       2,
+		SensitiveApp:  app,
+		Dim:           2,
+		SchemaVMs:     []string{"sensitive"},
+		SchemaMetrics: testMetricsList(),
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: statespace.Safe.String(), Weight: 1, Vector: []float64{0.1, 0.1}},
+			{X: 3, Y: 4, Label: statespace.Violation.String(), Weight: 2, Vector: []float64{0.9, 0.8}},
+		},
+		Ranges: map[metrics.Metric]metrics.Range{
+			metrics.MetricCPU:    {Max: 400},
+			metrics.MetricMemory: {Max: 4096, Adaptive: true},
+		},
+	}
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.Open(registry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Registry: reg, Now: func() time.Time { return time.Unix(1700000000, 0) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func newTestClient(t *testing.T, baseURL string) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{
+		BaseURL: baseURL,
+		Retry:   RetryConfig{Attempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestServerTemplateRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	// Pull before any push: not found.
+	if _, _, err := c.PullTemplate(ctx, "vlc-stream", "", 0); err != ErrNotFound {
+		t.Fatalf("cold pull err = %v, want ErrNotFound", err)
+	}
+
+	resp, err := c.PushTemplate(ctx, "host-a", "vlc-stream", testTemplate("vlc-stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Revision != 1 || resp.States != 2 || resp.ViolationStates != 1 || resp.Hosts != 1 {
+		t.Fatalf("push response = %+v", resp)
+	}
+
+	tpl, rev, err := c.PullTemplate(ctx, "vlc-stream", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != 1 || len(tpl.States) != 2 || tpl.SensitiveApp != "vlc-stream" {
+		t.Fatalf("pulled rev=%d tpl=%+v", rev, tpl)
+	}
+	// Freshness check: holding the current revision skips the body.
+	cached, rev2, err := c.PullTemplate(ctx, "vlc-stream", "", rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != nil || rev2 != rev {
+		t.Fatalf("fresh pull returned tpl=%v rev=%d", cached, rev2)
+	}
+	// Schema-narrowed pull.
+	if _, _, err := c.PullTemplate(ctx, "vlc-stream", tpl.SchemaKey(), 0); err != nil {
+		t.Fatalf("schema pull: %v", err)
+	}
+	if _, _, err := c.PullTemplate(ctx, "vlc-stream", "dim99", 0); err != ErrNotFound {
+		t.Fatalf("wrong-schema pull err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestServerMergesSecondHost(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.PushTemplate(ctx, "host-a", "vlc-stream", testTemplate("vlc-stream")); err != nil {
+		t.Fatal(err)
+	}
+	other := testTemplate("vlc-stream")
+	other.States = append(other.States, statespace.TemplateState{
+		X: -2, Y: 1, Label: statespace.Violation.String(), Weight: 1, Vector: []float64{0.2, 0.9},
+	})
+	resp, err := c.PushTemplate(ctx, "host-b", "vlc-stream", other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Revision != 2 || resp.States != 3 || resp.ViolationStates != 2 || resp.Hosts != 2 {
+		t.Fatalf("merged push response = %+v", resp)
+	}
+}
+
+func TestServerRejectsBadUploads(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ctx := context.Background()
+
+	put := func(path, body string) *http.Response {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPut, ts.URL+path, strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := put("/v1/templates/vlc", "{torn"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt body: status %d, want 400", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := testTemplate("other-app").WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if resp := put("/v1/templates/vlc", buf.String()); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("app mismatch: status %d, want 400", resp.StatusCode)
+	}
+	// Nameless template adopts the path's app.
+	anon := testTemplate("")
+	buf.Reset()
+	if _, err := anon.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if resp := put("/v1/templates/vlc", buf.String()); resp.StatusCode != http.StatusOK {
+		t.Errorf("nameless template: status %d, want 200", resp.StatusCode)
+	}
+	// Unknown paths 404.
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerHeartbeatAndStatus(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.PushTemplate(ctx, "host-a", "vlc-stream", testTemplate("vlc-stream")); err != nil {
+		t.Fatal(err)
+	}
+	beats := []Heartbeat{
+		{Host: "host-a", App: "vlc-stream", Periods: 120, Violations: 4, Throttled: true, TemplateRevision: 1},
+		{Host: "host-b", App: "vlc-stream", Periods: 40, Violations: 0, Throttled: false},
+	}
+	for _, hb := range beats {
+		if err := c.SendHeartbeat(ctx, hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	status, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Hosts) != 2 || status.ThrottledHosts != 1 {
+		t.Fatalf("status hosts = %+v throttled = %d", status.Hosts, status.ThrottledHosts)
+	}
+	if status.Hosts[0].Host != "host-a" || status.Hosts[0].Periods != 120 || !status.Hosts[0].Throttled {
+		t.Errorf("host-a status = %+v", status.Hosts[0])
+	}
+	if len(status.Templates) != 1 || status.Templates[0].Revision != 1 ||
+		status.Templates[0].ViolationStates != 1 {
+		t.Errorf("template status = %+v", status.Templates)
+	}
+
+	// Heartbeats without a host are rejected.
+	body, _ := json.Marshal(Heartbeat{})
+	resp, err := http.Post(ts.URL+"/v1/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("hostless heartbeat: status %d, want 400", resp.StatusCode)
+	}
+}

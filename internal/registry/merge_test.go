@@ -1,0 +1,194 @@
+package registry
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+)
+
+var testMetrics = []metrics.Metric{metrics.MetricCPU, metrics.MetricMemory}
+
+// tpl builds a two-metric, one-VM template from (x, y, label, cpu, mem)
+// tuples.
+func tpl(app string, ranges map[metrics.Metric]metrics.Range, states ...[5]float64) *statespace.Template {
+	t := &statespace.Template{
+		Version:       2,
+		SensitiveApp:  app,
+		Dim:           2,
+		SchemaVMs:     []string{"sensitive"},
+		SchemaMetrics: testMetrics,
+		Ranges:        ranges,
+	}
+	for _, s := range states {
+		label := statespace.Safe.String()
+		if s[2] != 0 {
+			label = statespace.Violation.String()
+		}
+		t.States = append(t.States, statespace.TemplateState{
+			X: s[0], Y: s[1], Label: label, Weight: 1, Vector: []float64{s[3], s[4]},
+		})
+	}
+	return t
+}
+
+func testRanges() map[metrics.Metric]metrics.Range {
+	return map[metrics.Metric]metrics.Range{
+		metrics.MetricCPU:    {Max: 400},
+		metrics.MetricMemory: {Max: 2048, Adaptive: true},
+	}
+}
+
+func TestMergeAccumulatesViolations(t *testing.T) {
+	// Host A saw a violation at vector (0.9, 0.8); host B saw a different
+	// one at (0.2, 0.9) plus the same safe state A knows.
+	a := tpl("vlc", testRanges(),
+		[5]float64{0, 0, 0, 0.1, 0.1},
+		[5]float64{3, 4, 1, 0.9, 0.8})
+	b := tpl("vlc", testRanges(),
+		[5]float64{0, 0, 0, 0.1, 0.1},
+		[5]float64{-2, 1, 1, 0.2, 0.9})
+	merged, err := MergeTemplates(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.States) != 3 {
+		t.Fatalf("merged states = %d, want 3 (shared safe + two violations)", len(merged.States))
+	}
+	var violations, safeWeight int
+	for _, st := range merged.States {
+		if st.Label == statespace.Violation.String() {
+			violations++
+		} else {
+			safeWeight = st.Weight
+		}
+	}
+	if violations != 2 {
+		t.Errorf("merged violation states = %d, want 2", violations)
+	}
+	if safeWeight != 2 {
+		t.Errorf("shared safe state weight = %d, want 2", safeWeight)
+	}
+	// The merged map must still import cleanly.
+	if _, err := statespace.Import(merged); err != nil {
+		t.Fatalf("merged template does not import: %v", err)
+	}
+}
+
+func TestMergeUpgradesLabelToViolation(t *testing.T) {
+	a := tpl("vlc", testRanges(), [5]float64{1, 1, 0, 0.5, 0.5})
+	b := tpl("vlc", testRanges(), [5]float64{9, 9, 1, 0.5, 0.5})
+	merged, err := MergeTemplates(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.States) != 1 {
+		t.Fatalf("states = %d, want 1", len(merged.States))
+	}
+	st := merged.States[0]
+	if st.Label != statespace.Violation.String() || st.Weight != 2 {
+		t.Errorf("state = %+v, want violation with weight 2", st)
+	}
+	// Base coordinates win for matched states (fleet map stays stable).
+	if st.X != 1 || st.Y != 1 {
+		t.Errorf("coord = (%v, %v), want base (1, 1)", st.X, st.Y)
+	}
+}
+
+func TestMergeProcrustesAlignsRotatedLayout(t *testing.T) {
+	// Host B learned the same three states but its MDS solution came out
+	// rotated 90° and translated. After merging, B's unique fourth state
+	// must land near where A's layout would place it.
+	aStates := [][5]float64{
+		{0, 0, 0, 0.10, 0.10},
+		{2, 0, 0, 0.50, 0.10},
+		{0, 2, 1, 0.10, 0.50},
+	}
+	rot := func(x, y float64) (float64, float64) { return -y + 5, x - 3 }
+	var bStates [][5]float64
+	for _, s := range aStates {
+		x, y := rot(s[0], s[1])
+		bStates = append(bStates, [5]float64{x, y, s[2], s[3], s[4]})
+	}
+	// B's extra state sits at (2, 2) in A's frame.
+	ex, ey := rot(2, 2)
+	bStates = append(bStates, [5]float64{ex, ey, 1, 0.50, 0.50})
+
+	a := tpl("vlc", testRanges(), aStates...)
+	b := tpl("vlc", testRanges(), bStates...)
+	merged, err := MergeTemplates(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.States) != 4 {
+		t.Fatalf("states = %d, want 4", len(merged.States))
+	}
+	got := merged.States[3]
+	if math.Hypot(got.X-2, got.Y-2) > 1e-6 {
+		t.Errorf("aligned extra state at (%v, %v), want (2, 2)", got.X, got.Y)
+	}
+}
+
+func TestMergeRescalesAdaptiveRanges(t *testing.T) {
+	// Host A's adaptive memory range stretched to 2048, host B's to 4096:
+	// the same absolute usage (1024 MB) normalized to 0.5 on A and 0.25 on
+	// B. After merging onto the union range the two states must collapse.
+	ra := testRanges()
+	rb := testRanges()
+	rb[metrics.MetricMemory] = metrics.Range{Max: 4096, Adaptive: true}
+	a := tpl("vlc", ra, [5]float64{0, 0, 1, 0.5, 0.50})
+	b := tpl("vlc", rb, [5]float64{0, 0, 1, 0.5, 0.25})
+	merged, err := MergeTemplates(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.States) != 1 {
+		t.Fatalf("states = %d, want 1 after range rescaling", len(merged.States))
+	}
+	if got := merged.Ranges[metrics.MetricMemory].Max; got != 4096 {
+		t.Errorf("merged memory max = %v, want 4096", got)
+	}
+	if got := merged.States[0].Vector[1]; math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("rescaled memory value = %v, want 0.25", got)
+	}
+}
+
+func TestMergeRejectsMismatches(t *testing.T) {
+	a := tpl("vlc", testRanges(), [5]float64{0, 0, 0, 0.1, 0.1})
+	other := tpl("web", testRanges(), [5]float64{0, 0, 0, 0.1, 0.1})
+	if _, err := MergeTemplates(a, other, 0.05); err == nil {
+		t.Error("different apps must not merge")
+	}
+	diffSchema := tpl("vlc", testRanges(), [5]float64{0, 0, 0, 0.1, 0.1})
+	diffSchema.SchemaMetrics = []metrics.Metric{metrics.MetricCPU, metrics.MetricIO}
+	if _, err := MergeTemplates(a, diffSchema, 0.05); !errors.Is(err, statespace.ErrSchemaMismatch) {
+		t.Errorf("different schemas: err = %v, want ErrSchemaMismatch", err)
+	}
+	// Schema-less (version-1) templates cannot rescale: differing ranges
+	// must be rejected rather than silently mixed.
+	legacyA := &statespace.Template{Version: 1, SensitiveApp: "vlc", Dim: 1,
+		States: []statespace.TemplateState{{Label: "safe", Vector: []float64{0.5}}},
+		Ranges: map[metrics.Metric]metrics.Range{metrics.MetricCPU: {Max: 400}}}
+	legacyB := &statespace.Template{Version: 1, SensitiveApp: "vlc", Dim: 1,
+		States: []statespace.TemplateState{{Label: "safe", Vector: []float64{0.5}}},
+		Ranges: map[metrics.Metric]metrics.Range{metrics.MetricCPU: {Max: 800}}}
+	if _, err := MergeTemplates(legacyA, legacyB, 0.05); err == nil {
+		t.Error("schema-less templates with differing ranges must not merge")
+	}
+}
+
+func TestMergeDoesNotMutateInputs(t *testing.T) {
+	a := tpl("vlc", testRanges(), [5]float64{0, 0, 0, 0.1, 0.1})
+	b := tpl("vlc", testRanges(), [5]float64{3, 4, 1, 0.9, 0.8})
+	if _, err := MergeTemplates(a, b, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if a.States[0].Weight != 1 || b.States[0].Weight != 1 {
+		t.Error("merge mutated input weights")
+	}
+	if a.States[0].Vector[0] != 0.1 || b.States[0].Vector[0] != 0.9 {
+		t.Error("merge mutated input vectors")
+	}
+}

@@ -15,6 +15,13 @@ func FuzzReadTemplate(f *testing.F) {
 	f.Add(`{"version":99}`)
 	f.Add(`not json`)
 	f.Add(`{"version":1,"dim":3,"states":[{"vector":[1]}]}`)
+	f.Add(`{"version":2,"sensitive_app":"vlc","dim":2,"schema_vms":["vlc"],"schema_metrics":["cpu","memory"],"states":[{"x":1,"y":2,"label":"violation","weight":3,"vector":[0.4,0.5]}],"ranges":{"cpu":{"max":400}}}`)
+	f.Add(`{"version":2,"dim":2,"schema_vms":["vlc"]}`)
+	f.Add(`{"version":2,"dim":4,"schema_vms":["a"],"schema_metrics":["cpu","cpu","io","net"]}`)
+	f.Add(`{"version":2,"sensitive_app":"vlc","dim":1,"states":[{"vector":[0.1]`)
+	f.Add(`{"version":2,"dim":0,"states":[]}trailing`)
+	f.Add(`{"version":2,"states":[{"label":"safe","weight":-1,"vector":[]}]}`)
+	f.Add(`{"version":2,"ranges":{"cpu":{"max":-1}}}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		tpl, err := ReadTemplate(strings.NewReader(input))
 		if err != nil {

@@ -2,6 +2,8 @@ package statespace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -30,9 +32,19 @@ func sampleRanges() map[metrics.Metric]metrics.Range {
 	}
 }
 
+func sampleSchema(t *testing.T) *metrics.Schema {
+	t.Helper()
+	sch, err := metrics.NewSchema([]string{"vlc"},
+		[]metrics.Metric{metrics.MetricCPU, metrics.MetricMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
 func TestExportImportRoundTrip(t *testing.T) {
 	s := buildSampleSpace(t)
-	tpl := Export(s, "vlc-stream", sampleRanges())
+	tpl := Export(s, "vlc-stream", sampleRanges(), sampleSchema(t))
 	if tpl.SensitiveApp != "vlc-stream" || tpl.Dim != 2 || len(tpl.States) != 2 {
 		t.Fatalf("template = %+v", tpl)
 	}
@@ -59,7 +71,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 
 func TestTemplateJSONRoundTrip(t *testing.T) {
 	s := buildSampleSpace(t)
-	tpl := Export(s, "vlc-stream", sampleRanges())
+	tpl := Export(s, "vlc-stream", sampleRanges(), sampleSchema(t))
 	var buf bytes.Buffer
 	if _, err := tpl.WriteTo(&buf); err != nil {
 		t.Fatal(err)
@@ -74,6 +86,14 @@ func TestTemplateJSONRoundTrip(t *testing.T) {
 	r, ok := parsed.Ranges[metrics.MetricMemory]
 	if !ok || r.Max != 2048 || !r.Adaptive {
 		t.Errorf("ranges lost: %+v", parsed.Ranges)
+	}
+	if len(parsed.SchemaVMs) != 1 || len(parsed.SchemaMetrics) != 2 ||
+		parsed.SchemaMetrics[0] != metrics.MetricCPU {
+		t.Errorf("schema lost: VMs=%v metrics=%v", parsed.SchemaVMs, parsed.SchemaMetrics)
+	}
+	if parsed.SchemaKey() != tpl.SchemaKey() {
+		t.Errorf("schema key changed across serialization: %q vs %q",
+			parsed.SchemaKey(), tpl.SchemaKey())
 	}
 	// The imported space must reproduce violation ranges.
 	s2, err := Import(parsed)
@@ -115,11 +135,115 @@ func TestReadTemplateMalformed(t *testing.T) {
 	}
 }
 
+func TestReadTemplateTruncatedAndCorrupt(t *testing.T) {
+	// A valid template cut off at every byte boundary must error (never
+	// panic, never half-parse).
+	s := buildSampleSpace(t)
+	var buf bytes.Buffer
+	if _, err := Export(s, "vlc", sampleRanges(), sampleSchema(t)).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	for cut := 0; cut < len(full)-1; cut += 7 {
+		if _, err := ReadTemplate(strings.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := ReadTemplate(strings.NewReader("")); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("empty input: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadTemplate(strings.NewReader(full + "garbage")); !errors.Is(err, ErrCorruptTemplate) {
+		t.Errorf("trailing garbage: err = %v, want ErrCorruptTemplate", err)
+	}
+	corrupt := []string{
+		`{"version":2,"dim":-1}`,
+		`{"version":2,"dim":2,"schema_vms":["a"]}`,
+		`{"version":2,"dim":3,"schema_vms":["a"],"schema_metrics":["cpu","memory"]}`,
+		`{"version":2,"dim":2,"schema_vms":["a"],"schema_metrics":["cpu","cpu"]}`,
+		`{"version":2,"states":[{"label":"safe","weight":-3,"vector":[]}]}`,
+		`{"version":2,"ranges":{"cpu":{"max":-5}}}`,
+	}
+	for _, in := range corrupt {
+		if _, err := ReadTemplate(strings.NewReader(in)); !errors.Is(err, ErrCorruptTemplate) {
+			t.Errorf("input %s: err = %v, want ErrCorruptTemplate", in, err)
+		}
+	}
+	if _, err := ReadTemplate(strings.NewReader(`{"version":3}`)); !errors.Is(err, ErrTemplateVersion) {
+		t.Errorf("future version: err = %v, want ErrTemplateVersion", err)
+	}
+	// Version-1 templates (pre-schema) still load.
+	v1 := `{"version":1,"sensitive_app":"vlc","dim":2,"states":[{"x":1,"y":2,"label":"safe","weight":1,"vector":[0.1,0.2]}],"ranges":{}}`
+	tpl, err := ReadTemplate(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 template rejected: %v", err)
+	}
+	if _, err := Import(tpl); err != nil {
+		t.Fatalf("version-1 import: %v", err)
+	}
+}
+
+func TestCompatibleWith(t *testing.T) {
+	s := buildSampleSpace(t)
+	sch := sampleSchema(t)
+	tpl := Export(s, "vlc", sampleRanges(), sch)
+	if err := tpl.CompatibleWith(sch); err != nil {
+		t.Fatalf("self-compatibility: %v", err)
+	}
+	// Same metric count, different metric: mismatch.
+	other, err := metrics.NewSchema([]string{"vlc"},
+		[]metrics.Metric{metrics.MetricCPU, metrics.MetricIO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.CompatibleWith(other); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("different metric set: err = %v, want ErrSchemaMismatch", err)
+	}
+	// Different VM-slot count: mismatch.
+	twoVMs, err := metrics.NewSchema([]string{"vlc", "batch"},
+		[]metrics.Metric{metrics.MetricCPU, metrics.MetricMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.CompatibleWith(twoVMs); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("different VM count: err = %v, want ErrSchemaMismatch", err)
+	}
+	// Same schema on a host that names its VM slots differently: compatible.
+	renamed, err := metrics.NewSchema([]string{"sensitive"},
+		[]metrics.Metric{metrics.MetricCPU, metrics.MetricMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.CompatibleWith(renamed); err != nil {
+		t.Errorf("renamed VM slots should stay compatible: %v", err)
+	}
+	// Legacy template: dimension-only check.
+	legacy := &Template{Version: 1, Dim: 4}
+	if err := legacy.CompatibleWith(sch); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("legacy dim mismatch: err = %v, want ErrSchemaMismatch", err)
+	}
+	legacy.Dim = sch.Dim()
+	if err := legacy.CompatibleWith(sch); err != nil {
+		t.Errorf("legacy matching dim: %v", err)
+	}
+}
+
+func TestSchemaKey(t *testing.T) {
+	s := buildSampleSpace(t)
+	withSchema := Export(s, "vlc", sampleRanges(), sampleSchema(t))
+	if got, want := withSchema.SchemaKey(), "1vm/cpu,memory"; got != want {
+		t.Errorf("SchemaKey = %q, want %q", got, want)
+	}
+	legacy := Export(s, "vlc", sampleRanges(), nil)
+	if got, want := legacy.SchemaKey(), "dim2"; got != want {
+		t.Errorf("legacy SchemaKey = %q, want %q", got, want)
+	}
+}
+
 func TestTemplateViolationsSurviveAsViolations(t *testing.T) {
 	// §6's core claim: a state labelled violation in the template remains a
 	// violation-state for the next execution, whatever batch app runs.
 	s := buildSampleSpace(t)
-	tpl := Export(s, "vlc", sampleRanges())
+	tpl := Export(s, "vlc", sampleRanges(), nil)
 	s2, err := Import(tpl)
 	if err != nil {
 		t.Fatal(err)
