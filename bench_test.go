@@ -373,6 +373,14 @@ func BenchmarkAblationAggregation(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationGraded compares the paper's binary pause/resume policy
+// against graded cpu.max-style quota stepping: equal-or-fewer violations
+// while retaining more batch throughput (work_retention > 1).
+func BenchmarkAblationGraded(b *testing.B) {
+	benchFigure(b, experiments.AblationGraded,
+		"violations_binary", "violations_graded", "work_retention")
+}
+
 // BenchmarkOverheadControllerStep measures the cost of one full Stay-Away
 // period (collect → map → predict → act) in a steady co-located state —
 // the paper reports ≈2% CPU for a 1-second monitoring period, i.e. a

@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-o DIR] [-fig LIST | -summary | -all]
+//	experiments [-seed N] [-o DIR] [-fig LIST | -summary | -ablations | -all]
 //
 //	-fig 1,8,9     regenerate specific figures (1,4,5,6,7,8,9,10,11,12,
 //	               13,14,15,16,17,18)
 //	-summary       run the headline utilization summary (10–70% claim)
-//	-all           regenerate everything including the summary
+//	-ablations     run the binary-vs-graded throttling ablation
+//	-all           regenerate everything including the summary and ablations
 //	-o DIR         additionally write each figure to DIR/<id>.txt
 package main
 
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fsatomic"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "random seed for all scenarios")
 	figList := flag.String("fig", "", "comma-separated figure numbers to regenerate")
 	summary := flag.Bool("summary", false, "run the headline utilization summary")
+	ablations := flag.Bool("ablations", false, "run the binary-vs-graded throttling ablation")
 	all := flag.Bool("all", false, "regenerate every figure and the summary")
 	outDir := flag.String("o", "", "directory to write per-figure text files into")
 	flag.Parse()
@@ -73,11 +76,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary:
-		// summary only; handled below
+	case *summary || *ablations:
+		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -87,7 +90,7 @@ func run() error {
 				return err
 			}
 			path := filepath.Join(*outDir, f.ID+".txt")
-			if err := os.WriteFile(path, []byte(f.Title+"\n\n"+f.Text), 0o644); err != nil {
+			if err := fsatomic.WriteFile(path, []byte(f.Title+"\n\n"+f.Text), 0o644); err != nil {
 				return err
 			}
 		}
@@ -107,6 +110,15 @@ func run() error {
 		f, err := experiments.Summary(*seed)
 		if err != nil {
 			return fmt.Errorf("summary: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	if *ablations || *all {
+		f, err := experiments.AblationGraded(*seed)
+		if err != nil {
+			return fmt.Errorf("graded ablation: %w", err)
 		}
 		if err := emit(f); err != nil {
 			return err

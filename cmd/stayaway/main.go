@@ -25,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/fsatomic"
 	"repro/internal/sim"
 	"repro/internal/statespace"
 )
@@ -226,27 +228,21 @@ func run() error {
 	}
 
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
+		err := fsatomic.WriteFileFunc(*csvOut, 0o644, func(w io.Writer) error {
+			return experiments.WriteRunCSV(w, res.Records)
+		})
 		if err != nil {
-			return err
-		}
-		if err := experiments.WriteRunCSV(f, res.Records); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("run records written to %s\n", *csvOut)
 	}
 
 	if *templateOut != "" && res.Runtime != nil {
-		f, err := os.Create(*templateOut)
-		if err != nil {
+		err := fsatomic.WriteFileFunc(*templateOut, 0o644, func(w io.Writer) error {
+			_, err := res.Runtime.ExportTemplate(*sensitiveName).WriteTo(w)
 			return err
-		}
-		defer f.Close()
-		if _, err := res.Runtime.ExportTemplate(*sensitiveName).WriteTo(f); err != nil {
+		})
+		if err != nil {
 			return err
 		}
 		fmt.Printf("template written to %s\n", *templateOut)

@@ -1,17 +1,30 @@
 // Command stayawayd runs the Stay-Away middleware against real Linux
-// processes: per-PID resource usage is sampled from /proc, QoS violations
-// are read from a report file the sensitive application rewrites each
-// period ("<value> <threshold>"), and batch processes are throttled with
-// SIGSTOP/SIGCONT — the exact actuation of the paper's prototype.
+// workloads. QoS violations are read from a report file the sensitive
+// application rewrites each period ("<value> <threshold>"). Two
+// actuation/telemetry modes are available:
 //
-// Usage (as root or owning the target processes):
+// PID mode (the paper's prototype): per-PID resource usage is sampled
+// from /proc and batch processes are throttled with SIGSTOP/SIGCONT.
 //
 //	stayawayd -sensitive-pids 1234 -batch-pids 5678,5679 \
 //	          -qos-file /run/vlc.qos -period 1s [-cores 4] [-v]
 //
-// The daemon runs until SIGINT/SIGTERM; on shutdown it resumes any
-// throttled batch processes and prints the final report. A learned map
-// can be exported with -template-out.
+// cgroup mode: usage is read from cgroup v2 accounting files (cpu.stat,
+// memory.current, io.stat) and batch cgroups are throttled through
+// cgroup.freeze — or, with -graded, stepped cpu.max quotas that escalate
+// to a freeze as the predicted violation proximity grows. If a control
+// file turns out to be unwritable the actuator degrades to signalling the
+// cgroup's member processes; a cgroup that vanishes mid-run is treated as
+// finished work, never an error.
+//
+//	stayawayd -sensitive-cgroup stayaway/vlc -batch-cgroups stayaway/b1,stayaway/b2 \
+//	          -qos-file /run/vlc.qos [-cgroup-root /sys/fs/cgroup] [-graded] \
+//	          [-memory-high-mb 512]
+//
+// The two modes are mutually exclusive. The daemon runs until SIGINT/
+// SIGTERM; on shutdown it releases any throttled batch workloads and
+// prints the final report. A learned map can be exported with
+// -template-out (written atomically: temp file + rename).
 //
 // With -registry the daemon joins a fleet: it pulls the consensus template
 // for -app at startup (skipping the learning phase when another host has
@@ -25,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,8 +47,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cgroup"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/fsatomic"
 	"repro/internal/metrics"
 	"repro/internal/procenv"
 	"repro/internal/throttle"
@@ -63,9 +79,100 @@ func parsePIDs(s string) ([]int, error) {
 	return out, nil
 }
 
+func parseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// options is everything validateOptions needs to decide whether the flag
+// set describes a coherent deployment.
+type options struct {
+	sensitivePIDs []int
+	batchPIDs     []int
+	sensCgroup    string
+	batchCgroups  []string
+	qosFile       string
+	graded        bool
+	memoryHighMB  float64
+}
+
+// validateOptions enforces the daemon's startup contract up front, before
+// anything touches /proc or cgroupfs: a QoS source is mandatory (without
+// the violation signal Stay-Away cannot learn anything), PID mode and
+// cgroup mode are mutually exclusive, each mode needs both its sensitive
+// and batch side, the two PID sets must not overlap (throttling the
+// sensitive app defeats the purpose), and graded throttling requires the
+// cgroup actuator (SIGSTOP has no intermediate levels).
+func (o options) validate() (cgroupMode bool, err error) {
+	if o.qosFile == "" {
+		return false, fmt.Errorf("-qos-file required: the application's QoS report is the violation signal (§3.1)")
+	}
+	pidMode := len(o.sensitivePIDs) > 0 || len(o.batchPIDs) > 0
+	cgroupMode = o.sensCgroup != "" || len(o.batchCgroups) > 0
+	switch {
+	case pidMode && cgroupMode:
+		return false, fmt.Errorf("PID flags (-sensitive-pids/-batch-pids) and cgroup flags " +
+			"(-sensitive-cgroup/-batch-cgroups) are mutually exclusive; pick one mode")
+	case !pidMode && !cgroupMode:
+		return false, fmt.Errorf("no workloads given: use -sensitive-pids/-batch-pids (PID mode) " +
+			"or -sensitive-cgroup/-batch-cgroups (cgroup mode)")
+	case pidMode:
+		if len(o.sensitivePIDs) == 0 {
+			return false, fmt.Errorf("-sensitive-pids required in PID mode")
+		}
+		if len(o.batchPIDs) == 0 {
+			return false, fmt.Errorf("-batch-pids required in PID mode")
+		}
+		sens := make(map[int]bool, len(o.sensitivePIDs))
+		for _, pid := range o.sensitivePIDs {
+			sens[pid] = true
+		}
+		for _, pid := range o.batchPIDs {
+			if sens[pid] {
+				return false, fmt.Errorf("PID %d is listed as both sensitive and batch; "+
+					"throttling the sensitive application defeats the purpose", pid)
+			}
+		}
+		if o.graded {
+			return false, fmt.Errorf("-graded requires cgroup mode: SIGSTOP has no intermediate levels")
+		}
+		if o.memoryHighMB > 0 {
+			return false, fmt.Errorf("-memory-high-mb requires cgroup mode")
+		}
+	default: // cgroup mode
+		if o.sensCgroup == "" {
+			return false, fmt.Errorf("-sensitive-cgroup required in cgroup mode")
+		}
+		if len(o.batchCgroups) == 0 {
+			return false, fmt.Errorf("-batch-cgroups required in cgroup mode")
+		}
+		seen := map[string]bool{o.sensCgroup: true}
+		for _, cg := range o.batchCgroups {
+			if seen[cg] {
+				return false, fmt.Errorf("cgroup %q listed twice (or as both sensitive and batch)", cg)
+			}
+			seen[cg] = true
+		}
+	}
+	if o.memoryHighMB < 0 {
+		return false, fmt.Errorf("-memory-high-mb must be non-negative, got %v", o.memoryHighMB)
+	}
+	return cgroupMode, nil
+}
+
 func run() error {
-	sensitivePIDs := flag.String("sensitive-pids", "", "comma-separated PIDs of the sensitive application")
-	batchPIDs := flag.String("batch-pids", "", "comma-separated PIDs of the batch applications")
+	sensitivePIDs := flag.String("sensitive-pids", "", "comma-separated PIDs of the sensitive application (PID mode)")
+	batchPIDs := flag.String("batch-pids", "", "comma-separated PIDs of the batch applications (PID mode)")
+	sensCgroup := flag.String("sensitive-cgroup", "", "sensitive application's cgroup, relative to -cgroup-root (cgroup mode)")
+	batchCgroups := flag.String("batch-cgroups", "", "comma-separated batch cgroups, relative to -cgroup-root (cgroup mode)")
+	cgroupRoot := flag.String("cgroup-root", "/sys/fs/cgroup", "cgroup v2 hierarchy mount point")
+	graded := flag.Bool("graded", false, "graded throttling: step cpu.max quotas before freezing (cgroup mode only)")
+	memoryHighMB := flag.Float64("memory-high-mb", 0, "memory.high soft limit applied to throttled batch cgroups (0 = off)")
 	qosFile := flag.String("qos-file", "", "file the sensitive app rewrites with \"<value> <threshold>\"")
 	period := flag.Duration("period", time.Second, "monitoring period")
 	cores := flag.Int("cores", runtime.NumCPU(), "host cores (CPU normalization range)")
@@ -80,43 +187,111 @@ func run() error {
 	flag.Parse()
 
 	sens, err := parsePIDs(*sensitivePIDs)
-	if err != nil || len(sens) == 0 {
-		return fmt.Errorf("-sensitive-pids required: %v", err)
+	if err != nil {
+		return fmt.Errorf("-sensitive-pids: %v", err)
 	}
 	batch, err := parsePIDs(*batchPIDs)
-	if err != nil || len(batch) == 0 {
-		return fmt.Errorf("-batch-pids required: %v", err)
-	}
-	if *qosFile == "" {
-		return fmt.Errorf("-qos-file required")
-	}
-
-	collector, err := procenv.NewCollector("/proc", 100, []procenv.Group{
-		{Name: "sensitive", PIDs: sens},
-		{Name: "batch", PIDs: batch},
-	})
 	if err != nil {
-		return err
+		return fmt.Errorf("-batch-pids: %v", err)
 	}
-	env, err := procenv.NewEnvironment(collector, "sensitive", []string{"batch"},
-		procenv.FileQoS{Path: *qosFile})
+	opts := options{
+		sensitivePIDs: sens,
+		batchPIDs:     batch,
+		sensCgroup:    *sensCgroup,
+		batchCgroups:  parseList(*batchCgroups),
+		qosFile:       *qosFile,
+		graded:        *graded,
+		memoryHighMB:  *memoryHighMB,
+	}
+	cgroupMode, err := opts.validate()
 	if err != nil {
 		return err
 	}
 
-	// The runtime throttles the logical "batch" VM; the actuator translates
-	// that into signals to the concrete PIDs behind it.
-	actuator := &throttle.ProcessActuator{}
-	batchStrings := env.BatchPIDs()
-	wrapped := throttle.FuncActuator{
-		PauseFn:  func([]string) error { return actuator.Pause(batchStrings) },
-		ResumeFn: func([]string) error { return actuator.Resume(batchStrings) },
+	qos := procenv.FileQoS{Path: *qosFile}
+	var (
+		env      core.Environment
+		batchIDs []string // the IDs the throttle controller actuates
+		act      throttle.Actuator
+		release  func() error // final cleanup: never leave batch work throttled
+		watching string
+	)
+
+	if cgroupMode {
+		cfs := cgroup.DirFS{Root: *cgroupRoot}
+		groups := []cgroup.Group{{Name: "sensitive", Path: opts.sensCgroup}}
+		for _, cg := range opts.batchCgroups {
+			groups = append(groups, cgroup.Group{Name: cg, Path: cg})
+		}
+		collector, err := cgroup.NewCollector(cfs, groups)
+		if err != nil {
+			return err
+		}
+		cgEnv, err := procenv.NewEnvironment(collector, "sensitive", opts.batchCgroups, qos)
+		if err != nil {
+			return err
+		}
+		actuator, err := cgroup.NewActuator(cfs, cgroup.ActuatorConfig{
+			MaxCPU:          float64(*cores),
+			MemoryHighBytes: int64(opts.memoryHighMB * (1 << 20)),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "stayawayd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		// Probe up front so the operator learns at startup — not mid-
+		// incident — whether actuation will use cgroup controls or degrade
+		// to signals.
+		for _, cg := range opts.batchCgroups {
+			if err := actuator.Probe(cg); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: warning: %v; actuation for %q will degrade to SIGSTOP/SIGCONT\n", err, cg)
+			}
+		}
+		if !cfs.Exists(opts.sensCgroup) {
+			fmt.Fprintf(os.Stderr, "stayawayd: warning: sensitive cgroup %q not found (yet)\n", opts.sensCgroup)
+		}
+		env = cgEnv
+		batchIDs = opts.batchCgroups
+		act = actuator
+		release = func() error { return actuator.Resume(opts.batchCgroups) }
+		watching = fmt.Sprintf("sensitive=%s batch=%v (cgroup mode, root=%s)",
+			opts.sensCgroup, opts.batchCgroups, *cgroupRoot)
+	} else {
+		collector, err := procenv.NewCollector("/proc", 100, []procenv.Group{
+			{Name: "sensitive", PIDs: sens},
+			{Name: "batch", PIDs: batch},
+		})
+		if err != nil {
+			return err
+		}
+		pidEnv, err := procenv.NewEnvironment(collector, "sensitive", []string{"batch"}, qos)
+		if err != nil {
+			return err
+		}
+		// The runtime throttles the logical "batch" VM; the actuator
+		// translates that into signals to the concrete PIDs behind it.
+		actuator := &throttle.ProcessActuator{}
+		batchStrings := pidEnv.BatchPIDs()
+		env = pidEnv
+		batchIDs = []string{"batch"}
+		act = throttle.FuncActuator{
+			PauseFn:  func([]string) error { return actuator.Pause(batchStrings) },
+			ResumeFn: func([]string) error { return actuator.Resume(batchStrings) },
+		}
+		release = func() error { return actuator.Resume(batchStrings) }
+		watching = fmt.Sprintf("sensitive=%v batch=%v (PID mode)", sens, batch)
 	}
-	cfg := core.DefaultConfig("sensitive", []string{"batch"},
+
+	cfg := core.DefaultConfig("sensitive", batchIDs,
 		metrics.DefaultRanges(*cores, *memoryMB, *diskMBps, 1000))
 	cfg.Seed = time.Now().UnixNano()
 	cfg.SensitiveApp = *app
-	rt, err := core.New(cfg, env, wrapped)
+	if *graded {
+		cfg.Throttle.Policy = throttle.PolicyGraded
+	}
+	rt, err := core.New(cfg, env, act)
 	if err != nil {
 		return err
 	}
@@ -178,7 +353,7 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("stayawayd: monitoring sensitive=%v batch=%v every %v\n", sens, batch, *period)
+	fmt.Printf("stayawayd: monitoring %s every %v\n", watching, *period)
 loop:
 	for {
 		select {
@@ -201,15 +376,15 @@ loop:
 				sync(ev.Throttled)
 			}
 			if !env.BatchActive() && !env.SensitiveRunning() {
-				fmt.Println("stayawayd: all monitored processes exited")
+				fmt.Println("stayawayd: all monitored workloads exited")
 				break loop
 			}
 		}
 	}
 
-	// Never leave batch processes stopped on exit.
-	if err := actuator.Resume(batchStrings); err != nil {
-		fmt.Fprintln(os.Stderr, "stayawayd: final resume:", err)
+	// Never leave batch workloads throttled on exit.
+	if err := release(); err != nil {
+		fmt.Fprintln(os.Stderr, "stayawayd: final release:", err)
 	}
 	// Share the freshest map with the fleet before exiting.
 	if syncer != nil {
@@ -217,12 +392,11 @@ loop:
 	}
 	fmt.Println(rt.Report())
 	if *templateOut != "" {
-		f, err := os.Create(*templateOut)
-		if err != nil {
+		err := fsatomic.WriteFileFunc(*templateOut, 0o644, func(w io.Writer) error {
+			_, err := rt.ExportTemplate(*app).WriteTo(w)
 			return err
-		}
-		defer f.Close()
-		if _, err := rt.ExportTemplate("sensitive").WriteTo(f); err != nil {
+		})
+		if err != nil {
 			return err
 		}
 		fmt.Printf("template written to %s\n", *templateOut)

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	pidOpts := func() options {
+		return options{sensitivePIDs: []int{1}, batchPIDs: []int{2, 3}, qosFile: "q"}
+	}
+	cgOpts := func() options {
+		return options{sensCgroup: "s/vlc", batchCgroups: []string{"s/b1", "s/b2"}, qosFile: "q"}
+	}
+
+	tests := []struct {
+		name       string
+		opts       options
+		wantCgroup bool
+		wantErr    string
+	}{
+		{"pid mode ok", pidOpts(), false, ""},
+		{"cgroup mode ok", cgOpts(), true, ""},
+		{"cgroup graded ok", func() options { o := cgOpts(); o.graded = true; return o }(), true, ""},
+		{"no qos source", func() options { o := pidOpts(); o.qosFile = ""; return o }(), false, "-qos-file"},
+		{"no workloads", options{qosFile: "q"}, false, "no workloads"},
+		{"mixed modes", func() options { o := pidOpts(); o.sensCgroup = "x"; return o }(), false, "mutually exclusive"},
+		{"pid mode missing sensitive", options{batchPIDs: []int{2}, qosFile: "q"}, false, "-sensitive-pids"},
+		{"pid mode missing batch", options{sensitivePIDs: []int{1}, qosFile: "q"}, false, "-batch-pids"},
+		{"overlapping pid sets", options{sensitivePIDs: []int{1, 2}, batchPIDs: []int{2}, qosFile: "q"}, false, "both sensitive and batch"},
+		{"graded without cgroups", func() options { o := pidOpts(); o.graded = true; return o }(), false, "-graded requires cgroup mode"},
+		{"memory-high without cgroups", func() options { o := pidOpts(); o.memoryHighMB = 64; return o }(), false, "-memory-high-mb requires"},
+		{"cgroup mode missing sensitive", options{batchCgroups: []string{"b"}, qosFile: "q"}, false, "-sensitive-cgroup"},
+		{"cgroup mode missing batch", options{sensCgroup: "s", qosFile: "q"}, false, "-batch-cgroups"},
+		{"duplicate cgroup", options{sensCgroup: "s", batchCgroups: []string{"s"}, qosFile: "q"}, false, "listed twice"},
+		{"negative memory-high", func() options { o := cgOpts(); o.memoryHighMB = -1; return o }(), false, "non-negative"},
+	}
+	for _, tt := range tests {
+		gotCgroup, err := tt.opts.validate()
+		if tt.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tt.name, err)
+				continue
+			}
+			if gotCgroup != tt.wantCgroup {
+				t.Errorf("%s: cgroupMode = %v, want %v", tt.name, gotCgroup, tt.wantCgroup)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("%s: error = %v, want containing %q", tt.name, err, tt.wantErr)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got := parseList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("parseList = %v", got)
+	}
+	if parseList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}

@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
+	"repro/internal/fsatomic"
 	"repro/internal/trace"
 )
 
@@ -41,14 +43,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+		return fsatomic.WriteFileFunc(*out, 0o644, func(w io.Writer) error {
+			return trace.WriteCSV(w, pts)
+		})
 	}
-	return trace.WriteCSV(w, pts)
+	return trace.WriteCSV(os.Stdout, pts)
 }

@@ -1,0 +1,242 @@
+package cgroup
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/throttle"
+)
+
+// ActuatorConfig tunes a cgroup Actuator.
+type ActuatorConfig struct {
+	// CPUPeriodUsec is the cpu.max accounting period; 0 uses the kernel
+	// default of 100000 (100ms).
+	CPUPeriodUsec int
+	// MaxCPU is how many cores the batch cgroups may burn at level 1 —
+	// the reference the graded quota steps scale down from. 0 uses the
+	// host's CPU count.
+	MaxCPU float64
+	// MemoryHighBytes, when positive, is written to memory.high while a
+	// cgroup is throttled (soft limit: the kernel reclaims aggressively
+	// above it instead of OOM-killing) and reset to "max" on full resume.
+	MemoryHighBytes int64
+	// Kill is the degradation path: when a control file becomes
+	// unwritable for a reason other than a vanished cgroup, the actuator
+	// falls back to signalling the cgroup's member PIDs directly
+	// (SIGSTOP/SIGCONT — the paper's prototype mechanism). Nil uses
+	// syscall.Kill.
+	Kill func(pid int, sig syscall.Signal) error
+	// Logf receives degradation notices ("cgroup x unwritable, falling
+	// back to SIGSTOP"); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *ActuatorConfig) applyDefaults() {
+	if c.CPUPeriodUsec <= 0 {
+		c.CPUPeriodUsec = 100000
+	}
+	if c.MaxCPU <= 0 {
+		c.MaxCPU = float64(runtime.NumCPU())
+	}
+	if c.Kill == nil {
+		c.Kill = syscall.Kill
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Actuator drives batch cgroups through cgroup v2 control files. IDs are
+// cgroup directory paths relative to the Cgroupfs root. It implements
+// throttle.GradedActuator: Pause/Resume via cgroup.freeze, SetLevel via
+// cpu.max quotas, with memory.high soft limits alongside both.
+//
+// Robustness contract: a vanished cgroup (fs.ErrNotExist) is vacuous
+// success — the workload is gone, there is nothing left to throttle, and
+// erroring would wedge the controller (mirroring the ESRCH handling of
+// throttle.ProcessActuator). Any other failure degrades to SIGSTOP/
+// SIGCONT of the cgroup's member processes so the control loop keeps
+// actuating even on a read-only or misconfigured cgroupfs.
+type Actuator struct {
+	fs  Cgroupfs
+	cfg ActuatorConfig
+}
+
+var _ throttle.GradedActuator = (*Actuator)(nil)
+
+// NewActuator returns an actuator over the given cgroup filesystem.
+func NewActuator(cfs Cgroupfs, cfg ActuatorConfig) (*Actuator, error) {
+	if cfs == nil {
+		return nil, fmt.Errorf("cgroup: nil Cgroupfs")
+	}
+	cfg.applyDefaults()
+	return &Actuator{fs: cfs, cfg: cfg}, nil
+}
+
+// Pause freezes every cgroup (cgroup.freeze = 1) and applies the
+// configured memory.high soft limit.
+func (a *Actuator) Pause(ids []string) error {
+	var firstErr error
+	for _, id := range ids {
+		if err := a.write(id, "cgroup.freeze", "1", syscall.SIGSTOP); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		a.applyMemoryHigh(id, true)
+	}
+	return firstErr
+}
+
+// Resume thaws every cgroup, removes its CPU quota and resets
+// memory.high.
+func (a *Actuator) Resume(ids []string) error {
+	var firstErr error
+	for _, id := range ids {
+		if err := a.write(id, "cgroup.freeze", "0", syscall.SIGCONT); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Clearing the quota must not leave a stale limit behind a thaw;
+		// failures here degrade silently (the freeze bit is the load-
+		// bearing control).
+		a.writeBestEffort(id, "cpu.max", fmt.Sprintf("max %d", a.cfg.CPUPeriodUsec))
+		a.applyMemoryHigh(id, false)
+	}
+	return firstErr
+}
+
+// SetLevel caps every cgroup at the fraction level of the MaxCPU
+// allowance via cpu.max. Level >= 1 removes the limit.
+func (a *Actuator) SetLevel(ids []string, level float64) error {
+	value := fmt.Sprintf("max %d", a.cfg.CPUPeriodUsec)
+	throttled := level < 1
+	if throttled {
+		quota := int(level * a.cfg.MaxCPU * float64(a.cfg.CPUPeriodUsec))
+		// The kernel rejects quotas below 1ms.
+		if quota < 1000 {
+			quota = 1000
+		}
+		value = fmt.Sprintf("%d %d", quota, a.cfg.CPUPeriodUsec)
+	}
+	var firstErr error
+	for _, id := range ids {
+		// Degrading a failed quota write to SIGSTOP is deliberately
+		// conservative: when the limit cannot be applied, protecting the
+		// sensitive application outranks batch progress.
+		sig := syscall.SIGSTOP
+		if !throttled {
+			sig = syscall.SIGCONT
+		}
+		if err := a.write(id, "cpu.max", value, sig); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		a.applyMemoryHigh(id, throttled)
+	}
+	return firstErr
+}
+
+// Probe verifies a cgroup is present and actuable by rewriting
+// cgroup.freeze with its current value. It returns nil when actuation
+// will use cgroup controls, and an error describing why actuation would
+// degrade to SIGSTOP otherwise.
+func (a *Actuator) Probe(id string) error {
+	data, err := a.fs.ReadFile(controlFile(id, "cgroup.freeze"))
+	if err != nil {
+		return fmt.Errorf("cgroup: probe %s: %w", id, err)
+	}
+	value := strings.TrimSpace(string(data))
+	if value == "" {
+		value = "0"
+	}
+	if err := a.fs.WriteFile(controlFile(id, "cgroup.freeze"), []byte(value+"\n")); err != nil {
+		return fmt.Errorf("cgroup: probe write %s: %w", id, err)
+	}
+	return nil
+}
+
+// write drives one control file, degrading to per-PID signalling on
+// non-vanished failures.
+func (a *Actuator) write(id, file, value string, fallbackSig syscall.Signal) error {
+	if !a.fs.Exists(id) {
+		// Vanished cgroup: vacuous success.
+		return nil
+	}
+	err := a.fs.WriteFile(controlFile(id, file), []byte(value+"\n"))
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	a.cfg.Logf("cgroup: %s/%s unwritable (%v), degrading to signal %v", id, file, err, fallbackSig)
+	if sigErr := a.signalMembers(id, fallbackSig); sigErr != nil {
+		return fmt.Errorf("cgroup: write %s/%s: %v; signal fallback: %w", id, file, err, sigErr)
+	}
+	return nil
+}
+
+// writeBestEffort drives a non-critical control file, swallowing
+// failures (vanished cgroups included).
+func (a *Actuator) writeBestEffort(id, file, value string) {
+	if !a.fs.Exists(id) {
+		return
+	}
+	if err := a.fs.WriteFile(controlFile(id, file), []byte(value+"\n")); err != nil &&
+		!errors.Is(err, fs.ErrNotExist) {
+		a.cfg.Logf("cgroup: %s/%s unwritable (%v), ignoring", id, file, err)
+	}
+}
+
+// applyMemoryHigh sets or clears the memory.high soft limit; best effort.
+func (a *Actuator) applyMemoryHigh(id string, throttled bool) {
+	if a.cfg.MemoryHighBytes <= 0 {
+		return
+	}
+	value := "max"
+	if throttled {
+		value = strconv.FormatInt(a.cfg.MemoryHighBytes, 10)
+	}
+	a.writeBestEffort(id, "memory.high", value)
+}
+
+// signalMembers sends sig to every PID in the cgroup — the SIGSTOP
+// degradation path. A vanished cgroup or vanished member is vacuous
+// success.
+func (a *Actuator) signalMembers(id string, sig syscall.Signal) error {
+	pids, err := a.MemberPIDs(id)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var firstErr error
+	for _, pid := range pids {
+		if err := a.cfg.Kill(pid, sig); err != nil && !errors.Is(err, syscall.ESRCH) && firstErr == nil {
+			firstErr = fmt.Errorf("signal %v to pid %d: %w", sig, pid, err)
+		}
+	}
+	return firstErr
+}
+
+// MemberPIDs reads a cgroup's cgroup.procs.
+func (a *Actuator) MemberPIDs(id string) ([]int, error) {
+	data, err := a.fs.ReadFile(controlFile(id, "cgroup.procs"))
+	if err != nil {
+		return nil, err
+	}
+	var pids []int
+	for _, line := range strings.Fields(string(data)) {
+		pid, err := strconv.Atoi(line)
+		if err != nil || pid <= 0 {
+			continue
+		}
+		pids = append(pids, pid)
+	}
+	return pids, nil
+}
+
+// controlFile joins a cgroup directory and one of its control files.
+func controlFile(id, file string) string {
+	return strings.TrimSuffix(id, "/") + "/" + file
+}

@@ -1,0 +1,226 @@
+package cgroup
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func newTestActuator(t *testing.T, cfg ActuatorConfig) (*Actuator, *FakeFS) {
+	t.Helper()
+	fs := NewFakeFS()
+	fs.AddCgroup("stayaway/batch", 101, 102)
+	a, err := NewActuator(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, fs
+}
+
+func freezeState(t *testing.T, fs *FakeFS, dir string) string {
+	t.Helper()
+	c, ok := fs.Contents(dir + "/cgroup.freeze")
+	if !ok {
+		t.Fatalf("%s/cgroup.freeze missing", dir)
+	}
+	return strings.TrimSpace(c)
+}
+
+func TestActuatorFreezeThaw(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{})
+	if err := a.Pause([]string{"stayaway/batch"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := freezeState(t, fs, "stayaway/batch"); got != "1" {
+		t.Errorf("cgroup.freeze = %q, want 1", got)
+	}
+	if err := a.Resume([]string{"stayaway/batch"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := freezeState(t, fs, "stayaway/batch"); got != "0" {
+		t.Errorf("cgroup.freeze = %q, want 0", got)
+	}
+	// Resume also clears any CPU quota.
+	if c, _ := fs.Contents("stayaway/batch/cpu.max"); !strings.HasPrefix(c, "max ") {
+		t.Errorf("cpu.max after resume = %q, want max", c)
+	}
+}
+
+func TestActuatorQuotaSteps(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{MaxCPU: 4, CPUPeriodUsec: 100000})
+	tests := []struct {
+		level float64
+		want  string
+	}{
+		{0.75, "300000 100000\n"}, // 0.75 × 4 cores × 100ms
+		{0.5, "200000 100000\n"},
+		{0.25, "100000 100000\n"},
+		{0.001, "1000 100000\n"}, // clamped at the kernel's 1ms floor
+		{1, "max 100000\n"},
+	}
+	for _, tt := range tests {
+		if err := a.SetLevel([]string{"stayaway/batch"}, tt.level); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := fs.Contents("stayaway/batch/cpu.max"); got != tt.want {
+			t.Errorf("SetLevel(%v): cpu.max = %q, want %q", tt.level, got, tt.want)
+		}
+	}
+}
+
+func TestActuatorMemoryHighSoftLimit(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{MemoryHighBytes: 512 << 20})
+	if err := a.SetLevel([]string{"stayaway/batch"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.Contents("stayaway/batch/memory.high"); strings.TrimSpace(got) != "536870912" {
+		t.Errorf("memory.high while throttled = %q, want 536870912", got)
+	}
+	if err := a.Resume([]string{"stayaway/batch"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.Contents("stayaway/batch/memory.high"); strings.TrimSpace(got) != "max" {
+		t.Errorf("memory.high after resume = %q, want max", got)
+	}
+}
+
+func TestActuatorVanishedCgroupIsVacuousSuccess(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{
+		Kill: func(int, syscall.Signal) error { t.Error("must not signal for a vanished cgroup"); return nil },
+	})
+	fs.Remove("stayaway/batch")
+	if err := a.Pause([]string{"stayaway/batch"}); err != nil {
+		t.Errorf("pause of vanished cgroup = %v, want nil", err)
+	}
+	if err := a.Resume([]string{"stayaway/batch"}); err != nil {
+		t.Errorf("resume of vanished cgroup = %v, want nil", err)
+	}
+	if err := a.SetLevel([]string{"stayaway/batch"}, 0.5); err != nil {
+		t.Errorf("SetLevel of vanished cgroup = %v, want nil", err)
+	}
+}
+
+func TestActuatorReadOnlyFSDegradesToSignals(t *testing.T) {
+	type sent struct {
+		pid int
+		sig syscall.Signal
+	}
+	var signals []sent
+	var logged []string
+	a, fs := newTestActuator(t, ActuatorConfig{
+		Kill: func(pid int, sig syscall.Signal) error {
+			signals = append(signals, sent{pid, sig})
+			return nil
+		},
+		Logf: func(format string, args ...any) { logged = append(logged, format) },
+	})
+	fs.SetReadOnly(true)
+
+	if err := a.Pause([]string{"stayaway/batch"}); err != nil {
+		t.Fatalf("pause should degrade, not fail: %v", err)
+	}
+	want := []sent{{101, syscall.SIGSTOP}, {102, syscall.SIGSTOP}}
+	if len(signals) != len(want) {
+		t.Fatalf("signals = %v, want %v", signals, want)
+	}
+	for i := range want {
+		if signals[i] != want[i] {
+			t.Errorf("signal %d = %v, want %v", i, signals[i], want[i])
+		}
+	}
+	if len(logged) == 0 {
+		t.Error("degradation should be logged")
+	}
+
+	signals = nil
+	if err := a.Resume([]string{"stayaway/batch"}); err != nil {
+		t.Fatalf("resume should degrade, not fail: %v", err)
+	}
+	if len(signals) != 2 || signals[0].sig != syscall.SIGCONT {
+		t.Errorf("resume signals = %v, want SIGCONT to both", signals)
+	}
+
+	// A failed quota write degrades conservatively to SIGSTOP.
+	signals = nil
+	if err := a.SetLevel([]string{"stayaway/batch"}, 0.5); err != nil {
+		t.Fatalf("SetLevel should degrade, not fail: %v", err)
+	}
+	if len(signals) != 2 || signals[0].sig != syscall.SIGSTOP {
+		t.Errorf("SetLevel signals = %v, want SIGSTOP to both", signals)
+	}
+	// And clearing the level degrades to SIGCONT.
+	signals = nil
+	if err := a.SetLevel([]string{"stayaway/batch"}, 1); err != nil {
+		t.Fatalf("SetLevel(1) should degrade, not fail: %v", err)
+	}
+	if len(signals) != 2 || signals[0].sig != syscall.SIGCONT {
+		t.Errorf("SetLevel(1) signals = %v, want SIGCONT to both", signals)
+	}
+}
+
+func TestActuatorSignalFallbackErrorPropagates(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{
+		Kill: func(pid int, sig syscall.Signal) error {
+			if pid == 101 {
+				return syscall.EPERM
+			}
+			return nil
+		},
+	})
+	fs.SetReadOnly(true)
+	if err := a.Pause([]string{"stayaway/batch"}); err == nil {
+		t.Error("failed write + failed fallback should surface an error")
+	}
+}
+
+func TestActuatorESRCHInFallbackTolerated(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{
+		Kill: func(int, syscall.Signal) error { return syscall.ESRCH },
+	})
+	fs.SetReadOnly(true)
+	if err := a.Pause([]string{"stayaway/batch"}); err != nil {
+		t.Errorf("ESRCH during fallback = %v, want nil (vacuous)", err)
+	}
+}
+
+func TestActuatorProbe(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{})
+	if err := a.Probe("stayaway/batch"); err != nil {
+		t.Errorf("probe of healthy cgroup = %v", err)
+	}
+	// The probe must not change the freeze state.
+	if got := freezeState(t, fs, "stayaway/batch"); got != "0" {
+		t.Errorf("freeze state after probe = %q", got)
+	}
+	fs.SetReadOnly(true)
+	if err := a.Probe("stayaway/batch"); err == nil {
+		t.Error("probe of read-only cgroupfs should error")
+	}
+	fs.SetReadOnly(false)
+	fs.Remove("stayaway/batch")
+	if err := a.Probe("stayaway/batch"); err == nil {
+		t.Error("probe of vanished cgroup should error")
+	}
+}
+
+func TestMemberPIDs(t *testing.T) {
+	a, fs := newTestActuator(t, ActuatorConfig{})
+	pids, err := a.MemberPIDs("stayaway/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 2 || pids[0] != 101 || pids[1] != 102 {
+		t.Errorf("pids = %v, want [101 102]", pids)
+	}
+	fs.SetPIDs("stayaway/batch") // emptied
+	pids, err = a.MemberPIDs("stayaway/batch")
+	if err != nil || len(pids) != 0 {
+		t.Errorf("pids = %v, %v, want empty", pids, err)
+	}
+}
+
+func TestNewActuatorValidation(t *testing.T) {
+	if _, err := NewActuator(nil, ActuatorConfig{}); err == nil {
+		t.Error("nil fs should error")
+	}
+}

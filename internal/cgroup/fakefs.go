@@ -1,0 +1,166 @@
+package cgroup
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// FakeFS is an in-memory cgroup v2 hierarchy for tests: no root, no
+// kernel, deterministic. It supports the failure injections the actuator
+// and collector must survive — a read-only filesystem and cgroups that
+// vanish mid-run. Safe for concurrent use.
+type FakeFS struct {
+	mu       sync.Mutex
+	files    map[string]string // control file path -> content
+	dirs     map[string]bool   // cgroup directory paths
+	readOnly bool
+	writes   []FakeWrite
+}
+
+// FakeWrite is one recorded WriteFile call.
+type FakeWrite struct {
+	Name string
+	Data string
+}
+
+var _ Cgroupfs = (*FakeFS)(nil)
+
+// NewFakeFS returns an empty fake hierarchy.
+func NewFakeFS() *FakeFS {
+	return &FakeFS{files: make(map[string]string), dirs: make(map[string]bool)}
+}
+
+// AddCgroup creates a cgroup directory with the standard v2 control
+// files: an unfrozen cgroup.freeze, an unlimited cpu.max and memory.high,
+// zeroed cpu.stat / memory.current / io.stat, and the given member PIDs
+// in cgroup.procs.
+func (f *FakeFS) AddCgroup(dir string, pids ...int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir = path.Clean(dir)
+	f.dirs[dir] = true
+	var procs strings.Builder
+	for _, pid := range pids {
+		fmt.Fprintf(&procs, "%d\n", pid)
+	}
+	f.files[dir+"/cgroup.procs"] = procs.String()
+	f.files[dir+"/cgroup.freeze"] = "0\n"
+	f.files[dir+"/cpu.max"] = "max 100000\n"
+	f.files[dir+"/memory.high"] = "max\n"
+	f.files[dir+"/cpu.stat"] = "usage_usec 0\nuser_usec 0\nsystem_usec 0\n"
+	f.files[dir+"/memory.current"] = "0\n"
+	f.files[dir+"/io.stat"] = ""
+}
+
+// Set overwrites one control file's content without logging a write (the
+// "kernel side" of the fake, e.g. advancing cpu.stat between samples).
+func (f *FakeFS) Set(name, content string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[path.Clean(name)] = content
+}
+
+// Remove deletes a cgroup directory and everything under it — the
+// vanished-cgroup case (rmdir by an orchestrator, container exit).
+func (f *FakeFS) Remove(dir string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir = path.Clean(dir)
+	delete(f.dirs, dir)
+	for name := range f.files {
+		if strings.HasPrefix(name, dir+"/") {
+			delete(f.files, name)
+		}
+	}
+}
+
+// SetReadOnly toggles write failures: every WriteFile returns EROFS, the
+// signature of a cgroupfs mounted read-only (or one the daemon lacks
+// permission to drive).
+func (f *FakeFS) SetReadOnly(ro bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readOnly = ro
+}
+
+// ReadFile implements Cgroupfs.
+func (f *FakeFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	content, ok := f.files[path.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return []byte(content), nil
+}
+
+// WriteFile implements Cgroupfs.
+func (f *FakeFS) WriteFile(name string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = path.Clean(name)
+	if f.readOnly {
+		return &fs.PathError{Op: "write", Path: name, Err: syscall.EROFS}
+	}
+	if _, ok := f.files[name]; !ok {
+		return &fs.PathError{Op: "write", Path: name, Err: fs.ErrNotExist}
+	}
+	f.files[name] = string(data)
+	f.writes = append(f.writes, FakeWrite{Name: name, Data: string(data)})
+	return nil
+}
+
+// Exists implements Cgroupfs.
+func (f *FakeFS) Exists(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = path.Clean(name)
+	if f.dirs[name] {
+		return true
+	}
+	_, ok := f.files[name]
+	return ok
+}
+
+// Contents returns a control file's current content.
+func (f *FakeFS) Contents(name string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.files[path.Clean(name)]
+	return c, ok
+}
+
+// Writes returns all recorded WriteFile calls in order.
+func (f *FakeFS) Writes() []FakeWrite {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FakeWrite(nil), f.writes...)
+}
+
+// Cgroups lists the existing cgroup directories, sorted.
+func (f *FakeFS) Cgroups() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.dirs))
+	for d := range f.dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetPIDs replaces a cgroup's member PIDs.
+func (f *FakeFS) SetPIDs(dir string, pids ...int) {
+	var procs strings.Builder
+	for _, pid := range pids {
+		procs.WriteString(strconv.Itoa(pid))
+		procs.WriteByte('\n')
+	}
+	f.Set(path.Clean(dir)+"/cgroup.procs", procs.String())
+}

@@ -1,0 +1,93 @@
+// Package cgroup actuates and observes applications through the Linux
+// cgroup v2 unified hierarchy — the production counterpart of the paper's
+// LXC freeze/thaw prototype. It provides a filesystem abstraction (a real
+// implementation rooted at /sys/fs/cgroup and an in-memory fake for
+// tests, so CI needs no root), a throttle.GradedActuator driving
+// cgroup.freeze / cpu.max / memory.high with degradation to per-PID
+// SIGSTOP when control files become unwritable, and a cgroup-native
+// stats collector (cpu.stat, memory.current, io.stat) that replaces
+// per-PID procfs aggregation.
+package cgroup
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cgroupfs abstracts the cgroup v2 filesystem. All names are
+// slash-separated paths relative to the hierarchy root; a cgroup is named
+// by its directory (e.g. "stayaway/batch") and its control files live
+// directly under it ("stayaway/batch/cgroup.freeze").
+//
+// Implementations must return an error satisfying errors.Is(err,
+// fs.ErrNotExist) when the cgroup has been removed — the actuator and
+// collector treat a vanished cgroup as vacuous success, mirroring the
+// ESRCH handling of throttle.ProcessActuator.
+type Cgroupfs interface {
+	// ReadFile reads a control file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile overwrites a control file. Cgroup control files always
+	// exist while the cgroup does; implementations never create files.
+	WriteFile(name string, data []byte) error
+	// Exists reports whether the path (file or cgroup directory) exists.
+	Exists(name string) bool
+}
+
+// DirFS is the real cgroupfs, rooted at a directory — /sys/fs/cgroup on
+// a production host, or any scratch directory in integration tests.
+type DirFS struct {
+	// Root is the hierarchy mount point.
+	Root string
+}
+
+var _ Cgroupfs = DirFS{}
+
+// resolve validates and roots a relative cgroup path.
+func (d DirFS) resolve(name string) (string, error) {
+	if d.Root == "" {
+		return "", fmt.Errorf("cgroup: DirFS with empty root")
+	}
+	if name == "" || !filepath.IsLocal(name) {
+		return "", fmt.Errorf("cgroup: invalid cgroup path %q", name)
+	}
+	return filepath.Join(d.Root, name), nil
+}
+
+// ReadFile implements Cgroupfs.
+func (d DirFS) ReadFile(name string) ([]byte, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// WriteFile implements Cgroupfs. Control files are opened write-only
+// without O_CREATE: a vanished cgroup surfaces as fs.ErrNotExist rather
+// than a stray regular file.
+func (d DirFS) WriteFile(name string, data []byte) error {
+	path, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Exists implements Cgroupfs.
+func (d DirFS) Exists(name string) bool {
+	path, err := d.resolve(name)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(path)
+	return err == nil
+}

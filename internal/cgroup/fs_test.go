@@ -1,0 +1,104 @@
+package cgroup
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirFSRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "stayaway/batch"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "stayaway/batch/cgroup.freeze"), []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := DirFS{Root: root}
+
+	if !d.Exists("stayaway/batch") {
+		t.Error("Exists(dir) = false")
+	}
+	if d.Exists("stayaway/other") {
+		t.Error("Exists(missing) = true")
+	}
+	if err := d.WriteFile("stayaway/batch/cgroup.freeze", []byte("1\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.ReadFile("stayaway/batch/cgroup.freeze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "1\n" {
+		t.Errorf("read back %q, want 1\\n", data)
+	}
+}
+
+func TestDirFSNeverCreatesFiles(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "gone"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d := DirFS{Root: root}
+	err := d.WriteFile("gone/cgroup.freeze", []byte("1\n"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("write to missing control file = %v, want ErrNotExist", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(root, "gone/cgroup.freeze")); statErr == nil {
+		t.Error("write created a stray file")
+	}
+}
+
+func TestDirFSRejectsEscapingPaths(t *testing.T) {
+	d := DirFS{Root: t.TempDir()}
+	for _, name := range []string{"", "../etc/passwd", "/abs/path", "a/../../b"} {
+		if _, err := d.ReadFile(name); err == nil {
+			t.Errorf("ReadFile(%q) accepted", name)
+		}
+		if err := d.WriteFile(name, nil); err == nil {
+			t.Errorf("WriteFile(%q) accepted", name)
+		}
+		if d.Exists(name) {
+			t.Errorf("Exists(%q) = true", name)
+		}
+	}
+	if _, err := (DirFS{}).ReadFile("x"); err == nil {
+		t.Error("empty root accepted")
+	}
+}
+
+func TestFakeFSVanishedCgroup(t *testing.T) {
+	f := NewFakeFS()
+	f.AddCgroup("batch", 7)
+	if !f.Exists("batch") {
+		t.Fatal("Exists after AddCgroup = false")
+	}
+	f.Remove("batch")
+	if f.Exists("batch") {
+		t.Error("Exists after Remove = true")
+	}
+	if _, err := f.ReadFile("batch/cgroup.freeze"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("read after Remove = %v, want ErrNotExist", err)
+	}
+	if err := f.WriteFile("batch/cgroup.freeze", []byte("1\n")); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("write after Remove = %v, want ErrNotExist", err)
+	}
+}
+
+func TestFakeFSWriteLog(t *testing.T) {
+	f := NewFakeFS()
+	f.AddCgroup("batch")
+	if err := f.WriteFile("batch/cgroup.freeze", []byte("1\n")); err != nil {
+		t.Fatal(err)
+	}
+	f.Set("batch/cpu.stat", "usage_usec 5\n") // kernel-side: unlogged
+	writes := f.Writes()
+	if len(writes) != 1 || writes[0].Name != "batch/cgroup.freeze" || writes[0].Data != "1\n" {
+		t.Errorf("writes = %v, want single freeze write", writes)
+	}
+	if got := f.Cgroups(); len(got) != 1 || got[0] != "batch" {
+		t.Errorf("Cgroups() = %v", got)
+	}
+}

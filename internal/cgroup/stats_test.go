@@ -1,0 +1,171 @@
+package cgroup
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/procenv"
+)
+
+// The collector must be a drop-in replacement for the procfs sampler.
+var _ procenv.Sampler = (*Collector)(nil)
+
+func testCollector(t *testing.T, fs *FakeFS, groups []Group) (*Collector, func(d time.Duration)) {
+	t.Helper()
+	c, err := NewCollector(fs, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	c.now = func() time.Time { return clock }
+	return c, func(d time.Duration) { clock = clock.Add(d) }
+}
+
+func sampleByVM(t *testing.T, samples []metrics.Sample, vm string) metrics.Sample {
+	t.Helper()
+	for _, s := range samples {
+		if s.VM == vm {
+			return s
+		}
+	}
+	t.Fatalf("no sample for %q in %v", vm, samples)
+	return metrics.Sample{}
+}
+
+func TestCollectorRates(t *testing.T) {
+	fs := NewFakeFS()
+	fs.AddCgroup("batch", 7)
+	c, advance := testCollector(t, fs, []Group{{Name: "vlc", Path: "batch"}})
+
+	// Priming sample: all rates zero.
+	s := sampleByVM(t, c.Sample(), "vlc")
+	if s.Values[metrics.MetricCPU] != 0 || s.Values[metrics.MetricIO] != 0 {
+		t.Errorf("priming sample has nonzero rates: %v", s.Values)
+	}
+
+	// One second later: 0.5 core of CPU, 256MB resident, 10MB of IO.
+	fs.Set("batch/cpu.stat", "usage_usec 500000\nuser_usec 400000\nsystem_usec 100000\n")
+	fs.Set("batch/memory.current", "268435456\n")
+	fs.Set("batch/io.stat", "8:16 rbytes=4194304 wbytes=2097152 rios=10 wios=5\n259:0 rbytes=4194304 wbytes=0\n")
+	advance(time.Second)
+	s = sampleByVM(t, c.Sample(), "vlc")
+	if got := s.Values[metrics.MetricCPU]; got < 49.9 || got > 50.1 {
+		t.Errorf("CPU = %v%%, want 50", got)
+	}
+	if got := s.Values[metrics.MetricMemory]; got != 256 {
+		t.Errorf("memory = %vMB, want 256", got)
+	}
+	if got := s.Values[metrics.MetricIO]; got < 9.9 || got > 10.1 {
+		t.Errorf("IO = %vMB/s, want 10", got)
+	}
+	if got := s.Values[metrics.MetricNetwork]; got != 0 {
+		t.Errorf("network = %v, want 0 (no per-cgroup accounting)", got)
+	}
+}
+
+func TestCollectorVanishedCgroupReportsZerosAndReprimes(t *testing.T) {
+	fs := NewFakeFS()
+	fs.AddCgroup("batch", 7)
+	c, advance := testCollector(t, fs, []Group{{Name: "vlc", Path: "batch"}})
+	c.Sample()
+	fs.Set("batch/cpu.stat", "usage_usec 1000000\n")
+	advance(time.Second)
+	c.Sample()
+
+	fs.Remove("batch")
+	advance(time.Second)
+	s := sampleByVM(t, c.Sample(), "vlc")
+	for m, v := range s.Values {
+		if v != 0 {
+			t.Errorf("vanished cgroup %v = %v, want 0", m, v)
+		}
+	}
+
+	// Recreated cgroup with a fresh (lower) counter must re-prime, not
+	// produce a negative or huge rate.
+	fs.AddCgroup("batch", 8)
+	fs.Set("batch/cpu.stat", "usage_usec 100000\n")
+	advance(time.Second)
+	s = sampleByVM(t, c.Sample(), "vlc")
+	if got := s.Values[metrics.MetricCPU]; got != 0 {
+		t.Errorf("re-prime sample CPU = %v, want 0", got)
+	}
+	fs.Set("batch/cpu.stat", "usage_usec 350000\n")
+	advance(time.Second)
+	s = sampleByVM(t, c.Sample(), "vlc")
+	if got := s.Values[metrics.MetricCPU]; got < 24.9 || got > 25.1 {
+		t.Errorf("post-re-prime CPU = %v%%, want 25", got)
+	}
+}
+
+func TestCollectorCounterRegressionDropsInterval(t *testing.T) {
+	fs := NewFakeFS()
+	fs.AddCgroup("batch", 7)
+	c, advance := testCollector(t, fs, []Group{{Name: "vlc", Path: "batch"}})
+	fs.Set("batch/cpu.stat", "usage_usec 900000\n")
+	c.Sample()
+	fs.Set("batch/cpu.stat", "usage_usec 100000\n") // counter went backwards
+	advance(time.Second)
+	s := sampleByVM(t, c.Sample(), "vlc")
+	if got := s.Values[metrics.MetricCPU]; got != 0 {
+		t.Errorf("regressed counter CPU = %v, want 0", got)
+	}
+}
+
+func TestCollectorGroupRunningAndActive(t *testing.T) {
+	fs := NewFakeFS()
+	fs.AddCgroup("batch", 7)
+	c, _ := testCollector(t, fs, []Group{{Name: "vlc", Path: "batch"}})
+
+	if !c.GroupRunning("vlc") || !c.GroupActive("vlc") {
+		t.Error("populated unfrozen cgroup should be running and active")
+	}
+	fs.Set("batch/cgroup.freeze", "1\n")
+	if c.GroupRunning("vlc") {
+		t.Error("frozen cgroup should not be running")
+	}
+	if !c.GroupActive("vlc") {
+		t.Error("frozen cgroup still hosts work: should be active")
+	}
+	fs.SetPIDs("batch") // all processes exited
+	if c.GroupRunning("vlc") || c.GroupActive("vlc") {
+		t.Error("empty cgroup should be neither running nor active")
+	}
+	fs.Remove("batch")
+	if c.GroupRunning("vlc") || c.GroupActive("vlc") {
+		t.Error("vanished cgroup should be neither running nor active")
+	}
+	if c.GroupRunning("nope") || c.GroupActive("nope") {
+		t.Error("unknown group name should be neither running nor active")
+	}
+}
+
+func TestCollectorGroupNames(t *testing.T) {
+	fs := NewFakeFS()
+	c, _ := testCollector(t, fs, []Group{{Name: "a", Path: "p1"}, {Name: "b", Path: "p2"}})
+	names := c.GroupNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("GroupNames() = %v", names)
+	}
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	fs := NewFakeFS()
+	cases := []struct {
+		name   string
+		groups []Group
+	}{
+		{"empty name", []Group{{Path: "p"}}},
+		{"empty path", []Group{{Name: "a"}}},
+		{"duplicate name", []Group{{Name: "a", Path: "p1"}, {Name: "a", Path: "p2"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCollector(fs, tc.groups); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := NewCollector(nil, nil); err == nil {
+		t.Error("nil fs accepted")
+	}
+}

@@ -25,6 +25,9 @@ type Event struct {
 	Violation bool
 	// Predicted marks a predicted transition toward a violation.
 	Predicted bool
+	// Severity is the trajectory vote's violation proximity in [0,1]
+	// (predictor hits over candidates) — the graded policy's input.
+	Severity float64
 	// Action is what the throttle controller did.
 	Action throttle.Action
 	// Throttled is the batch state after the action.
@@ -33,6 +36,9 @@ type Event struct {
 	RandomResume bool
 	// Beta is the controller's threshold after the period.
 	Beta float64
+	// Level is the batch CPU allowance after the period: 1 unlimited,
+	// 0 frozen, intermediate values are graded cpu.max quotas.
+	Level float64
 }
 
 // String renders a compact single-line summary, e.g. for the daemon log.
@@ -66,10 +72,12 @@ type Report struct {
 	// PredictedViolations is how many periods predicted an impending
 	// violation.
 	PredictedViolations int
-	// Pauses, Resumes and RandomResumes count actuations.
+	// Pauses, Resumes and RandomResumes count actuations; Limits counts
+	// graded quota adjustments (ActionLimit).
 	Pauses        int
 	Resumes       int
 	RandomResumes int
+	Limits        int
 	// States and ViolationStates describe the learned space.
 	States          int
 	ViolationStates int
@@ -87,10 +95,10 @@ type Report struct {
 // String renders a multi-line report.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"periods=%d violations=%d predicted=%d pauses=%d resumes=%d (random=%d)\n"+
+		"periods=%d violations=%d predicted=%d pauses=%d limits=%d resumes=%d (random=%d)\n"+
 			"states=%d (violation=%d) refreshes=%d stress=%.4f\n"+
 			"prediction: accuracy=%.3f precision=%.3f recall=%.3f",
-		r.Periods, r.Violations, r.PredictedViolations, r.Pauses, r.Resumes, r.RandomResumes,
+		r.Periods, r.Violations, r.PredictedViolations, r.Pauses, r.Limits, r.Resumes, r.RandomResumes,
 		r.States, r.ViolationStates, r.Refreshes, r.LastStress,
 		r.Accuracy, r.Precision, r.Recall)
 }

@@ -178,6 +178,13 @@ func (r *Runtime) Period() (Event, error) {
 	if decision.WillViolate {
 		r.report.PredictedViolations++
 	}
+	// Severity is how close to unanimous the trajectory vote was — the
+	// violation-proximity signal graded throttling scales its quota by.
+	severity := 0.0
+	if len(decision.Candidates) > 0 {
+		severity = float64(decision.Hits) / float64(len(decision.Candidates))
+	}
+	ev.Severity = severity
 
 	// Score last period's prediction against this period's outcome.
 	if r.havePending {
@@ -192,6 +199,7 @@ func (r *Runtime) Period() (Event, error) {
 			Period:                r.period,
 			PredictedViolation:    decision.WillViolate,
 			ActualViolation:       violation,
+			ViolationSeverity:     severity,
 			SensitiveStepDistance: sensitiveStep,
 			BatchActive:           r.env.BatchActive(),
 		})
@@ -202,9 +210,12 @@ func (r *Runtime) Period() (Event, error) {
 		ev.Throttled = res.Throttled
 		ev.RandomResume = res.RandomResume
 		ev.Beta = res.Beta
+		ev.Level = res.Level
 		switch res.Action {
 		case throttle.ActionPause:
 			r.report.Pauses++
+		case throttle.ActionLimit:
+			r.report.Limits++
 		case throttle.ActionResume:
 			r.report.Resumes++
 			if res.RandomResume {

@@ -85,23 +85,52 @@ func (e *SimEnvironment) BatchActive() bool {
 	return false
 }
 
-// NewSimActuator returns a throttle actuator that freezes and thaws the
-// simulator's containers — the simulated equivalent of SIGSTOP/SIGCONT.
-// Unknown IDs (containers not yet scheduled) are skipped.
-func NewSimActuator(s *sim.Simulator) throttle.Actuator {
-	do := func(ids []string, f func(string) error) error {
-		for _, id := range ids {
-			if _, err := s.Container(id); err != nil {
-				continue
-			}
-			if err := f(id); err != nil {
-				return err
-			}
+// simActuator freezes, thaws and CPU-limits the simulator's containers —
+// the simulated equivalent of cgroup.freeze + cpu.max (and, degraded,
+// SIGSTOP/SIGCONT). Unknown IDs (containers not yet scheduled) are
+// skipped. It satisfies throttle.GradedActuator, so it serves both the
+// binary and the graded policy.
+type simActuator struct {
+	sim *sim.Simulator
+}
+
+var _ throttle.GradedActuator = simActuator{}
+
+// NewSimActuator returns the simulator-backed graded actuator.
+func NewSimActuator(s *sim.Simulator) throttle.GradedActuator {
+	return simActuator{sim: s}
+}
+
+func (a simActuator) do(ids []string, f func(string) error) error {
+	for _, id := range ids {
+		if _, err := a.sim.Container(id); err != nil {
+			continue
 		}
-		return nil
+		if err := f(id); err != nil {
+			return err
+		}
 	}
-	return throttle.FuncActuator{
-		PauseFn:  func(ids []string) error { return do(ids, s.Freeze) },
-		ResumeFn: func(ids []string) error { return do(ids, s.Thaw) },
+	return nil
+}
+
+// Pause implements throttle.Actuator.
+func (a simActuator) Pause(ids []string) error { return a.do(ids, a.sim.Freeze) }
+
+// Resume implements throttle.Actuator. Thawing also clears any CPU quota,
+// matching cgroup.Actuator's resume semantics.
+func (a simActuator) Resume(ids []string) error {
+	return a.do(ids, func(id string) error {
+		if err := a.sim.Thaw(id); err != nil {
+			return err
+		}
+		return a.sim.LimitCPU(id, 1)
+	})
+}
+
+// SetLevel implements throttle.GradedActuator.
+func (a simActuator) SetLevel(ids []string, level float64) error {
+	if level < 0.01 {
+		level = 0.01 // the simulated analogue of the kernel's 1ms quota floor
 	}
+	return a.do(ids, func(id string) error { return a.sim.LimitCPU(id, level) })
 }

@@ -1,0 +1,55 @@
+// Package fsatomic provides crash-safe file replacement: content is
+// written to a temporary file in the destination directory and renamed
+// into place, so concurrent readers (and a crash mid-write) never observe
+// a torn file. It is the persistence pattern of internal/registry,
+// extracted for every map/report writer in the repository.
+package fsatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory so the final rename never crosses a
+// filesystem boundary.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteFileFunc(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFileFunc atomically replaces path with whatever write produces.
+// On any failure the temporary file is removed and the previous content
+// of path (if any) is left untouched.
+func WriteFileFunc(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("fsatomic: temp file for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("fsatomic: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("fsatomic: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("fsatomic: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("fsatomic: rename into %s: %w", path, err)
+	}
+	return nil
+}

@@ -114,6 +114,15 @@ func (c *Collector) Sample() []metrics.Sample {
 	return out
 }
 
+// GroupNames returns the configured group names in order.
+func (c *Collector) GroupNames() []string {
+	out := make([]string, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.Name
+	}
+	return out
+}
+
 // GroupRunning reports whether any process of the named group exists and
 // is not stopped (state T) — the signal the environment uses for
 // execution-mode detection.

@@ -106,6 +106,58 @@ func TestCollectorVanishedProcess(t *testing.T) {
 	}
 }
 
+func TestCollectorPIDDiesMidInterval(t *testing.T) {
+	// One group member dies between samples while another survives: the
+	// survivor's rates must be unaffected, the dead PID must contribute
+	// nothing (its final partial interval is dropped), and its stale
+	// counters must be pruned so a reused PID re-primes instead of
+	// producing a bogus rate against the dead process's counters.
+	root := t.TempDir()
+	writeFakeProc(t, root, 30, "w1", 'R', 100, 0, 1024, 0, 0)
+	writeFakeProc(t, root, 31, "w2", 'R', 900, 0, 4096, 0, 0)
+	c, err := NewCollector(root, 100, []Group{{Name: "pool", PIDs: []int{30, 31}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	c.now = func() time.Time { return base }
+	c.Sample()
+
+	// PID 31 dies mid-interval; PID 30 burns 50 jiffies.
+	writeFakeProc(t, root, 30, "w1", 'R', 150, 0, 1024, 0, 0)
+	if err := os.RemoveAll(root + "/31"); err != nil {
+		t.Fatal(err)
+	}
+	c.now = func() time.Time { return base.Add(time.Second) }
+	s := c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 50 {
+		t.Errorf("survivor cpu = %v%%, want 50", got)
+	}
+	if got := s[0].Get(metrics.MetricMemory); got != 1 {
+		t.Errorf("memory = %v MB, want 1 (survivor only)", got)
+	}
+	if _, stale := c.prevCPU[31]; stale {
+		t.Error("dead PID's counters not pruned")
+	}
+
+	// The PID is reused by an unrelated process with LOWER counters than
+	// the dead one had: the first sample after reuse must prime (zero
+	// rate), not difference against the dead process.
+	writeFakeProc(t, root, 31, "reused", 'R', 10, 0, 2048, 0, 0)
+	writeFakeProc(t, root, 30, "w1", 'R', 150, 0, 1024, 0, 0)
+	c.now = func() time.Time { return base.Add(2 * time.Second) }
+	s = c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 0 {
+		t.Errorf("cpu after PID reuse = %v%%, want 0 (re-prime)", got)
+	}
+	writeFakeProc(t, root, 31, "reused", 'R', 40, 0, 2048, 0, 0)
+	c.now = func() time.Time { return base.Add(3 * time.Second) }
+	s = c.Sample()
+	if got := s[0].Get(metrics.MetricCPU); got != 30 {
+		t.Errorf("cpu after reuse warm-up = %v%%, want 30", got)
+	}
+}
+
 func TestCollectorCounterReset(t *testing.T) {
 	// PID reuse can make cumulative counters go backwards; the rate must
 	// clamp to zero rather than going negative.

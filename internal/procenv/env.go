@@ -58,10 +58,28 @@ var _ QoSSource = StaticQoS{}
 // QoS implements QoSSource.
 func (s StaticQoS) QoS() (float64, float64, bool) { return s.Value, s.Threshold, true }
 
-// Environment adapts a Collector plus a QoSSource to core.Environment for
-// real processes.
+// Sampler is the measurement source an Environment observes: the procfs
+// Collector in PID mode, or cgroup.Collector in cgroup mode. Group names
+// are the metrics.Sample VM names.
+type Sampler interface {
+	// Sample reads the current usage of every group.
+	Sample() []metrics.Sample
+	// GroupRunning reports whether the named group is actively executing
+	// (exists and is not stopped/frozen).
+	GroupRunning(name string) bool
+	// GroupActive reports whether the named group still has work (running
+	// or stopped, not gone).
+	GroupActive(name string) bool
+	// GroupNames returns the configured group names in order.
+	GroupNames() []string
+}
+
+var _ Sampler = (*Collector)(nil)
+
+// Environment adapts a Sampler plus a QoSSource to core.Environment for
+// real processes or cgroups.
 type Environment struct {
-	collector *Collector
+	collector Sampler
 	sensitive string
 	batch     []string
 	qos       QoSSource
@@ -69,9 +87,9 @@ type Environment struct {
 
 var _ core.Environment = (*Environment)(nil)
 
-// NewEnvironment builds an environment over the collector's groups. The
+// NewEnvironment builds an environment over the sampler's groups. The
 // sensitive name must match one group; batch names must match the rest.
-func NewEnvironment(c *Collector, sensitiveGroup string, batchGroups []string, qos QoSSource) (*Environment, error) {
+func NewEnvironment(c Sampler, sensitiveGroup string, batchGroups []string, qos QoSSource) (*Environment, error) {
 	if c == nil {
 		return nil, fmt.Errorf("procenv: nil collector")
 	}
@@ -79,8 +97,8 @@ func NewEnvironment(c *Collector, sensitiveGroup string, batchGroups []string, q
 		return nil, fmt.Errorf("procenv: nil QoS source")
 	}
 	known := map[string]bool{}
-	for _, g := range c.groups {
-		known[g.Name] = true
+	for _, name := range c.GroupNames() {
+		known[name] = true
 	}
 	if !known[sensitiveGroup] {
 		return nil, fmt.Errorf("procenv: sensitive group %q not in collector", sensitiveGroup)
@@ -136,11 +154,17 @@ func (e *Environment) BatchActive() bool {
 }
 
 // BatchPIDs returns the decimal PID strings of all batch groups, in the
-// form throttle.ProcessActuator consumes.
+// form throttle.ProcessActuator consumes. Only meaningful when the
+// sampler is the procfs Collector; cgroup-backed environments address
+// batch groups by cgroup path instead and get nil.
 func (e *Environment) BatchPIDs() []string {
+	c, ok := e.collector.(*Collector)
+	if !ok {
+		return nil
+	}
 	var out []string
 	for _, b := range e.batch {
-		for _, g := range e.collector.groups {
+		for _, g := range c.groups {
 			if g.Name != b {
 				continue
 			}

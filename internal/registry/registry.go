@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fsatomic"
 	"repro/internal/statespace"
 )
 
@@ -235,23 +236,9 @@ func (r *Registry) persist(e *Entry) error {
 		return fmt.Errorf("registry: marshal entry %s: %w", e.Key, err)
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(r.cfg.Dir, ".entry-*.tmp")
-	if err != nil {
-		return fmt.Errorf("registry: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("registry: write entry %s: %w", e.Key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("registry: close entry %s: %w", e.Key, err)
-	}
-	if err := os.Rename(tmpName, filepath.Join(r.cfg.Dir, entryFilename(e.Key))); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("registry: rename entry %s: %w", e.Key, err)
+	path := filepath.Join(r.cfg.Dir, entryFilename(e.Key))
+	if err := fsatomic.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("registry: persist entry %s: %w", e.Key, err)
 	}
 	return nil
 }

@@ -72,6 +72,10 @@ type Container struct {
 	// keeps its memory).
 	residentMB float64
 
+	// cpuQuota is the fractional CPU allowance in (0,1] — the simulated
+	// cpu.max quota graded throttling applies. 1 means unlimited.
+	cpuQuota float64
+
 	// totals accumulate effective CPU and granted bytes for utilization
 	// accounting.
 	totalEffectiveCPU float64
@@ -116,12 +120,23 @@ func (c *Container) TicksRun() int { return c.ticksRun }
 // TicksFrozen returns how many ticks the container spent frozen.
 func (c *Container) TicksFrozen() int { return c.ticksFrozen }
 
+// CPUQuota returns the container's fractional CPU allowance in (0,1].
+func (c *Container) CPUQuota() float64 { return c.cpuQuota }
+
 // demandForTick produces the container's demand respecting its state.
 func (c *Container) demandForTick(tick int) Demand {
 	switch c.state {
 	case StateRunning:
 		d := c.app.Demand(tick)
 		d.clampNonNegative()
+		// A CPU quota is a bandwidth cap, not a pause: the runnable time
+		// the scheduler hands out shrinks, and the IO/network the workload
+		// can generate shrinks with it, while the resident set stays put.
+		if c.cpuQuota < 1 {
+			d.CPU *= c.cpuQuota
+			d.DiskMBps *= c.cpuQuota
+			d.NetMbps *= c.cpuQuota
+		}
 		c.residentMB = d.MemoryMB
 		return d
 	case StateFrozen:

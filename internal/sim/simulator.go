@@ -48,7 +48,7 @@ func (s *Simulator) AddContainer(id string, app App) (*Container, error) {
 	if _, dup := s.containers[id]; dup {
 		return nil, fmt.Errorf("sim: duplicate container ID %q", id)
 	}
-	c := &Container{id: id, app: app, state: StateRunning}
+	c := &Container{id: id, app: app, state: StateRunning, cpuQuota: 1}
 	s.containers[id] = c
 	s.order = append(s.order, id)
 	return c, nil
@@ -95,6 +95,24 @@ func (s *Simulator) Thaw(id string) error {
 	if c.state == StateFrozen {
 		c.state = StateRunning
 	}
+	return nil
+}
+
+// LimitCPU caps a container at the given fraction of its CPU demand
+// (cpu.max semantics). frac >= 1 removes the limit; frac <= 0 is
+// rejected — a zero allowance is a freeze, which has its own verb.
+func (s *Simulator) LimitCPU(id string, frac float64) error {
+	c, err := s.Container(id)
+	if err != nil {
+		return err
+	}
+	if frac <= 0 {
+		return fmt.Errorf("sim: CPU quota %v for %q out of range (0,1]", frac, id)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	c.cpuQuota = frac
 	return nil
 }
 

@@ -36,27 +36,33 @@ func (f FuncActuator) Resume(ids []string) error {
 }
 
 // RecordingActuator records every actuation, for tests and event logs.
-// It is safe for concurrent use.
+// It also implements GradedActuator so graded-policy controllers can be
+// tested against it. It is safe for concurrent use.
 type RecordingActuator struct {
 	mu     sync.Mutex
 	events []ActuationEvent
 	paused map[string]bool
-	// FailPause and FailResume inject errors for failure testing.
-	FailPause  error
-	FailResume error
+	levels map[string]float64
+	// FailPause, FailResume and FailSetLevel inject errors for failure
+	// testing.
+	FailPause    error
+	FailResume   error
+	FailSetLevel error
 }
 
-// ActuationEvent is one recorded pause or resume.
+// ActuationEvent is one recorded pause, resume or quota change.
 type ActuationEvent struct {
 	Action Action
 	IDs    []string
+	// Level is the quota fraction of an ActionLimit event.
+	Level float64
 }
 
-var _ Actuator = (*RecordingActuator)(nil)
+var _ GradedActuator = (*RecordingActuator)(nil)
 
 // NewRecordingActuator returns an empty recorder.
 func NewRecordingActuator() *RecordingActuator {
-	return &RecordingActuator{paused: make(map[string]bool)}
+	return &RecordingActuator{paused: make(map[string]bool), levels: make(map[string]float64)}
 }
 
 // Pause records a pause.
@@ -85,6 +91,34 @@ func (r *RecordingActuator) Resume(ids []string) error {
 		delete(r.paused, id)
 	}
 	return nil
+}
+
+// SetLevel records a quota change.
+func (r *RecordingActuator) SetLevel(ids []string, level float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.FailSetLevel != nil {
+		return r.FailSetLevel
+	}
+	r.events = append(r.events, ActuationEvent{Action: ActionLimit, IDs: append([]string(nil), ids...), Level: level})
+	for _, id := range ids {
+		if level >= 1 {
+			delete(r.levels, id)
+		} else {
+			r.levels[id] = level
+		}
+	}
+	return nil
+}
+
+// Level returns the recorded quota for an ID (1 when unlimited).
+func (r *RecordingActuator) Level(id string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.levels[id]; ok {
+		return l
+	}
+	return 1
 }
 
 // Events returns a copy of all recorded actuations.

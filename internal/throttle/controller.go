@@ -23,6 +23,9 @@ const (
 	ActionPause
 	// ActionResume: batch applications were resumed.
 	ActionResume
+	// ActionLimit: batch applications had their CPU quota changed without
+	// crossing the freeze boundary (PolicyGraded only).
+	ActionLimit
 )
 
 // String names the action.
@@ -34,6 +37,8 @@ func (a Action) String() string {
 		return "pause"
 	case ActionResume:
 		return "resume"
+	case ActionLimit:
+		return "limit"
 	default:
 		return fmt.Sprintf("action(%d)", int(a))
 	}
@@ -72,6 +77,23 @@ type Config struct {
 	// StarvationProbability is the per-period chance of the randomized
 	// resume once StarvationPeriods have elapsed.
 	StarvationProbability float64
+
+	// Policy selects binary freeze/thaw (the paper's prototype) or graded
+	// CPU-quota throttling (cgroup cpu.max). PolicyGraded requires the
+	// actuator to implement GradedActuator.
+	Policy Policy
+	// GradedLevels is the number of quota steps between full speed and
+	// freeze under PolicyGraded (4 → levels 0.75, 0.5, 0.25, frozen).
+	GradedLevels int
+	// FreezeSeverity is the predicted violation proximity (fraction of
+	// candidate future states voting violation) at or above which
+	// PolicyGraded escalates straight to a full freeze.
+	FreezeSeverity float64
+	// DeEscalatePeriods is how many consecutive prediction-free periods a
+	// partially limited batch must accumulate before PolicyGraded raises
+	// the quota one step — hysteresis so a single quiet period does not
+	// bounce the quota straight back into a violation.
+	DeEscalatePeriods int
 }
 
 // DefaultConfig returns the prototype's parameters.
@@ -83,6 +105,10 @@ func DefaultConfig() Config {
 		PrematureWindow:       3,
 		StarvationPeriods:     20,
 		StarvationProbability: 0.2,
+		Policy:                PolicyBinary,
+		GradedLevels:          4,
+		FreezeSeverity:        1,
+		DeEscalatePeriods:     2,
 	}
 }
 
@@ -105,6 +131,20 @@ func (c Config) validate() error {
 	if c.StarvationProbability < 0 || c.StarvationProbability > 1 {
 		return fmt.Errorf("throttle: StarvationProbability must be in [0,1], got %v", c.StarvationProbability)
 	}
+	if c.Policy != PolicyBinary && c.Policy != PolicyGraded {
+		return fmt.Errorf("throttle: unknown policy %d", int(c.Policy))
+	}
+	if c.Policy == PolicyGraded {
+		if c.GradedLevels < 1 {
+			return fmt.Errorf("throttle: GradedLevels must be positive, got %d", c.GradedLevels)
+		}
+		if c.FreezeSeverity <= 0 || c.FreezeSeverity > 1 {
+			return fmt.Errorf("throttle: FreezeSeverity must be in (0,1], got %v", c.FreezeSeverity)
+		}
+		if c.DeEscalatePeriods < 1 {
+			return fmt.Errorf("throttle: DeEscalatePeriods must be positive, got %d", c.DeEscalatePeriods)
+		}
+	}
 	return nil
 }
 
@@ -124,6 +164,11 @@ type Input struct {
 	// BatchActive reports whether any batch application still has work;
 	// when false there is nothing to pause or resume.
 	BatchActive bool
+	// ViolationSeverity is the predicted violation proximity in [0,1]: the
+	// fraction of the predictor's candidate future states that landed
+	// inside a violation-range. PolicyBinary ignores it; PolicyGraded uses
+	// it to choose the quota step.
+	ViolationSeverity float64
 }
 
 // Result reports what the controller decided.
@@ -139,20 +184,27 @@ type Result struct {
 	RandomResume bool
 	// BetaIncremented marks periods where a premature resume raised β.
 	BetaIncremented bool
+	// Level is the batch CPU fraction after the action: 1 unthrottled,
+	// 0 frozen, intermediate values are graded quota steps. Always 1 or 0
+	// under PolicyBinary.
+	Level float64
 }
 
 // Controller drives the actuator. It is not safe for concurrent use; the
 // Stay-Away runtime invokes it from a single periodic loop.
 type Controller struct {
-	cfg Config
-	act Actuator
-	rng *rand.Rand
+	cfg    Config
+	act    Actuator
+	graded GradedActuator // non-nil only under PolicyGraded
+	rng    *rand.Rand
 
 	batchIDs []string
 
 	throttled        bool
+	level            float64 // current batch CPU fraction (1 = unthrottled)
 	beta             float64
 	stablePeriods    int // consecutive throttled periods with distance < β
+	clearPeriods     int // consecutive prediction-free periods at a partial level
 	lastResumePeriod int
 	lastResumePhase  bool // last resume was phase-change triggered
 	resumed          bool // a resume happened at some point
@@ -170,21 +222,35 @@ func New(cfg Config, act Actuator, batchIDs []string, rng *rand.Rand) (*Controll
 	if rng == nil {
 		return nil, fmt.Errorf("throttle: nil RNG")
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:              cfg,
 		act:              act,
 		rng:              rng,
 		batchIDs:         append([]string(nil), batchIDs...),
+		level:            1,
 		beta:             cfg.InitialBeta,
 		lastResumePeriod: -1 << 30,
-	}, nil
+	}
+	if cfg.Policy == PolicyGraded {
+		ga, ok := act.(GradedActuator)
+		if !ok {
+			return nil, fmt.Errorf("throttle: PolicyGraded requires a GradedActuator, got %T", act)
+		}
+		c.graded = ga
+	}
+	return c, nil
 }
 
 // Beta returns the current learned threshold.
 func (c *Controller) Beta() float64 { return c.beta }
 
-// Throttled reports whether the batch applications are currently paused.
+// Throttled reports whether the batch applications are currently paused
+// or quota-limited.
 func (c *Controller) Throttled() bool { return c.throttled }
+
+// Level returns the current batch CPU fraction (1 = unthrottled,
+// 0 = frozen).
+func (c *Controller) Level() float64 { return c.level }
 
 // SetBatchIDs replaces the set of batch applications under control (§5's
 // collective throttling of the logical batch VM).
@@ -194,7 +260,7 @@ func (c *Controller) SetBatchIDs(ids []string) {
 
 // Step runs one period of the §3.3 decision logic.
 func (c *Controller) Step(in Input) (Result, error) {
-	res := Result{Throttled: c.throttled, Beta: c.beta}
+	res := Result{Throttled: c.throttled, Beta: c.beta, Level: c.level}
 
 	// β learning: a violation soon after a phase-change resume means the
 	// phase change "was not enough to avoid degradation".
@@ -213,6 +279,16 @@ func (c *Controller) Step(in Input) (Result, error) {
 		c.lastResumePhase = false
 	}
 
+	if c.cfg.Policy == PolicyGraded {
+		if err := c.stepGraded(in, &res); err != nil {
+			return res, err
+		}
+		res.Throttled = c.throttled
+		res.Beta = c.beta
+		res.Level = c.level
+		return res, nil
+	}
+
 	switch {
 	case !c.throttled:
 		if in.BatchActive && (in.PredictedViolation || in.ActualViolation) {
@@ -220,6 +296,7 @@ func (c *Controller) Step(in Input) (Result, error) {
 				return res, fmt.Errorf("throttle: pause: %w", err)
 			}
 			c.throttled = true
+			c.level = 0
 			c.stablePeriods = 0
 			res.Action = ActionPause
 		}
@@ -230,6 +307,7 @@ func (c *Controller) Step(in Input) (Result, error) {
 				return res, fmt.Errorf("throttle: resume: %w", err)
 			}
 			c.throttled = false
+			c.level = 1
 			res.Action = ActionResume
 			break
 		}
@@ -239,6 +317,7 @@ func (c *Controller) Step(in Input) (Result, error) {
 				return res, fmt.Errorf("throttle: resume: %w", err)
 			}
 			c.throttled = false
+			c.level = 1
 			c.resumed = true
 			c.lastResumePeriod = in.Period
 			c.lastResumePhase = true
@@ -254,6 +333,7 @@ func (c *Controller) Step(in Input) (Result, error) {
 				return res, fmt.Errorf("throttle: resume: %w", err)
 			}
 			c.throttled = false
+			c.level = 1
 			c.resumed = true
 			c.lastResumePeriod = in.Period
 			c.lastResumePhase = false
@@ -264,5 +344,6 @@ func (c *Controller) Step(in Input) (Result, error) {
 
 	res.Throttled = c.throttled
 	res.Beta = c.beta
+	res.Level = c.level
 	return res, nil
 }

@@ -1,0 +1,235 @@
+package throttle
+
+import "fmt"
+
+// GradedActuator extends the binary freeze/thaw Actuator with fractional
+// CPU throttling — the cgroup v2 cpu.max knob (and the simulator's
+// fractional quota). Level semantics: 1 removes the limit, values in
+// (0,1) cap the batch applications at that fraction of their unthrottled
+// CPU allowance, and 0 is expressed through Pause (full freeze) instead.
+type GradedActuator interface {
+	Actuator
+	// SetLevel caps the given batch applications at the fraction level of
+	// their CPU allowance. Implementations must treat level >= 1 as
+	// removing the limit.
+	SetLevel(ids []string, level float64) error
+}
+
+// Policy selects how the controller translates a predicted violation into
+// actuation.
+type Policy int
+
+const (
+	// PolicyBinary is the paper's prototype: full SIGSTOP/freeze on any
+	// predicted or actual violation.
+	PolicyBinary Policy = iota
+	// PolicyGraded steps CPU quotas down proportionally to the predicted
+	// violation proximity (the fraction of candidate future states voting
+	// violation) and escalates to a full freeze when the proximity
+	// saturates, an actual violation occurs, or stepping has exhausted the
+	// quota range. It requires a GradedActuator.
+	PolicyGraded
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBinary:
+		return "binary"
+	case PolicyGraded:
+		return "graded"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// targetLevel quantizes a violation severity in [0,1] onto the configured
+// quota steps: severity 0 maps to the gentlest step below full speed,
+// severity >= FreezeSeverity maps to 0 (freeze). With GradedLevels = 4
+// the reachable levels are 0.75, 0.5, 0.25 and 0.
+func (c *Controller) targetLevel(severity float64) float64 {
+	if severity >= c.cfg.FreezeSeverity {
+		return 0
+	}
+	if severity < 0 {
+		severity = 0
+	}
+	step := 1.0 / float64(c.cfg.GradedLevels)
+	// Severity s wants level 1-s, rounded down to the next step boundary
+	// so throttling always errs toward protecting the sensitive app.
+	level := (1 - severity) / step
+	target := float64(int(level)) * step
+	if target >= 1 {
+		target = 1 - step
+	}
+	if target < 0 {
+		target = 0
+	}
+	return target
+}
+
+// applyLevel drives the graded actuator from the current level to target,
+// using Pause/Resume for the freeze boundary and SetLevel for quotas.
+func (c *Controller) applyLevel(target float64) error {
+	switch {
+	case target <= 0:
+		if c.level > 0 {
+			if err := c.graded.Pause(c.batchIDs); err != nil {
+				return fmt.Errorf("throttle: graded freeze: %w", err)
+			}
+		}
+	default:
+		if c.level <= 0 {
+			// Thaw before adjusting the quota so a frozen group does not
+			// stay frozen under a nonzero limit.
+			if err := c.graded.Resume(c.batchIDs); err != nil {
+				return fmt.Errorf("throttle: graded thaw: %w", err)
+			}
+		}
+		if err := c.graded.SetLevel(c.batchIDs, target); err != nil {
+			return fmt.Errorf("throttle: set level %.2f: %w", target, err)
+		}
+	}
+	c.level = target
+	return nil
+}
+
+// restoreFull lifts all graded throttling: thaw if frozen, then remove
+// the CPU limit.
+func (c *Controller) restoreFull() error {
+	if c.level <= 0 {
+		if err := c.graded.Resume(c.batchIDs); err != nil {
+			return fmt.Errorf("throttle: graded resume: %w", err)
+		}
+	}
+	if err := c.graded.SetLevel(c.batchIDs, 1); err != nil {
+		return fmt.Errorf("throttle: clear level: %w", err)
+	}
+	c.level = 1
+	return nil
+}
+
+// stepGraded is the §3.3 decision logic under PolicyGraded: instead of
+// the binary pause it lowers the batch CPU quota proportionally to how
+// many predicted candidate states voted violation, escalates one step per
+// period while the prediction persists (reaching full freeze), and
+// restores full speed through the same phase-change / anti-starvation
+// resume rules as the binary policy.
+func (c *Controller) stepGraded(in Input, res *Result) error {
+	severity := in.ViolationSeverity
+	if in.ActualViolation {
+		// A reported violation is past prediction: apply maximum pressure.
+		severity = 1
+	}
+
+	switch {
+	case !c.throttled:
+		if in.BatchActive && (in.PredictedViolation || in.ActualViolation) {
+			target := c.targetLevel(severity)
+			if err := c.applyLevel(target); err != nil {
+				return err
+			}
+			c.throttled = true
+			c.stablePeriods = 0
+			c.clearPeriods = 0
+			if target <= 0 {
+				res.Action = ActionPause
+			} else {
+				res.Action = ActionLimit
+			}
+		}
+	default: // throttled at some level
+		if !in.BatchActive {
+			// The batch workload ended while throttled; release state.
+			if err := c.restoreFull(); err != nil {
+				return err
+			}
+			c.throttled = false
+			res.Action = ActionResume
+			break
+		}
+		if in.PredictedViolation || in.ActualViolation {
+			// Still heading for (or inside) a violation: escalate one quota
+			// step toward the freeze, never above the severity's own target.
+			step := 1.0 / float64(c.cfg.GradedLevels)
+			target := c.level - step
+			if t := c.targetLevel(severity); t < target {
+				target = t
+			}
+			if target < step/2 {
+				target = 0
+			}
+			if target != c.level {
+				if err := c.applyLevel(target); err != nil {
+					return err
+				}
+				if target <= 0 {
+					res.Action = ActionPause
+				} else {
+					res.Action = ActionLimit
+				}
+			}
+			c.stablePeriods = 0
+			c.clearPeriods = 0
+			break
+		}
+		if in.SensitiveStepDistance > c.beta {
+			// Phase change or workload-intensity change detected.
+			if err := c.restoreFull(); err != nil {
+				return err
+			}
+			c.throttled = false
+			c.resumed = true
+			c.lastResumePeriod = in.Period
+			c.lastResumePhase = true
+			res.Action = ActionResume
+			break
+		}
+		if c.level > 0 {
+			// The prediction cleared while only partially limited. Unlike a
+			// freeze — where the batch is silent and only a sensitive-side
+			// phase change proves the coast is clear — a quota-limited batch
+			// is still visible in the map, so a cleared prediction is direct
+			// evidence the pressure can come off. After DeEscalatePeriods
+			// consecutive quiet periods, raise the quota one step, releasing
+			// fully once the range is walked back up.
+			c.clearPeriods++
+			if c.clearPeriods < c.cfg.DeEscalatePeriods {
+				break
+			}
+			c.clearPeriods = 0
+			step := 1.0 / float64(c.cfg.GradedLevels)
+			target := c.level + step
+			if target >= 1-step/2 {
+				if err := c.restoreFull(); err != nil {
+					return err
+				}
+				c.throttled = false
+				c.resumed = true
+				c.lastResumePeriod = in.Period
+				c.lastResumePhase = false
+				res.Action = ActionResume
+			} else {
+				if err := c.applyLevel(target); err != nil {
+					return err
+				}
+				res.Action = ActionLimit
+			}
+			break
+		}
+		c.stablePeriods++
+		if c.stablePeriods >= c.cfg.StarvationPeriods &&
+			c.rng.Float64() < c.cfg.StarvationProbability {
+			if err := c.restoreFull(); err != nil {
+				return err
+			}
+			c.throttled = false
+			c.resumed = true
+			c.lastResumePeriod = in.Period
+			c.lastResumePhase = false
+			res.Action = ActionResume
+			res.RandomResume = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package throttle
+
+import (
+	"errors"
+	"math/rand"
+	"syscall"
+	"testing"
+)
+
+func newGradedController(t *testing.T, mutate func(*Config)) (*Controller, *RecordingActuator) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyGraded
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	act := NewRecordingActuator()
+	c, err := New(cfg, act, []string{"batch1", "batch2"}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, act
+}
+
+func TestGradedRequiresGradedActuator(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyGraded
+	// FuncActuator has no SetLevel.
+	_, err := New(cfg, FuncActuator{}, nil, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Error("PolicyGraded with a binary actuator should error")
+	}
+}
+
+func TestGradedConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.GradedLevels = 0 },
+		func(c *Config) { c.FreezeSeverity = 0 },
+		func(c *Config) { c.FreezeSeverity = 1.5 },
+		func(c *Config) { c.Policy = Policy(99) },
+	} {
+		cfg := DefaultConfig()
+		cfg.Policy = PolicyGraded
+		mutate(&cfg)
+		if _, err := New(cfg, NewRecordingActuator(), nil, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("config %+v should fail validation", cfg)
+		}
+	}
+}
+
+func TestGradedTargetLevelQuantization(t *testing.T) {
+	c, _ := newGradedController(t, nil) // 4 levels: 0.75, 0.5, 0.25, 0
+	tests := []struct {
+		severity float64
+		want     float64
+	}{
+		{0, 0.75},    // any prediction throttles at least one step
+		{0.2, 0.75},  // 0.8 floors to 0.75
+		{0.4, 0.5},   // 0.6 floors to 0.5
+		{0.6, 0.25},  // 0.4 floors to 0.25
+		{0.8, 0},     // 0.2 floors to 0
+		{1, 0},       // saturated: freeze
+		{-0.5, 0.75}, // clamped
+	}
+	for _, tt := range tests {
+		if got := c.targetLevel(tt.severity); got != tt.want {
+			t.Errorf("targetLevel(%v) = %v, want %v", tt.severity, got, tt.want)
+		}
+	}
+}
+
+func TestGradedLimitsInsteadOfFreezing(t *testing.T) {
+	c, act := newGradedController(t, nil)
+	res, err := c.Step(Input{Period: 1, PredictedViolation: true, ViolationSeverity: 0.6, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionLimit || !res.Throttled {
+		t.Errorf("result = %+v, want limit+throttled", res)
+	}
+	if res.Level != 0.25 {
+		t.Errorf("level = %v, want 0.25", res.Level)
+	}
+	if got := act.Paused(); len(got) != 0 {
+		t.Errorf("paused = %v, want none (graded quota, not freeze)", got)
+	}
+	if got := act.Level("batch1"); got != 0.25 {
+		t.Errorf("actuator level = %v, want 0.25", got)
+	}
+}
+
+func TestGradedEscalatesToFreeze(t *testing.T) {
+	c, act := newGradedController(t, nil)
+	// Persistent mild prediction: 0.75 → 0.5 → 0.25 → frozen.
+	wantLevels := []float64{0.75, 0.5, 0.25, 0}
+	for i, want := range wantLevels {
+		res, err := c.Step(Input{Period: i, PredictedViolation: true, ViolationSeverity: 0.1, BatchActive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Level != want {
+			t.Errorf("period %d: level = %v, want %v", i, res.Level, want)
+		}
+	}
+	if got := act.Paused(); len(got) != 2 {
+		t.Errorf("paused = %v, want both batch apps frozen after escalation", got)
+	}
+}
+
+func TestGradedSaturatedSeverityFreezesImmediately(t *testing.T) {
+	c, act := newGradedController(t, nil)
+	res, err := c.Step(Input{Period: 1, PredictedViolation: true, ViolationSeverity: 1, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause || res.Level != 0 {
+		t.Errorf("result = %+v, want immediate freeze", res)
+	}
+	if got := act.Paused(); len(got) != 2 {
+		t.Errorf("paused = %v", got)
+	}
+}
+
+func TestGradedActualViolationFreezes(t *testing.T) {
+	c, _ := newGradedController(t, nil)
+	// A reported violation overrides a mild predicted severity.
+	res, err := c.Step(Input{Period: 1, ActualViolation: true, ViolationSeverity: 0.2, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause || res.Level != 0 {
+		t.Errorf("result = %+v, want freeze on actual violation", res)
+	}
+}
+
+func TestGradedPhaseChangeRestoresFullSpeed(t *testing.T) {
+	c, act := newGradedController(t, nil)
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, ViolationSeverity: 0.4, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Step(Input{Period: 2, SensitiveStepDistance: 0.5, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionResume || res.Throttled || res.Level != 1 {
+		t.Errorf("result = %+v, want full resume", res)
+	}
+	if got := act.Level("batch1"); got != 1 {
+		t.Errorf("actuator level = %v, want restored to 1", got)
+	}
+}
+
+func TestGradedResumeFromFreezeThaws(t *testing.T) {
+	c, act := newGradedController(t, nil)
+	if _, err := c.Step(Input{Period: 1, ActualViolation: true, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := act.Paused(); len(got) != 2 {
+		t.Fatalf("paused = %v", got)
+	}
+	res, err := c.Step(Input{Period: 2, SensitiveStepDistance: 0.5, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != 1 || res.Action != ActionResume {
+		t.Errorf("result = %+v", res)
+	}
+	if got := act.Paused(); len(got) != 0 {
+		t.Errorf("still paused after resume: %v", got)
+	}
+}
+
+func TestGradedBatchEndRestores(t *testing.T) {
+	c, _ := newGradedController(t, nil)
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, ViolationSeverity: 0.4, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Step(Input{Period: 2, BatchActive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionResume || res.Throttled {
+		t.Errorf("result = %+v, want release when batch work ends", res)
+	}
+}
+
+func TestGradedStarvationResume(t *testing.T) {
+	c, _ := newGradedController(t, func(cfg *Config) {
+		cfg.StarvationPeriods = 3
+		cfg.StarvationProbability = 1
+	})
+	// A saturated vote freezes outright; a frozen batch can only come back
+	// through phase change or the anti-starvation resume.
+	if _, err := c.Step(Input{Period: 0, PredictedViolation: true, ViolationSeverity: 1, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bool
+	for p := 1; p < 10; p++ {
+		res, err := c.Step(Input{Period: p, BatchActive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action == ActionResume {
+			if !res.RandomResume {
+				t.Error("resume should be marked random")
+			}
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Error("starvation resume never fired")
+	}
+}
+
+func TestGradedDeEscalation(t *testing.T) {
+	c, act := newGradedController(t, func(cfg *Config) {
+		cfg.DeEscalatePeriods = 1
+	})
+	// Escalate to 0.25, then let the prediction clear: the quota must walk
+	// back up one step per period and finally release.
+	for p := 0; p < 3; p++ {
+		if _, err := c.Step(Input{Period: p, PredictedViolation: true, ViolationSeverity: 0.2, BatchActive: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Level(); got != 0.25 {
+		t.Fatalf("level after escalation = %v, want 0.25", got)
+	}
+	res, err := c.Step(Input{Period: 3, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionLimit || res.Level != 0.5 {
+		t.Errorf("first de-escalation = %+v, want limit to 0.5", res)
+	}
+	res, err = c.Step(Input{Period: 4, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionLimit || res.Level != 0.75 {
+		t.Errorf("second de-escalation = %+v, want limit to 0.75", res)
+	}
+	res, err = c.Step(Input{Period: 5, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionResume || res.Throttled || res.Level != 1 {
+		t.Errorf("final de-escalation = %+v, want full release", res)
+	}
+	if res.RandomResume {
+		t.Error("de-escalation release must not count as a random resume")
+	}
+	if got := act.Level("b1"); got != 1 {
+		t.Errorf("actuator level after release = %v, want 1", got)
+	}
+	// A frozen batch must NOT de-escalate on a cleared prediction: it is
+	// invisible to the map, so silence proves nothing.
+	if _, err := c.Step(Input{Period: 6, PredictedViolation: true, ViolationSeverity: 1, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Step(Input{Period: 7, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionNone || res.Level != 0 {
+		t.Errorf("frozen step without prediction = %+v, want no action", res)
+	}
+}
+
+func TestGradedBetaLearningStillApplies(t *testing.T) {
+	c, _ := newGradedController(t, nil)
+	// Throttle, phase-change resume, then an immediate violation: β must
+	// grow exactly as under the binary policy.
+	if _, err := c.Step(Input{Period: 0, PredictedViolation: true, ViolationSeverity: 0.4, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 1, SensitiveStepDistance: 0.5, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Step(Input{Period: 2, ActualViolation: true, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BetaIncremented || res.Beta <= 0.01 {
+		t.Errorf("result = %+v, want β incremented after premature resume", res)
+	}
+}
+
+func TestGradedActuatorFailurePropagates(t *testing.T) {
+	act := NewRecordingActuator()
+	act.FailSetLevel = errors.New("cgroupfs gone")
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyGraded
+	c, err := New(cfg, act, []string{"b"}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 1, PredictedViolation: true, ViolationSeverity: 0.4, BatchActive: true}); err == nil {
+		t.Error("SetLevel failure should propagate")
+	}
+}
+
+// TestProcessActuatorMixedAliveDeadFirstError covers the first-error
+// aggregation across a mixed PID set: vanished processes (ESRCH) are
+// vacuous successes, every PID is still attempted, and the first real
+// failure is the one reported.
+func TestProcessActuatorMixedAliveDeadFirstError(t *testing.T) {
+	var attempted []int
+	p := &ProcessActuator{Kill: func(pid int, sig syscall.Signal) error {
+		attempted = append(attempted, pid)
+		switch pid {
+		case 1: // alive, signal delivered
+			return nil
+		case 2: // dead: vacuous success
+			return syscall.ESRCH
+		case 3: // alive but not ours
+			return syscall.EPERM
+		case 4: // also failing, but later — must not displace the first error
+			return syscall.EINVAL
+		default:
+			return nil
+		}
+	}}
+	err := p.Pause([]string{"1", "2", "3", "4", "5"})
+	if !errors.Is(err, syscall.EPERM) {
+		t.Errorf("err = %v, want first real failure (EPERM)", err)
+	}
+	if len(attempted) != 5 {
+		t.Errorf("attempted = %v, want all five PIDs signalled despite failures", attempted)
+	}
+	// All-dead set: nothing left to do, vacuous success.
+	attempted = nil
+	p2 := &ProcessActuator{Kill: func(int, syscall.Signal) error { return syscall.ESRCH }}
+	if err := p2.Resume([]string{"1", "2", "3"}); err != nil {
+		t.Errorf("all-ESRCH resume = %v, want nil", err)
+	}
+}
