@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-o DIR] [-fig LIST | -summary | -ablations | -all]
+//	experiments [-seed N] [-o DIR] [-fig LIST | -summary | -ablations | -chaos | -all]
 //
 //	-fig 1,8,9     regenerate specific figures (1,4,5,6,7,8,9,10,11,12,
 //	               13,14,15,16,17,18)
 //	-summary       run the headline utilization summary (10–70% claim)
 //	-ablations     run the binary-vs-graded throttling ablation
-//	-all           regenerate everything including the summary and ablations
+//	-chaos         run the fault-injection suite (non-zero exit on failure)
+//	-all           regenerate everything including the summary, ablations
+//	               and chaos suite
 //	-o DIR         additionally write each figure to DIR/<id>.txt
 package main
 
@@ -37,6 +39,7 @@ func run() error {
 	figList := flag.String("fig", "", "comma-separated figure numbers to regenerate")
 	summary := flag.Bool("summary", false, "run the headline utilization summary")
 	ablations := flag.Bool("ablations", false, "run the binary-vs-graded throttling ablation")
+	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite")
 	all := flag.Bool("all", false, "regenerate every figure and the summary")
 	outDir := flag.String("o", "", "directory to write per-figure text files into")
 	flag.Parse()
@@ -76,11 +79,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary || *ablations:
+	case *summary || *ablations || *chaosSuite:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -119,6 +122,15 @@ func run() error {
 		f, err := experiments.AblationGraded(*seed)
 		if err != nil {
 			return fmt.Errorf("graded ablation: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	if *chaosSuite || *all {
+		f, err := experiments.Chaos(*seed)
+		if err != nil {
+			return fmt.Errorf("chaos suite: %w", err)
 		}
 		if err := emit(f); err != nil {
 			return err

@@ -32,6 +32,20 @@
 // periods plus once on shutdown, and heartbeats its status. Registry
 // outages never interrupt control — the daemon degrades to its local map
 // and resyncs when the registry returns.
+//
+// With -state-dir the daemon becomes crash-safe: every restrictive
+// actuation is recorded in an on-disk ledger BEFORE it is applied, the
+// learned state (template, trajectory histograms, β) is checkpointed
+// atomically every -checkpoint-every periods, and at boot the daemon
+// replays the ledger — thawing every cgroup a previous incarnation may
+// have left frozen (after a SIGKILL, an OOM kill, a panic) — then
+// restores the checkpoint so no learning is lost. -recover-only performs
+// just the ledger replay and exits, for init containers and manual
+// incident response. A watchdog (disable with -watchdog-grace 0) runs
+// beside the control loop and thaws everything if the loop stops beating
+// — e.g. blocked on a hung cgroupfs read. A corrupt ledger or checkpoint
+// is logged and ignored, never fatal: the daemon starts cold rather than
+// refusing to protect.
 package main
 
 import (
@@ -41,6 +55,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -53,6 +68,7 @@ import (
 	"repro/internal/fsatomic"
 	"repro/internal/metrics"
 	"repro/internal/procenv"
+	"repro/internal/resilience"
 	"repro/internal/throttle"
 )
 
@@ -99,6 +115,7 @@ type options struct {
 	qosFile       string
 	graded        bool
 	memoryHighMB  float64
+	recoverOnly   bool
 }
 
 // validateOptions enforces the daemon's startup contract up front, before
@@ -109,7 +126,7 @@ type options struct {
 // sensitive app defeats the purpose), and graded throttling requires the
 // cgroup actuator (SIGSTOP has no intermediate levels).
 func (o options) validate() (cgroupMode bool, err error) {
-	if o.qosFile == "" {
+	if o.qosFile == "" && !o.recoverOnly {
 		return false, fmt.Errorf("-qos-file required: the application's QoS report is the violation signal (§3.1)")
 	}
 	pidMode := len(o.sensitivePIDs) > 0 || len(o.batchPIDs) > 0
@@ -145,7 +162,9 @@ func (o options) validate() (cgroupMode bool, err error) {
 			return false, fmt.Errorf("-memory-high-mb requires cgroup mode")
 		}
 	default: // cgroup mode
-		if o.sensCgroup == "" {
+		if o.sensCgroup == "" && !o.recoverOnly {
+			// Recovery replays the ledger against the batch cgroups only;
+			// the operator of a dead daemon shouldn't need its full config.
 			return false, fmt.Errorf("-sensitive-cgroup required in cgroup mode")
 		}
 		if len(o.batchCgroups) == 0 {
@@ -179,6 +198,10 @@ func run() error {
 	memoryMB := flag.Float64("memory-mb", 4096, "host memory (normalization range)")
 	diskMBps := flag.Float64("disk-mbps", 200, "disk capacity (normalization range)")
 	templateOut := flag.String("template-out", "", "write the learned template JSON on exit")
+	stateDir := flag.String("state-dir", "", "directory for the actuation ledger and learned-state checkpoints (empty = no crash safety)")
+	recoverOnly := flag.Bool("recover-only", false, "replay the ledger (thaw everything a dead daemon left throttled) and exit; requires -state-dir")
+	checkpointEvery := flag.Int("checkpoint-every", 30, "periods between learned-state checkpoints (requires -state-dir)")
+	watchdogGrace := flag.Int("watchdog-grace", 3, "missed periods before the watchdog thaws everything (0 = no watchdog)")
 	registryURL := flag.String("registry", "", "fleet registry base URL (empty = standalone)")
 	app := flag.String("app", "sensitive", "fleet-wide application name for template sharing")
 	hostID := flag.String("host-id", "", "host identity reported to the registry (default: hostname)")
@@ -202,13 +225,22 @@ func run() error {
 		qosFile:       *qosFile,
 		graded:        *graded,
 		memoryHighMB:  *memoryHighMB,
+		recoverOnly:   *recoverOnly,
 	}
 	cgroupMode, err := opts.validate()
 	if err != nil {
 		return err
 	}
+	if *recoverOnly && *stateDir == "" {
+		return fmt.Errorf("-recover-only requires -state-dir (the ledger to replay)")
+	}
 
-	qos := procenv.FileQoS{Path: *qosFile}
+	// In recover-only mode no QoS report is needed (nothing is learned);
+	// a static non-violating source satisfies the environment's contract.
+	var qos procenv.QoSSource = procenv.FileQoS{Path: *qosFile}
+	if *qosFile == "" {
+		qos = procenv.StaticQoS{Value: 1, Threshold: 0}
+	}
 	var (
 		env      core.Environment
 		batchIDs []string // the IDs the throttle controller actuates
@@ -219,18 +251,6 @@ func run() error {
 
 	if cgroupMode {
 		cfs := cgroup.DirFS{Root: *cgroupRoot}
-		groups := []cgroup.Group{{Name: "sensitive", Path: opts.sensCgroup}}
-		for _, cg := range opts.batchCgroups {
-			groups = append(groups, cgroup.Group{Name: cg, Path: cg})
-		}
-		collector, err := cgroup.NewCollector(cfs, groups)
-		if err != nil {
-			return err
-		}
-		cgEnv, err := procenv.NewEnvironment(collector, "sensitive", opts.batchCgroups, qos)
-		if err != nil {
-			return err
-		}
 		actuator, err := cgroup.NewActuator(cfs, cgroup.ActuatorConfig{
 			MaxCPU:          float64(*cores),
 			MemoryHighBytes: int64(opts.memoryHighMB * (1 << 20)),
@@ -241,47 +261,119 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		// Probe up front so the operator learns at startup — not mid-
-		// incident — whether actuation will use cgroup controls or degrade
-		// to signals.
-		for _, cg := range opts.batchCgroups {
-			if err := actuator.Probe(cg); err != nil {
-				fmt.Fprintf(os.Stderr, "stayawayd: warning: %v; actuation for %q will degrade to SIGSTOP/SIGCONT\n", err, cg)
-			}
-		}
-		if !cfs.Exists(opts.sensCgroup) {
-			fmt.Fprintf(os.Stderr, "stayawayd: warning: sensitive cgroup %q not found (yet)\n", opts.sensCgroup)
-		}
-		env = cgEnv
 		batchIDs = opts.batchCgroups
 		act = actuator
 		release = func() error { return actuator.Resume(opts.batchCgroups) }
+		// Recovery replays the ledger against the actuator alone; the
+		// telemetry side is only assembled for a real control run.
+		if !opts.recoverOnly {
+			groups := []cgroup.Group{{Name: "sensitive", Path: opts.sensCgroup}}
+			for _, cg := range opts.batchCgroups {
+				groups = append(groups, cgroup.Group{Name: cg, Path: cg})
+			}
+			collector, err := cgroup.NewCollector(cfs, groups)
+			if err != nil {
+				return err
+			}
+			cgEnv, err := procenv.NewEnvironment(collector, "sensitive", opts.batchCgroups, qos)
+			if err != nil {
+				return err
+			}
+			// Probe up front so the operator learns at startup — not mid-
+			// incident — whether actuation will use cgroup controls or degrade
+			// to signals.
+			for _, cg := range opts.batchCgroups {
+				if err := actuator.Probe(cg); err != nil {
+					fmt.Fprintf(os.Stderr, "stayawayd: warning: %v; actuation for %q will degrade to SIGSTOP/SIGCONT\n", err, cg)
+				}
+			}
+			if !cfs.Exists(opts.sensCgroup) {
+				fmt.Fprintf(os.Stderr, "stayawayd: warning: sensitive cgroup %q not found (yet)\n", opts.sensCgroup)
+			}
+			env = cgEnv
+		}
 		watching = fmt.Sprintf("sensitive=%s batch=%v (cgroup mode, root=%s)",
 			opts.sensCgroup, opts.batchCgroups, *cgroupRoot)
 	} else {
-		collector, err := procenv.NewCollector("/proc", 100, []procenv.Group{
-			{Name: "sensitive", PIDs: sens},
-			{Name: "batch", PIDs: batch},
-		})
-		if err != nil {
-			return err
-		}
-		pidEnv, err := procenv.NewEnvironment(collector, "sensitive", []string{"batch"}, qos)
-		if err != nil {
-			return err
-		}
 		// The runtime throttles the logical "batch" VM; the actuator
 		// translates that into signals to the concrete PIDs behind it.
 		actuator := &throttle.ProcessActuator{}
-		batchStrings := pidEnv.BatchPIDs()
-		env = pidEnv
+		batchStrings := make([]string, len(batch))
+		for i, pid := range batch {
+			batchStrings[i] = strconv.Itoa(pid)
+		}
 		batchIDs = []string{"batch"}
 		act = throttle.FuncActuator{
 			PauseFn:  func([]string) error { return actuator.Pause(batchStrings) },
 			ResumeFn: func([]string) error { return actuator.Resume(batchStrings) },
 		}
 		release = func() error { return actuator.Resume(batchStrings) }
+		if !opts.recoverOnly {
+			collector, err := procenv.NewCollector("/proc", 100, []procenv.Group{
+				{Name: "sensitive", PIDs: sens},
+				{Name: "batch", PIDs: batch},
+			})
+			if err != nil {
+				return err
+			}
+			pidEnv, err := procenv.NewEnvironment(collector, "sensitive", []string{"batch"}, qos)
+			if err != nil {
+				return err
+			}
+			env = pidEnv
+		}
 		watching = fmt.Sprintf("sensitive=%v batch=%v (PID mode)", sens, batch)
+	}
+
+	// Crash safety: replay the previous incarnation's actuation ledger
+	// before anything else — if a dead daemon left cgroups frozen, thawing
+	// them outranks every other startup step. The ledger is an upper bound
+	// on applied throttling (restrictions are recorded before actuation,
+	// releases after), so replay can only over-thaw, which is idempotent.
+	var (
+		ledger         *resilience.Ledger
+		checkpointPath string
+	)
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return fmt.Errorf("-state-dir: %v", err)
+		}
+		checkpointPath = filepath.Join(*stateDir, "checkpoint.json")
+		ledger, err = resilience.OpenLedger(filepath.Join(*stateDir, "ledger.json"))
+		if err != nil {
+			// A corrupt ledger cannot tell us what was throttled, so assume
+			// the worst: recovery below thaws every configured batch ID.
+			fmt.Fprintf(os.Stderr, "stayawayd: ledger unreadable, assuming everything throttled: %v\n", err)
+		}
+		thawed, err := resilience.Recover(ledger, act, batchIDs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stayawayd: ledger recovery: %v\n", err)
+		}
+		if len(thawed) > 0 {
+			fmt.Printf("stayawayd: recovered: thawed %v\n", thawed)
+		}
+		if *recoverOnly {
+			if err != nil {
+				return fmt.Errorf("recovery incomplete: %w", err)
+			}
+			fmt.Println("stayawayd: recovery complete")
+			return nil
+		}
+		// From here on, every restrictive actuation hits the ledger first.
+		la, err := resilience.NewLedgeredActuator(act, ledger)
+		if err != nil {
+			return err
+		}
+		act = la
+		innerRelease := release
+		release = func() error {
+			// Recover rather than plain Resume: it also clears graded
+			// quotas and resets the ledger so the next boot is clean.
+			if _, err := resilience.Recover(ledger, act, batchIDs); err != nil {
+				return err
+			}
+			return innerRelease()
+		}
 	}
 
 	cfg := core.DefaultConfig("sensitive", batchIDs,
@@ -294,6 +386,26 @@ func run() error {
 	rt, err := core.New(cfg, env, act)
 	if err != nil {
 		return err
+	}
+
+	// Restore the learned-state checkpoint before the first period. A
+	// missing checkpoint is a cold start; a corrupt or incompatible one is
+	// logged and ignored — losing learned state is recoverable, refusing
+	// to start is not.
+	restored := false
+	if checkpointPath != "" {
+		switch ck, err := resilience.LoadCheckpoint(checkpointPath); {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "stayawayd: checkpoint unreadable, starting cold: %v\n", err)
+		case ck != nil:
+			if err := rt.RestoreCheckpoint(ck); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: checkpoint rejected, starting cold: %v\n", err)
+			} else {
+				restored = true
+				fmt.Printf("stayawayd: restored checkpoint (%d periods of learning, %d states)\n",
+					ck.Periods, len(ck.Template.States))
+			}
+		}
 	}
 
 	// Fleet wiring: pull the consensus map before the first period; a cold
@@ -311,20 +423,27 @@ func run() error {
 			}
 		}
 		syncer = fleet.NewSyncer(client, host, *app)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		tpl, rev, err := syncer.Bootstrap(ctx)
-		cancel()
-		switch {
-		case err != nil:
-			fmt.Fprintf(os.Stderr, "stayawayd: registry bootstrap failed, starting cold: %v\n", err)
-		case tpl == nil:
-			fmt.Printf("stayawayd: registry has no template for %q yet, learning from scratch\n", *app)
-		default:
-			if err := rt.ImportTemplate(tpl); err != nil {
-				fmt.Fprintf(os.Stderr, "stayawayd: fleet template rejected, starting cold: %v\n", err)
-			} else {
-				fmt.Printf("stayawayd: bootstrapped %q from fleet revision %d (%d states)\n",
-					*app, rev, len(tpl.States))
+		if restored {
+			// The local checkpoint is this host's own learned map; adopting
+			// the fleet template would discard it. Keep the local state and
+			// let the periodic pushes reconcile with the registry.
+			fmt.Printf("stayawayd: checkpoint restored; skipping fleet bootstrap for %q\n", *app)
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			tpl, rev, err := syncer.Bootstrap(ctx)
+			cancel()
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "stayawayd: registry bootstrap failed, starting cold: %v\n", err)
+			case tpl == nil:
+				fmt.Printf("stayawayd: registry has no template for %q yet, learning from scratch\n", *app)
+			default:
+				if err := rt.ImportTemplate(tpl); err != nil {
+					fmt.Fprintf(os.Stderr, "stayawayd: fleet template rejected, starting cold: %v\n", err)
+				} else {
+					fmt.Printf("stayawayd: bootstrapped %q from fleet revision %d (%d states)\n",
+						*app, rev, len(tpl.States))
+				}
 			}
 		}
 	}
@@ -353,39 +472,99 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("stayawayd: monitoring %s every %v\n", watching, *period)
-loop:
-	for {
-		select {
-		case <-stop:
-			break loop
-		case <-ticker.C:
-			ev, err := rt.Period()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "stayawayd: period:", err)
-				continue
-			}
-			periods++
-			if ev.Violation {
-				violations++
-			}
-			if *verbose || ev.Violation || ev.Action != throttle.ActionNone {
-				fmt.Println(ev)
-			}
-			if syncer != nil && periods%*syncEvery == 0 {
-				sync(ev.Throttled)
-			}
-			if !env.BatchActive() && !env.SensitiveRunning() {
-				fmt.Println("stayawayd: all monitored workloads exited")
-				break loop
-			}
+	// The watchdog runs beside the loop: if periods stop completing (a
+	// hung cgroupfs read blocks the collector, say), it thaws everything
+	// from its own goroutine — the stalled loop cannot.
+	var wd *resilience.Watchdog
+	if *watchdogGrace > 0 {
+		wd, err = resilience.NewWatchdog(resilience.WatchdogConfig{
+			Period: *period,
+			Grace:  *watchdogGrace,
+			OnStall: func(since time.Duration) {
+				fmt.Fprintf(os.Stderr, "stayawayd: watchdog: no completed period for %v, thawing everything\n", since)
+				if err := release(); err != nil {
+					fmt.Fprintln(os.Stderr, "stayawayd: watchdog release:", err)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		wdCtx, wdCancel := context.WithCancel(context.Background())
+		defer wdCancel()
+		go wd.Run(wdCtx)
+	}
+
+	if *checkpointEvery <= 0 {
+		*checkpointEvery = 30
+	}
+	checkpoint := func() {
+		if checkpointPath == "" || rt.Space().Len() == 0 {
+			return
+		}
+		if err := resilience.SaveCheckpoint(checkpointPath, rt.Checkpoint()); err != nil {
+			fmt.Fprintln(os.Stderr, "stayawayd: checkpoint:", err)
 		}
 	}
 
-	// Never leave batch workloads throttled on exit.
+	fmt.Printf("stayawayd: monitoring %s every %v\n", watching, *period)
+	// The loop body runs under a recover barrier so that even a panic in
+	// the runtime falls through to the release below — a crashing daemon
+	// must never strand batch workloads frozen. (SIGKILL still can; that
+	// is what the ledger replay at next boot is for.)
+	loopErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("control loop panic: %v", r)
+			}
+		}()
+	loop:
+		for {
+			select {
+			case <-stop:
+				break loop
+			case <-ticker.C:
+				ev, err := rt.Period()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "stayawayd: period:", err)
+					continue
+				}
+				if wd != nil {
+					wd.Beat()
+				}
+				periods++
+				if ev.Violation {
+					violations++
+				}
+				if *verbose || ev.Violation || ev.Action != throttle.ActionNone {
+					fmt.Println(ev)
+				}
+				if syncer != nil && periods%*syncEvery == 0 {
+					sync(ev.Throttled)
+				}
+				if periods%*checkpointEvery == 0 {
+					checkpoint()
+				}
+				if !env.BatchActive() && !env.SensitiveRunning() {
+					fmt.Println("stayawayd: all monitored workloads exited")
+					break loop
+				}
+			}
+		}
+		return nil
+	}()
+
+	// Never leave batch workloads throttled on exit — including after a
+	// panic absorbed above.
 	if err := release(); err != nil {
 		fmt.Fprintln(os.Stderr, "stayawayd: final release:", err)
 	}
+	if loopErr != nil {
+		// No final checkpoint after a panic: mid-period invariants cannot
+		// be trusted, and a corrupt checkpoint is worse than a stale one.
+		return loopErr
+	}
+	checkpoint()
 	// Share the freshest map with the fleet before exiting.
 	if syncer != nil {
 		sync(false)

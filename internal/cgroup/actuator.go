@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math/rand"
 	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/throttle"
 )
@@ -34,6 +36,18 @@ type ActuatorConfig struct {
 	// Logf receives degradation notices ("cgroup x unwritable, falling
 	// back to SIGSTOP"); nil discards them.
 	Logf func(format string, args ...any)
+	// WriteRetries is how many times a failed control-file write is
+	// retried before degrading to SIGSTOP (transient EIO on cgroupfs is
+	// common under memory pressure). 0 uses the default of 2; negative
+	// disables retries.
+	WriteRetries int
+	// RetryBackoff is the base delay before the first retry; each
+	// subsequent retry doubles it, with up to 50% random jitter added so
+	// many throttled cgroups don't retry in lockstep. 0 uses 10ms.
+	RetryBackoff time.Duration
+	// Sleep replaces time.Sleep between retries (tests inject a recorder
+	// here to assert the backoff schedule without waiting it out).
+	Sleep func(time.Duration)
 }
 
 func (c *ActuatorConfig) applyDefaults() {
@@ -48,6 +62,18 @@ func (c *ActuatorConfig) applyDefaults() {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.WriteRetries == 0 {
+		c.WriteRetries = 2
+	}
+	if c.WriteRetries < 0 {
+		c.WriteRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
 	}
 }
 
@@ -65,6 +91,7 @@ func (c *ActuatorConfig) applyDefaults() {
 type Actuator struct {
 	fs  Cgroupfs
 	cfg ActuatorConfig
+	rng *rand.Rand // retry jitter; reproducible so tests can assert the schedule
 }
 
 var _ throttle.GradedActuator = (*Actuator)(nil)
@@ -75,7 +102,7 @@ func NewActuator(cfs Cgroupfs, cfg ActuatorConfig) (*Actuator, error) {
 		return nil, fmt.Errorf("cgroup: nil Cgroupfs")
 	}
 	cfg.applyDefaults()
-	return &Actuator{fs: cfs, cfg: cfg}, nil
+	return &Actuator{fs: cfs, cfg: cfg, rng: rand.New(rand.NewSource(1))}, nil
 }
 
 // Pause freezes every cgroup (cgroup.freeze = 1) and applies the
@@ -157,14 +184,34 @@ func (a *Actuator) Probe(id string) error {
 	return nil
 }
 
+// writeRetrying attempts one control-file write, retrying transient
+// failures with jittered exponential backoff. A vanished cgroup
+// (fs.ErrNotExist) is never retried — the workload is gone, not flaky.
+func (a *Actuator) writeRetrying(id, file, value string) error {
+	name := controlFile(id, file)
+	data := []byte(value + "\n")
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = a.fs.WriteFile(name, data)
+		if err == nil || errors.Is(err, fs.ErrNotExist) || attempt >= a.cfg.WriteRetries {
+			return err
+		}
+		delay := a.cfg.RetryBackoff << attempt
+		delay += time.Duration(a.rng.Int63n(int64(delay)/2 + 1))
+		a.cfg.Logf("cgroup: %s transient write error (%v), retry %d/%d in %v",
+			name, err, attempt+1, a.cfg.WriteRetries, delay)
+		a.cfg.Sleep(delay)
+	}
+}
+
 // write drives one control file, degrading to per-PID signalling on
-// non-vanished failures.
+// non-vanished failures that survive the retry budget.
 func (a *Actuator) write(id, file, value string, fallbackSig syscall.Signal) error {
 	if !a.fs.Exists(id) {
 		// Vanished cgroup: vacuous success.
 		return nil
 	}
-	err := a.fs.WriteFile(controlFile(id, file), []byte(value+"\n"))
+	err := a.writeRetrying(id, file, value)
 	if err == nil || errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
@@ -181,7 +228,7 @@ func (a *Actuator) writeBestEffort(id, file, value string) {
 	if !a.fs.Exists(id) {
 		return
 	}
-	if err := a.fs.WriteFile(controlFile(id, file), []byte(value+"\n")); err != nil &&
+	if err := a.writeRetrying(id, file, value); err != nil &&
 		!errors.Is(err, fs.ErrNotExist) {
 		a.cfg.Logf("cgroup: %s/%s unwritable (%v), ignoring", id, file, err)
 	}

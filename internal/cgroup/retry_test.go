@@ -1,0 +1,144 @@
+package cgroup
+
+import (
+	"io/fs"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyFS fails the first failN writes with failErr, then passes through.
+type flakyFS struct {
+	*FakeFS
+	failN   int
+	failErr error
+	writes  int
+}
+
+func (f *flakyFS) WriteFile(name string, data []byte) error {
+	f.writes++
+	if f.writes <= f.failN {
+		return &fs.PathError{Op: "write", Path: name, Err: f.failErr}
+	}
+	return f.FakeFS.WriteFile(name, data)
+}
+
+func newRetryActuator(t *testing.T, cfs Cgroupfs, retries int, sleeps *[]time.Duration, kills *int) *Actuator {
+	t.Helper()
+	act, err := NewActuator(cfs, ActuatorConfig{
+		MaxCPU:       4,
+		WriteRetries: retries,
+		RetryBackoff: 10 * time.Millisecond,
+		Sleep:        func(d time.Duration) { *sleeps = append(*sleeps, d) },
+		Kill:         func(int, syscall.Signal) error { *kills++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return act
+}
+
+func TestWriteRetriesTransientErrorThenSucceeds(t *testing.T) {
+	inner := NewFakeFS()
+	inner.AddCgroup("b1", 100)
+	flaky := &flakyFS{FakeFS: inner, failN: 2, failErr: syscall.EIO}
+	var sleeps []time.Duration
+	kills := 0
+	act := newRetryActuator(t, flaky, 3, &sleeps, &kills)
+
+	if err := act.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := inner.Contents("b1/cgroup.freeze"); c != "1\n" {
+		t.Errorf("freeze = %q; retried write never landed", c)
+	}
+	if kills != 0 {
+		t.Errorf("degraded to signals (%d kills) despite the retry succeeding", kills)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 (one per failed attempt)", sleeps)
+	}
+	// Jittered exponential backoff: attempt n waits in
+	// [base<<n, 1.5*base<<n].
+	base := 10 * time.Millisecond
+	for i, d := range sleeps {
+		lo := base << i
+		hi := lo + lo/2
+		if d < lo || d > hi {
+			t.Errorf("sleep %d = %v, want in [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestWriteRetriesExhaustedDegradesToSignals(t *testing.T) {
+	inner := NewFakeFS()
+	inner.AddCgroup("b1", 100)
+	flaky := &flakyFS{FakeFS: inner, failN: 1 << 30, failErr: syscall.EIO}
+	var sleeps []time.Duration
+	kills := 0
+	act := newRetryActuator(t, flaky, 2, &sleeps, &kills)
+
+	if err := act.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != 2 {
+		t.Errorf("sleeps = %v, want the full retry budget", sleeps)
+	}
+	if kills != 1 {
+		t.Errorf("kills = %d; persistent failure must degrade to SIGSTOP", kills)
+	}
+}
+
+func TestVanishedFileNotRetried(t *testing.T) {
+	inner := NewFakeFS()
+	inner.AddCgroup("b1", 100)
+	flaky := &flakyFS{FakeFS: inner, failN: 1 << 30, failErr: fs.ErrNotExist}
+	var sleeps []time.Duration
+	kills := 0
+	act := newRetryActuator(t, flaky, 3, &sleeps, &kills)
+
+	// A vanished control file is a finished workload, not a flaky write:
+	// vacuous success, no retries, no signals.
+	if err := act.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != 0 || kills != 0 {
+		t.Errorf("vanished file retried (%v) or signalled (%d)", sleeps, kills)
+	}
+}
+
+func TestNegativeWriteRetriesDisablesRetry(t *testing.T) {
+	inner := NewFakeFS()
+	inner.AddCgroup("b1", 100)
+	flaky := &flakyFS{FakeFS: inner, failN: 1 << 30, failErr: syscall.EIO}
+	var sleeps []time.Duration
+	kills := 0
+	act := newRetryActuator(t, flaky, -1, &sleeps, &kills)
+
+	if err := act.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != 0 {
+		t.Errorf("sleeps = %v with retries disabled", sleeps)
+	}
+	if kills != 1 {
+		t.Errorf("kills = %d, want immediate degradation", kills)
+	}
+}
+
+func TestBestEffortWritesAlsoRetry(t *testing.T) {
+	inner := NewFakeFS()
+	inner.AddCgroup("b1", 100)
+	flaky := &flakyFS{FakeFS: inner, failN: 1, failErr: syscall.EIO}
+	var sleeps []time.Duration
+	kills := 0
+	act := newRetryActuator(t, flaky, 2, &sleeps, &kills)
+
+	act.writeBestEffort("b1", "memory.high", "1024")
+	if c, _ := inner.Contents("b1/memory.high"); c != "1024\n" {
+		t.Errorf("memory.high = %q after transient failure", c)
+	}
+	if len(sleeps) != 1 {
+		t.Errorf("sleeps = %v, want 1", sleeps)
+	}
+}

@@ -1,0 +1,205 @@
+// Package chaos injects faults into the daemon's contact surfaces with
+// the kernel — cgroupfs reads/writes and usage sampling — so the failure
+// tests and the -chaos experiment can prove the resilience layer's
+// claims: transient EIO is retried, persistent failure degrades to
+// SIGSTOP, a hung read trips the watchdog, and none of it wedges the
+// control loop. Faults are scripted (deterministic sequences per path
+// pattern) or probabilistic (seeded, reproducible).
+package chaos
+
+import (
+	"io/fs"
+	"math/rand"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cgroup"
+)
+
+// FSConfig tunes an error-injecting cgroup filesystem.
+type FSConfig struct {
+	// WriteErrProb / ReadErrProb inject Err on that fraction of
+	// WriteFile / ReadFile calls (0 disables).
+	WriteErrProb float64
+	ReadErrProb  float64
+	// Err is the injected error; nil uses EIO, the classic transient
+	// cgroupfs failure.
+	Err error
+	// Seed drives the probabilistic injection, so chaos runs reproduce.
+	Seed int64
+	// ReadDelay, when positive, sleeps before every read — a slow
+	// cgroupfs. Sleep overrides the sleeper for tests; nil uses
+	// time.Sleep.
+	ReadDelay time.Duration
+	Sleep     func(time.Duration)
+}
+
+// FS wraps a cgroup.Cgroupfs with fault injection. Scripted faults
+// (FailWrites/FailReads) take precedence over probabilistic ones; a hung
+// path (HangReads) blocks the calling goroutine until released — the
+// stall the watchdog exists to catch. Safe for concurrent use.
+type FS struct {
+	inner cgroup.Cgroupfs
+	cfg   FSConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	failWrites  map[string]*scripted
+	failReads   map[string]*scripted
+	hung        chan struct{} // non-nil while reads should block
+	reads       int
+	writes      int
+	readErrs    int
+	writeErrs   int
+	hangedReads int
+}
+
+type scripted struct {
+	n   int // remaining injections; negative = forever
+	err error
+}
+
+var _ cgroup.Cgroupfs = (*FS)(nil)
+
+// NewFS wraps inner with fault injection.
+func NewFS(inner cgroup.Cgroupfs, cfg FSConfig) *FS {
+	if cfg.Err == nil {
+		cfg.Err = syscall.EIO
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &FS{
+		inner:      inner,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		failWrites: make(map[string]*scripted),
+		failReads:  make(map[string]*scripted),
+	}
+}
+
+// FailWrites scripts the next n writes to any path containing substr to
+// fail with err (nil = the configured Err). n < 0 fails forever.
+func (f *FS) FailWrites(substr string, n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = f.cfg.Err
+	}
+	f.failWrites[substr] = &scripted{n: n, err: err}
+}
+
+// FailReads scripts read failures like FailWrites.
+func (f *FS) FailReads(substr string, n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = f.cfg.Err
+	}
+	f.failReads[substr] = &scripted{n: n, err: err}
+}
+
+// HangReads makes every subsequent read block until ReleaseReads is
+// called — the hung-cgroupfs stall. Reads already in flight are
+// unaffected.
+func (f *FS) HangReads() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hung == nil {
+		f.hung = make(chan struct{})
+	}
+}
+
+// ReleaseReads unblocks all hung and future reads.
+func (f *FS) ReleaseReads() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hung != nil {
+		close(f.hung)
+		f.hung = nil
+	}
+}
+
+// Stats reports call and injected-failure counts:
+// reads/writes attempted, read/write errors injected, reads that hung.
+func (f *FS) Stats() (reads, writes, readErrs, writeErrs, hangedReads int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.writes, f.readErrs, f.writeErrs, f.hangedReads
+}
+
+// scriptedErr consumes one scripted failure matching name, if any.
+func scriptedErr(scripts map[string]*scripted, name string) error {
+	for substr, s := range scripts {
+		if !strings.Contains(name, substr) {
+			continue
+		}
+		if s.n == 0 {
+			delete(scripts, substr)
+			continue
+		}
+		if s.n > 0 {
+			s.n--
+		}
+		return s.err
+	}
+	return nil
+}
+
+func pathError(op, name string, err error) error {
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// ReadFile implements cgroup.Cgroupfs with injected delays, hangs and
+// errors.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	f.reads++
+	hung := f.hung
+	if hung != nil {
+		f.hangedReads++
+	}
+	err := scriptedErr(f.failReads, name)
+	if err == nil && f.cfg.ReadErrProb > 0 && f.rng.Float64() < f.cfg.ReadErrProb {
+		err = f.cfg.Err
+	}
+	if err != nil {
+		f.readErrs++
+	}
+	f.mu.Unlock()
+	if hung != nil {
+		<-hung
+	}
+	if f.cfg.ReadDelay > 0 {
+		f.cfg.Sleep(f.cfg.ReadDelay)
+	}
+	if err != nil {
+		return nil, pathError("read", name, err)
+	}
+	return f.inner.ReadFile(name)
+}
+
+// WriteFile implements cgroup.Cgroupfs with injected errors.
+func (f *FS) WriteFile(name string, data []byte) error {
+	f.mu.Lock()
+	f.writes++
+	err := scriptedErr(f.failWrites, name)
+	if err == nil && f.cfg.WriteErrProb > 0 && f.rng.Float64() < f.cfg.WriteErrProb {
+		err = f.cfg.Err
+	}
+	if err != nil {
+		f.writeErrs++
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return pathError("write", name, err)
+	}
+	return f.inner.WriteFile(name, data)
+}
+
+// Exists implements cgroup.Cgroupfs; existence checks are never faulted
+// (the actuator uses them to distinguish vanished cgroups from failures,
+// and lying there would convert every injected error into a silent skip).
+func (f *FS) Exists(name string) bool { return f.inner.Exists(name) }

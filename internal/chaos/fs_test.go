@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cgroup"
+)
+
+func newTestFS(cfg FSConfig) (*FS, *cgroup.FakeFS) {
+	inner := cgroup.NewFakeFS()
+	inner.AddCgroup("batch/b1", 100)
+	return NewFS(inner, cfg), inner
+}
+
+func TestScriptedWriteFailuresConsumeCount(t *testing.T) {
+	f, inner := newTestFS(FSConfig{})
+	f.FailWrites("cgroup.freeze", 2, nil)
+
+	for i := 0; i < 2; i++ {
+		err := f.WriteFile("batch/b1/cgroup.freeze", []byte("1\n"))
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("write %d err = %v, want EIO", i, err)
+		}
+	}
+	// Budget exhausted: writes pass through again.
+	if err := f.WriteFile("batch/b1/cgroup.freeze", []byte("1\n")); err != nil {
+		t.Fatalf("write after budget = %v", err)
+	}
+	if c, _ := inner.Contents("batch/b1/cgroup.freeze"); c != "1\n" {
+		t.Errorf("inner content = %q; failed writes must not reach the inner fs", c)
+	}
+	// Only the successful write reached the inner filesystem.
+	if got := len(inner.Writes()); got != 1 {
+		t.Errorf("inner writes = %d, want 1", got)
+	}
+}
+
+func TestScriptedForeverAndCustomError(t *testing.T) {
+	f, _ := newTestFS(FSConfig{})
+	f.FailReads("cpu.stat", -1, fs.ErrNotExist)
+	for i := 0; i < 5; i++ {
+		_, err := f.ReadFile("batch/b1/cpu.stat")
+		if !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("read %d err = %v, want ErrNotExist", i, err)
+		}
+	}
+}
+
+func TestProbabilisticInjectionIsSeededAndCounted(t *testing.T) {
+	run := func() (int, int) {
+		f, _ := newTestFS(FSConfig{WriteErrProb: 0.3, Seed: 7})
+		fails := 0
+		for i := 0; i < 200; i++ {
+			if err := f.WriteFile("batch/b1/cgroup.freeze", []byte("0\n")); err != nil {
+				fails++
+			}
+		}
+		_, writes, _, writeErrs, _ := f.Stats()
+		if writes != 200 || writeErrs != fails {
+			t.Fatalf("stats writes=%d errs=%d, observed fails=%d", writes, writeErrs, fails)
+		}
+		return fails, writes
+	}
+	f1, _ := run()
+	f2, _ := run()
+	if f1 != f2 {
+		t.Errorf("same seed produced %d then %d failures; chaos runs must reproduce", f1, f2)
+	}
+	if f1 < 30 || f1 > 90 {
+		t.Errorf("30%% injection produced %d/200 failures", f1)
+	}
+}
+
+func TestHangReadsBlocksUntilReleased(t *testing.T) {
+	f, _ := newTestFS(FSConfig{})
+	f.HangReads()
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := f.ReadFile("batch/b1/cpu.stat")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.ReleaseReads()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released read err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked after release")
+	}
+	wg.Wait()
+	// After release, new reads pass straight through.
+	if _, err := f.ReadFile("batch/b1/cpu.stat"); err != nil {
+		t.Fatalf("read after release = %v", err)
+	}
+}
+
+func TestReadDelayUsesInjectedSleeper(t *testing.T) {
+	var slept time.Duration
+	inner := cgroup.NewFakeFS()
+	inner.AddCgroup("batch/b1", 100)
+	f := NewFS(inner, FSConfig{
+		ReadDelay: 50 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept += d },
+	})
+	if _, err := f.ReadFile("batch/b1/cpu.stat"); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 50*time.Millisecond {
+		t.Errorf("slept %v, want 50ms", slept)
+	}
+}
+
+func TestExistsNeverFaulted(t *testing.T) {
+	f, _ := newTestFS(FSConfig{WriteErrProb: 1, ReadErrProb: 1, Seed: 1})
+	if !f.Exists("batch/b1") {
+		t.Error("existing cgroup reported missing")
+	}
+	if f.Exists("batch/ghost") {
+		t.Error("missing cgroup reported present")
+	}
+}

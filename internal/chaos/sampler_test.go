@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/procenv"
+)
+
+// staticSampler is a minimal procenv.Sampler for wrapping.
+type staticSampler struct{}
+
+func (staticSampler) Sample() []metrics.Sample {
+	return []metrics.Sample{metrics.NewSample("b1", map[metrics.Metric]float64{metrics.MetricCPU: 50})}
+}
+func (staticSampler) GroupRunning(string) bool { return true }
+func (staticSampler) GroupActive(string) bool  { return true }
+func (staticSampler) GroupNames() []string     { return []string{"b1"} }
+
+var _ procenv.Sampler = staticSampler{}
+
+func TestSamplerDropsAreSeededAndCounted(t *testing.T) {
+	run := func() int {
+		s := NewSampler(staticSampler{}, SamplerConfig{DropProb: 0.5, Seed: 3})
+		drops := 0
+		for i := 0; i < 100; i++ {
+			if s.Sample() == nil {
+				drops++
+			}
+		}
+		samples, counted := s.Stats()
+		if samples != 100 || counted != drops {
+			t.Fatalf("stats = (%d, %d), observed %d drops", samples, counted, drops)
+		}
+		return drops
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Errorf("same seed dropped %d then %d; chaos runs must reproduce", d1, d2)
+	}
+	if d1 < 25 || d1 > 75 {
+		t.Errorf("50%% drop rate produced %d/100", d1)
+	}
+}
+
+func TestSamplerHangAndRelease(t *testing.T) {
+	s := NewSampler(staticSampler{}, SamplerConfig{})
+	s.HangSamples()
+	done := make(chan []metrics.Sample, 1)
+	go func() { done <- s.Sample() }()
+	select {
+	case <-done:
+		t.Fatal("hung sample returned early")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.ReleaseSamples()
+	select {
+	case got := <-done:
+		if len(got) != 1 {
+			t.Errorf("released sample = %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sample still blocked after release")
+	}
+}
+
+func TestSamplerDelayAndPassthrough(t *testing.T) {
+	var slept time.Duration
+	s := NewSampler(staticSampler{}, SamplerConfig{
+		SampleDelay: 10 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept += d },
+	})
+	if got := s.Sample(); len(got) != 1 {
+		t.Errorf("sample = %v", got)
+	}
+	if slept != 10*time.Millisecond {
+		t.Errorf("slept %v", slept)
+	}
+	// Liveness checks are never faulted.
+	if !s.GroupRunning("b1") || !s.GroupActive("b1") || len(s.GroupNames()) != 1 {
+		t.Error("liveness passthrough broken")
+	}
+}

@@ -72,6 +72,15 @@ type Config struct {
 	// exposed for the aggregation ablation.
 	DisableBatchAggregation bool
 
+	// QoSStaleAfter treats the application's QoS signal as stale — not
+	// safe — once this many consecutive periods pass without a fresh
+	// report (the environment must implement QoSFreshness for silence to
+	// be observable). While stale, newly created states are marked
+	// unverified so they cannot act as safe-state anchors, and the
+	// condition is surfaced in Event.QoSStale / Report.QoSStalePeriods.
+	// 0 defaults to 5; negative disables staleness tracking.
+	QoSStaleAfter int
+
 	// SingleModel collapses the per-mode trajectory models into one — the
 	// configuration the paper shows is inaccurate; exposed for the
 	// ablation experiments.
@@ -129,6 +138,9 @@ func (c *Config) applyDefaults() {
 	if c.Throttle == (throttle.Config{}) {
 		c.Throttle = throttle.DefaultConfig()
 	}
+	if c.QoSStaleAfter == 0 {
+		c.QoSStaleAfter = 5
+	}
 }
 
 func (c *Config) validate() error {
@@ -171,4 +183,16 @@ type Environment interface {
 	// BatchActive reports whether any batch application still has work
 	// (running or frozen).
 	BatchActive() bool
+}
+
+// QoSFreshness is an optional Environment extension distinguishing "no
+// violation" from "no report": QoSViolation returning false may mean the
+// application is healthy — or that its reporting channel went silent
+// (crashed reporter, deleted report file, wedged pipe). Environments that
+// can tell the difference implement QoSFresh; the runtime then treats
+// prolonged silence as stale rather than safe (Config.QoSStaleAfter).
+type QoSFreshness interface {
+	// QoSFresh reports whether the most recent period had a usable QoS
+	// report from the sensitive application.
+	QoSFresh() bool
 }

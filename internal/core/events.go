@@ -23,6 +23,10 @@ type Event struct {
 	Coord mds.Coord
 	// Violation marks an application-reported QoS violation.
 	Violation bool
+	// QoSStale marks periods where the application's QoS signal has been
+	// silent for at least Config.QoSStaleAfter periods — "no violation"
+	// then means "no evidence", not "safe".
+	QoSStale bool
 	// Predicted marks a predicted transition toward a violation.
 	Predicted bool
 	// Severity is the trajectory vote's violation proximity in [0,1]
@@ -56,6 +60,9 @@ func (e Event) String() string {
 	if e.Throttled {
 		flags += "T"
 	}
+	if e.QoSStale {
+		flags += "S"
+	}
 	if flags == "" {
 		flags = "-"
 	}
@@ -78,6 +85,12 @@ type Report struct {
 	Resumes       int
 	RandomResumes int
 	Limits        int
+	// QoSStalePeriods counts periods spent with a stale QoS signal (no
+	// fresh application report for Config.QoSStaleAfter periods or more).
+	QoSStalePeriods int
+	// UnverifiedStates counts states first observed under a stale QoS
+	// signal and never yet verified by a fresh-signal revisit.
+	UnverifiedStates int
 	// States and ViolationStates describe the learned space.
 	States          int
 	ViolationStates int
@@ -96,9 +109,9 @@ type Report struct {
 func (r Report) String() string {
 	return fmt.Sprintf(
 		"periods=%d violations=%d predicted=%d pauses=%d limits=%d resumes=%d (random=%d)\n"+
-			"states=%d (violation=%d) refreshes=%d stress=%.4f\n"+
+			"states=%d (violation=%d, unverified=%d) refreshes=%d stress=%.4f qos_stale=%d\n"+
 			"prediction: accuracy=%.3f precision=%.3f recall=%.3f",
 		r.Periods, r.Violations, r.PredictedViolations, r.Pauses, r.Limits, r.Resumes, r.RandomResumes,
-		r.States, r.ViolationStates, r.Refreshes, r.LastStress,
+		r.States, r.ViolationStates, r.UnverifiedStates, r.Refreshes, r.LastStress, r.QoSStalePeriods,
 		r.Accuracy, r.Precision, r.Recall)
 }

@@ -34,6 +34,9 @@ type Runtime struct {
 	havePrev         bool
 	prevCoord        mds.Coord
 	prevMode         trajectory.Mode
+	// qosSilent counts consecutive periods without a fresh QoS report;
+	// at Config.QoSStaleAfter the signal is considered stale.
+	qosSilent int
 
 	events  []Event
 	report  Report
@@ -153,6 +156,36 @@ func (r *Runtime) Period() (Event, error) {
 			return ev, err
 		}
 		r.report.Violations++
+	}
+
+	// QoS-signal staleness: silence is not safety. When the application
+	// stops reporting, the absence of violations proves nothing, so new
+	// states created during the silent stretch must not become safe-state
+	// anchors (they would shrink the violation-ranges around real
+	// violation-states).
+	fresh := true
+	if f, ok := r.env.(QoSFreshness); ok && r.cfg.QoSStaleAfter > 0 {
+		fresh = f.QoSFresh() || violation
+	}
+	if fresh {
+		r.qosSilent = 0
+	} else {
+		r.qosSilent++
+	}
+	stale := r.cfg.QoSStaleAfter > 0 && r.qosSilent >= r.cfg.QoSStaleAfter
+	ev.QoSStale = stale
+	if stale {
+		r.report.QoSStalePeriods++
+		if created {
+			if err := r.space.MarkUnverified(stateID); err != nil {
+				return ev, err
+			}
+		}
+	} else if !created && !violation && fresh {
+		// A fresh-signal revisit without a violation verifies the state.
+		if err := r.space.ClearUnverified(stateID); err != nil {
+			return ev, err
+		}
 	}
 
 	// ---- Execution mode & trajectory learning (§3.2.3) ----
@@ -348,6 +381,7 @@ func (r *Runtime) Report() Report {
 	rep := r.report
 	rep.States = r.space.Len()
 	rep.ViolationStates = len(r.space.ViolationIDs())
+	rep.UnverifiedStates = len(r.space.UnverifiedIDs())
 	rep.Accuracy = r.tracker.Accuracy()
 	rep.Precision = r.tracker.Precision()
 	rep.Recall = r.tracker.Recall()

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/statespace"
 )
 
@@ -39,16 +40,39 @@ type Server struct {
 	// SyncEvery is the push cadence in periods; defaults to 30 when a
 	// Sink is set.
 	SyncEvery int
+	// FailSafe, when non-nil, replaces the default emergency release run
+	// when the loop exits for ANY reason — context cancellation, tick
+	// channel closure, a fatal period error, or a panic in the runtime.
+	// The default releases every throttle (Runtime.Release), so a dying
+	// control loop can never leave batch cgroups frozen. It runs in the
+	// loop goroutine before Wait unblocks (set before Start).
+	FailSafe func() error
+	// Watchdog, when non-nil, is beaten once per completed period and run
+	// (Run) alongside the loop, detecting stalls the loop itself cannot
+	// observe — e.g. the collector blocked on a hung cgroupfs read (set
+	// before Start).
+	Watchdog *resilience.Watchdog
+	// CheckpointPath, when non-empty, makes the loop write an atomic
+	// learned-state checkpoint (Runtime.Checkpoint) every CheckpointEvery
+	// periods and once more on exit. CheckpointEvery defaults to 30.
+	// Write failures are recorded (Health) and never stop the loop.
+	CheckpointPath  string
+	CheckpointEvery int
 
-	mu        sync.Mutex
-	started   bool
-	stopped   chan struct{}
-	lastEv    Event
-	lastErr   error
-	periods   int
-	syncs     int
-	syncFails int
-	syncErr   error
+	mu          sync.Mutex
+	started     bool
+	stopped     chan struct{}
+	lastEv      Event
+	lastErr     error
+	periods     int
+	syncs       int
+	syncFails   int
+	syncErr     error
+	panicked    bool
+	failSafeRan bool
+	failSafeErr error
+	checkpoints int
+	ckErr       error
 }
 
 // NewServer wraps a runtime. The runtime must not be driven by anyone else
@@ -81,6 +105,12 @@ func (s *Server) Start(ctx context.Context, ticks <-chan time.Time) error {
 	if s.Sink != nil && s.SyncEvery <= 0 {
 		s.SyncEvery = 30
 	}
+	if s.CheckpointPath != "" && s.CheckpointEvery <= 0 {
+		s.CheckpointEvery = 30
+	}
+	if s.Watchdog != nil {
+		go s.Watchdog.Run(ctx)
+	}
 	go s.loop(ctx, ticks)
 	return nil
 }
@@ -98,7 +128,23 @@ func (s *Server) Bootstrap(t *statespace.Template) error {
 }
 
 func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
+	// The exit path runs strictly before Wait unblocks, in this order:
+	// absorb a runtime panic (recording it as the last error), run the
+	// emergency fail-safe so no batch workload outlives the loop frozen,
+	// write a final checkpoint, then release waiters. The fail-safe runs
+	// on EVERY exit — cancellation, tick closure, fatal error, panic —
+	// because each of them would otherwise strand the actuator state.
 	defer close(s.stopped)
+	defer s.finalCheckpoint()
+	defer s.runFailSafe()
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.panicked = true
+			s.lastErr = fmt.Errorf("core: control loop panic: %v", r)
+			s.mu.Unlock()
+		}
+	}()
 	// Sink and SyncEvery are fixed at Start (documented), so the loop may
 	// read them without the mutex.
 	sink, syncEvery := s.Sink, s.SyncEvery
@@ -117,6 +163,9 @@ func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 				return
 			}
 			ev, err := s.rt.Period()
+			if s.Watchdog != nil {
+				s.Watchdog.Beat()
+			}
 			s.mu.Lock()
 			if err != nil {
 				s.lastErr = err
@@ -139,8 +188,58 @@ func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 			if sink != nil && periods%syncEvery == 0 {
 				s.pushTemplate(sink)
 			}
+			if s.CheckpointPath != "" && periods%s.CheckpointEvery == 0 {
+				s.writeCheckpoint()
+			}
 		}
 	}
+}
+
+// runFailSafe executes the emergency release exactly once, from the loop
+// goroutine's exit path.
+func (s *Server) runFailSafe() {
+	fs := s.FailSafe
+	if fs == nil {
+		fs = s.rt.Release
+	}
+	err := fs()
+	s.mu.Lock()
+	s.failSafeRan = true
+	s.failSafeErr = err
+	s.mu.Unlock()
+}
+
+// writeCheckpoint snapshots the runtime's learned state to disk
+// atomically, recording the outcome. Called from the loop goroutine only.
+func (s *Server) writeCheckpoint() {
+	if s.rt.Space().Len() == 0 {
+		return
+	}
+	err := resilience.SaveCheckpoint(s.CheckpointPath, s.rt.Checkpoint())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.ckErr = err
+		return
+	}
+	s.checkpoints++
+	s.ckErr = nil
+}
+
+// finalCheckpoint preserves the freshest learned state on exit. It is
+// skipped after a panic: the runtime's invariants cannot be trusted
+// mid-period, and a checkpoint of corrupt state is worse than an old one.
+func (s *Server) finalCheckpoint() {
+	if s.CheckpointPath == "" {
+		return
+	}
+	s.mu.Lock()
+	panicked := s.panicked
+	s.mu.Unlock()
+	if panicked {
+		return
+	}
+	s.writeCheckpoint()
 }
 
 // pushTemplate exports the current map into the sink from the loop
@@ -189,6 +288,49 @@ func (s *Server) Snapshot() (last Event, periods int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastEv, s.periods, s.lastErr
+}
+
+// Health describes the server's failure-handling state, for operators and
+// the daemon's status surface.
+type Health struct {
+	// Panicked reports whether the control loop died to a runtime panic
+	// (absorbed; the fail-safe still ran).
+	Panicked bool
+	// FailSafeRan reports whether the emergency release has executed, and
+	// FailSafeErr its outcome (nil = everything thawed).
+	FailSafeRan bool
+	FailSafeErr error
+	// WatchdogStalled / WatchdogStalls report loop-liveness: an ongoing
+	// stall, and how many stall episodes have fired the watchdog action.
+	WatchdogStalled bool
+	WatchdogStalls  int
+	// QoSStale mirrors the most recent event's staleness condition: the
+	// sensitive application's QoS signal has gone silent.
+	QoSStale bool
+	// Checkpoints counts successful learned-state snapshots;
+	// CheckpointErr is the most recent write failure (nil after success).
+	Checkpoints   int
+	CheckpointErr error
+}
+
+// Health returns the server's failure-handling status, race-free.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	h := Health{
+		Panicked:      s.panicked,
+		FailSafeRan:   s.failSafeRan,
+		FailSafeErr:   s.failSafeErr,
+		QoSStale:      s.lastEv.QoSStale,
+		Checkpoints:   s.checkpoints,
+		CheckpointErr: s.ckErr,
+	}
+	s.mu.Unlock()
+	if s.Watchdog != nil {
+		stalled, stalls, _, _ := s.Watchdog.Status()
+		h.WatchdogStalled = stalled
+		h.WatchdogStalls = stalls
+	}
+	return h
 }
 
 // Report returns the runtime's aggregate report. It must only be called

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cgroup"
+	"repro/internal/chaos"
+	"repro/internal/resilience"
+)
+
+// ChaosResult carries the fault-injection suite's outcome.
+type ChaosResult struct {
+	// Writes / InjectedErrs count control-file writes attempted against
+	// the faulty cgroupfs and how many were failed by injection.
+	Writes       int
+	InjectedErrs int
+	// Retries / RetrySleep describe the backoff behaviour: retry sleeps
+	// taken and their simulated total.
+	Retries    int
+	RetrySleep time.Duration
+	// ActuationErrs counts actuation calls that returned an error despite
+	// retry and degradation (must be 0 — the layers absorb a 10% EIO
+	// rate completely).
+	ActuationErrs int
+	// FrozenAfterRelease counts cgroups still frozen after the final
+	// thaw-all (must be 0 — the fail-safe invariant).
+	FrozenAfterRelease int
+	// Sigstops / Sigconts count the degradation path's signals under a
+	// persistently unwritable cgroupfs.
+	Sigstops int
+	Sigconts int
+	// WatchdogFired counts stall episodes in the forced-stall segment
+	// (must be exactly 1: fires once, does not re-fire, re-arms on beat).
+	WatchdogFired int
+}
+
+// Chaos runs the fault-injection suite: a graded actuation storm against
+// a cgroupfs failing 10% of writes with EIO (proving jittered
+// retry-with-backoff absorbs transient faults and a final thaw-all still
+// leaves nothing frozen), a persistently unwritable cgroup (proving
+// degradation to SIGSTOP/SIGCONT keeps actuating), and a forced control-
+// loop stall (proving the watchdog fires its fail-safe exactly once per
+// episode). It returns an error when any invariant fails, so `-chaos`
+// doubles as a CI smoke gate.
+func Chaos(seed int64) (*Figure, error) {
+	var r ChaosResult
+
+	// Segment 1: actuation storm under 10% transient EIO.
+	ids := []string{"batch/cg0", "batch/cg1", "batch/cg2", "batch/cg3"}
+	fake := cgroup.NewFakeFS()
+	for i, id := range ids {
+		fake.AddCgroup(id, 1000+i)
+	}
+	cfs := chaos.NewFS(fake, chaos.FSConfig{WriteErrProb: 0.10, Seed: seed})
+	act, err := cgroup.NewActuator(cfs, cgroup.ActuatorConfig{
+		MaxCPU:       4,
+		WriteRetries: 4,
+		Kill:         func(int, syscall.Signal) error { return nil },
+		Sleep: func(d time.Duration) {
+			r.Retries++
+			r.RetrySleep += d
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	levels := []float64{0.25, 0.5, 0.75}
+	for round := 0; round < 200; round++ {
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			err = act.Pause(ids)
+		case 1:
+			err = act.Resume(ids)
+		default:
+			err = act.SetLevel(ids, levels[rng.Intn(len(levels))])
+		}
+		if err != nil {
+			r.ActuationErrs++
+		}
+	}
+	// The fail-safe path: thaw-all must leave nothing frozen even on a
+	// still-faulty filesystem.
+	if err := act.Resume(ids); err != nil {
+		r.ActuationErrs++
+	}
+	if err := act.SetLevel(ids, 1); err != nil {
+		r.ActuationErrs++
+	}
+	for _, id := range ids {
+		if c, ok := fake.Contents(id + "/cgroup.freeze"); !ok || strings.TrimSpace(c) != "0" {
+			r.FrozenAfterRelease++
+		}
+	}
+	_, writes, _, writeErrs, _ := cfs.Stats()
+	r.Writes = writes
+	r.InjectedErrs = writeErrs
+
+	// Segment 2: persistently unwritable cgroup — degradation to signals.
+	fake2 := cgroup.NewFakeFS()
+	fake2.AddCgroup("batch/stuck", 4242)
+	cfs2 := chaos.NewFS(fake2, chaos.FSConfig{Seed: seed})
+	cfs2.FailWrites("batch/stuck", -1, nil)
+	act2, err := cgroup.NewActuator(cfs2, cgroup.ActuatorConfig{
+		MaxCPU:       4,
+		WriteRetries: 1,
+		Sleep:        func(time.Duration) {},
+		Kill: func(pid int, sig syscall.Signal) error {
+			switch sig {
+			case syscall.SIGSTOP:
+				r.Sigstops++
+			case syscall.SIGCONT:
+				r.Sigconts++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := act2.Pause([]string{"batch/stuck"}); err != nil {
+		r.ActuationErrs++
+	}
+	if err := act2.Resume([]string{"batch/stuck"}); err != nil {
+		r.ActuationErrs++
+	}
+
+	// Segment 3: forced control-loop stall — the watchdog must fire its
+	// fail-safe exactly once, stay quiet while the stall persists, and
+	// re-arm on the next beat.
+	now := time.Unix(0, 0)
+	wd, err := resilience.NewWatchdog(resilience.WatchdogConfig{
+		Period:  time.Second,
+		Grace:   3,
+		OnStall: func(time.Duration) { r.WatchdogFired++ },
+		Now:     func() time.Time { return now },
+	})
+	if err != nil {
+		return nil, err
+	}
+	wd.Beat()
+	now = now.Add(2 * time.Second)
+	wd.Check() // within grace: no fire
+	now = now.Add(5 * time.Second)
+	wd.Check() // past grace: fires
+	wd.Check() // same episode: must not re-fire
+	wd.Beat()  // loop recovers: re-arms
+	now = now.Add(10 * time.Second)
+	wd.Check() // second episode would fire again; leave it counted
+
+	var problems []string
+	if r.InjectedErrs == 0 {
+		problems = append(problems, "no write errors injected (probabilistic injection broken)")
+	}
+	if r.Retries == 0 {
+		problems = append(problems, "no retries observed under 10% EIO")
+	}
+	if r.ActuationErrs != 0 {
+		problems = append(problems, fmt.Sprintf("%d actuation calls failed despite retry+degradation", r.ActuationErrs))
+	}
+	if r.FrozenAfterRelease != 0 {
+		problems = append(problems, fmt.Sprintf("%d cgroups frozen after thaw-all", r.FrozenAfterRelease))
+	}
+	if r.Sigstops == 0 || r.Sigconts == 0 {
+		problems = append(problems, "SIGSTOP/SIGCONT degradation did not engage on unwritable cgroup")
+	}
+	if r.WatchdogFired != 2 {
+		problems = append(problems, fmt.Sprintf("watchdog fired %d times, want 2 (once per episode)", r.WatchdogFired))
+	}
+	if len(problems) > 0 {
+		return nil, fmt.Errorf("chaos suite failed: %s", strings.Join(problems, "; "))
+	}
+
+	var b strings.Builder
+	b.WriteString("Chaos suite — fault injection against the actuation and liveness layers\n\n")
+	fmt.Fprintf(&b, "  EIO storm: %d writes, %d injected errors (%.1f%%), %d retries (backoff total %v)\n",
+		r.Writes, r.InjectedErrs, 100*float64(r.InjectedErrs)/float64(max(r.Writes, 1)), r.Retries, r.RetrySleep)
+	fmt.Fprintf(&b, "  actuation errors surfaced: %d; cgroups frozen after thaw-all: %d\n",
+		r.ActuationErrs, r.FrozenAfterRelease)
+	fmt.Fprintf(&b, "  unwritable cgroup degradation: %d SIGSTOP, %d SIGCONT\n", r.Sigstops, r.Sigconts)
+	fmt.Fprintf(&b, "  forced stall: watchdog fired %d episodes (once each, re-armed by beat)\n", r.WatchdogFired)
+	b.WriteString("\nall invariants held: transient EIO absorbed, thaw-all clean, degradation engaged, watchdog live\n")
+	return &Figure{
+		ID:    "chaos",
+		Title: "Fault-injection suite",
+		Text:  b.String(),
+		Summary: map[string]float64{
+			"writes":               float64(r.Writes),
+			"injected_errs":        float64(r.InjectedErrs),
+			"retries":              float64(r.Retries),
+			"actuation_errs":       float64(r.ActuationErrs),
+			"frozen_after_release": float64(r.FrozenAfterRelease),
+			"sigstops":             float64(r.Sigstops),
+			"sigconts":             float64(r.Sigconts),
+			"watchdog_fired":       float64(r.WatchdogFired),
+		},
+	}, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestChaosSuiteInvariantsHold(t *testing.T) {
+	fig, err := Chaos(42)
+	if err != nil {
+		t.Fatalf("chaos suite: %v", err)
+	}
+	if fig == nil || fig.ID != "chaos" {
+		t.Fatalf("figure = %+v", fig)
+	}
+	// The suite only means something if faults actually fired; the
+	// invariants themselves (0 surfaced errors, 0 frozen, watchdog == 2)
+	// are enforced inside Chaos, which would have returned an error.
+	for _, key := range []string{"injected_errs", "retries", "sigstops", "sigconts"} {
+		if fig.Summary[key] == 0 {
+			t.Errorf("%s = 0; that fault path never exercised", key)
+		}
+	}
+	if fig.Summary["actuation_errs"] != 0 || fig.Summary["frozen_after_release"] != 0 {
+		t.Errorf("invariant counters nonzero: %+v", fig.Summary)
+	}
+	if fig.Summary["watchdog_fired"] != 2 {
+		t.Errorf("watchdog fired %v episodes, want 2", fig.Summary["watchdog_fired"])
+	}
+}
+
+func TestChaosSuiteIsSeedReproducible(t *testing.T) {
+	f1, err := Chaos(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Chaos(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"writes", "injected_errs", "retries"} {
+		if f1.Summary[key] != f2.Summary[key] {
+			t.Errorf("same seed diverged on %s: %v vs %v", key, f1.Summary[key], f2.Summary[key])
+		}
+	}
+}

@@ -77,15 +77,24 @@ type Sampler interface {
 var _ Sampler = (*Collector)(nil)
 
 // Environment adapts a Sampler plus a QoSSource to core.Environment for
-// real processes or cgroups.
+// real processes or cgroups. It also implements core.QoSFreshness: a
+// missing or unparsable QoS report is remembered as silence, so the
+// runtime can treat a prolonged quiet stretch as a stale signal rather
+// than a healthy application.
 type Environment struct {
 	collector Sampler
 	sensitive string
 	batch     []string
 	qos       QoSSource
+	// qosFresh records whether the most recent QoSViolation call saw a
+	// usable report. It starts true (no evidence of silence yet).
+	qosFresh bool
 }
 
-var _ core.Environment = (*Environment)(nil)
+var (
+	_ core.Environment  = (*Environment)(nil)
+	_ core.QoSFreshness = (*Environment)(nil)
+)
 
 // NewEnvironment builds an environment over the sampler's groups. The
 // sensitive name must match one group; batch names must match the rest.
@@ -113,6 +122,7 @@ func NewEnvironment(c Sampler, sensitiveGroup string, batchGroups []string, qos 
 		sensitive: sensitiveGroup,
 		batch:     append([]string(nil), batchGroups...),
 		qos:       qos,
+		qosFresh:  true,
 	}, nil
 }
 
@@ -122,11 +132,19 @@ func (e *Environment) Collect() []metrics.Sample { return e.collector.Sample() }
 // QoSViolation implements core.Environment.
 func (e *Environment) QoSViolation() bool {
 	if !e.SensitiveRunning() {
+		// No sensitive application means no reports are expected; that is
+		// not the reporting channel going silent.
+		e.qosFresh = true
 		return false
 	}
 	v, t, ok := e.qos.QoS()
+	e.qosFresh = ok
 	return ok && v < t
 }
+
+// QoSFresh implements core.QoSFreshness: whether the most recent period
+// had a usable QoS report.
+func (e *Environment) QoSFresh() bool { return e.qosFresh }
 
 // SensitiveRunning implements core.Environment.
 func (e *Environment) SensitiveRunning() bool {

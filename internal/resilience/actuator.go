@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"fmt"
+
+	"repro/internal/throttle"
+)
+
+// LedgeredActuator wraps a throttle actuator with write-ahead ledger
+// records: restrictive actuations (freeze, quota below 1) are recorded
+// before being applied, releases are recorded only after they succeed.
+// After a crash at any instruction boundary the ledger therefore holds an
+// upper bound on the throttling still in force, and replaying it (Recover)
+// can only over-thaw — never leave a target starved.
+//
+// A ledger write failure fails the actuation: actuating without a durable
+// record would reopen the crash-starvation hole the ledger exists to
+// close. The inner actuator's own degradation paths (SIGSTOP fallback,
+// vanished cgroups) are unaffected.
+type LedgeredActuator struct {
+	inner  throttle.Actuator
+	graded throttle.GradedActuator // non-nil when inner implements it
+	ledger *Ledger
+}
+
+var _ throttle.GradedActuator = (*LedgeredActuator)(nil)
+
+// NewLedgeredActuator wraps inner so every actuation is recorded in l.
+func NewLedgeredActuator(inner throttle.Actuator, l *Ledger) (*LedgeredActuator, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("resilience: nil inner actuator")
+	}
+	if l == nil {
+		return nil, fmt.Errorf("resilience: nil ledger")
+	}
+	la := &LedgeredActuator{inner: inner, ledger: l}
+	if g, ok := inner.(throttle.GradedActuator); ok {
+		la.graded = g
+	}
+	return la, nil
+}
+
+// Pause records the freeze intent, then freezes.
+func (a *LedgeredActuator) Pause(ids []string) error {
+	if err := a.ledger.RecordFreeze(ids); err != nil {
+		return fmt.Errorf("resilience: ledger freeze record: %w", err)
+	}
+	return a.inner.Pause(ids)
+}
+
+// Resume thaws, then clears the record. A crash in between leaves a stale
+// "frozen" entry whose replay re-thaws an already-thawed target —
+// harmless.
+func (a *LedgeredActuator) Resume(ids []string) error {
+	if err := a.inner.Resume(ids); err != nil {
+		return err
+	}
+	if err := a.ledger.RecordThaw(ids); err != nil {
+		return fmt.Errorf("resilience: ledger thaw record: %w", err)
+	}
+	return nil
+}
+
+// SetLevel orders the record and the actuation by restrictiveness:
+// tightening is recorded first, loosening is recorded after it succeeded.
+func (a *LedgeredActuator) SetLevel(ids []string, level float64) error {
+	if a.graded == nil {
+		return fmt.Errorf("resilience: inner actuator %T is not graded", a.inner)
+	}
+	if level < 1 {
+		if err := a.ledger.RecordLevel(ids, level); err != nil {
+			return fmt.Errorf("resilience: ledger level record: %w", err)
+		}
+		return a.graded.SetLevel(ids, level)
+	}
+	if err := a.graded.SetLevel(ids, level); err != nil {
+		return err
+	}
+	if err := a.ledger.RecordLevel(ids, level); err != nil {
+		return fmt.Errorf("resilience: ledger level record: %w", err)
+	}
+	return nil
+}
+
+// Recover replays the ledger against the actuator and fails safe: every
+// target with an outstanding restriction — plus every configured target
+// in extraIDs, covering corrupt or missing ledgers — is resumed and, when
+// the actuator is graded, has its CPU quota removed. On success the
+// ledger is reset. This is what a restarted daemon (and `stayawayd
+// -recover-only`) runs before its first control period.
+//
+// Thawing a target that was never throttled is deliberate: resume and
+// quota-clear are idempotent, and over-thawing is the safe failure
+// direction (the controller re-throttles within one period if needed,
+// whereas a missed thaw starves the batch workload forever).
+func Recover(l *Ledger, act throttle.Actuator, extraIDs []string) ([]string, error) {
+	if l == nil {
+		return nil, fmt.Errorf("resilience: nil ledger")
+	}
+	if act == nil {
+		return nil, fmt.Errorf("resilience: nil actuator")
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, e := range l.Outstanding() {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range extraIDs {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, l.Reset()
+	}
+	if err := act.Resume(ids); err != nil {
+		return ids, fmt.Errorf("resilience: recovery thaw: %w", err)
+	}
+	if g, ok := act.(throttle.GradedActuator); ok {
+		if err := g.SetLevel(ids, 1); err != nil {
+			return ids, fmt.Errorf("resilience: recovery quota clear: %w", err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		return ids, err
+	}
+	return ids, nil
+}

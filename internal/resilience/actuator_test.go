@@ -1,0 +1,229 @@
+package resilience
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/throttle"
+)
+
+// gradedFunc lets a test observe the ledger's state at the exact moment
+// the inner actuator runs — the write-ahead ordering under test.
+type gradedFunc struct {
+	pause    func(ids []string) error
+	resume   func(ids []string) error
+	setLevel func(ids []string, level float64) error
+}
+
+func (g gradedFunc) Pause(ids []string) error { return g.pause(ids) }
+func (g gradedFunc) Resume(ids []string) error {
+	if g.resume == nil {
+		return nil
+	}
+	return g.resume(ids)
+}
+func (g gradedFunc) SetLevel(ids []string, level float64) error { return g.setLevel(ids, level) }
+
+func TestLedgeredPauseRecordsBeforeActuating(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	var sawDuringPause []LedgerEntry
+	inner := gradedFunc{
+		pause: func(ids []string) error {
+			sawDuringPause = l.Outstanding()
+			return nil
+		},
+		setLevel: func([]string, float64) error { return nil },
+	}
+	la, err := NewLedgeredActuator(inner, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Pause([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	// The freeze must already be durable when the actuation runs: a crash
+	// inside Pause leaves the entry for recovery to replay.
+	if len(sawDuringPause) != 1 || !sawDuringPause[0].Frozen {
+		t.Errorf("ledger during pause = %+v, want frozen entry", sawDuringPause)
+	}
+}
+
+func TestLedgeredResumeClearsAfterActuating(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	var sawDuringResume []LedgerEntry
+	inner := gradedFunc{
+		pause: func([]string) error { return nil },
+		resume: func(ids []string) error {
+			sawDuringResume = l.Outstanding()
+			return nil
+		},
+		setLevel: func([]string, float64) error { return nil },
+	}
+	la, _ := NewLedgeredActuator(inner, l)
+	if err := la.Pause([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Resume([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	// The record must still be present while the thaw runs — it is only
+	// cleared after the thaw succeeded. A crash inside Resume re-thaws at
+	// boot, which is harmless; the reverse order would strand a freeze.
+	if len(sawDuringResume) != 1 {
+		t.Errorf("ledger during resume = %+v, want the frozen entry still present", sawDuringResume)
+	}
+	if out := l.Outstanding(); len(out) != 0 {
+		t.Errorf("ledger after resume = %+v, want empty", out)
+	}
+}
+
+func TestLedgeredResumeFailureKeepsRecord(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	boom := errors.New("freezer jammed")
+	inner := gradedFunc{
+		pause:    func([]string) error { return nil },
+		resume:   func([]string) error { return boom },
+		setLevel: func([]string, float64) error { return nil },
+	}
+	la, _ := NewLedgeredActuator(inner, l)
+	if err := la.Pause([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Resume([]string{"a"}); !errors.Is(err, boom) {
+		t.Fatalf("resume err = %v, want %v", err, boom)
+	}
+	if out := l.Outstanding(); len(out) != 1 {
+		t.Errorf("failed resume must keep the freeze record, got %v", out)
+	}
+}
+
+func TestLedgeredSetLevelOrdering(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	var duringTighten, duringLoosen []LedgerEntry
+	inner := gradedFunc{
+		pause: func([]string) error { return nil },
+		setLevel: func(ids []string, level float64) error {
+			if level < 1 {
+				duringTighten = l.Outstanding()
+			} else {
+				duringLoosen = l.Outstanding()
+			}
+			return nil
+		},
+	}
+	la, _ := NewLedgeredActuator(inner, l)
+
+	// Tightening: the level record must precede the actuation.
+	if err := la.SetLevel([]string{"a"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(duringTighten) != 1 || duringTighten[0].Level != 0.5 {
+		t.Errorf("ledger during tighten = %+v, want level-0.5 entry", duringTighten)
+	}
+
+	// Loosening: the record is cleared only after the actuation, so the
+	// ledger still shows the old restriction while the release runs.
+	if err := la.SetLevel([]string{"a"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(duringLoosen) != 1 || duringLoosen[0].Level != 0.5 {
+		t.Errorf("ledger during loosen = %+v, want old level-0.5 entry", duringLoosen)
+	}
+	if out := l.Outstanding(); len(out) != 0 {
+		t.Errorf("ledger after loosen = %+v, want empty", out)
+	}
+}
+
+func TestLedgeredSetLevelOnBinaryActuatorErrors(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	la, _ := NewLedgeredActuator(throttle.FuncActuator{}, l)
+	if err := la.SetLevel([]string{"a"}, 0.5); err == nil {
+		t.Error("SetLevel on a non-graded inner actuator should error")
+	}
+}
+
+func TestLedgerWriteFailureAbortsActuation(t *testing.T) {
+	// Ledger in a missing directory: every record fails. The actuation
+	// must be aborted — throttling without a durable record reopens the
+	// crash-starvation hole.
+	l := &Ledger{
+		path:    filepath.Join(t.TempDir(), "missing", "ledger.json"),
+		entries: map[string]LedgerEntry{},
+	}
+	innerCalled := false
+	inner := gradedFunc{
+		pause:    func([]string) error { innerCalled = true; return nil },
+		setLevel: func([]string, float64) error { innerCalled = true; return nil },
+	}
+	la, _ := NewLedgeredActuator(inner, l)
+	if err := la.Pause([]string{"a"}); err == nil {
+		t.Error("pause with unwritable ledger should error")
+	}
+	if err := la.SetLevel([]string{"a"}, 0.5); err == nil {
+		t.Error("tighten with unwritable ledger should error")
+	}
+	if innerCalled {
+		t.Error("inner actuator ran despite failed ledger record")
+	}
+}
+
+func TestRecoverThawsOutstandingAndExtras(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	if err := l.RecordFreeze([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordLevel([]string{"b"}, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	act := throttle.NewRecordingActuator()
+	thawed, err := Recover(l, act, []string{"b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thawed) != 3 {
+		t.Fatalf("thawed = %v, want a, b and c", thawed)
+	}
+	events := act.Events()
+	if len(events) != 2 || events[0].Action != throttle.ActionResume || events[1].Action != throttle.ActionLimit {
+		t.Fatalf("events = %+v, want resume then quota clear", events)
+	}
+	if events[1].Level != 1 {
+		t.Errorf("quota clear level = %v, want 1", events[1].Level)
+	}
+	if len(act.Paused()) != 0 {
+		t.Errorf("still paused: %v", act.Paused())
+	}
+	if out := l.Outstanding(); len(out) != 0 {
+		t.Errorf("ledger after recovery = %v, want empty", out)
+	}
+}
+
+func TestRecoverEmptyLedgerNoActuation(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	act := throttle.NewRecordingActuator()
+	thawed, err := Recover(l, act, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thawed) != 0 || len(act.Events()) != 0 {
+		t.Errorf("empty recovery actuated: thawed=%v events=%v", thawed, act.Events())
+	}
+}
+
+func TestRecoverBinaryActuatorSkipsQuotaClear(t *testing.T) {
+	l, _ := OpenLedger(filepath.Join(t.TempDir(), "ledger.json"))
+	if err := l.RecordFreeze([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	resumed := false
+	act := throttle.FuncActuator{
+		ResumeFn: func(ids []string) error { resumed = true; return nil },
+	}
+	if _, err := Recover(l, act, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Error("binary actuator was not resumed")
+	}
+}

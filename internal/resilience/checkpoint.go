@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fsatomic"
+	"repro/internal/statespace"
+	"repro/internal/throttle"
+	"repro/internal/trajectory"
+)
+
+// checkpointVersion is the current checkpoint format version.
+const checkpointVersion = 1
+
+// ErrCorruptCheckpoint marks a checkpoint file that could not be parsed
+// or failed validation. Callers log it and start fresh — a corrupt
+// checkpoint costs relearning, never a crash.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// Checkpoint is an atomic snapshot of everything the daemon has learned:
+// the state-space template (violation-states, ranges, schema), the
+// per-mode trajectory histograms, and the throttle controller's learned
+// state (β). Restoring it at boot gives a restarted daemon the same
+// violation map and prediction models it had before the crash, skipping
+// the relearning phase entirely.
+type Checkpoint struct {
+	// Version is the checkpoint format version.
+	Version int `json:"version"`
+	// Periods is how many control periods the run had completed when the
+	// snapshot was taken (observability; the restored runtime restarts its
+	// own period counter).
+	Periods int `json:"periods"`
+	// Template is the learned state space.
+	Template *statespace.Template `json:"template"`
+	// Models carries the per-mode trajectory histograms.
+	Models *trajectory.ModelsSnapshot `json:"models,omitempty"`
+	// Controller carries the throttle controller's learned state.
+	Controller *throttle.ControllerSnapshot `json:"controller,omitempty"`
+}
+
+// Validate checks the checkpoint's internal consistency without touching
+// any runtime. Template validation reuses statespace's corrupt-JSON
+// hardening.
+func (c *Checkpoint) Validate() error {
+	if c == nil {
+		return fmt.Errorf("resilience: nil checkpoint: %w", ErrCorruptCheckpoint)
+	}
+	if c.Version < 1 || c.Version > checkpointVersion {
+		return fmt.Errorf("resilience: checkpoint version %d, support 1..%d: %w",
+			c.Version, checkpointVersion, ErrCorruptCheckpoint)
+	}
+	if c.Periods < 0 {
+		return fmt.Errorf("resilience: checkpoint periods %d: %w", c.Periods, ErrCorruptCheckpoint)
+	}
+	if c.Template == nil {
+		return fmt.Errorf("resilience: checkpoint without template: %w", ErrCorruptCheckpoint)
+	}
+	if err := c.Template.Validate(); err != nil {
+		return fmt.Errorf("resilience: checkpoint template: %w", err)
+	}
+	return nil
+}
+
+// WriteTo serializes the checkpoint as indented JSON.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("resilience: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// SaveCheckpoint atomically writes the checkpoint to path: a crash
+// mid-write leaves the previous checkpoint intact, never a torn file.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	return fsatomic.WriteFileFunc(path, 0o644, func(w io.Writer) error {
+		_, err := c.WriteTo(w)
+		return err
+	})
+}
+
+// ReadCheckpoint parses and validates a checkpoint from JSON. Truncated,
+// garbage-suffixed and structurally invalid input all surface as errors
+// (wrapping ErrCorruptCheckpoint where structural) — never panics.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&c); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("resilience: decode checkpoint: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("resilience: trailing data after checkpoint: %w", ErrCorruptCheckpoint)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadCheckpoint reads a checkpoint file. A missing file returns
+// (nil, nil): no checkpoint simply means a cold start.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: open checkpoint %s: %w", path, err)
+	}
+	defer f.Close()
+	c, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}

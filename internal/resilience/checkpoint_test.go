@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mds"
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+)
+
+func sampleCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	s := statespace.NewSpace()
+	s.Add(mds.Coord{X: 0, Y: 0}, []float64{0.1, 0.2}, 1)
+	v := s.Add(mds.Coord{X: 3, Y: 4}, []float64{0.9, 0.8}, 2)
+	if err := s.MarkViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	sch, err := metrics.NewSchema([]string{"vlc"},
+		[]metrics.Metric{metrics.MetricCPU, metrics.MetricMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := map[metrics.Metric]metrics.Range{
+		metrics.MetricCPU:    {Max: 400},
+		metrics.MetricMemory: {Max: 2048},
+	}
+	return &Checkpoint{
+		Version:  1,
+		Periods:  42,
+		Template: statespace.Export(s, "vlc", ranges, sch),
+	}
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	ck := sampleCheckpoint(t)
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("loaded nil checkpoint")
+	}
+	if got.Periods != 42 || len(got.Template.States) != 2 {
+		t.Errorf("roundtrip = periods %d, %d states", got.Periods, len(got.Template.States))
+	}
+	if got.Template.SensitiveApp != "vlc" {
+		t.Errorf("sensitive app = %q", got.Template.SensitiveApp)
+	}
+}
+
+func TestLoadCheckpointMissingIsColdStart(t *testing.T) {
+	ck, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || ck != nil {
+		t.Errorf("missing checkpoint = (%v, %v), want (nil, nil)", ck, err)
+	}
+}
+
+func TestSaveCheckpointRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := SaveCheckpoint(path, nil); err == nil {
+		t.Error("nil checkpoint should not save")
+	}
+	if err := SaveCheckpoint(path, &Checkpoint{Version: 1}); err == nil {
+		t.Error("template-less checkpoint should not save")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("rejected checkpoint left a file behind")
+	}
+}
+
+func TestReadCheckpointCorruptInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := sampleCheckpoint(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+
+	cases := map[string]struct {
+		input   string
+		wantErr error
+	}{
+		"empty":      {"", io.ErrUnexpectedEOF},
+		"garbage":    {"not json", nil},
+		"truncated":  {valid[:len(valid)/2], nil},
+		"trailing":   {valid + "trailing", ErrCorruptCheckpoint},
+		"badVersion": {`{"version":99,"template":{"version":2}}`, ErrCorruptCheckpoint},
+		"noTemplate": {`{"version":1,"periods":3}`, ErrCorruptCheckpoint},
+		"negPeriods": {strings.Replace(valid, `"periods": 42`, `"periods": -1`, 1), ErrCorruptCheckpoint},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			ck, err := ReadCheckpoint(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("accepted corrupt input, got %+v", ck)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want wrapping %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadCheckpointCorruptFileErrorsNotPanics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("corrupt checkpoint file should error")
+	}
+}

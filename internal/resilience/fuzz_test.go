@@ -1,0 +1,74 @@
+package resilience
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCheckpoint: checkpoint parsing must never panic, and anything
+// it accepts must pass its own validation — the daemon restores whatever
+// ReadCheckpoint returns directly into its learned state.
+func FuzzReadCheckpoint(f *testing.F) {
+	f.Add(`{"version":1,"periods":3,"template":{"version":2,"sensitive_app":"vlc","dim":2,"states":[{"x":1,"y":2,"label":"violation","weight":3,"vector":[0.4,0.5]}],"ranges":{"cpu":{"max":400}}}}`)
+	f.Add(`{"version":1,"periods":0,"template":{"version":2,"dim":2,"states":[]}}`)
+	f.Add(`{"version":1,"template":null}`)
+	f.Add(`{"version":99,"template":{}}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"version":1,"periods":-4,"template":{"version":2}}`)
+	f.Add(`{"version":1,"template":{"version":2,"dim":2,"states":[]}}trailing`)
+	f.Add(`{"version":1,"periods":3,"template":{"version":2,"dim":2,"states":[{"vector":[0.1`)
+	f.Add(`{"version":1,"models":{"single_model":true,"models":[]},"controller":{"beta":0.05,"level":1}}`)
+	f.Add(`{"version":1,"controller":{"beta":-1},"template":{"version":2,"dim":2,"states":[]}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		ck, err := ReadCheckpoint(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted checkpoints must be self-consistent: Validate is what
+		// SaveCheckpoint and the daemon's restore path rely on.
+		if err := ck.Validate(); err != nil {
+			t.Fatalf("accepted checkpoint fails validation: %v", err)
+		}
+		if ck.Template == nil {
+			t.Fatal("accepted checkpoint with nil template")
+		}
+	})
+}
+
+// FuzzLedgerLoad: ledger parsing must never panic, and anything it
+// accepts must contain only well-formed entries — recovery replays these
+// IDs straight into the actuator.
+func FuzzLedgerLoad(f *testing.F) {
+	f.Add(`{"version":1,"seq":3,"entries":[{"id":"a","frozen":true,"level":0,"seq":3}]}`)
+	f.Add(`{"version":1,"entries":[]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"version":1,"entries":[{"id":"","frozen":true,"level":0}]}`)
+	f.Add(`{"version":1,"entries":[{"id":"a","level":2}]}`)
+	f.Add(`{"version":1,"entries":[{"id":"a","level":-0.5}]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`{"version":1,"seq":`)
+	f.Add(`{"version":1,"entries":[{"id":"a","level":0.5},{"id":"a","level":0.25}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		l := &Ledger{
+			path:    filepath.Join(t.TempDir(), "ledger.json"),
+			entries: map[string]LedgerEntry{},
+		}
+		if err := l.load([]byte(input)); err != nil {
+			return
+		}
+		for _, e := range l.Outstanding() {
+			if e.ID == "" {
+				t.Fatal("accepted entry with empty ID")
+			}
+			if e.Level < 0 || e.Level > 1 || e.Level != e.Level {
+				t.Fatalf("accepted entry with level %v", e.Level)
+			}
+			if !e.Frozen && e.Level >= 1 {
+				t.Fatalf("unthrottled entry %q survived as outstanding", e.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package resilience makes the Stay-Away daemon crash-safe. A stayawayd
+// that dies mid-freeze silently inverts the system's guarantee: batch
+// cgroups stay frozen forever (starvation) and every learned
+// violation-state, per-mode histogram and resume threshold β is lost.
+// This package provides the three pieces that close that hole:
+//
+//   - Ledger: a write-ahead record of every freeze/quota/memory.high
+//     actuation, persisted atomically before the actuation is applied, so
+//     a restarted daemon knows exactly which throttles may have outlived
+//     the crash and can thaw them (Recover).
+//   - Checkpoint: periodic atomic snapshots of the learned state — the
+//     state-space template, per-mode trajectory histograms, β — restored
+//     at boot so a crash never forces the host to relearn from scratch.
+//   - Watchdog: control-loop liveness detection with a configurable
+//     fail-safe action (default: thaw everything), for stalls the loop
+//     itself cannot observe, e.g. a collector blocked on a hung cgroupfs
+//     read.
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/fsatomic"
+)
+
+// ledgerVersion is the current on-disk ledger format version.
+const ledgerVersion = 1
+
+// ErrCorruptLedger marks a ledger file that could not be parsed or failed
+// structural validation. OpenLedger still returns a usable (empty) ledger
+// alongside it: a corrupt ledger means the throttle state is unknown, and
+// the caller's correct response is to fail safe (thaw everything), not to
+// crash.
+var ErrCorruptLedger = errors.New("corrupt actuation ledger")
+
+// LedgerEntry is the recorded actuation intent for one throttle target
+// (a cgroup path or the logical batch ID in PID mode). It describes the
+// most restrictive state the target may be in: the write-ahead discipline
+// records intent *before* freezing/limiting and clears it only *after* a
+// successful full release, so after a crash the entry is an upper bound
+// on the throttling that may still be applied.
+type LedgerEntry struct {
+	// ID is the throttle target (cgroup path or logical batch ID).
+	ID string `json:"id"`
+	// Frozen records a pause intent (cgroup.freeze = 1 / SIGSTOP).
+	Frozen bool `json:"frozen,omitempty"`
+	// Level is the last intended CPU fraction; 1 means no quota.
+	Level float64 `json:"level"`
+	// Seq is the ledger sequence number of the last update, for
+	// post-mortem ordering.
+	Seq uint64 `json:"seq"`
+}
+
+// throttledEntry reports whether the entry still describes any applied
+// restriction; fully released entries are dropped from the ledger.
+func (e LedgerEntry) throttled() bool {
+	return e.Frozen || e.Level < 1
+}
+
+// ledgerFile is the serialized form.
+type ledgerFile struct {
+	Version int           `json:"version"`
+	Seq     uint64        `json:"seq"`
+	Entries []LedgerEntry `json:"entries"`
+}
+
+// Ledger is the on-disk actuation ledger. It is safe for concurrent use;
+// every mutation is persisted atomically (fsatomic) before the method
+// returns, so the file on disk never runs behind the actuations the
+// daemon is about to apply.
+type Ledger struct {
+	path string
+
+	mu      sync.Mutex
+	seq     uint64
+	entries map[string]LedgerEntry
+}
+
+// OpenLedger opens (or creates) the ledger at path. A missing file is an
+// empty ledger. A corrupt or truncated file returns a usable empty ledger
+// together with an error wrapping ErrCorruptLedger — never a panic: the
+// caller should log it and fail safe.
+func OpenLedger(path string) (*Ledger, error) {
+	if path == "" {
+		return nil, fmt.Errorf("resilience: empty ledger path")
+	}
+	l := &Ledger{path: path, entries: make(map[string]LedgerEntry)}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read ledger %s: %w", path, err)
+	}
+	if err := l.load(data); err != nil {
+		// Reset anything a partial parse may have left behind.
+		l.seq = 0
+		l.entries = make(map[string]LedgerEntry)
+		return l, fmt.Errorf("resilience: ledger %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// load parses and validates serialized ledger content.
+func (l *Ledger) load(data []byte) error {
+	var f ledgerFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptLedger, err)
+	}
+	if f.Version < 1 || f.Version > ledgerVersion {
+		return fmt.Errorf("%w: version %d, support 1..%d", ErrCorruptLedger, f.Version, ledgerVersion)
+	}
+	for _, e := range f.Entries {
+		if e.ID == "" {
+			return fmt.Errorf("%w: entry with empty ID", ErrCorruptLedger)
+		}
+		if math.IsNaN(e.Level) || math.IsInf(e.Level, 0) || e.Level < 0 || e.Level > 1 {
+			return fmt.Errorf("%w: entry %q has level %v", ErrCorruptLedger, e.ID, e.Level)
+		}
+		l.entries[e.ID] = e
+	}
+	l.seq = f.Seq
+	return nil
+}
+
+// Path returns the ledger's file location.
+func (l *Ledger) Path() string { return l.path }
+
+// update applies fn to the entry for each ID and persists the result
+// before returning — the write-ahead step.
+func (l *Ledger) update(ids []string, fn func(*LedgerEntry)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		l.seq++
+		e, ok := l.entries[id]
+		if !ok {
+			e = LedgerEntry{ID: id, Level: 1}
+		}
+		fn(&e)
+		e.Seq = l.seq
+		if e.throttled() {
+			l.entries[id] = e
+		} else {
+			delete(l.entries, id)
+		}
+	}
+	return l.persistLocked()
+}
+
+// RecordFreeze records the intent to freeze the given targets. Call it
+// BEFORE actuating: a crash between the record and the freeze makes
+// recovery thaw an already-thawed target, which is harmless; the reverse
+// order would leave a frozen target invisible to recovery.
+func (l *Ledger) RecordFreeze(ids []string) error {
+	return l.update(ids, func(e *LedgerEntry) { e.Frozen = true })
+}
+
+// RecordLevel records the intent to cap the targets at the given CPU
+// fraction. Levels below 1 must be recorded before actuating; level >= 1
+// (a release) should be recorded after the actuation succeeded.
+func (l *Ledger) RecordLevel(ids []string, level float64) error {
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	return l.update(ids, func(e *LedgerEntry) { e.Level = level })
+}
+
+// RecordThaw records a completed thaw/release of the given targets. Call
+// it AFTER the actuation succeeded: recovery re-thawing a target whose
+// clear record was lost is harmless.
+func (l *Ledger) RecordThaw(ids []string) error {
+	return l.update(ids, func(e *LedgerEntry) { e.Frozen = false; e.Level = 1 })
+}
+
+// Outstanding returns every entry still describing an applied
+// restriction, sorted by ID.
+func (l *Ledger) Outstanding() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LedgerEntry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Reset drops every entry and persists the empty ledger — the final step
+// of a successful recovery.
+func (l *Ledger) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = make(map[string]LedgerEntry)
+	return l.persistLocked()
+}
+
+// persistLocked writes the ledger atomically. The caller holds l.mu.
+func (l *Ledger) persistLocked() error {
+	f := ledgerFile{Version: ledgerVersion, Seq: l.seq}
+	for _, e := range l.entries {
+		f.Entries = append(f.Entries, e)
+	}
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].ID < f.Entries[j].ID })
+	return fsatomic.WriteFileFunc(l.path, 0o644, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(f)
+	})
+}

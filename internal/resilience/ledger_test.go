@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func ledgerPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "ledger.json")
+}
+
+func TestOpenLedgerMissingFileIsEmpty(t *testing.T) {
+	l, err := OpenLedger(ledgerPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Outstanding(); len(got) != 0 {
+		t.Errorf("fresh ledger outstanding = %v", got)
+	}
+}
+
+func TestOpenLedgerEmptyPathErrors(t *testing.T) {
+	if _, err := OpenLedger(""); err == nil {
+		t.Error("empty path should error")
+	}
+}
+
+func TestLedgerRecordAndReload(t *testing.T) {
+	path := ledgerPath(t)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordFreeze([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordLevel([]string{"b"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordThaw([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new incarnation reading the same file must see exactly the
+	// restrictions that were never released.
+	l2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := l2.Outstanding()
+	if len(out) != 1 || out[0].ID != "b" || !out[0].Frozen || out[0].Level != 0.5 {
+		t.Fatalf("outstanding after reload = %+v", out)
+	}
+}
+
+func TestLedgerThawDropsEntry(t *testing.T) {
+	path := ledgerPath(t)
+	l, _ := OpenLedger(path)
+	if err := l.RecordFreeze([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordThaw([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if out := l.Outstanding(); len(out) != 0 {
+		t.Errorf("outstanding after thaw = %v", out)
+	}
+	l2, _ := OpenLedger(path)
+	if out := l2.Outstanding(); len(out) != 0 {
+		t.Errorf("outstanding after reload = %v", out)
+	}
+}
+
+func TestLedgerLevelOneDropsEntry(t *testing.T) {
+	l, _ := OpenLedger(ledgerPath(t))
+	if err := l.RecordLevel([]string{"a"}, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if out := l.Outstanding(); len(out) != 1 {
+		t.Fatalf("outstanding = %v", out)
+	}
+	if err := l.RecordLevel([]string{"a"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if out := l.Outstanding(); len(out) != 0 {
+		t.Errorf("level-1 record should drop the entry, got %v", out)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	path := ledgerPath(t)
+	l, _ := OpenLedger(path)
+	if err := l.RecordFreeze([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := OpenLedger(path)
+	if out := l2.Outstanding(); len(out) != 0 {
+		t.Errorf("outstanding after reset+reload = %v", out)
+	}
+}
+
+func TestOpenLedgerCorruptFileFailsSafeButUsable(t *testing.T) {
+	cases := map[string]string{
+		"garbage":    "not json at all",
+		"truncated":  `{"version":1,"entries":[{"id":"a","froz`,
+		"badVersion": `{"version":99,"entries":[]}`,
+		"emptyID":    `{"version":1,"entries":[{"id":"","frozen":true,"level":0}]}`,
+		"badLevel":   `{"version":1,"entries":[{"id":"a","level":7}]}`,
+		"nanLevel":   `{"version":1,"entries":[{"id":"a","level":null},{"id":"b","level":-1}]}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := ledgerPath(t)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, err := OpenLedger(path)
+			if !errors.Is(err, ErrCorruptLedger) {
+				t.Fatalf("err = %v, want ErrCorruptLedger", err)
+			}
+			if l == nil {
+				t.Fatal("corrupt ledger must still return a usable ledger")
+			}
+			// The empty ledger must be fully usable: the caller logs the
+			// corruption, thaws everything, and keeps going.
+			if out := l.Outstanding(); len(out) != 0 {
+				t.Errorf("corrupt ledger leaked entries: %v", out)
+			}
+			if err := l.RecordFreeze([]string{"x"}); err != nil {
+				t.Errorf("recording after corruption: %v", err)
+			}
+		})
+	}
+}
+
+func TestLedgerUpdateSkipsEmptyIDs(t *testing.T) {
+	l, _ := OpenLedger(ledgerPath(t))
+	if err := l.RecordFreeze([]string{"", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	out := l.Outstanding()
+	if len(out) != 1 || out[0].ID != "a" {
+		t.Errorf("outstanding = %v, want just a", out)
+	}
+}
+
+func TestLedgerPersistFailureSurfaces(t *testing.T) {
+	// A path whose parent directory does not exist: every persist fails,
+	// and that failure must reach the caller (the actuation is aborted).
+	l := &Ledger{
+		path:    filepath.Join(t.TempDir(), "missing-dir", "ledger.json"),
+		entries: map[string]LedgerEntry{},
+	}
+	if err := l.RecordFreeze([]string{"a"}); err == nil {
+		t.Error("persist into missing directory should error")
+	}
+}

@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cgroup"
+)
+
+// TestKillAndRestartRecovery is the PR's headline invariant: a daemon
+// SIGKILLed mid-throttle leaves frozen, quota-limited cgroups behind; the
+// next incarnation's ledger replay must thaw every one of them and remove
+// every quota, with no memory of the dead process beyond the ledger file.
+func TestKillAndRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	ids := []string{"stayaway/b1", "stayaway/b2", "stayaway/b3"}
+
+	// --- First incarnation: throttle, then "die" without releasing. ---
+	fs := cgroup.NewFakeFS()
+	for i, id := range ids {
+		fs.AddCgroup(id, 100+i)
+	}
+	newActuator := func() *cgroup.Actuator {
+		act, err := cgroup.NewActuator(fs, cgroup.ActuatorConfig{
+			MaxCPU: 4,
+			Kill:   func(int, syscall.Signal) error { return nil },
+			Sleep:  func(time.Duration) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return act
+	}
+	ledger, err := OpenLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := NewLedgeredActuator(newActuator(), ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := la.SetLevel(ids[:2], 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Pause(ids[2:]); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the "kernel" state really is restricted.
+	if c, _ := fs.Contents("stayaway/b3/cgroup.freeze"); strings.TrimSpace(c) != "1" {
+		t.Fatalf("b3 freeze = %q before the crash", c)
+	}
+	if c, _ := fs.Contents("stayaway/b1/cpu.max"); strings.HasPrefix(c, "max") {
+		t.Fatalf("b1 cpu.max = %q before the crash, want a quota", c)
+	}
+	// SIGKILL: the first incarnation simply stops existing. No deferred
+	// cleanup runs; only the ledger file and the cgroup state survive.
+
+	// --- Second incarnation: replay the ledger before the first period. ---
+	ledger2, err := OpenLedger(ledgerPath)
+	if err != nil {
+		t.Fatalf("reopening the dead daemon's ledger: %v", err)
+	}
+	out := ledger2.Outstanding()
+	if len(out) != 3 {
+		t.Fatalf("outstanding after restart = %+v, want all 3 targets", out)
+	}
+	thawed, err := Recover(ledger2, newActuator(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thawed) != 3 {
+		t.Fatalf("recovery thawed %v, want all 3", thawed)
+	}
+
+	// The invariant: every batch cgroup unfrozen, every quota removed.
+	for _, id := range ids {
+		if c, _ := fs.Contents(id + "/cgroup.freeze"); strings.TrimSpace(c) != "0" {
+			t.Errorf("%s still frozen after recovery: %q", id, c)
+		}
+		if c, _ := fs.Contents(id + "/cpu.max"); !strings.HasPrefix(c, "max") {
+			t.Errorf("%s still quota-limited after recovery: %q", id, c)
+		}
+	}
+	if out := ledger2.Outstanding(); len(out) != 0 {
+		t.Errorf("ledger not reset after recovery: %v", out)
+	}
+
+	// A third incarnation (crash-free restart) finds a clean ledger.
+	ledger3, err := OpenLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ledger3.Outstanding(); len(out) != 0 {
+		t.Errorf("clean restart sees outstanding entries: %v", out)
+	}
+}
+
+// TestRecoveryWithCorruptLedgerThawsConfiguredTargets covers the
+// fail-safe for an unreadable ledger: with the entries lost, recovery
+// falls back to thawing every configured batch target.
+func TestRecoveryWithCorruptLedgerThawsConfiguredTargets(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.json")
+	ids := []string{"stayaway/b1", "stayaway/b2"}
+
+	fs := cgroup.NewFakeFS()
+	for i, id := range ids {
+		fs.AddCgroup(id, 100+i)
+	}
+	act, err := cgroup.NewActuator(fs, cgroup.ActuatorConfig{
+		MaxCPU: 4,
+		Kill:   func(int, syscall.Signal) error { return nil },
+		Sleep:  func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze directly (as the dead daemon did), then corrupt the ledger.
+	if err := act.Pause(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ledgerPath, []byte("corrupt{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ledger, err := OpenLedger(ledgerPath)
+	if err == nil {
+		t.Fatal("corrupt ledger should surface an error")
+	}
+	thawed, err := Recover(ledger, act, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thawed) != 2 {
+		t.Fatalf("thawed %v, want both configured targets", thawed)
+	}
+	for _, id := range ids {
+		if c, _ := fs.Contents(id + "/cgroup.freeze"); strings.TrimSpace(c) != "0" {
+			t.Errorf("%s still frozen: %q", id, c)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WatchdogConfig tunes control-loop stall detection.
+type WatchdogConfig struct {
+	// Period is the expected beat cadence — the control loop's monitoring
+	// period.
+	Period time.Duration
+	// Grace is how many missed periods are tolerated before the watchdog
+	// declares a stall. Minimum 1; default 3 (one slow cgroupfs read must
+	// not thaw the world).
+	Grace int
+	// OnStall is the fail-safe action, fired once per stall episode from
+	// the watchdog's own goroutine (the stalled loop cannot run it). The
+	// default deployment passes a thaw-everything action: a stalled
+	// controller must never leave batch workloads frozen. Nil disables the
+	// action (status is still tracked).
+	OnStall func(sinceLastBeat time.Duration)
+	// Now overrides the clock for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+func (c *WatchdogConfig) applyDefaults() {
+	if c.Grace < 1 {
+		c.Grace = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Watchdog detects control-loop stalls: the loop calls Beat every period,
+// and a checker (Run's goroutine, or Check driven by tests) fires the
+// fail-safe when beats stop arriving — e.g. the collector is blocked on a
+// hung cgroupfs read, so the loop itself can never notice. Safe for
+// concurrent use.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu       sync.Mutex
+	lastBeat time.Time
+	beats    int
+	stalls   int
+	stalled  bool
+}
+
+// NewWatchdog returns a watchdog expecting one Beat per period.
+func NewWatchdog(cfg WatchdogConfig) (*Watchdog, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("resilience: watchdog period must be positive, got %v", cfg.Period)
+	}
+	cfg.applyDefaults()
+	return &Watchdog{cfg: cfg, lastBeat: cfg.Now()}, nil
+}
+
+// Beat records control-loop liveness. Call once per completed period.
+func (w *Watchdog) Beat() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastBeat = w.cfg.Now()
+	w.beats++
+	w.stalled = false
+}
+
+// Check evaluates liveness now, firing OnStall on the transition into a
+// stall (once per episode — a beat re-arms it). It returns whether the
+// loop is currently considered stalled.
+func (w *Watchdog) Check() bool {
+	w.mu.Lock()
+	since := w.cfg.Now().Sub(w.lastBeat)
+	limit := time.Duration(w.cfg.Grace) * w.cfg.Period
+	fire := false
+	if since > limit {
+		if !w.stalled {
+			w.stalled = true
+			w.stalls++
+			fire = true
+		}
+	} else {
+		w.stalled = false
+	}
+	onStall := w.cfg.OnStall
+	w.mu.Unlock()
+	if fire && onStall != nil {
+		onStall(since)
+	}
+	return fire || since > limit
+}
+
+// Run checks liveness every period until ctx is done. Start it in its own
+// goroutine alongside the control loop.
+func (w *Watchdog) Run(ctx context.Context) {
+	t := time.NewTicker(w.cfg.Period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Check()
+		}
+	}
+}
+
+// Status reports the watchdog's health: whether a stall is ongoing, how
+// many stall episodes have fired, total beats, and the last beat time.
+func (w *Watchdog) Status() (stalled bool, stalls, beats int, lastBeat time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stalled, w.stalls, w.beats, w.lastBeat
+}

@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the watchdog deterministically.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func TestWatchdogValidation(t *testing.T) {
+	if _, err := NewWatchdog(WatchdogConfig{}); err == nil {
+		t.Error("zero period should error")
+	}
+}
+
+func TestWatchdogFiresOncePerEpisodeAndRearms(t *testing.T) {
+	clock := newFakeClock()
+	fired := 0
+	wd, err := NewWatchdog(WatchdogConfig{
+		Period:  time.Second,
+		Grace:   3,
+		OnStall: func(time.Duration) { fired++ },
+		Now:     clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy loop: beats within grace never fire.
+	for i := 0; i < 5; i++ {
+		clock.advance(time.Second)
+		wd.Beat()
+		if wd.Check() {
+			t.Fatalf("beat %d: healthy loop declared stalled", i)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("fired %d times while healthy", fired)
+	}
+
+	// Exactly at the grace limit: 3 periods since the last beat is still
+	// tolerated (the stall condition is strictly greater).
+	clock.advance(3 * time.Second)
+	if wd.Check() {
+		t.Error("stalled exactly at grace limit; boundary must be exclusive")
+	}
+	if fired != 0 {
+		t.Errorf("fired at the boundary: %d", fired)
+	}
+
+	// Past the limit: fires, and only once for the episode.
+	clock.advance(time.Millisecond)
+	if !wd.Check() {
+		t.Error("not stalled past grace limit")
+	}
+	wd.Check()
+	wd.Check()
+	if fired != 1 {
+		t.Fatalf("fired %d times in one episode, want 1", fired)
+	}
+	stalled, stalls, _, _ := wd.Status()
+	if !stalled || stalls != 1 {
+		t.Errorf("status = stalled %v stalls %d", stalled, stalls)
+	}
+
+	// A beat re-arms the watchdog; the next stall is a fresh episode.
+	wd.Beat()
+	if stalled, _, _, _ := wd.Status(); stalled {
+		t.Error("still stalled after a beat")
+	}
+	clock.advance(10 * time.Second)
+	wd.Check()
+	if fired != 2 {
+		t.Errorf("second episode fired %d total, want 2", fired)
+	}
+}
+
+func TestWatchdogRunStopsOnContextCancel(t *testing.T) {
+	wd, err := NewWatchdog(WatchdogConfig{Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		wd.Run(ctx)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop after cancel")
+	}
+}
+
+func TestWatchdogRunDetectsRealStall(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	wd, err := NewWatchdog(WatchdogConfig{
+		Period: 5 * time.Millisecond,
+		Grace:  2,
+		OnStall: func(time.Duration) {
+			select {
+			case fired <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go wd.Run(ctx)
+	// No beats at all: the loop "stalled" immediately after start.
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired on a real stall")
+	}
+}

@@ -48,6 +48,14 @@ type State struct {
 	// QoS violation. Once Violation, always Violation: a state that caused
 	// degradation once is permanently unsafe (§3.2.1).
 	Label Label
+	// Unverified marks a Safe-labelled state first observed while the
+	// application's QoS signal was stale (no fresh report for several
+	// periods). The absence of a violation report proves nothing then, so
+	// such states are excluded from safe-state queries — they must not
+	// shrink violation-ranges — until a revisit under a fresh signal
+	// verifies them. MarkViolation clears the flag: a violation report is
+	// itself fresh evidence.
+	Unverified bool
 	// Weight counts how many raw observations this representative absorbed.
 	Weight int
 	// FirstPeriod and LastPeriod bound when the state was observed.
@@ -152,7 +160,42 @@ func (s *Space) MarkViolation(id int) error {
 		s.states[id].Label = Violation
 		s.violations = append(s.violations, id)
 	}
+	s.states[id].Unverified = false
 	return nil
+}
+
+// MarkUnverified flags state id as created under a stale QoS signal, so
+// it does not count as a safe-state anchor. Violation-states are never
+// unverified (the violation report is the evidence).
+func (s *Space) MarkUnverified(id int) error {
+	if id < 0 || id >= len(s.states) {
+		return fmt.Errorf("statespace: state %d out of range", id)
+	}
+	if s.states[id].Label == Safe {
+		s.states[id].Unverified = true
+	}
+	return nil
+}
+
+// ClearUnverified records that state id was revisited under a fresh QoS
+// signal without a violation — it is now a verified safe-state.
+func (s *Space) ClearUnverified(id int) error {
+	if id < 0 || id >= len(s.states) {
+		return fmt.Errorf("statespace: state %d out of range", id)
+	}
+	s.states[id].Unverified = false
+	return nil
+}
+
+// UnverifiedIDs returns the IDs of all unverified states, in ID order.
+func (s *Space) UnverifiedIDs() []int {
+	var out []int
+	for _, st := range s.states {
+		if st.Unverified {
+			out = append(out, st.ID)
+		}
+	}
+	return out
 }
 
 // SetCoord moves one state (used by incremental placement refinement).
@@ -228,11 +271,13 @@ func (s *Space) CoordinateRangeMedian() float64 {
 	return m
 }
 
-// NearestSafe returns the distance from p to the nearest safe-state and
-// that state's ID. ok is false when no safe-state exists.
+// NearestSafe returns the distance from p to the nearest *verified*
+// safe-state and that state's ID. ok is false when no such state exists.
+// Unverified states (created under a stale QoS signal) are skipped: an
+// unproven "safe" state must not shrink the violation-ranges around it.
 func (s *Space) NearestSafe(p mds.Coord) (dist float64, id int, ok bool) {
 	s.ensureGrid()
-	return s.grid.nearest(p, func(st *State) bool { return st.Label == Safe })
+	return s.grid.nearest(p, func(st *State) bool { return st.Label == Safe && !st.Unverified })
 }
 
 // NearestAny returns the distance from p to the nearest state of any label.

@@ -67,6 +67,11 @@ type TemplateState struct {
 	Label  string    `json:"label"`
 	Weight int       `json:"weight"`
 	Vector []float64 `json:"vector"`
+	// Unverified preserves the stale-QoS flag across checkpoint
+	// round-trips: a state whose safety was never confirmed must not come
+	// back from a restart as a verified safe-state anchor. Absent (false)
+	// in templates from before the flag existed.
+	Unverified bool `json:"unverified,omitempty"`
 }
 
 // Export captures the space into a template. schema, when non-nil, records
@@ -88,11 +93,12 @@ func Export(s *Space, sensitiveApp string, ranges map[metrics.Metric]metrics.Ran
 			t.Dim = len(st.Vector)
 		}
 		t.States = append(t.States, TemplateState{
-			X:      st.Coord.X,
-			Y:      st.Coord.Y,
-			Label:  st.Label.String(),
-			Weight: st.Weight,
-			Vector: st.Vector,
+			X:          st.Coord.X,
+			Y:          st.Coord.Y,
+			Label:      st.Label.String(),
+			Weight:     st.Weight,
+			Vector:     st.Vector,
+			Unverified: st.Unverified,
 		})
 	}
 	return t
@@ -224,6 +230,7 @@ func Import(t *Template) (*Space, error) {
 		s.states[id].Weight = ts.Weight
 		switch ts.Label {
 		case Safe.String():
+			s.states[id].Unverified = ts.Unverified
 		case Violation.String():
 			if err := s.MarkViolation(id); err != nil {
 				return nil, err

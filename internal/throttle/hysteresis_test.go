@@ -1,0 +1,217 @@
+package throttle
+
+import (
+	"math"
+	"testing"
+)
+
+// Boundary tests for PolicyGraded's hysteresis: the de-escalation must
+// fire at EXACTLY the configured quiet-period count (not one early, not
+// one late), and the freeze escalation at EXACTLY FreezeSeverity.
+
+// throttleTo drives an idle controller into a partial limit at the given
+// severity and returns the resulting level.
+func throttleTo(t *testing.T, c *Controller, severity float64) float64 {
+	t.Helper()
+	res, err := c.Step(Input{
+		Period: 1, PredictedViolation: true, BatchActive: true,
+		ViolationSeverity: severity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionLimit {
+		t.Fatalf("initial throttle action = %v, want limit", res.Action)
+	}
+	return res.Level
+}
+
+func TestGradedDeEscalatesExactlyAtQuietThreshold(t *testing.T) {
+	const quiet = 3
+	c, _ := newGradedController(t, func(cfg *Config) { cfg.DeEscalatePeriods = quiet })
+	if lvl := throttleTo(t, c, 0.4); lvl != 0.5 {
+		t.Fatalf("level = %v, want 0.5", lvl)
+	}
+
+	// quiet-1 prediction-free periods: the quota must NOT move.
+	for i := 1; i < quiet; i++ {
+		res, err := c.Step(Input{Period: 1 + i, BatchActive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action != ActionNone || res.Level != 0.5 {
+			t.Fatalf("quiet period %d/%d: action=%v level=%v; de-escalated early",
+				i, quiet, res.Action, res.Level)
+		}
+	}
+	// EXACTLY the quiet-th period: one step up.
+	res, err := c.Step(Input{Period: 1 + quiet, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionLimit || res.Level != 0.75 {
+		t.Errorf("quiet period %d: action=%v level=%v, want limit to 0.75", quiet, res.Action, res.Level)
+	}
+}
+
+func TestGradedDeEscalationCounterResetsOnPrediction(t *testing.T) {
+	const quiet = 2
+	c, _ := newGradedController(t, func(cfg *Config) { cfg.DeEscalatePeriods = quiet })
+	throttleTo(t, c, 0.4) // level 0.5
+
+	// One quiet period, then a prediction: the counter must reset, so the
+	// next single quiet period may not de-escalate.
+	if _, err := c.Step(Input{Period: 2, BatchActive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(Input{Period: 3, PredictedViolation: true, BatchActive: true, ViolationSeverity: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Step(Input{Period: 4, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionNone {
+		t.Errorf("action = %v after counter reset; hysteresis leaked across predictions", res.Action)
+	}
+	// The second consecutive quiet period completes the window.
+	res, err = c.Step(Input{Period: 5, BatchActive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionLimit {
+		t.Errorf("action = %v on completed quiet window, want limit", res.Action)
+	}
+}
+
+func TestGradedFreezeExactlyAtSeverityThreshold(t *testing.T) {
+	const freezeAt = 0.75
+	justBelow := math.Nextafter(freezeAt, 0)
+
+	// Severity exactly at FreezeSeverity: straight to a full freeze.
+	c, act := newGradedController(t, func(cfg *Config) { cfg.FreezeSeverity = freezeAt })
+	res, err := c.Step(Input{
+		Period: 1, PredictedViolation: true, BatchActive: true,
+		ViolationSeverity: freezeAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause || res.Level != 0 {
+		t.Errorf("severity == FreezeSeverity: action=%v level=%v, want pause at 0", res.Action, res.Level)
+	}
+	if len(act.Paused()) == 0 {
+		t.Error("actuator was not paused at the freeze threshold")
+	}
+
+	// The largest severity below the threshold: still a graded limit.
+	c2, act2 := newGradedController(t, func(cfg *Config) { cfg.FreezeSeverity = freezeAt })
+	res, err = c2.Step(Input{
+		Period: 1, PredictedViolation: true, BatchActive: true,
+		ViolationSeverity: justBelow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionPause && res.Level <= 0 {
+		t.Errorf("just below threshold froze: action=%v level=%v", res.Action, res.Level)
+	}
+	if res.Action != ActionLimit || res.Level != 0.25 {
+		t.Errorf("just below threshold: action=%v level=%v, want limit at 0.25", res.Action, res.Level)
+	}
+	if len(act2.Paused()) != 0 {
+		t.Error("actuator paused below the freeze threshold")
+	}
+}
+
+func TestGradedEscalationWalksToFreezeUnderPersistentPrediction(t *testing.T) {
+	c, act := newGradedController(t, nil) // 4 levels
+	if lvl := throttleTo(t, c, 0); lvl != 0.75 {
+		t.Fatalf("level = %v, want gentlest step", lvl)
+	}
+	// Persistent low-severity prediction: one step down per period, then
+	// the freeze boundary.
+	want := []struct {
+		level  float64
+		action Action
+	}{{0.5, ActionLimit}, {0.25, ActionLimit}, {0, ActionPause}}
+	for i, w := range want {
+		res, err := c.Step(Input{Period: 2 + i, PredictedViolation: true, BatchActive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Level != w.level || res.Action != w.action {
+			t.Fatalf("escalation step %d: action=%v level=%v, want %v at %v",
+				i, res.Action, res.Level, w.action, w.level)
+		}
+	}
+	if len(act.Paused()) == 0 {
+		t.Error("walk-down never reached the freezer")
+	}
+}
+
+func TestControllerSnapshotRestoresLearnedBetaOnly(t *testing.T) {
+	c, _ := newGradedController(t, nil)
+	throttleTo(t, c, 0.4)
+	snap := c.Snapshot()
+	snap.Beta = 0.07
+	if !snap.Throttled || snap.Level != 0.5 {
+		t.Fatalf("snapshot = %+v, want throttled at 0.5", snap)
+	}
+
+	c2, _ := newGradedController(t, nil)
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Beta() != 0.07 {
+		t.Errorf("restored beta = %v, want 0.07", c2.Beta())
+	}
+	// Actuation state deliberately resets: recovery thawed everything.
+	if c2.Throttled() || c2.Level() != 1 {
+		t.Errorf("restored actuation state = throttled %v level %v, want clean", c2.Throttled(), c2.Level())
+	}
+}
+
+func TestControllerSnapshotRestoreValidation(t *testing.T) {
+	c, _ := newGradedController(t, nil)
+	for _, beta := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := c.Restore(ControllerSnapshot{Beta: beta, Level: 1}); err == nil {
+			t.Errorf("beta %v should be rejected", beta)
+		}
+	}
+	// Beta above MaxBeta clamps instead of rejecting.
+	if err := c.Restore(ControllerSnapshot{Beta: 99, Level: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Beta() != DefaultConfig().MaxBeta {
+		t.Errorf("beta = %v, want clamped to %v", c.Beta(), DefaultConfig().MaxBeta)
+	}
+}
+
+func TestReleaseThawsUnconditionally(t *testing.T) {
+	c, act := newGradedController(t, nil)
+	// Even an untouched controller must actuate on Release: after a fault
+	// its tracked state cannot be trusted.
+	if err := c.Release(); err != nil {
+		t.Fatal(err)
+	}
+	events := act.Events()
+	if len(events) != 2 || events[0].Action != ActionResume || events[1].Action != ActionLimit || events[1].Level != 1 {
+		t.Fatalf("events = %+v, want unconditional resume + quota clear", events)
+	}
+
+	// And from a frozen state it leaves everything clean.
+	c2, act2 := newGradedController(t, nil)
+	if _, err := c2.Step(Input{Period: 1, ActualViolation: true, BatchActive: true, ViolationSeverity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Throttled() {
+		t.Fatal("setup: controller not throttled")
+	}
+	if err := c2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Throttled() || c2.Level() != 1 || len(act2.Paused()) != 0 {
+		t.Errorf("after release: throttled=%v level=%v paused=%v", c2.Throttled(), c2.Level(), act2.Paused())
+	}
+}

@@ -1,0 +1,83 @@
+package throttle
+
+import (
+	"fmt"
+	"math"
+)
+
+// ControllerSnapshot is the serializable state of a Controller, persisted
+// by the crash-recovery checkpoint. Only *learned* state survives a
+// restore: β took many premature-resume observations to converge and must
+// not reset to 0.01 on every crash. Actuation state (throttled, level,
+// hysteresis counters) is recorded for post-mortem observability but is
+// deliberately NOT restored — recovery thaws every batch target before
+// the loop restarts, so the controller must come back believing nothing
+// is throttled, matching the actuated reality.
+type ControllerSnapshot struct {
+	// Beta is the learned resume threshold.
+	Beta float64 `json:"beta"`
+	// Throttled, Level, StablePeriods and ClearPeriods record the
+	// actuation state at snapshot time (observability only).
+	Throttled     bool    `json:"throttled,omitempty"`
+	Level         float64 `json:"level"`
+	StablePeriods int     `json:"stable_periods,omitempty"`
+	ClearPeriods  int     `json:"clear_periods,omitempty"`
+}
+
+// Snapshot captures the controller's state.
+func (c *Controller) Snapshot() ControllerSnapshot {
+	return ControllerSnapshot{
+		Beta:          c.beta,
+		Throttled:     c.throttled,
+		Level:         c.level,
+		StablePeriods: c.stablePeriods,
+		ClearPeriods:  c.clearPeriods,
+	}
+}
+
+// Restore adopts the snapshot's learned state. β is validated against the
+// controller's configured bounds; the actuation state resets to
+// unthrottled (see ControllerSnapshot). Restore must be called before the
+// first Step.
+func (c *Controller) Restore(s ControllerSnapshot) error {
+	if math.IsNaN(s.Beta) || math.IsInf(s.Beta, 0) || s.Beta <= 0 {
+		return fmt.Errorf("throttle: snapshot beta %v invalid", s.Beta)
+	}
+	beta := s.Beta
+	if beta > c.cfg.MaxBeta {
+		// A checkpoint from a run with a larger MaxBeta: clamp rather than
+		// reject — the learned direction (resume later) is still right.
+		beta = c.cfg.MaxBeta
+	}
+	c.beta = beta
+	c.throttled = false
+	c.level = 1
+	c.stablePeriods = 0
+	c.clearPeriods = 0
+	c.resumed = false
+	c.lastResumePhase = false
+	c.lastResumePeriod = -1 << 30
+	return nil
+}
+
+// Release lifts every restriction the controller believes it has applied
+// — and, conservatively, even ones it does not: thaw and quota-clear are
+// idempotent, and an emergency release (loop exit, panic, watchdog stall)
+// must err toward over-thawing. After Release the controller is
+// unthrottled and may keep stepping if the loop continues.
+func (c *Controller) Release() error {
+	// Resume unconditionally — not just when c.level says frozen — because
+	// an emergency release cannot trust that the tracked level matches the
+	// actuated state (that mismatch is exactly what crashes produce).
+	err := c.act.Resume(c.batchIDs)
+	if c.graded != nil {
+		if qerr := c.graded.SetLevel(c.batchIDs, 1); qerr != nil && err == nil {
+			err = qerr
+		}
+	}
+	c.throttled = false
+	c.level = 1
+	c.stablePeriods = 0
+	c.clearPeriods = 0
+	return err
+}
