@@ -115,6 +115,11 @@ func BenchmarkSummary10to70(b *testing.B) {
 	benchFigure(b, experiments.Summary, "min_gain", "max_gain")
 }
 
+func BenchmarkMultiTenantConflict(b *testing.B) {
+	benchFigure(b, experiments.MultiTenant,
+		"batch_retained", "viol_ratio_vlc-transcode", "viol_ratio_webservice")
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // accuracyScenario runs VLC+Twitter observe-only and returns one-period-

@@ -10,8 +10,9 @@
 //	-summary       run the headline utilization summary (10–70% claim)
 //	-ablations     run the binary-vs-graded throttling ablation
 //	-chaos         run the fault-injection suite (non-zero exit on failure)
-//	-all           regenerate everything including the summary, ablations
-//	               and chaos suite
+//	-multitenant   run the two-sensitive conflicting-lane scenario
+//	-all           regenerate everything including the summary, ablations,
+//	               multi-tenant scenario and chaos suite
 //	-o DIR         additionally write each figure to DIR/<id>.txt
 package main
 
@@ -40,6 +41,7 @@ func run() error {
 	summary := flag.Bool("summary", false, "run the headline utilization summary")
 	ablations := flag.Bool("ablations", false, "run the binary-vs-graded throttling ablation")
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite")
+	multiTenant := flag.Bool("multitenant", false, "run the two-sensitive conflicting-lane scenario")
 	all := flag.Bool("all", false, "regenerate every figure and the summary")
 	outDir := flag.String("o", "", "directory to write per-figure text files into")
 	flag.Parse()
@@ -79,11 +81,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary || *ablations || *chaosSuite:
+	case *summary || *ablations || *chaosSuite || *multiTenant:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -multitenant or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -122,6 +124,15 @@ func run() error {
 		f, err := experiments.AblationGraded(*seed)
 		if err != nil {
 			return fmt.Errorf("graded ablation: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	if *multiTenant || *all {
+		f, err := experiments.MultiTenant(*seed)
+		if err != nil {
+			return fmt.Errorf("multi-tenant scenario: %w", err)
 		}
 		if err := emit(f); err != nil {
 			return err

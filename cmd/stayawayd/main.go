@@ -21,35 +21,51 @@
 //	          -qos-file /run/vlc.qos [-cgroup-root /sys/fs/cgroup] [-graded] \
 //	          [-memory-high-mb 512]
 //
+// -sensitive-cgroup, -qos-file and -app are repeatable: giving them N
+// times protects N sensitive applications on one host, each with its own
+// pipeline lane (state space, trajectory models, learned β, checkpoint),
+// all sharing the batch cgroups. The lanes' throttle decisions are merged
+// by an actuation arbiter: freeze is a union, graded quotas take the most
+// severe request, and the shared pool is released only when every
+// restricting lane has satisfied its own resume condition.
+//
+//	stayawayd -sensitive-cgroup s/vlc -qos-file /run/vlc.qos -app vlc \
+//	          -sensitive-cgroup s/kv  -qos-file /run/kv.qos  -app kv \
+//	          -batch-cgroups s/b1,s/b2
+//
 // The two modes are mutually exclusive. The daemon runs until SIGINT/
 // SIGTERM; on shutdown it releases any throttled batch workloads and
 // prints the final report. A learned map can be exported with
-// -template-out (written atomically: temp file + rename).
+// -template-out (written atomically: temp file + rename); with several
+// lanes each writes its own app-suffixed file.
 //
-// With -registry the daemon joins a fleet: it pulls the consensus template
-// for -app at startup (skipping the learning phase when another host has
-// already mapped the application), pushes its own map every -sync-every
-// periods plus once on shutdown, and heartbeats its status. Registry
-// outages never interrupt control — the daemon degrades to its local map
-// and resyncs when the registry returns.
+// With -registry the daemon joins a fleet: each lane pulls the consensus
+// template for its -app at startup (skipping the learning phase when
+// another host has already mapped the application), pushes its own map
+// every -sync-every periods plus once on shutdown, and heartbeats its
+// status. Registry outages never interrupt control — the daemon degrades
+// to its local maps and resyncs when the registry returns.
 //
 // With -state-dir the daemon becomes crash-safe: every restrictive
-// actuation is recorded in an on-disk ledger BEFORE it is applied, the
-// learned state (template, trajectory histograms, β) is checkpointed
-// atomically every -checkpoint-every periods, and at boot the daemon
-// replays the ledger — thawing every cgroup a previous incarnation may
-// have left frozen (after a SIGKILL, an OOM kill, a panic) — then
-// restores the checkpoint so no learning is lost. -recover-only performs
-// just the ledger replay and exits, for init containers and manual
-// incident response. A watchdog (disable with -watchdog-grace 0) runs
-// beside the control loop and thaws everything if the loop stops beating
-// — e.g. blocked on a hung cgroupfs read. A corrupt ledger or checkpoint
-// is logged and ignored, never fatal: the daemon starts cold rather than
-// refusing to protect.
+// actuation is recorded in an on-disk ledger BEFORE it is applied, each
+// lane's learned state (template, trajectory histograms, β) is
+// checkpointed atomically every -checkpoint-every periods (one lane:
+// checkpoint.json; several: checkpoint-<app>.json), and at boot the
+// daemon replays the ledger — thawing every cgroup a previous incarnation
+// may have left frozen (after a SIGKILL, an OOM kill, a panic) — then
+// restores the checkpoints so no learning is lost. The arbiter sits above
+// the ledger, so the single write-ahead log covers every lane's merged
+// actuations. -recover-only performs just the ledger replay and exits,
+// for init containers and manual incident response. A watchdog (disable
+// with -watchdog-grace 0) runs beside the control loop and thaws
+// everything if the loop stops beating — e.g. blocked on a hung cgroupfs
+// read. A corrupt ledger or checkpoint is logged and ignored, never
+// fatal: the daemon starts cold rather than refusing to protect.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -105,45 +121,65 @@ func parseList(s string) []string {
 	return out
 }
 
+// listFlag is a repeatable string flag: every occurrence appends.
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+
+func (l *listFlag) Set(v string) error {
+	if v = strings.TrimSpace(v); v != "" {
+		*l = append(*l, v)
+	}
+	return nil
+}
+
 // options is everything validateOptions needs to decide whether the flag
 // set describes a coherent deployment.
 type options struct {
 	sensitivePIDs []int
 	batchPIDs     []int
-	sensCgroup    string
+	sensCgroups   []string
 	batchCgroups  []string
-	qosFile       string
+	qosFiles      []string
+	apps          []string
 	graded        bool
 	memoryHighMB  float64
 	recoverOnly   bool
 }
 
-// validateOptions enforces the daemon's startup contract up front, before
-// anything touches /proc or cgroupfs: a QoS source is mandatory (without
-// the violation signal Stay-Away cannot learn anything), PID mode and
-// cgroup mode are mutually exclusive, each mode needs both its sensitive
-// and batch side, the two PID sets must not overlap (throttling the
-// sensitive app defeats the purpose), and graded throttling requires the
-// cgroup actuator (SIGSTOP has no intermediate levels).
+// validate enforces the daemon's startup contract up front, before
+// anything touches /proc or cgroupfs: a QoS source per sensitive
+// application is mandatory (without the violation signal Stay-Away cannot
+// learn anything), PID mode and cgroup mode are mutually exclusive, each
+// mode needs both its sensitive and batch side, the PID sets must not
+// overlap (throttling the sensitive app defeats the purpose), graded
+// throttling requires the cgroup actuator (SIGSTOP has no intermediate
+// levels), and multi-tenant runs (several -sensitive-cgroup) need
+// positionally aligned -qos-file/-app lists. ALL problems are reported at
+// once (errors.Join), so a misconfigured deployment is fixed in one
+// edit-run cycle instead of one flag per attempt.
 func (o options) validate() (cgroupMode bool, err error) {
-	if o.qosFile == "" && !o.recoverOnly {
-		return false, fmt.Errorf("-qos-file required: the application's QoS report is the violation signal (§3.1)")
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if len(o.qosFiles) == 0 && !o.recoverOnly {
+		fail("-qos-file required: the application's QoS report is the violation signal (§3.1)")
 	}
 	pidMode := len(o.sensitivePIDs) > 0 || len(o.batchPIDs) > 0
-	cgroupMode = o.sensCgroup != "" || len(o.batchCgroups) > 0
+	cgroupMode = len(o.sensCgroups) > 0 || len(o.batchCgroups) > 0
 	switch {
 	case pidMode && cgroupMode:
-		return false, fmt.Errorf("PID flags (-sensitive-pids/-batch-pids) and cgroup flags " +
+		fail("PID flags (-sensitive-pids/-batch-pids) and cgroup flags " +
 			"(-sensitive-cgroup/-batch-cgroups) are mutually exclusive; pick one mode")
 	case !pidMode && !cgroupMode:
-		return false, fmt.Errorf("no workloads given: use -sensitive-pids/-batch-pids (PID mode) " +
+		fail("no workloads given: use -sensitive-pids/-batch-pids (PID mode) " +
 			"or -sensitive-cgroup/-batch-cgroups (cgroup mode)")
 	case pidMode:
 		if len(o.sensitivePIDs) == 0 {
-			return false, fmt.Errorf("-sensitive-pids required in PID mode")
+			fail("-sensitive-pids required in PID mode")
 		}
 		if len(o.batchPIDs) == 0 {
-			return false, fmt.Errorf("-batch-pids required in PID mode")
+			fail("-batch-pids required in PID mode")
 		}
 		sens := make(map[int]bool, len(o.sensitivePIDs))
 		for _, pid := range o.sensitivePIDs {
@@ -151,59 +187,111 @@ func (o options) validate() (cgroupMode bool, err error) {
 		}
 		for _, pid := range o.batchPIDs {
 			if sens[pid] {
-				return false, fmt.Errorf("PID %d is listed as both sensitive and batch; "+
+				fail("PID %d is listed as both sensitive and batch; "+
 					"throttling the sensitive application defeats the purpose", pid)
 			}
 		}
 		if o.graded {
-			return false, fmt.Errorf("-graded requires cgroup mode: SIGSTOP has no intermediate levels")
+			fail("-graded requires cgroup mode: SIGSTOP has no intermediate levels")
 		}
 		if o.memoryHighMB > 0 {
-			return false, fmt.Errorf("-memory-high-mb requires cgroup mode")
+			fail("-memory-high-mb requires cgroup mode")
+		}
+		if len(o.qosFiles) > 1 {
+			fail("PID mode protects one sensitive application; got %d -qos-file flags", len(o.qosFiles))
+		}
+		if len(o.apps) > 1 {
+			fail("PID mode protects one sensitive application; got %d -app flags", len(o.apps))
 		}
 	default: // cgroup mode
-		if o.sensCgroup == "" && !o.recoverOnly {
+		if len(o.sensCgroups) == 0 && !o.recoverOnly {
 			// Recovery replays the ledger against the batch cgroups only;
 			// the operator of a dead daemon shouldn't need its full config.
-			return false, fmt.Errorf("-sensitive-cgroup required in cgroup mode")
+			fail("-sensitive-cgroup required in cgroup mode")
 		}
 		if len(o.batchCgroups) == 0 {
-			return false, fmt.Errorf("-batch-cgroups required in cgroup mode")
+			fail("-batch-cgroups required in cgroup mode")
 		}
-		seen := map[string]bool{o.sensCgroup: true}
-		for _, cg := range o.batchCgroups {
+		seen := map[string]bool{}
+		for _, cg := range o.sensCgroups {
 			if seen[cg] {
-				return false, fmt.Errorf("cgroup %q listed twice (or as both sensitive and batch)", cg)
+				fail("cgroup %q listed twice (or as both sensitive and batch)", cg)
 			}
 			seen[cg] = true
 		}
+		for _, cg := range o.batchCgroups {
+			if seen[cg] {
+				fail("cgroup %q listed twice (or as both sensitive and batch)", cg)
+			}
+			seen[cg] = true
+		}
+		if n := len(o.sensCgroups); n > 0 && !o.recoverOnly && len(o.qosFiles) != n {
+			fail("%d -sensitive-cgroup flags need %d -qos-file flags (one QoS report per "+
+				"protected application), got %d", n, n, len(o.qosFiles))
+		}
+		if n := len(o.sensCgroups); len(o.apps) > 0 && len(o.apps) != n {
+			fail("-app given %d times but -sensitive-cgroup %d times; "+
+				"give one -app per sensitive cgroup or none", len(o.apps), n)
+		}
+	}
+	appSeen := map[string]bool{}
+	for _, app := range o.apps {
+		if appSeen[app] {
+			fail("application name %q given twice; lanes need distinct -app names", app)
+		}
+		appSeen[app] = true
 	}
 	if o.memoryHighMB < 0 {
-		return false, fmt.Errorf("-memory-high-mb must be non-negative, got %v", o.memoryHighMB)
+		fail("-memory-high-mb must be non-negative, got %v", o.memoryHighMB)
 	}
-	return cgroupMode, nil
+	return cgroupMode, errors.Join(errs...)
+}
+
+// laneSpec is one protected application's daemon-side wiring.
+type laneSpec struct {
+	app     string            // fleet-wide application name
+	group   string            // collector group name (= Config.SensitiveID)
+	qos     procenv.QoSSource // the application's QoS report channel
+	sig     *procenv.AppSignals
+	lane    *core.Lane
+	ckPath  string // per-lane checkpoint file ("" = no crash safety)
+	syncer  *fleet.Syncer
+	seq     uint64 // EventsSince cursor for the report drain
+	periods int
+	viols   int
+}
+
+// templateOutPath derives the per-lane export path: a single lane writes
+// base verbatim; several write base with "-<app>" before the extension.
+func templateOutPath(base, app string, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + app + ext
 }
 
 func run() error {
+	var sensCgroups, qosFiles, apps listFlag
 	sensitivePIDs := flag.String("sensitive-pids", "", "comma-separated PIDs of the sensitive application (PID mode)")
 	batchPIDs := flag.String("batch-pids", "", "comma-separated PIDs of the batch applications (PID mode)")
-	sensCgroup := flag.String("sensitive-cgroup", "", "sensitive application's cgroup, relative to -cgroup-root (cgroup mode)")
-	batchCgroups := flag.String("batch-cgroups", "", "comma-separated batch cgroups, relative to -cgroup-root (cgroup mode)")
+	flag.Var(&sensCgroups, "sensitive-cgroup", "sensitive application's cgroup, relative to -cgroup-root (cgroup mode; repeatable: one lane per use)")
+	batchCgroups := flag.String("batch-cgroups", "", "comma-separated batch cgroups, relative to -cgroup-root, shared by every lane (cgroup mode)")
 	cgroupRoot := flag.String("cgroup-root", "/sys/fs/cgroup", "cgroup v2 hierarchy mount point")
 	graded := flag.Bool("graded", false, "graded throttling: step cpu.max quotas before freezing (cgroup mode only)")
 	memoryHighMB := flag.Float64("memory-high-mb", 0, "memory.high soft limit applied to throttled batch cgroups (0 = off)")
-	qosFile := flag.String("qos-file", "", "file the sensitive app rewrites with \"<value> <threshold>\"")
+	flag.Var(&qosFiles, "qos-file", "file the sensitive app rewrites with \"<value> <threshold>\" (repeatable, aligned with -sensitive-cgroup)")
 	period := flag.Duration("period", time.Second, "monitoring period")
 	cores := flag.Int("cores", runtime.NumCPU(), "host cores (CPU normalization range)")
 	memoryMB := flag.Float64("memory-mb", 4096, "host memory (normalization range)")
 	diskMBps := flag.Float64("disk-mbps", 200, "disk capacity (normalization range)")
-	templateOut := flag.String("template-out", "", "write the learned template JSON on exit")
+	templateOut := flag.String("template-out", "", "write the learned template JSON on exit (several lanes: app-suffixed files)")
 	stateDir := flag.String("state-dir", "", "directory for the actuation ledger and learned-state checkpoints (empty = no crash safety)")
 	recoverOnly := flag.Bool("recover-only", false, "replay the ledger (thaw everything a dead daemon left throttled) and exit; requires -state-dir")
 	checkpointEvery := flag.Int("checkpoint-every", 30, "periods between learned-state checkpoints (requires -state-dir)")
 	watchdogGrace := flag.Int("watchdog-grace", 3, "missed periods before the watchdog thaws everything (0 = no watchdog)")
 	registryURL := flag.String("registry", "", "fleet registry base URL (empty = standalone)")
-	app := flag.String("app", "sensitive", "fleet-wide application name for template sharing")
+	flag.Var(&apps, "app", "fleet-wide application name for template sharing (repeatable, aligned with -sensitive-cgroup)")
 	hostID := flag.String("host-id", "", "host identity reported to the registry (default: hostname)")
 	syncEvery := flag.Int("sync-every", 30, "periods between registry pushes")
 	verbose := flag.Bool("v", false, "print every period event")
@@ -220,9 +308,10 @@ func run() error {
 	opts := options{
 		sensitivePIDs: sens,
 		batchPIDs:     batch,
-		sensCgroup:    *sensCgroup,
+		sensCgroups:   sensCgroups,
 		batchCgroups:  parseList(*batchCgroups),
-		qosFile:       *qosFile,
+		qosFiles:      qosFiles,
+		apps:          apps,
 		graded:        *graded,
 		memoryHighMB:  *memoryHighMB,
 		recoverOnly:   *recoverOnly,
@@ -235,14 +324,46 @@ func run() error {
 		return fmt.Errorf("-recover-only requires -state-dir (the ledger to replay)")
 	}
 
-	// In recover-only mode no QoS report is needed (nothing is learned);
-	// a static non-violating source satisfies the environment's contract.
-	var qos procenv.QoSSource = procenv.FileQoS{Path: *qosFile}
-	if *qosFile == "" {
-		qos = procenv.StaticQoS{Value: 1, Threshold: 0}
+	// Resolve the lane list: group names, application names and QoS
+	// sources, positionally aligned. A single sensitive keeps the legacy
+	// group name "sensitive" (checkpoint/template schema compatibility);
+	// several use their cgroup paths as group names.
+	var lanes []*laneSpec
+	if cgroupMode {
+		multi := len(opts.sensCgroups) > 1
+		for i, cg := range opts.sensCgroups {
+			spec := &laneSpec{group: "sensitive", app: "sensitive"}
+			if multi {
+				spec.group = cg
+				spec.app = cg
+			}
+			if len(opts.apps) > i {
+				spec.app = opts.apps[i]
+			}
+			if len(opts.qosFiles) > i {
+				spec.qos = procenv.FileQoS{Path: opts.qosFiles[i]}
+			} else {
+				// Recover-only: nothing is learned, a static non-violating
+				// source satisfies the contract.
+				spec.qos = procenv.StaticQoS{Value: 1, Threshold: 0}
+			}
+			lanes = append(lanes, spec)
+		}
+	} else if !opts.recoverOnly {
+		spec := &laneSpec{group: "sensitive", app: "sensitive"}
+		if len(opts.apps) > 0 {
+			spec.app = opts.apps[0]
+		}
+		if len(opts.qosFiles) > 0 {
+			spec.qos = procenv.FileQoS{Path: opts.qosFiles[0]}
+		} else {
+			spec.qos = procenv.StaticQoS{Value: 1, Threshold: 0}
+		}
+		lanes = append(lanes, spec)
 	}
+
 	var (
-		env      core.Environment
+		henv     *procenv.HostEnv
 		batchIDs []string // the IDs the throttle controller actuates
 		act      throttle.Actuator
 		release  func() error // final cleanup: never leave batch work throttled
@@ -267,7 +388,14 @@ func run() error {
 		// Recovery replays the ledger against the actuator alone; the
 		// telemetry side is only assembled for a real control run.
 		if !opts.recoverOnly {
-			groups := []cgroup.Group{{Name: "sensitive", Path: opts.sensCgroup}}
+			var groups []cgroup.Group
+			for _, spec := range lanes {
+				groups = append(groups, cgroup.Group{Name: spec.group, Path: spec.group})
+			}
+			if len(lanes) == 1 {
+				// Legacy layout: group "sensitive" at the configured path.
+				groups[0].Path = opts.sensCgroups[0]
+			}
 			for _, cg := range opts.batchCgroups {
 				groups = append(groups, cgroup.Group{Name: cg, Path: cg})
 			}
@@ -275,7 +403,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			cgEnv, err := procenv.NewEnvironment(collector, "sensitive", opts.batchCgroups, qos)
+			henv, err = procenv.NewHostEnv(collector, opts.batchCgroups)
 			if err != nil {
 				return err
 			}
@@ -287,13 +415,14 @@ func run() error {
 					fmt.Fprintf(os.Stderr, "stayawayd: warning: %v; actuation for %q will degrade to SIGSTOP/SIGCONT\n", err, cg)
 				}
 			}
-			if !cfs.Exists(opts.sensCgroup) {
-				fmt.Fprintf(os.Stderr, "stayawayd: warning: sensitive cgroup %q not found (yet)\n", opts.sensCgroup)
+			for _, cg := range opts.sensCgroups {
+				if !cfs.Exists(cg) {
+					fmt.Fprintf(os.Stderr, "stayawayd: warning: sensitive cgroup %q not found (yet)\n", cg)
+				}
 			}
-			env = cgEnv
 		}
-		watching = fmt.Sprintf("sensitive=%s batch=%v (cgroup mode, root=%s)",
-			opts.sensCgroup, opts.batchCgroups, *cgroupRoot)
+		watching = fmt.Sprintf("sensitive=%v batch=%v (cgroup mode, root=%s)",
+			opts.sensCgroups, opts.batchCgroups, *cgroupRoot)
 	} else {
 		// The runtime throttles the logical "batch" VM; the actuator
 		// translates that into signals to the concrete PIDs behind it.
@@ -316,11 +445,10 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			pidEnv, err := procenv.NewEnvironment(collector, "sensitive", []string{"batch"}, qos)
+			henv, err = procenv.NewHostEnv(collector, []string{"batch"})
 			if err != nil {
 				return err
 			}
-			env = pidEnv
 		}
 		watching = fmt.Sprintf("sensitive=%v batch=%v (PID mode)", sens, batch)
 	}
@@ -330,15 +458,21 @@ func run() error {
 	// them outranks every other startup step. The ledger is an upper bound
 	// on applied throttling (restrictions are recorded before actuation,
 	// releases after), so replay can only over-thaw, which is idempotent.
-	var (
-		ledger         *resilience.Ledger
-		checkpointPath string
-	)
+	// One ledger serves every lane: the arbiter merges per-lane decisions
+	// BEFORE they reach the ledgered actuator, so the write-ahead log holds
+	// exactly the effective actuations on the shared pool.
+	var ledger *resilience.Ledger
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			return fmt.Errorf("-state-dir: %v", err)
 		}
-		checkpointPath = filepath.Join(*stateDir, "checkpoint.json")
+		for _, spec := range lanes {
+			spec.ckPath = resilience.LaneCheckpointPath(*stateDir, spec.app)
+		}
+		if len(lanes) == 1 {
+			// Legacy single-tenant layout.
+			lanes[0].ckPath = filepath.Join(*stateDir, "checkpoint.json")
+		}
 		ledger, err = resilience.OpenLedger(filepath.Join(*stateDir, "ledger.json"))
 		if err != nil {
 			// A corrupt ledger cannot tell us what was throttled, so assume
@@ -376,73 +510,102 @@ func run() error {
 		}
 	}
 
-	cfg := core.DefaultConfig("sensitive", batchIDs,
-		metrics.DefaultRanges(*cores, *memoryMB, *diskMBps, 1000))
-	cfg.Seed = time.Now().UnixNano()
-	cfg.SensitiveApp = *app
-	if *graded {
-		cfg.Throttle.Policy = throttle.PolicyGraded
-	}
-	rt, err := core.New(cfg, env, act)
+	// Assemble the host runtime: one lane per protected application over
+	// the shared batch pool, decisions merged by the actuation arbiter.
+	host, err := core.NewHost(henv, act)
 	if err != nil {
 		return err
 	}
+	ranges := metrics.DefaultRanges(*cores, *memoryMB, *diskMBps, 1000)
+	seed := time.Now().UnixNano()
+	for i, spec := range lanes {
+		cfg := core.DefaultConfig(spec.group, batchIDs, ranges)
+		cfg.Seed = seed + int64(i)
+		cfg.SensitiveApp = spec.app
+		if *graded {
+			cfg.Throttle.Policy = throttle.PolicyGraded
+		}
+		if spec.sig, err = henv.Signals(spec.group, spec.qos); err != nil {
+			return err
+		}
+		if spec.lane, err = host.AddLane(cfg, spec.sig); err != nil {
+			return err
+		}
+	}
+	hostRelease := release
+	release = func() error {
+		// The arbiter's lane desires must be cleared alongside the
+		// downstream thaw, or surviving controllers would re-merge stale
+		// restrictions on the next period.
+		err := host.Release()
+		if rerr := hostRelease(); err == nil {
+			err = rerr
+		}
+		return err
+	}
 
-	// Restore the learned-state checkpoint before the first period. A
-	// missing checkpoint is a cold start; a corrupt or incompatible one is
-	// logged and ignored — losing learned state is recoverable, refusing
-	// to start is not.
-	restored := false
-	if checkpointPath != "" {
-		switch ck, err := resilience.LoadCheckpoint(checkpointPath); {
+	// Restore each lane's learned-state checkpoint before the first
+	// period. A missing checkpoint is a cold start; a corrupt or
+	// incompatible one is logged and ignored — losing learned state is
+	// recoverable, refusing to start is not.
+	restored := make(map[string]bool)
+	for _, spec := range lanes {
+		if spec.ckPath == "" {
+			continue
+		}
+		switch ck, err := resilience.LoadCheckpoint(spec.ckPath); {
 		case err != nil:
-			fmt.Fprintf(os.Stderr, "stayawayd: checkpoint unreadable, starting cold: %v\n", err)
+			fmt.Fprintf(os.Stderr, "stayawayd: %s: checkpoint unreadable, starting cold: %v\n", spec.app, err)
 		case ck != nil:
-			if err := rt.RestoreCheckpoint(ck); err != nil {
-				fmt.Fprintf(os.Stderr, "stayawayd: checkpoint rejected, starting cold: %v\n", err)
+			if err := spec.lane.RestoreCheckpoint(ck); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: %s: checkpoint rejected, starting cold: %v\n", spec.app, err)
 			} else {
-				restored = true
-				fmt.Printf("stayawayd: restored checkpoint (%d periods of learning, %d states)\n",
-					ck.Periods, len(ck.Template.States))
+				restored[spec.app] = true
+				fmt.Printf("stayawayd: %s: restored checkpoint (%d periods of learning, %d states)\n",
+					spec.app, ck.Periods, len(ck.Template.States))
 			}
 		}
 	}
 
-	// Fleet wiring: pull the consensus map before the first period; a cold
-	// or unreachable registry never blocks startup.
-	var syncer *fleet.Syncer
+	// Fleet wiring: each lane pulls its application's consensus map before
+	// the first period; a cold or unreachable registry never blocks
+	// startup.
+	var hostSync *fleet.HostSyncer
 	if *registryURL != "" {
 		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL})
 		if err != nil {
 			return err
 		}
-		host := *hostID
-		if host == "" {
-			if host, err = os.Hostname(); err != nil {
-				host = "unknown-host"
+		hostName := *hostID
+		if hostName == "" {
+			if hostName, err = os.Hostname(); err != nil {
+				hostName = "unknown-host"
 			}
 		}
-		syncer = fleet.NewSyncer(client, host, *app)
-		if restored {
-			// The local checkpoint is this host's own learned map; adopting
-			// the fleet template would discard it. Keep the local state and
-			// let the periodic pushes reconcile with the registry.
-			fmt.Printf("stayawayd: checkpoint restored; skipping fleet bootstrap for %q\n", *app)
-		} else {
+		hostSync = fleet.NewHostSyncer(client, hostName)
+		for _, spec := range lanes {
+			spec.syncer = hostSync.Lane(spec.app)
+			if restored[spec.app] {
+				// The local checkpoint is this host's own learned map;
+				// adopting the fleet template would discard it. Keep the
+				// local state and let the periodic pushes reconcile.
+				fmt.Printf("stayawayd: %s: checkpoint restored; skipping fleet bootstrap\n", spec.app)
+				continue
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			tpl, rev, err := syncer.Bootstrap(ctx)
+			tpl, rev, err := spec.syncer.Bootstrap(ctx)
 			cancel()
 			switch {
 			case err != nil:
-				fmt.Fprintf(os.Stderr, "stayawayd: registry bootstrap failed, starting cold: %v\n", err)
+				fmt.Fprintf(os.Stderr, "stayawayd: %s: registry bootstrap failed, starting cold: %v\n", spec.app, err)
 			case tpl == nil:
-				fmt.Printf("stayawayd: registry has no template for %q yet, learning from scratch\n", *app)
+				fmt.Printf("stayawayd: registry has no template for %q yet, learning from scratch\n", spec.app)
 			default:
-				if err := rt.ImportTemplate(tpl); err != nil {
-					fmt.Fprintf(os.Stderr, "stayawayd: fleet template rejected, starting cold: %v\n", err)
+				if err := spec.lane.ImportTemplate(tpl); err != nil {
+					fmt.Fprintf(os.Stderr, "stayawayd: %s: fleet template rejected, starting cold: %v\n", spec.app, err)
 				} else {
 					fmt.Printf("stayawayd: bootstrapped %q from fleet revision %d (%d states)\n",
-						*app, rev, len(tpl.States))
+						spec.app, rev, len(tpl.States))
 				}
 			}
 		}
@@ -456,18 +619,21 @@ func run() error {
 	if *syncEvery <= 0 {
 		*syncEvery = 30
 	}
-	var periods, violations int
-	sync := func(throttled bool) {
-		if rt.Space().Len() > 0 {
-			if err := syncer.PushTemplate(rt.ExportTemplate(*app)); err != nil {
+	multi := len(lanes) > 1
+	sync := func(spec *laneSpec, throttled bool) {
+		if spec.syncer == nil {
+			return
+		}
+		if spec.lane.Space().Len() > 0 {
+			if err := spec.syncer.PushTemplate(spec.lane.ExportTemplate(spec.app)); err != nil {
 				fmt.Fprintln(os.Stderr, "stayawayd: registry push failed (degraded, continuing):", err)
 			}
 		}
-		if err := syncer.Heartbeat(fleet.Heartbeat{
-			Periods: periods, Violations: violations, Throttled: throttled,
+		if err := spec.syncer.Heartbeat(fleet.Heartbeat{
+			Periods: spec.periods, Violations: spec.viols, Throttled: throttled,
 		}); err == nil {
-			if degraded, _ := syncer.Degraded(); !degraded && *verbose {
-				fmt.Println("stayawayd: registry sync ok, revision", syncer.LastRevision())
+			if degraded, _ := spec.syncer.Degraded(); !degraded && *verbose {
+				fmt.Printf("stayawayd: %s: registry sync ok, revision %d\n", spec.app, spec.syncer.LastRevision())
 			}
 		}
 	}
@@ -499,19 +665,45 @@ func run() error {
 		*checkpointEvery = 30
 	}
 	checkpoint := func() {
-		if checkpointPath == "" || rt.Space().Len() == 0 {
-			return
-		}
-		if err := resilience.SaveCheckpoint(checkpointPath, rt.Checkpoint()); err != nil {
-			fmt.Fprintln(os.Stderr, "stayawayd: checkpoint:", err)
+		for _, spec := range lanes {
+			if spec.ckPath == "" || spec.lane.Space().Len() == 0 {
+				continue
+			}
+			if err := resilience.SaveCheckpoint(spec.ckPath, spec.lane.Checkpoint()); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: %s: checkpoint: %v\n", spec.app, err)
+			}
 		}
 	}
 
-	fmt.Printf("stayawayd: monitoring %s every %v\n", watching, *period)
+	// The report drain: each lane's events come out of its bounded ring
+	// buffer via the since-sequence cursor, so a slow or bursty reporting
+	// path can never make the daemon's memory grow with uptime.
+	drain := func() {
+		for _, spec := range lanes {
+			var evs []core.Event
+			evs, spec.seq = spec.lane.EventsSince(spec.seq)
+			for _, ev := range evs {
+				spec.periods++
+				if ev.Violation {
+					spec.viols++
+				}
+				if *verbose || ev.Violation || ev.Action != throttle.ActionNone {
+					if multi {
+						fmt.Printf("[%s] %s\n", spec.app, ev)
+					} else {
+						fmt.Println(ev)
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Printf("stayawayd: monitoring %s every %v (%d lane(s))\n", watching, *period, len(lanes))
 	// The loop body runs under a recover barrier so that even a panic in
 	// the runtime falls through to the release below — a crashing daemon
 	// must never strand batch workloads frozen. (SIGKILL still can; that
 	// is what the ledger replay at next boot is for.)
+	var periods int
 	loopErr := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -524,7 +716,7 @@ func run() error {
 			case <-stop:
 				break loop
 			case <-ticker.C:
-				ev, err := rt.Period()
+				evs, err := host.Period()
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "stayawayd: period:", err)
 					continue
@@ -533,19 +725,23 @@ func run() error {
 					wd.Beat()
 				}
 				periods++
-				if ev.Violation {
-					violations++
-				}
-				if *verbose || ev.Violation || ev.Action != throttle.ActionNone {
-					fmt.Println(ev)
-				}
-				if syncer != nil && periods%*syncEvery == 0 {
-					sync(ev.Throttled)
+				drain()
+				if periods%*syncEvery == 0 {
+					for i, spec := range lanes {
+						sync(spec, evs[i].Throttled)
+					}
 				}
 				if periods%*checkpointEvery == 0 {
 					checkpoint()
 				}
-				if !env.BatchActive() && !env.SensitiveRunning() {
+				anySensitive := false
+				for _, spec := range lanes {
+					if spec.sig.SensitiveRunning() {
+						anySensitive = true
+						break
+					}
+				}
+				if !henv.BatchActive() && !anySensitive {
 					fmt.Println("stayawayd: all monitored workloads exited")
 					break loop
 				}
@@ -565,20 +761,32 @@ func run() error {
 		return loopErr
 	}
 	checkpoint()
-	// Share the freshest map with the fleet before exiting.
-	if syncer != nil {
-		sync(false)
-	}
-	fmt.Println(rt.Report())
-	if *templateOut != "" {
-		err := fsatomic.WriteFileFunc(*templateOut, 0o644, func(w io.Writer) error {
-			_, err := rt.ExportTemplate(*app).WriteTo(w)
-			return err
-		})
-		if err != nil {
-			return err
+	drain()
+	for _, spec := range lanes {
+		// Share the freshest map with the fleet before exiting.
+		sync(spec, false)
+		if multi {
+			fmt.Printf("--- %s ---\n", spec.app)
 		}
-		fmt.Printf("template written to %s\n", *templateOut)
+		fmt.Println(spec.lane.Report())
+	}
+	if hostSync != nil {
+		for app, err := range hostSync.Degraded() {
+			fmt.Fprintf(os.Stderr, "stayawayd: %s: exiting out of sync with the registry: %v\n", app, err)
+		}
+	}
+	if *templateOut != "" {
+		for _, spec := range lanes {
+			path := templateOutPath(*templateOut, spec.app, multi)
+			err := fsatomic.WriteFileFunc(path, 0o644, func(w io.Writer) error {
+				_, err := spec.lane.ExportTemplate(spec.app).WriteTo(w)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("template written to %s\n", path)
+		}
 	}
 	return nil
 }

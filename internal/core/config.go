@@ -81,6 +81,13 @@ type Config struct {
 	// 0 defaults to 5; negative disables staleness tracking.
 	QoSStaleAfter int
 
+	// EventWindow bounds how many per-period events the runtime retains
+	// (Events/EventsSince). Long daemon runs previously grew the event
+	// slice forever; the ring buffer caps it. 0 defaults to 4096; negative
+	// keeps everything (short experiment runs that render figures from the
+	// full history).
+	EventWindow int
+
 	// SingleModel collapses the per-mode trajectory models into one — the
 	// configuration the paper shows is inaccurate; exposed for the
 	// ablation experiments.
@@ -141,6 +148,9 @@ func (c *Config) applyDefaults() {
 	if c.QoSStaleAfter == 0 {
 		c.QoSStaleAfter = 5
 	}
+	if c.EventWindow == 0 {
+		c.EventWindow = 4096
+	}
 }
 
 func (c *Config) validate() error {
@@ -153,10 +163,17 @@ func (c *Config) validate() error {
 	if c.SensitiveID == c.LogicalBatchVM {
 		return fmt.Errorf("core: SensitiveID %q collides with LogicalBatchVM", c.SensitiveID)
 	}
+	seenBatch := make(map[string]bool, len(c.BatchIDs))
 	for _, id := range c.BatchIDs {
 		if id == c.SensitiveID {
 			return fmt.Errorf("core: container %q is both sensitive and batch", id)
 		}
+		if seenBatch[id] {
+			// A duplicate batch ID would double-count the container inside
+			// the aggregated logical batch VM, skewing every vector.
+			return fmt.Errorf("core: duplicate batch container %q", id)
+		}
+		seenBatch[id] = true
 	}
 	if c.RefreshEvery < 0 {
 		return fmt.Errorf("core: RefreshEvery must be non-negative, got %d", c.RefreshEvery)

@@ -1,0 +1,55 @@
+package core
+
+// eventLog retains per-period events in a bounded ring. Long daemon runs
+// previously accumulated one Event per period forever; the ring bounds
+// memory while sequence numbers let report paths drain incrementally
+// without missing (un-evicted) events.
+type eventLog struct {
+	buf []Event
+	max int
+	// next is the sequence number the next appended event will get; the
+	// oldest retained event has sequence next-len(buf).
+	next uint64
+}
+
+// newEventLog returns a log retaining at most max events; max <= 0 keeps
+// everything (the pre-ring behaviour, for short experiment runs that
+// render figures from the full history).
+func newEventLog(max int) *eventLog {
+	return &eventLog{max: max}
+}
+
+// append records an event, evicting the oldest when full.
+func (l *eventLog) append(ev Event) {
+	l.buf = append(l.buf, ev)
+	l.next++
+	if l.max > 0 && len(l.buf) > l.max {
+		// Shift rather than reslice so the evicted prefix is reclaimable.
+		n := copy(l.buf, l.buf[len(l.buf)-l.max:])
+		l.buf = l.buf[:n]
+	}
+}
+
+// all returns a copy of every retained event.
+func (l *eventLog) all() []Event {
+	return append([]Event(nil), l.buf...)
+}
+
+// since returns a copy of all retained events with sequence >= seq, plus
+// the sequence number to pass next time (one past the newest returned
+// event). Evicted events are gone: asking for a sequence older than the
+// retention window returns only what is still held.
+func (l *eventLog) since(seq uint64) ([]Event, uint64) {
+	oldest := l.next - uint64(len(l.buf))
+	if seq < oldest {
+		seq = oldest
+	}
+	if seq >= l.next {
+		return nil, l.next
+	}
+	start := len(l.buf) - int(l.next-seq)
+	return append([]Event(nil), l.buf[start:]...), l.next
+}
+
+// len reports how many events are retained.
+func (l *eventLog) len() int { return len(l.buf) }

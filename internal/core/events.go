@@ -13,6 +13,9 @@ import (
 type Event struct {
 	// Period is the monitoring period index.
 	Period int
+	// App is the fleet-wide name of the sensitive application whose lane
+	// produced the event (empty only in zero-value events).
+	App string
 	// Mode is the detected execution mode.
 	Mode trajectory.Mode
 	// StateID is the mapped state this period's vector landed on.

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/resilience"
+	"repro/internal/throttle"
+)
+
+// hostStep scripts one period of a fake multi-tenant host: per-container
+// CPU plus per-lane signals.
+type hostStep struct {
+	cpu          map[string]float64 // raw CPU per container
+	violations   map[string]bool    // per application name
+	sensRunning  map[string]bool
+	batchRunning bool
+	batchActive  bool
+}
+
+// fakeHostEnv replays a script; the final step repeats forever. Its
+// laneSig handles expose the per-application signals.
+type fakeHostEnv struct {
+	script []hostStep
+	i      int
+	cur    hostStep
+}
+
+func (f *fakeHostEnv) Collect() []metrics.Sample {
+	if f.i < len(f.script) {
+		f.cur = f.script[f.i]
+		f.i++
+	}
+	var out []metrics.Sample
+	for vm, cpu := range f.cur.cpu {
+		out = append(out, metrics.NewSample(vm, map[metrics.Metric]float64{
+			metrics.MetricCPU:    cpu,
+			metrics.MetricMemory: 500,
+		}))
+	}
+	metrics.SortSamples(out)
+	return out
+}
+
+func (f *fakeHostEnv) BatchRunning() bool { return f.cur.batchRunning }
+func (f *fakeHostEnv) BatchActive() bool  { return f.cur.batchActive }
+
+// laneSig reads one application's signals off the shared fake host.
+type laneSig struct {
+	env *fakeHostEnv
+	app string
+}
+
+func (s laneSig) QoSViolation() bool     { return s.env.cur.violations[s.app] }
+func (s laneSig) SensitiveRunning() bool { return s.env.cur.sensRunning[s.app] }
+
+var (
+	_ HostEnvironment = (*fakeHostEnv)(nil)
+	_ LaneSignals     = laneSig{}
+)
+
+func laneConfig(sensitiveID, app string) Config {
+	cfg := DefaultConfig(sensitiveID, []string{"b1", "b2"}, testRanges())
+	cfg.SensitiveApp = app
+	return cfg
+}
+
+// colocated scripts a period where both sensitives and the batch run.
+func colocated(webCPU, kvCPU, batchCPU float64, webViol, kvViol bool) hostStep {
+	return hostStep{
+		cpu:          map[string]float64{"web": webCPU, "kv": kvCPU, "b1": batchCPU / 2, "b2": batchCPU / 2},
+		violations:   map[string]bool{"web-app": webViol, "kv-app": kvViol},
+		sensRunning:  map[string]bool{"web-app": true, "kv-app": true},
+		batchRunning: true,
+		batchActive:  true,
+	}
+}
+
+func newTwoLaneHost(t *testing.T, env *fakeHostEnv, act throttle.Actuator) *HostRuntime {
+	t.Helper()
+	h, err := NewHost(env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddLane(laneConfig("web", "web-app"), laneSig{env, "web-app"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddLane(laneConfig("kv", "kv-app"), laneSig{env, "kv-app"}); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHostAddLaneValidation(t *testing.T) {
+	env := &fakeHostEnv{}
+	act := throttle.NewRecordingActuator()
+	if _, err := NewHost(nil, act); err == nil {
+		t.Error("nil environment should error")
+	}
+	if _, err := NewHost(env, nil); err == nil {
+		t.Error("nil actuator should error")
+	}
+	h, err := NewHost(env, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddLane(laneConfig("web", "web-app"), nil); err == nil {
+		t.Error("nil signals should error")
+	}
+	if _, err := h.AddLane(laneConfig("web", "web-app"), laneSig{env, "web-app"}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate application name.
+	if _, err := h.AddLane(laneConfig("web2", "web-app"), laneSig{env, "web-app"}); err == nil {
+		t.Error("duplicate app should error")
+	}
+	// Duplicate sensitive container.
+	if _, err := h.AddLane(laneConfig("web", "other"), laneSig{env, "other"}); err == nil {
+		t.Error("duplicate sensitive container should error")
+	}
+	// A lane's sensitive container in another lane's batch set.
+	cfg := laneConfig("kv", "kv-app")
+	cfg.BatchIDs = []string{"web"}
+	if _, err := h.AddLane(cfg, laneSig{env, "kv-app"}); err == nil {
+		t.Error("sensitive-as-batch across lanes should error")
+	}
+	cfg = laneConfig("b1", "b1-app")
+	if _, err := h.AddLane(cfg, laneSig{env, "b1-app"}); err == nil {
+		t.Error("batch-as-sensitive across lanes should error")
+	}
+
+	// No lanes (fresh host) cannot run a period.
+	h2, _ := NewHost(env, act)
+	if _, err := h2.Period(); err == nil {
+		t.Error("period without lanes should error")
+	}
+
+	// Lanes are frozen after the first period.
+	env.script = []hostStep{colocated(100, 100, 50, false, false)}
+	if _, err := h.Period(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddLane(laneConfig("kv", "kv-app"), laneSig{env, "kv-app"}); err == nil {
+		t.Error("lane added after a period should error")
+	}
+}
+
+func TestHostPeriodFansOutSharedSamples(t *testing.T) {
+	env := &fakeHostEnv{script: []hostStep{
+		colocated(100, 300, 50, false, false),
+		colocated(100, 300, 200, false, true), // kv-app violates
+	}}
+	act := throttle.NewRecordingActuator()
+	h := newTwoLaneHost(t, env, act)
+
+	if got := h.Apps(); len(got) != 2 || got[0] != "web-app" || got[1] != "kv-app" {
+		t.Fatalf("Apps() = %v", got)
+	}
+
+	evs, err := h.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want one per lane", len(evs))
+	}
+	if evs[0].App != "web-app" || evs[1].App != "kv-app" {
+		t.Fatalf("event apps = %q, %q", evs[0].App, evs[1].App)
+	}
+
+	evs, err = h.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Violation || !evs[1].Violation {
+		t.Fatalf("violation fan-out wrong: web=%v kv=%v", evs[0].Violation, evs[1].Violation)
+	}
+	// The violating lane pauses the shared pool through the arbiter; the
+	// other lane is untouched.
+	if !evs[1].Throttled || evs[0].Throttled {
+		t.Fatalf("throttled: web=%v kv=%v", evs[0].Throttled, evs[1].Throttled)
+	}
+	if got := act.Paused(); len(got) != 2 {
+		t.Fatalf("paused = %v, want both batch containers", got)
+	}
+	if got := h.Restricting(); len(got["b1"]) != 1 || got["b1"][0] != "kv-app" {
+		t.Fatalf("Restricting() = %v", got)
+	}
+
+	// Each lane mapped its own sensitive container: distinct CPUs land on
+	// distinct vectors, so the lanes learn different spaces.
+	web, kv := h.Lane("web-app"), h.Lane("kv-app")
+	if web == nil || kv == nil || h.Lane("nope") != nil {
+		t.Fatalf("lane lookup broken")
+	}
+	wv, kvv := web.Space().Vectors(), kv.Space().Vectors()
+	if len(wv) == 0 || len(kvv) == 0 {
+		t.Fatal("lanes learned nothing")
+	}
+	if wv[0][0] == kvv[0][0] {
+		t.Fatalf("lanes saw identical sensitive CPU %v — fan-out failed", wv[0][0])
+	}
+
+	// Emergency release thaws the shared pool.
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := act.Paused(); len(got) != 0 {
+		t.Fatalf("paused after Release = %v", got)
+	}
+
+	if got := h.BatchIDs(); len(got) != 2 || got[0] != "b1" || got[1] != "b2" {
+		t.Fatalf("BatchIDs() = %v", got)
+	}
+	if h.Periods() != 2 {
+		t.Fatalf("Periods() = %d", h.Periods())
+	}
+}
+
+// TestHostTwoLaneCrashRecovery is the acceptance scenario: two lanes
+// throttle the shared pool, the host dies without releasing, and on
+// restart (a) the ledger replay releases the shared batch containers
+// exactly once, (b) both lanes restore their own checkpoints from their
+// per-lane paths.
+func TestHostTwoLaneCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ledger, err := resilience.OpenLedger(filepath.Join(dir, "ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := throttle.NewRecordingActuator()
+	ledgered, err := resilience.NewLedgeredActuator(inner, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := &fakeHostEnv{script: []hostStep{
+		colocated(100, 300, 50, false, false),
+		colocated(150, 250, 100, false, false),
+		colocated(120, 280, 150, false, false),
+		colocated(100, 300, 200, true, true), // both lanes violate → both freeze
+	}}
+	host := newTwoLaneHost(t, env, ledgered)
+	for i := 0; i < len(env.script); i++ {
+		if _, err := host.Period(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.Paused(); len(got) != 2 {
+		t.Fatalf("paused = %v, want the shared pool frozen", got)
+	}
+	for _, id := range []string{"b1", "b2"} {
+		if lanes := host.Arbiter().Restricting(id); len(lanes) != 2 {
+			t.Fatalf("Restricting(%s) = %v, want both lanes", id, lanes)
+		}
+	}
+
+	// Per-lane checkpoints, exactly as the daemon writes them.
+	for _, lane := range host.Lanes() {
+		path := resilience.LaneCheckpointPath(dir, lane.App())
+		if err := resilience.SaveCheckpoint(path, lane.Checkpoint()); err != nil {
+			t.Fatalf("checkpoint %s: %v", lane.App(), err)
+		}
+	}
+
+	// CRASH: the host vanishes without Release. The ledger still holds
+	// the freeze records for both shared containers.
+
+	// Restart: replay the ledger first. Both containers thaw in ONE
+	// downstream resume (plus the idempotent quota clear).
+	ledger2, err := resilience.OpenLedger(filepath.Join(dir, "ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner2 := throttle.NewRecordingActuator()
+	thawed, err := resilience.Recover(ledger2, inner2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thawed) != 2 {
+		t.Fatalf("recovery thawed %v, want both shared containers", thawed)
+	}
+	resumes := 0
+	for _, e := range inner2.Events() {
+		if e.Action == throttle.ActionResume {
+			resumes++
+			if len(e.IDs) != 2 {
+				t.Fatalf("recovery resume covered %v, want both containers at once", e.IDs)
+			}
+		}
+	}
+	if resumes != 1 {
+		t.Fatalf("recovery issued %d resumes, want exactly 1", resumes)
+	}
+
+	// Both lanes restore their own checkpoint from their own path.
+	ledgered2, err := resilience.NewLedgeredActuator(inner2, ledger2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host2 := newTwoLaneHost(t, env, ledgered2)
+	for _, lane := range host2.Lanes() {
+		ck, err := resilience.LoadCheckpoint(resilience.LaneCheckpointPath(dir, lane.App()))
+		if err != nil {
+			t.Fatalf("load checkpoint %s: %v", lane.App(), err)
+		}
+		if ck == nil {
+			t.Fatalf("checkpoint %s missing", lane.App())
+		}
+		if err := lane.RestoreCheckpoint(ck); err != nil {
+			t.Fatalf("restore %s: %v", lane.App(), err)
+		}
+	}
+	// The restored lanes kept their learning (distinct per lane), and the
+	// restarted host runs.
+	w1, k1 := host.Lane("web-app").Space().Len(), host.Lane("kv-app").Space().Len()
+	w2, k2 := host2.Lane("web-app").Space().Len(), host2.Lane("kv-app").Space().Len()
+	if w2 != w1 || k2 != k1 {
+		t.Fatalf("restored states web=%d/%d kv=%d/%d", w2, w1, k2, k1)
+	}
+	env.i = 0 // replay the script on the restarted host
+	if _, err := host2.Period(); err != nil {
+		t.Fatal(err)
+	}
+}

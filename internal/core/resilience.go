@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/resilience"
 )
 
@@ -11,16 +9,7 @@ import (
 // throttle controller's learned state — into one serializable snapshot.
 // It is called from the control loop between periods (the runtime is
 // single-threaded by design).
-func (r *Runtime) Checkpoint() *resilience.Checkpoint {
-	ctl := r.controller.Snapshot()
-	return &resilience.Checkpoint{
-		Version:    1,
-		Periods:    r.period,
-		Template:   r.ExportTemplate(r.cfg.SensitiveApp),
-		Models:     r.models.Snapshot(),
-		Controller: &ctl,
-	}
-}
+func (r *Runtime) Checkpoint() *resilience.Checkpoint { return r.lane.Checkpoint() }
 
 // RestoreCheckpoint adopts a previously saved checkpoint: the template
 // seeds the state space (exactly like ImportTemplate, with the same
@@ -34,26 +23,7 @@ func (r *Runtime) Checkpoint() *resilience.Checkpoint {
 // with only the template imported — both safe starting points — and
 // returns an error the caller should log before continuing cold.
 func (r *Runtime) RestoreCheckpoint(c *resilience.Checkpoint) error {
-	if c == nil {
-		return fmt.Errorf("core: nil checkpoint")
-	}
-	if err := c.Validate(); err != nil {
-		return err
-	}
-	if err := r.ImportTemplate(c.Template); err != nil {
-		return fmt.Errorf("core: checkpoint template: %w", err)
-	}
-	if c.Models != nil {
-		if err := r.models.Restore(c.Models); err != nil {
-			return fmt.Errorf("core: checkpoint models: %w", err)
-		}
-	}
-	if c.Controller != nil {
-		if err := r.controller.Restore(*c.Controller); err != nil {
-			return fmt.Errorf("core: checkpoint controller: %w", err)
-		}
-	}
-	return nil
+	return r.lane.RestoreCheckpoint(c)
 }
 
 // Release lifts every throttle restriction — the emergency thaw-all used
@@ -61,9 +31,4 @@ func (r *Runtime) RestoreCheckpoint(c *resilience.Checkpoint) error {
 // actuates even when the controller believes nothing is throttled,
 // because after a fault that belief cannot be trusted. With actions
 // disabled it is a no-op.
-func (r *Runtime) Release() error {
-	if r.cfg.DisableActions {
-		return nil
-	}
-	return r.controller.Release()
-}
+func (r *Runtime) Release() error { return r.lane.Release() }

@@ -2,49 +2,25 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
-	"repro/internal/mds"
-	"repro/internal/metrics"
 	"repro/internal/predictor"
 	"repro/internal/statespace"
 	"repro/internal/throttle"
 	"repro/internal/trajectory"
 )
 
-// Runtime is the Stay-Away middleware instance for one host. It is not
-// safe for concurrent use: all methods are called from the single periodic
-// monitoring loop.
+// Runtime is the single-tenant Stay-Away middleware instance for one
+// host: one protected application, one lane. It observes an Environment
+// each period and delegates the Mapping → Prediction → Action cycle to
+// the lane's staged pipeline. Hosts protecting several sensitive
+// applications use HostRuntime instead.
+//
+// Runtime is not safe for concurrent use: all methods are called from the
+// single periodic monitoring loop.
 type Runtime struct {
-	cfg Config
-	env Environment
-	rng *rand.Rand
-
-	schema     *metrics.Schema
-	normalizer *metrics.Normalizer
-	reducer    *mds.OnlineReducer
-	space      *statespace.Space
-	series     *metrics.Series
-	models     *trajectory.ModeModels
-	pred       *predictor.Predictor
-	controller *throttle.Controller
-
-	period           int
-	createdSinceSMAC int
-	havePrev         bool
-	prevCoord        mds.Coord
-	prevMode         trajectory.Mode
-	// qosSilent counts consecutive periods without a fresh QoS report;
-	// at Config.QoSStaleAfter the signal is considered stale.
-	qosSilent int
-
-	events  []Event
-	report  Report
-	tracker predictor.Tracker
-	// pendingPrediction holds last period's verdict so accuracy is scored
-	// against this period's actual outcome.
-	pendingPrediction bool
-	havePending       bool
+	cfg  Config
+	env  Environment
+	lane *Lane
 }
 
 // New assembles a runtime against the given environment and actuator.
@@ -56,305 +32,32 @@ func New(cfg Config, env Environment, act throttle.Actuator) (*Runtime, error) {
 	if env == nil {
 		return nil, fmt.Errorf("core: nil environment")
 	}
-	if act == nil {
-		return nil, fmt.Errorf("core: nil actuator")
-	}
-
-	schemaVMs := []string{cfg.SensitiveID, cfg.LogicalBatchVM}
-	if cfg.DisableBatchAggregation {
-		schemaVMs = append([]string{cfg.SensitiveID}, cfg.BatchIDs...)
-	}
-	schema, err := metrics.NewSchema(schemaVMs, metrics.DefaultMetrics())
+	lane, err := NewLane(cfg, act)
 	if err != nil {
 		return nil, err
 	}
-	normalizer, err := metrics.NewNormalizer(cfg.Ranges)
-	if err != nil {
-		return nil, err
-	}
-	series, err := metrics.NewSeries(cfg.SeriesWindow)
-	if err != nil {
-		return nil, err
-	}
-	var models *trajectory.ModeModels
-	if cfg.SingleModel {
-		models, err = trajectory.NewSingleModel(cfg.Trajectory)
-	} else {
-		models, err = trajectory.NewModeModels(cfg.Trajectory)
-	}
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pred, err := predictor.New(cfg.Predictor, models, rng)
-	if err != nil {
-		return nil, err
-	}
-	controller, err := throttle.New(cfg.Throttle, act, cfg.BatchIDs, rng)
-	if err != nil {
-		return nil, err
-	}
-	eps := cfg.DedupEpsilon
-	if eps < 0 {
-		eps = 0
-	}
-	space := statespace.NewSpace()
-	space.SetRangePolicy(cfg.RangePolicy)
-	return &Runtime{
-		cfg:        cfg,
-		env:        env,
-		rng:        rng,
-		schema:     schema,
-		normalizer: normalizer,
-		reducer:    mds.NewOnlineReducer(eps),
-		space:      space,
-		series:     series,
-		models:     models,
-		pred:       pred,
-		controller: controller,
-	}, nil
+	return &Runtime{cfg: cfg, env: env, lane: lane}, nil
 }
 
 // Period executes one full Mapping → Prediction → Action cycle and returns
 // the event describing it.
 func (r *Runtime) Period() (Event, error) {
-	ev := Event{Period: r.period}
-
-	// ---- Mapping (§3.1) ----
-	samples := r.env.Collect()
-	if !r.cfg.DisableBatchAggregation {
-		isBatch := make(map[string]bool, len(r.cfg.BatchIDs))
-		for _, id := range r.cfg.BatchIDs {
-			isBatch[id] = true
-		}
-		samples = metrics.AggregateByRole(r.cfg.LogicalBatchVM, samples,
-			func(vm string) bool { return isBatch[vm] })
+	in := PeriodInput{
+		Samples:          r.env.Collect(),
+		Violation:        r.env.QoSViolation(),
+		SensitiveRunning: r.env.SensitiveRunning(),
+		BatchRunning:     r.env.BatchRunning(),
+		BatchActive:      r.env.BatchActive(),
 	}
-	normalized := r.normalizer.NormalizeAll(samples)
-	vec, err := r.schema.Flatten(normalized)
-	if err != nil {
-		return ev, fmt.Errorf("core: flatten samples: %w", err)
+	if f, ok := r.env.(QoSFreshness); ok {
+		in.HasFreshness = true
+		in.QoSFresh = f.QoSFresh()
 	}
-	r.series.Push(r.period, vec)
-
-	stateID, created, err := r.mapVector(vec)
-	if err != nil {
-		return ev, err
-	}
-	ev.StateID = stateID
-	ev.NewState = created
-	st, err := r.space.State(stateID)
-	if err != nil {
-		return ev, err
-	}
-	ev.Coord = st.Coord
-
-	violation := r.env.QoSViolation()
-	ev.Violation = violation
-	if violation {
-		if err := r.space.MarkViolation(stateID); err != nil {
-			return ev, err
-		}
-		r.report.Violations++
-	}
-
-	// QoS-signal staleness: silence is not safety. When the application
-	// stops reporting, the absence of violations proves nothing, so new
-	// states created during the silent stretch must not become safe-state
-	// anchors (they would shrink the violation-ranges around real
-	// violation-states).
-	fresh := true
-	if f, ok := r.env.(QoSFreshness); ok && r.cfg.QoSStaleAfter > 0 {
-		fresh = f.QoSFresh() || violation
-	}
-	if fresh {
-		r.qosSilent = 0
-	} else {
-		r.qosSilent++
-	}
-	stale := r.cfg.QoSStaleAfter > 0 && r.qosSilent >= r.cfg.QoSStaleAfter
-	ev.QoSStale = stale
-	if stale {
-		r.report.QoSStalePeriods++
-		if created {
-			if err := r.space.MarkUnverified(stateID); err != nil {
-				return ev, err
-			}
-		}
-	} else if !created && !violation && fresh {
-		// A fresh-signal revisit without a violation verifies the state.
-		if err := r.space.ClearUnverified(stateID); err != nil {
-			return ev, err
-		}
-	}
-
-	// ---- Execution mode & trajectory learning (§3.2.3) ----
-	mode := trajectory.DetectMode(r.env.SensitiveRunning(), r.env.BatchRunning())
-	ev.Mode = mode
-	sensitiveStep := 0.0
-	if r.havePrev && r.prevMode == mode {
-		step := trajectory.StepBetween(r.prevCoord, st.Coord)
-		if err := r.models.Observe(mode, step); err != nil {
-			return ev, err
-		}
-		if mode == trajectory.ModeSensitiveOnly {
-			sensitiveStep = step.Distance
-		}
-	}
-
-	// ---- Prediction (§3.2) ----
-	decision, err := r.pred.Predict(r.space, mode, st.Coord)
-	if err != nil {
-		return ev, err
-	}
-	ev.Predicted = decision.WillViolate
-	if decision.WillViolate {
-		r.report.PredictedViolations++
-	}
-	// Severity is how close to unanimous the trajectory vote was — the
-	// violation-proximity signal graded throttling scales its quota by.
-	severity := 0.0
-	if len(decision.Candidates) > 0 {
-		severity = float64(decision.Hits) / float64(len(decision.Candidates))
-	}
-	ev.Severity = severity
-
-	// Score last period's prediction against this period's outcome.
-	if r.havePending {
-		r.tracker.Record(r.pendingPrediction, violation)
-	}
-	r.pendingPrediction = decision.WillViolate
-	r.havePending = true
-
-	// ---- Action (§3.3) ----
-	if !r.cfg.DisableActions {
-		res, err := r.controller.Step(throttle.Input{
-			Period:                r.period,
-			PredictedViolation:    decision.WillViolate,
-			ActualViolation:       violation,
-			ViolationSeverity:     severity,
-			SensitiveStepDistance: sensitiveStep,
-			BatchActive:           r.env.BatchActive(),
-		})
-		if err != nil {
-			return ev, err
-		}
-		ev.Action = res.Action
-		ev.Throttled = res.Throttled
-		ev.RandomResume = res.RandomResume
-		ev.Beta = res.Beta
-		ev.Level = res.Level
-		switch res.Action {
-		case throttle.ActionPause:
-			r.report.Pauses++
-		case throttle.ActionLimit:
-			r.report.Limits++
-		case throttle.ActionResume:
-			r.report.Resumes++
-			if res.RandomResume {
-				r.report.RandomResumes++
-			}
-		}
-	}
-
-	r.havePrev = true
-	r.prevCoord = st.Coord
-	r.prevMode = mode
-	r.period++
-	r.report.Periods++
-	r.events = append(r.events, ev)
-	return ev, nil
+	return r.lane.Period(in)
 }
 
-// mapVector maps a normalized measurement vector to a state, creating and
-// placing a new representative when needed, and refreshing the whole
-// embedding periodically.
-func (r *Runtime) mapVector(vec []float64) (stateID int, created bool, err error) {
-	rep, isNew := r.reducer.Observe(vec)
-	if !isNew {
-		if err := r.space.Observe(rep, r.period); err != nil {
-			return 0, false, err
-		}
-		return rep, false, nil
-	}
-
-	// Incremental placement against the existing configuration (§4's
-	// low-overhead path).
-	coords := r.space.Coords()
-	delta := make([]float64, len(coords))
-	vectors := r.space.Vectors()
-	for i, v := range vectors {
-		delta[i] = mds.Euclidean(vec, v)
-	}
-	pos, _, err := mds.Place(coords, delta, mds.PlaceOptions{})
-	if err != nil {
-		return 0, false, fmt.Errorf("core: incremental placement: %w", err)
-	}
-	id := r.space.Add(pos, vec, r.period)
-	if id != rep {
-		return 0, false, fmt.Errorf("core: state/representative index skew: %d vs %d", id, rep)
-	}
-	r.createdSinceSMAC++
-
-	// Periodic full refresh: SMACOF over all representatives, aligned back
-	// onto the previous layout so trajectories stay comparable across
-	// refreshes. The first refresh fires as soon as four distinct states
-	// exist, because purely incremental placement of the earliest states
-	// is at its least reliable then.
-	needRefresh := r.createdSinceSMAC >= r.cfg.RefreshEvery ||
-		(r.report.Refreshes == 0 && r.space.Len() >= 4)
-	if r.cfg.RefreshEvery > 0 && needRefresh && r.space.Len() >= 3 {
-		if err := r.refreshEmbedding(); err != nil {
-			return 0, false, err
-		}
-		r.createdSinceSMAC = 0
-	}
-	return id, true, nil
-}
-
-// refreshEmbedding re-solves the full MDS problem and keeps the layout
-// aligned with the previous one.
-func (r *Runtime) refreshEmbedding() error {
-	vectors := r.space.Vectors()
-	delta, err := mds.DistanceMatrix(vectors)
-	if err != nil {
-		return fmt.Errorf("core: distance matrix: %w", err)
-	}
-	// Solve from a Torgerson (classical-scaling) start rather than the
-	// current layout: incremental placement can degenerate toward
-	// low-dimensional configurations, and a warm start cannot escape them
-	// (the Guttman transform preserves collinearity). The fresh solution
-	// is Procrustes-aligned back onto the previous layout below, so
-	// trajectories remain comparable across refreshes. Above the
-	// configured threshold the full quadratic solve is replaced by
-	// landmark MDS.
-	prev := r.space.Coords()
-	var config []mds.Coord
-	var stress float64
-	if r.cfg.LandmarkThreshold > 0 && r.space.Len() > r.cfg.LandmarkThreshold {
-		res, err := mds.LandmarkMDS(delta, r.cfg.LandmarkThreshold, mds.DefaultOptions(r.rng))
-		if err != nil {
-			return fmt.Errorf("core: landmark refresh: %w", err)
-		}
-		config, stress = res.Config, res.Stress
-	} else {
-		res, err := mds.SMACOF(delta, mds.DefaultOptions(r.rng))
-		if err != nil {
-			return fmt.Errorf("core: smacof refresh: %w", err)
-		}
-		config, stress = res.Config, res.Stress
-	}
-	aligned, err := mds.AlignTo(config, prev)
-	if err != nil {
-		return fmt.Errorf("core: procrustes alignment: %w", err)
-	}
-	if err := r.space.SetCoords(aligned); err != nil {
-		return err
-	}
-	r.report.Refreshes++
-	r.report.LastStress = stress
-	return nil
-}
+// Lane exposes the runtime's single protection lane.
+func (r *Runtime) Lane() *Lane { return r.lane }
 
 // SensitiveApp returns the fleet-wide application name templates are
 // keyed by (Config.SensitiveApp, defaulted to SensitiveID).
@@ -362,80 +65,40 @@ func (r *Runtime) SensitiveApp() string { return r.cfg.SensitiveApp }
 
 // Space exposes the learned state space (read-mostly; used by experiments
 // and template export).
-func (r *Runtime) Space() *statespace.Space { return r.space }
+func (r *Runtime) Space() *statespace.Space { return r.lane.Space() }
 
 // Models exposes the per-mode trajectory models for figure generation.
-func (r *Runtime) Models() *trajectory.ModeModels { return r.models }
+func (r *Runtime) Models() *trajectory.ModeModels { return r.lane.Models() }
 
 // Throttled reports whether the batch applications are currently paused.
-func (r *Runtime) Throttled() bool { return r.controller.Throttled() }
+func (r *Runtime) Throttled() bool { return r.lane.Throttled() }
 
 // Beta returns the controller's learned resume threshold.
-func (r *Runtime) Beta() float64 { return r.controller.Beta() }
+func (r *Runtime) Beta() float64 { return r.lane.Beta() }
 
-// Events returns all per-period events so far.
-func (r *Runtime) Events() []Event { return append([]Event(nil), r.events...) }
+// Events returns the retained per-period events. Long runs are bounded by
+// Config.EventWindow; use EventsSince to drain incrementally without
+// missing retained events.
+func (r *Runtime) Events() []Event { return r.lane.Events() }
+
+// EventsSince returns retained events with sequence >= seq and the
+// sequence to pass on the next call.
+func (r *Runtime) EventsSince(seq uint64) ([]Event, uint64) { return r.lane.EventsSince(seq) }
 
 // Report returns aggregate counters.
-func (r *Runtime) Report() Report {
-	rep := r.report
-	rep.States = r.space.Len()
-	rep.ViolationStates = len(r.space.ViolationIDs())
-	rep.UnverifiedStates = len(r.space.UnverifiedIDs())
-	rep.Accuracy = r.tracker.Accuracy()
-	rep.Precision = r.tracker.Precision()
-	rep.Recall = r.tracker.Recall()
-	return rep
-}
+func (r *Runtime) Report() Report { return r.lane.Report() }
 
 // Tracker exposes the raw prediction-accuracy tracker.
-func (r *Runtime) Tracker() *predictor.Tracker { return &r.tracker }
+func (r *Runtime) Tracker() *predictor.Tracker { return r.lane.Tracker() }
 
 // ExportTemplate captures the learned map for reuse (§6), stamped with the
 // runtime's measurement schema so importers can reject incompatible maps.
 func (r *Runtime) ExportTemplate(sensitiveApp string) *statespace.Template {
-	return statespace.Export(r.space, sensitiveApp, r.normalizer.Snapshot(), r.schema)
+	return r.lane.ExportTemplate(sensitiveApp)
 }
 
 // ImportTemplate seeds the runtime with a previously learned map. It must
-// be called before the first Period: the imported states become the
-// starting state space and the normalizer adopts the template's ranges so
-// new vectors are comparable with the template's.
+// be called before the first Period.
 func (r *Runtime) ImportTemplate(t *statespace.Template) error {
-	if r.period != 0 {
-		return fmt.Errorf("core: template import after %d periods", r.period)
-	}
-	space, err := statespace.Import(t)
-	if err != nil {
-		return err
-	}
-	// A template measured under a different metric schema would produce
-	// vectors incomparable with this runtime's; reject instead of silently
-	// mixing them.
-	if err := t.CompatibleWith(r.schema); err != nil {
-		return fmt.Errorf("core: template import: %w", err)
-	}
-	if err := r.normalizer.Restore(t.Ranges); err != nil {
-		return err
-	}
-	// Rebuild the reducer so new observations dedup against template
-	// states.
-	eps := r.cfg.DedupEpsilon
-	if eps < 0 {
-		eps = 0
-	}
-	reducer := mds.NewOnlineReducer(eps)
-	for _, st := range space.States() {
-		reducer.Observe(st.Vector)
-	}
-	if reducer.Len() != space.Len() {
-		// Template states closer than our DedupEpsilon would merge and
-		// skew state/representative indices; reject rather than corrupt.
-		return fmt.Errorf("core: template states collapse under DedupEpsilon %v (%d -> %d)",
-			eps, space.Len(), reducer.Len())
-	}
-	space.SetRangePolicy(r.cfg.RangePolicy)
-	r.space = space
-	r.reducer = reducer
-	return nil
+	return r.lane.ImportTemplate(t)
 }

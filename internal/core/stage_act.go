@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/throttle"
+)
+
+// actStage is the default Actor: it wraps a throttle.Controller. In a
+// multi-tenant host the controller's actuator is a per-lane handle of the
+// shared actuation arbiter, so two lanes never fight over the same batch
+// cgroups directly.
+type actStage struct {
+	controller *throttle.Controller
+	disabled   bool
+}
+
+var _ Actor = (*actStage)(nil)
+
+// newActStage wraps the controller; disabled mirrors
+// Config.DisableActions (observe-only mode).
+func newActStage(controller *throttle.Controller, disabled bool) *actStage {
+	return &actStage{controller: controller, disabled: disabled}
+}
+
+// Act implements Actor. In observe-only mode it returns the zero Result —
+// no action, no throttle, β and level unreported — matching events from
+// runs that never actuate.
+func (s *actStage) Act(in ActInput) (throttle.Result, error) {
+	if s.disabled {
+		return throttle.Result{}, nil
+	}
+	return s.controller.Step(throttle.Input{
+		Period:                in.Period,
+		PredictedViolation:    in.PredictedViolation,
+		ActualViolation:       in.ActualViolation,
+		ViolationSeverity:     in.Severity,
+		SensitiveStepDistance: in.SensitiveStep,
+		BatchActive:           in.BatchActive,
+	})
+}
+
+// Controller exposes the wrapped throttle controller for state accessors
+// (β, level) and checkpointing.
+func (s *actStage) Controller() *throttle.Controller { return s.controller }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/mds"
+	"repro/internal/predictor"
+	"repro/internal/statespace"
+	"repro/internal/trajectory"
+)
+
+// forecastStage is the default Forecaster: §3.2 candidate sampling over
+// the trajectory models plus the violation-range vote. It owns the
+// prediction-accuracy tracker.
+type forecastStage struct {
+	pred    *predictor.Predictor
+	tracker predictor.Tracker
+}
+
+var _ Forecaster = (*forecastStage)(nil)
+
+// newForecastStage builds the predictor over the given trajectory models.
+func newForecastStage(cfg Config, models *trajectory.ModeModels, rng *rand.Rand) (*forecastStage, error) {
+	pred, err := predictor.New(cfg.Predictor, models, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &forecastStage{pred: pred}, nil
+}
+
+// Forecast implements Forecaster.
+func (s *forecastStage) Forecast(space *statespace.Space, mode trajectory.Mode, coord mds.Coord) (ForecastOutcome, error) {
+	decision, err := s.pred.Predict(space, mode, coord)
+	if err != nil {
+		return ForecastOutcome{}, err
+	}
+	// Severity is how close to unanimous the trajectory vote was — the
+	// violation-proximity signal graded throttling scales its quota by.
+	severity := 0.0
+	if len(decision.Candidates) > 0 {
+		severity = float64(decision.Hits) / float64(len(decision.Candidates))
+	}
+	return ForecastOutcome{WillViolate: decision.WillViolate, Severity: severity}, nil
+}
+
+// Score implements Forecaster.
+func (s *forecastStage) Score(predicted, actual bool) {
+	s.tracker.Record(predicted, actual)
+}
+
+// Tracker exposes the raw prediction-accuracy tracker.
+func (s *forecastStage) Tracker() *predictor.Tracker { return &s.tracker }

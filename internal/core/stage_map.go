@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mds"
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+)
+
+// mapStage is the default Mapper: the §3.1 measurement pipeline plus the
+// §4 embedding. It owns the normalizer, the online reducer, the bounded
+// measurement series and the state space, and is the single writer of
+// violation/unverified labels.
+type mapStage struct {
+	cfg Config
+	rng *rand.Rand
+
+	schema     *metrics.Schema
+	normalizer *metrics.Normalizer
+	reducer    *mds.OnlineReducer
+	space      *statespace.Space
+	series     *metrics.Series
+
+	createdSinceSMAC int
+	// qosSilent counts consecutive periods without a fresh QoS report; at
+	// Config.QoSStaleAfter the signal is considered stale.
+	qosSilent int
+	refreshes int
+	stress    float64
+}
+
+var _ Mapper = (*mapStage)(nil)
+
+// newMapStage assembles the mapping pipeline from an already-validated
+// config.
+func newMapStage(cfg Config, rng *rand.Rand) (*mapStage, error) {
+	schemaVMs := []string{cfg.SensitiveID, cfg.LogicalBatchVM}
+	if cfg.DisableBatchAggregation {
+		schemaVMs = append([]string{cfg.SensitiveID}, cfg.BatchIDs...)
+	}
+	schema, err := metrics.NewSchema(schemaVMs, metrics.DefaultMetrics())
+	if err != nil {
+		return nil, err
+	}
+	normalizer, err := metrics.NewNormalizer(cfg.Ranges)
+	if err != nil {
+		return nil, err
+	}
+	series, err := metrics.NewSeries(cfg.SeriesWindow)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.DedupEpsilon
+	if eps < 0 {
+		eps = 0
+	}
+	space := statespace.NewSpace()
+	space.SetRangePolicy(cfg.RangePolicy)
+	return &mapStage{
+		cfg:        cfg,
+		rng:        rng,
+		schema:     schema,
+		normalizer: normalizer,
+		reducer:    mds.NewOnlineReducer(eps),
+		space:      space,
+		series:     series,
+	}, nil
+}
+
+// Space implements Mapper.
+func (m *mapStage) Space() *statespace.Space { return m.space }
+
+// Map implements Mapper: aggregate → normalize → flatten → embed → label.
+func (m *mapStage) Map(in PeriodInput) (MapOutcome, error) {
+	var out MapOutcome
+	samples := in.Samples
+	if !m.cfg.DisableBatchAggregation {
+		isBatch := make(map[string]bool, len(m.cfg.BatchIDs))
+		for _, id := range m.cfg.BatchIDs {
+			isBatch[id] = true
+		}
+		samples = metrics.AggregateByRole(m.cfg.LogicalBatchVM, samples,
+			func(vm string) bool { return isBatch[vm] })
+	}
+	normalized := m.normalizer.NormalizeAll(samples)
+	vec, err := m.schema.Flatten(normalized)
+	if err != nil {
+		return out, fmt.Errorf("core: flatten samples: %w", err)
+	}
+	m.series.Push(in.Period, vec)
+
+	stateID, created, err := m.mapVector(in.Period, vec)
+	if err != nil {
+		return out, err
+	}
+	out.StateID = stateID
+	out.NewState = created
+	st, err := m.space.State(stateID)
+	if err != nil {
+		return out, err
+	}
+	out.Coord = st.Coord
+
+	if in.Violation {
+		if err := m.space.MarkViolation(stateID); err != nil {
+			return out, err
+		}
+	}
+
+	// QoS-signal staleness: silence is not safety. When the application
+	// stops reporting, the absence of violations proves nothing, so new
+	// states created during the silent stretch must not become safe-state
+	// anchors (they would shrink the violation-ranges around real
+	// violation-states).
+	fresh := true
+	if in.HasFreshness && m.cfg.QoSStaleAfter > 0 {
+		fresh = in.QoSFresh || in.Violation
+	}
+	if fresh {
+		m.qosSilent = 0
+	} else {
+		m.qosSilent++
+	}
+	stale := m.cfg.QoSStaleAfter > 0 && m.qosSilent >= m.cfg.QoSStaleAfter
+	out.Stale = stale
+	if stale {
+		if created {
+			if err := m.space.MarkUnverified(stateID); err != nil {
+				return out, err
+			}
+		}
+	} else if !created && !in.Violation && fresh {
+		// A fresh-signal revisit without a violation verifies the state.
+		if err := m.space.ClearUnverified(stateID); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// mapVector maps a normalized measurement vector to a state, creating and
+// placing a new representative when needed, and refreshing the whole
+// embedding periodically.
+func (m *mapStage) mapVector(period int, vec []float64) (stateID int, created bool, err error) {
+	rep, isNew := m.reducer.Observe(vec)
+	if !isNew {
+		if err := m.space.Observe(rep, period); err != nil {
+			return 0, false, err
+		}
+		return rep, false, nil
+	}
+
+	// Incremental placement against the existing configuration (§4's
+	// low-overhead path).
+	coords := m.space.Coords()
+	delta := make([]float64, len(coords))
+	vectors := m.space.Vectors()
+	for i, v := range vectors {
+		delta[i] = mds.Euclidean(vec, v)
+	}
+	pos, _, err := mds.Place(coords, delta, mds.PlaceOptions{})
+	if err != nil {
+		return 0, false, fmt.Errorf("core: incremental placement: %w", err)
+	}
+	id := m.space.Add(pos, vec, period)
+	if id != rep {
+		return 0, false, fmt.Errorf("core: state/representative index skew: %d vs %d", id, rep)
+	}
+	m.createdSinceSMAC++
+
+	// Periodic full refresh: SMACOF over all representatives, aligned back
+	// onto the previous layout so trajectories stay comparable across
+	// refreshes. The first refresh fires as soon as four distinct states
+	// exist, because purely incremental placement of the earliest states
+	// is at its least reliable then.
+	needRefresh := m.createdSinceSMAC >= m.cfg.RefreshEvery ||
+		(m.refreshes == 0 && m.space.Len() >= 4)
+	if m.cfg.RefreshEvery > 0 && needRefresh && m.space.Len() >= 3 {
+		if err := m.refreshEmbedding(); err != nil {
+			return 0, false, err
+		}
+		m.createdSinceSMAC = 0
+	}
+	return id, true, nil
+}
+
+// refreshEmbedding re-solves the full MDS problem and keeps the layout
+// aligned with the previous one.
+func (m *mapStage) refreshEmbedding() error {
+	vectors := m.space.Vectors()
+	delta, err := mds.DistanceMatrix(vectors)
+	if err != nil {
+		return fmt.Errorf("core: distance matrix: %w", err)
+	}
+	// Solve from a Torgerson (classical-scaling) start rather than the
+	// current layout: incremental placement can degenerate toward
+	// low-dimensional configurations, and a warm start cannot escape them
+	// (the Guttman transform preserves collinearity). The fresh solution
+	// is Procrustes-aligned back onto the previous layout below, so
+	// trajectories remain comparable across refreshes. Above the
+	// configured threshold the full quadratic solve is replaced by
+	// landmark MDS.
+	prev := m.space.Coords()
+	var config []mds.Coord
+	var stress float64
+	if m.cfg.LandmarkThreshold > 0 && m.space.Len() > m.cfg.LandmarkThreshold {
+		res, err := mds.LandmarkMDS(delta, m.cfg.LandmarkThreshold, mds.DefaultOptions(m.rng))
+		if err != nil {
+			return fmt.Errorf("core: landmark refresh: %w", err)
+		}
+		config, stress = res.Config, res.Stress
+	} else {
+		res, err := mds.SMACOF(delta, mds.DefaultOptions(m.rng))
+		if err != nil {
+			return fmt.Errorf("core: smacof refresh: %w", err)
+		}
+		config, stress = res.Config, res.Stress
+	}
+	aligned, err := mds.AlignTo(config, prev)
+	if err != nil {
+		return fmt.Errorf("core: procrustes alignment: %w", err)
+	}
+	if err := m.space.SetCoords(aligned); err != nil {
+		return err
+	}
+	m.refreshes++
+	m.stress = stress
+	return nil
+}
+
+// importSpace adopts an externally built space (template import /
+// checkpoint restore), rebuilding the reducer so new observations dedup
+// against the imported states.
+func (m *mapStage) importSpace(space *statespace.Space, ranges map[metrics.Metric]metrics.Range) error {
+	if err := m.normalizer.Restore(ranges); err != nil {
+		return err
+	}
+	eps := m.cfg.DedupEpsilon
+	if eps < 0 {
+		eps = 0
+	}
+	reducer := mds.NewOnlineReducer(eps)
+	for _, st := range space.States() {
+		reducer.Observe(st.Vector)
+	}
+	if reducer.Len() != space.Len() {
+		// Template states closer than our DedupEpsilon would merge and
+		// skew state/representative indices; reject rather than corrupt.
+		return fmt.Errorf("core: template states collapse under DedupEpsilon %v (%d -> %d)",
+			eps, space.Len(), reducer.Len())
+	}
+	space.SetRangePolicy(m.cfg.RangePolicy)
+	m.space = space
+	m.reducer = reducer
+	return nil
+}

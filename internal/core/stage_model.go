@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/mds"
+	"repro/internal/trajectory"
+)
+
+// modelStage is the default Modeler: §3.2.3 execution-mode detection plus
+// per-mode trajectory learning. It owns the per-mode step histograms and
+// the previous-coordinate memory that turns positions into steps.
+type modelStage struct {
+	models *trajectory.ModeModels
+
+	havePrev  bool
+	prevCoord mds.Coord
+	prevMode  trajectory.Mode
+}
+
+var _ Modeler = (*modelStage)(nil)
+
+// newModelStage builds the per-mode (or single-model, for the ablation)
+// trajectory models.
+func newModelStage(cfg Config) (*modelStage, error) {
+	var models *trajectory.ModeModels
+	var err error
+	if cfg.SingleModel {
+		models, err = trajectory.NewSingleModel(cfg.Trajectory)
+	} else {
+		models, err = trajectory.NewModeModels(cfg.Trajectory)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &modelStage{models: models}, nil
+}
+
+// Observe implements Modeler.
+func (s *modelStage) Observe(in PeriodInput, coord mds.Coord) (ModelOutcome, error) {
+	mode := trajectory.DetectMode(in.SensitiveRunning, in.BatchRunning)
+	out := ModelOutcome{Mode: mode}
+	if s.havePrev && s.prevMode == mode {
+		step := trajectory.StepBetween(s.prevCoord, coord)
+		if err := s.models.Observe(mode, step); err != nil {
+			return out, err
+		}
+		if mode == trajectory.ModeSensitiveOnly {
+			out.SensitiveStep = step.Distance
+		}
+	}
+	s.havePrev = true
+	s.prevCoord = coord
+	s.prevMode = mode
+	return out, nil
+}
+
+// Models exposes the per-mode trajectory models for figure generation and
+// checkpointing.
+func (s *modelStage) Models() *trajectory.ModeModels { return s.models }

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// HostSyncer manages the fleet syncers of a multi-tenant host: one
+// Syncer per protected application, all sharing one client and one host
+// identity. Lanes come and go by application name; the aggregate
+// degraded view is what a health endpoint or exit report wants — which
+// applications are currently protecting from a stale local map.
+type HostSyncer struct {
+	client  *Client
+	host    string
+	timeout time.Duration
+
+	mu    sync.Mutex
+	lanes map[string]*Syncer
+	order []string
+}
+
+// NewHostSyncer binds a shared client to one host's identity.
+func NewHostSyncer(client *Client, host string) *HostSyncer {
+	return &HostSyncer{client: client, host: host, lanes: map[string]*Syncer{}}
+}
+
+// SetTimeout overrides the per-operation deadline for every lane,
+// existing and future.
+func (h *HostSyncer) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.timeout = d
+	for _, s := range h.lanes {
+		s.SetTimeout(d)
+	}
+}
+
+// Lane returns the application's syncer, creating it on first use. The
+// same app always yields the same Syncer.
+func (h *HostSyncer) Lane(app string) *Syncer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s, ok := h.lanes[app]; ok {
+		return s
+	}
+	s := NewSyncer(h.client, h.host, app)
+	if h.timeout > 0 {
+		s.SetTimeout(h.timeout)
+	}
+	h.lanes[app] = s
+	h.order = append(h.order, app)
+	return s
+}
+
+// Apps returns the lane applications in creation order.
+func (h *HostSyncer) Apps() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.order...)
+}
+
+// Degraded returns the applications whose last sync attempt failed,
+// with the error that failed it. An empty map means every lane is in
+// sync with the registry.
+func (h *HostSyncer) Degraded() map[string]error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := map[string]error{}
+	for app, s := range h.lanes {
+		if degraded, err := s.Degraded(); degraded {
+			out[app] = err
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestHostSyncerLanesShareClientAndDegradeIndependently(t *testing.T) {
+	ts, _ := newTestServer(t)
+	gate := &gatedTransport{inner: http.DefaultTransport}
+	c, err := NewClient(ClientConfig{
+		BaseURL:   ts.URL,
+		Transport: gate,
+		Retry: RetryConfig{
+			Attempts: 2,
+			Sleep:    func(context.Context, time.Duration) error { return nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHostSyncer(c, "host-a")
+	h.SetTimeout(5 * time.Second)
+
+	vlc := h.Lane("vlc")
+	if h.Lane("vlc") != vlc {
+		t.Fatal("same app must yield the same syncer")
+	}
+	kv := h.Lane("kv")
+	if apps := h.Apps(); len(apps) != 2 || apps[0] != "vlc" || apps[1] != "kv" {
+		t.Fatalf("Apps() = %v", apps)
+	}
+
+	// Both lanes sync fine: no degraded entries.
+	if err := vlc.PushTemplate(testTemplate("vlc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.PushTemplate(testTemplate("kv")); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.Degraded(); len(d) != 0 {
+		t.Fatalf("Degraded() = %v after healthy pushes", d)
+	}
+
+	// One lane fails during an outage; only it shows up degraded.
+	gate.setDown(true)
+	if err := kv.PushTemplate(testTemplate("kv")); err == nil {
+		t.Fatal("push during outage must error")
+	}
+	d := h.Degraded()
+	if len(d) != 1 || d["kv"] == nil {
+		t.Fatalf("Degraded() = %v, want only kv", d)
+	}
+
+	// Recovery heals the aggregate view.
+	gate.setDown(false)
+	if err := kv.PushTemplate(testTemplate("kv")); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.Degraded(); len(d) != 0 {
+		t.Fatalf("Degraded() = %v after recovery", d)
+	}
+}

@@ -1,0 +1,32 @@
+package metrics
+
+// Multi-tenant sample fan-out: a host with several protected sensitive
+// applications collects usage samples ONCE per period and hands each
+// lane only the slice it understands. A lane's schema covers its own
+// sensitive container plus its batch containers; samples for the other
+// lanes' sensitive containers must be filtered out before flattening
+// (Schema.Flatten rejects unknown VMs by design — silently dropping a
+// sample and silently mixing in a foreign one are both bugs).
+
+// Select returns the samples whose VM the predicate accepts, preserving
+// order. The input slice is never modified.
+func Select(samples []Sample, include func(vm string) bool) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if include(s.VM) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LaneFilter builds the Select predicate for one lane: its sensitive
+// container plus its batch containers, nothing else.
+func LaneFilter(sensitiveID string, batchIDs []string) func(vm string) bool {
+	keep := make(map[string]bool, len(batchIDs)+1)
+	keep[sensitiveID] = true
+	for _, id := range batchIDs {
+		keep[id] = true
+	}
+	return func(vm string) bool { return keep[vm] }
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSelectAndLaneFilter(t *testing.T) {
+	samples := []Sample{
+		NewSample("web", map[Metric]float64{MetricCPU: 10}),
+		NewSample("kv", map[Metric]float64{MetricCPU: 20}),
+		NewSample("b1", map[Metric]float64{MetricCPU: 30}),
+		NewSample("b2", map[Metric]float64{MetricCPU: 40}),
+	}
+
+	// Lane protecting "web" over batch {b1,b2} must not see "kv".
+	got := Select(samples, LaneFilter("web", []string{"b1", "b2"}))
+	var vms []string
+	for _, s := range got {
+		vms = append(vms, s.VM)
+	}
+	if want := []string{"web", "b1", "b2"}; !reflect.DeepEqual(vms, want) {
+		t.Fatalf("selected VMs = %v, want %v", vms, want)
+	}
+
+	// The lane's vector must flatten cleanly through its schema — the
+	// whole point of the filter.
+	schema, err := NewSchema([]string{"web", "batch"}, DefaultMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	isBatch := func(vm string) bool { return vm == "b1" || vm == "b2" }
+	agg := AggregateByRole("batch", got, isBatch)
+	vec, err := schema.Flatten(agg)
+	if err != nil {
+		t.Fatalf("flatten after fan-out: %v", err)
+	}
+	if vec[0] != 10 {
+		t.Fatalf("web cpu = %v, want 10", vec[0])
+	}
+	if vec[len(DefaultMetrics())] != 70 {
+		t.Fatalf("batch cpu = %v, want 70", vec[len(DefaultMetrics())])
+	}
+
+	// Unfiltered samples fail: exactly the bug the fan-out prevents.
+	if _, err := schema.Flatten(AggregateByRole("batch", samples, isBatch)); err == nil {
+		t.Fatal("flatten without fan-out should reject the foreign sensitive VM")
+	}
+
+	if got := Select(nil, LaneFilter("web", nil)); got != nil {
+		t.Fatalf("Select(nil) = %v", got)
+	}
+}

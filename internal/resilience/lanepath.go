@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"strings"
+)
+
+// Per-lane checkpoint layout: a multi-tenant host keeps one learned-state
+// checkpoint per protected application under its -state-dir,
+//
+//	<state-dir>/checkpoint-<app>.json
+//
+// next to the single shared actuation ledger (ledger.json — actuations on
+// the shared batch pool are merged before they reach the ledger, so one
+// write-ahead log covers every lane). The single-tenant layout
+// (<state-dir>/checkpoint.json) is unchanged.
+
+// LaneCheckpointPath returns the checkpoint file path for one
+// application's lane under stateDir. Application names are fleet-wide
+// identifiers, not filenames, so the name is sanitized; when
+// sanitization loses information a short hash of the original name is
+// appended so distinct applications can never share a checkpoint file.
+func LaneCheckpointPath(stateDir, app string) string {
+	return filepath.Join(stateDir, fmt.Sprintf("checkpoint-%s.json", sanitizeLaneName(app)))
+}
+
+// sanitizeLaneName maps an application name onto a safe filename
+// fragment: [a-zA-Z0-9._-] pass through, everything else becomes '_'.
+func sanitizeLaneName(app string) string {
+	if app == "" {
+		app = "lane"
+	}
+	var b strings.Builder
+	changed := false
+	for _, r := range app {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+			changed = true
+		}
+	}
+	out := b.String()
+	// "." / ".." would escape the directory entry; a lossy rewrite could
+	// collide two distinct names ("a/b" vs "a_b"). Both get a
+	// disambiguating hash of the raw name.
+	if out == "." || out == ".." {
+		out = strings.ReplaceAll(out, ".", "_")
+		changed = true
+	}
+	if changed {
+		h := fnv.New32a()
+		h.Write([]byte(app))
+		out = fmt.Sprintf("%s-%08x", out, h.Sum32())
+	}
+	return out
+}

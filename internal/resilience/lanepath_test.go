@@ -1,0 +1,34 @@
+package resilience
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLaneCheckpointPath(t *testing.T) {
+	got := LaneCheckpointPath("/var/lib/stayaway", "kv-store")
+	if want := filepath.Join("/var/lib/stayaway", "checkpoint-kv-store.json"); got != want {
+		t.Fatalf("path = %q, want %q", got, want)
+	}
+
+	// Hostile names stay inside the state dir.
+	for _, app := range []string{"../escape", "a/b", ".", "..", "", "web app"} {
+		p := LaneCheckpointPath("/state", app)
+		if filepath.Dir(p) != "/state" {
+			t.Fatalf("app %q escaped the state dir: %q", app, p)
+		}
+		base := filepath.Base(p)
+		if !strings.HasPrefix(base, "checkpoint-") || !strings.HasSuffix(base, ".json") {
+			t.Fatalf("app %q: unexpected file name %q", app, base)
+		}
+	}
+
+	// Lossy sanitization must not collide distinct applications.
+	if a, b := LaneCheckpointPath("/s", "a/b"), LaneCheckpointPath("/s", "a_b"); a == b {
+		t.Fatalf("distinct apps map to one checkpoint file: %q", a)
+	}
+	if a, b := LaneCheckpointPath("/s", "a/b"), LaneCheckpointPath("/s", "a:b"); a == b {
+		t.Fatalf("distinct apps map to one checkpoint file: %q", a)
+	}
+}

@@ -1,0 +1,292 @@
+package throttle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Arbiter merges the throttle decisions of several per-application lanes
+// onto one shared pool of batch containers. Each lane's controller drives
+// its own Lane handle as if it owned the batch pool; the arbiter tracks
+// every lane's desired restriction per target and actuates downstream
+// only when the merged effective state changes:
+//
+//   - freeze is a union: a target is frozen while ANY lane wants it
+//     frozen;
+//   - graded quotas are most-severe-wins: the effective cpu.max fraction
+//     is the MINIMUM over all lanes' requested levels;
+//   - release happens only when EVERY lane that requested restriction has
+//     satisfied its own resume condition — one downstream release
+//     actuation, not one per lane.
+//
+// The arbiter sits ABOVE the write-ahead ledger (wrap the downstream
+// actuator in resilience.LedgeredActuator): only merged effective
+// actuations reach the ledger, so crash recovery replays exactly the
+// restrictions that were applied to the shared containers and still
+// over-thaws, never over-freezes.
+//
+// While a target's effective state is frozen, lane quota changes are
+// absorbed (frozen is already the most severe state); the merged quota is
+// applied downstream when the last freezing lane lets go.
+type Arbiter struct {
+	downstream Actuator
+	graded     GradedActuator // non-nil when downstream supports quotas
+
+	mu    sync.Mutex
+	lanes map[string]*arbiterLane
+	// known remembers every target any lane ever touched, for ReleaseAll.
+	known map[string]bool
+	// effFrozen / effLevel cache the downstream state last actuated, so
+	// merges only actuate on change.
+	effFrozen map[string]bool
+	effLevel  map[string]float64
+}
+
+// arbiterLane is one lane's desired restriction per target.
+type arbiterLane struct {
+	frozen map[string]bool
+	level  map[string]float64
+}
+
+// NewArbiter wraps the downstream actuator (typically the ledgered cgroup
+// actuator, or the simulator's).
+func NewArbiter(downstream Actuator) (*Arbiter, error) {
+	if downstream == nil {
+		return nil, fmt.Errorf("throttle: nil downstream actuator")
+	}
+	a := &Arbiter{
+		downstream: downstream,
+		lanes:      make(map[string]*arbiterLane),
+		known:      make(map[string]bool),
+		effFrozen:  make(map[string]bool),
+		effLevel:   make(map[string]float64),
+	}
+	if g, ok := downstream.(GradedActuator); ok {
+		a.graded = g
+	}
+	return a, nil
+}
+
+// Lane returns the named lane's actuator handle, creating it on first
+// use. The handle implements GradedActuator; a lane's controller drives
+// it exactly as it would drive the real actuator.
+func (a *Arbiter) Lane(name string) *LaneActuator {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.lanes[name]; !ok {
+		a.lanes[name] = &arbiterLane{
+			frozen: make(map[string]bool),
+			level:  make(map[string]float64),
+		}
+	}
+	return &LaneActuator{arbiter: a, lane: name}
+}
+
+// Effective returns the merged state last actuated for a target:
+// whether it is frozen and its CPU fraction (1 = unlimited).
+func (a *Arbiter) Effective(id string) (frozen bool, level float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	level = 1
+	if l, ok := a.effLevel[id]; ok {
+		level = l
+	}
+	return a.effFrozen[id], level
+}
+
+// Restricting returns the names of lanes currently requesting any
+// restriction on the target, sorted — the observability surface for
+// "who is holding the batch pool down".
+func (a *Arbiter) Restricting(id string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for name, ln := range a.lanes {
+		// Stored levels are always < 1 (SetLevel deletes on release), so
+		// any entry means the lane restricts the target.
+		if _, limited := ln.level[id]; ln.frozen[id] || limited {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReleaseAll bypasses the merge and lifts every restriction downstream —
+// the emergency thaw-all for fail-safe paths (loop exit, panic, watchdog
+// stall). Lane desires are cleared so controllers that keep stepping
+// afterwards re-request restriction from a clean slate.
+func (a *Arbiter) ReleaseAll() error {
+	a.mu.Lock()
+	ids := make([]string, 0, len(a.known))
+	for id := range a.known {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, ln := range a.lanes {
+		ln.frozen = make(map[string]bool)
+		ln.level = make(map[string]float64)
+	}
+	a.effFrozen = make(map[string]bool)
+	a.effLevel = make(map[string]float64)
+	graded := a.graded
+	a.mu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	// Resume unconditionally: an emergency release cannot trust the cached
+	// effective state (that mismatch is exactly what faults produce).
+	err := a.downstream.Resume(ids)
+	if graded != nil {
+		if qerr := graded.SetLevel(ids, 1); qerr != nil && err == nil {
+			err = qerr
+		}
+	}
+	return err
+}
+
+// apply records a lane's desire for the given targets and actuates the
+// merged delta downstream. fn mutates the lane's per-target desire.
+func (a *Arbiter) apply(lane string, ids []string, fn func(ln *arbiterLane, id string)) error {
+	a.mu.Lock()
+	ln, ok := a.lanes[lane]
+	if !ok {
+		a.mu.Unlock()
+		return fmt.Errorf("throttle: unknown arbiter lane %q", lane)
+	}
+
+	// Per-target merged transitions, grouped into batch downstream calls.
+	// Downstream Resume clears quotas (cgroup.Actuator, the simulator and
+	// the ledger all treat thaw as a full release), so a target thawing
+	// into another lane's surviving quota needs the quota re-applied AFTER
+	// the thaw. The brief fully-released window is the safe direction: a
+	// crash inside it makes recovery over-thaw, never over-freeze.
+	var freeze, thaw []string
+	levelSet := make(map[float64][]string) // quota changes while unfrozen
+	thawInto := make(map[float64][]string) // quotas to re-apply post-thaw
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		a.known[id] = true
+		fn(ln, id)
+
+		newFrozen, newLevel := a.mergedLocked(id)
+		oldFrozen := a.effFrozen[id]
+		oldLevel, hadLevel := a.effLevel[id]
+		if !hadLevel {
+			oldLevel = 1
+		}
+		switch {
+		case newFrozen && !oldFrozen:
+			freeze = append(freeze, id)
+		case !newFrozen && oldFrozen:
+			thaw = append(thaw, id)
+			if newLevel < 1 {
+				thawInto[newLevel] = append(thawInto[newLevel], id)
+			}
+		case !newFrozen && newLevel != oldLevel:
+			levelSet[newLevel] = append(levelSet[newLevel], id)
+		}
+		a.effFrozen[id] = newFrozen
+		a.effLevel[id] = newLevel
+	}
+	graded := a.graded
+	a.mu.Unlock()
+
+	if graded == nil && (len(levelSet) > 0 || len(thawInto) > 0) {
+		return fmt.Errorf("throttle: downstream actuator %T is not graded", a.downstream)
+	}
+
+	// Restrictions before releases, and tightening quotas before loosening
+	// ones, so a mid-sequence crash leaves the ledger holding the more
+	// severe record (over-thaw on replay).
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(freeze) > 0 {
+		record(a.downstream.Pause(freeze))
+	}
+	for _, level := range sortedLevels(levelSet) {
+		record(graded.SetLevel(levelSet[level], level))
+	}
+	if len(thaw) > 0 {
+		record(a.downstream.Resume(thaw))
+	}
+	for _, level := range sortedLevels(thawInto) {
+		record(graded.SetLevel(thawInto[level], level))
+	}
+	return firstErr
+}
+
+// mergedLocked computes a target's effective (frozen, level) over all
+// lanes. Caller holds a.mu.
+func (a *Arbiter) mergedLocked(id string) (bool, float64) {
+	frozen := false
+	level := 1.0
+	for _, ln := range a.lanes {
+		if ln.frozen[id] {
+			frozen = true
+		}
+		if l, ok := ln.level[id]; ok && l < level {
+			level = l
+		}
+	}
+	return frozen, level
+}
+
+// sortedLevels orders quota groups most-severe-first so tightening is
+// recorded in the ledger before loosening.
+func sortedLevels(m map[float64][]string) []float64 {
+	out := make([]float64, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// LaneActuator is one lane's handle on the shared arbiter. It implements
+// GradedActuator so a throttle.Controller can drive it unchanged.
+type LaneActuator struct {
+	arbiter *Arbiter
+	lane    string
+}
+
+var _ GradedActuator = (*LaneActuator)(nil)
+
+// Pause records this lane's freeze request; the targets freeze downstream
+// unless already frozen on another lane's behalf.
+func (l *LaneActuator) Pause(ids []string) error {
+	return l.arbiter.apply(l.lane, ids, func(ln *arbiterLane, id string) {
+		ln.frozen[id] = true
+	})
+}
+
+// Resume withdraws this lane's restriction entirely (freeze and quota).
+// The targets thaw downstream only once no other lane restricts them.
+func (l *LaneActuator) Resume(ids []string) error {
+	return l.arbiter.apply(l.lane, ids, func(ln *arbiterLane, id string) {
+		delete(ln.frozen, id)
+		delete(ln.level, id)
+	})
+}
+
+// SetLevel records this lane's quota request; the effective downstream
+// quota is the minimum over all lanes.
+func (l *LaneActuator) SetLevel(ids []string, level float64) error {
+	if level < 0 {
+		level = 0
+	}
+	return l.arbiter.apply(l.lane, ids, func(ln *arbiterLane, id string) {
+		if level >= 1 {
+			delete(ln.level, id)
+		} else {
+			ln.level[id] = level
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package throttle
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func effective(t *testing.T, a *Arbiter, id string, wantFrozen bool, wantLevel float64) {
+	t.Helper()
+	frozen, level := a.Effective(id)
+	if frozen != wantFrozen || level != wantLevel {
+		t.Fatalf("Effective(%q) = (%v, %v), want (%v, %v)", id, frozen, level, wantFrozen, wantLevel)
+	}
+}
+
+// countActions tallies recorded actuations per action type.
+func countActions(events []ActuationEvent) map[Action]int {
+	out := make(map[Action]int)
+	for _, e := range events {
+		out[e.Action]++
+	}
+	return out
+}
+
+func TestArbiterUnionFreezeSingleRelease(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, err := NewArbiter(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"b1", "b2"}
+	laneA := arb.Lane("A")
+	laneB := arb.Lane("B")
+
+	if err := laneA.Pause(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", true, 1)
+	if got := rec.Paused(); !reflect.DeepEqual(got, []string{"b1", "b2"}) {
+		t.Fatalf("paused = %v", got)
+	}
+
+	// Second lane freezing the already-frozen pool must not re-actuate.
+	before := len(rec.Events())
+	if err := laneB.Pause(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Events()); got != before {
+		t.Fatalf("second freeze actuated downstream: %d events, want %d", got, before)
+	}
+
+	// First lane resumes; the other still wants the freeze — no thaw yet.
+	if err := laneA.Resume(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", true, 1)
+	if got := rec.Paused(); len(got) != 2 {
+		t.Fatalf("thawed while lane B still freezing: paused = %v", got)
+	}
+	if got := arb.Restricting("b1"); !reflect.DeepEqual(got, []string{"B"}) {
+		t.Fatalf("Restricting = %v, want [B]", got)
+	}
+
+	// Last restricting lane resumes → exactly one downstream release.
+	if err := laneB.Resume(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 1)
+	if got := rec.Paused(); len(got) != 0 {
+		t.Fatalf("still paused after full release: %v", got)
+	}
+	if got := countActions(rec.Events())[ActionResume]; got != 1 {
+		t.Fatalf("downstream resumes = %d, want exactly 1", got)
+	}
+}
+
+// The ISSUE's conflict scenario: lane A demands a freeze while lane B
+// wants a graded 40% quota; A resumes but B still restricts (the pool
+// thaws into B's quota); both resume → a single release actuation.
+func TestArbiterFreezeVersusGradedQuota(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, err := NewArbiter(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"b1"}
+	laneA := arb.Lane("A")
+	laneB := arb.Lane("B")
+
+	if err := laneB.SetLevel(ids, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 0.4)
+	if got := rec.Level("b1"); got != 0.4 {
+		t.Fatalf("downstream level = %v, want 0.4", got)
+	}
+
+	// Freeze outranks the quota (most-severe-wins).
+	if err := laneA.Pause(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", true, 0.4)
+	if got := rec.Paused(); !reflect.DeepEqual(got, []string{"b1"}) {
+		t.Fatalf("paused = %v", got)
+	}
+
+	// While frozen, B's quota adjustments are absorbed downstream.
+	before := len(rec.Events())
+	if err := laneB.SetLevel(ids, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Events()); got != before {
+		t.Fatalf("quota change actuated on a frozen target")
+	}
+
+	// A resumes: the pool thaws INTO B's surviving quota, not to full
+	// speed.
+	if err := laneA.Resume(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 0.25)
+	if got := rec.Paused(); len(got) != 0 {
+		t.Fatalf("still paused: %v", got)
+	}
+	if got := rec.Level("b1"); got != 0.25 {
+		t.Fatalf("post-thaw level = %v, want B's 0.25", got)
+	}
+
+	// B releases: one quota-clearing release, nothing left behind.
+	if err := laneB.SetLevel(ids, 1); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 1)
+	if got := rec.Level("b1"); got != 1 {
+		t.Fatalf("final level = %v, want 1", got)
+	}
+}
+
+func TestArbiterMinLevelWins(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, _ := NewArbiter(rec)
+	ids := []string{"b1"}
+	laneA := arb.Lane("A")
+	laneB := arb.Lane("B")
+
+	if err := laneA.SetLevel(ids, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := laneB.SetLevel(ids, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 0.5)
+
+	// The stricter lane loosening to 0.9 leaves A's 0.75 in charge.
+	if err := laneB.SetLevel(ids, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 0.75)
+	if got := rec.Level("b1"); got != 0.75 {
+		t.Fatalf("downstream level = %v, want 0.75", got)
+	}
+
+	if err := laneA.Resume(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 0.9)
+	if err := laneB.Resume(ids); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 1)
+}
+
+func TestArbiterReleaseAll(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, _ := NewArbiter(rec)
+	laneA := arb.Lane("A")
+	laneB := arb.Lane("B")
+	if err := laneA.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := laneB.SetLevel([]string{"b2"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := arb.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Paused(); len(got) != 0 {
+		t.Fatalf("paused after ReleaseAll: %v", got)
+	}
+	if got := rec.Level("b2"); got != 1 {
+		t.Fatalf("level after ReleaseAll = %v", got)
+	}
+	effective(t, arb, "b1", false, 1)
+	effective(t, arb, "b2", false, 1)
+	if got := arb.Restricting("b1"); len(got) != 0 {
+		t.Fatalf("lane desires survived ReleaseAll: %v", got)
+	}
+
+	// Idempotent when nothing was ever touched again.
+	if err := arb.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArbiterDownstreamErrorsPropagate(t *testing.T) {
+	rec := NewRecordingActuator()
+	boom := errors.New("boom")
+	rec.FailPause = boom
+	arb, _ := NewArbiter(rec)
+	lane := arb.Lane("A")
+	if err := lane.Pause([]string{"b1"}); !errors.Is(err, boom) {
+		t.Fatalf("pause error = %v, want %v", err, boom)
+	}
+}
+
+func TestArbiterNonGradedDownstreamRejectsQuota(t *testing.T) {
+	arb, _ := NewArbiter(FuncActuator{})
+	lane := arb.Lane("A")
+	if err := lane.SetLevel([]string{"b1"}, 0.5); err == nil {
+		t.Fatal("SetLevel over a non-graded downstream should error")
+	}
+	// Binary freeze/thaw still works.
+	if err := lane.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.Resume([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,10 +47,23 @@ import (
 type (
 	// Config assembles a Runtime; see core.Config for field semantics.
 	Config = core.Config
-	// Runtime is the Stay-Away middleware instance for one host.
+	// Runtime is the Stay-Away middleware instance for one protected
+	// application (the single-tenant facade over one Lane).
 	Runtime = core.Runtime
+	// HostRuntime protects several sensitive applications sharing one
+	// batch pool: one Lane each, actuation merged by the arbiter.
+	HostRuntime = core.HostRuntime
+	// Lane is one protected application's Mapping→Prediction→Action
+	// pipeline with its own learned state.
+	Lane = core.Lane
 	// Environment is what the runtime observes each period.
 	Environment = core.Environment
+	// HostEnvironment is the shared, collect-once view of a multi-tenant
+	// host.
+	HostEnvironment = core.HostEnvironment
+	// LaneSignals is one protected application's QoS and run-state
+	// signals on a multi-tenant host.
+	LaneSignals = core.LaneSignals
 	// Event records one monitoring period's outcome.
 	Event = core.Event
 	// Report aggregates a run's counters.
@@ -68,6 +81,13 @@ type (
 // New assembles a runtime against the given environment and actuator.
 func New(cfg Config, env Environment, act Actuator) (*Runtime, error) {
 	return core.New(cfg, env, act)
+}
+
+// NewHost assembles a multi-tenant host runtime over a shared
+// environment; add one lane per protected application with AddLane
+// before the first Period.
+func NewHost(env HostEnvironment, act Actuator) (*HostRuntime, error) {
+	return core.NewHost(env, act)
 }
 
 // DefaultConfig returns a runtime configuration for one sensitive
