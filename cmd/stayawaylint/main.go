@@ -1,0 +1,289 @@
+// Command stayawaylint runs the repository's invariant analyzers (see
+// internal/lint) over package patterns and exits non-zero on any finding.
+//
+// Standalone (the CI entry point):
+//
+//	go run ./cmd/stayawaylint ./...
+//
+// As a vet tool, using the go command's package loader instead of the
+// built-in one:
+//
+//	go build -o /tmp/stayawaylint ./cmd/stayawaylint
+//	go vet -vettool=/tmp/stayawaylint ./...
+//
+// Findings are suppressed in source with a mandatory-reason directive:
+//
+//	//lint:stayaway-ignore <analyzer> <reason>
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Exit codes, vet-style: 1 is an operational/usage failure, 2 means the
+// analysis ran and found violations.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitFindings = 2
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// go vet's tool handshake: `stayawaylint -V=full` must print
+	// "<name> version devel buildID=<id>" (cmd/go parses this to key its
+	// vet-result cache, so the ID is a content hash of this binary), and
+	// `stayawaylint -flags` a JSON description of the tool's vet-settable
+	// flags (none — selection flags are standalone only).
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Fprintf(stdout, "stayawaylint version devel buildID=%s\n", selfContentID())
+		return exitOK
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return exitOK
+	}
+
+	fs := flag.NewFlagSet("stayawaylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+		enable  = fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzer names to skip")
+		asJSON  = fs.Bool("json", false, "emit findings as JSON")
+		dir     = fs.String("C", ".", "directory to resolve package patterns in")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: stayawaylint [flags] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+		return exitError
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return exitOK
+	}
+
+	// Vet tool protocol: a single *.cfg argument describes one package.
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], analyzers, stderr)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+		return exitError
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+		return exitError
+	}
+	return report(findings, *asJSON, stdout, stderr)
+}
+
+// selectAnalyzers resolves -enable/-disable against the registry.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	if enable != "" && disable != "" {
+		return nil, fmt.Errorf("-enable and -disable are mutually exclusive")
+	}
+	all := lint.Analyzers()
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	switch {
+	case enable != "":
+		var out []*analysis.Analyzer
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	case disable != "":
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			skip[name] = true
+		}
+		var out []*analysis.Analyzer
+		for _, a := range all {
+			if !skip[a.Name] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	default:
+		return all, nil
+	}
+}
+
+func report(findings []lint.Finding, asJSON bool, stdout, stderr io.Writer) int {
+	if asJSON {
+		type jsonFinding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+			return exitError
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stderr, f)
+		}
+	}
+	if len(findings) > 0 {
+		return exitFindings
+	}
+	return exitOK
+}
+
+// vetConfig is the JSON the go command hands a -vettool per package.
+type vetConfig struct {
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes the single package a vet .cfg file describes.
+func vetUnit(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+		return exitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "stayawaylint: parsing %s: %v\n", cfgPath, err)
+		return exitError
+	}
+	// The go command requires the facts file to exist afterwards; this
+	// suite exchanges no facts, so an empty one satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		//lint:stayaway-ignore atomicwrite vet facts file, empty and regenerated by the go command every run; not repository state
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		return exitOK
+	}
+	index := make(load.ExportIndex, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		index[path] = file
+	}
+	for from, to := range cfg.ImportMap {
+		if e, ok := index[to]; ok && from != to {
+			index[from] = e
+		}
+	}
+	fset := token.NewFileSet()
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	pkg, err := load.Check(fset, index.Importer(fset), cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitOK
+		}
+		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+		return exitError
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+		return exitError
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos.Offset < findings[j].Pos.Offset })
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return exitFindings
+	}
+	return exitOK
+}
+
+// selfContentID hashes this executable for the -V=full handshake, so the
+// go command re-runs the analysis when the tool binary changes.
+func selfContentID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestSelectAnalyzersDefaultIsAll(t *testing.T) {
+	got, err := selectAnalyzers("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lint.Analyzers()) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(lint.Analyzers()))
+	}
+}
+
+func TestSelectAnalyzersEnable(t *testing.T) {
+	got, err := selectAnalyzers("floatcmp, atomicwrite", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, a := range got {
+		names = append(names, a.Name)
+	}
+	if strings.Join(names, ",") != "floatcmp,atomicwrite" {
+		t.Errorf("enable order not preserved: %v", names)
+	}
+}
+
+func TestSelectAnalyzersDisable(t *testing.T) {
+	got, err := selectAnalyzers("", "failsafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lint.Analyzers())-1 {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(lint.Analyzers())-1)
+	}
+	for _, a := range got {
+		if a.Name == "failsafe" {
+			t.Errorf("disabled analyzer still selected")
+		}
+	}
+}
+
+func TestSelectAnalyzersErrors(t *testing.T) {
+	if _, err := selectAnalyzers("floatcmp", "failsafe"); err == nil {
+		t.Error("enable+disable together: want error")
+	}
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Error("unknown -enable name: want error")
+	}
+	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+		t.Error("unknown -disable name: want error")
+	}
+}
+
+// TestVersionHandshake pins the exact shape cmd/go's toolID() parser
+// expects from a vettool: "<name> version devel buildID=<id>".
+func TestVersionHandshake(t *testing.T) {
+	for _, arg := range []string{"-V=full", "-V"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{arg}, &stdout, &stderr); code != exitOK {
+			t.Fatalf("run(%s) = %d, want %d (stderr: %s)", arg, code, exitOK, stderr.String())
+		}
+		line := strings.TrimSpace(stdout.String())
+		if !regexp.MustCompile(`^stayawaylint version devel buildID=\S+$`).MatchString(line) {
+			t.Errorf("run(%s) printed %q; want 'stayawaylint version devel buildID=<id>'", arg, line)
+		}
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("run(-flags) = %d, want %d", code, exitOK)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("run(-flags) printed %q, want []", got)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("run(-list) = %d, want %d", code, exitOK)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != exitError {
+		t.Fatalf("run(-nosuchflag) = %d, want %d", code, exitError)
+	}
+}
+
+// TestRunFindingsExitCode builds a throwaway module with one atomicwrite
+// violation and checks the full standalone path: exit 2 plus a
+// file:line diagnostic naming the analyzer.
+func TestRunFindingsExitCode(t *testing.T) {
+	dir := t.TempDir()
+	writeTestFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeTestFile(t, filepath.Join(dir, "a.go"), `package scratch
+
+import "os"
+
+func save(p string, b []byte) error {
+	return os.WriteFile(p, b, 0o644)
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-enable=atomicwrite", "./..."}, &stdout, &stderr)
+	if code != exitFindings {
+		t.Fatalf("run over violating module = %d, want %d (stderr: %s)", code, exitFindings, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "a.go:6:") || !strings.Contains(out, "(atomicwrite)") {
+		t.Errorf("diagnostic missing position or analyzer tag:\n%s", out)
+	}
+
+	// JSON mode reports the same finding on stdout.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-C", dir, "-enable=atomicwrite", "-json", "./..."}, &stdout, &stderr)
+	if code != exitFindings {
+		t.Fatalf("json run = %d, want %d", code, exitFindings)
+	}
+	if !strings.Contains(stdout.String(), `"analyzer": "atomicwrite"`) {
+		t.Errorf("json output missing analyzer field:\n%s", stdout.String())
+	}
+}
+
+func TestRunCleanExitCode(t *testing.T) {
+	dir := t.TempDir()
+	writeTestFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeTestFile(t, filepath.Join(dir, "a.go"), `package scratch
+
+func Nothing() {}
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("run over clean module = %d, want %d (stderr: %s)", code, exitOK, stderr.String())
+	}
+}
+
+func writeTestFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,10 +74,13 @@ func Chaos(seed int64) (*Figure, error) {
 		var err error
 		switch rng.Intn(3) {
 		case 0:
+			//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 			err = act.Pause(ids)
 		case 1:
+			//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 			err = act.Resume(ids)
 		default:
+			//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 			err = act.SetLevel(ids, levels[rng.Intn(len(levels))])
 		}
 		if err != nil {
@@ -86,9 +89,11 @@ func Chaos(seed int64) (*Figure, error) {
 	}
 	// The fail-safe path: thaw-all must leave nothing frozen even on a
 	// still-faulty filesystem.
+	//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 	if err := act.Resume(ids); err != nil {
 		r.ActuationErrs++
 	}
+	//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 	if err := act.SetLevel(ids, 1); err != nil {
 		r.ActuationErrs++
 	}
@@ -123,9 +128,11 @@ func Chaos(seed int64) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 	if err := act2.Pause([]string{"batch/stuck"}); err != nil {
 		r.ActuationErrs++
 	}
+	//lint:stayaway-ignore ledgeredactuation fault-injection suite drives the raw actuator on purpose: the ledger is not what is under test here
 	if err := act2.Resume([]string{"batch/stuck"}); err != nil {
 		r.ActuationErrs++
 	}

@@ -1,0 +1,57 @@
+// Package analysis is a deliberately small, dependency-free subset of
+// golang.org/x/tools/go/analysis: enough surface for stayawaylint's
+// analyzers to be written in the standard shape, so that a future move
+// onto the real framework (once the module is vendorable in this build
+// environment) is a mechanical import swap rather than a rewrite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Run inspects a single
+// type-checked package via the Pass and reports findings through
+// Pass.Report; it must not retain the Pass after returning.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags and
+	// //lint:stayaway-ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph help text: first line is a summary, the
+	// rest explains the invariant the analyzer enforces.
+	Doc string
+	// Run performs the analysis. The returned value is unused by this
+	// driver (it exists for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds Uses, Defs, Types and Selections for the package.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

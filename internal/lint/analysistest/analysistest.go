@@ -1,0 +1,289 @@
+// Package analysistest runs a single analyzer over golden packages under
+// a testdata directory and checks its diagnostics against // want
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout mirrors a GOPATH: testdata/src/<import/path>/*.go. Imports are
+// resolved testdata-first — so golden packages can import small fakes of
+// repository packages (e.g. "repro/internal/throttle") without depending
+// on the real ones — and fall back to the standard library via compiled
+// export data obtained from `go list -export`.
+//
+// A want comment asserts diagnostics on its own line:
+//
+//	act.Pause(ids) // want `bypasses the actuation ledger`
+//
+// Every quoted or backquoted pattern must match (as an unanchored regexp)
+// a diagnostic reported on that line, and every diagnostic must be
+// claimed by some pattern.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run analyzes each golden package (an import path under testdata/src)
+// with a and reports mismatches against its want comments through t.
+// It returns the loaded packages so callers can run further checks (e.g.
+// suppression handling) over the same trees.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) []*load.Package {
+	t.Helper()
+	r := &resolver{
+		root:  filepath.Join(testdata, "src"),
+		fset:  token.NewFileSet(),
+		cache: make(map[string]*load.Package),
+	}
+	var out []*load.Package
+	for _, path := range pkgPaths {
+		pkg, err := r.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		out = append(out, pkg)
+		check(t, a, pkg)
+	}
+	return out
+}
+
+// Load loads golden packages without running any analyzer or checking
+// want comments. Use it to feed testdata trees to lint.Run directly,
+// e.g. for suppression-directive integration tests.
+func Load(t *testing.T, testdata string, pkgPaths ...string) []*load.Package {
+	t.Helper()
+	r := &resolver{
+		root:  filepath.Join(testdata, "src"),
+		fset:  token.NewFileSet(),
+		cache: make(map[string]*load.Package),
+	}
+	var out []*load.Package
+	for _, path := range pkgPaths {
+		pkg, err := r.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		out = append(out, pkg)
+	}
+	return out
+}
+
+// check runs the analyzer raw (no suppression filtering) and diffs the
+// diagnostics against the package's want comments.
+func check(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer error: %v", pkg.PkgPath, err)
+		return
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	wantSrc := make(map[key][]string)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, err := wantPatterns(c.Text)
+				if err != nil {
+					t.Errorf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+						continue
+					}
+					wants[k] = append(wants[k], rx)
+					wantSrc[k] = append(wantSrc[k], p)
+				}
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, rxs := range wants {
+		matched[k] = make([]bool, len(rxs))
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		claimed := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched[k][i] = true
+				claimed = true
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for i, ok := range matched[k] {
+			if !ok {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, wantSrc[k][i])
+			}
+		}
+	}
+}
+
+// wantPatterns extracts the regexp literals from a "// want ..." comment.
+// Both Go-quoted and backquoted forms are accepted.
+func wantPatterns(comment string) ([]string, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(text[len("want "):])
+	var out []string
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern: %s", rest)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", rest[:end+1], err)
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern: %s", rest)
+			}
+			out = append(out, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted: %s", rest)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// resolver loads golden packages, resolving imports testdata-first with a
+// standard-library fallback through compiled export data.
+type resolver struct {
+	root    string
+	fset    *token.FileSet
+	cache   map[string]*load.Package
+	exports load.ExportIndex
+	// std is the one gc importer for all non-testdata imports: a single
+	// instance is essential so that a package imported both directly and
+	// transitively resolves to one *types.Package identity.
+	std types.Importer
+}
+
+var _ types.Importer = (*resolver)(nil)
+
+func (r *resolver) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(r.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := r.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return r.importStd(path)
+}
+
+// load type-checks the golden package at testdata/src/<path>.
+func (r *resolver) load(path string) (*load.Package, error) {
+	if pkg, ok := r.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(r.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	pkg, err := load.Check(r.fset, r, path, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	r.cache[path] = pkg
+	return pkg, nil
+}
+
+// importStd resolves a non-testdata import from the real build, fetching
+// export data (and that of its transitive dependencies) on first use.
+func (r *resolver) importStd(path string) (*types.Package, error) {
+	if r.exports == nil {
+		r.exports = make(load.ExportIndex)
+		// The importer's lookup closure reads r.exports live, so export
+		// data added by later GoList calls is visible to it.
+		r.std = r.exports.Importer(r.fset)
+	}
+	if _, ok := r.exports[path]; !ok {
+		listed, err := load.GoList(r.root, path)
+		if err != nil {
+			return nil, err
+		}
+		for p, e := range load.Index(listed) {
+			r.exports[p] = e
+		}
+	}
+	return r.std.Import(path)
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"repro/internal/lint/analysis"
+)
+
+// FailsafeAnalyzer enforces the control runtime's release contract: an
+// exported entry point in internal/core or internal/throttle that
+// acquires a restriction (Pause, or SetLevel below full quota) and later
+// releases it in straight-line code must not be able to return between
+// the two — an error exit there leaves the batch pool throttled with
+// nobody left to thaw it. The fix is structural: release via defer (as
+// core.Server's loop does with its fail-safe), which this analyzer
+// recognizes and accepts anywhere in the function.
+//
+// Stateful acquire-only entry points (throttle.Controller.Step holds
+// restrictions across calls by design, with release owned by the
+// runtime's deferred fail-safe) are out of scope: the analyzer only pairs
+// an acquire with a release in the same statement list, so cross-call
+// protocols are not flagged.
+var FailsafeAnalyzer = &analysis.Analyzer{
+	Name: "failsafe",
+	Doc:  "exported core/throttle entry points must not early-return between acquiring and releasing a restriction; release via defer",
+	Run:  runFailsafe,
+}
+
+var failsafePkgs = []string{
+	"internal/core",
+	"internal/throttle",
+}
+
+// failsafeReleaseNames are the calls that lift restrictions. SetLevel is
+// handled separately (release only at full quota).
+var failsafeReleaseNames = map[string]bool{
+	"Resume": true, "Release": true, "ReleaseAll": true,
+	"Thaw": true, "runFailSafe": true,
+}
+
+func runFailsafe(pass *analysis.Pass) (any, error) {
+	if !pkgMatches(pass.Pkg.Path(), failsafePkgs...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if hasDeferredRelease(pass, fn.Body) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					checkAcquireReleaseSpan(pass, n.List)
+				case *ast.CaseClause:
+					checkAcquireReleaseSpan(pass, n.Body)
+				case *ast.CommClause:
+					checkAcquireReleaseSpan(pass, n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkAcquireReleaseSpan pairs the first acquiring statement with the
+// first later releasing statement of one statement list and flags every
+// return between them. Statement granularity is deliberate: a `return`
+// inside the acquire statement itself (the acquire *failed*) is fine.
+func checkAcquireReleaseSpan(pass *analysis.Pass, stmts []ast.Stmt) {
+	acquire := -1
+	for i, stmt := range stmts {
+		if stmtContains(stmt, func(c *ast.CallExpr) bool { return isAcquireCall(pass, c) }) {
+			acquire = i
+			break
+		}
+	}
+	if acquire < 0 {
+		return
+	}
+	release := -1
+	for i := acquire + 1; i < len(stmts); i++ {
+		if _, isDefer := stmts[i].(*ast.DeferStmt); isDefer {
+			continue
+		}
+		if stmtContains(stmts[i], func(c *ast.CallExpr) bool { return isReleaseCall(pass, c) }) {
+			release = i
+			break
+		}
+	}
+	if release < 0 {
+		return
+	}
+	for i := acquire + 1; i < release; i++ {
+		ast.Inspect(stmts[i], func(n ast.Node) bool {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				pass.Reportf(ret.Pos(),
+					"return between restriction acquire (stmt at line %d) and its release (line %d) leaves the batch pool throttled on this path; release via defer",
+					pass.Fset.Position(stmts[acquire].Pos()).Line,
+					pass.Fset.Position(stmts[release].Pos()).Line)
+			}
+			// Do not descend into nested function literals: their returns
+			// exit the literal, not this span.
+			_, isLit := n.(*ast.FuncLit)
+			return !isLit
+		})
+	}
+}
+
+// hasDeferredRelease reports whether any defer in the body (including
+// deferred closures) reaches a release call.
+func hasDeferredRelease(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isReleaseCall(pass, d.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			if stmtContains(lit.Body, func(c *ast.CallExpr) bool { return isReleaseCall(pass, c) }) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAcquireCall reports whether c acquires a restriction: Pause, or
+// SetLevel with a level that is not the constant 1 (full quota).
+func isAcquireCall(pass *analysis.Pass, c *ast.CallExpr) bool {
+	name := calleeName(c)
+	switch name {
+	case "Pause":
+		return true
+	case "SetLevel":
+		return !isConstOne(pass, c)
+	}
+	return false
+}
+
+// isReleaseCall reports whether c lifts restrictions: a release-named
+// call, or SetLevel back to the constant 1.
+func isReleaseCall(pass *analysis.Pass, c *ast.CallExpr) bool {
+	name := calleeName(c)
+	if failsafeReleaseNames[name] {
+		return true
+	}
+	return name == "SetLevel" && isConstOne(pass, c)
+}
+
+// isConstOne reports whether the last argument of c is the constant 1.
+func isConstOne(pass *analysis.Pass, c *ast.CallExpr) bool {
+	if len(c.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[c.Args[len(c.Args)-1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	one := constant.MakeInt64(1)
+	return constant.Compare(tv.Value, token.EQL, one)
+}
+
+// stmtContains reports whether any call inside n (excluding nested
+// function literals for defer bodies handled separately) satisfies pred.
+func stmtContains(n ast.Node, pred func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && pred(c) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(c *ast.CallExpr) string {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"repro/internal/lint/analysis"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point operands in the
+// math packages (internal/mds, internal/stats, internal/statespace,
+// internal/predictor, internal/trajectory): after any arithmetic, exact
+// equality is a rounding-error lottery — use an epsilon comparison such
+// as stats.ApproxEqual.
+//
+// Two comparisons are exempt because they are exact by construction:
+//   - against the constant zero (`den == 0` before a division guards the
+//     one value that is exactly representable and exactly dangerous);
+//   - between two constants (evaluated exactly at compile time).
+//
+// Intentional exact comparisons against non-zero values (e.g. canonical
+// IEEE boundary handling) must carry a //lint:stayaway-ignore floatcmp
+// directive with a reason.
+var FloatCmpAnalyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= on floating-point operands in the math packages; use epsilon helpers (stats.ApproxEqual)",
+	Run:  runFloatCmp,
+}
+
+var floatCmpPkgs = []string{
+	"internal/mds",
+	"internal/stats",
+	"internal/statespace",
+	"internal/predictor",
+	"internal/trajectory",
+}
+
+func runFloatCmp(pass *analysis.Pass) (any, error) {
+	if !pkgMatches(pass.Pkg.Path(), floatCmpPkgs...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xtv, xok := pass.TypesInfo.Types[bin.X]
+			ytv, yok := pass.TypesInfo.Types[bin.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloat(xtv.Type) && !isFloat(ytv.Type) {
+				return true
+			}
+			if isExactZero(xtv.Value) || isExactZero(ytv.Value) {
+				return true
+			}
+			if xtv.Value != nil && ytv.Value != nil {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"%s on floating-point operands compares exact bit patterns; use an epsilon comparison (stats.ApproxEqual)",
+				bin.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isExactZero reports whether v is the constant 0 (of any numeric form).
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

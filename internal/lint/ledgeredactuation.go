@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// LedgeredActuationAnalyzer enforces the write-ahead ledger's upper-bound
+// invariant: every restrictive actuation must be recorded before it
+// touches a cgroup, so crash recovery can only over-thaw. That holds only
+// if actuations flow through resilience.LedgeredActuator (or the
+// throttle.Arbiter stack above it) — a single direct call to a raw
+// actuator or to the cgroup filesystem reopens the crash-starvation hole.
+//
+// Flagged outside internal/throttle, internal/resilience, internal/cgroup
+// and _test.go files:
+//   - calls to Pause/Resume/SetLevel methods declared in internal/throttle
+//     or internal/cgroup (the raw actuator surface; the interface method
+//     counts, since the static type cannot prove the dynamic value is
+//     ledgered);
+//   - calls to WriteFile methods declared in internal/cgroup (the
+//     freeze/thaw/quota control-file writers behind the actuator).
+//
+// Calls to methods declared in internal/resilience (LedgeredActuator) are
+// never flagged. Deliberate bypasses — fail-safe over-thaw paths, fault-
+// injection suites — must carry a //lint:stayaway-ignore ledgeredactuation
+// directive with a reason.
+var LedgeredActuationAnalyzer = &analysis.Analyzer{
+	Name: "ledgeredactuation",
+	Doc:  "actuations must go through the write-ahead ledger (LedgeredActuator/Arbiter), not raw actuators or cgroupfs writers",
+	Run:  runLedgeredActuation,
+}
+
+// ledgerExemptPkgs are the packages that constitute the actuation layer
+// itself: the raw actuators, the ledger wrapper, and the fault-injection
+// decorators that sit below the ledger by construction.
+var ledgerExemptPkgs = []string{
+	"internal/throttle",
+	"internal/resilience",
+	"internal/cgroup",
+}
+
+func runLedgeredActuation(pass *analysis.Pass) (any, error) {
+	if pkgMatches(pass.Pkg.Path(), ledgerExemptPkgs...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := methodObj(pass, sel)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			declPkg := fn.Pkg().Path()
+			switch fn.Name() {
+			case "Pause", "Resume", "SetLevel":
+				if pkgMatches(declPkg, "internal/throttle", "internal/cgroup") {
+					pass.Reportf(call.Pos(),
+						"direct call to (%s).%s bypasses the actuation ledger; actuate through resilience.LedgeredActuator or the throttle.Arbiter",
+						declPkg, fn.Name())
+				}
+			case "WriteFile":
+				if pkgMatches(declPkg, "internal/cgroup") {
+					pass.Reportf(call.Pos(),
+						"direct cgroup control-file write via (%s).WriteFile bypasses the actuation ledger; use the ledgered actuator",
+						declPkg)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// methodObj resolves the *types.Func a selector call denotes: a method
+// (value.Method(...), including interface methods — resolved to where the
+// method is declared) or a package-qualified function (pkg.Func(...)).
+func methodObj(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package lint is stayawaylint: a suite of static analyzers that machine-
+// enforce the repository's safety and determinism contracts — the rules
+// that previously lived only in DESIGN.md prose and review vigilance.
+//
+// The analyzers (see Analyzers) encode, respectively: the write-ahead
+// ledger's upper-bound invariant (ledgeredactuation), crash-safe
+// persistence (atomicwrite), reproducible mapping/prediction pipelines
+// (determinism), epsilon-safe float comparison in the math packages
+// (floatcmp), and the fail-safe release contract of the control runtime
+// (failsafe). Run them via `go run ./cmd/stayawaylint ./...`.
+//
+// A finding can be acknowledged in place with a mandatory-reason
+// directive; see DirectivePrefix.
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Analyzers returns the full suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicWriteAnalyzer,
+		DeterminismAnalyzer,
+		FailsafeAnalyzer,
+		FloatCmpAnalyzer,
+		LedgeredActuationAnalyzer,
+	}
+}
+
+// DirectiveAnalyzerName labels findings produced by the suppression
+// parser itself (malformed directives). It is not suppressible.
+const DirectiveAnalyzerName = "directive"
+
+// Finding is one post-suppression diagnostic with its origin analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return f.Pos.String() + ": " + f.Message + " (" + f.Analyzer + ")"
+}
+
+// Run executes the analyzers over the packages, applies
+// //lint:stayaway-ignore suppressions, and returns the surviving findings
+// sorted by position. Malformed directives are findings too, under
+// DirectiveAnalyzerName.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var sups []Suppression
+		for _, f := range pkg.Syntax {
+			sups = append(sups, fileSuppressions(pkg.Fset, f, known, func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: DirectiveAnalyzerName,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			})...)
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, s := range sups {
+					if s.Covers(a.Name, pos.Filename, pos.Line) {
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// pkgMatches reports whether the package import path denotes one of the
+// named repo packages, by path-boundary suffix match — so both the real
+// tree ("repro/internal/mds") and the analyzer testdata fakes resolve to
+// the same scope.
+func pkgMatches(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// inTestFile reports whether pos falls in a _test.go file. Test code may
+// drive actuators and filesystems directly: the invariants protect the
+// production control path, and tests are precisely where raw access is
+// exercised.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestLedgeredActuation(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LedgeredActuationAnalyzer,
+		"ledgered", "repro/internal/resilience")
+}
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AtomicWriteAnalyzer,
+		"atomicw", "repro/internal/fsatomic")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.DeterminismAnalyzer,
+		"repro/internal/mds", "notmath")
+}
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FloatCmpAnalyzer,
+		"repro/internal/stats")
+}
+
+func TestFailsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FailsafeAnalyzer,
+		"repro/internal/core")
+}
+
+// TestSuppressionIntegration runs the full pipeline — all analyzers plus
+// directive parsing — over testdata/src/suppress and pins down exactly
+// which findings survive: a well-formed directive silences its line, a
+// malformed or unknown one is itself a finding and silences nothing, and
+// a directive naming the wrong analyzer leaves the original finding
+// standing.
+func TestSuppressionIntegration(t *testing.T) {
+	pkgs := analysistest.Load(t, "testdata", "suppress")
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	want := []struct {
+		line     int
+		analyzer string
+		contains string
+	}{
+		{13, "atomicwrite", "torn file"},
+		{15, lint.DirectiveAnalyzerName, "missing reason"},
+		{16, "atomicwrite", "torn file"},
+		{18, lint.DirectiveAnalyzerName, `unknown analyzer "nosuchanalyzer"`},
+		{19, "atomicwrite", "torn file"},
+		{22, "atomicwrite", "torn file"},
+	}
+	if len(findings) != len(want) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want %d", len(findings), len(want))
+	}
+	for i, w := range want {
+		f := findings[i]
+		if f.Pos.Line != w.line || f.Analyzer != w.analyzer || !strings.Contains(f.Message, w.contains) {
+			t.Errorf("finding %d = %s; want line %d analyzer %s containing %q",
+				i, f, w.line, w.analyzer, w.contains)
+		}
+	}
+	// The suppressed call on line 11 must not appear at all.
+	for _, f := range findings {
+		if f.Pos.Line == 11 {
+			t.Errorf("suppressed line 11 still reported: %s", f)
+		}
+	}
+}

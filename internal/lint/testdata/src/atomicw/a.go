@@ -1,0 +1,27 @@
+// Package atomicw is outside internal/fsatomic, so raw write/rename
+// calls must be flagged while reads and opens stay clean.
+package atomicw
+
+import "os"
+
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `write through internal/fsatomic`
+}
+
+func create(path string) (*os.File, error) {
+	return os.Create(path) // want `write through internal/fsatomic`
+}
+
+func swap(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want `write through internal/fsatomic`
+}
+
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path) // reads are fine
+}
+
+func appendLog(path string) (*os.File, error) {
+	// OpenFile is deliberately exempt: append-mode ledgers have their own
+	// durability contract.
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+}

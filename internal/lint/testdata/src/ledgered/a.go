@@ -1,0 +1,43 @@
+// Package ledgered is outside the actuation layer, so every raw
+// actuation below must be flagged.
+package ledgered
+
+import (
+	"repro/internal/cgroup"
+	"repro/internal/resilience"
+	"repro/internal/throttle"
+)
+
+func drive(a throttle.Actuator, g throttle.GradedActuator, ids []string) error {
+	if err := a.Pause(ids); err != nil { // want `bypasses the actuation ledger`
+		return err
+	}
+	if err := g.SetLevel(ids, 0.5); err != nil { // want `bypasses the actuation ledger`
+		return err
+	}
+	return a.Resume(ids) // want `bypasses the actuation ledger`
+}
+
+func driveConcrete(p *throttle.ProcessActuator, c *cgroup.Actuator, ids []string) {
+	_ = p.Pause(ids)          // want `bypasses the actuation ledger`
+	_ = c.Resume(ids)         // want `bypasses the actuation ledger`
+	_ = c.SetLevel(ids, 0.25) // want `bypasses the actuation ledger`
+}
+
+func writeControl(fs cgroup.Cgroupfs) error {
+	if _, err := fs.ReadFile("batch/cgroup.freeze"); err != nil { // reads are fine
+		return err
+	}
+	return fs.WriteFile("batch/cgroup.freeze", []byte("1")) // want `bypasses the actuation ledger`
+}
+
+// Going through the ledger wrapper is the sanctioned path: never flagged.
+func ledgered(la *resilience.LedgeredActuator, ids []string) error {
+	if err := la.Pause(ids); err != nil {
+		return err
+	}
+	if err := la.SetLevel(ids, 0.5); err != nil {
+		return err
+	}
+	return la.Resume(ids)
+}

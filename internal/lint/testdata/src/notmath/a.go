@@ -1,0 +1,24 @@
+// Package notmath is outside the determinism analyzer's scope: the same
+// constructs that are flagged in math packages carry no want comments.
+package notmath
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().Unix()
+}
+
+func draw() int {
+	return rand.Intn(6)
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package cgroup is a minimal stand-in for the real cgroupfs and
+// actuator, just enough API for the golden packages to violate the
+// invariants.
+package cgroup
+
+type Cgroupfs interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte) error
+}
+
+type Actuator struct{}
+
+func (*Actuator) Pause(ids []string) error                   { return nil }
+func (*Actuator) Resume(ids []string) error                  { return nil }
+func (*Actuator) SetLevel(ids []string, level float64) error { return nil }

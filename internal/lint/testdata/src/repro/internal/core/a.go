@@ -1,0 +1,72 @@
+// Package core stands in for the control-plane package covered by the
+// failsafe analyzer: exported entry points that pause or throttle must
+// not return between the acquire and the release unless a deferred
+// release is in place.
+package core
+
+type Act interface {
+	Pause(ids []string) error
+	Resume(ids []string) error
+	SetLevel(ids []string, level float64) error
+}
+
+func work() error { return nil }
+
+func BadPauseWindow(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err // failing to acquire leaves nothing held: fine
+	}
+	if err := work(); err != nil {
+		return err // want `leaves the batch pool throttled`
+	}
+	return a.Resume(ids)
+}
+
+func BadThrottleWindow(a Act, ids []string) error {
+	if err := a.SetLevel(ids, 0.5); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // want `leaves the batch pool throttled`
+	}
+	return a.SetLevel(ids, 1)
+}
+
+func GoodDeferred(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	defer a.Resume(ids)
+	if err := work(); err != nil {
+		return err // the deferred Resume runs on every path: fine
+	}
+	return nil
+}
+
+func GoodStraightLine(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	err := work()
+	if rerr := a.Resume(ids); rerr != nil {
+		return rerr
+	}
+	return err
+}
+
+// badButUnexported is out of scope: only exported entry points are
+// audited, internal helpers are covered by their exported callers.
+func badButUnexported(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err
+	}
+	return a.Resume(ids)
+}
+
+// ReleaseOnly never acquires anything: fine.
+func ReleaseOnly(a Act, ids []string) error {
+	return a.Resume(ids)
+}

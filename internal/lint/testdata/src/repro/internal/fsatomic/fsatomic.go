@@ -1,0 +1,20 @@
+// Package fsatomic is the one package allowed to touch the raw file
+// syscall surface: nothing here is flagged.
+package fsatomic
+
+import "os"
+
+func WriteFile(path string, data []byte) error {
+	tmp, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}

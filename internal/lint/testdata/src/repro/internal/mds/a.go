@@ -1,0 +1,62 @@
+// Package mds stands in for a math package covered by the determinism
+// analyzer: wall-clock reads, the global rand source, and order-sensitive
+// map iteration are flagged; seeded sources and sorted output are not.
+package mds
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().Unix() // want `time.Now`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `math/rand`
+}
+
+func drawSeeded(r *rand.Rand) int {
+	return r.Intn(6) // a seeded source is reproducible: fine
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration`
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out) // sorting afterwards restores determinism
+	return out
+}
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation`
+	}
+	return s
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // integer counting is order-insensitive: fine
+	}
+	return n
+}
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration`
+	}
+}

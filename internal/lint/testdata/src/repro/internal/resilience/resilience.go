@@ -1,0 +1,24 @@
+// Package resilience is both a stand-in for the ledger wrapper (calls to
+// LedgeredActuator methods are never flagged) and the golden pass case
+// for the allowed-package exemption: the direct actuations below are
+// expected to produce no diagnostics because this package IS the
+// actuation layer.
+package resilience
+
+import (
+	"repro/internal/cgroup"
+	"repro/internal/throttle"
+)
+
+type LedgeredActuator struct{}
+
+func (*LedgeredActuator) Pause(ids []string) error                   { return nil }
+func (*LedgeredActuator) Resume(ids []string) error                  { return nil }
+func (*LedgeredActuator) SetLevel(ids []string, level float64) error { return nil }
+
+func Recover(act throttle.Actuator, fs cgroup.Cgroupfs, ids []string) error {
+	if err := act.Resume(ids); err != nil {
+		return err
+	}
+	return fs.WriteFile("batch/cgroup.freeze", []byte("0"))
+}

@@ -1,0 +1,37 @@
+// Package stats stands in for a math package covered by the floatcmp
+// analyzer.
+package stats
+
+const tolerance = 1e-9
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point operands`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `floating-point operands`
+}
+
+func mixed(a float64) bool {
+	return a == 1.5 // want `floating-point operands`
+}
+
+func f32(a, b float32) bool {
+	return a != b // want `floating-point operands`
+}
+
+func zeroGuard(a float64) bool {
+	return a == 0 // exact-zero guards (division-by-zero checks) are fine
+}
+
+func constOnly() bool {
+	return tolerance == 1e-9 // both operands constant: decided at compile time
+}
+
+func intCmp(a, b int) bool {
+	return a == b // integers compare exactly: fine
+}
+
+func ordered(a, b float64) bool {
+	return a < b // ordering comparisons are fine
+}

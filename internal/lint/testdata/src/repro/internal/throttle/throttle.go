@@ -1,0 +1,18 @@
+// Package throttle is a minimal stand-in for the real actuator surface,
+// just enough API for the golden packages to violate the invariants.
+package throttle
+
+type Actuator interface {
+	Pause(ids []string) error
+	Resume(ids []string) error
+}
+
+type GradedActuator interface {
+	Actuator
+	SetLevel(ids []string, level float64) error
+}
+
+type ProcessActuator struct{}
+
+func (ProcessActuator) Pause(ids []string) error  { return nil }
+func (ProcessActuator) Resume(ids []string) error { return nil }

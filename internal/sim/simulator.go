@@ -194,10 +194,13 @@ func (s *Simulator) Utilization() float64 {
 }
 
 // LastTickUtilization returns the CPU utilization of the most recent tick.
+// Summation follows s.order, not the container map: float addition is not
+// associative, so a map-ordered sum would differ in the low bits from run
+// to run.
 func (s *Simulator) LastTickUtilization() float64 {
 	var granted float64
-	for _, c := range s.containers {
-		granted += c.lastGrant.CPU
+	for _, id := range s.order {
+		granted += s.containers[id].lastGrant.CPU
 	}
 	u := granted / s.cfg.CPUCapacity()
 	if u > 1 {

@@ -1,0 +1,33 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b differ by at most eps in absolute
+// terms, or by at most eps relative to the larger magnitude when both are
+// large. It is the epsilon comparison stayawaylint's floatcmp analyzer
+// requires in place of ==/!= on computed floats: after any arithmetic,
+// exact equality tests a rounding-error lottery, not a mathematical
+// property.
+//
+// NaN compares unequal to everything (including NaN); equal infinities
+// compare equal. eps must be non-negative.
+func ApproxEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //lint:stayaway-ignore floatcmp this is the epsilon helper itself: the exact fast path also covers equal infinities, which the difference below turns into NaN
+		return true
+	}
+	// Past the fast path any remaining infinity differs from the other
+	// operand by an infinite amount; without this the relative threshold
+	// eps*|Inf| is itself +Inf and would absorb everything.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*scale
+}

@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"exact", 1.5, 1.5, 0, true},
+		{"within absolute eps", 1.0, 1.0 + 1e-12, 1e-9, true},
+		{"outside eps", 1.0, 1.1, 1e-9, false},
+		{"relative at large magnitude", 1e15, 1e15 * (1 + 1e-12), 1e-9, true},
+		{"zero vs tiny", 0, 1e-12, 1e-9, true},
+		{"nan left", math.NaN(), 1, 1e-9, false},
+		{"nan both", math.NaN(), math.NaN(), 1e-9, false},
+		{"equal infinities", math.Inf(1), math.Inf(1), 1e-9, true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), 1e-9, false},
+		{"sum of tenths", 0.1 + 0.2, 0.3, 1e-12, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}

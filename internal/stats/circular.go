@@ -23,6 +23,7 @@ func NormalizeAngle(a float64) float64 {
 // AngleDiff returns the signed smallest rotation from a to b, in (−π, π].
 func AngleDiff(a, b float64) float64 {
 	d := NormalizeAngle(b - a)
+	//lint:stayaway-ignore floatcmp exact IEEE boundary canonicalization: NormalizeAngle yields precisely -Pi at the branch cut, and only that one bit pattern must map to +Pi
 	if d == -math.Pi {
 		return math.Pi
 	}

@@ -1,0 +1,20 @@
+//go:build tools
+
+// Package tools pins the versions of build-time tools that are not part
+// of the module's import graph. The file is excluded from every normal
+// build by the tools tag; CI extracts the version constants below with
+// sed (see .github/workflows/ci.yml) so that bumping a tool version is a
+// one-line, reviewable change here instead of an opaque edit buried in
+// workflow YAML.
+//
+// staticcheck is deliberately not a blank import tracked in go.mod: it is
+// installed by version string (`go install ...@<version>`), not built
+// from this module's dependency graph, so a require directive would pin
+// nothing extra while bloating go.sum.
+package tools
+
+// StaticcheckVersion is the single source of truth for the staticcheck
+// release CI installs and developers should use locally:
+//
+//	go install honnef.co/go/tools/cmd/staticcheck@2024.1.1
+const StaticcheckVersion = "2024.1.1"
