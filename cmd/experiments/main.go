@@ -11,8 +11,9 @@
 //	-ablations     run the binary-vs-graded throttling ablation
 //	-chaos         run the fault-injection suite (non-zero exit on failure)
 //	-multitenant   run the two-sensitive conflicting-lane scenario
+//	-sched         run the cluster-placement-vs-baselines ablation
 //	-all           regenerate everything including the summary, ablations,
-//	               multi-tenant scenario and chaos suite
+//	               multi-tenant scenario, placement ablation and chaos suite
 //	-o DIR         additionally write each figure to DIR/<id>.txt
 package main
 
@@ -42,6 +43,7 @@ func run() error {
 	ablations := flag.Bool("ablations", false, "run the binary-vs-graded throttling ablation")
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite")
 	multiTenant := flag.Bool("multitenant", false, "run the two-sensitive conflicting-lane scenario")
+	schedAblation := flag.Bool("sched", false, "run the cluster-placement-vs-baselines ablation")
 	all := flag.Bool("all", false, "regenerate every figure and the summary")
 	outDir := flag.String("o", "", "directory to write per-figure text files into")
 	flag.Parse()
@@ -81,11 +83,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary || *ablations || *chaosSuite || *multiTenant:
+	case *summary || *ablations || *chaosSuite || *multiTenant || *schedAblation:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -multitenant or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -multitenant, -sched or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -133,6 +135,15 @@ func run() error {
 		f, err := experiments.MultiTenant(*seed)
 		if err != nil {
 			return fmt.Errorf("multi-tenant scenario: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	if *schedAblation || *all {
+		f, err := experiments.SchedAblation(*seed)
+		if err != nil {
+			return fmt.Errorf("placement ablation: %w", err)
 		}
 		if err := emit(f); err != nil {
 			return err

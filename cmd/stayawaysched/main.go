@@ -1,0 +1,241 @@
+// Command stayawaysched turns the fleet's learned violation maps into
+// placement plans: it pulls the consensus templates from a stayawayreg
+// registry, scores every (sensitive, batch, host) co-location in a cluster
+// spec with the learned-map scorer, and emits the greedy least-conflict
+// assignment — every decision carrying the full host ranking that led to
+// it, so a placement can be audited after the fact. The plan is advisory:
+// whatever applies it, the per-host Stay-Away runtime remains the
+// enforcement layer.
+//
+// Usage:
+//
+//	stayawaysched -cluster spec.json -registry http://registry:8723
+//	              [-scorer map] [-seed 42] [-migrate-threshold 0]
+//	              [-timeout 30s] [-o plan.json]
+//
+//	-cluster FILE        cluster spec (JSON, "-" for stdin); required
+//	-registry URL        stayawayreg base URL (required for -scorer map)
+//	-scorer NAME         map (default), crossapp, pack, or random
+//	-seed N              seed for the random scorer
+//	-migrate-threshold T also propose migrations for hosts whose current
+//	                     predicted violation risk exceeds T (0 disables)
+//	-timeout D           registry request budget
+//	-o FILE              write the plan there instead of stdout
+//
+// The cluster spec describes inventory, pinned sensitives, and the jobs to
+// place, in the internal/sched JSON vocabulary:
+//
+//	{
+//	  "hosts":      [{"id": "a1", "cpu": 800, "memory_mb": 8192,
+//	                  "net_mbps": 1000}],
+//	  "sensitives": [{"name": "vlc-hd", "host": "a1",
+//	                  "footprint": {"cpu": 145, "memory_mb": 400,
+//	                                "net_mbps": 60}}],
+//	  "jobs":       [{"id": "job-1", "app": "batch",
+//	                  "footprint": {"cpu": 60, "memory_mb": 3400}}]
+//	}
+//
+// Jobs are placed in spec order, each seeing the assignments before it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fsatomic"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "stayawaysched:", err)
+		os.Exit(1)
+	}
+}
+
+// clusterSpec is the input document.
+type clusterSpec struct {
+	Hosts      []sched.Host         `json:"hosts"`
+	Sensitives []sched.SensitiveApp `json:"sensitives"`
+	Jobs       []sched.BatchJob     `json:"jobs"`
+}
+
+// plan is the output document.
+type plan struct {
+	// Scorer names the scoring policy the plan was computed under.
+	Scorer string `json:"scorer"`
+	// Apps lists the applications the scorer holds learned maps for
+	// (map scorer only).
+	Apps []string `json:"apps,omitempty"`
+	// Decisions are the per-job placements in spec order, each with the
+	// full host ranking.
+	Decisions []sched.Decision `json:"decisions"`
+	// Assignments is the resulting job → host table.
+	Assignments map[string]string `json:"assignments"`
+	// Migrations are proposed moves for already-risky hosts; only
+	// populated when -migrate-threshold is set.
+	Migrations []sched.Migration `json:"migrations,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("stayawaysched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	clusterPath := fs.String("cluster", "", "cluster spec JSON file (\"-\" for stdin)")
+	registryURL := fs.String("registry", "", "stayawayreg base URL")
+	scorerName := fs.String("scorer", "map", "scoring policy: map, crossapp, pack or random")
+	seed := fs.Int64("seed", 42, "seed for the random scorer")
+	migrateThreshold := fs.Float64("migrate-threshold", 0, "propose migrations above this host risk (0 disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "registry request budget")
+	outPath := fs.String("o", "", "write the plan here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clusterPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-cluster is required")
+	}
+
+	spec, err := readSpec(*clusterPath)
+	if err != nil {
+		return err
+	}
+
+	p := plan{Scorer: *scorerName, Assignments: map[string]string{}}
+	var scorer sched.Scorer
+	switch *scorerName {
+	case "map":
+		if *registryURL == "" {
+			return fmt.Errorf("-scorer map needs -registry")
+		}
+		ms, err := fetchMapScorer(*registryURL, *timeout, stderr)
+		if err != nil {
+			return err
+		}
+		p.Apps = ms.Apps()
+		scorer = ms
+	case "crossapp":
+		scorer = sched.NewCrossAppScorer(sched.DefaultCrossAppProfile())
+	case "pack":
+		scorer = sched.NewPackScorer()
+	case "random":
+		scorer = sched.NewRandomScorer(*seed)
+	default:
+		return fmt.Errorf("unknown scorer %q (want map, crossapp, pack or random)", *scorerName)
+	}
+
+	cluster, err := sched.NewCluster(spec.Hosts)
+	if err != nil {
+		return err
+	}
+	for _, s := range spec.Sensitives {
+		if err := cluster.PinSensitive(s); err != nil {
+			return err
+		}
+	}
+	placer, err := sched.NewPlacer(sched.PlacerConfig{
+		Scorer:           scorer,
+		MigrateThreshold: *migrateThreshold,
+	})
+	if err != nil {
+		return err
+	}
+
+	p.Decisions, err = placer.PlaceAll(cluster, spec.Jobs)
+	if err != nil {
+		return err
+	}
+	for _, d := range p.Decisions {
+		p.Assignments[d.Job] = d.Host
+	}
+	if *migrateThreshold > 0 {
+		moves, err := placer.Rebalance(cluster)
+		if err != nil {
+			return err
+		}
+		p.Migrations = moves
+		for _, m := range moves {
+			p.Assignments[m.Job] = m.To
+		}
+	}
+
+	body, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if *outPath != "" {
+		return fsatomic.WriteFile(*outPath, body, 0o644)
+	}
+	_, err = stdout.Write(body)
+	return err
+}
+
+func readSpec(path string) (*clusterSpec, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var spec clusterSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("cluster spec %s: %w", path, err)
+	}
+	if len(spec.Hosts) == 0 {
+		return nil, fmt.Errorf("cluster spec %s: no hosts", path)
+	}
+	if len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("cluster spec %s: no jobs to place", path)
+	}
+	return &spec, nil
+}
+
+// fetchMapScorer pulls the full template feed and keeps, per application,
+// the first entry whose template supports prospective queries (two-slot
+// schema with learned states). Apps with only unusable templates are
+// skipped with a warning rather than failing the plan — the scorer then
+// simply reports hosts running those apps as unscorable.
+func fetchMapScorer(baseURL string, timeout time.Duration, stderr io.Writer) (*sched.MapScorer, error) {
+	client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: baseURL})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	entries, err := client.ListTemplates(ctx, "", false)
+	if err != nil {
+		return nil, err
+	}
+	templates := make(map[string]*statespace.Template)
+	for _, e := range entries {
+		if e.Template == nil {
+			continue
+		}
+		if _, ok := templates[e.App]; ok {
+			continue
+		}
+		if _, err := statespace.NewQueryMap(e.Template); err != nil {
+			fmt.Fprintf(stderr, "stayawaysched: skipping template %s@%s: %v\n", e.App, e.Schema, err)
+			continue
+		}
+		templates[e.App] = e.Template
+	}
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("registry %s holds no usable templates (learned maps with the two-slot schema)", baseURL)
+	}
+	return sched.NewMapScorer(templates)
+}

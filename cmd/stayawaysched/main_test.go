@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+// Fixture maps mirroring the internal/sched test scenario: two sensitives
+// with opposite vulnerabilities, so correct plans are unambiguous.
+
+func testRanges() map[metrics.Metric]metrics.Range {
+	return map[metrics.Metric]metrics.Range{
+		metrics.MetricCPU:     {Max: 800},
+		metrics.MetricMemory:  {Max: 4096},
+		metrics.MetricIO:      {Max: 200},
+		metrics.MetricNetwork: {Max: 1000},
+	}
+}
+
+func vlcHDTemplate() *statespace.Template {
+	return &statespace.Template{
+		Version:       2,
+		SensitiveApp:  "vlc-hd",
+		Dim:           8,
+		SchemaVMs:     []string{"sens", "batch"},
+		SchemaMetrics: metrics.DefaultMetrics(),
+		Ranges:        testRanges(),
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.06, 0, 0, 0, 0}},
+			{X: 0.7, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.06, 0.19, 0.07, 0, 0.6}},
+			{X: 0, Y: 0.9, Label: "violation", Weight: 2,
+				Vector: []float64{0.18, 0.1, 0.2, 0.06, 0.075, 0.83, 0.4, 0}},
+		},
+	}
+}
+
+func cdnEdgeTemplate() *statespace.Template {
+	return &statespace.Template{
+		Version:       2,
+		SensitiveApp:  "cdn-edge",
+		Dim:           8,
+		SchemaVMs:     []string{"sens", "batch"},
+		SchemaMetrics: metrics.DefaultMetrics(),
+		Ranges:        testRanges(),
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.6, 0, 0, 0, 0}},
+			{X: 0.7, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.6, 0.075, 0.83, 0.4, 0}},
+			{X: 0, Y: 0.9, Label: "violation", Weight: 2,
+				Vector: []float64{0.18, 0.1, 0, 0.45, 0.19, 0.07, 0, 0.6}},
+		},
+	}
+}
+
+// startRegistry serves a fleet control plane seeded with the fixture maps.
+func startRegistry(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg, err := registry.Open(registry.Config{
+		Now: func() time.Time { return time.Unix(0, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for host, tpl := range map[string]*statespace.Template{
+		"seed-a": vlcHDTemplate(),
+		"seed-b": cdnEdgeTemplate(),
+	} {
+		if _, err := reg.Put(host, tpl); err != nil {
+			t.Fatalf("seeding %s: %v", host, err)
+		}
+	}
+	srv, err := fleet.NewServer(fleet.ServerConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func writeSpec(t *testing.T, spec clusterSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testSpec() clusterSpec {
+	return clusterSpec{
+		Hosts: []sched.Host{
+			{ID: "a1", CPU: 800, MemoryMB: 8192, NetMbps: 1000},
+			{ID: "b1", CPU: 800, MemoryMB: 8192, NetMbps: 1000},
+		},
+		Sensitives: []sched.SensitiveApp{
+			{Name: "vlc-hd", Host: "a1", Footprint: sched.Footprint{CPU: 145, MemoryMB: 400, NetMbps: 60}},
+			{Name: "cdn-edge", Host: "b1", Footprint: sched.Footprint{CPU: 145, MemoryMB: 400, NetMbps: 600}},
+		},
+		Jobs: []sched.BatchJob{
+			{ID: "mem-1", App: "memorybomb", Footprint: sched.Footprint{CPU: 60, MemoryMB: 3400, IOMBps: 80}},
+			{ID: "net-1", App: "nethog", Footprint: sched.Footprint{CPU: 150, MemoryMB: 300, NetMbps: 600}},
+		},
+	}
+}
+
+func runPlan(t *testing.T, args ...string) (plan, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	var p plan
+	if err := json.Unmarshal(stdout.Bytes(), &p); err != nil {
+		t.Fatalf("plan output is not JSON: %v\n%s", err, stdout.String())
+	}
+	return p, stderr.String()
+}
+
+// TestPlanFromLiveRegistry is the CLI's end-to-end path: templates come
+// from a running fleet server, and the emitted plan matches each job to
+// the host whose sensitive tolerates it.
+func TestPlanFromLiveRegistry(t *testing.T) {
+	ts := startRegistry(t)
+	specPath := writeSpec(t, testSpec())
+
+	p, _ := runPlan(t, "-cluster", specPath, "-registry", ts.URL)
+
+	if p.Scorer != "map" {
+		t.Fatalf("scorer = %q, want map", p.Scorer)
+	}
+	if len(p.Apps) != 2 || p.Apps[0] != "cdn-edge" || p.Apps[1] != "vlc-hd" {
+		t.Fatalf("apps = %v, want [cdn-edge vlc-hd]", p.Apps)
+	}
+	// The memory bomb belongs next to the network-bound cache, the network
+	// hog next to the memory-bound stream.
+	if got := p.Assignments["mem-1"]; got != "b1" {
+		t.Fatalf("mem-1 placed on %s, want b1", got)
+	}
+	if got := p.Assignments["net-1"]; got != "a1" {
+		t.Fatalf("net-1 placed on %s, want a1", got)
+	}
+	if len(p.Decisions) != 2 {
+		t.Fatalf("got %d decisions, want 2", len(p.Decisions))
+	}
+	for _, d := range p.Decisions {
+		if len(d.Ranking) != 2 {
+			t.Fatalf("decision %s carries %d ranked hosts, want 2", d.Job, len(d.Ranking))
+		}
+		if d.Forced {
+			t.Fatalf("decision %s was forced", d.Job)
+		}
+	}
+}
+
+// TestPlanWritesOutputFile covers -o: the plan lands in the file, atomically
+// written, stdout stays empty.
+func TestPlanWritesOutputFile(t *testing.T) {
+	ts := startRegistry(t)
+	specPath := writeSpec(t, testSpec())
+	outPath := filepath.Join(t.TempDir(), "plan.json")
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-cluster", specPath, "-registry", ts.URL, "-o", outPath},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("stdout not empty with -o: %s", stdout.String())
+	}
+	body, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p plan
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatalf("plan file is not JSON: %v", err)
+	}
+	if p.Assignments["mem-1"] != "b1" {
+		t.Fatalf("mem-1 placed on %s, want b1", p.Assignments["mem-1"])
+	}
+}
+
+// TestPlanBaselineScorersNeedNoRegistry: crossapp/pack/random plans are
+// computable offline.
+func TestPlanBaselineScorersNeedNoRegistry(t *testing.T) {
+	specPath := writeSpec(t, testSpec())
+	for _, name := range []string{"crossapp", "pack", "random"} {
+		p, _ := runPlan(t, "-cluster", specPath, "-scorer", name)
+		if p.Scorer != name {
+			t.Fatalf("scorer = %q, want %q", p.Scorer, name)
+		}
+		if len(p.Decisions) != 2 {
+			t.Fatalf("%s: got %d decisions, want 2", name, len(p.Decisions))
+		}
+	}
+}
+
+// TestPlanErrors pins the CLI's failure modes.
+func TestPlanErrors(t *testing.T) {
+	specPath := writeSpec(t, testSpec())
+	var out bytes.Buffer
+
+	if err := run([]string{"-registry", "http://x"}, &out, &out); err == nil {
+		t.Fatal("missing -cluster accepted")
+	}
+	if err := run([]string{"-cluster", specPath}, &out, &out); err == nil {
+		t.Fatal("map scorer without -registry accepted")
+	}
+	if err := run([]string{"-cluster", specPath, "-scorer", "psychic"}, &out, &out); err == nil {
+		t.Fatal("unknown scorer accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"hosts": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cluster", bad, "-scorer", "pack"}, &out, &out); err == nil {
+		t.Fatal("empty host list accepted")
+	}
+}
+
+// TestPlanSkipsUnusableTemplates: a registry entry the query layer cannot
+// use (single-slot schema) is skipped with a warning, and the remaining
+// maps still produce a plan.
+func TestPlanSkipsUnusableTemplates(t *testing.T) {
+	reg, err := registry.Open(registry.Config{
+		Now: func() time.Time { return time.Unix(0, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneSlot := &statespace.Template{
+		Version:       2,
+		SensitiveApp:  "solo",
+		Dim:           4,
+		SchemaVMs:     []string{"sens"},
+		SchemaMetrics: metrics.DefaultMetrics(),
+		Ranges:        testRanges(),
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: "safe", Weight: 1, Vector: []float64{0.1, 0.1, 0, 0}},
+		},
+	}
+	for host, tpl := range map[string]*statespace.Template{
+		"seed-a": vlcHDTemplate(),
+		"seed-b": cdnEdgeTemplate(),
+		"seed-c": oneSlot,
+	} {
+		if _, err := reg.Put(host, tpl); err != nil {
+			t.Fatalf("seeding %s: %v", host, err)
+		}
+	}
+	srv, err := fleet.NewServer(fleet.ServerConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	specPath := writeSpec(t, testSpec())
+	p, warnings := runPlan(t, "-cluster", specPath, "-registry", ts.URL)
+	if !strings.Contains(warnings, "skipping template solo@") {
+		t.Fatalf("no skip warning for the one-slot template; stderr: %s", warnings)
+	}
+	if len(p.Apps) != 2 {
+		t.Fatalf("apps = %v, want the two usable maps", p.Apps)
+	}
+	if p.Assignments["mem-1"] != "b1" || p.Assignments["net-1"] != "a1" {
+		t.Fatalf("assignments = %v, want mem-1→b1 net-1→a1", p.Assignments)
+	}
+}

@@ -269,6 +269,47 @@ func (c *Client) PullTemplate(ctx context.Context, app, schema string, haveRevis
 	return tpl, rev, nil
 }
 
+// ListTemplates downloads every consensus template the registry holds —
+// the scheduler's bootstrap feed. app, when non-empty, narrows to one
+// application's entries; metaOnly skips template bodies (cheap freshness
+// polling). Entries arrive in deterministic (app, schema) key order. An
+// empty registry returns an empty slice, not an error. Each returned
+// template is validated before use — a registry serving corrupt maps must
+// not poison placement decisions.
+func (c *Client) ListTemplates(ctx context.Context, app string, metaOnly bool) ([]TemplateEntry, error) {
+	var out ListTemplatesResponse
+	err := c.do(ctx,
+		func() (*http.Request, error) {
+			u := c.endpoint("v1", "templates")
+			q := url.Values{}
+			if app != "" {
+				q.Set("app", app)
+			}
+			if metaOnly {
+				q.Set("meta", "1")
+			}
+			if len(q) > 0 {
+				u += "?" + q.Encode()
+			}
+			return http.NewRequest(http.MethodGet, u, nil)
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(io.LimitReader(resp.Body, maxTemplateBytes)).Decode(&out)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, te := range out.Templates {
+		if te.Template == nil {
+			continue
+		}
+		if err := te.Template.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: listed template %s@%s: %w", te.App, te.Schema, err)
+		}
+	}
+	return out.Templates, nil
+}
+
 // SendHeartbeat reports host liveness and throttle state.
 func (c *Client) SendHeartbeat(ctx context.Context, hb Heartbeat) error {
 	body, err := json.Marshal(hb)

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestListTemplatesEmpty(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := newTestClient(t, ts.URL)
+
+	entries, err := c.ListTemplates(context.Background(), "", false)
+	if err != nil {
+		t.Fatalf("ListTemplates on empty registry: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("empty registry listed %d entries", len(entries))
+	}
+}
+
+func TestListTemplatesHandler(t *testing.T) {
+	ts, reg := newTestServer(t)
+
+	for _, app := range []string{"vlc-stream", "webservice"} {
+		if _, err := reg.Put("host1", testTemplate(app)); err != nil {
+			t.Fatalf("seed %s: %v", app, err)
+		}
+	}
+	if _, err := reg.Put("host2", testTemplate("vlc-stream")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/templates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/templates = %d", resp.StatusCode)
+	}
+	var body ListTemplatesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Templates) != 2 {
+		t.Fatalf("listed %d templates, want 2", len(body.Templates))
+	}
+	// Deterministic key order: vlc-stream sorts before webservice.
+	if body.Templates[0].App != "vlc-stream" || body.Templates[1].App != "webservice" {
+		t.Fatalf("order = %s, %s", body.Templates[0].App, body.Templates[1].App)
+	}
+	if body.Templates[0].Revision != 2 || body.Templates[0].Hosts != 2 {
+		t.Fatalf("vlc-stream entry = rev %d hosts %d, want rev 2 hosts 2",
+			body.Templates[0].Revision, body.Templates[0].Hosts)
+	}
+	for _, te := range body.Templates {
+		if te.Template == nil {
+			t.Fatalf("entry %s has no template body", te.App)
+		}
+		if te.States != len(te.Template.States) {
+			t.Fatalf("entry %s states %d != body %d", te.App, te.States, len(te.Template.States))
+		}
+		if te.ViolationStates != 1 {
+			t.Fatalf("entry %s violation states = %d, want 1", te.App, te.ViolationStates)
+		}
+	}
+}
+
+func TestListTemplatesClientFilters(t *testing.T) {
+	ts, reg := newTestServer(t)
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+
+	for _, app := range []string{"vlc-stream", "webservice"} {
+		if _, err := reg.Put("host1", testTemplate(app)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	all, err := c.ListTemplates(ctx, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("listed %d entries, want 2", len(all))
+	}
+	for _, te := range all {
+		if te.Template == nil || te.Template.SensitiveApp != te.App {
+			t.Fatalf("entry %s: body mismatch %+v", te.App, te.Template)
+		}
+	}
+
+	one, err := c.ListTemplates(ctx, "webservice", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].App != "webservice" {
+		t.Fatalf("app filter returned %+v", one)
+	}
+
+	meta, err := c.ListTemplates(ctx, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta) != 2 {
+		t.Fatalf("meta-only listed %d entries, want 2", len(meta))
+	}
+	for _, te := range meta {
+		if te.Template != nil {
+			t.Fatalf("meta-only entry %s carries a template body", te.App)
+		}
+		if te.States == 0 {
+			t.Fatalf("meta-only entry %s lost its metadata", te.App)
+		}
+	}
+}
+
+func TestListTemplatesClientRejectsCorruptBody(t *testing.T) {
+	// A registry serving structurally invalid templates must not hand them
+	// onward to placement decisions.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"templates":[{"app":"x","schema":"s","revision":1,` +
+			`"template":{"version":99,"sensitive_app":"x","dim":1,"states":[],"ranges":{}}}]}`))
+	}))
+	defer bad.Close()
+	c := newTestClient(t, bad.URL)
+	if _, err := c.ListTemplates(context.Background(), "", false); err == nil {
+		t.Fatal("corrupt listed template accepted")
+	}
+}

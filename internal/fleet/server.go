@@ -58,6 +58,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 //
 //	PUT  /v1/templates/{app}  upload a learned template (merged in)
 //	GET  /v1/templates/{app}  download the consensus template
+//	GET  /v1/templates        list every consensus template (scheduler feed)
 //	POST /v1/heartbeat        report host liveness and throttle state
 //	GET  /v1/status           fleet-wide host/template summary
 //	GET  /healthz             liveness probe
@@ -65,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/templates/{app}", s.putTemplate)
 	mux.HandleFunc("GET /v1/templates/{app}", s.getTemplate)
+	mux.HandleFunc("GET /v1/templates", s.listTemplates)
 	mux.HandleFunc("POST /v1/heartbeat", s.postHeartbeat)
 	mux.HandleFunc("GET /v1/status", s.getStatus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -123,7 +125,7 @@ func (s *Server) putTemplate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PutTemplateResponse{
 		Revision:        entry.Revision,
 		States:          len(entry.Template.States),
-		ViolationStates: countViolations(entry.Template),
+		ViolationStates: entry.Template.ViolationCount(),
 		Hosts:           len(entry.Hosts),
 	})
 }
@@ -151,6 +153,37 @@ func (s *Server) getTemplate(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
+}
+
+// listTemplates serves every stored consensus template with its metadata —
+// the feed an interference-aware scheduler bootstraps from: it needs every
+// sensitive application's map to score candidate co-locations, not one map
+// at a time. Entries come back in deterministic key order. ?app= narrows to
+// one application's entries (all schemas); ?meta=1 omits template bodies
+// for cheap polling.
+func (s *Server) listTemplates(w http.ResponseWriter, r *http.Request) {
+	appFilter := r.URL.Query().Get("app")
+	metaOnly := r.URL.Query().Get("meta") != ""
+	resp := ListTemplatesResponse{Templates: []TemplateEntry{}}
+	for _, e := range s.cfg.Registry.Entries() {
+		if appFilter != "" && e.Key.App != appFilter {
+			continue
+		}
+		te := TemplateEntry{
+			App:             e.Key.App,
+			Schema:          e.Key.Schema,
+			Revision:        e.Revision,
+			States:          len(e.Template.States),
+			ViolationStates: e.Template.ViolationCount(),
+			Hosts:           len(e.Hosts),
+			UpdatedAt:       e.UpdatedAt,
+		}
+		if !metaOnly {
+			te.Template = e.Template
+		}
+		resp.Templates = append(resp.Templates, te)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) postHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -195,20 +228,10 @@ func (s *Server) getStatus(w http.ResponseWriter, _ *http.Request) {
 			Schema:          e.Key.Schema,
 			Revision:        e.Revision,
 			States:          len(e.Template.States),
-			ViolationStates: countViolations(e.Template),
+			ViolationStates: e.Template.ViolationCount(),
 			Hosts:           len(e.Hosts),
 			UpdatedAt:       e.UpdatedAt,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-func countViolations(t *statespace.Template) int {
-	n := 0
-	for _, st := range t.States {
-		if st.Label == statespace.Violation.String() {
-			n++
-		}
-	}
-	return n
 }

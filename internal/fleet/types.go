@@ -6,7 +6,11 @@
 // once the registry recovers.
 package fleet
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/statespace"
+)
 
 // Heartbeat is one host's periodic liveness/status report.
 type Heartbeat struct {
@@ -57,6 +61,27 @@ type TemplateStatus struct {
 	ViolationStates int       `json:"violation_states"`
 	Hosts           int       `json:"hosts"`
 	UpdatedAt       time.Time `json:"updated_at"`
+}
+
+// TemplateEntry is one consensus template in the list-all feed: the
+// TemplateStatus metadata plus (unless meta-only was requested) the full
+// template body.
+type TemplateEntry struct {
+	App             string               `json:"app"`
+	Schema          string               `json:"schema"`
+	Revision        int                  `json:"revision"`
+	States          int                  `json:"states"`
+	ViolationStates int                  `json:"violation_states"`
+	Hosts           int                  `json:"hosts"`
+	UpdatedAt       time.Time            `json:"updated_at"`
+	Template        *statespace.Template `json:"template,omitempty"`
+}
+
+// ListTemplatesResponse is the list-all feed served at GET /v1/templates —
+// what an interference-aware scheduler pulls to score co-locations for
+// every sensitive application at once.
+type ListTemplatesResponse struct {
+	Templates []TemplateEntry `json:"templates"`
 }
 
 // StatusResponse is the fleet-wide summary served at /v1/status.

@@ -12,8 +12,8 @@ import (
 // pipeline: checkpoints, templates and experiment figures must be
 // byte-identical under a fixed seed, which is what makes crash recovery
 // and cross-host template exchange testable. In internal/mds,
-// internal/statespace, internal/predictor, internal/trajectory and
-// internal/sim (non-test files) it flags:
+// internal/statespace, internal/predictor, internal/trajectory,
+// internal/sim and internal/sched (non-test files) it flags:
 //
 //   - time.Now — wall-clock reads; time must flow in from the caller;
 //   - the global math/rand (and math/rand/v2) top-level functions, whose
@@ -38,6 +38,9 @@ var determinismPkgs = []string{
 	"internal/predictor",
 	"internal/trajectory",
 	"internal/sim",
+	// Placement plans are reproducible artifacts: the same inventory, jobs
+	// and seed must yield the same decisions.
+	"internal/sched",
 }
 
 // globalRandFuncs are the math/rand top-level functions backed by the

@@ -1,0 +1,60 @@
+// Package sched stands in for the cluster placement package, covered by
+// the determinism analyzer: placement plans are reproducible artifacts,
+// so scorers and placers may not read the wall clock, draw from the
+// global rand source, or emit map-ordered output.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type decision struct {
+	Job  string
+	Host string
+}
+
+func stampPlan() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+func tieBreak(hosts []string) string {
+	return hosts[rand.Intn(len(hosts))] // want `math/rand`
+}
+
+func seededTieBreak(r *rand.Rand, hosts []string) string {
+	return hosts[r.Intn(len(hosts))] // explicitly seeded source: fine
+}
+
+func planUnsorted(assign map[string]string) []decision {
+	var plan []decision
+	for job, host := range assign {
+		plan = append(plan, decision{Job: job, Host: host}) // want `map iteration`
+	}
+	return plan
+}
+
+func planSorted(assign map[string]string) []decision {
+	var plan []decision
+	for job, host := range assign {
+		plan = append(plan, decision{Job: job, Host: host})
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].Job < plan[j].Job })
+	return plan
+}
+
+func totalLoad(loads map[string]float64) float64 {
+	var sum float64
+	for _, l := range loads {
+		sum += l // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func dumpPlan(assign map[string]string) {
+	for job, host := range assign {
+		fmt.Printf("%s -> %s\n", job, host) // want `map iteration`
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCluster builds n hosts, half protecting the stream and half the
+// edge cache, plus an alternating stream of jobs to place.
+func benchCluster(b *testing.B, n int) (*Cluster, []BatchJob) {
+	b.Helper()
+	hosts := make([]Host, n)
+	for i := range hosts {
+		hosts[i] = Host{ID: fmt.Sprintf("host-%04d", i), CPU: 800, MemoryMB: 8192}
+	}
+	c, err := NewCluster(hosts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, h := range hosts {
+		var s SensitiveApp
+		if i%2 == 0 {
+			s = *vlcHDSensitive(h.ID)
+		} else {
+			s = *cdnEdgeSensitive(h.ID)
+		}
+		if err := c.PinSensitive(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	jobs := make([]BatchJob, n)
+	for i := range jobs {
+		if i%2 == 0 {
+			jobs[i] = memBombJob(fmt.Sprintf("job-%04d", i))
+		} else {
+			jobs[i] = netHogJob(fmt.Sprintf("job-%04d", i))
+		}
+	}
+	return c, jobs
+}
+
+// BenchmarkPlacement measures one full PlaceAll pass (one job per host)
+// with the learned-map scorer at increasing cluster sizes. Each map query
+// is O(states) per host, so a pass is O(hosts × jobs); the sizes below
+// track how that scales from rack to fleet.
+func BenchmarkPlacement(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("hosts=%d", n), func(b *testing.B) {
+			ms, err := NewMapScorer(testTemplates())
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := NewPlacer(PlacerConfig{Scorer: ms})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, jobs := benchCluster(b, n)
+				b.StartTimer()
+				if _, err := p.PlaceAll(c, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebalance measures a rebalance sweep over a cluster where
+// every stream host carries the wrong job.
+func BenchmarkRebalance(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		b.Run(fmt.Sprintf("hosts=%d", n), func(b *testing.B) {
+			ms, err := NewMapScorer(testTemplates())
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := NewPlacer(PlacerConfig{Scorer: ms, MigrateThreshold: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, _ := benchCluster(b, n)
+				for j := 0; j < n; j += 2 {
+					// Memory bombs onto stream hosts: maximally wrong.
+					if err := c.Assign(memBombJob(fmt.Sprintf("job-%04d", j)), fmt.Sprintf("host-%04d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := p.Rebalance(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

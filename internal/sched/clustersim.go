@@ -1,0 +1,368 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+	"repro/internal/throttle"
+)
+
+// ClusterSensitive describes a host's protected application for the
+// multi-host harness.
+type ClusterSensitive struct {
+	// Name is the fleet-wide application name (template key).
+	Name string
+	// ContainerID is the container the application runs in.
+	ContainerID string
+	// App is the workload instance; its QoS report is the violation signal.
+	App sim.QoSApp
+	// Footprint is the steady-state demand placement scoring uses.
+	Footprint Footprint
+	// Template optionally seeds the host's safety-net runtime with a
+	// previously learned map (§6 template reuse).
+	Template *statespace.Template
+}
+
+// ClusterHostSpec is one host in the harness.
+type ClusterHostSpec struct {
+	ID        string
+	Sim       sim.HostConfig
+	Sensitive *ClusterSensitive
+}
+
+// ClusterJob is one batch arrival.
+type ClusterJob struct {
+	// Job is the placement-facing description.
+	Job BatchJob
+	// App is the actual workload that runs once placed.
+	App sim.App
+	// Arrival is the cluster tick the job shows up at.
+	Arrival int
+}
+
+// ClusterConfig drives RunCluster.
+type ClusterConfig struct {
+	Hosts []ClusterHostSpec
+	Jobs  []ClusterJob
+	// Placer decides where arrivals go and proposes migrations. Required.
+	Placer *Placer
+	// SafetyNet enables the per-host reactive Stay-Away runtime on every
+	// host with a sensitive. Off, placement is the only protection —
+	// the configuration the ablation uses to isolate placement's effect.
+	SafetyNet bool
+	// Ranges configures safety-net metric normalization (required when
+	// SafetyNet is set).
+	Ranges map[metrics.Metric]metrics.Range
+	// PeriodTicks is how many simulator ticks one monitoring period spans.
+	// Defaults to 1.
+	PeriodTicks int
+	// RebalanceEvery runs a rebalance pass every N periods; 0 disables.
+	RebalanceEvery int
+	// Ticks is the simulation length.
+	Ticks int
+	// Seed drives the safety-net runtimes' randomness.
+	Seed int64
+}
+
+// HostReport is one host's outcome.
+type HostReport struct {
+	Host string `json:"host"`
+	// Sensitive names the protected app, empty for batch-only hosts.
+	Sensitive string `json:"sensitive,omitempty"`
+	// Violations counts periods in which the sensitive reported QoS below
+	// threshold while running.
+	Violations int `json:"violations"`
+	// ThrottledPeriods counts periods the safety net held batch throttled.
+	ThrottledPeriods int `json:"throttled_periods"`
+}
+
+// ClusterResult is the harness outcome.
+type ClusterResult struct {
+	// Violations is the cluster-wide QoS violation period count.
+	Violations int `json:"violations"`
+	// BatchWork is the total effective CPU delivered to batch jobs —
+	// the throughput side of the protection/throughput trade-off.
+	BatchWork float64 `json:"batch_work"`
+	// JobsFinished counts batch jobs that completed their work.
+	JobsFinished int `json:"jobs_finished"`
+	// ThrottledPeriods sums safety-net throttling across hosts.
+	ThrottledPeriods int `json:"throttled_periods"`
+	// Decisions are the placement decisions in arrival order.
+	Decisions []Decision `json:"decisions"`
+	// Migrations are the rebalance moves in the order they were applied.
+	Migrations []Migration `json:"migrations"`
+	// Hosts are the per-host reports in spec order.
+	Hosts []HostReport `json:"hosts"`
+}
+
+// clusterEnv adapts one simulated host to core.Environment for the
+// safety-net runtime. Batch IDs cover every job in the experiment; jobs
+// not currently resident on this host simply are not in its samples.
+type clusterEnv struct {
+	sim      *sim.Simulator
+	sensID   string
+	batchIDs []string
+	qos      sim.QoSApp
+}
+
+func (e *clusterEnv) Collect() []metrics.Sample { return e.sim.Samples() }
+
+func (e *clusterEnv) QoSViolation() bool {
+	if !e.SensitiveRunning() {
+		return false
+	}
+	v, thr := e.qos.QoS()
+	return v < thr
+}
+
+func (e *clusterEnv) SensitiveRunning() bool {
+	c, err := e.sim.Container(e.sensID)
+	if err != nil {
+		return false
+	}
+	return c.Running()
+}
+
+func (e *clusterEnv) BatchRunning() bool {
+	for _, id := range e.batchIDs {
+		if c, err := e.sim.Container(id); err == nil && c.Running() {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *clusterEnv) BatchActive() bool {
+	for _, id := range e.batchIDs {
+		if c, err := e.sim.Container(id); err == nil && c.Active() {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterActuator freezes/thaws/limits this host's batch containers,
+// skipping jobs resident elsewhere.
+type clusterActuator struct{ sim *sim.Simulator }
+
+var _ throttle.GradedActuator = clusterActuator{}
+
+func (a clusterActuator) do(ids []string, f func(string) error) error {
+	for _, id := range ids {
+		if _, err := a.sim.Container(id); err != nil {
+			continue
+		}
+		if err := f(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a clusterActuator) Pause(ids []string) error { return a.do(ids, a.sim.Freeze) }
+
+func (a clusterActuator) Resume(ids []string) error {
+	return a.do(ids, func(id string) error {
+		if err := a.sim.Thaw(id); err != nil {
+			return err
+		}
+		return a.sim.LimitCPU(id, 1)
+	})
+}
+
+func (a clusterActuator) SetLevel(ids []string, level float64) error {
+	if level < 0.01 {
+		level = 0.01
+	}
+	return a.do(ids, func(id string) error { return a.sim.LimitCPU(id, level) })
+}
+
+// hostState is RunCluster's per-host wiring.
+type hostState struct {
+	spec    ClusterHostSpec
+	sim     *sim.Simulator
+	runtime *core.Runtime // nil without safety net or sensitive
+	env     *clusterEnv   // nil for batch-only hosts
+	report  HostReport
+}
+
+// RunCluster drives a multi-host experiment: jobs arrive on a schedule,
+// the placer assigns each to a host (and periodically rebalances), every
+// host advances through shared discrete time, and — when enabled — each
+// sensitive host's reactive runtime throttles as the last line of
+// defense. Deterministic for a fixed config and seed.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	if cfg.Placer == nil {
+		return nil, fmt.Errorf("sched: RunCluster needs a placer")
+	}
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("sched: RunCluster needs a positive tick count")
+	}
+	if cfg.PeriodTicks <= 0 {
+		cfg.PeriodTicks = 1
+	}
+	if cfg.SafetyNet && len(cfg.Ranges) == 0 {
+		return nil, fmt.Errorf("sched: safety net needs normalization ranges")
+	}
+
+	// All job IDs, for the safety-net runtimes' batch sets: membership per
+	// host changes with placement, so every runtime watches the full set
+	// and ignores absentees.
+	allJobIDs := make([]string, 0, len(cfg.Jobs))
+	for _, j := range cfg.Jobs {
+		allJobIDs = append(allJobIDs, j.Job.ID)
+	}
+
+	// Substrate + bookkeeping.
+	substrate := sim.NewCluster()
+	inventory := make([]Host, 0, len(cfg.Hosts))
+	states := make([]*hostState, 0, len(cfg.Hosts))
+	for _, spec := range cfg.Hosts {
+		hsim, err := substrate.AddHost(spec.ID, spec.Sim)
+		if err != nil {
+			return nil, err
+		}
+		inventory = append(inventory, Host{
+			ID:       spec.ID,
+			CPU:      spec.Sim.CPUCapacity(),
+			MemoryMB: spec.Sim.MemoryMB,
+			DiskMBps: spec.Sim.DiskMBps,
+			NetMbps:  spec.Sim.NetMbps,
+		})
+		st := &hostState{spec: spec, sim: hsim, report: HostReport{Host: spec.ID}}
+		if s := spec.Sensitive; s != nil {
+			st.report.Sensitive = s.Name
+			if _, err := hsim.AddContainer(s.ContainerID, s.App); err != nil {
+				return nil, err
+			}
+			st.env = &clusterEnv{sim: hsim, sensID: s.ContainerID, batchIDs: allJobIDs, qos: s.App}
+			if cfg.SafetyNet {
+				rcfg := core.DefaultConfig(s.ContainerID, allJobIDs, cfg.Ranges)
+				rcfg.SensitiveApp = s.Name
+				rcfg.Seed = cfg.Seed + int64(len(states))
+				rt, err := core.New(rcfg, st.env, clusterActuator{sim: hsim})
+				if err != nil {
+					return nil, err
+				}
+				if s.Template != nil {
+					if err := rt.ImportTemplate(s.Template); err != nil {
+						return nil, err
+					}
+				}
+				st.runtime = rt
+			}
+		}
+		states = append(states, st)
+	}
+	book, err := NewCluster(inventory)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range states {
+		if s := st.spec.Sensitive; s != nil {
+			if err := book.PinSensitive(SensitiveApp{Name: s.Name, Host: st.spec.ID, Footprint: s.Footprint}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Arrival schedule: by arrival tick, then config order (stable sort).
+	jobs := append([]ClusterJob(nil), cfg.Jobs...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Arrival < jobs[j].Arrival })
+	containers := make(map[string]*sim.Container, len(jobs))
+
+	res := &ClusterResult{}
+	next := 0
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		// Arrivals.
+		for next < len(jobs) && jobs[next].Arrival <= tick {
+			j := jobs[next]
+			next++
+			d, err := cfg.Placer.Place(book, j.Job)
+			if err != nil {
+				return nil, err
+			}
+			hsim, err := substrate.Host(d.Host)
+			if err != nil {
+				return nil, err
+			}
+			ct, err := hsim.AddContainer(j.Job.ID, j.App)
+			if err != nil {
+				return nil, err
+			}
+			containers[j.Job.ID] = ct
+			res.Decisions = append(res.Decisions, d)
+		}
+
+		substrate.Step()
+
+		// Drop finished jobs from the bookkeeping so scores reflect what
+		// actually still runs.
+		for id, ct := range containers {
+			if !ct.Active() {
+				book.Remove(id)
+			}
+		}
+
+		if (tick+1)%cfg.PeriodTicks != 0 {
+			continue
+		}
+		period := (tick + 1) / cfg.PeriodTicks
+
+		// Observe violations and run the safety net.
+		for _, st := range states {
+			if st.env == nil {
+				continue
+			}
+			if st.runtime != nil {
+				if _, err := st.runtime.Period(); err != nil {
+					return nil, err
+				}
+				if st.runtime.Throttled() {
+					st.report.ThrottledPeriods++
+					res.ThrottledPeriods++
+				}
+			}
+			if st.env.QoSViolation() {
+				st.report.Violations++
+				res.Violations++
+			}
+		}
+
+		// Rebalance.
+		if cfg.RebalanceEvery > 0 && period%cfg.RebalanceEvery == 0 {
+			moves, err := cfg.Placer.Rebalance(book)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range moves {
+				if err := substrate.Migrate(m.Job, m.From, m.To); err != nil {
+					return nil, fmt.Errorf("sched: applying migration of %q: %w", m.Job, err)
+				}
+			}
+			res.Migrations = append(res.Migrations, moves...)
+		}
+	}
+
+	// Harvest throughput: ordered by job ID for a deterministic sum.
+	ids := make([]string, 0, len(containers))
+	for id := range containers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ct := containers[id]
+		res.BatchWork += ct.TotalEffectiveCPU()
+		if ct.State() == sim.StateFinished {
+			res.JobsFinished++
+		}
+	}
+	for _, st := range states {
+		res.Hosts = append(res.Hosts, st.report)
+	}
+	return res, nil
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// netHogApp is a network-heavy batch job (log shipping / replication
+// style): modest CPU, sustained uplink traffic.
+type netHogApp struct{ remaining float64 }
+
+func (n *netHogApp) Name() string { return "nethog" }
+func (n *netHogApp) Demand(tick int) sim.Demand {
+	return sim.Demand{CPU: 150, MemoryMB: 300, ActiveMemMB: 100, NetMbps: 600}
+}
+func (n *netHogApp) Advance(tick int, g sim.Grant) bool {
+	n.remaining -= g.EffectiveCPU()
+	return n.remaining <= 0
+}
+
+// e2eHosts builds the matching scenario on real simulated hosts: hostA's
+// stream saturates memory bandwidth, hostB's edge cache saturates the
+// uplink. A memory bomb violates A but not B; a network hog violates B
+// but not A.
+func e2eHosts() []ClusterHostSpec {
+	hostCfg := sim.HostConfig{
+		Cores: 8, MemoryMB: 8192, MemBWMBps: 10000, DiskMBps: 200,
+		NetMbps: 1000, SwapPenalty: 12, SwapIOPerMB: 0.05,
+	}
+	vlcCfg := apps.DefaultVLCStreamConfig()
+	vlcCfg.SceneCPUs = nil // deterministic: constant demand, no RNG
+	vlcCfg.CPUJitter = 0
+	vlcCfg.MemBWMBps = 3500
+	vlc := apps.NewVLCStream(vlcCfg, nil)
+
+	cdnCfg := apps.DefaultVLCStreamConfig()
+	cdnCfg.SceneCPUs = nil
+	cdnCfg.CPUJitter = 0
+	cdnCfg.MemBWMBps = 1500
+	cdnCfg.NetMbps = 600
+	cdn := apps.NewVLCStream(cdnCfg, nil)
+
+	return []ClusterHostSpec{
+		{
+			ID: "hostA", Sim: hostCfg,
+			Sensitive: &ClusterSensitive{
+				Name: "vlc-hd", ContainerID: "sens-a", App: vlc,
+				Footprint: Footprint{CPU: 145, MemoryMB: 400, NetMbps: 60},
+				Template:  vlcHDTemplate(),
+			},
+		},
+		{
+			ID: "hostB", Sim: hostCfg,
+			Sensitive: &ClusterSensitive{
+				Name: "cdn-edge", ContainerID: "sens-b", App: cdn,
+				Footprint: Footprint{CPU: 145, MemoryMB: 400, NetMbps: 600},
+				Template:  cdnEdgeTemplate(),
+			},
+		},
+	}
+}
+
+func e2eJobs() []ClusterJob {
+	memCfg := apps.DefaultMemoryBombConfig()
+	memCfg.RampTicks = 5
+	memCfg.ReadEveryTicks = 4
+	memCfg.ReadBurstTicks = 6
+	memCfg.TotalWork = 3000 // ≈50 ticks at CPU 60
+	return []ClusterJob{
+		{Job: memBombJob("job-mem"), App: apps.NewMemoryBomb(memCfg, nil), Arrival: 2},
+		{Job: netHogJob("job-net"), App: &netHogApp{remaining: 7500}, Arrival: 4},
+	}
+}
+
+func runE2E(t *testing.T, scorer Scorer) *ClusterResult {
+	t.Helper()
+	p, err := NewPlacer(PlacerConfig{Scorer: scorer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCluster(ClusterConfig{
+		Hosts:       e2eHosts(),
+		Jobs:        e2eJobs(),
+		Placer:      p,
+		SafetyNet:   true,
+		Ranges:      testRanges(),
+		PeriodTicks: 1,
+		Ticks:       140,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPlacementAvoidsReactiveThrottling is the end-to-end contract of the
+// scheduler: with learned maps, placement routes each batch job to the
+// host whose sensitive tolerates it, so the reactive safety net never has
+// to throttle — fewer violations AND no lost batch work compared with a
+// statically-modeled placement that forces the safety net to clean up.
+func TestPlacementAvoidsReactiveThrottling(t *testing.T) {
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapRes := runE2E(t, ms)
+	reactiveRes := runE2E(t, NewCrossAppScorer(DefaultCrossAppProfile()))
+
+	// The static model must actually create the bad co-location — the
+	// scenario is vacuous otherwise — and the safety net must have caught
+	// it (that's the reactive baseline doing its job).
+	if reactiveRes.Violations == 0 {
+		t.Fatal("static-model placement produced no violations; scenario lost its teeth")
+	}
+	if reactiveRes.ThrottledPeriods == 0 {
+		t.Fatal("safety net never throttled under the static model; scenario lost its teeth")
+	}
+
+	// Placement with the learned map avoids the co-location entirely.
+	if mapRes.Violations >= reactiveRes.Violations {
+		t.Fatalf("map placement violations = %d, reactive baseline = %d; want strictly fewer",
+			mapRes.Violations, reactiveRes.Violations)
+	}
+	if mapRes.Violations != 0 {
+		t.Fatalf("map placement still hit %d violations", mapRes.Violations)
+	}
+	if mapRes.ThrottledPeriods != 0 {
+		t.Fatalf("map placement still needed %d throttled periods", mapRes.ThrottledPeriods)
+	}
+
+	// No lost batch work: avoiding interference costs nothing in
+	// throughput — throttling does.
+	if mapRes.BatchWork < reactiveRes.BatchWork {
+		t.Fatalf("map placement batch work %.0f < reactive %.0f", mapRes.BatchWork, reactiveRes.BatchWork)
+	}
+	if mapRes.JobsFinished < reactiveRes.JobsFinished {
+		t.Fatalf("map placement finished %d jobs, reactive %d", mapRes.JobsFinished, reactiveRes.JobsFinished)
+	}
+
+	// The map run matched jobs to compatible sensitives.
+	byJob := map[string]string{}
+	for _, d := range mapRes.Decisions {
+		byJob[d.Job] = d.Host
+	}
+	if byJob["job-mem"] != "hostB" || byJob["job-net"] != "hostA" {
+		t.Fatalf("map placement = %v, want mem→hostB net→hostA", byJob)
+	}
+}
+
+// TestRunClusterDeterministic pins reproducibility: identical configs
+// produce identical outcomes, decision for decision.
+func TestRunClusterDeterministic(t *testing.T) {
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runE2E(t, ms)
+	ms2, _ := NewMapScorer(testTemplates())
+	b := runE2E(t, ms2)
+	if a.Violations != b.Violations || a.BatchWork != b.BatchWork || a.JobsFinished != b.JobsFinished {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i].Host != b.Decisions[i].Host || a.Decisions[i].Score != b.Decisions[i].Score {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a.Decisions[i], b.Decisions[i])
+		}
+	}
+}
+
+// TestRunClusterRebalanceMigrates drives the migration path end to end:
+// start with the bad assignment already running, let rebalance move it,
+// and verify the job finishes on the destination host with no further
+// violations after the move settles.
+func TestRunClusterRebalanceMigrates(t *testing.T) {
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scorer that mimics the static model's mistake for initial
+	// placement but uses the map for rebalance would be contrived; instead
+	// run the whole thing with the map scorer and migration enabled, with
+	// only the memory bomb as a candidate, arriving when hostB is
+	// temporarily infeasible.
+	p, err := NewPlacer(PlacerConfig{Scorer: ms, MigrateThreshold: 0.5, MigrateMargin: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := e2eHosts()
+	// Shrink hostB so the filler job makes it infeasible for the bomb at
+	// arrival time; the bomb is forced next to the vulnerable stream.
+	hosts[1].Sim.MemoryMB = 4096
+
+	memCfg := apps.DefaultMemoryBombConfig()
+	memCfg.RampTicks = 5
+	memCfg.ReadEveryTicks = 4
+	memCfg.ReadBurstTicks = 6
+	memCfg.TotalWork = 6000
+	filler := &netHogApp{remaining: 450} // finishes after ~3 ticks
+	fillerJob := BatchJob{ID: "job-filler", App: "nethog", Footprint: Footprint{CPU: 150, MemoryMB: 3000}}
+
+	res, err := RunCluster(ClusterConfig{
+		Hosts: hosts,
+		Jobs: []ClusterJob{
+			{Job: fillerJob, App: filler, Arrival: 0},
+			{Job: memBombJob("job-mem"), App: apps.NewMemoryBomb(memCfg, nil), Arrival: 1},
+		},
+		Placer:         p,
+		SafetyNet:      true,
+		Ranges:         testRanges(),
+		PeriodTicks:    1,
+		RebalanceEvery: 5,
+		Ticks:          200,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The bomb starts on hostA (hostB infeasible: filler 3000MB + bomb
+	// 3400MB > 4096MB), and rebalance moves it to hostB once the filler
+	// finishes and frees the memory.
+	var placed string
+	for _, d := range res.Decisions {
+		if d.Job == "job-mem" {
+			placed = d.Host
+		}
+	}
+	if placed != "hostA" {
+		t.Fatalf("bomb initially placed on %q, want hostA", placed)
+	}
+	found := false
+	for _, m := range res.Migrations {
+		if m.Job == "job-mem" && m.From == "hostA" && m.To == "hostB" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no migration of job-mem hostA→hostB; migrations = %+v", res.Migrations)
+	}
+	if res.JobsFinished != 2 {
+		t.Fatalf("JobsFinished = %d, want 2 (work survives migration)", res.JobsFinished)
+	}
+}

@@ -1,0 +1,258 @@
+// Package sched is the cluster-level placement layer above Stay-Away's
+// per-host runtime: instead of reacting to interference after a batch job
+// lands next to a sensitive application, it uses the fleet's learned
+// violation maps to predict which (sensitive, batch, host) co-locations
+// would violate and places batch work on the least-conflicting host —
+// migrating it away when a host's predicted violation risk crosses a
+// threshold. The per-host runtime stays in the loop as the safety net:
+// placement is advisory, throttling authority never leaves the host.
+//
+// The scoring design follows the interference-scoring orchestration line
+// of work (arXiv 2407.12248, arXiv 2402.08917): every candidate placement
+// gets a scalar predicted-violation score, and the placer greedily
+// minimizes it. The learned-map scorer derives the score from the shared
+// statespace templates (distance of the projected combined state to known
+// violation regions); a static cross-application model in the style of
+// arXiv 1610.04309 and a random/bin-packing scorer serve as the baselines
+// the ablation suite measures against.
+//
+// Everything in this package is deterministic given a seed: placement
+// plans are reproducible artifacts, enforced by stayawaylint's determinism
+// analyzer.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Footprint is a batch job's or sensitive application's steady-state raw
+// resource demand, in the same units the monitoring vectors use: CPU in
+// percent-of-core, memory in resident MB, I/O in MB/s, network in Mb/s.
+// It is the prospective stand-in for a measurement sample — what the
+// combined state would look like if the workload ran here.
+type Footprint struct {
+	CPU      float64 `json:"cpu"`
+	MemoryMB float64 `json:"memory_mb"`
+	IOMBps   float64 `json:"io_mbps"`
+	NetMbps  float64 `json:"net_mbps"`
+}
+
+// Add returns the elementwise sum — the linear composition §5 of the
+// paper justifies for aggregated batch behaviour.
+func (f Footprint) Add(o Footprint) Footprint {
+	return Footprint{
+		CPU:      f.CPU + o.CPU,
+		MemoryMB: f.MemoryMB + o.MemoryMB,
+		IOMBps:   f.IOMBps + o.IOMBps,
+		NetMbps:  f.NetMbps + o.NetMbps,
+	}
+}
+
+// Values renders the footprint as a raw metric map in the monitoring
+// schema's terms.
+func (f Footprint) Values() map[metrics.Metric]float64 {
+	return map[metrics.Metric]float64{
+		metrics.MetricCPU:     f.CPU,
+		metrics.MetricMemory:  f.MemoryMB,
+		metrics.MetricIO:      f.IOMBps,
+		metrics.MetricNetwork: f.NetMbps,
+	}
+}
+
+// Host is one machine in the cluster inventory, described by its capacity.
+type Host struct {
+	// ID names the host; unique within a cluster.
+	ID string `json:"id"`
+	// CPU is capacity in percent-of-core units (4 cores = 400).
+	CPU float64 `json:"cpu"`
+	// MemoryMB is installed RAM.
+	MemoryMB float64 `json:"memory_mb"`
+	// DiskMBps and NetMbps are I/O capacities; when declared (non-zero)
+	// they join CPU and memory in the placer's feasibility checks.
+	DiskMBps float64 `json:"disk_mbps,omitempty"`
+	NetMbps  float64 `json:"net_mbps,omitempty"`
+}
+
+// SensitiveApp is a latency-sensitive application pinned to a host.
+// Sensitives do not move — the paper's protection target owns its machine;
+// what the scheduler controls is which batch work comes near it.
+type SensitiveApp struct {
+	// Name is the fleet-wide application name — the key its learned
+	// template is registered under.
+	Name string `json:"name"`
+	// Host is the host the application runs on.
+	Host string `json:"host"`
+	// Footprint is the application's steady-state demand.
+	Footprint Footprint `json:"footprint"`
+}
+
+// BatchJob is one unit of placeable batch work.
+type BatchJob struct {
+	// ID names the job; unique within a cluster.
+	ID string `json:"id"`
+	// App labels the workload type (reporting only).
+	App string `json:"app,omitempty"`
+	// Footprint is the job's steady-state demand.
+	Footprint Footprint `json:"footprint"`
+	// Work is the job size in effective-CPU units; 0 means open-ended.
+	Work float64 `json:"work,omitempty"`
+}
+
+// Cluster is the placement state: the host inventory, the pinned
+// sensitives, and the current job→host assignment. It is pure bookkeeping
+// — no simulation, no clocks — so the placer can evaluate hypothetical
+// moves cheaply and deterministically.
+type Cluster struct {
+	hosts      []Host
+	hostIdx    map[string]int
+	sensitives map[string]SensitiveApp // keyed by host ID
+	jobs       map[string]BatchJob
+	assign     map[string]string // job ID → host ID
+	resident   map[string][]string
+}
+
+// NewCluster builds a cluster over the given hosts.
+func NewCluster(hosts []Host) (*Cluster, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("sched: cluster needs at least one host")
+	}
+	c := &Cluster{
+		hostIdx:    make(map[string]int, len(hosts)),
+		sensitives: make(map[string]SensitiveApp),
+		jobs:       make(map[string]BatchJob),
+		assign:     make(map[string]string),
+		resident:   make(map[string][]string),
+	}
+	for _, h := range hosts {
+		if h.ID == "" {
+			return nil, fmt.Errorf("sched: host with empty ID")
+		}
+		if _, dup := c.hostIdx[h.ID]; dup {
+			return nil, fmt.Errorf("sched: duplicate host %q", h.ID)
+		}
+		if h.CPU <= 0 || h.MemoryMB <= 0 {
+			return nil, fmt.Errorf("sched: host %q needs positive CPU and memory capacity", h.ID)
+		}
+		c.hostIdx[h.ID] = len(c.hosts)
+		c.hosts = append(c.hosts, h)
+	}
+	return c, nil
+}
+
+// Hosts returns the inventory in insertion order.
+func (c *Cluster) Hosts() []Host { return append([]Host(nil), c.hosts...) }
+
+// Host returns the host with the given ID.
+func (c *Cluster) Host(id string) (Host, error) {
+	i, ok := c.hostIdx[id]
+	if !ok {
+		return Host{}, fmt.Errorf("sched: unknown host %q", id)
+	}
+	return c.hosts[i], nil
+}
+
+// PinSensitive places a sensitive application on its host. At most one
+// sensitive per host: the per-host runtime's multi-tenant lanes handle
+// several sensitives on one machine, but placement treats such a host as
+// one combined protection domain, which this layer does not model yet.
+func (c *Cluster) PinSensitive(s SensitiveApp) error {
+	if s.Name == "" {
+		return fmt.Errorf("sched: sensitive with empty name")
+	}
+	if _, ok := c.hostIdx[s.Host]; !ok {
+		return fmt.Errorf("sched: sensitive %q pinned to unknown host %q", s.Name, s.Host)
+	}
+	if prev, dup := c.sensitives[s.Host]; dup {
+		return fmt.Errorf("sched: host %q already protects %q", s.Host, prev.Name)
+	}
+	c.sensitives[s.Host] = s
+	return nil
+}
+
+// Sensitive returns the sensitive pinned to the host, if any.
+func (c *Cluster) Sensitive(host string) (SensitiveApp, bool) {
+	s, ok := c.sensitives[host]
+	return s, ok
+}
+
+// Assign places a job on a host, registering the job if new. Re-assigning
+// an already-placed job moves it.
+func (c *Cluster) Assign(job BatchJob, host string) error {
+	if job.ID == "" {
+		return fmt.Errorf("sched: job with empty ID")
+	}
+	if _, ok := c.hostIdx[host]; !ok {
+		return fmt.Errorf("sched: job %q assigned to unknown host %q", job.ID, host)
+	}
+	if prev, ok := c.assign[job.ID]; ok {
+		c.dropResident(prev, job.ID)
+	}
+	c.jobs[job.ID] = job
+	c.assign[job.ID] = host
+	c.resident[host] = append(c.resident[host], job.ID)
+	sort.Strings(c.resident[host])
+	return nil
+}
+
+// Remove deletes a job from the cluster (it finished or was cancelled).
+func (c *Cluster) Remove(jobID string) {
+	if host, ok := c.assign[jobID]; ok {
+		c.dropResident(host, jobID)
+	}
+	delete(c.assign, jobID)
+	delete(c.jobs, jobID)
+}
+
+func (c *Cluster) dropResident(host, jobID string) {
+	ids := c.resident[host]
+	for i, id := range ids {
+		if id == jobID {
+			c.resident[host] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// HostOf returns the host a job is assigned to.
+func (c *Cluster) HostOf(jobID string) (string, bool) {
+	h, ok := c.assign[jobID]
+	return h, ok
+}
+
+// Job returns a registered job.
+func (c *Cluster) Job(id string) (BatchJob, bool) {
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Resident returns the jobs currently assigned to a host, in ID order.
+func (c *Cluster) Resident(host string) []BatchJob {
+	ids := c.resident[host]
+	out := make([]BatchJob, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.jobs[id])
+	}
+	return out
+}
+
+// BatchLoad returns the summed footprint of a host's resident jobs.
+func (c *Cluster) BatchLoad(host string) Footprint {
+	var f Footprint
+	for _, id := range c.resident[host] {
+		f = f.Add(c.jobs[id].Footprint)
+	}
+	return f
+}
+
+// Load returns a host's total projected footprint: resident batch plus the
+// pinned sensitive, if any.
+func (c *Cluster) Load(host string) Footprint {
+	f := c.BatchLoad(host)
+	if s, ok := c.sensitives[host]; ok {
+		f = f.Add(s.Footprint)
+	}
+	return f
+}

@@ -1,0 +1,94 @@
+package sched
+
+import "testing"
+
+func testHosts() []Host {
+	return []Host{
+		{ID: "a", CPU: 800, MemoryMB: 8192},
+		{ID: "b", CPU: 400, MemoryMB: 4096},
+	}
+}
+
+func TestNewClusterValidates(t *testing.T) {
+	if _, err := NewCluster(nil); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster([]Host{{ID: "", CPU: 400, MemoryMB: 4096}}); err == nil {
+		t.Fatal("empty host ID accepted")
+	}
+	if _, err := NewCluster([]Host{{ID: "a", CPU: 400, MemoryMB: 4096}, {ID: "a", CPU: 400, MemoryMB: 4096}}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if _, err := NewCluster([]Host{{ID: "a", CPU: 0, MemoryMB: 4096}}); err == nil {
+		t.Fatal("zero-CPU host accepted")
+	}
+}
+
+func TestClusterAssignLoadRemove(t *testing.T) {
+	c, err := NewCluster(testHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSensitive(SensitiveApp{Name: "vlc", Host: "a", Footprint: Footprint{CPU: 145, MemoryMB: 400}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSensitive(SensitiveApp{Name: "other", Host: "a"}); err == nil {
+		t.Fatal("second sensitive on one host accepted")
+	}
+	if err := c.PinSensitive(SensitiveApp{Name: "x", Host: "nope"}); err == nil {
+		t.Fatal("sensitive on unknown host accepted")
+	}
+
+	j1 := BatchJob{ID: "j1", Footprint: Footprint{CPU: 100, MemoryMB: 500}}
+	j2 := BatchJob{ID: "j2", Footprint: Footprint{CPU: 50, MemoryMB: 200}}
+	if err := c.Assign(j1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assign(j2, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assign(j1, "nope"); err == nil {
+		t.Fatal("assignment to unknown host accepted")
+	}
+
+	if got := c.BatchLoad("a"); got.CPU != 150 || got.MemoryMB != 700 {
+		t.Fatalf("BatchLoad = %+v", got)
+	}
+	if got := c.Load("a"); got.CPU != 295 || got.MemoryMB != 1100 {
+		t.Fatalf("Load = %+v", got)
+	}
+	res := c.Resident("a")
+	if len(res) != 2 || res[0].ID != "j1" || res[1].ID != "j2" {
+		t.Fatalf("Resident = %v", res)
+	}
+
+	// Re-assignment moves.
+	if err := c.Assign(j1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := c.HostOf("j1"); h != "b" {
+		t.Fatalf("HostOf(j1) = %q", h)
+	}
+	if got := c.BatchLoad("a"); got.CPU != 50 {
+		t.Fatalf("BatchLoad after move = %+v", got)
+	}
+
+	c.Remove("j2")
+	if _, ok := c.Job("j2"); ok {
+		t.Fatal("removed job still registered")
+	}
+	if got := c.BatchLoad("a"); got.CPU != 0 {
+		t.Fatalf("BatchLoad after remove = %+v", got)
+	}
+}
+
+func TestFootprintAddAndValues(t *testing.T) {
+	f := Footprint{CPU: 1, MemoryMB: 2, IOMBps: 3, NetMbps: 4}.Add(Footprint{CPU: 10, MemoryMB: 20, IOMBps: 30, NetMbps: 40})
+	if f.CPU != 11 || f.MemoryMB != 22 || f.IOMBps != 33 || f.NetMbps != 44 {
+		t.Fatalf("Add = %+v", f)
+	}
+	v := f.Values()
+	if len(v) != 4 {
+		t.Fatalf("Values = %v", v)
+	}
+}

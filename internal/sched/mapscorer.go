@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/statespace"
+)
+
+// MapScorer rates co-locations with the fleet's learned violation maps:
+// for a host protecting sensitive app S, it builds the hypothetical
+// combined measurement vector (S's steady-state footprint in the
+// sensitive slot, resident-plus-candidate batch in the aggregated batch
+// slot), projects it into S's learned 2-D state space, and returns the
+// violation proximity — 1 inside a known violation-range, decaying with
+// distance outside. This is the paper's map, queried prospectively:
+// instead of waiting for the host to drift toward a violation-state and
+// reacting, the scheduler refuses to create the state at all.
+//
+// Hosts with no sensitive cost nothing to batch QoS; they score 0.
+// Hosts whose sensitive has no registered map are unscorable — the
+// caller decides whether that means "avoid" (the placer's default) or
+// "fall back to a baseline".
+type MapScorer struct {
+	maps map[string]*statespace.QueryMap
+}
+
+// NewMapScorer builds a scorer over learned templates keyed by sensitive
+// application name. Templates that fail QueryMap validation (wrong
+// schema, empty) are rejected — a half-usable map is worse than none.
+func NewMapScorer(templates map[string]*statespace.Template) (*MapScorer, error) {
+	ms := &MapScorer{maps: make(map[string]*statespace.QueryMap, len(templates))}
+	// Sorted iteration so a multi-error report is deterministic.
+	apps := make([]string, 0, len(templates))
+	for app := range templates {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		t := templates[app]
+		if t == nil {
+			return nil, fmt.Errorf("sched: nil template for %q", app)
+		}
+		q, err := statespace.NewQueryMap(t)
+		if err != nil {
+			return nil, fmt.Errorf("sched: template for %q unusable: %w", app, err)
+		}
+		ms.maps[app] = q
+	}
+	return ms, nil
+}
+
+// Name implements Scorer.
+func (ms *MapScorer) Name() string { return "map" }
+
+// Apps returns the sensitive applications the scorer has maps for,
+// sorted.
+func (ms *MapScorer) Apps() []string {
+	out := make([]string, 0, len(ms.maps))
+	for app := range ms.maps {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Covers reports whether the scorer can rate placements next to the
+// given sensitive application.
+func (ms *MapScorer) Covers(app string) bool {
+	_, ok := ms.maps[app]
+	return ok
+}
+
+// Score implements Scorer.
+func (ms *MapScorer) Score(c Candidate) (float64, error) {
+	if err := validateCandidate(c); err != nil {
+		return 0, err
+	}
+	if c.Sensitive == nil {
+		return 0, nil
+	}
+	q, ok := ms.maps[c.Sensitive.Name]
+	if !ok {
+		return 0, fmt.Errorf("sched: no learned map for sensitive %q", c.Sensitive.Name)
+	}
+	s, err := q.Score(c.Sensitive.Footprint.Values(), c.BatchLoad().Values())
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(s), nil
+}

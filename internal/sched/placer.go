@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HostScore is one host's rating for a particular job, kept in placement
+// plans so a decision can be audited: why this host and not that one.
+type HostScore struct {
+	Host string `json:"host"`
+	// Score is the scorer's predicted violation risk; when Unscorable it
+	// holds +Inf's JSON-safe stand-in 1 and Unscorable is set.
+	Score float64 `json:"score"`
+	// Load is the host's projected CPU load fraction with the job placed.
+	Load float64 `json:"load"`
+	// Feasible reports whether the projected load fits every capacity the
+	// host declares.
+	Feasible bool `json:"feasible"`
+	// Unscorable marks hosts the scorer could not rate (no learned map);
+	// they are considered last, after every scored host.
+	Unscorable bool `json:"unscorable,omitempty"`
+}
+
+// Decision records where one job went and the full ranking that led
+// there.
+type Decision struct {
+	Job  string `json:"job"`
+	Host string `json:"host"`
+	// Score is the chosen host's predicted violation risk.
+	Score float64 `json:"score"`
+	// Forced is set when no host was feasible and the job was overcommitted
+	// onto the least-loaded host anyway — the per-host safety net, not the
+	// placer, then carries the protection burden.
+	Forced bool `json:"forced,omitempty"`
+	// Ranking holds every host's score, best first.
+	Ranking []HostScore `json:"ranking"`
+}
+
+// Migration is one rebalance move.
+type Migration struct {
+	Job  string `json:"job"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// HostRisk is the source host's predicted violation risk before the
+	// move; JobScore is the job's score on the destination.
+	HostRisk float64 `json:"host_risk"`
+	JobScore float64 `json:"job_score"`
+}
+
+// PlacerConfig tunes the placement policy.
+type PlacerConfig struct {
+	// Scorer rates candidate co-locations. Required.
+	Scorer Scorer
+	// MigrateThreshold is the predicted violation risk above which
+	// Rebalance tries to move work off a host. Zero disables migration.
+	MigrateThreshold float64
+	// MigrateMargin is how much lower the destination's score must be than
+	// the source host's risk for a migration to be worth the disruption.
+	// Defaults to 0.1 when unset.
+	MigrateMargin float64
+}
+
+// Placer turns scores into placements: greedy least-conflict assignment
+// with feasibility checks, and optional migration when a host's predicted
+// violation risk crosses the threshold. The placer only ever *suggests* —
+// callers apply decisions to the real substrate (sim.Cluster or a real
+// fleet), and the per-host runtime remains the enforcement layer.
+type Placer struct {
+	cfg PlacerConfig
+}
+
+// NewPlacer validates the config and returns a placer.
+func NewPlacer(cfg PlacerConfig) (*Placer, error) {
+	if cfg.Scorer == nil {
+		return nil, fmt.Errorf("sched: placer needs a scorer")
+	}
+	if cfg.MigrateThreshold < 0 || cfg.MigrateThreshold > 1 {
+		return nil, fmt.Errorf("sched: migrate threshold %v out of [0,1]", cfg.MigrateThreshold)
+	}
+	if cfg.MigrateMargin == 0 {
+		cfg.MigrateMargin = 0.1
+	}
+	if cfg.MigrateMargin < 0 {
+		return nil, fmt.Errorf("sched: negative migrate margin %v", cfg.MigrateMargin)
+	}
+	return &Placer{cfg: cfg}, nil
+}
+
+// Scorer returns the configured scorer.
+func (p *Placer) Scorer() Scorer { return p.cfg.Scorer }
+
+// fits reports whether a projected total load respects every capacity the
+// host declares. CPU and memory are always declared; disk and network
+// capacities are checked only when the inventory records them. Feasibility
+// is a hard constraint — interference scoring ranks only within it, so a
+// pile-up that would saturate a declared channel is rejected outright
+// rather than trusted to a map that has never seen the combination.
+func fits(h Host, f Footprint) bool {
+	if f.CPU > h.CPU || f.MemoryMB > h.MemoryMB {
+		return false
+	}
+	if h.DiskMBps > 0 && f.IOMBps > h.DiskMBps {
+		return false
+	}
+	if h.NetMbps > 0 && f.NetMbps > h.NetMbps {
+		return false
+	}
+	return true
+}
+
+// candidateFor builds the scoring candidate for job-on-host given current
+// cluster state, optionally excluding one resident job (for rebalance
+// "what if it left" queries).
+func candidateFor(c *Cluster, host Host, job BatchJob, excludeJob string) Candidate {
+	resident := Footprint{}
+	for _, r := range c.Resident(host.ID) {
+		if r.ID == excludeJob || r.ID == job.ID {
+			continue
+		}
+		resident = resident.Add(r.Footprint)
+	}
+	cand := Candidate{Host: host, Resident: resident, Job: job}
+	if s, ok := c.Sensitive(host.ID); ok {
+		cand.Sensitive = &s
+	}
+	return cand
+}
+
+// rank scores the job on every host and returns the ranking, best first:
+// feasible before infeasible, scored before unscorable, then by score,
+// then by projected load, then by host ID. The composite order makes the
+// greedy step deterministic and explainable.
+func (p *Placer) rank(c *Cluster, job BatchJob) []HostScore {
+	hosts := c.Hosts()
+	out := make([]HostScore, 0, len(hosts))
+	for _, h := range hosts {
+		cand := candidateFor(c, h, job, "")
+		total := cand.TotalLoad()
+		hs := HostScore{
+			Host:     h.ID,
+			Load:     total.CPU / h.CPU,
+			Feasible: fits(h, total),
+		}
+		if s, err := p.cfg.Scorer.Score(cand); err != nil {
+			hs.Score = 1
+			hs.Unscorable = true
+		} else {
+			hs.Score = s
+		}
+		out = append(out, hs)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.Unscorable != b.Unscorable {
+			return !a.Unscorable
+		}
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		if a.Load != b.Load {
+			return a.Load < b.Load
+		}
+		return a.Host < b.Host
+	})
+	return out
+}
+
+// Place chooses a host for the job and records the assignment in the
+// cluster. When no host is feasible the job is forced onto the
+// least-loaded host (overcommit) and the decision is marked Forced: in
+// Stay-Away's architecture admission control is not the scheduler's job —
+// the per-host runtime throttles what placement could not avoid.
+func (p *Placer) Place(c *Cluster, job BatchJob) (Decision, error) {
+	if job.ID == "" {
+		return Decision{}, fmt.Errorf("sched: placing job with empty ID")
+	}
+	ranking := p.rank(c, job)
+	if len(ranking) == 0 {
+		return Decision{}, fmt.Errorf("sched: no hosts to place %q on", job.ID)
+	}
+	best := ranking[0]
+	d := Decision{
+		Job:     job.ID,
+		Host:    best.Host,
+		Score:   best.Score,
+		Forced:  !best.Feasible,
+		Ranking: ranking,
+	}
+	if d.Forced {
+		// Least-loaded among all hosts, ignoring scores: spread the
+		// overcommit rather than piling it where the scorer is calmest.
+		least := ranking[0]
+		for _, hs := range ranking[1:] {
+			if hs.Load < least.Load || (hs.Load == least.Load && hs.Host < least.Host) {
+				least = hs
+			}
+		}
+		d.Host = least.Host
+		d.Score = least.Score
+	}
+	if err := c.Assign(job, d.Host); err != nil {
+		return Decision{}, err
+	}
+	return d, nil
+}
+
+// PlaceAll places jobs in order, each seeing the assignments before it.
+func (p *Placer) PlaceAll(c *Cluster, jobs []BatchJob) ([]Decision, error) {
+	out := make([]Decision, 0, len(jobs))
+	for _, j := range jobs {
+		d, err := p.Place(c, j)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// HostRisk returns a host's current predicted violation risk: the score
+// of its existing co-location as it stands, with no additional job. Hosts
+// with no resident batch score 0 (nothing to move), as do hosts with no
+// sensitive.
+func (p *Placer) HostRisk(c *Cluster, hostID string) (float64, error) {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return 0, err
+	}
+	resident := c.Resident(hostID)
+	if len(resident) == 0 {
+		return 0, nil
+	}
+	// Score the resident set by treating the first resident job as the
+	// "candidate" and the rest as resident — the combined load, and hence
+	// the score, is identical whichever job plays that role.
+	cand := candidateFor(c, h, resident[0], "")
+	s, err := p.cfg.Scorer.Score(cand)
+	if err != nil {
+		return 1, err
+	}
+	return s, nil
+}
+
+// Rebalance inspects every host and, where predicted violation risk
+// exceeds MigrateThreshold, proposes at most one migration per host: the
+// resident job whose best alternative host scores lowest, provided that
+// alternative is feasible and better by at least MigrateMargin. Proposed
+// moves are applied to the cluster bookkeeping and returned; the caller
+// mirrors them onto the substrate (e.g. sim.Cluster.Migrate).
+//
+// Migration is deliberately conservative — the threshold picks out hosts
+// the map already predicts will violate, so a move is cheaper than the
+// throttling the safety net would otherwise impose.
+func (p *Placer) Rebalance(c *Cluster) ([]Migration, error) {
+	if p.cfg.MigrateThreshold <= 0 {
+		return nil, nil
+	}
+	var moves []Migration
+	for _, h := range c.Hosts() {
+		risk, err := p.HostRisk(c, h.ID)
+		if err != nil {
+			// Unscorable host: the map cannot justify disrupting it.
+			continue
+		}
+		if risk <= p.cfg.MigrateThreshold {
+			continue
+		}
+		best := Migration{JobScore: math.Inf(1)}
+		for _, job := range c.Resident(h.ID) {
+			for _, dst := range c.Hosts() {
+				if dst.ID == h.ID {
+					continue
+				}
+				cand := candidateFor(c, dst, job, "")
+				if !fits(dst, cand.TotalLoad()) {
+					continue
+				}
+				s, err := p.cfg.Scorer.Score(cand)
+				if err != nil {
+					continue
+				}
+				if s < best.JobScore {
+					best = Migration{Job: job.ID, From: h.ID, To: dst.ID, HostRisk: risk, JobScore: s}
+				}
+			}
+		}
+		if best.Job == "" || best.JobScore+p.cfg.MigrateMargin > risk {
+			continue
+		}
+		job, _ := c.Job(best.Job)
+		if err := c.Assign(job, best.To); err != nil {
+			return moves, err
+		}
+		moves = append(moves, best)
+	}
+	return moves, nil
+}

@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"testing"
+)
+
+// matchCluster is the two-sensitive matching scenario: hostA protects the
+// memory-bandwidth-sensitive stream, hostB the network-sensitive edge
+// cache. Each host can fit both jobs; only the scorer decides who goes
+// where.
+func matchCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster([]Host{
+		{ID: "hostA", CPU: 800, MemoryMB: 8192},
+		{ID: "hostB", CPU: 800, MemoryMB: 8192},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSensitive(*vlcHDSensitive("hostA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSensitive(*cdnEdgeSensitive("hostB")); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mapPlacer(t *testing.T, migrateThreshold float64) *Placer {
+	t.Helper()
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlacer(PlacerConfig{Scorer: ms, MigrateThreshold: migrateThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlacerMatchesJobsToCompatibleSensitives(t *testing.T) {
+	c := matchCluster(t)
+	p := mapPlacer(t, 0)
+
+	decisions, err := p.PlaceAll(c, []BatchJob{memBombJob("mem"), netHogJob("net")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decisions[0].Host != "hostB" {
+		t.Fatalf("membomb placed on %q, want hostB (cdn tolerates memory pressure)", decisions[0].Host)
+	}
+	if decisions[1].Host != "hostA" {
+		t.Fatalf("nethog placed on %q, want hostA (stream tolerates network pressure)", decisions[1].Host)
+	}
+	for _, d := range decisions {
+		if d.Forced {
+			t.Fatalf("decision %+v forced despite feasible hosts", d)
+		}
+		if len(d.Ranking) != 2 {
+			t.Fatalf("ranking has %d entries", len(d.Ranking))
+		}
+	}
+}
+
+func TestPlacerDeterministicAcrossRuns(t *testing.T) {
+	jobs := []BatchJob{memBombJob("m1"), netHogJob("n1"), memBombJob("m2"), netHogJob("n2")}
+	var first []Decision
+	for run := 0; run < 3; run++ {
+		c := matchCluster(t)
+		p := mapPlacer(t, 0)
+		ds, err := p.PlaceAll(c, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = ds
+			continue
+		}
+		for i := range ds {
+			if ds[i].Host != first[i].Host || ds[i].Score != first[i].Score {
+				t.Fatalf("run %d decision %d = %+v, first run %+v", run, i, ds[i], first[i])
+			}
+		}
+	}
+}
+
+func TestPlacerForcedOvercommit(t *testing.T) {
+	c, err := NewCluster([]Host{
+		{ID: "small", CPU: 100, MemoryMB: 512},
+		{ID: "smaller", CPU: 80, MemoryMB: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlacer(PlacerConfig{Scorer: NewPackScorer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Place(c, BatchJob{ID: "big", Footprint: Footprint{CPU: 300, MemoryMB: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Forced {
+		t.Fatal("infeasible placement not marked forced")
+	}
+	// Least projected load fraction: 300/100 = 3 on "small", 300/80 = 3.75
+	// on "smaller".
+	if d.Host != "small" {
+		t.Fatalf("forced placement on %q, want least-loaded small", d.Host)
+	}
+	if _, ok := c.HostOf("big"); !ok {
+		t.Fatal("forced job not recorded in cluster")
+	}
+}
+
+func TestPlacerUnscorableRanksLast(t *testing.T) {
+	// Sensitive without a learned map on one host: that host must rank
+	// after a scored host even though both are feasible.
+	c, err := NewCluster([]Host{
+		{ID: "mapped", CPU: 800, MemoryMB: 8192},
+		{ID: "unmapped", CPU: 800, MemoryMB: 8192},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSensitive(*vlcHDSensitive("mapped")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinSensitive(SensitiveApp{Name: "mystery", Host: "unmapped", Footprint: Footprint{CPU: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	p := mapPlacer(t, 0)
+	// Even the membomb — near-certain violation next to vlc-hd — beats an
+	// unscorable host: a known risk is preferred over an unknown one.
+	d, err := p.Place(c, memBombJob("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Host != "mapped" {
+		t.Fatalf("placed on %q, want mapped", d.Host)
+	}
+	last := d.Ranking[len(d.Ranking)-1]
+	if !last.Unscorable || last.Host != "unmapped" {
+		t.Fatalf("ranking tail = %+v, want unscorable unmapped", last)
+	}
+}
+
+func TestRebalanceMovesJobOffRiskyHost(t *testing.T) {
+	c := matchCluster(t)
+	p := mapPlacer(t, 0.5)
+
+	// Force the bad assignment placement would have avoided: memory bomb
+	// next to the memory-bandwidth-sensitive stream.
+	if err := c.Assign(memBombJob("mem"), "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	risk, err := p.HostRisk(c, "hostA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk < 0.5 {
+		t.Fatalf("HostRisk = %v, want above migrate threshold", risk)
+	}
+
+	moves, err := p.Rebalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly one", moves)
+	}
+	m := moves[0]
+	if m.Job != "mem" || m.From != "hostA" || m.To != "hostB" {
+		t.Fatalf("move = %+v", m)
+	}
+	if m.JobScore >= m.HostRisk {
+		t.Fatalf("migration did not reduce risk: %+v", m)
+	}
+	if h, _ := c.HostOf("mem"); h != "hostB" {
+		t.Fatalf("bookkeeping not updated, job on %q", h)
+	}
+
+	// Second pass: nothing left to move.
+	moves, err = p.Rebalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("second rebalance moved %+v", moves)
+	}
+}
+
+func TestRebalanceDisabledByZeroThreshold(t *testing.T) {
+	c := matchCluster(t)
+	p := mapPlacer(t, 0)
+	if err := c.Assign(memBombJob("mem"), "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := p.Rebalance(c)
+	if err != nil || moves != nil {
+		t.Fatalf("Rebalance = %v, %v; want nil, nil", moves, err)
+	}
+}
+
+func TestRebalanceRespectsMargin(t *testing.T) {
+	// With a margin larger than any possible improvement, nothing moves.
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlacer(PlacerConfig{Scorer: ms, MigrateThreshold: 0.5, MigrateMargin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := matchCluster(t)
+	if err := c.Assign(memBombJob("mem"), "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := p.Rebalance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("margin ignored: %+v", moves)
+	}
+}
+
+func TestNewPlacerValidates(t *testing.T) {
+	if _, err := NewPlacer(PlacerConfig{}); err == nil {
+		t.Fatal("nil scorer accepted")
+	}
+	if _, err := NewPlacer(PlacerConfig{Scorer: NewPackScorer(), MigrateThreshold: 1.5}); err == nil {
+		t.Fatal("out-of-range threshold accepted")
+	}
+	if _, err := NewPlacer(PlacerConfig{Scorer: NewPackScorer(), MigrateMargin: -1}); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+}

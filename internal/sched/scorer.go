@@ -1,0 +1,74 @@
+package sched
+
+import "fmt"
+
+// Candidate is one hypothetical co-location: job added to host, next to
+// the host's pinned sensitive (if any) and its already-resident batch
+// load. Scorers never see the cluster — the placer flattens cluster state
+// into candidates so scorers stay pure functions.
+type Candidate struct {
+	// Host is the target machine.
+	Host Host
+	// Sensitive is the application protected on the host; nil when the
+	// host has none.
+	Sensitive *SensitiveApp
+	// Resident is the summed footprint of batch work already on the host.
+	Resident Footprint
+	// Job is the work being placed.
+	Job BatchJob
+}
+
+// BatchLoad returns the host's batch footprint with the candidate job
+// included.
+func (c Candidate) BatchLoad() Footprint {
+	return c.Resident.Add(c.Job.Footprint)
+}
+
+// TotalLoad returns the host's full projected footprint: sensitive plus
+// all batch including the candidate job.
+func (c Candidate) TotalLoad() Footprint {
+	f := c.BatchLoad()
+	if c.Sensitive != nil {
+		f = f.Add(c.Sensitive.Footprint)
+	}
+	return f
+}
+
+// Scorer rates a candidate co-location. Scores are predicted violation
+// risk in [0,1]: 0 means the scorer expects no QoS violation from this
+// placement, 1 means it predicts the combined state lands inside a known
+// violation region. The placer minimizes; relative order is what matters.
+//
+// Implementations must be deterministic for a fixed construction (seeded
+// randomness only) and must not retain or mutate the candidate.
+type Scorer interface {
+	// Name identifies the scorer in plans and experiment reports.
+	Name() string
+	// Score rates the candidate. An error marks the candidate unscorable
+	// (e.g. no learned map for that sensitive); the placer treats
+	// unscorable as maximally risky rather than failing the placement.
+	Score(c Candidate) (float64, error)
+}
+
+// clamp01 bounds a score into [0,1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// validateCandidate rejects structurally broken candidates early so every
+// scorer shares the same contract.
+func validateCandidate(c Candidate) error {
+	if c.Host.ID == "" {
+		return fmt.Errorf("sched: candidate with empty host")
+	}
+	if c.Job.ID == "" {
+		return fmt.Errorf("sched: candidate with empty job")
+	}
+	return nil
+}

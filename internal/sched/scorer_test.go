@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/statespace"
+)
+
+// Shared test fixtures: two sensitive applications with opposite
+// vulnerabilities, and the two batch jobs that tell them apart.
+//
+//   - "vlc-hd" streams over little network but copies frames at high
+//     memory bandwidth: a memory-heavy co-runner violates it, a
+//     network-heavy one is harmless.
+//   - "cdn-edge" serves most of the host's uplink: a network-heavy
+//     co-runner violates it, a memory-heavy one is harmless.
+
+func memBombJob(id string) BatchJob {
+	return BatchJob{ID: id, App: "memorybomb", Footprint: Footprint{CPU: 60, MemoryMB: 3400, IOMBps: 80}}
+}
+
+func netHogJob(id string) BatchJob {
+	return BatchJob{ID: id, App: "nethog", Footprint: Footprint{CPU: 150, MemoryMB: 300, NetMbps: 600}}
+}
+
+func testRanges() map[metrics.Metric]metrics.Range {
+	return map[metrics.Metric]metrics.Range{
+		metrics.MetricCPU:     {Max: 800},
+		metrics.MetricMemory:  {Max: 4096},
+		metrics.MetricIO:      {Max: 200},
+		metrics.MetricNetwork: {Max: 1000},
+	}
+}
+
+// vlcHDTemplate: safe alone, safe next to a network hog, violation next
+// to a memory bomb.
+func vlcHDTemplate() *statespace.Template {
+	return &statespace.Template{
+		Version:       2,
+		SensitiveApp:  "vlc-hd",
+		Dim:           8,
+		SchemaVMs:     []string{"sens", "batch"},
+		SchemaMetrics: metrics.DefaultMetrics(),
+		Ranges:        testRanges(),
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.06, 0, 0, 0, 0}},
+			{X: 0.7, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.06, 0.19, 0.07, 0, 0.6}},
+			{X: 0, Y: 0.9, Label: "violation", Weight: 2,
+				Vector: []float64{0.18, 0.1, 0.2, 0.06, 0.075, 0.83, 0.4, 0}},
+		},
+	}
+}
+
+// cdnEdgeTemplate: the mirror image — safe next to a memory bomb,
+// violation next to a network hog.
+func cdnEdgeTemplate() *statespace.Template {
+	return &statespace.Template{
+		Version:       2,
+		SensitiveApp:  "cdn-edge",
+		Dim:           8,
+		SchemaVMs:     []string{"sens", "batch"},
+		SchemaMetrics: metrics.DefaultMetrics(),
+		Ranges:        testRanges(),
+		States: []statespace.TemplateState{
+			{X: 0, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.6, 0, 0, 0, 0}},
+			{X: 0.7, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.18, 0.1, 0, 0.6, 0.075, 0.83, 0.4, 0}},
+			{X: 0, Y: 0.9, Label: "violation", Weight: 2,
+				Vector: []float64{0.18, 0.1, 0, 0.45, 0.19, 0.07, 0, 0.6}},
+		},
+	}
+}
+
+func testTemplates() map[string]*statespace.Template {
+	return map[string]*statespace.Template{
+		"vlc-hd":   vlcHDTemplate(),
+		"cdn-edge": cdnEdgeTemplate(),
+	}
+}
+
+func vlcHDSensitive(host string) *SensitiveApp {
+	return &SensitiveApp{Name: "vlc-hd", Host: host, Footprint: Footprint{CPU: 145, MemoryMB: 400, NetMbps: 60}}
+}
+
+func cdnEdgeSensitive(host string) *SensitiveApp {
+	return &SensitiveApp{Name: "cdn-edge", Host: host, Footprint: Footprint{CPU: 145, MemoryMB: 400, NetMbps: 600}}
+}
+
+func TestMapScorerDiscriminatesByVulnerability(t *testing.T) {
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostA := Host{ID: "a", CPU: 800, MemoryMB: 8192}
+	hostB := Host{ID: "b", CPU: 800, MemoryMB: 8192}
+
+	score := func(sens *SensitiveApp, h Host, job BatchJob) float64 {
+		s, err := ms.Score(Candidate{Host: h, Sensitive: sens, Job: job})
+		if err != nil {
+			t.Fatalf("score %s next to %s: %v", job.App, sens.Name, err)
+		}
+		return s
+	}
+
+	memOnVLC := score(vlcHDSensitive("a"), hostA, memBombJob("m"))
+	netOnVLC := score(vlcHDSensitive("a"), hostA, netHogJob("n"))
+	memOnCDN := score(cdnEdgeSensitive("b"), hostB, memBombJob("m"))
+	netOnCDN := score(cdnEdgeSensitive("b"), hostB, netHogJob("n"))
+
+	if memOnVLC <= netOnVLC {
+		t.Fatalf("vlc-hd: membomb %v <= nethog %v, want membomb riskier", memOnVLC, netOnVLC)
+	}
+	if memOnVLC < 0.5 {
+		t.Fatalf("membomb next to vlc-hd scored %v, want near violation", memOnVLC)
+	}
+	if netOnCDN <= memOnCDN {
+		t.Fatalf("cdn-edge: nethog %v <= membomb %v, want nethog riskier", netOnCDN, memOnCDN)
+	}
+	if netOnCDN < 0.5 {
+		t.Fatalf("nethog next to cdn-edge scored %v, want near violation", netOnCDN)
+	}
+}
+
+func TestMapScorerNoSensitiveScoresZero(t *testing.T) {
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ms.Score(Candidate{Host: Host{ID: "pool", CPU: 400, MemoryMB: 4096}, Job: memBombJob("m")})
+	if err != nil || s != 0 {
+		t.Fatalf("batch-only host = %v, %v; want 0, nil", s, err)
+	}
+}
+
+func TestMapScorerUnknownAppUnscorable(t *testing.T) {
+	ms, err := NewMapScorer(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ms.Score(Candidate{
+		Host:      Host{ID: "x", CPU: 400, MemoryMB: 4096},
+		Sensitive: &SensitiveApp{Name: "unknown-app", Host: "x"},
+		Job:       memBombJob("m"),
+	})
+	if err == nil {
+		t.Fatal("sensitive without a map scored")
+	}
+	if ms.Covers("unknown-app") {
+		t.Fatal("Covers(unknown-app) = true")
+	}
+	if got := ms.Apps(); len(got) != 2 || got[0] != "cdn-edge" || got[1] != "vlc-hd" {
+		t.Fatalf("Apps = %v", got)
+	}
+}
+
+func TestMapScorerRejectsBadTemplates(t *testing.T) {
+	bad := vlcHDTemplate()
+	bad.SchemaVMs = nil
+	bad.SchemaMetrics = nil
+	if _, err := NewMapScorer(map[string]*statespace.Template{"x": bad}); err == nil {
+		t.Fatal("schema-less template accepted")
+	}
+	if _, err := NewMapScorer(map[string]*statespace.Template{"x": nil}); err == nil {
+		t.Fatal("nil template accepted")
+	}
+}
+
+func TestRandomScorerDeterministicAndOrderFree(t *testing.T) {
+	h := Host{ID: "a", CPU: 400, MemoryMB: 4096}
+	c1 := Candidate{Host: h, Job: BatchJob{ID: "j1"}}
+	c2 := Candidate{Host: h, Job: BatchJob{ID: "j2"}}
+
+	a := NewRandomScorer(7)
+	s11, _ := a.Score(c1)
+	s12, _ := a.Score(c2)
+
+	// Fresh scorer, reversed evaluation order: same per-candidate scores.
+	b := NewRandomScorer(7)
+	s22, _ := b.Score(c2)
+	s21, _ := b.Score(c1)
+	if s11 != s21 || s12 != s22 {
+		t.Fatalf("order-dependent scores: %v/%v vs %v/%v", s11, s12, s21, s22)
+	}
+	if s11 == s12 {
+		t.Fatal("distinct candidates got identical scores")
+	}
+	other := NewRandomScorer(8)
+	o11, _ := other.Score(c1)
+	if o11 == s11 {
+		t.Fatal("different seeds produced identical scores")
+	}
+}
+
+func TestPackScorerTracksLoad(t *testing.T) {
+	ps := NewPackScorer()
+	h := Host{ID: "a", CPU: 400, MemoryMB: 4096}
+	light, _ := ps.Score(Candidate{Host: h, Job: BatchJob{ID: "j", Footprint: Footprint{CPU: 40}}})
+	heavy, _ := ps.Score(Candidate{Host: h, Resident: Footprint{CPU: 200}, Job: BatchJob{ID: "j", Footprint: Footprint{CPU: 150}}})
+	if light >= heavy {
+		t.Fatalf("light %v >= heavy %v", light, heavy)
+	}
+	if light != 0.1 {
+		t.Fatalf("light = %v, want 0.1", light)
+	}
+}
+
+func TestCrossAppScorerHasTheStaticBlindSpot(t *testing.T) {
+	cs := NewCrossAppScorer(DefaultCrossAppProfile())
+	h := Host{ID: "a", CPU: 800, MemoryMB: 8192, NetMbps: 1000}
+	sens := vlcHDSensitive("a")
+	mem, err := cs.Score(Candidate{Host: h, Sensitive: sens, Job: memBombJob("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := cs.Score(Candidate{Host: h, Sensitive: sens, Job: netHogJob("n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU-weighted static profile rates the network hog (CPU 150) as
+	// more dangerous than the memory bomb (CPU 60) — exactly backwards for
+	// a memory-bandwidth-sensitive application. This inversion is the
+	// failure mode the learned map exists to fix, so pin it.
+	if mem >= net {
+		t.Fatalf("static model scored membomb %v >= nethog %v; expected the characteristic inversion", mem, net)
+	}
+	// No sensitive → no predicted interference.
+	if s, _ := cs.Score(Candidate{Host: h, Job: memBombJob("m")}); s != 0 {
+		t.Fatalf("batch-only host scored %v", s)
+	}
+}

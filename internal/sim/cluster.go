@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster is a set of named hosts stepped through the same discrete time —
+// the multi-host substrate the interference-aware scheduler
+// (internal/sched) places batch work onto. Hosts do not share resources;
+// what couples them is the placement layer above: which host each batch
+// job runs on, and migrations between hosts.
+type Cluster struct {
+	hosts map[string]*Simulator
+	order []string // deterministic iteration order (insertion order)
+	tick  int
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{hosts: make(map[string]*Simulator)}
+}
+
+// AddHost creates a host with the given configuration. IDs must be unique
+// and non-empty. Hosts added after stepping begins join at the current
+// tick (their local tick counter still starts at 0).
+func (c *Cluster) AddHost(id string, cfg HostConfig) (*Simulator, error) {
+	if id == "" {
+		return nil, fmt.Errorf("sim: empty host ID")
+	}
+	if _, dup := c.hosts[id]; dup {
+		return nil, fmt.Errorf("sim: duplicate host ID %q", id)
+	}
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.hosts[id] = s
+	c.order = append(c.order, id)
+	return s, nil
+}
+
+// Host returns the simulator for host id.
+func (c *Cluster) Host(id string) (*Simulator, error) {
+	s, ok := c.hosts[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown host %q", id)
+	}
+	return s, nil
+}
+
+// HostIDs returns all host IDs in insertion order.
+func (c *Cluster) HostIDs() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Len returns the number of hosts.
+func (c *Cluster) Len() int { return len(c.hosts) }
+
+// Tick returns the number of completed cluster steps.
+func (c *Cluster) Tick() int { return c.tick }
+
+// Step advances every host by one tick, in insertion order.
+func (c *Cluster) Step() {
+	for _, id := range c.order {
+		c.hosts[id].Step()
+	}
+	c.tick++
+}
+
+// Run advances n cluster steps.
+func (c *Cluster) Run(n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}
+
+// Migrate moves an active container from one host to another, preserving
+// its application progress and usage accounting. The container keeps its
+// ID; it arrives running and unthrottled (a migration is a fresh start on
+// the destination — the destination host's runtime re-learns whether it
+// needs restricting). Migrating to the same host is rejected.
+func (c *Cluster) Migrate(containerID, from, to string) error {
+	if from == to {
+		return fmt.Errorf("sim: migrate %q: source and destination are both %q", containerID, from)
+	}
+	src, err := c.Host(from)
+	if err != nil {
+		return err
+	}
+	dst, err := c.Host(to)
+	if err != nil {
+		return err
+	}
+	if _, dup := dst.containers[containerID]; dup {
+		return fmt.Errorf("sim: host %q already has container %q", to, containerID)
+	}
+	ct, err := src.Detach(containerID)
+	if err != nil {
+		return err
+	}
+	return dst.Attach(containerID, ct)
+}
+
+// Locate returns the host ID currently hosting the container, searching in
+// host insertion order. ok is false when no host has it.
+func (c *Cluster) Locate(containerID string) (hostID string, ok bool) {
+	for _, id := range c.order {
+		if _, err := c.hosts[id].Container(containerID); err == nil {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Utilization returns the capacity-weighted mean CPU utilization across
+// all hosts over all elapsed ticks.
+func (c *Cluster) Utilization() float64 {
+	var granted, capacity float64
+	for _, id := range c.order {
+		h := c.hosts[id]
+		granted += h.totalGrantedCPU
+		capacity += h.capacityTicks
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return granted / capacity
+}
+
+// ActiveIDs returns the IDs of all containers that still have work across
+// the cluster, sorted.
+func (c *Cluster) ActiveIDs() []string {
+	var out []string
+	for _, id := range c.order {
+		out = append(out, c.hosts[id].ActiveIDs()...)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+)
+
+// workApp is a minimal finite batch job for cluster tests.
+type workApp struct {
+	cpu       float64
+	remaining float64
+}
+
+func (w *workApp) Name() string { return "work" }
+func (w *workApp) Demand(tick int) Demand {
+	return Demand{CPU: w.cpu, MemoryMB: 100, ActiveMemMB: 50}
+}
+func (w *workApp) Advance(tick int, g Grant) bool {
+	w.remaining -= g.EffectiveCPU()
+	return w.remaining <= 0
+}
+
+func TestClusterAddStepAndUtilization(t *testing.T) {
+	c := NewCluster()
+	h1, err := c.AddHost("h1", DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("h1", DefaultHostConfig()); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if _, err := c.AddHost("", DefaultHostConfig()); err == nil {
+		t.Fatal("empty host ID accepted")
+	}
+	if _, err := c.AddHost("h2", DefaultHostConfig()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := h1.AddContainer("job", &workApp{cpu: 200, remaining: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10)
+	if c.Tick() != 10 {
+		t.Fatalf("Tick = %d, want 10", c.Tick())
+	}
+	if h1.Tick() != 10 {
+		t.Fatalf("host tick = %d, want 10", h1.Tick())
+	}
+	// One host at 200/400, one idle: cluster-wide utilization 0.25.
+	if u := c.Utilization(); u < 0.2 || u > 0.3 {
+		t.Fatalf("Utilization = %v, want ≈0.25", u)
+	}
+	if got := c.ActiveIDs(); len(got) != 1 || got[0] != "job" {
+		t.Fatalf("ActiveIDs = %v", got)
+	}
+}
+
+func TestClusterMigratePreservesProgress(t *testing.T) {
+	c := NewCluster()
+	h1, _ := c.AddHost("h1", DefaultHostConfig())
+	h2, _ := c.AddHost("h2", DefaultHostConfig())
+
+	app := &workApp{cpu: 100, remaining: 1000}
+	if _, err := h1.AddContainer("job", app); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(4)
+	workBefore := func() float64 {
+		ct, err := h1.Container("job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct.TotalEffectiveCPU()
+	}()
+	if workBefore <= 0 {
+		t.Fatal("no work before migration")
+	}
+
+	if err := c.Migrate("job", "h1", "h2"); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if host, ok := c.Locate("job"); !ok || host != "h2" {
+		t.Fatalf("Locate = %q, %v; want h2, true", host, ok)
+	}
+	if _, err := h1.Container("job"); err == nil {
+		t.Fatal("container still on source host")
+	}
+	c.Run(4)
+	ct, err := h2.Container("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accounting carried over: total work strictly grows past the
+	// pre-migration amount on the same Container.
+	if ct.TotalEffectiveCPU() <= workBefore {
+		t.Fatalf("work did not continue: %v <= %v", ct.TotalEffectiveCPU(), workBefore)
+	}
+	if ct.State() != StateRunning {
+		t.Fatalf("migrated container state = %v", ct.State())
+	}
+}
+
+func TestClusterMigrateFrozenArrivesRunning(t *testing.T) {
+	c := NewCluster()
+	h1, _ := c.AddHost("h1", DefaultHostConfig())
+	if _, err := c.AddHost("h2", DefaultHostConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.AddContainer("job", &workApp{cpu: 100, remaining: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Freeze("job"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.LimitCPU("job", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate("job", "h1", "h2"); err != nil {
+		t.Fatalf("Migrate frozen: %v", err)
+	}
+	h2, _ := c.Host("h2")
+	ct, err := h2.Container("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.State() != StateRunning || ct.CPUQuota() != 1 {
+		t.Fatalf("migrated container = %v quota %v, want running/unthrottled", ct.State(), ct.CPUQuota())
+	}
+}
+
+func TestClusterMigrateErrors(t *testing.T) {
+	c := NewCluster()
+	h1, _ := c.AddHost("h1", DefaultHostConfig())
+	h2, _ := c.AddHost("h2", DefaultHostConfig())
+	if _, err := h1.AddContainer("job", &workApp{cpu: 100, remaining: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate("job", "h1", "h1"); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	if err := c.Migrate("job", "h1", "nope"); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if err := c.Migrate("nope", "h1", "h2"); err == nil {
+		t.Fatal("unknown container accepted")
+	}
+	if _, err := h2.AddContainer("job", &workApp{cpu: 10, remaining: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate("job", "h1", "h2"); err == nil {
+		t.Fatal("migration onto duplicate ID accepted")
+	}
+	// Finished containers are not detachable.
+	done := &workApp{cpu: 10, remaining: 0.1}
+	if _, err := h1.AddContainer("tiny", done); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2)
+	if err := c.Migrate("tiny", "h1", "h2"); err == nil {
+		t.Fatal("finished container migrated")
+	}
+}

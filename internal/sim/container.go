@@ -90,6 +90,11 @@ func (c *Container) ID() string { return c.id }
 // AppName returns the hosted application's name.
 func (c *Container) AppName() string { return c.app.Name() }
 
+// App returns the hosted application instance. Exposed so a detached
+// container's workload (with its accumulated progress) can be re-hosted on
+// another simulator — the substrate of batch-job migration.
+func (c *Container) App() App { return c.app }
+
 // State returns the container state.
 func (c *Container) State() ContainerState { return c.state }
 

@@ -72,6 +72,55 @@ func (s *Simulator) Containers() []*Container {
 	return out
 }
 
+// Detach removes an active container from the host and returns it, with
+// its application and accumulated accounting intact — the source side of a
+// migration. The container stops participating in allocation immediately;
+// its granted-CPU history stays in the host's utilization totals (the work
+// really did run here). Finished or stopped containers cannot be detached.
+func (s *Simulator) Detach(id string) (*Container, error) {
+	c, err := s.Container(id)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Active() {
+		return nil, fmt.Errorf("sim: container %q is %s, not detachable", id, c.state)
+	}
+	delete(s.containers, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	// The detached container leaves in a clean running state: a frozen
+	// source container would otherwise arrive frozen on a host whose
+	// runtime never froze it (and would therefore never thaw it).
+	c.state = StateRunning
+	c.cpuQuota = 1
+	c.lastDemand = Demand{}
+	c.lastGrant = Grant{}
+	return c, nil
+}
+
+// Attach re-hosts a previously detached container under the given ID —
+// the destination side of a migration. The application keeps its progress;
+// the usage totals keep accumulating on the same Container.
+func (s *Simulator) Attach(id string, c *Container) error {
+	if id == "" {
+		return fmt.Errorf("sim: empty container ID")
+	}
+	if c == nil {
+		return fmt.Errorf("sim: nil container")
+	}
+	if _, dup := s.containers[id]; dup {
+		return fmt.Errorf("sim: duplicate container ID %q", id)
+	}
+	c.id = id
+	s.containers[id] = c
+	s.order = append(s.order, id)
+	return nil
+}
+
 // Freeze pauses a running container (cgroup freezer / SIGSTOP semantics).
 // Freezing a non-running container is a no-op, matching the idempotent
 // behaviour of the real mechanisms.

@@ -1,0 +1,164 @@
+package statespace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// queryTemplate builds a small learned map for tests: a sensitive app that
+// is safe alone and safe next to a CPU-heavy co-runner, but violates under
+// a memory-heavy co-runner. Coordinates roughly respect the vector-space
+// distances so out-of-sample placement lands new points sensibly.
+func queryTemplate() *Template {
+	return &Template{
+		Version:       2,
+		SensitiveApp:  "vlc",
+		Dim:           8,
+		SchemaVMs:     []string{"sens", "batch"},
+		SchemaMetrics: metrics.DefaultMetrics(),
+		Ranges: map[metrics.Metric]metrics.Range{
+			metrics.MetricCPU:     {Max: 800},
+			metrics.MetricMemory:  {Max: 8192},
+			metrics.MetricIO:      {Max: 200},
+			metrics.MetricNetwork: {Max: 1000},
+		},
+		States: []TemplateState{
+			// Sensitive alone.
+			{X: 0, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.35, 0.07, 0, 0, 0, 0, 0, 0}},
+			// CPU-bomb co-location: harmless on this host.
+			{X: 0.7, Y: 0, Label: "safe", Weight: 4,
+				Vector: []float64{0.35, 0.07, 0, 0, 0.5, 0.01, 0, 0}},
+			// Memory-bomb co-location: violation.
+			{X: 0, Y: 0.9, Label: "violation", Weight: 2,
+				Vector: []float64{0.35, 0.07, 0.2, 0, 0.08, 0.45, 0.4, 0}},
+		},
+	}
+}
+
+func TestTemplateViolationCount(t *testing.T) {
+	tpl := queryTemplate()
+	if got := tpl.ViolationCount(); got != 1 {
+		t.Fatalf("ViolationCount = %d, want 1", got)
+	}
+	if got := tpl.SafeCount(); got != 2 {
+		t.Fatalf("SafeCount = %d, want 2", got)
+	}
+}
+
+func TestNewQueryMapRejectsBadTemplates(t *testing.T) {
+	if _, err := NewQueryMap(&Template{Version: 1, Dim: 8}); err == nil {
+		t.Fatal("schema-less template accepted")
+	}
+	tpl := queryTemplate()
+	tpl.SchemaVMs = []string{"a", "b", "c"}
+	tpl.Dim = 12
+	for i := range tpl.States {
+		tpl.States[i].Vector = append(tpl.States[i].Vector, 0, 0, 0, 0)
+	}
+	if _, err := NewQueryMap(tpl); err == nil {
+		t.Fatal("three-slot template accepted")
+	}
+	empty := queryTemplate()
+	empty.States = nil
+	if _, err := NewQueryMap(empty); err == nil {
+		t.Fatal("empty template accepted")
+	}
+}
+
+func TestQueryMapScoreDiscriminatesCoLocations(t *testing.T) {
+	q, err := NewQueryMap(queryTemplate())
+	if err != nil {
+		t.Fatalf("NewQueryMap: %v", err)
+	}
+	if !q.HasViolations() {
+		t.Fatal("HasViolations = false")
+	}
+	sens := map[metrics.Metric]float64{metrics.MetricCPU: 280, metrics.MetricMemory: 600}
+
+	cpuBomb := map[metrics.Metric]float64{metrics.MetricCPU: 400, metrics.MetricMemory: 64}
+	memBomb := map[metrics.Metric]float64{
+		metrics.MetricCPU: 60, metrics.MetricMemory: 3600, metrics.MetricIO: 70,
+	}
+	pCPU, err := q.Score(sens, cpuBomb)
+	if err != nil {
+		t.Fatalf("Score(cpu bomb): %v", err)
+	}
+	pMem, err := q.Score(sens, memBomb)
+	if err != nil {
+		t.Fatalf("Score(mem bomb): %v", err)
+	}
+	if pCPU >= pMem {
+		t.Fatalf("cpu-bomb score %.4f not below mem-bomb score %.4f", pCPU, pMem)
+	}
+	if pMem < 0.5 {
+		t.Fatalf("mem-bomb co-location scored %.4f, want near-certain violation", pMem)
+	}
+	if pCPU < 0 || pCPU > 1 || pMem < 0 || pMem > 1 {
+		t.Fatalf("scores out of [0,1]: %v %v", pCPU, pMem)
+	}
+}
+
+func TestQueryMapScoreDeterministic(t *testing.T) {
+	sens := map[metrics.Metric]float64{metrics.MetricCPU: 280, metrics.MetricMemory: 600}
+	batch := map[metrics.Metric]float64{metrics.MetricCPU: 120, metrics.MetricMemory: 2000}
+	var first float64
+	for i := 0; i < 3; i++ {
+		q, err := NewQueryMap(queryTemplate())
+		if err != nil {
+			t.Fatalf("NewQueryMap: %v", err)
+		}
+		p, err := q.Score(sens, batch)
+		if err != nil {
+			t.Fatalf("Score: %v", err)
+		}
+		if i == 0 {
+			first = p
+		} else if p != first {
+			t.Fatalf("run %d scored %v, first run %v", i, p, first)
+		}
+	}
+}
+
+func TestQueryMapNoViolationsScoresZero(t *testing.T) {
+	tpl := queryTemplate()
+	tpl.States = tpl.States[:2] // drop the violation state
+	q, err := NewQueryMap(tpl)
+	if err != nil {
+		t.Fatalf("NewQueryMap: %v", err)
+	}
+	p, err := q.Score(
+		map[metrics.Metric]float64{metrics.MetricCPU: 280},
+		map[metrics.Metric]float64{metrics.MetricMemory: 4000})
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	if p != 0 {
+		t.Fatalf("violation-free map scored %v, want 0", p)
+	}
+}
+
+func TestQueryMapProjectInsideViolationIsOne(t *testing.T) {
+	q, err := NewQueryMap(queryTemplate())
+	if err != nil {
+		t.Fatalf("NewQueryMap: %v", err)
+	}
+	// The violation state's own vector must project onto (or next to) the
+	// violation state and score 1.
+	vec := []float64{0.35, 0.07, 0.2, 0, 0.08, 0.45, 0.4, 0}
+	coord, err := q.Project(vec)
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p := q.ViolationProximity(coord); p != 1 {
+		t.Fatalf("violation vector proximity %v, want 1", p)
+	}
+	if _, err := q.Project([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-dimension vector accepted")
+	}
+	if math.IsNaN(coord.X) || math.IsNaN(coord.Y) {
+		t.Fatalf("non-finite projection %v", coord)
+	}
+}
