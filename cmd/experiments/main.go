@@ -12,8 +12,10 @@
 //	-chaos         run the fault-injection suite (non-zero exit on failure)
 //	-multitenant   run the two-sensitive conflicting-lane scenario
 //	-sched         run the cluster-placement-vs-baselines ablation
+//	-fleet         run the streaming fleet-convergence simulation
 //	-all           regenerate everything including the summary, ablations,
-//	               multi-tenant scenario, placement ablation and chaos suite
+//	               multi-tenant scenario, placement ablation, fleet
+//	               convergence and chaos suite
 //	-o DIR         additionally write each figure to DIR/<id>.txt
 package main
 
@@ -44,6 +46,7 @@ func run() error {
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite")
 	multiTenant := flag.Bool("multitenant", false, "run the two-sensitive conflicting-lane scenario")
 	schedAblation := flag.Bool("sched", false, "run the cluster-placement-vs-baselines ablation")
+	fleetConv := flag.Bool("fleet", false, "run the streaming fleet-convergence simulation (non-zero exit when convergence misses the 99% floor)")
 	all := flag.Bool("all", false, "regenerate every figure and the summary")
 	outDir := flag.String("o", "", "directory to write per-figure text files into")
 	flag.Parse()
@@ -83,11 +86,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary || *ablations || *chaosSuite || *multiTenant || *schedAblation:
+	case *summary || *ablations || *chaosSuite || *multiTenant || *schedAblation || *fleetConv:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -multitenant, -sched or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -multitenant, -sched, -fleet or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -147,6 +150,28 @@ func run() error {
 		}
 		if err := emit(f); err != nil {
 			return err
+		}
+	}
+	if *fleetConv || *all {
+		f, report, err := experiments.FleetConvergence(*seed)
+		if err != nil {
+			return fmt.Errorf("fleet convergence: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+		// The CI gate: every simulated fleet size must reach the paper-
+		// scale convergence floor, and delta sync must beat whole-template
+		// polling on bytes.
+		for _, r := range report.Rows {
+			if r.WithinPeriodFrac < 0.99 {
+				return fmt.Errorf("fleet convergence: %d hosts: only %.2f%% of streaming subscribers converged within one period (floor 99%%)",
+					r.Hosts, 100*r.WithinPeriodFrac)
+			}
+			if r.DeltaBytes >= r.FullBytes {
+				return fmt.Errorf("fleet convergence: %d hosts: delta sync shipped %d bytes, whole-template polling %d — delta must win",
+					r.Hosts, r.DeltaBytes, r.FullBytes)
+			}
 		}
 	}
 	if *chaosSuite || *all {

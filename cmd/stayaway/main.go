@@ -6,7 +6,8 @@
 //
 //	stayaway [-sensitive APP] [-batch LIST] [-ticks N] [-seed N]
 //	         [-observe] [-no-stayaway] [-template-in FILE]
-//	         [-template-out FILE] [-registry URL] [-app NAME] [-v]
+//	         [-template-out FILE] [-registry URL] [-app NAME]
+//	         [-fleet-key KEY | -fleet-key-file FILE] [-v]
 //
 //	-sensitive   vlc | web-cpu | web-mem | web-mix        (default vlc)
 //	-batch       comma list of cpubomb, memorybomb, twitter, soplex,
@@ -18,6 +19,8 @@
 //	-registry    fleet registry URL: pull the consensus template for
 //	             -app before the run, push the learned map after it
 //	-app         fleet-wide application name              (default: -sensitive)
+//	-fleet-key   shared fleet key for a signed registry (-fleet-key-file
+//	             reads it from a file and wins over the literal)
 //	-v           print every period's event
 package main
 
@@ -121,6 +124,8 @@ func run() error {
 	csvOut := flag.String("csv", "", "write per-tick run records as CSV here")
 	registryURL := flag.String("registry", "", "fleet registry base URL (empty = standalone)")
 	appName := flag.String("app", "", "fleet-wide application name (default: -sensitive)")
+	fleetKey := flag.String("fleet-key", "", "shared fleet key; when set, registry requests are HMAC-signed")
+	fleetKeyFile := flag.String("fleet-key-file", "", "file holding the shared fleet key (preferred over -fleet-key: argv leaks via ps)")
 	verbose := flag.Bool("v", false, "print every period event")
 	flag.Parse()
 	if *appName == "" {
@@ -166,7 +171,11 @@ func run() error {
 	// a cold or unreachable registry falls back to learning from scratch.
 	var syncer *fleet.Syncer
 	if *registryURL != "" {
-		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL})
+		key, err := fleet.ResolveKey(*fleetKey, *fleetKeyFile)
+		if err != nil {
+			return err
+		}
+		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL, Key: key})
 		if err != nil {
 			return err
 		}

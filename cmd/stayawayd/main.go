@@ -44,7 +44,15 @@
 // another host has already mapped the application), pushes its own map
 // every -sync-every periods plus once on shutdown, and heartbeats its
 // status. Registry outages never interrupt control — the daemon degrades
-// to its local maps and resyncs when the registry returns.
+// to its local maps and resyncs when the registry returns. Adding -stream
+// subscribes each lane to the registry's push stream: violations learned
+// on other hosts arrive as template deltas and are merged into the live
+// map at the next period boundary, with automatic fallback to conditional
+// delta polling whenever the stream is down. -fleet-key/-fleet-key-file
+// HMAC-sign every registry request when the registry requires it, and
+// -metrics-file periodically writes the host's sync and stream counters
+// in Prometheus text format (atomically, for a node-exporter textfile
+// collector to pick up).
 //
 // With -state-dir the daemon becomes crash-safe: every restrictive
 // actuation is recorded in an on-disk ledger BEFORE it is applied, each
@@ -256,9 +264,12 @@ type laneSpec struct {
 	lane    *core.Lane
 	ckPath  string // per-lane checkpoint file ("" = no crash safety)
 	syncer  *fleet.Syncer
-	seq     uint64 // EventsSince cursor for the report drain
+	stream  *fleet.StreamSyncer // non-nil in -stream mode
+	seq     uint64              // EventsSince cursor for the report drain
 	periods int
 	viols   int
+	merges  int // fleet deltas folded into the live map
+	merged  core.MergeStats
 }
 
 // templateOutPath derives the per-lane export path: a single lane writes
@@ -294,6 +305,10 @@ func run() error {
 	flag.Var(&apps, "app", "fleet-wide application name for template sharing (repeatable, aligned with -sensitive-cgroup)")
 	hostID := flag.String("host-id", "", "host identity reported to the registry (default: hostname)")
 	syncEvery := flag.Int("sync-every", 30, "periods between registry pushes")
+	streamMode := flag.Bool("stream", false, "subscribe to the registry's push stream: fleet violations merge into the live map within one period (requires -registry)")
+	fleetKey := flag.String("fleet-key", "", "shared fleet key; when set, registry requests are HMAC-signed")
+	fleetKeyFile := flag.String("fleet-key-file", "", "file holding the shared fleet key (preferred over -fleet-key: argv leaks via ps)")
+	metricsFile := flag.String("metrics-file", "", "write fleet sync metrics (Prometheus text) here every -sync-every periods, atomically (requires -registry)")
 	verbose := flag.Bool("v", false, "print every period event")
 	flag.Parse()
 
@@ -322,6 +337,16 @@ func run() error {
 	}
 	if *recoverOnly && *stateDir == "" {
 		return fmt.Errorf("-recover-only requires -state-dir (the ledger to replay)")
+	}
+	if *streamMode && *registryURL == "" {
+		return fmt.Errorf("-stream requires -registry (the push stream is the registry's)")
+	}
+	if *metricsFile != "" && *registryURL == "" {
+		return fmt.Errorf("-metrics-file requires -registry (it reports fleet sync state)")
+	}
+	fleetKeyBytes, err := fleet.ResolveKey(*fleetKey, *fleetKeyFile)
+	if err != nil {
+		return err
 	}
 
 	// Resolve the lane list: group names, application names and QoS
@@ -575,8 +600,9 @@ func run() error {
 	// the first period; a cold or unreachable registry never blocks
 	// startup.
 	var hostSync *fleet.HostSyncer
+	var streamCancel context.CancelFunc
 	if *registryURL != "" {
-		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL})
+		client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL, Key: fleetKeyBytes})
 		if err != nil {
 			return err
 		}
@@ -613,6 +639,33 @@ func run() error {
 				}
 			}
 		}
+		// Streaming mode: each lane follows the registry's push stream so a
+		// violation learned on another host reaches this one within a
+		// control period — instead of at -sync-every cadence. The stream
+		// goroutines only STASH deltas; the loop below takes and merges them
+		// at period boundaries, so the live map is never touched mid-period.
+		if *streamMode {
+			var streamCtx context.Context
+			streamCtx, streamCancel = context.WithCancel(context.Background())
+			defer streamCancel()
+			for _, spec := range lanes {
+				ss, err := hostSync.StartStream(streamCtx, spec.app, fleet.StreamSyncerConfig{
+					Logf: func(format string, args ...any) {
+						if *verbose {
+							fmt.Fprintf(os.Stderr, "stayawayd: "+format+"\n", args...)
+						}
+					},
+				})
+				if err != nil {
+					return err
+				}
+				// The bootstrap pull (if any) already applied this revision;
+				// the stream must not re-deliver it.
+				ss.MarkApplied(spec.syncer.LastRevision())
+				spec.stream = ss
+			}
+			fmt.Printf("stayawayd: streaming fleet updates for %d lane(s)\n", len(lanes))
+		}
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -639,6 +692,47 @@ func run() error {
 			if degraded, _ := spec.syncer.Degraded(); !degraded && *verbose {
 				fmt.Printf("stayawayd: %s: registry sync ok, revision %d\n", spec.app, spec.syncer.LastRevision())
 			}
+		}
+	}
+
+	// The adopt step runs at the top of each tick — between periods — and
+	// folds any delta the stream goroutines have stashed into the lane's
+	// live map. A rejected merge (schema drift, corrupt patch) is logged
+	// and skipped: the revision cursor stays put, so the next poll
+	// re-fetches an authoritative delta rather than silently losing fleet
+	// state.
+	adopt := func() {
+		for _, spec := range lanes {
+			if spec.stream == nil {
+				continue
+			}
+			d := spec.stream.TakeUpdate()
+			if d == nil {
+				continue
+			}
+			stats, err := spec.lane.MergeTemplate(d.Patch)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: %s: fleet delta rejected: %v\n", spec.app, err)
+				continue
+			}
+			spec.stream.MarkApplied(d.ToRevision)
+			spec.merges++
+			spec.merged.Added += stats.Added
+			spec.merged.Upgraded += stats.Upgraded
+			spec.merged.Matched += stats.Matched
+			if *verbose || stats.Upgraded > 0 || stats.Added > 0 {
+				fmt.Printf("stayawayd: %s: merged fleet revision %d (+%d states, %d upgraded, %d matched)\n",
+					spec.app, d.ToRevision, stats.Added, stats.Upgraded, stats.Matched)
+			}
+		}
+	}
+
+	writeMetrics := func() {
+		if *metricsFile == "" || hostSync == nil {
+			return
+		}
+		if err := fsatomic.WriteFileFunc(*metricsFile, 0o644, hostSync.WriteMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "stayawayd: metrics-file: %v\n", err)
 		}
 	}
 
@@ -720,6 +814,7 @@ func run() error {
 			case <-stop:
 				break loop
 			case <-ticker.C:
+				adopt()
 				evs, err := host.Period()
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "stayawayd: period:", err)
@@ -734,6 +829,7 @@ func run() error {
 					for i, spec := range lanes {
 						sync(spec, evs[i].Throttled)
 					}
+					writeMetrics()
 				}
 				if periods%*checkpointEvery == 0 {
 					checkpoint()
@@ -759,6 +855,10 @@ func run() error {
 	if err := release(); err != nil {
 		fmt.Fprintln(os.Stderr, "stayawayd: final release:", err)
 	}
+	if streamCancel != nil {
+		streamCancel()
+		hostSync.Wait()
+	}
 	if loopErr != nil {
 		// No final checkpoint after a panic: mid-period invariants cannot
 		// be trusted, and a corrupt checkpoint is worse than a stale one.
@@ -773,7 +873,15 @@ func run() error {
 			fmt.Printf("--- %s ---\n", spec.app)
 		}
 		fmt.Println(spec.lane.Report())
+		if spec.stream != nil {
+			st := spec.stream.Stats()
+			fmt.Printf("fleet stream: %d merges (%d states adopted, %d upgraded, %d matched), "+
+				"%d events, %d reconnects, %d fallback polls\n",
+				spec.merges, spec.merged.Added, spec.merged.Upgraded, spec.merged.Matched,
+				st.Events, st.Reconnects, st.Polls)
+		}
 	}
+	writeMetrics()
 	if hostSync != nil {
 		for app, err := range hostSync.Degraded() {
 			fmt.Fprintf(os.Stderr, "stayawayd: %s: exiting out of sync with the registry: %v\n", app, err)

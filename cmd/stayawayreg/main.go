@@ -7,12 +7,18 @@
 //
 // Usage:
 //
-//	stayawayreg -addr :8723 [-data-dir /var/lib/stayaway] [-merge-eps 0.05] [-v]
+//	stayawayreg -addr :8723 [-data-dir /var/lib/stayaway] [-merge-eps 0.05]
+//	            [-shards 4] [-fleet-key-file secret] [-v]
 //
 // With -data-dir the store persists across restarts (one JSON file per
 // (application, schema) key, written atomically); without it the registry
-// is in-memory. The server runs until SIGINT/SIGTERM and drains in-flight
-// requests on shutdown.
+// is in-memory. -shards splits the store by sensitive-app key (the count
+// is pinned in the data dir on first start). Every accepted merge is
+// published on the SSE stream at /v1/events so subscribed hosts learn
+// about fleet violations within one control period; /metrics serves
+// Prometheus text metrics. With a fleet key configured, all template and
+// status routes require HMAC-signed requests. The server runs until
+// SIGINT/SIGTERM and drains in-flight requests on shutdown.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/registry"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -41,10 +48,29 @@ func run() error {
 	addr := flag.String("addr", ":8723", "listen address")
 	dataDir := flag.String("data-dir", "", "persist templates here (empty = in-memory)")
 	mergeEps := flag.Float64("merge-eps", registry.DefaultMergeEpsilon, "state-dedup radius when merging host maps")
+	shards := flag.Int("shards", 1, "split the store into N shards by sensitive-app key")
+	fleetKey := flag.String("fleet-key", "", "shared fleet key; when set, requests must be HMAC-signed")
+	fleetKeyFile := flag.String("fleet-key-file", "", "file holding the shared fleet key (preferred over -fleet-key: argv leaks via ps)")
+	heartbeat := flag.Duration("stream-heartbeat", 15*time.Second, "idle event-stream heartbeat cadence")
 	verbose := flag.Bool("v", false, "log every request outcome")
 	flag.Parse()
 
-	reg, err := registry.Open(registry.Config{Dir: *dataDir, MergeEpsilon: *mergeEps})
+	key, err := fleet.ResolveKey(*fleetKey, *fleetKeyFile)
+	if err != nil {
+		return err
+	}
+
+	// The hub epoch must differ across restarts so clients resuming with a
+	// stale Last-Event-ID get a reset instead of a silent gap.
+	hub := stream.NewHub(stream.HubConfig{Epoch: time.Now().UnixNano()})
+	defer hub.Close()
+	metrics := stream.NewMetricSet()
+
+	reg, err := registry.OpenSharded(registry.Config{
+		Dir:          *dataDir,
+		MergeEpsilon: *mergeEps,
+		OnPut:        fleet.PublishHook(hub),
+	}, *shards)
 	if err != nil {
 		return err
 	}
@@ -54,7 +80,14 @@ func run() error {
 			fmt.Printf("stayawayreg: "+format+"\n", args...)
 		}
 	}
-	srv, err := fleet.NewServer(fleet.ServerConfig{Registry: reg, Logf: logf})
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Registry:        reg,
+		Logf:            logf,
+		Hub:             hub,
+		Metrics:         metrics,
+		Key:             key,
+		StreamHeartbeat: *heartbeat,
+	})
 	if err != nil {
 		return err
 	}
@@ -66,7 +99,12 @@ func run() error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("stayawayreg: listening on %s (%d templates loaded)\n", *addr, reg.Len())
+	secured := "open"
+	if len(key) > 0 {
+		secured = "signed requests required"
+	}
+	fmt.Printf("stayawayreg: listening on %s (%d templates loaded, %d shards, %s)\n",
+		*addr, reg.Len(), reg.Shards(), secured)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

@@ -11,7 +11,7 @@
 //
 //	stayawaysched -cluster spec.json -registry http://registry:8723
 //	              [-scorer map] [-seed 42] [-migrate-threshold 0]
-//	              [-timeout 30s] [-o plan.json]
+//	              [-timeout 30s] [-o plan.json] [-watch 30s]
 //
 //	-cluster FILE        cluster spec (JSON, "-" for stdin); required
 //	-registry URL        stayawayreg base URL (required for -scorer map)
@@ -21,6 +21,21 @@
 //	                     predicted violation risk exceeds T (0 disables)
 //	-timeout D           registry request budget
 //	-o FILE              write the plan there instead of stdout
+//	-watch D             keep running: follow the registry's delta feed at
+//	                     this cadence and rewrite -o whenever fleet maps
+//	                     change (requires -scorer map and -o)
+//	-fleet-key K         shared fleet key; signs registry requests
+//	-fleet-key-file F    file holding the fleet key (preferred: argv leaks
+//	                     via ps)
+//	-merge-eps E         dedup radius for applying watched deltas (match
+//	                     the registry's -merge-eps)
+//
+// In watch mode the scheduler is a delta-sync client: it remembers each
+// application's registry revision, polls the conditional delta endpoint
+// (an unchanged map costs one 304, not a template download), patches its
+// cached templates with the returned deltas, and re-plans only when
+// something actually changed. Every few cycles it re-lists the full feed
+// so applications that joined the fleet after startup are picked up too.
 //
 // The cluster spec describes inventory, pinned sensitives, and the jobs to
 // place, in the internal/sched JSON vocabulary:
@@ -41,14 +56,19 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/fsatomic"
+	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/statespace"
 )
@@ -74,6 +94,9 @@ type plan struct {
 	// Apps lists the applications the scorer holds learned maps for
 	// (map scorer only).
 	Apps []string `json:"apps,omitempty"`
+	// Revisions records the registry revision of each map the plan was
+	// computed from, so a plan file can be audited against the registry.
+	Revisions map[string]int `json:"revisions,omitempty"`
 	// Decisions are the per-job placements in spec order, each with the
 	// full host ranking.
 	Decisions []sched.Decision `json:"decisions"`
@@ -83,6 +106,11 @@ type plan struct {
 	// populated when -migrate-threshold is set.
 	Migrations []sched.Migration `json:"migrations,omitempty"`
 }
+
+// fullRefreshEvery is how many watch cycles pass between full feed
+// re-lists; the cycles in between cost one conditional delta GET per
+// known application.
+const fullRefreshEvery = 10
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("stayawaysched", flag.ContinueOnError)
@@ -94,6 +122,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	migrateThreshold := fs.Float64("migrate-threshold", 0, "propose migrations above this host risk (0 disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "registry request budget")
 	outPath := fs.String("o", "", "write the plan here instead of stdout")
+	watch := fs.Duration("watch", 0, "keep running: follow the delta feed at this cadence and re-plan on change (requires -scorer map and -o)")
+	fleetKey := fs.String("fleet-key", "", "shared fleet key; when set, registry requests are HMAC-signed")
+	fleetKeyFile := fs.String("fleet-key-file", "", "file holding the shared fleet key (preferred over -fleet-key: argv leaks via ps)")
+	mergeEps := fs.Float64("merge-eps", registry.DefaultMergeEpsilon, "state-dedup radius when applying watched deltas (match the registry's -merge-eps)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,25 +133,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-cluster is required")
 	}
+	if *watch > 0 && (*scorerName != "map" || *outPath == "") {
+		return fmt.Errorf("-watch requires -scorer map and -o (the plan file to keep fresh)")
+	}
+	key, err := fleet.ResolveKey(*fleetKey, *fleetKeyFile)
+	if err != nil {
+		return err
+	}
 
 	spec, err := readSpec(*clusterPath)
 	if err != nil {
 		return err
 	}
 
-	p := plan{Scorer: *scorerName, Assignments: map[string]string{}}
-	var scorer sched.Scorer
+	var (
+		scorer    sched.Scorer
+		apps      []string
+		revisions map[string]int
+		client    *fleet.Client
+		templates map[string]*statespace.Template
+	)
 	switch *scorerName {
 	case "map":
 		if *registryURL == "" {
 			return fmt.Errorf("-scorer map needs -registry")
 		}
-		ms, err := fetchMapScorer(*registryURL, *timeout, stderr)
+		if client, err = fleet.NewClient(fleet.ClientConfig{BaseURL: *registryURL, Key: key}); err != nil {
+			return err
+		}
+		if templates, revisions, err = fetchTemplates(client, *timeout); err != nil {
+			return err
+		}
+		ms, err := buildScorer(templates, *registryURL, stderr)
 		if err != nil {
 			return err
 		}
-		p.Apps = ms.Apps()
-		scorer = ms
+		scorer, apps = ms, ms.Apps()
 	case "crossapp":
 		scorer = sched.NewCrossAppScorer(sched.DefaultCrossAppProfile())
 	case "pack":
@@ -130,48 +179,157 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown scorer %q (want map, crossapp, pack or random)", *scorerName)
 	}
 
-	cluster, err := sched.NewCluster(spec.Hosts)
+	p, err := makePlan(spec, *scorerName, scorer, apps, revisions, *migrateThreshold)
 	if err != nil {
 		return err
 	}
+	if err := writePlan(p, *outPath, stdout); err != nil {
+		return err
+	}
+	if *watch <= 0 {
+		return nil
+	}
+
+	// Watch mode: the scheduler stays resident as a delta-sync client and
+	// keeps the plan file fresh. Each cycle costs one conditional GET per
+	// application (304 while nothing changed); only a real delta triggers
+	// the re-plan.
+	fmt.Fprintf(stderr, "stayawaysched: watching %d application map(s) every %v\n", len(revisions), *watch)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	for cycle := 1; ; cycle++ {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+		changed := false
+		if cycle%fullRefreshEvery == 0 {
+			// Deltas only cover applications we already know; the periodic
+			// re-list picks up maps that joined the fleet after startup.
+			fresh, freshRevs, err := fetchTemplates(client, *timeout)
+			if err != nil {
+				fmt.Fprintf(stderr, "stayawaysched: feed refresh failed, keeping cached maps: %v\n", err)
+				continue
+			}
+			for app, rev := range freshRevs {
+				if revisions[app] != rev {
+					changed = true
+				}
+			}
+			if changed || len(freshRevs) != len(revisions) {
+				templates, revisions = fresh, freshRevs
+				changed = true
+			}
+		} else {
+			for _, app := range sortedApps(revisions) {
+				d, err := pollDelta(client, *timeout, app, revisions[app])
+				if err != nil {
+					if !errors.Is(err, fleet.ErrNotFound) {
+						fmt.Fprintf(stderr, "stayawaysched: %s: delta poll failed, keeping cached map: %v\n", app, err)
+					}
+					continue
+				}
+				if d == nil || d.ToRevision <= revisions[app] {
+					continue
+				}
+				updated, err := statespace.ApplyDelta(templates[app], d, *mergeEps)
+				if err != nil {
+					fmt.Fprintf(stderr, "stayawaysched: %s: delta rejected, keeping cached map: %v\n", app, err)
+					continue
+				}
+				templates[app] = updated
+				revisions[app] = d.ToRevision
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		ms, err := buildScorer(templates, *registryURL, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "stayawaysched: no usable maps after update, keeping last plan: %v\n", err)
+			continue
+		}
+		p, err := makePlan(spec, *scorerName, ms, ms.Apps(), revisions, *migrateThreshold)
+		if err != nil {
+			fmt.Fprintf(stderr, "stayawaysched: re-plan failed, keeping last plan: %v\n", err)
+			continue
+		}
+		if err := writePlan(p, *outPath, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "stayawaysched: fleet maps changed, re-planned %d job(s) → %s\n", len(p.Decisions), *outPath)
+	}
+}
+
+// pollDelta runs one bounded conditional delta GET; nil delta means the
+// cached map is already current.
+func pollDelta(client *fleet.Client, timeout time.Duration, app string, since int) (*statespace.TemplateDelta, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	d, _, err := client.PullDelta(ctx, app, "", since)
+	return d, err
+}
+
+func sortedApps(revs map[string]int) []string {
+	apps := make([]string, 0, len(revs))
+	for app := range revs {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	return apps
+}
+
+// makePlan scores and places the spec's jobs from scratch — cluster state
+// is rebuilt per plan because placement mutates it.
+func makePlan(spec *clusterSpec, scorerName string, scorer sched.Scorer, apps []string, revisions map[string]int, migrateThreshold float64) (*plan, error) {
+	p := &plan{Scorer: scorerName, Apps: apps, Revisions: revisions, Assignments: map[string]string{}}
+	cluster, err := sched.NewCluster(spec.Hosts)
+	if err != nil {
+		return nil, err
+	}
 	for _, s := range spec.Sensitives {
 		if err := cluster.PinSensitive(s); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	placer, err := sched.NewPlacer(sched.PlacerConfig{
 		Scorer:           scorer,
-		MigrateThreshold: *migrateThreshold,
+		MigrateThreshold: migrateThreshold,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-
-	p.Decisions, err = placer.PlaceAll(cluster, spec.Jobs)
-	if err != nil {
-		return err
+	if p.Decisions, err = placer.PlaceAll(cluster, spec.Jobs); err != nil {
+		return nil, err
 	}
 	for _, d := range p.Decisions {
 		p.Assignments[d.Job] = d.Host
 	}
-	if *migrateThreshold > 0 {
+	if migrateThreshold > 0 {
 		moves, err := placer.Rebalance(cluster)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		p.Migrations = moves
 		for _, m := range moves {
 			p.Assignments[m.Job] = m.To
 		}
 	}
+	return p, nil
+}
 
+func writePlan(p *plan, outPath string, stdout io.Writer) error {
 	body, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return err
 	}
 	body = append(body, '\n')
-	if *outPath != "" {
-		return fsatomic.WriteFile(*outPath, body, 0o644)
+	if outPath != "" {
+		return fsatomic.WriteFile(outPath, body, 0o644)
 	}
 	_, err = stdout.Write(body)
 	return err
@@ -204,23 +362,19 @@ func readSpec(path string) (*clusterSpec, error) {
 	return &spec, nil
 }
 
-// fetchMapScorer pulls the full template feed and keeps, per application,
-// the first entry whose template supports prospective queries (two-slot
-// schema with learned states). Apps with only unusable templates are
-// skipped with a warning rather than failing the plan — the scorer then
-// simply reports hosts running those apps as unscorable.
-func fetchMapScorer(baseURL string, timeout time.Duration, stderr io.Writer) (*sched.MapScorer, error) {
-	client, err := fleet.NewClient(fleet.ClientConfig{BaseURL: baseURL})
-	if err != nil {
-		return nil, err
-	}
+// fetchTemplates pulls the full template feed, caching per application the
+// first entry's template and registry revision. Unusable templates are
+// kept too — a map too sparse to query today may become queryable after a
+// few watched deltas.
+func fetchTemplates(client *fleet.Client, timeout time.Duration) (map[string]*statespace.Template, map[string]int, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	entries, err := client.ListTemplates(ctx, "", false)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	templates := make(map[string]*statespace.Template)
+	revisions := make(map[string]int)
 	for _, e := range entries {
 		if e.Template == nil {
 			continue
@@ -228,14 +382,28 @@ func fetchMapScorer(baseURL string, timeout time.Duration, stderr io.Writer) (*s
 		if _, ok := templates[e.App]; ok {
 			continue
 		}
-		if _, err := statespace.NewQueryMap(e.Template); err != nil {
-			fmt.Fprintf(stderr, "stayawaysched: skipping template %s@%s: %v\n", e.App, e.Schema, err)
+		templates[e.App] = e.Template
+		revisions[e.App] = e.Revision
+	}
+	return templates, revisions, nil
+}
+
+// buildScorer keeps the templates that support prospective queries
+// (two-slot schema with learned states) and builds the map scorer over
+// them. Apps with only unusable templates are skipped with a warning
+// rather than failing the plan — the scorer then simply reports hosts
+// running those apps as unscorable.
+func buildScorer(templates map[string]*statespace.Template, baseURL string, stderr io.Writer) (*sched.MapScorer, error) {
+	usable := make(map[string]*statespace.Template, len(templates))
+	for app, t := range templates {
+		if _, err := statespace.NewQueryMap(t); err != nil {
+			fmt.Fprintf(stderr, "stayawaysched: skipping template %s@%s: %v\n", app, t.SchemaKey(), err)
 			continue
 		}
-		templates[e.App] = e.Template
+		usable[app] = t
 	}
-	if len(templates) == 0 {
+	if len(usable) == 0 {
 		return nil, fmt.Errorf("registry %s holds no usable templates (learned maps with the two-slot schema)", baseURL)
 	}
-	return sched.NewMapScorer(templates)
+	return sched.NewMapScorer(usable)
 }

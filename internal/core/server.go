@@ -73,6 +73,11 @@ type Server struct {
 	failSafeErr error
 	checkpoints int
 	ckErr       error
+	offered     []*statespace.Template
+	merges      int
+	mergeFails  int
+	mergeErr    error
+	mergeStats  MergeStats
 }
 
 // NewServer wraps a runtime. The runtime must not be driven by anyone else
@@ -127,6 +132,55 @@ func (s *Server) Bootstrap(t *statespace.Template) error {
 	return s.rt.ImportTemplate(t)
 }
 
+// OfferTemplate queues a fleet template (or delta patch) for adoption at
+// the next period boundary — the thread-safe entry point for a streaming
+// syncer goroutine. The runtime itself is only ever touched from the loop
+// goroutine; offers made after the loop exits are dropped. Merge outcomes
+// surface through MergeStatus.
+func (s *Server) OfferTemplate(t *statespace.Template) error {
+	if t == nil {
+		return fmt.Errorf("core: nil template offered")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offered = append(s.offered, t)
+	return nil
+}
+
+// applyOffered drains queued fleet templates into the runtime, from the
+// loop goroutine, between periods. Merge failures are recorded and do not
+// stop the loop: a bad fleet patch must not cost the host its protection.
+func (s *Server) applyOffered() {
+	s.mu.Lock()
+	offered := s.offered
+	s.offered = nil
+	s.mu.Unlock()
+	for _, t := range offered {
+		stats, err := s.rt.MergeTemplate(t)
+		s.mu.Lock()
+		if err != nil {
+			s.mergeFails++
+			s.mergeErr = err
+		} else {
+			s.merges++
+			s.mergeErr = nil
+			s.mergeStats.Added += stats.Added
+			s.mergeStats.Upgraded += stats.Upgraded
+			s.mergeStats.Matched += stats.Matched
+		}
+		s.mu.Unlock()
+	}
+}
+
+// MergeStatus reports streamed-template adoption: successful and failed
+// merges, cumulative merge stats, and the most recent failure (nil after
+// a success).
+func (s *Server) MergeStatus() (merges, failures int, stats MergeStats, lastErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.merges, s.mergeFails, s.mergeStats, s.mergeErr
+}
+
 func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 	// The exit path runs strictly before Wait unblocks, in this order:
 	// absorb a runtime panic (recording it as the last error), run the
@@ -162,6 +216,7 @@ func (s *Server) loop(ctx context.Context, ticks <-chan time.Time) {
 			if !ok {
 				return
 			}
+			s.applyOffered()
 			ev, err := s.rt.Period()
 			if s.Watchdog != nil {
 				s.Watchdog.Beat()

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFleetConvergenceMeetsAcceptance pins the PR's acceptance criteria
+// at the 1k-host scale: a violation learned on one host is visible on at
+// least 99% of streaming subscribers within one control period, and delta
+// sync moves strictly fewer bytes than whole-template polling would.
+func TestFleetConvergenceMeetsAcceptance(t *testing.T) {
+	row, err := runFleet(42, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Followers == 0 {
+		t.Fatal("simulation produced no followers of the violated app")
+	}
+	if row.WithinPeriodFrac < 0.99 {
+		t.Errorf("within-period convergence = %.4f, want >= 0.99 (%d of %d followers)",
+			row.WithinPeriodFrac, row.WithinPeriod, row.Followers)
+	}
+	if row.DeltaBytes >= row.FullBytes {
+		t.Errorf("delta sync shipped %d bytes, whole-template polling %d — delta must be strictly cheaper",
+			row.DeltaBytes, row.FullBytes)
+	}
+	// The overflow path must actually be exercised: stalled subscribers
+	// get dropped and recover by polling, one period late.
+	if row.Dropped == 0 {
+		t.Error("no subscriber was ever dropped: the bounded-queue path went untested")
+	}
+	if row.DeltaPolls == 0 {
+		t.Error("no fallback delta polls: the recovery path went untested")
+	}
+}
+
+// TestFleetConvergenceDeterministic guards the CI gate's reproducibility:
+// the same seed must yield the identical row, byte counts included.
+func TestFleetConvergenceDeterministic(t *testing.T) {
+	a, err := runFleet(7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runFleet(7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Shared-key request signing. A registry reachable by every host in the
+// fleet is also reachable by everything else on the network; an HMAC over
+// each request keeps a stray or malicious client from poisoning the
+// consensus maps the whole fleet controls from. The key is symmetric and
+// deployment-provided (-fleet-key on both ends); there is no identity or
+// key rotation here, just "only things holding the fleet key may write or
+// read templates".
+
+// signatureHeader carries the request MAC.
+const signatureHeader = "X-Stayaway-Signature"
+
+// ResolveKey turns the CLI's two key flags into key bytes: the literal
+// value, or the trimmed contents of a key file (which wins when both are
+// given — a file does not leak through process listings). Both empty
+// means "unsecured" and returns nil.
+func ResolveKey(value, file string) ([]byte, error) {
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: read key file: %w", err)
+		}
+		key := []byte(strings.TrimSpace(string(raw)))
+		if len(key) == 0 {
+			return nil, fmt.Errorf("fleet: key file %s is empty", file)
+		}
+		return key, nil
+	}
+	if value != "" {
+		return []byte(value), nil
+	}
+	return nil, nil
+}
+
+// maxSignedBodyBytes bounds how much body the verifying middleware will
+// buffer; matches the template upload cap.
+const maxSignedBodyBytes = maxTemplateBytes
+
+// computeSignature MACs the parts of a request that matter to this API:
+// method, escaped path, raw query, and a digest of the body. Headers are
+// deliberately excluded — none of them carry authority here, and proxies
+// rewrite them.
+func computeSignature(key []byte, method, escapedPath, rawQuery string, body []byte) string {
+	sum := sha256.Sum256(body)
+	mac := hmac.New(sha256.New, key)
+	io.WriteString(mac, method)
+	mac.Write([]byte{'\n'})
+	io.WriteString(mac, escapedPath)
+	mac.Write([]byte{'\n'})
+	io.WriteString(mac, rawQuery)
+	mac.Write([]byte{'\n'})
+	mac.Write(sum[:])
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// SignRequest attaches the fleet-key MAC to req. body must be the exact
+// bytes the request will send (nil for body-less requests). A nil or
+// empty key is a no-op, so unsecured deployments need no branching.
+func SignRequest(key []byte, req *http.Request, body []byte) {
+	if len(key) == 0 {
+		return
+	}
+	req.Header.Set(signatureHeader,
+		computeSignature(key, req.Method, req.URL.EscapedPath(), req.URL.RawQuery, body))
+}
+
+// RequireSignature wraps next so every request must carry a valid fleet
+// MAC. Verification is constant-time; unsigned and mis-signed requests
+// get 401 without reaching next. exempt paths (liveness probes, metrics
+// scrapers — read-only surfaces that standard infrastructure cannot
+// sign) bypass the check. A nil or empty key returns next unchanged.
+func RequireSignature(key []byte, logf func(format string, args ...any), next http.Handler, exempt ...string) http.Handler {
+	if len(key) == 0 {
+		return next
+	}
+	exemptSet := make(map[string]bool, len(exempt))
+	for _, p := range exempt {
+		exemptSet[p] = true
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptSet[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got := r.Header.Get(signatureHeader)
+		if got == "" {
+			if logf != nil {
+				logf("fleet: 401 unsigned %s %s", r.Method, r.URL.Path)
+			}
+			http.Error(w, `{"error":"missing request signature"}`, http.StatusUnauthorized)
+			return
+		}
+		var body []byte
+		if r.Body != nil && r.Body != http.NoBody {
+			var err error
+			body, err = io.ReadAll(io.LimitReader(r.Body, maxSignedBodyBytes+1))
+			if err != nil {
+				http.Error(w, `{"error":"read body"}`, http.StatusBadRequest)
+				return
+			}
+			if len(body) > maxSignedBodyBytes {
+				http.Error(w, `{"error":"body too large"}`, http.StatusRequestEntityTooLarge)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		want := computeSignature(key, r.Method, r.URL.EscapedPath(), r.URL.RawQuery, body)
+		if !hmac.Equal([]byte(got), []byte(want)) {
+			if logf != nil {
+				logf("fleet: 401 bad signature %s %s", r.Method, r.URL.Path)
+			}
+			http.Error(w, `{"error":"bad request signature"}`, http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

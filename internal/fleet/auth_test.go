@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResolveKey(t *testing.T) {
+	// Unsecured: both flags empty.
+	key, err := ResolveKey("", "")
+	if err != nil || key != nil {
+		t.Fatalf("ResolveKey(\"\", \"\") = %q, %v; want nil, nil", key, err)
+	}
+
+	// Literal value.
+	key, err = ResolveKey("s3cret", "")
+	if err != nil || string(key) != "s3cret" {
+		t.Fatalf("ResolveKey(value) = %q, %v", key, err)
+	}
+
+	// The file wins over the value (it does not leak via process
+	// listings), and its contents are whitespace-trimmed.
+	path := filepath.Join(t.TempDir(), "fleet.key")
+	if err := os.WriteFile(path, []byte("  from-file\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	key, err = ResolveKey("ignored", path)
+	if err != nil || string(key) != "from-file" {
+		t.Fatalf("ResolveKey(file) = %q, %v", key, err)
+	}
+
+	// An empty key file is a misconfiguration, not "unsecured".
+	empty := filepath.Join(t.TempDir(), "empty.key")
+	if err := os.WriteFile(empty, []byte(" \n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveKey("", empty); err == nil {
+		t.Error("empty key file accepted")
+	}
+	if _, err := ResolveKey("", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing key file accepted")
+	}
+}
+
+func TestSignedRequestsEndToEnd(t *testing.T) {
+	key := []byte("fleet-shared-key")
+	ts, reg, _ := newHubServer(t, 1, key)
+	ctx := context.Background()
+	if _, err := reg.Put("host-a", testTemplate("vlc")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsigned requests never reach a handler: 401 on reads and writes.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/templates/vlc"},
+		{http.MethodGet, "/v1/templates"},
+		{http.MethodGet, "/v1/events?app=vlc"},
+		{http.MethodPut, "/v1/templates/vlc"},
+	} {
+		req, err := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("unsigned %s %s = %d, want 401", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+
+	// A client holding the fleet key reads and writes normally, body MAC
+	// included.
+	signed, err := NewClient(ClientConfig{BaseURL: ts.URL, Key: key, Retry: RetryConfig{Attempts: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := signed.PullTemplate(ctx, "vlc", "", 0); err != nil {
+		t.Fatalf("signed pull: %v", err)
+	}
+	if _, err := signed.PushTemplate(ctx, "host-b", "kv", testTemplate("kv")); err != nil {
+		t.Fatalf("signed push: %v", err)
+	}
+
+	// The wrong key is indistinguishable from no key: 401.
+	wrong, err := NewClient(ClientConfig{BaseURL: ts.URL, Key: []byte("not-the-key"), Retry: RetryConfig{Attempts: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wrong.PullTemplate(ctx, "vlc", "", 0); err == nil {
+		t.Error("wrong-key pull accepted")
+	}
+	if _, err := wrong.PushTemplate(ctx, "host-x", "vlc", testTemplate("vlc")); err == nil {
+		t.Error("wrong-key push accepted")
+	}
+
+	// Liveness probes and metrics scrapers cannot sign: exempt.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("unsigned GET %s = %d (%s), want 200", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestSignatureCoversQueryAndBody(t *testing.T) {
+	key := []byte("fleet-shared-key")
+	ts, reg, _ := newHubServer(t, 1, key)
+	if _, err := reg.Put("host-a", testTemplate("vlc")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sign one request, then replay its MAC against a different query
+	// string: the signature must not transfer.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/templates/vlc/delta?since=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SignRequest(key, req, nil)
+	tampered, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/templates/vlc/delta?since=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered.Header.Set("X-Stayaway-Signature", req.Header.Get("X-Stayaway-Signature"))
+	resp, err := http.DefaultClient.Do(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("replayed signature across queries = %d, want 401", resp.StatusCode)
+	}
+
+	// And the untampered signed request passes (304: the client is
+	// already at the current revision — the handler ran).
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+		t.Errorf("signed request = %d, want 200/304", resp.StatusCode)
+	}
+}

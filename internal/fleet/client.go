@@ -98,6 +98,9 @@ type ClientConfig struct {
 	Transport http.RoundTripper
 	// Retry shapes the backoff; zero values take defaults.
 	Retry RetryConfig
+	// Key, when non-empty, signs every request with the fleet HMAC so a
+	// key-requiring server accepts them; see SignRequest.
+	Key []byte
 }
 
 // Client talks to the fleet control plane. Safe for concurrent use.
@@ -105,6 +108,10 @@ type Client struct {
 	base  *url.URL
 	http  *http.Client
 	retry RetryConfig
+	key   []byte
+	// streamHTTP has no overall timeout: it carries long-lived event
+	// streams, whose liveness is policed by heartbeats, not a deadline.
+	streamHTTP *http.Client
 }
 
 // NewClient builds a client.
@@ -124,10 +131,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	cfg.Retry.applyDefaults()
 	return &Client{
-		base:  base,
-		http:  &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
-		retry: cfg.Retry,
+		base:       base,
+		http:       &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
+		retry:      cfg.Retry,
+		key:        append([]byte(nil), cfg.Key...),
+		streamHTTP: &http.Client{Transport: cfg.Transport},
 	}, nil
+}
+
+// sign attaches the fleet MAC when a key is configured; body must be the
+// exact request body bytes (nil for body-less requests).
+func (c *Client) sign(req *http.Request, body []byte) {
+	SignRequest(c.key, req, body)
 }
 
 // transientStatus reports whether an HTTP status is worth retrying.
@@ -216,6 +231,7 @@ func (c *Client) PushTemplate(ctx context.Context, host, app string, t *statespa
 			}
 			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set(hostHeader, host)
+			c.sign(req, body)
 			return req, nil
 		},
 		func(resp *http.Response) error {
@@ -245,7 +261,12 @@ func (c *Client) PullTemplate(ctx context.Context, app, schema string, haveRevis
 			if len(q) > 0 {
 				u += "?" + q.Encode()
 			}
-			return http.NewRequest(http.MethodGet, u, nil)
+			req, err := http.NewRequest(http.MethodGet, u, nil)
+			if err != nil {
+				return nil, err
+			}
+			c.sign(req, nil)
+			return req, nil
 		},
 		func(resp *http.Response) error {
 			rev, _ = strconv.Atoi(resp.Header.Get(revisionHeader))
@@ -291,7 +312,12 @@ func (c *Client) ListTemplates(ctx context.Context, app string, metaOnly bool) (
 			if len(q) > 0 {
 				u += "?" + q.Encode()
 			}
-			return http.NewRequest(http.MethodGet, u, nil)
+			req, err := http.NewRequest(http.MethodGet, u, nil)
+			if err != nil {
+				return nil, err
+			}
+			c.sign(req, nil)
+			return req, nil
 		},
 		func(resp *http.Response) error {
 			return json.NewDecoder(io.LimitReader(resp.Body, maxTemplateBytes)).Decode(&out)
@@ -323,6 +349,7 @@ func (c *Client) SendHeartbeat(ctx context.Context, hb Heartbeat) error {
 				return nil, err
 			}
 			req.Header.Set("Content-Type", "application/json")
+			c.sign(req, body)
 			return req, nil
 		},
 		func(*http.Response) error { return nil })
@@ -333,7 +360,12 @@ func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
 	var out StatusResponse
 	err := c.do(ctx,
 		func() (*http.Request, error) {
-			return http.NewRequest(http.MethodGet, c.endpoint("v1", "status"), nil)
+			req, err := http.NewRequest(http.MethodGet, c.endpoint("v1", "status"), nil)
+			if err != nil {
+				return nil, err
+			}
+			c.sign(req, nil)
+			return req, nil
 		},
 		func(resp *http.Response) error {
 			return json.NewDecoder(resp.Body).Decode(&out)

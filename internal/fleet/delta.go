@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/statespace"
+	"repro/internal/stream"
+)
+
+// PullDelta performs one conditional sync: the states of app's consensus
+// template changed after revision since. A nil delta with a positive
+// revision means "already current" (the server answered 304 with no
+// body). since <= 0 requests a full template (served as a Full delta).
+// A registry that has never seen the app returns ErrNotFound.
+func (c *Client) PullDelta(ctx context.Context, app, schema string, since int) (*statespace.TemplateDelta, int, error) {
+	var out *statespace.TemplateDelta
+	rev := 0
+	err := c.do(ctx,
+		func() (*http.Request, error) {
+			u := c.endpoint("v1", "templates", url.PathEscape(app), "delta")
+			q := url.Values{}
+			if schema != "" {
+				q.Set("schema", schema)
+			}
+			if since > 0 {
+				q.Set("since", strconv.Itoa(since))
+			}
+			if len(q) > 0 {
+				u += "?" + q.Encode()
+			}
+			req, err := http.NewRequest(http.MethodGet, u, nil)
+			if err != nil {
+				return nil, err
+			}
+			c.sign(req, nil)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			rev, _ = strconv.Atoi(resp.Header.Get(revisionHeader))
+			if resp.StatusCode == http.StatusNotModified {
+				return nil
+			}
+			d, err := statespace.ReadTemplateDelta(io.LimitReader(resp.Body, maxTemplateBytes))
+			if err != nil {
+				return fmt.Errorf("fleet: pulled delta: %w", err)
+			}
+			out = d
+			return nil
+		})
+	if err != nil {
+		var herr *httpError
+		if errors.As(err, &herr) && herr.Status == http.StatusNotFound {
+			return nil, 0, ErrNotFound
+		}
+		return nil, 0, err
+	}
+	return out, rev, nil
+}
+
+// StreamEvents subscribes to the server-push template stream and invokes
+// onEvent for every event until the stream ends or onEvent errors. app,
+// when non-empty, narrows the feed server-side. lastID resumes a dropped
+// subscription; for delta events, up carries the decoded, validated
+// update (nil for heartbeats and resets — a reset means the resume
+// position is gone and the caller must resync before trusting later
+// deltas).
+//
+// The connection has no overall deadline — callers police liveness with
+// the heartbeat events and cancel ctx when the stream goes quiet. The
+// returned resume token is the ID of the last delta event processed
+// (empty after a reset); pass it as lastID on reconnect.
+func (c *Client) StreamEvents(ctx context.Context, app, lastID string, onEvent func(ev stream.Event, up *StreamUpdate) error) (string, error) {
+	u := c.endpoint("v1", "events")
+	if app != "" {
+		u += "?app=" + url.QueryEscape(app)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return lastID, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	c.sign(req, nil)
+	resp, err := c.streamHTTP.Do(req)
+	if err != nil {
+		return lastID, fmt.Errorf("fleet: connect event stream: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		herr := &httpError{Status: resp.StatusCode}
+		var body errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil {
+			herr.Msg = body.Error
+		}
+		return lastID, herr
+	}
+
+	dec := stream.NewDecoder(resp.Body)
+	for {
+		ev, err := dec.Next()
+		if err != nil {
+			if ctx.Err() != nil {
+				return lastID, ctx.Err()
+			}
+			if err == io.EOF {
+				return lastID, nil
+			}
+			return lastID, fmt.Errorf("fleet: event stream: %w", err)
+		}
+		var up *StreamUpdate
+		switch ev.Type {
+		case stream.TypeDelta:
+			up = &StreamUpdate{}
+			if err := json.Unmarshal(ev.Data, up); err != nil {
+				return lastID, fmt.Errorf("fleet: decode stream update: %w", err)
+			}
+			if up.Delta != nil {
+				if err := up.Delta.Validate(); err != nil {
+					return lastID, fmt.Errorf("fleet: streamed delta: %w", err)
+				}
+			}
+			lastID = ev.ID()
+		case stream.TypeReset:
+			lastID = ""
+		}
+		if err := onEvent(ev, up); err != nil {
+			return lastID, err
+		}
+	}
+}

@@ -1,19 +1,81 @@
-package fleet
+// The end-to-end acceptance scenarios live in an external test package:
+// they drive the simulated substrate through internal/experiments, which
+// itself links against fleet (for the convergence harness), so an
+// in-package test would be an import cycle.
+package fleet_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/throttle"
 )
+
+// newE2EServer and newE2EClient mirror the in-package test fixtures using
+// only the exported API (this package cannot reach them).
+func newE2EServer(t *testing.T) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.Open(registry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fleet.NewServer(fleet.ServerConfig{Registry: reg, Now: func() time.Time { return time.Unix(1700000000, 0) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func newE2EClient(t *testing.T, baseURL string) *fleet.Client {
+	t.Helper()
+	c, err := fleet.NewClient(fleet.ClientConfig{
+		BaseURL: baseURL,
+		Retry:   fleet.RetryConfig{Attempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// e2eGatedTransport fails every request while down — a registry outage
+// switch, same as the in-package gatedTransport.
+type e2eGatedTransport struct {
+	mu    sync.Mutex
+	down  bool
+	inner http.RoundTripper
+}
+
+func (g *e2eGatedTransport) setDown(down bool) {
+	g.mu.Lock()
+	g.down = down
+	g.mu.Unlock()
+}
+
+func (g *e2eGatedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.mu.Lock()
+	down := g.down
+	g.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("registry unreachable (simulated outage)")
+	}
+	return g.inner.RoundTrip(req)
+}
 
 // The acceptance scenario for the fleet control plane: host A learns a
 // state-space map against CPUBomb and pushes it to the registry; host B —
@@ -23,7 +85,7 @@ import (
 // the paper's Fig 17→18 template story, across hosts instead of across
 // runs.
 func TestE2ETemplateSharedAcrossHosts(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, _ := newE2EServer(t)
 	ctx := context.Background()
 
 	vlc := func(rng *rand.Rand) sim.QoSApp {
@@ -50,7 +112,7 @@ func TestE2ETemplateSharedAcrossHosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clientA := newTestClient(t, ts.URL)
+	clientA := newE2EClient(t, ts.URL)
 	pushed, err := clientA.PushTemplate(ctx, "host-a", "vlc-stream",
 		learn.Runtime.ExportTemplate("vlc-stream"))
 	if err != nil {
@@ -61,7 +123,7 @@ func TestE2ETemplateSharedAcrossHosts(t *testing.T) {
 	}
 
 	// Host B: pull the consensus map — no template learned locally.
-	clientB := newTestClient(t, ts.URL)
+	clientB := newE2EClient(t, ts.URL)
 	tpl, rev, err := clientB.PullTemplate(ctx, "vlc-stream", "", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -178,12 +240,12 @@ func (e *e2eEnv) BatchActive() bool      { return true }
 // keeps protecting from its local map, records the sync failures, and the
 // first periodic push after recovery resyncs the registry.
 func TestE2ERegistryOutageMidRun(t *testing.T) {
-	ts, reg := newTestServer(t)
-	gate := &gatedTransport{inner: http.DefaultTransport}
-	client, err := NewClient(ClientConfig{
+	ts, reg := newE2EServer(t)
+	gate := &e2eGatedTransport{inner: http.DefaultTransport}
+	client, err := fleet.NewClient(fleet.ClientConfig{
 		BaseURL:   ts.URL,
 		Transport: gate,
-		Retry: RetryConfig{
+		Retry: fleet.RetryConfig{
 			Attempts: 2,
 			Sleep:    func(context.Context, time.Duration) error { return nil },
 		},
@@ -191,7 +253,7 @@ func TestE2ERegistryOutageMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	syncer := NewSyncer(client, "host-a", "web")
+	syncer := fleet.NewSyncer(client, "host-a", "web")
 
 	cfg := core.DefaultConfig("web", []string{"b1"}, metrics.DefaultRanges(4, 4096, 200, 1000))
 	rt, err := core.New(cfg, &e2eEnv{}, throttle.NewRecordingActuator())

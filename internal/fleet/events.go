@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/statespace"
+	"repro/internal/stream"
+)
+
+// Streaming control plane: the registry's OnPut hook publishes every
+// accepted merge into a stream.Hub; GET /v1/events serves that hub over
+// SSE so a violation learned on one host reaches every subscribed host
+// within one control period, and GET /v1/templates/{app}/delta serves the
+// same updates to polling clients who only pay for the states they miss.
+
+// Server-side metric names; kept as constants so handler instrumentation
+// and tests agree on spelling.
+const (
+	metricPuts              = "stayaway_registry_puts_total"
+	helpPuts                = "Accepted template uploads."
+	metricMergeConflicts    = "stayaway_registry_merge_conflicts_total"
+	helpMergeConflicts      = "Template uploads rejected by merge or schema conflicts."
+	metricTemplateBytes     = "stayaway_template_bytes_served_total"
+	helpTemplateBytes       = "Bytes of full template bodies served."
+	metricDeltaBytes        = "stayaway_delta_bytes_served_total"
+	helpDeltaBytes          = "Bytes of delta bodies served."
+	metricDeltaRequests     = "stayaway_delta_requests_total"
+	helpDeltaRequests       = "Delta sync requests served, by result."
+	metricActiveStreams     = "stayaway_active_streams"
+	helpActiveStreams       = "Currently attached event-stream subscribers."
+	metricStreamEvents      = "stayaway_stream_events_total"
+	helpStreamEvents        = "Events published on the template stream."
+	metricStreamDropped     = "stayaway_stream_dropped_total"
+	helpStreamDropped       = "Subscribers dropped for slow consumption."
+	metricTemplateRevision  = "stayaway_template_revision"
+	helpTemplateRevision    = "Current consensus revision per template."
+	metricTemplateStates    = "stayaway_template_states"
+	helpTemplateStates      = "States per consensus template."
+	metricTemplateViolState = "stayaway_template_violation_states"
+	helpTemplateViolState   = "Violation states per consensus template."
+)
+
+// PublishHook adapts a stream.Hub to the registry's OnPut hook: every
+// accepted Put becomes one delta event on the template stream. The hook
+// runs under the registry lock, which is what orders events by revision;
+// Hub.Publish never blocks (slow subscribers are dropped, not waited on),
+// so holding the lock across it is safe.
+func PublishHook(hub *stream.Hub) registry.PutHook {
+	return func(e *registry.Entry, d *statespace.TemplateDelta) {
+		up := StreamUpdate{
+			App:      e.Key.App,
+			Schema:   e.Key.Schema,
+			Revision: e.Revision,
+			Delta:    d,
+		}
+		data, err := json.Marshal(up)
+		if err != nil {
+			return // a template that marshalled into the store always remarshals; defensive only
+		}
+		hub.Publish(stream.Event{
+			Type:     stream.TypeDelta,
+			App:      e.Key.App,
+			Schema:   e.Key.Schema,
+			Revision: e.Revision,
+			Data:     data,
+		})
+	}
+}
+
+// getDelta serves the conditional-sync endpoint: the states of app's
+// consensus template changed after ?since=rev. A client that is already
+// current gets 304 and no body.
+func (s *Server) getDelta(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	since := 0
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad since %q: %v", raw, err)
+			return
+		}
+		since = v
+	}
+	d, ok := s.cfg.Registry.DeltaSince(app, r.URL.Query().Get("schema"), since)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no template for app %q", app)
+		return
+	}
+	w.Header().Set(revisionHeader, strconv.Itoa(d.ToRevision))
+	if d.Empty() {
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Counter(metricDeltaRequests, helpDeltaRequests, "result", "current").Add(1)
+		}
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encode delta: %v", err)
+		return
+	}
+	if s.cfg.Metrics != nil {
+		result := "incremental"
+		if d.Full {
+			result = "full"
+		}
+		s.cfg.Metrics.Counter(metricDeltaRequests, helpDeltaRequests, "result", result).Add(1)
+		s.cfg.Metrics.Counter(metricDeltaBytes, helpDeltaBytes).Add(float64(buf.Len()))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// getEvents serves the SSE template stream. ?app= narrows the feed to one
+// application; Last-Event-ID resumes a dropped connection — when the
+// requested position is gone (hub restart or replay-ring overrun) the
+// client receives a reset event and must resync via the delta endpoint
+// before trusting the stream again.
+func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Hub == nil {
+		s.writeError(w, http.StatusNotImplemented, "event streaming not enabled")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id")
+	}
+	appFilter := r.URL.Query().Get("app")
+
+	sub, resumed := s.cfg.Hub.Subscribe(lastID)
+	if sub == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "event stream shutting down")
+		return
+	}
+	defer sub.Close()
+	if s.cfg.Metrics != nil {
+		g := s.cfg.Metrics.Gauge(metricActiveStreams, helpActiveStreams)
+		g.Add(1)
+		defer g.Add(-1)
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	enc := stream.NewEncoder(w)
+	if lastID != "" && !resumed {
+		// The client asked to resume from a position this incarnation
+		// cannot replay: say so explicitly instead of silently skipping.
+		if err := enc.WriteEvent(stream.Event{
+			Epoch: s.cfg.Hub.Epoch(), Seq: 0, Type: stream.TypeReset,
+		}); err != nil {
+			return
+		}
+	}
+	// An immediate heartbeat confirms the subscription is live before the
+	// first real event arrives — clients key "streaming mode" off it.
+	if err := enc.WriteHeartbeat(); err != nil {
+		return
+	}
+	fl.Flush()
+
+	tick := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if err := enc.WriteHeartbeat(); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev, open := <-sub.C:
+			if !open {
+				// Dropped for slow consumption (or hub shutdown); ending
+				// the response makes the client reconnect and resume.
+				return
+			}
+			if appFilter != "" && ev.App != "" && ev.App != appFilter {
+				continue
+			}
+			if err := enc.WriteEvent(ev); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// getMetrics refreshes the per-template gauges from the store, then
+// renders the metric set in Prometheus text format.
+func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.cfg.Metrics
+	for _, e := range s.cfg.Registry.Entries() {
+		labels := []string{"app", e.Key.App, "schema", e.Key.Schema}
+		m.Gauge(metricTemplateRevision, helpTemplateRevision, labels...).Set(float64(e.Revision))
+		m.Gauge(metricTemplateStates, helpTemplateStates, labels...).Set(float64(len(e.Template.States)))
+		m.Gauge(metricTemplateViolState, helpTemplateViolState, labels...).Set(float64(e.Template.ViolationCount()))
+	}
+	if s.cfg.Hub != nil {
+		st := s.cfg.Hub.Stats()
+		m.Gauge(metricActiveStreams, helpActiveStreams).Set(float64(st.Active))
+		m.Counter(metricStreamEvents, helpStreamEvents).Set(float64(st.Published))
+		m.Counter(metricStreamDropped, helpStreamDropped).Set(float64(st.Dropped))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WriteTo(w)
+}

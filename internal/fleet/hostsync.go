@@ -1,8 +1,13 @@
 package fleet
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"sync"
 	"time"
+
+	"repro/internal/stream"
 )
 
 // HostSyncer manages the fleet syncers of a multi-tenant host: one
@@ -15,14 +20,21 @@ type HostSyncer struct {
 	host    string
 	timeout time.Duration
 
-	mu    sync.Mutex
-	lanes map[string]*Syncer
-	order []string
+	mu      sync.Mutex
+	lanes   map[string]*Syncer
+	order   []string
+	streams map[string]*StreamSyncer
+	wg      sync.WaitGroup
 }
 
 // NewHostSyncer binds a shared client to one host's identity.
 func NewHostSyncer(client *Client, host string) *HostSyncer {
-	return &HostSyncer{client: client, host: host, lanes: map[string]*Syncer{}}
+	return &HostSyncer{
+		client:  client,
+		host:    host,
+		lanes:   map[string]*Syncer{},
+		streams: map[string]*StreamSyncer{},
+	}
 }
 
 // SetTimeout overrides the per-operation deadline for every lane,
@@ -76,4 +88,99 @@ func (h *HostSyncer) Degraded() map[string]error {
 		}
 	}
 	return out
+}
+
+// StartStream launches a streaming syncer for one application lane and
+// returns it; the same app returns the already-running syncer. cfg.Client
+// defaults to the host's shared client and cfg.App to app. The stream
+// goroutine runs until ctx is cancelled; Wait blocks until every started
+// stream has exited.
+func (h *HostSyncer) StartStream(ctx context.Context, app string, cfg StreamSyncerConfig) (*StreamSyncer, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ss, ok := h.streams[app]; ok {
+		return ss, nil
+	}
+	if cfg.Client == nil {
+		cfg.Client = h.client
+	}
+	if cfg.App == "" {
+		cfg.App = app
+	}
+	ss, err := NewStreamSyncer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.streams[app] = ss
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		ss.Run(ctx)
+	}()
+	return ss, nil
+}
+
+// Stream returns the application's streaming syncer, or nil when
+// StartStream was never called for it.
+func (h *HostSyncer) Stream(app string) *StreamSyncer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.streams[app]
+}
+
+// Wait blocks until every stream goroutine started by StartStream has
+// exited (their contexts must be cancelled first).
+func (h *HostSyncer) Wait() { h.wg.Wait() }
+
+// WriteMetrics renders the host's sync state — per-lane push/degraded
+// counters and per-stream traffic — in Prometheus text format: the
+// host-side half of the fleet observability story (the registry serves
+// the other half at /metrics).
+func (h *HostSyncer) WriteMetrics(w io.Writer) error {
+	h.mu.Lock()
+	apps := append([]string(nil), h.order...)
+	lanes := make(map[string]*Syncer, len(h.lanes))
+	for app, s := range h.lanes {
+		lanes[app] = s
+	}
+	streams := make(map[string]*StreamSyncer, len(h.streams))
+	for app, ss := range h.streams {
+		streams[app] = ss
+		if _, ok := lanes[app]; !ok {
+			apps = append(apps, app)
+		}
+	}
+	h.mu.Unlock()
+
+	m := stream.NewMetricSet()
+	for _, app := range apps {
+		labels := []string{"app", app}
+		if s, ok := lanes[app]; ok {
+			pushes, failures := s.Stats()
+			m.Counter("stayaway_host_sync_pushes_total", "Successful sync operations.", labels...).Set(float64(pushes))
+			m.Counter("stayaway_host_sync_failures_total", "Failed sync operations.", labels...).Set(float64(failures))
+			degraded := 0.0
+			if d, _ := s.Degraded(); d {
+				degraded = 1
+			}
+			m.Gauge("stayaway_host_sync_degraded", "1 while the lane protects from a stale local map.", labels...).Set(degraded)
+			m.Gauge("stayaway_host_template_revision", "Registry revision the lane last synced.", labels...).Set(float64(s.LastRevision()))
+		}
+		if ss, ok := streams[app]; ok {
+			st := ss.Stats()
+			mode := 0.0
+			if ss.Streaming() {
+				mode = 1
+			}
+			m.Gauge("stayaway_host_stream_live", "1 while the push stream is connected.", labels...).Set(mode)
+			m.Counter("stayaway_host_stream_events_total", "Delta events accepted from the stream.", labels...).Set(float64(st.Events))
+			m.Counter("stayaway_host_stream_reconnects_total", "Stream reconnect attempts.", labels...).Set(float64(st.Reconnects))
+			m.Counter("stayaway_host_stream_resets_total", "Server resets (lost resume position).", labels...).Set(float64(st.Resets))
+			m.Counter("stayaway_host_stream_polls_total", "Fallback delta polls.", labels...).Set(float64(st.Polls))
+		}
+	}
+	if _, err := m.WriteTo(w); err != nil {
+		return fmt.Errorf("fleet: write host metrics: %w", err)
+	}
+	return nil
 }

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -62,4 +64,72 @@ func TestHostSyncerLanesShareClientAndDegradeIndependently(t *testing.T) {
 	if d := h.Degraded(); len(d) != 0 {
 		t.Fatalf("Degraded() = %v after recovery", d)
 	}
+}
+
+func TestHostSyncerWriteMetrics(t *testing.T) {
+	ts, reg, _ := newHubServer(t, 1, nil)
+	c := newTestClient(t, ts.URL)
+	h := NewHostSyncer(c, "host-a")
+
+	// One polling lane that has synced once, one streaming lane that has
+	// accepted a delta.
+	if err := h.Lane("vlc").PushTemplate(testTemplate("vlc")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ss, err := h.StartStream(ctx, "kv", StreamSyncerConfig{
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := h.StartStream(ctx, "kv", StreamSyncerConfig{}); err != nil || got != ss {
+		t.Fatalf("second StartStream = %v, %v; want the running syncer", got, err)
+	}
+	if h.Stream("kv") != ss || h.Stream("nope") != nil {
+		t.Fatal("Stream lookup broken")
+	}
+	// The first heartbeat confirms the subscription is live; only then is
+	// the Put guaranteed to be published after our subscribe.
+	deadline := time.After(10 * time.Second)
+	for ss.Stats().Heartbeats == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("stream never connected (stats %+v)", ss.Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if _, err := reg.Put("host-b", testTemplate("kv")); err != nil {
+		t.Fatal(err)
+	}
+	for ss.TakeUpdate() == nil {
+		select {
+		case <-deadline:
+			t.Fatalf("stream never delivered the kv delta (stats %+v)", ss.Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	ss.MarkApplied(1)
+
+	var buf bytes.Buffer
+	if err := h.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`stayaway_host_sync_pushes_total{app="vlc"} 1`,
+		`stayaway_host_sync_degraded{app="vlc"} 0`,
+		`stayaway_host_template_revision{app="vlc"} 1`,
+		`stayaway_host_stream_events_total{app="kv"} 1`,
+		`# TYPE stayaway_host_stream_live gauge`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("host metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	cancel()
+	h.Wait()
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/statespace"
+	"repro/internal/stream"
 )
 
 // maxTemplateBytes bounds uploaded template bodies; a fleet template of a
@@ -25,14 +26,38 @@ const revisionHeader = "X-Stayaway-Revision"
 // hostHeader identifies the uploading host on template PUTs.
 const hostHeader = "X-Stayaway-Host"
 
+// Store is the template store the server fronts: a single
+// *registry.Registry or a *registry.Sharded, which shard by sensitive-app
+// key behind this one interface so the HTTP surface is routing-agnostic.
+type Store interface {
+	Put(host string, t *statespace.Template) (*registry.Entry, error)
+	Get(app, schema string) (*registry.Entry, bool)
+	DeltaSince(app, schema string, since int) (*statespace.TemplateDelta, bool)
+	Entries() []*registry.Entry
+	Len() int
+}
+
 // ServerConfig tunes the control-plane server.
 type ServerConfig struct {
 	// Registry is the backing template store. Required.
-	Registry *registry.Registry
+	Registry Store
 	// Now is the clock, injectable for tests; nil uses time.Now.
 	Now func() time.Time
 	// Logf, when non-nil, receives one line per rejected request.
 	Logf func(format string, args ...any)
+	// Hub, when non-nil, enables the server-push event stream at
+	// GET /v1/events. The registry's OnPut hook must publish into the
+	// same hub (see PublishHook).
+	Hub *stream.Hub
+	// Metrics, when non-nil, is served at GET /metrics in Prometheus text
+	// format and fed by the handlers (delta bytes served, active streams,
+	// merge conflicts, template revisions).
+	Metrics *stream.MetricSet
+	// Key, when non-empty, requires every request (except /healthz and
+	// /metrics) to carry a valid HMAC signature; see RequireSignature.
+	Key []byte
+	// StreamHeartbeat is the idle-stream heartbeat cadence; 0 means 15s.
+	StreamHeartbeat time.Duration
 }
 
 // Server is the fleet control plane. Safe for concurrent use.
@@ -51,29 +76,43 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 15 * time.Second
+	}
 	return &Server{cfg: cfg, hosts: make(map[string]HostStatus)}, nil
 }
 
 // Handler returns the HTTP routing table:
 //
-//	PUT  /v1/templates/{app}  upload a learned template (merged in)
-//	GET  /v1/templates/{app}  download the consensus template
-//	GET  /v1/templates        list every consensus template (scheduler feed)
-//	POST /v1/heartbeat        report host liveness and throttle state
-//	GET  /v1/status           fleet-wide host/template summary
-//	GET  /healthz             liveness probe
+//	PUT  /v1/templates/{app}        upload a learned template (merged in)
+//	GET  /v1/templates/{app}        download the consensus template
+//	GET  /v1/templates/{app}/delta  download only states changed since ?since=rev
+//	GET  /v1/templates              list every consensus template (scheduler feed)
+//	GET  /v1/events                 server-push template stream (SSE; needs a Hub)
+//	POST /v1/heartbeat              report host liveness and throttle state
+//	GET  /v1/status                 fleet-wide host/template summary
+//	GET  /metrics                   Prometheus text metrics (when configured)
+//	GET  /healthz                   liveness probe
+//
+// With a Key configured, every route except /healthz and /metrics
+// requires a valid request signature.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/templates/{app}", s.putTemplate)
 	mux.HandleFunc("GET /v1/templates/{app}", s.getTemplate)
+	mux.HandleFunc("GET /v1/templates/{app}/delta", s.getDelta)
 	mux.HandleFunc("GET /v1/templates", s.listTemplates)
+	mux.HandleFunc("GET /v1/events", s.getEvents)
 	mux.HandleFunc("POST /v1/heartbeat", s.postHeartbeat)
 	mux.HandleFunc("GET /v1/status", s.getStatus)
+	if s.cfg.Metrics != nil {
+		mux.HandleFunc("GET /metrics", s.getMetrics)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return RequireSignature(s.cfg.Key, s.cfg.Logf, mux, "/healthz", "/metrics")
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -118,8 +157,14 @@ func (s *Server) putTemplate(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, statespace.ErrSchemaMismatch) {
 			code = http.StatusConflict
 		}
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Counter(metricMergeConflicts, helpMergeConflicts).Add(1)
+		}
 		s.writeError(w, code, "store template: %v", err)
 		return
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(metricPuts, helpPuts).Add(1)
 	}
 	w.Header().Set(revisionHeader, strconv.Itoa(entry.Revision))
 	writeJSON(w, http.StatusOK, PutTemplateResponse{
@@ -150,6 +195,9 @@ func (s *Server) getTemplate(w http.ResponseWriter, r *http.Request) {
 	if _, err := entry.Template.WriteTo(&buf); err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encode template: %v", err)
 		return
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(metricTemplateBytes, helpTemplateBytes).Add(float64(buf.Len()))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())

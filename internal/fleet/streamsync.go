@@ -1,0 +1,329 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/statespace"
+	"repro/internal/stream"
+)
+
+// StreamSyncer keeps one application's view of the fleet consensus map
+// fresh by subscribing to the registry's push stream, with automatic
+// fallback to conditional-GET delta polling whenever the stream is down.
+// It is deliberately passive toward the control loop: received deltas are
+// coalesced into a pending update the host *takes* at a period boundary
+// (TakeUpdate) — the stream never mutates a live map mid-period.
+type StreamSyncer struct {
+	cfg StreamSyncerConfig
+
+	mu        sync.Mutex
+	lastRev   int    // revision the host has applied to its lane
+	lastID    string // SSE resume token
+	pending   *statespace.TemplateDelta
+	streaming bool
+	stats     StreamStats
+}
+
+// StreamStats counts one stream syncer's traffic for observability.
+type StreamStats struct {
+	// Events is delta events accepted from the stream; Stale is delta
+	// events ignored because the host had already passed their revision.
+	Events, Stale int
+	// Heartbeats, Reconnects, Resets count stream liveness churn.
+	Heartbeats, Reconnects, Resets int
+	// Polls counts fallback delta polls; PollErrors the failed ones.
+	Polls, PollErrors int
+}
+
+// StreamSyncerConfig tunes a StreamSyncer.
+type StreamSyncerConfig struct {
+	// Client is the fleet client; required.
+	Client *Client
+	// App is the sensitive application to follow; required. Schema, when
+	// non-empty, ignores updates for other metric schemas.
+	App    string
+	Schema string
+	// ReconnectMin/ReconnectMax bound the jittered exponential backoff
+	// between stream connection attempts. Defaults: 1s and 30s.
+	ReconnectMin, ReconnectMax time.Duration
+	// PollTimeout bounds each fallback delta poll. Default 30s.
+	PollTimeout time.Duration
+	// HeartbeatTimeout kills a stream connection that has gone this long
+	// without any event or heartbeat; the syncer then polls and
+	// reconnects. Default 60s; negative disables the watchdog.
+	HeartbeatTimeout time.Duration
+	// JitterFrac spreads every reconnect delay uniformly within
+	// ±JitterFrac of itself so a registry restart does not get the whole
+	// fleet back in lockstep. Default 0.2; negative disables.
+	JitterFrac float64
+	// Rand yields uniform values in [0,1) for jitter; nil uses math/rand.
+	Rand func() float64
+	// Sleep waits between reconnects; injectable so tests never really
+	// sleep. Nil uses a context-aware timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Logf, when non-nil, receives one line per mode change.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *StreamSyncerConfig) applyDefaults() {
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = time.Second
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 30 * time.Second
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 30 * time.Second
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 60 * time.Second
+	}
+	if cfg.JitterFrac == 0 {
+		cfg.JitterFrac = 0.2
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+}
+
+// NewStreamSyncer builds a syncer; Run starts it.
+func NewStreamSyncer(cfg StreamSyncerConfig) (*StreamSyncer, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("fleet: StreamSyncer needs a Client")
+	}
+	if cfg.App == "" {
+		return nil, errors.New("fleet: StreamSyncer needs an App")
+	}
+	cfg.applyDefaults()
+	return &StreamSyncer{cfg: cfg}, nil
+}
+
+// MarkApplied records that the host's lane now reflects revision rev —
+// called after a bootstrap pull or after applying a taken update. Later
+// stream events at or below rev are ignored as stale.
+func (s *StreamSyncer) MarkApplied(rev int) {
+	s.mu.Lock()
+	if rev > s.lastRev {
+		s.lastRev = rev
+	}
+	s.mu.Unlock()
+}
+
+// Revision reports the last applied revision.
+func (s *StreamSyncer) Revision() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRev
+}
+
+// Streaming reports whether the push stream is currently live (false
+// means the syncer is in polling fallback between reconnect attempts).
+func (s *StreamSyncer) Streaming() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streaming
+}
+
+// Stats snapshots the traffic counters.
+func (s *StreamSyncer) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// TakeUpdate removes and returns the coalesced pending delta, or nil
+// when the host is current. Callers apply it to their lane (at a period
+// boundary) and then MarkApplied(delta.ToRevision).
+func (s *StreamSyncer) TakeUpdate() *statespace.TemplateDelta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.pending
+	s.pending = nil
+	return d
+}
+
+// Run drives the subscribe → consume → fall back → reconnect loop until
+// ctx is cancelled; it always returns ctx's error. Each disconnect
+// triggers one fallback delta poll (so updates keep flowing at reconnect
+// cadence even when the stream endpoint is down for good) and a jittered,
+// exponentially backed-off reconnect.
+func (s *StreamSyncer) Run(ctx context.Context) error {
+	backoff := s.cfg.ReconnectMin
+	for {
+		connected, err := s.streamOnce(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		s.mu.Lock()
+		s.streaming = false
+		s.stats.Reconnects++
+		s.mu.Unlock()
+		if connected {
+			backoff = s.cfg.ReconnectMin
+		}
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("fleet: %s: stream down (%v), polling until reconnect", s.cfg.App, err)
+		}
+		s.pollOnce(ctx)
+		if err := s.cfg.Sleep(ctx, s.jitter(backoff)); err != nil {
+			return err
+		}
+		backoff *= 2
+		if backoff > s.cfg.ReconnectMax {
+			backoff = s.cfg.ReconnectMax
+		}
+	}
+}
+
+// jitter spreads d uniformly within ±JitterFrac of itself.
+func (s *StreamSyncer) jitter(d time.Duration) time.Duration {
+	if s.cfg.JitterFrac <= 0 {
+		return d
+	}
+	spread := 1 + s.cfg.JitterFrac*(2*s.cfg.Rand()-1)
+	return time.Duration(float64(d) * spread)
+}
+
+// streamOnce holds one stream subscription until it breaks, reporting
+// whether the connection ever became live (used to reset backoff).
+func (s *StreamSyncer) streamOnce(ctx context.Context) (connected bool, err error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var watchdog *time.Timer
+	if s.cfg.HeartbeatTimeout > 0 {
+		watchdog = time.AfterFunc(s.cfg.HeartbeatTimeout, cancel)
+		defer watchdog.Stop()
+	}
+
+	s.mu.Lock()
+	lastID := s.lastID
+	s.mu.Unlock()
+	id, err := s.cfg.Client.StreamEvents(cctx, s.cfg.App, lastID,
+		func(ev stream.Event, up *StreamUpdate) error {
+			if watchdog != nil {
+				watchdog.Reset(s.cfg.HeartbeatTimeout)
+			}
+			connected = true
+			s.onEvent(ctx, ev, up)
+			return nil
+		})
+	s.mu.Lock()
+	s.lastID = id
+	s.mu.Unlock()
+	return connected, err
+}
+
+// onEvent folds one stream event into the syncer's state.
+func (s *StreamSyncer) onEvent(ctx context.Context, ev stream.Event, up *StreamUpdate) {
+	switch ev.Type {
+	case stream.TypeHeartbeat:
+		s.mu.Lock()
+		s.streaming = true
+		s.stats.Heartbeats++
+		s.mu.Unlock()
+	case stream.TypeReset:
+		// Our resume position is gone; anything we missed must come from
+		// the delta endpoint before later stream deltas can be trusted.
+		s.mu.Lock()
+		s.streaming = true
+		s.stats.Resets++
+		s.mu.Unlock()
+		s.pollOnce(ctx)
+	case stream.TypeDelta:
+		if up == nil || up.Delta == nil || up.App != s.cfg.App {
+			return
+		}
+		if s.cfg.Schema != "" && up.Schema != s.cfg.Schema {
+			return
+		}
+		if !s.stash(up.Delta) {
+			// The stream skipped revisions we never saw (queue overflow on
+			// a previous incarnation, filtered schema churn, …): fetch the
+			// authoritative gap instead of merging out of order.
+			s.pollOnce(ctx)
+		}
+	}
+}
+
+// stash coalesces a streamed delta into pending, reporting false when the
+// delta does not connect to what the host has (a gap the caller must fill
+// by polling).
+//
+// Chained incremental patches may both carry a state whose label was
+// upgraded twice; applying the concatenation folds the duplicates and
+// double-counts that state's weight. Weights are advisory (they bias
+// nothing but merge bookkeeping), so this is accepted in exchange for
+// never blocking the stream on a network round-trip.
+func (s *StreamSyncer) stash(d *statespace.TemplateDelta) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streaming = true
+	if d.ToRevision <= s.lastRev {
+		s.stats.Stale++
+		return true
+	}
+	s.stats.Events++
+	switch {
+	case s.pending == nil:
+		if !d.Full && d.FromRevision > s.lastRev {
+			return false
+		}
+		s.pending = d
+	case d.Full:
+		s.pending = d
+	case d.FromRevision == s.pending.ToRevision:
+		merged := *s.pending
+		merged.Patch = statespace.CloneTemplate(s.pending.Patch)
+		merged.Patch.States = append(merged.Patch.States, d.Patch.States...)
+		merged.ToRevision = d.ToRevision
+		s.pending = &merged
+	case d.FromRevision <= s.lastRev:
+		// The new delta alone spans everything pending covered.
+		s.pending = d
+	default:
+		return false
+	}
+	return true
+}
+
+// pollOnce performs one conditional delta poll and stashes the result —
+// the fallback path while the stream is down, and the gap-filler after a
+// reset. Failures only bump a counter: the host keeps protecting from its
+// local map, exactly like the push syncer's degraded mode.
+func (s *StreamSyncer) pollOnce(ctx context.Context) {
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.PollTimeout)
+	defer cancel()
+	since := s.Revision()
+	d, _, err := s.cfg.Client.PullDelta(pctx, s.cfg.App, s.cfg.Schema, since)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Polls++
+	if err != nil {
+		if !errors.Is(err, ErrNotFound) {
+			s.stats.PollErrors++
+		}
+		return
+	}
+	if d == nil || d.ToRevision <= s.lastRev {
+		return
+	}
+	// The poll is authoritative from since: it supersedes whatever was
+	// pending (which covered at most the same span).
+	s.pending = d
+}

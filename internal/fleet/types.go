@@ -92,6 +92,16 @@ type StatusResponse struct {
 	ThrottledHosts int `json:"throttled_hosts"`
 }
 
+// StreamUpdate is the payload of one delta event on the template stream:
+// which consensus template changed, the revision the delta brings a
+// subscriber to, and the delta itself.
+type StreamUpdate struct {
+	App      string                    `json:"app"`
+	Schema   string                    `json:"schema"`
+	Revision int                       `json:"revision"`
+	Delta    *statespace.TemplateDelta `json:"delta"`
+}
+
 // errorResponse is the JSON body of non-2xx replies.
 type errorResponse struct {
 	Error string `json:"error"`

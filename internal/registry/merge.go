@@ -1,30 +1,14 @@
 package registry
 
 import (
-	"fmt"
-
-	"repro/internal/mds"
-	"repro/internal/metrics"
 	"repro/internal/statespace"
 )
 
-// Template merging. Two hosts running the same sensitive application learn
-// maps of the same underlying state space, but their MDS embeddings differ
-// by an arbitrary similarity transform (rotation, reflection, scale,
-// translation — MDS solutions are only unique up to those), and adaptive
-// normalization ranges may have stretched differently. Merging therefore:
-//
-//  1. widens both templates onto the union of their normalization ranges,
-//     rescaling state vectors so they stay comparable;
-//  2. Procrustes-aligns the incoming coordinates onto the base layout,
-//     using vector-nearest state pairs as correspondences;
-//  3. dedupes the combined state set: ε-close vectors collapse into one
-//     consensus state whose weight accumulates and whose label is
-//     Violation if either contributor saw a violation there.
-//
-// The result keeps every violation-state either host has suffered, which is
-// the whole point of sharing: the next host bootstraps from the union of
-// the fleet's bad experiences.
+// The merge machinery itself (range union, Procrustes alignment, ε-dedup)
+// lives in statespace — both the registry's consensus merge and a running
+// host's delta apply use it — see statespace.MergeTemplates. The registry
+// keeps the fleet-facing policy: the default ε and the consensus-store
+// semantics built on top.
 
 // DefaultMergeEpsilon is the normalized vector distance under which two
 // states from different templates are considered the same underlying
@@ -34,180 +18,11 @@ const DefaultMergeEpsilon = 0.05
 
 // MergeTemplates merges incoming into base and returns a new consensus
 // template; neither input is mutated. Both templates must describe the
-// same sensitive application under the same metric schema.
+// same sensitive application under the same metric schema. eps <= 0 uses
+// DefaultMergeEpsilon.
 func MergeTemplates(base, incoming *statespace.Template, eps float64) (*statespace.Template, error) {
 	if eps <= 0 {
 		eps = DefaultMergeEpsilon
 	}
-	if err := base.Validate(); err != nil {
-		return nil, fmt.Errorf("registry: base template: %w", err)
-	}
-	if err := incoming.Validate(); err != nil {
-		return nil, fmt.Errorf("registry: incoming template: %w", err)
-	}
-	if base.SensitiveApp != incoming.SensitiveApp {
-		return nil, fmt.Errorf("registry: merging templates for different apps %q and %q",
-			base.SensitiveApp, incoming.SensitiveApp)
-	}
-	if base.SchemaKey() != incoming.SchemaKey() {
-		return nil, fmt.Errorf("registry: merging templates with schemas %q and %q: %w",
-			base.SchemaKey(), incoming.SchemaKey(), statespace.ErrSchemaMismatch)
-	}
-
-	merged := &statespace.Template{
-		Version:       base.Version,
-		SensitiveApp:  base.SensitiveApp,
-		Dim:           base.Dim,
-		SchemaVMs:     append([]string(nil), base.SchemaVMs...),
-		SchemaMetrics: append([]metrics.Metric(nil), base.SchemaMetrics...),
-	}
-	if incoming.Version > merged.Version {
-		merged.Version = incoming.Version
-	}
-
-	ranges, err := mergeRanges(base, incoming)
-	if err != nil {
-		return nil, err
-	}
-	merged.Ranges = ranges
-	baseStates := rescaleStates(base, ranges)
-	inStates := rescaleStates(incoming, ranges)
-
-	// Procrustes-align the incoming layout onto the base layout using
-	// vector-nearest pairs as correspondences. With no confident pairs the
-	// transform degrades to identity/translation, which is still safe: the
-	// dedupe below matches on vectors, not coordinates.
-	var src, dst []mds.Coord
-	for _, in := range inStates {
-		j, d := nearestByVector(baseStates, in.Vector)
-		if j >= 0 && d <= eps {
-			src = append(src, mds.Coord{X: in.X, Y: in.Y})
-			dst = append(dst, mds.Coord{X: baseStates[j].X, Y: baseStates[j].Y})
-		}
-	}
-	if len(src) > 0 && len(inStates) > 0 {
-		tr, _, err := mds.Procrustes(src, dst)
-		if err != nil {
-			return nil, fmt.Errorf("registry: aligning templates: %w", err)
-		}
-		for i := range inStates {
-			p := tr.Apply(mds.Coord{X: inStates[i].X, Y: inStates[i].Y})
-			inStates[i].X, inStates[i].Y = p.X, p.Y
-		}
-	}
-
-	merged.States = dedupeStates(append(baseStates, inStates...), eps)
-	if merged.Dim == 0 {
-		merged.Dim = incoming.Dim
-	}
-	return merged, nil
-}
-
-// dedupeStates greedily collapses ε-close (by vector) states into one
-// consensus state: earlier states seed the representative set so an
-// established fleet map stays stable; later states either fold into a
-// representative — accumulating weight, upgrading the label to Violation
-// if either contributor saw one — or join as new states.
-func dedupeStates(states []statespace.TemplateState, eps float64) []statespace.TemplateState {
-	var reps []statespace.TemplateState
-	for _, st := range states {
-		j, d := nearestByVector(reps, st.Vector)
-		if j >= 0 && d <= eps {
-			reps[j].Weight += st.Weight
-			if st.Label == statespace.Violation.String() {
-				reps[j].Label = st.Label
-			}
-			continue
-		}
-		reps = append(reps, st)
-	}
-	return reps
-}
-
-// mergeRanges unions the two templates' normalization ranges, taking the
-// wider max per metric. Templates without schema information (version 1)
-// cannot be rescaled, so their ranges must match exactly.
-func mergeRanges(base, incoming *statespace.Template) (map[metrics.Metric]metrics.Range, error) {
-	legacy := len(base.SchemaMetrics) == 0 || len(incoming.SchemaMetrics) == 0
-	out := make(map[metrics.Metric]metrics.Range, len(base.Ranges))
-	for m, r := range base.Ranges {
-		out[m] = r
-	}
-	for m, r := range incoming.Ranges {
-		cur, ok := out[m]
-		if !ok {
-			out[m] = r
-			continue
-		}
-		if legacy && (cur.Max != r.Max || cur.Adaptive != r.Adaptive) {
-			return nil, fmt.Errorf("registry: schema-less templates with differing range for %q (%v vs %v) cannot merge",
-				m, cur, r)
-		}
-		if r.Max > cur.Max {
-			cur.Max = r.Max
-		}
-		cur.Adaptive = cur.Adaptive || r.Adaptive
-		out[m] = cur
-	}
-	return out, nil
-}
-
-// rescaleStates returns copies of t's states with vectors re-normalized
-// from t.Ranges into the merged ranges: a value that meant "x of oldMax"
-// becomes "x·oldMax/newMax of newMax". Coordinates are left untouched —
-// they are an embedding of the old distances and get re-solved by the next
-// runtime refresh anyway.
-func rescaleStates(t *statespace.Template, ranges map[metrics.Metric]metrics.Range) []statespace.TemplateState {
-	nm := len(t.SchemaMetrics)
-	out := make([]statespace.TemplateState, len(t.States))
-	for i, st := range t.States {
-		cp := st
-		cp.Vector = append([]float64(nil), st.Vector...)
-		if nm > 0 {
-			for d := range cp.Vector {
-				m := t.SchemaMetrics[d%nm]
-				oldR, okOld := t.Ranges[m]
-				newR, okNew := ranges[m]
-				if okOld && okNew && oldR.Max > 0 && newR.Max > 0 && oldR.Max != newR.Max {
-					cp.Vector[d] *= oldR.Max / newR.Max
-				}
-			}
-		}
-		out[i] = cp
-	}
-	return out
-}
-
-// cloneTemplate deep-copies a template so the registry's stored consensus
-// maps never alias caller-owned memory.
-func cloneTemplate(t *statespace.Template) *statespace.Template {
-	cp := *t
-	cp.SchemaVMs = append([]string(nil), t.SchemaVMs...)
-	cp.SchemaMetrics = append([]metrics.Metric(nil), t.SchemaMetrics...)
-	cp.States = make([]statespace.TemplateState, len(t.States))
-	for i, st := range t.States {
-		cp.States[i] = st
-		cp.States[i].Vector = append([]float64(nil), st.Vector...)
-	}
-	cp.Ranges = make(map[metrics.Metric]metrics.Range, len(t.Ranges))
-	for m, r := range t.Ranges {
-		cp.Ranges[m] = r
-	}
-	return &cp
-}
-
-// nearestByVector returns the index and vector distance of the state in
-// states whose vector is closest to vec, or (-1, 0) when states is empty.
-func nearestByVector(states []statespace.TemplateState, vec []float64) (int, float64) {
-	best, bestD := -1, 0.0
-	for i, st := range states {
-		if len(st.Vector) != len(vec) {
-			continue
-		}
-		d := mds.Euclidean(st.Vector, vec)
-		if best < 0 || d < bestD {
-			best, bestD = i, d
-		}
-	}
-	return best, bestD
+	return statespace.MergeTemplates(base, incoming, eps)
 }

@@ -47,6 +47,18 @@ type Entry struct {
 	// stored: every Put builds a fresh template, so callers may hold the
 	// pointer but must not mutate it.
 	Template *statespace.Template `json:"template"`
+	// StateRevs is the per-state version vector, aligned with
+	// Template.States: StateRevs[i] is the revision at which state i last
+	// changed (appeared, or had its label upgraded). Delta sync ships only
+	// the states with StateRevs[i] > the client's revision. Weight drift
+	// deliberately does not bump a state's revision — every push folds
+	// weight into revisited states, and versioning that would make every
+	// delta a full resend.
+	StateRevs []int `json:"state_revs,omitempty"`
+	// RangesRev is the revision at which the normalization ranges last
+	// widened. A range change rescales every stored vector, so clients
+	// syncing from an older revision need a full template, not a patch.
+	RangesRev int `json:"ranges_rev,omitempty"`
 }
 
 // clone copies the entry's metadata (the template pointer is shared; the
@@ -57,7 +69,34 @@ func (e *Entry) clone() *Entry {
 	for h, n := range e.Hosts {
 		cp.Hosts[h] = n
 	}
+	cp.StateRevs = append([]int(nil), e.StateRevs...)
 	return &cp
+}
+
+// sanitizeRevs repairs a missing or corrupt version vector — an entry
+// persisted by an older registry, or a hand-edited file whose StateRevs no
+// longer lines up with its states. The safe repair is "everything changed
+// at the current revision": clients syncing from any older revision then
+// receive one full template, and delta tracking resumes cleanly from
+// there. It returns whether a repair was needed.
+func (e *Entry) sanitizeRevs() bool {
+	ok := len(e.StateRevs) == len(e.Template.States) &&
+		e.RangesRev >= 0 && e.RangesRev <= e.Revision
+	for _, rev := range e.StateRevs {
+		if rev <= 0 || rev > e.Revision {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return false
+	}
+	e.StateRevs = make([]int, len(e.Template.States))
+	for i := range e.StateRevs {
+		e.StateRevs[i] = e.Revision
+	}
+	e.RangesRev = e.Revision
+	return true
 }
 
 // Config tunes a Registry.
@@ -72,7 +111,19 @@ type Config struct {
 	MergeEpsilon float64
 	// Now is the clock, injectable for tests; nil uses time.Now.
 	Now func() time.Time
+	// OnPut, when non-nil, is invoked after every accepted Put with the
+	// new entry and the incremental delta from the previous revision —
+	// the streaming control plane's publish hook. It runs with the
+	// registry lock held so events observe revisions in order; the hook
+	// must be fast, must not block, and must not call back into the
+	// registry.
+	OnPut PutHook
 }
+
+// PutHook receives accepted template updates; see Config.OnPut. The entry
+// is a private clone, the delta carries only the states this Put changed
+// (or the full template for a first Put).
+type PutHook func(e *Entry, d *statespace.TemplateDelta)
 
 // Registry is the store. Safe for concurrent use.
 type Registry struct {
@@ -125,6 +176,7 @@ func Open(cfg Config) (*Registry, error) {
 		if e.Hosts == nil {
 			e.Hosts = make(map[string]int)
 		}
+		e.sanitizeRevs()
 		r.entries[e.Key] = &e
 	}
 	return r, nil
@@ -151,8 +203,9 @@ func (r *Registry) Put(host string, t *statespace.Template) (*Entry, error) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var next *Entry
+	var next, prev *Entry
 	if cur, ok := r.entries[key]; ok {
+		prev = cur
 		merged, err := MergeTemplates(cur.Template, t, r.cfg.MergeEpsilon)
 		if err != nil {
 			return nil, err
@@ -163,18 +216,26 @@ func (r *Registry) Put(host string, t *statespace.Template) (*Entry, error) {
 		next = &Entry{Key: key, Hosts: make(map[string]int)}
 		// Store a private deduped copy so later caller mutations cannot
 		// reach the registry's "immutable" template.
-		cp := cloneTemplate(t)
-		cp.States = dedupeStates(cp.States, r.cfg.MergeEpsilon)
+		cp := statespace.CloneTemplate(t)
+		cp.States = statespace.DedupeStates(cp.States, r.cfg.MergeEpsilon)
 		next.Template = cp
 	}
 	next.Revision++
 	next.Hosts[host]++
 	next.UpdatedAt = r.cfg.Now()
+	trackRevisions(prev, next)
 
 	if err := r.persist(next); err != nil {
 		return nil, err
 	}
 	r.entries[key] = next
+	if r.cfg.OnPut != nil {
+		since := 0
+		if prev != nil {
+			since = prev.Revision
+		}
+		r.cfg.OnPut(next.clone(), entryDelta(next, since))
+	}
 	return next.clone(), nil
 }
 
@@ -183,27 +244,11 @@ func (r *Registry) Put(host string, t *statespace.Template) (*Entry, error) {
 func (r *Registry) Get(app, schema string) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if schema != "" {
-		e, ok := r.entries[Key{App: app, Schema: schema}]
-		if !ok {
-			return nil, false
-		}
-		return e.clone(), true
-	}
-	var best *Entry
-	for _, e := range r.entries {
-		if e.Key.App != app {
-			continue
-		}
-		if best == nil || e.UpdatedAt.After(best.UpdatedAt) ||
-			(e.UpdatedAt.Equal(best.UpdatedAt) && e.Revision > best.Revision) {
-			best = e
-		}
-	}
-	if best == nil {
+	e := r.lookupLocked(app, schema)
+	if e == nil {
 		return nil, false
 	}
-	return best.clone(), true
+	return e.clone(), true
 }
 
 // Entries returns all entries, ordered by key for deterministic listings.

@@ -1,0 +1,73 @@
+// Package stream is the push half of the fleet control plane: a
+// publish/subscribe hub with replayable event IDs, a Server-Sent-Events
+// wire codec, and a small text-format metrics surface. The registry
+// publishes every accepted template update into a Hub; hosts subscribe
+// over HTTP and learn about a violation discovered anywhere in the fleet
+// within one control period, instead of waiting out a poll interval.
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Event types on the template stream.
+const (
+	// TypeDelta carries a statespace.TemplateDelta payload: the states of
+	// one consensus template that changed in one registry Put.
+	TypeDelta = "delta"
+	// TypeReset tells subscribers their resume position is gone (hub
+	// restart, or replay ring overrun): drop local sync state and perform
+	// a full conditional-GET resync.
+	TypeReset = "reset"
+	// TypeHeartbeat is a liveness tick; it carries no payload and is never
+	// replayed. Clients use it to arm read deadlines.
+	TypeHeartbeat = "heartbeat"
+)
+
+// Event is one message on the template stream.
+type Event struct {
+	// Epoch identifies the hub incarnation that numbered this event; Seq
+	// is the position within that incarnation. Together they form the
+	// event ID clients send back as Last-Event-ID to resume.
+	Epoch int64
+	Seq   int64
+	// Type is one of the Type* constants.
+	Type string
+	// App and Schema name the consensus template a delta belongs to.
+	App    string
+	Schema string
+	// Revision is the registry revision the delta brings a client to.
+	Revision int
+	// Data is the JSON-encoded payload (a statespace.TemplateDelta for
+	// TypeDelta events); empty for heartbeats and resets.
+	Data []byte
+}
+
+// ID renders the event's resume token: "epoch:seq".
+func (e Event) ID() string {
+	return strconv.FormatInt(e.Epoch, 10) + ":" + strconv.FormatInt(e.Seq, 10)
+}
+
+// ParseEventID parses an "epoch:seq" resume token. IDs are client input
+// (the Last-Event-ID header), so malformed tokens are an error, not a
+// panic; callers treat the error as "cannot resume".
+func ParseEventID(s string) (epoch, seq int64, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("stream: event id %q has no epoch:seq separator", s)
+	}
+	epoch, err = strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("stream: event id %q: bad epoch: %w", s, err)
+	}
+	seq, err = strconv.ParseInt(s[i+1:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("stream: event id %q: bad seq: %w", s, err)
+	}
+	if epoch < 0 || seq < 0 {
+		return 0, 0, fmt.Errorf("stream: event id %q: negative component", s)
+	}
+	return epoch, seq, nil
+}

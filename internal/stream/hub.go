@@ -1,0 +1,210 @@
+package stream
+
+import (
+	"sync"
+)
+
+// Default hub sizing. The replay ring bounds how far behind a
+// reconnecting client may be and still resume without a full resync; the
+// per-subscriber queue bounds how much memory one stalled connection can
+// pin before the hub cuts it loose.
+const (
+	DefaultReplay   = 256
+	DefaultQueueLen = 64
+)
+
+// HubConfig tunes a Hub.
+type HubConfig struct {
+	// Epoch identifies this hub incarnation in event IDs. A client
+	// resuming with a Last-Event-ID from a different epoch gets a reset
+	// instead of a replay, because the new incarnation cannot know what
+	// the old one sent. Servers pass something restart-unique (process
+	// start time); tests pass a constant. Zero is a valid epoch.
+	Epoch int64
+	// Replay is the replay ring capacity; 0 uses DefaultReplay, negative
+	// disables resume entirely.
+	Replay int
+	// QueueLen is the per-subscriber queue capacity; 0 uses
+	// DefaultQueueLen. A subscriber whose queue is full when an event
+	// arrives is dropped — its channel closes and the client reconnects —
+	// rather than letting one slow reader stall or bloat the hub.
+	QueueLen int
+}
+
+// Hub fans events out to subscribers, numbering them with this
+// incarnation's epoch and a monotonic sequence. Safe for concurrent use.
+type Hub struct {
+	cfg HubConfig
+
+	mu      sync.Mutex
+	seq     int64
+	ring    []Event // last cfg.Replay events, oldest first
+	subs    map[*Subscriber]struct{}
+	closed  bool
+	total   int64 // events published
+	dropped int64 // subscribers dropped for slow consumption
+}
+
+// Subscriber is one attached consumer. Events arrive on C; the channel
+// closes when the subscriber is dropped (slow consumption or hub close),
+// which a client must treat as "reconnect and resume".
+type Subscriber struct {
+	C <-chan Event
+
+	hub  *Hub
+	ch   chan Event
+	once sync.Once
+}
+
+// Close detaches the subscriber and closes its channel. Safe to call
+// more than once and concurrently with hub publishes.
+func (s *Subscriber) Close() { s.hub.drop(s) }
+
+// NewHub creates a hub.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.Replay == 0 {
+		cfg.Replay = DefaultReplay
+	}
+	if cfg.Replay < 0 {
+		cfg.Replay = 0
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	return &Hub{cfg: cfg, subs: make(map[*Subscriber]struct{})}
+}
+
+// Epoch reports the hub's incarnation ID.
+func (h *Hub) Epoch() int64 { return h.cfg.Epoch }
+
+// Publish numbers the event (Epoch and Seq are assigned by the hub,
+// whatever the caller set), appends it to the replay ring, and fans it
+// out. Subscribers too slow to keep a queue slot free are dropped. After
+// Close, Publish is a no-op.
+func (h *Hub) Publish(ev Event) Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ev
+	}
+	h.seq++
+	ev.Epoch = h.cfg.Epoch
+	ev.Seq = h.seq
+	h.total++
+	if h.cfg.Replay > 0 {
+		if len(h.ring) == h.cfg.Replay {
+			copy(h.ring, h.ring[1:])
+			h.ring = h.ring[:len(h.ring)-1]
+		}
+		h.ring = append(h.ring, ev)
+	}
+	for s := range h.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			delete(h.subs, s)
+			s.once.Do(func() { close(s.ch) })
+			h.dropped++
+		}
+	}
+	return ev
+}
+
+// Subscribe attaches a consumer. lastID is the client's resume token
+// (empty for a fresh subscription). When the token names this epoch and
+// the requested position is still in the replay ring, every later event
+// is queued before the subscriber sees anything new, and resumed is
+// true: the client missed nothing. Otherwise resumed is false and the
+// caller must tell the client to full-resync (a TypeReset event on the
+// wire). A nil Subscriber is returned after Close.
+func (h *Hub) Subscribe(lastID string) (s *Subscriber, resumed bool) {
+	var epoch, seq int64
+	wantResume := false
+	if lastID != "" {
+		var err error
+		epoch, seq, err = ParseEventID(lastID)
+		wantResume = err == nil
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, false
+	}
+	var backlog []Event
+	if wantResume && epoch == h.cfg.Epoch {
+		if seq == h.seq {
+			resumed = true // current: nothing to replay
+		} else if n := len(h.ring); n > 0 && seq >= h.ring[0].Seq-1 && seq < h.seq {
+			for _, ev := range h.ring {
+				if ev.Seq > seq {
+					backlog = append(backlog, ev)
+				}
+			}
+			resumed = true
+		}
+	}
+	qlen := h.cfg.QueueLen
+	if qlen < len(backlog)+1 {
+		// The queue must absorb the whole backlog, or the subscriber
+		// would be dropped for slowness before its first read.
+		qlen = len(backlog) + 1
+	}
+	sub := &Subscriber{hub: h, ch: make(chan Event, qlen)}
+	sub.C = sub.ch
+	for _, ev := range backlog {
+		sub.ch <- ev
+	}
+	h.subs[sub] = struct{}{}
+	return sub, resumed
+}
+
+// drop detaches a subscriber, closing its channel if still attached.
+func (h *Hub) drop(s *Subscriber) {
+	h.mu.Lock()
+	_, attached := h.subs[s]
+	delete(h.subs, s)
+	h.mu.Unlock()
+	if attached {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// Close detaches every subscriber and rejects future publishes and
+// subscriptions.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = make(map[*Subscriber]struct{})
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// HubStats is a point-in-time snapshot for metrics.
+type HubStats struct {
+	// Active is the number of attached subscribers.
+	Active int
+	// Published counts events published over the hub's lifetime.
+	Published int64
+	// Dropped counts subscribers cut loose for slow consumption.
+	Dropped int64
+	// Seq is the latest assigned sequence number.
+	Seq int64
+}
+
+// Stats snapshots the hub's counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{Active: len(h.subs), Published: h.total, Dropped: h.dropped, Seq: h.seq}
+}

@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Server-Sent-Events wire codec. The stream is plain HTTP with
+// Content-Type text/event-stream; each event is a block of "field: value"
+// lines ended by a blank line:
+//
+//	id: 1722440000:17
+//	event: delta
+//	data: {"from_revision":3,...}
+//
+// The codec speaks the standard subset this control plane needs — id,
+// event, data (possibly multi-line), and comment lines (": ...") used as
+// heartbeats — so any off-the-shelf SSE client can also consume the feed.
+
+// maxSSELineBytes bounds one line of an incoming stream; a delta patch
+// for a large template fits comfortably, a malicious or corrupt stream
+// does not get to buffer unbounded memory.
+const maxSSELineBytes = 16 << 20
+
+// Encoder writes events to an SSE stream.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder wraps w. The caller owns flushing (http.Flusher) after each
+// event so a push actually leaves the server's buffers.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// WriteEvent encodes one event. App, Schema, and Revision ride inside
+// Data (the delta payload carries them); the wire fields are id, event,
+// and data. Data containing newlines is split across data: lines per the
+// SSE spec.
+func (e *Encoder) WriteEvent(ev Event) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "id: %s\n", ev.ID())
+	if ev.Type != "" {
+		fmt.Fprintf(&b, "event: %s\n", ev.Type)
+	}
+	if len(ev.Data) > 0 {
+		for _, line := range strings.Split(string(ev.Data), "\n") {
+			fmt.Fprintf(&b, "data: %s\n", line)
+		}
+	}
+	b.WriteByte('\n')
+	_, err := e.w.Write(b.Bytes())
+	return err
+}
+
+// WriteHeartbeat emits a comment-line heartbeat. Comments carry no ID and
+// are not replayable; they exist so both ends can tell a quiet stream
+// from a dead one.
+func (e *Encoder) WriteHeartbeat() error {
+	_, err := io.WriteString(e.w, ": heartbeat\n\n")
+	return err
+}
+
+// Decoder reads events from an SSE stream.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// Next returns the next event block. Comment-only blocks come back as
+// TypeHeartbeat events so callers can arm liveness deadlines without
+// special-casing the wire format. io.EOF reports a cleanly ended stream;
+// a block cut off mid-way reports io.ErrUnexpectedEOF.
+func (d *Decoder) Next() (Event, error) {
+	var ev Event
+	sawField := false
+	sawComment := false
+	var data []string
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			if err == io.EOF && (sawField || sawComment) {
+				return ev, io.ErrUnexpectedEOF
+			}
+			return ev, err
+		}
+		if line == "" { // blank line: end of block
+			if sawField {
+				if len(data) > 0 {
+					ev.Data = []byte(strings.Join(data, "\n"))
+				}
+				return ev, nil
+			}
+			if sawComment {
+				return Event{Type: TypeHeartbeat}, nil
+			}
+			continue // stray blank line between blocks
+		}
+		if strings.HasPrefix(line, ":") {
+			sawComment = true
+			continue
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			epoch, seq, err := ParseEventID(value)
+			if err != nil {
+				return ev, err
+			}
+			ev.Epoch, ev.Seq = epoch, seq
+			sawField = true
+		case "event":
+			ev.Type = value
+			sawField = true
+		case "data":
+			data = append(data, value)
+			sawField = true
+		default:
+			// Unknown fields are ignored per the SSE spec, so the wire
+			// format can grow without breaking deployed clients.
+		}
+	}
+}
+
+// readLine reads one \n-terminated line (trailing \r stripped, so both
+// LF and CRLF streams parse), enforcing maxSSELineBytes.
+func (d *Decoder) readLine() (string, error) {
+	var buf []byte
+	for {
+		chunk, err := d.r.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > maxSSELineBytes {
+			return "", fmt.Errorf("stream: SSE line exceeds %d bytes", maxSSELineBytes)
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && len(buf) > 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", err
+		}
+		line := strings.TrimSuffix(string(buf), "\n")
+		return strings.TrimSuffix(line, "\r"), nil
+	}
+}

@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestEventIDRoundTrip(t *testing.T) {
+	ev := Event{Epoch: 42, Seq: 7}
+	epoch, seq, err := ParseEventID(ev.ID())
+	if err != nil || epoch != 42 || seq != 7 {
+		t.Fatalf("ParseEventID(%q) = %d, %d, %v", ev.ID(), epoch, seq, err)
+	}
+	for _, bad := range []string{"", "42", "a:b", "-1:2", "1:-2", "1:2:3"} {
+		if _, _, err := ParseEventID(bad); err == nil {
+			t.Errorf("ParseEventID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHubPublishAndSubscribe(t *testing.T) {
+	h := NewHub(HubConfig{Epoch: 5})
+	defer h.Close()
+	sub, resumed := h.Subscribe("")
+	if sub == nil || resumed {
+		t.Fatalf("Subscribe = %v, %v", sub, resumed)
+	}
+	h.Publish(Event{Type: TypeDelta, App: "vlc", Data: []byte("x")})
+	h.Publish(Event{Type: TypeDelta, App: "kv", Data: []byte("y")})
+
+	ev := <-sub.C
+	if ev.Epoch != 5 || ev.Seq != 1 || ev.App != "vlc" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	ev = <-sub.C
+	if ev.Seq != 2 || ev.App != "kv" {
+		t.Fatalf("second event = %+v", ev)
+	}
+	if st := h.Stats(); st.Active != 1 || st.Published != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHubResumeReplaysBacklog(t *testing.T) {
+	h := NewHub(HubConfig{Epoch: 9})
+	defer h.Close()
+	for i := 0; i < 3; i++ {
+		h.Publish(Event{Type: TypeDelta, App: "vlc"})
+	}
+	// A client that saw seq 1 resumes and must get 2 and 3 replayed.
+	sub, resumed := h.Subscribe(Event{Epoch: 9, Seq: 1}.ID())
+	if sub == nil || !resumed {
+		t.Fatalf("Subscribe = %v, resumed=%v", sub, resumed)
+	}
+	if ev := <-sub.C; ev.Seq != 2 {
+		t.Fatalf("replayed seq = %d, want 2", ev.Seq)
+	}
+	if ev := <-sub.C; ev.Seq != 3 {
+		t.Fatalf("replayed seq = %d, want 3", ev.Seq)
+	}
+	// Fully caught up resumes too, with nothing replayed.
+	if _, resumed := h.Subscribe(Event{Epoch: 9, Seq: 3}.ID()); !resumed {
+		t.Error("caught-up client did not resume")
+	}
+}
+
+func TestHubResumeRejectsWrongEpochOrLostHistory(t *testing.T) {
+	h := NewHub(HubConfig{Epoch: 2, Replay: 2})
+	defer h.Close()
+	for i := 0; i < 10; i++ {
+		h.Publish(Event{Type: TypeDelta})
+	}
+	if _, resumed := h.Subscribe(Event{Epoch: 1, Seq: 9}.ID()); resumed {
+		t.Error("resumed across an epoch change")
+	}
+	// Seq 3 fell out of the 2-event replay ring.
+	if _, resumed := h.Subscribe(Event{Epoch: 2, Seq: 3}.ID()); resumed {
+		t.Error("resumed from history the ring no longer holds")
+	}
+}
+
+func TestHubOverflowDropsSlowSubscriber(t *testing.T) {
+	h := NewHub(HubConfig{Epoch: 1, QueueLen: 2})
+	defer h.Close()
+	slow, _ := h.Subscribe("")
+	fast, _ := h.Subscribe("")
+	for i := 0; i < 5; i++ {
+		h.Publish(Event{Type: TypeDelta})
+		<-fast.C // fast consumer keeps up
+	}
+	// slow never drained: 2 buffered, then dropped and closed.
+	n := 0
+	for range slow.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("slow subscriber got %d buffered events, want 2", n)
+	}
+	st := h.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("stats = %+v, want a drop", st)
+	}
+	if st.Active != 1 {
+		t.Fatalf("active = %d, want 1 (the fast one)", st.Active)
+	}
+}
+
+func TestSSECodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	want := []Event{
+		{Epoch: 3, Seq: 1, Type: TypeDelta, App: "vlc", Data: []byte(`{"a":1}`)},
+		{Epoch: 3, Seq: 2, Type: TypeReset, Data: []byte("line1\nline2")},
+	}
+	for _, ev := range want {
+		if err := enc.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.WriteHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.Epoch != w.Epoch || got.Seq != w.Seq || got.Type != w.Type || !bytes.Equal(got.Data, w.Data) {
+			t.Fatalf("event %d = %+v, want %+v", i, got, w)
+		}
+	}
+	hb, err := dec.Next()
+	if err != nil || hb.Type != TypeHeartbeat {
+		t.Fatalf("heartbeat = %+v, %v", hb, err)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("EOF = %v", err)
+	}
+}
+
+func TestSSEDecoderTruncatedStream(t *testing.T) {
+	dec := NewDecoder(strings.NewReader("event: delta\ndata: {}"))
+	if _, err := dec.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMetricSetRendering(t *testing.T) {
+	m := NewMetricSet()
+	m.Counter("stayaway_puts_total", "Accepted puts.").Add(3)
+	m.Gauge("stayaway_rev", "Current revision.", "app", "vlc", "schema", "s1").Set(7)
+	m.Gauge("stayaway_rev", "Current revision.", "app", `k"v\x`).Set(2)
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP stayaway_puts_total Accepted puts.",
+		"# TYPE stayaway_puts_total counter",
+		"stayaway_puts_total 3",
+		"# TYPE stayaway_rev gauge",
+		`stayaway_rev{app="vlc",schema="s1"} 7`,
+		`stayaway_rev{app="k\"v\\x"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Re-render is stable (registration order, sorted series).
+	var buf2 bytes.Buffer
+	if _, err := m.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("rendering is not deterministic")
+	}
+}
