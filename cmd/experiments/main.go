@@ -10,6 +10,10 @@
 //	-summary       run the headline utilization summary (10–70% claim)
 //	-ablations     run the binary-vs-graded throttling ablation
 //	-chaos         run the fault-injection suite (non-zero exit on failure)
+//	-reload-chaos  run the reload-under-fault suite: lane adds/removes/
+//	               reconfigurations interleaved with crashes and injected
+//	               cgroupfs faults (non-zero exit on any ledger-invariant
+//	               violation)
 //	-multitenant   run the two-sensitive conflicting-lane scenario
 //	-sched         run the cluster-placement-vs-baselines ablation
 //	-fleet         run the streaming fleet-convergence simulation
@@ -44,6 +48,7 @@ func run() error {
 	summary := flag.Bool("summary", false, "run the headline utilization summary")
 	ablations := flag.Bool("ablations", false, "run the binary-vs-graded throttling ablation")
 	chaosSuite := flag.Bool("chaos", false, "run the fault-injection suite")
+	reloadChaos := flag.Bool("reload-chaos", false, "run the reload-under-fault suite (lane lifecycle + crashes + injected faults)")
 	multiTenant := flag.Bool("multitenant", false, "run the two-sensitive conflicting-lane scenario")
 	schedAblation := flag.Bool("sched", false, "run the cluster-placement-vs-baselines ablation")
 	fleetConv := flag.Bool("fleet", false, "run the streaming fleet-convergence simulation (non-zero exit when convergence misses the 99% floor)")
@@ -86,11 +91,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary || *ablations || *chaosSuite || *multiTenant || *schedAblation || *fleetConv:
+	case *summary || *ablations || *chaosSuite || *reloadChaos || *multiTenant || *schedAblation || *fleetConv:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -multitenant, -sched, -fleet or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -reload-chaos, -multitenant, -sched, -fleet or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -178,6 +183,15 @@ func run() error {
 		f, err := experiments.Chaos(*seed)
 		if err != nil {
 			return fmt.Errorf("chaos suite: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	if *reloadChaos || *all {
+		f, err := experiments.ReloadChaos(*seed)
+		if err != nil {
+			return fmt.Errorf("reload chaos suite: %w", err)
 		}
 		if err := emit(f); err != nil {
 			return err

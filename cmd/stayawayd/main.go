@@ -77,6 +77,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -88,11 +90,13 @@ import (
 
 	"repro/internal/cgroup"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/fleet"
 	"repro/internal/fsatomic"
 	"repro/internal/metrics"
 	"repro/internal/procenv"
 	"repro/internal/resilience"
+	"repro/internal/stream"
 	"repro/internal/throttle"
 )
 
@@ -153,6 +157,9 @@ type options struct {
 	graded        bool
 	memoryHighMB  float64
 	recoverOnly   bool
+	lanesFile     string
+	reloadWatch   bool
+	eventWindow   int
 }
 
 // validate enforces the daemon's startup contract up front, before
@@ -252,6 +259,19 @@ func (o options) validate() (cgroupMode bool, err error) {
 	if o.memoryHighMB < 0 {
 		fail("-memory-high-mb must be non-negative, got %v", o.memoryHighMB)
 	}
+	// In lanes-file mode the sensitive/qos/app lists arrive pre-populated
+	// from the file (run() enforces the file-vs-flags exclusivity before
+	// conversion); only the mode conflict is checkable here.
+	if o.lanesFile != "" && pidMode {
+		fail("-lanes-file requires cgroup mode: PID lanes cannot be reconfigured live")
+	}
+	if o.reloadWatch && o.lanesFile == "" {
+		fail("-reload-watch requires -lanes-file (there is nothing else to watch)")
+	}
+	// 0 follows core.Config's contract: default window (4096).
+	if o.eventWindow < -1 {
+		fail("-event-window must be positive (events retained per lane), 0 for the default, or -1 for unbounded, got %d", o.eventWindow)
+	}
 	return cgroupMode, errors.Join(errs...)
 }
 
@@ -266,11 +286,26 @@ type laneSpec struct {
 	syncer  *fleet.Syncer
 	stream  *fleet.StreamSyncer // non-nil in -stream mode
 	seq     uint64              // EventsSince cursor for the report drain
+	hubSeq  uint64              // independent cursor for the admin SSE publisher
+	def     daemon.LaneDef      // declarative source (lanes-file mode only)
 	periods int
 	viols   int
 	merges  int // fleet deltas folded into the live map
 	merged  core.MergeStats
 }
+
+// The daemon's own admin metrics, distinct from the fleet sync counters
+// written by -metrics-file.
+const (
+	metricReloads   = "stayaway_daemon_reloads_total"
+	helpReloads     = "Hot reload attempts by result."
+	metricPeriods   = "stayaway_daemon_periods_total"
+	helpPeriods     = "Completed control periods."
+	metricLanes     = "stayaway_daemon_lanes"
+	helpLanes       = "Protection lanes currently running."
+	metricLaneLevel = "stayaway_daemon_lane_level"
+	helpLaneLevel   = "Lane's current batch allowance (1 free, 0 frozen)."
+)
 
 // templateOutPath derives the per-lane export path: a single lane writes
 // base verbatim; several write base with "-<app>" before the extension.
@@ -309,8 +344,35 @@ func run() error {
 	fleetKey := flag.String("fleet-key", "", "shared fleet key; when set, registry requests are HMAC-signed")
 	fleetKeyFile := flag.String("fleet-key-file", "", "file holding the shared fleet key (preferred over -fleet-key: argv leaks via ps)")
 	metricsFile := flag.String("metrics-file", "", "write fleet sync metrics (Prometheus text) here every -sync-every periods, atomically (requires -registry)")
+	lanesFile := flag.String("lanes-file", "", "declarative lane config (lanes.json); reloaded live on SIGHUP or POST /v1/reload without restarting or dropping restrictions (cgroup mode only, replaces -sensitive-cgroup/-qos-file/-app)")
+	reloadWatch := flag.Bool("reload-watch", false, "poll -lanes-file for mtime/size changes every period and reload automatically")
+	adminAddr := flag.String("admin-addr", "", "HTTP admin surface listen address (/healthz, /readyz, /metrics, /v1/events SSE, /v1/reload); empty = disabled")
+	eventWindow := flag.Int("event-window", 4096, "per-period events retained per lane; memory is bounded by this times the Event size (~200B), so 4096 ≈ 800KB per lane; -1 retains everything (unbounded memory on long runs)")
 	verbose := flag.Bool("v", false, "print every period event")
 	flag.Parse()
+
+	// Lanes-file mode: the file is the single source of truth for the
+	// protected applications; converting it into the positional lists up
+	// front lets every later stage treat both modes identically.
+	var lanesDecl []daemon.LaneDef
+	if *lanesFile != "" {
+		if len(sensCgroups) > 0 || len(qosFiles) > 0 || len(apps) > 0 {
+			return fmt.Errorf("-lanes-file is the declarative twin of -sensitive-cgroup/-qos-file/-app; give one or the other, not both")
+		}
+		lf, err := daemon.LoadLanes(*lanesFile)
+		if err == nil {
+			err = lf.Validate(parseList(*batchCgroups))
+		}
+		if err != nil {
+			return fmt.Errorf("-lanes-file: %w", err)
+		}
+		lanesDecl = lf.Lanes
+		for _, d := range lanesDecl {
+			sensCgroups = append(sensCgroups, d.SensitiveCgroup)
+			qosFiles = append(qosFiles, d.QoSFile)
+			apps = append(apps, d.Name())
+		}
+	}
 
 	sens, err := parsePIDs(*sensitivePIDs)
 	if err != nil {
@@ -330,6 +392,9 @@ func run() error {
 		graded:        *graded,
 		memoryHighMB:  *memoryHighMB,
 		recoverOnly:   *recoverOnly,
+		lanesFile:     *lanesFile,
+		reloadWatch:   *reloadWatch,
+		eventWindow:   *eventWindow,
 	}
 	cgroupMode, err := opts.validate()
 	if err != nil {
@@ -355,7 +420,10 @@ func run() error {
 	// several use their cgroup paths as group names.
 	var lanes []*laneSpec
 	if cgroupMode {
-		multi := len(opts.sensCgroups) > 1
+		// Lanes-file mode always uses cgroup-path group names, even with a
+		// single lane: the set can grow live, and a mid-run switch from the
+		// legacy "sensitive" name would break the measurement schema.
+		multi := len(opts.sensCgroups) > 1 || lanesDecl != nil
 		for i, cg := range opts.sensCgroups {
 			spec := &laneSpec{group: "sensitive", app: "sensitive"}
 			if multi {
@@ -388,11 +456,12 @@ func run() error {
 	}
 
 	var (
-		henv     *procenv.HostEnv
-		batchIDs []string // the IDs the throttle controller actuates
-		act      throttle.Actuator
-		release  func() error // final cleanup: never leave batch work throttled
-		watching string
+		henv      *procenv.HostEnv
+		batchIDs  []string // the IDs the throttle controller actuates
+		act       throttle.Actuator
+		release   func() error // final cleanup: never leave batch work throttled
+		watching  string
+		collector *cgroup.Collector // cgroup mode only; hot reload adds/removes groups
 	)
 
 	if cgroupMode {
@@ -418,14 +487,14 @@ func run() error {
 			for _, spec := range lanes {
 				groups = append(groups, cgroup.Group{Name: spec.group, Path: spec.group})
 			}
-			if len(lanes) == 1 {
+			if len(lanes) == 1 && lanesDecl == nil {
 				// Legacy layout: group "sensitive" at the configured path.
 				groups[0].Path = opts.sensCgroups[0]
 			}
 			for _, cg := range opts.batchCgroups {
 				groups = append(groups, cgroup.Group{Name: cg, Path: cg})
 			}
-			collector, err := cgroup.NewCollector(cfs, groups)
+			collector, err = cgroup.NewCollector(cfs, groups)
 			if err != nil {
 				return err
 			}
@@ -491,6 +560,8 @@ func run() error {
 	// BEFORE they reach the ledgered actuator, so the write-ahead log holds
 	// exactly the effective actuations on the shared pool.
 	var ledger *resilience.Ledger
+	var ledgerRecovered int
+	var ledgerRecoveryErr string
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			return fmt.Errorf("-state-dir: %v", err)
@@ -498,7 +569,7 @@ func run() error {
 		for _, spec := range lanes {
 			spec.ckPath = resilience.LaneCheckpointPath(*stateDir, spec.app)
 		}
-		if len(lanes) == 1 {
+		if len(lanes) == 1 && lanesDecl == nil {
 			// Legacy single-tenant layout.
 			lanes[0].ckPath = filepath.Join(*stateDir, "checkpoint.json")
 		}
@@ -511,7 +582,9 @@ func run() error {
 		thawed, err := resilience.Recover(ledger, act, batchIDs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stayawayd: ledger recovery: %v\n", err)
+			ledgerRecoveryErr = err.Error()
 		}
+		ledgerRecovered = len(thawed)
 		if len(thawed) > 0 {
 			fmt.Printf("stayawayd: recovered: thawed %v\n", thawed)
 		}
@@ -547,17 +620,28 @@ func run() error {
 	}
 	ranges := metrics.DefaultRanges(*cores, *memoryMB, *diskMBps, 1000)
 	seed := time.Now().UnixNano()
-	for i, spec := range lanes {
-		cfg := core.DefaultConfig(spec.group, batchIDs, ranges)
-		cfg.Seed = seed + int64(i)
-		cfg.SensitiveApp = spec.app
+	laneSeq := 0
+	if *eventWindow == -1 {
+		fmt.Fprintln(os.Stderr, "stayawayd: warning: -event-window -1 retains every period event; memory grows unboundedly with uptime")
+	}
+	// laneConfig builds one lane's pipeline config; shared between the
+	// startup loop and hot-reload adds so both produce identical lanes.
+	laneConfig := func(group, app string) core.Config {
+		cfg := core.DefaultConfig(group, batchIDs, ranges)
+		cfg.Seed = seed + int64(laneSeq)
+		laneSeq++
+		cfg.SensitiveApp = app
+		cfg.EventWindow = *eventWindow
 		if *graded {
 			cfg.Throttle.Policy = throttle.PolicyGraded
 		}
+		return cfg
+	}
+	for _, spec := range lanes {
 		if spec.sig, err = henv.Signals(spec.group, spec.qos); err != nil {
 			return err
 		}
-		if spec.lane, err = host.AddLane(cfg, spec.sig); err != nil {
+		if spec.lane, err = host.AddLane(laneConfig(spec.group, spec.app), spec.sig); err != nil {
 			return err
 		}
 	}
@@ -668,8 +752,89 @@ func run() error {
 		}
 	}
 
+	// Live operations: the status board the loop publishes to, the admin
+	// event hub, the two-phase reloader and the lanes-file watcher.
+	board := daemon.NewBoard()
+	board.Update(func(s *daemon.Status) {
+		s.LedgerRecovered = ledgerRecovered
+		s.LedgerRecoveryError = ledgerRecoveryErr
+	})
+	var (
+		hub          *stream.Hub
+		adminMetrics *stream.MetricSet
+		adminSrv     *http.Server
+		reloader     *daemon.Reloader
+		lanesWatch   *daemon.Watcher
+	)
+	if *lanesFile != "" {
+		reloader = daemon.NewReloader(*lanesFile, lanesDecl, opts.batchCgroups)
+		for i := range lanes {
+			lanes[i].def = lanesDecl[i]
+		}
+		if *reloadWatch {
+			lanesWatch = daemon.NewWatcher(*lanesFile)
+		}
+	}
+	if *adminAddr != "" {
+		hub = stream.NewHub(stream.HubConfig{Epoch: time.Now().UnixNano()})
+		defer hub.Close()
+		adminMetrics = stream.NewMetricSet()
+	}
+	// queueReload is phase one of a hot reload, shared by SIGHUP, the
+	// watcher and POST /v1/reload: validate and stage, or reject with the
+	// running set untouched.
+	queueReload := func(source string) error {
+		err := reloader.Queue()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stayawayd: reload (%s) rejected, keeping running config: %v\n", source, err)
+			if adminMetrics != nil {
+				adminMetrics.Counter(metricReloads, helpReloads, "result", "rejected").Add(1)
+			}
+			if hub != nil {
+				hub.Publish(daemon.ReloadEvent(daemon.ReloadOutcome{Rejected: err.Error()}))
+			}
+			return err
+		}
+		fmt.Printf("stayawayd: reload (%s) validated, applying at next period boundary\n", source)
+		return nil
+	}
+	if *adminAddr != "" {
+		var reloadHook func() error
+		if reloader != nil {
+			reloadHook = func() error { return queueReload("POST /v1/reload") }
+		}
+		admin, err := daemon.NewAdmin(daemon.AdminConfig{
+			Board:   board,
+			Hub:     hub,
+			Metrics: adminMetrics,
+			Reload:  reloadHook,
+			Key:     fleetKeyBytes,
+			Logf: func(format string, args ...any) {
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "stayawayd: "+format+"\n", args...)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("-admin-addr: %w", err)
+		}
+		adminSrv = &http.Server{Handler: admin.Handler()}
+		go func() {
+			if err := adminSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "stayawayd: admin server: %v\n", err)
+			}
+		}()
+		fmt.Printf("stayawayd: admin surface on http://%s\n", ln.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
 
@@ -736,6 +901,181 @@ func run() error {
 		}
 	}
 
+	// Hot-reload lane operations. All three run on the loop goroutine at a
+	// period boundary — the only place the host runtime allows mutation.
+	addLane := func(d daemon.LaneDef) (*laneSpec, error) {
+		group := d.SensitiveCgroup
+		if err := collector.AddGroup(cgroup.Group{Name: group, Path: group}); err != nil {
+			return nil, err
+		}
+		qos := procenv.FileQoS{Path: d.QoSFile}
+		sig, err := henv.Signals(group, qos)
+		if err != nil {
+			collector.RemoveGroup(group)
+			return nil, err
+		}
+		lane, err := host.AddLane(laneConfig(group, d.Name()), sig)
+		if err != nil {
+			collector.RemoveGroup(group)
+			return nil, err
+		}
+		spec := &laneSpec{app: d.Name(), group: group, qos: qos, sig: sig, lane: lane, def: d}
+		if *stateDir != "" {
+			spec.ckPath = resilience.LaneCheckpointPath(*stateDir, spec.app)
+			// A lane removed earlier and re-added resumes its learning.
+			if ck, err := resilience.LoadCheckpoint(spec.ckPath); err == nil && ck != nil {
+				if err := lane.RestoreCheckpoint(ck); err == nil {
+					fmt.Printf("stayawayd: %s: restored checkpoint (%d periods of learning)\n", spec.app, ck.Periods)
+				}
+			}
+		}
+		if hostSync != nil {
+			spec.syncer = hostSync.Lane(spec.app)
+		}
+		lanes = append(lanes, spec)
+		return spec, nil
+	}
+	changeLane := func(spec *laneSpec, d daemon.LaneDef) (bool, error) {
+		group := d.SensitiveCgroup
+		if group != spec.group {
+			// The sensitive cgroup moved: register the new telemetry group
+			// first so the replacement lane's first collection sees its
+			// real source.
+			if err := collector.AddGroup(cgroup.Group{Name: group, Path: group}); err != nil {
+				return false, err
+			}
+		}
+		qos := procenv.FileQoS{Path: d.QoSFile}
+		sig, err := henv.Signals(group, qos)
+		if err == nil {
+			var lane *core.Lane
+			var carried bool
+			lane, carried, err = host.ReconfigureLane(laneConfig(group, d.Name()), sig)
+			if err == nil {
+				if group != spec.group {
+					collector.RemoveGroup(spec.group)
+				}
+				spec.group, spec.qos, spec.sig, spec.lane, spec.def = group, qos, sig, lane, d
+				// The replacement lane's event ring restarts at sequence 0.
+				spec.seq, spec.hubSeq = 0, 0
+				return carried, nil
+			}
+		}
+		if group != spec.group {
+			collector.RemoveGroup(group) // roll back; the old lane runs on
+		}
+		return false, err
+	}
+	removeLane := func(spec *laneSpec) error {
+		lane, err := host.RemoveLane(spec.app)
+		// The lane is out of the arbiter's merge even on error (removal is
+		// fail-safe); what follows is best-effort bookkeeping.
+		if lane != nil && lane.Space().Len() > 0 {
+			if spec.ckPath != "" {
+				if ckErr := resilience.SaveCheckpoint(spec.ckPath, lane.Checkpoint()); ckErr != nil {
+					fmt.Fprintf(os.Stderr, "stayawayd: %s: departing checkpoint: %v\n", spec.app, ckErr)
+				}
+			}
+			if spec.syncer != nil {
+				// Share the freshest map before the lane disappears.
+				if pushErr := spec.syncer.PushTemplate(lane.ExportTemplate(spec.app)); pushErr != nil {
+					fmt.Fprintf(os.Stderr, "stayawayd: %s: departing push: %v\n", spec.app, pushErr)
+				}
+			}
+		}
+		collector.RemoveGroup(spec.group)
+		for i, cur := range lanes {
+			if cur == spec {
+				lanes = append(lanes[:i], lanes[i+1:]...)
+				break
+			}
+		}
+		return err
+	}
+
+	// applyReload is phase two of a hot reload, run at a period boundary:
+	// take the staged config, diff it against what is running, apply adds
+	// before changes before removes — the shared pool is never left less
+	// protected than both configs agree on — and commit the set that is
+	// actually running afterwards, so a failed add surfaces as drift in
+	// ReloadStatus instead of being papered over.
+	applyReload := func() {
+		if reloader == nil {
+			return
+		}
+		desired, gen, ok := reloader.TakePending()
+		if !ok {
+			return
+		}
+		diff := reloader.Diff(desired)
+		if diff.Empty() {
+			reloader.Commit(gen, desired)
+			return
+		}
+		fmt.Printf("stayawayd: reload gen %d: applying %s\n", gen, diff)
+		byApp := make(map[string]*laneSpec, len(lanes))
+		for _, spec := range lanes {
+			byApp[spec.app] = spec
+		}
+		publishLane := func(c daemon.LaneChange) {
+			if hub != nil {
+				hub.Publish(daemon.LaneEvent(c))
+			}
+		}
+		for _, d := range diff.Add {
+			spec, err := addLane(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: reload: add %s: %v\n", d.Name(), err)
+				publishLane(daemon.LaneChange{Op: "add", App: d.Name(), Error: err.Error()})
+				continue
+			}
+			byApp[spec.app] = spec
+			fmt.Printf("stayawayd: reload: added lane %s (cgroup %s)\n", spec.app, d.SensitiveCgroup)
+			publishLane(daemon.LaneChange{Op: "add", App: spec.app})
+		}
+		for _, d := range diff.Change {
+			spec := byApp[d.Name()]
+			if spec == nil {
+				continue
+			}
+			carried, err := changeLane(spec, d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: reload: change %s rejected, lane keeps its old config: %v\n", d.Name(), err)
+				publishLane(daemon.LaneChange{Op: "change", App: d.Name(), Error: err.Error()})
+				continue
+			}
+			fmt.Printf("stayawayd: reload: reconfigured lane %s (state carried: %v)\n", spec.app, carried)
+			publishLane(daemon.LaneChange{Op: "change", App: spec.app, Carried: carried})
+		}
+		for _, name := range diff.Remove {
+			spec := byApp[name]
+			if spec == nil {
+				continue
+			}
+			errStr := ""
+			if err := removeLane(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: reload: remove %s: %v\n", name, err)
+				errStr = err.Error()
+			} else {
+				fmt.Printf("stayawayd: reload: removed lane %s\n", name)
+			}
+			delete(byApp, name)
+			publishLane(daemon.LaneChange{Op: "remove", App: name, Error: errStr})
+		}
+		applied := make([]daemon.LaneDef, 0, len(lanes))
+		for _, spec := range lanes {
+			applied = append(applied, spec.def)
+		}
+		reloader.Commit(gen, applied)
+		multi = len(lanes) > 1
+		if adminMetrics != nil {
+			adminMetrics.Counter(metricReloads, helpReloads, "result", "applied").Add(1)
+		}
+		if hub != nil {
+			hub.Publish(daemon.ReloadEvent(daemon.ReloadOutcome{Generation: gen, Diff: diff.String()}))
+		}
+	}
+
 	// The watchdog runs beside the loop: if periods stop completing (a
 	// hung cgroupfs read blocks the collector, say), it thaws everything
 	// from its own goroutine — the stalled loop cannot.
@@ -746,6 +1086,12 @@ func run() error {
 			Grace:  *watchdogGrace,
 			OnStall: func(since time.Duration) {
 				fmt.Fprintf(os.Stderr, "stayawayd: watchdog: no completed period for %v, thawing everything\n", since)
+				// Flip readiness from here: the stalled loop cannot
+				// publish its own bad news.
+				board.Update(func(s *daemon.Status) {
+					s.WatchdogStalled = true
+					s.WatchdogStalls++
+				})
 				if err := release(); err != nil {
 					fmt.Fprintln(os.Stderr, "stayawayd: watchdog release:", err)
 				}
@@ -802,6 +1148,46 @@ func run() error {
 	// must never strand batch workloads frozen. (SIGKILL still can; that
 	// is what the ledger replay at next boot is for.)
 	var periods int
+	// publish pushes the period's outcome to the admin surface: the status
+	// board for /readyz, the hub for /v1/events subscribers (via each
+	// lane's independent hubSeq cursor, so the report drain above and the
+	// SSE feed never fight over one cursor), and the admin metric set.
+	publish := func() {
+		if hub != nil {
+			for _, spec := range lanes {
+				var evs []core.Event
+				evs, spec.hubSeq = spec.lane.EventsSince(spec.hubSeq)
+				for _, ev := range evs {
+					hub.Publish(daemon.PeriodEvent(ev))
+				}
+			}
+		}
+		health := host.Health()
+		var wdStalled bool
+		var wdStalls int
+		if wd != nil {
+			wdStalled, wdStalls, _, _ = wd.Status()
+		}
+		var rs daemon.ReloadStatus
+		if reloader != nil {
+			rs = reloader.Status()
+		}
+		board.Update(func(s *daemon.Status) {
+			s.Ready = true
+			s.Periods = periods
+			s.Lanes = health
+			s.WatchdogStalled = wdStalled
+			s.WatchdogStalls = wdStalls
+			s.Reload = rs
+		})
+		if adminMetrics != nil {
+			adminMetrics.Counter(metricPeriods, helpPeriods).Add(1)
+			adminMetrics.Gauge(metricLanes, helpLanes).Set(float64(len(lanes)))
+			for _, lh := range health {
+				adminMetrics.Gauge(metricLaneLevel, helpLaneLevel, "app", lh.App).Set(lh.Level)
+			}
+		}
+	}
 	loopErr := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -813,7 +1199,17 @@ func run() error {
 			select {
 			case <-stop:
 				break loop
+			case <-hup:
+				if reloader == nil {
+					fmt.Fprintln(os.Stderr, "stayawayd: SIGHUP ignored: hot reload needs -lanes-file")
+					continue
+				}
+				queueReload("SIGHUP")
 			case <-ticker.C:
+				if lanesWatch != nil && lanesWatch.Changed() {
+					queueReload("watch")
+				}
+				applyReload()
 				adopt()
 				evs, err := host.Period()
 				if err != nil {
@@ -825,6 +1221,7 @@ func run() error {
 				}
 				periods++
 				drain()
+				publish()
 				if periods%*syncEvery == 0 {
 					for i, spec := range lanes {
 						sync(spec, evs[i].Throttled)
@@ -850,10 +1247,33 @@ func run() error {
 		return nil
 	}()
 
+	// Graceful drain: take every lane out through the arbiter's merge —
+	// the same fail-safe path a live removal uses — so each departing
+	// batch restriction is released exactly once and the final release
+	// below is a backstop, not the primary thaw. Skipped after a panic:
+	// mid-period invariants cannot be trusted, the raw thaw handles it.
+	if loopErr == nil {
+		for _, spec := range lanes {
+			if _, err := host.RemoveLane(spec.app); err != nil {
+				fmt.Fprintf(os.Stderr, "stayawayd: drain %s: %v\n", spec.app, err)
+			}
+		}
+	}
 	// Never leave batch workloads throttled on exit — including after a
 	// panic absorbed above.
 	if err := release(); err != nil {
 		fmt.Fprintln(os.Stderr, "stayawayd: final release:", err)
+	}
+	board.Update(func(s *daemon.Status) { s.Ready = false })
+	if adminSrv != nil {
+		// Closing the hub first unblocks SSE handlers so Shutdown can
+		// finish within its grace window.
+		hub.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			adminSrv.Close()
+		}
+		cancel()
 	}
 	if streamCancel != nil {
 		streamCancel()

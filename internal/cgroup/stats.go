@@ -139,6 +139,46 @@ func (c *Collector) GroupActive(name string) bool {
 	return ok && c.populated(g.Path)
 }
 
+// AddGroup starts monitoring one more cgroup — the collector half of a
+// live lane add. The same validation as NewCollector applies; a
+// duplicate name (or a second name over the same path) is rejected so a
+// reload cannot silently double-count a cgroup. The new group's first
+// Sample primes its counters and reports zero rates, exactly like a
+// fresh collector's first call.
+func (c *Collector) AddGroup(g Group) error {
+	if g.Name == "" {
+		return fmt.Errorf("cgroup: group with empty name")
+	}
+	if g.Path == "" {
+		return fmt.Errorf("cgroup: group %q with empty path", g.Name)
+	}
+	for _, cur := range c.groups {
+		if cur.Name == g.Name {
+			return fmt.Errorf("cgroup: duplicate group %q", g.Name)
+		}
+		if cur.Path == g.Path {
+			return fmt.Errorf("cgroup: path %q already monitored as group %q", g.Path, cur.Name)
+		}
+	}
+	c.groups = append(c.groups, g)
+	return nil
+}
+
+// RemoveGroup stops monitoring the named cgroup and prunes its rate
+// counters, so a later re-add re-primes cleanly instead of reporting a
+// rate over the gap. Removing an unknown group is a no-op: lane removal
+// must be idempotent.
+func (c *Collector) RemoveGroup(name string) {
+	for i, g := range c.groups {
+		if g.Name == name {
+			c.groups = append(c.groups[:i], c.groups[i+1:]...)
+			delete(c.prevCPU, g.Path)
+			delete(c.prevIO, g.Path)
+			return
+		}
+	}
+}
+
 // GroupNames returns the configured group names in order.
 func (c *Collector) GroupNames() []string {
 	out := make([]string, len(c.groups))

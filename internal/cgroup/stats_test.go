@@ -169,3 +169,66 @@ func TestNewCollectorValidation(t *testing.T) {
 		t.Error("nil fs accepted")
 	}
 }
+
+func TestCollectorAddRemoveGroup(t *testing.T) {
+	fs := NewFakeFS()
+	fs.AddCgroup("batch", 7)
+	c, advance := testCollector(t, fs, []Group{{Name: "vlc", Path: "batch"}})
+	c.Sample() // prime
+
+	// Validation mirrors NewCollector, plus path uniqueness so a reload
+	// cannot double-count a cgroup under two names.
+	if err := c.AddGroup(Group{Path: "p"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.AddGroup(Group{Name: "x"}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := c.AddGroup(Group{Name: "vlc", Path: "other"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := c.AddGroup(Group{Name: "alias", Path: "batch"}); err == nil {
+		t.Error("duplicate path accepted")
+	}
+
+	// A live-added group primes on its first sample (zero rates), then
+	// reports rates like any other.
+	fs.AddCgroup("web", 8)
+	if err := c.AddGroup(Group{Name: "web", Path: "web"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GroupNames(); len(got) != 2 || got[1] != "web" {
+		t.Fatalf("GroupNames() = %v", got)
+	}
+	advance(time.Second)
+	s := sampleByVM(t, c.Sample(), "web")
+	if s.Values[metrics.MetricCPU] != 0 {
+		t.Errorf("new group's priming sample has CPU %v, want 0", s.Values[metrics.MetricCPU])
+	}
+	fs.Set("web/cpu.stat", "usage_usec 1000000\n")
+	advance(time.Second)
+	s = sampleByVM(t, c.Sample(), "web")
+	if got := s.Values[metrics.MetricCPU]; got < 99.9 || got > 100.1 {
+		t.Errorf("new group CPU = %v%%, want 100", got)
+	}
+	if !c.GroupActive("web") {
+		t.Error("live-added group not active")
+	}
+
+	// Removal prunes counters: a re-added group must re-prime instead of
+	// reporting a rate across the gap.
+	c.RemoveGroup("web")
+	if got := c.GroupNames(); len(got) != 1 || got[0] != "vlc" {
+		t.Fatalf("GroupNames() after remove = %v", got)
+	}
+	c.RemoveGroup("web") // idempotent
+	fs.Set("web/cpu.stat", "usage_usec 9000000\n")
+	if err := c.AddGroup(Group{Name: "web", Path: "web"}); err != nil {
+		t.Fatal(err)
+	}
+	advance(time.Second)
+	s = sampleByVM(t, c.Sample(), "web")
+	if got := s.Values[metrics.MetricCPU]; got != 0 {
+		t.Errorf("re-added group reported CPU %v across the gap, want re-primed 0", got)
+	}
+}

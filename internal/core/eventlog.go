@@ -1,10 +1,20 @@
 package core
 
+import "sync"
+
 // eventLog retains per-period events in a bounded ring. Long daemon runs
 // previously accumulated one Event per period forever; the ring bounds
 // memory while sequence numbers let report paths drain incrementally
 // without missing (un-evicted) events.
+//
+// The log is internally locked: append only ever happens from the
+// control-loop goroutine (Lane.Period), but several consumers — the
+// daemon's report drain and the admin SSE publisher, each with its own
+// cursor — may drain concurrently with the loop via EventsSince. The
+// mutex covers exactly that read path; the Lane as a whole remains
+// single-threaded.
 type eventLog struct {
+	mu  sync.Mutex
 	buf []Event
 	max int
 	// next is the sequence number the next appended event will get; the
@@ -21,6 +31,8 @@ func newEventLog(max int) *eventLog {
 
 // append records an event, evicting the oldest when full.
 func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.buf = append(l.buf, ev)
 	l.next++
 	if l.max > 0 && len(l.buf) > l.max {
@@ -32,6 +44,8 @@ func (l *eventLog) append(ev Event) {
 
 // all returns a copy of every retained event.
 func (l *eventLog) all() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return append([]Event(nil), l.buf...)
 }
 
@@ -40,6 +54,8 @@ func (l *eventLog) all() []Event {
 // event). Evicted events are gone: asking for a sequence older than the
 // retention window returns only what is still held.
 func (l *eventLog) since(seq uint64) ([]Event, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	oldest := l.next - uint64(len(l.buf))
 	if seq < oldest {
 		seq = oldest
@@ -52,4 +68,8 @@ func (l *eventLog) since(seq uint64) ([]Event, uint64) {
 }
 
 // len reports how many events are retained.
-func (l *eventLog) len() int { return len(l.buf) }
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/throttle"
 )
 
@@ -60,8 +61,8 @@ type hostLane struct {
 
 // NewHost builds a multi-tenant runtime over the shared environment and
 // the downstream actuator (the real cgroup actuator, its ledgered
-// wrapper, or the simulator's). Lanes are added with AddLane before the
-// first Period.
+// wrapper, or the simulator's). Lanes are added with AddLane — before
+// the first Period, or live at any later period boundary.
 func NewHost(env HostEnvironment, downstream throttle.Actuator) (*HostRuntime, error) {
 	if env == nil {
 		return nil, fmt.Errorf("core: nil host environment")
@@ -80,11 +81,13 @@ func NewHost(env HostEnvironment, downstream throttle.Actuator) (*HostRuntime, e
 // AddLane registers one protected application: its pipeline config and
 // its signal source. The lane's controller drives an arbiter handle named
 // after the application, so its decisions merge with the other lanes'.
-// Must be called before the first Period.
+//
+// AddLane may be called before the first Period or live at any later
+// period boundary (between Period calls, from the control-loop
+// goroutine — the HostRuntime stays single-threaded). A lane added live
+// starts learning at its own period 0; the surviving lanes and their
+// restrictions are untouched.
 func (h *HostRuntime) AddLane(cfg Config, sig LaneSignals) (*Lane, error) {
-	if h.periods != 0 {
-		return nil, fmt.Errorf("core: lane added after %d periods", h.periods)
-	}
 	if sig == nil {
 		return nil, fmt.Errorf("core: nil lane signals")
 	}
@@ -127,6 +130,171 @@ func (h *HostRuntime) AddLane(cfg Config, sig LaneSignals) (*Lane, error) {
 	h.lanes = append(h.lanes, hl)
 	h.byApp[cfg.SensitiveApp] = hl
 	return lane, nil
+}
+
+// RemoveLane drains and removes the named lane. Like AddLane it is a
+// period-boundary operation run from the control-loop goroutine. The
+// drain is fail-safe by construction: the lane's controller first
+// withdraws its own restrictions through the arbiter merge (targets it
+// alone restricted thaw; targets other lanes still restrict thaw into
+// the surviving quota — the survivors never see a restriction gap), then
+// the lane's residual desires are purged from the merge with DropLane,
+// which can only loosen. The removed Lane is returned so the caller can
+// flush its final checkpoint; it must not be driven after removal.
+//
+// The lane leaves the runtime even when the drain actuation errors (the
+// error is still returned): a lane that failed to thaw downstream must
+// not keep merging, and with a ledgered downstream the missed thaw is
+// exactly what boot recovery over-thaws.
+func (h *HostRuntime) RemoveLane(app string) (*Lane, error) {
+	hl, ok := h.byApp[app]
+	if !ok {
+		return nil, fmt.Errorf("core: no lane for application %q", app)
+	}
+	relErr := hl.lane.Release()
+	dropErr := h.arbiter.DropLane(app)
+	delete(h.byApp, app)
+	for i, cur := range h.lanes {
+		if cur == hl {
+			h.lanes = append(h.lanes[:i], h.lanes[i+1:]...)
+			break
+		}
+	}
+	if relErr != nil {
+		return hl.lane, relErr
+	}
+	return hl.lane, dropErr
+}
+
+// ReconfigureLane replaces the lane named by cfg.SensitiveApp with one
+// built from cfg, at a period boundary. It is two-phase: the replacement
+// lane is fully constructed and validated first, so a bad configuration
+// returns an error with the running lane untouched; only then is the old
+// lane drained exactly as RemoveLane drains it and the new lane swapped
+// in (preserving lane order). The old lane's learned state — template,
+// trajectory histograms, controller β — is carried into the new lane
+// when the measurement schema still matches; an incompatible change
+// (e.g. a different container set changes the sample schema) starts the
+// new lane cold. The returned bool reports whether state was carried.
+func (h *HostRuntime) ReconfigureLane(cfg Config, sig LaneSignals) (*Lane, bool, error) {
+	if sig == nil {
+		return nil, false, fmt.Errorf("core: nil lane signals")
+	}
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, false, err
+	}
+	old, ok := h.byApp[cfg.SensitiveApp]
+	if !ok {
+		return nil, false, fmt.Errorf("core: no lane for application %q", cfg.SensitiveApp)
+	}
+	// Cross-lane collision checks against the survivors (the lane being
+	// replaced is exempt — it is on its way out).
+	for _, hl := range h.lanes {
+		if hl == old {
+			continue
+		}
+		if hl.lane.SensitiveID() == cfg.SensitiveID {
+			return nil, false, fmt.Errorf("core: sensitive container %q already owned by lane %q",
+				cfg.SensitiveID, hl.lane.App())
+		}
+		for _, id := range cfg.BatchIDs {
+			if id == hl.lane.SensitiveID() {
+				return nil, false, fmt.Errorf("core: container %q is lane %q's sensitive app, cannot be batch",
+					id, hl.lane.App())
+			}
+		}
+		for _, id := range hl.lane.cfg.BatchIDs {
+			if id == cfg.SensitiveID {
+				return nil, false, fmt.Errorf("core: container %q is lane %q's batch, cannot be sensitive",
+					cfg.SensitiveID, hl.lane.App())
+			}
+		}
+	}
+	lane, err := NewLane(cfg, h.arbiter.Lane(cfg.SensitiveApp))
+	if err != nil {
+		return nil, false, err
+	}
+	var ck *resilience.Checkpoint
+	if old.lane.Space().Len() > 0 {
+		ck = old.lane.Checkpoint()
+	}
+	// Commit point: drain the old lane. Arbiter lane records are looked up
+	// by name on every actuation, so recreating the record after DropLane
+	// revalidates the handle the new lane's controller already holds.
+	relErr := old.lane.Release()
+	dropErr := h.arbiter.DropLane(cfg.SensitiveApp)
+	h.arbiter.Lane(cfg.SensitiveApp)
+	hl := &hostLane{
+		lane:   lane,
+		sig:    sig,
+		filter: metrics.LaneFilter(cfg.SensitiveID, cfg.BatchIDs),
+	}
+	for i, cur := range h.lanes {
+		if cur == old {
+			h.lanes[i] = hl
+			break
+		}
+	}
+	h.byApp[cfg.SensitiveApp] = hl
+	carried := false
+	if ck != nil {
+		// Best effort: a schema-incompatible checkpoint means the workload
+		// the old lane learned no longer describes this one — cold start.
+		carried = lane.RestoreCheckpoint(ck) == nil
+	}
+	if relErr != nil {
+		return lane, carried, relErr
+	}
+	return lane, carried, dropErr
+}
+
+// LaneHealth is one lane's point-in-time health, assembled at a period
+// boundary for the daemon's readiness and event surfaces.
+type LaneHealth struct {
+	// App is the sensitive application the lane protects.
+	App string `json:"app"`
+	// Periods is how many periods the lane has run (0 = freshly added).
+	Periods int `json:"periods"`
+	// Throttled reports whether the lane currently restricts the batch
+	// pool; Level is its requested CPU allowance (1 unlimited, 0 frozen).
+	Throttled bool    `json:"throttled"`
+	Level     float64 `json:"level"`
+	// Beta is the controller's learned resume threshold.
+	Beta float64 `json:"beta"`
+	// Violations counts application-reported QoS violations so far.
+	Violations int `json:"violations"`
+	// States and ViolationStates describe the learned space.
+	States          int `json:"states"`
+	ViolationStates int `json:"violation_states"`
+	// QoSStale marks a lane whose application QoS signal has gone silent
+	// (last period ran stale).
+	QoSStale bool `json:"qos_stale,omitempty"`
+}
+
+// Health reports every lane's health in lane order. Like Period it runs
+// on the control-loop goroutine (it reads the lanes' learned state);
+// daemons snapshot it between periods and serve the snapshot.
+func (h *HostRuntime) Health() []LaneHealth {
+	out := make([]LaneHealth, 0, len(h.lanes))
+	for _, hl := range h.lanes {
+		rep := hl.lane.Report()
+		lh := LaneHealth{
+			App:             hl.lane.App(),
+			Periods:         rep.Periods,
+			Throttled:       hl.lane.Throttled(),
+			Level:           hl.lane.Level(),
+			Beta:            hl.lane.Beta(),
+			Violations:      rep.Violations,
+			States:          rep.States,
+			ViolationStates: rep.ViolationStates,
+		}
+		if evs := hl.lane.Events(); len(evs) > 0 {
+			lh.QoSStale = evs[len(evs)-1].QoSStale
+		}
+		out = append(out, lh)
+	}
+	return out
 }
 
 // Period runs one monitoring period across every lane, in lane insertion

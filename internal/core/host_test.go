@@ -136,13 +136,27 @@ func TestHostAddLaneValidation(t *testing.T) {
 		t.Error("period without lanes should error")
 	}
 
-	// Lanes are frozen after the first period.
+	// Lanes can be added live at a period boundary; the newcomer starts
+	// at its own period 0 while the host's period count keeps running.
 	env.script = []hostStep{colocated(100, 100, 50, false, false)}
 	if _, err := h.Period(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.AddLane(laneConfig("kv", "kv-app"), laneSig{env, "kv-app"}); err == nil {
-		t.Error("lane added after a period should error")
+	lane, err := h.AddLane(laneConfig("kv", "kv-app"), laneSig{env, "kv-app"})
+	if err != nil {
+		t.Fatalf("live AddLane: %v", err)
+	}
+	if lane.Periods() != 0 {
+		t.Errorf("live lane Periods() = %d, want 0", lane.Periods())
+	}
+	if _, err := h.Period(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Periods(); got != 2 {
+		t.Errorf("host Periods() = %d, want 2", got)
+	}
+	if lane.Periods() != 1 {
+		t.Errorf("live lane Periods() = %d, want 1", lane.Periods())
 	}
 }
 

@@ -220,6 +220,13 @@ func (l *Lane) Throttled() bool { return l.as.Controller().Throttled() }
 // Beta returns the controller's learned resume threshold.
 func (l *Lane) Beta() float64 { return l.as.Controller().Beta() }
 
+// Level returns the batch CPU allowance this lane currently requests:
+// 1 unlimited, 0 frozen, intermediate values are graded quotas.
+func (l *Lane) Level() float64 { return l.as.Controller().Level() }
+
+// Periods returns how many periods this lane has run.
+func (l *Lane) Periods() int { return l.period }
+
 // Events returns the retained per-period events (bounded by
 // Config.EventWindow).
 func (l *Lane) Events() []Event { return l.events.all() }

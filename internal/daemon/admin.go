@@ -1,0 +1,249 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/stream"
+)
+
+// Event types on the daemon's admin stream (GET /v1/events), alongside
+// stream.TypeHeartbeat/TypeReset from the shared codec.
+const (
+	// TypePeriod carries one lane's core.Event for one period.
+	TypePeriod = "period"
+	// TypeLane announces a lane lifecycle change; its payload is a
+	// LaneChange.
+	TypeLane = "lane"
+	// TypeReload announces a reload commit or rejection; its payload is
+	// a ReloadOutcome.
+	TypeReload = "reload"
+)
+
+// LaneChange is the TypeLane payload.
+type LaneChange struct {
+	// Op is "add", "remove" or "change".
+	Op  string `json:"op"`
+	App string `json:"app"`
+	// Carried reports whether a changed lane kept its learned state.
+	Carried bool `json:"carried,omitempty"`
+	// Error is set when the operation failed (the lane may be gone).
+	Error string `json:"error,omitempty"`
+}
+
+// ReloadOutcome is the TypeReload payload.
+type ReloadOutcome struct {
+	Generation int    `json:"generation"`
+	Diff       string `json:"diff,omitempty"`
+	Rejected   string `json:"rejected,omitempty"`
+}
+
+// PeriodEvent wraps one lane's period event for the hub. Encoding
+// cannot fail for core.Event (plain fields), so the error is dropped —
+// an un-publishable event loses telemetry, never control.
+func PeriodEvent(ev core.Event) stream.Event {
+	data, _ := json.Marshal(ev)
+	return stream.Event{Type: TypePeriod, App: ev.App, Data: data}
+}
+
+// LaneEvent wraps a lane lifecycle change for the hub.
+func LaneEvent(c LaneChange) stream.Event {
+	data, _ := json.Marshal(c)
+	return stream.Event{Type: TypeLane, App: c.App, Data: data}
+}
+
+// ReloadEvent wraps a reload outcome for the hub.
+func ReloadEvent(o ReloadOutcome) stream.Event {
+	data, _ := json.Marshal(o)
+	return stream.Event{Type: TypeReload, Data: data}
+}
+
+// AdminConfig wires the admin surface.
+type AdminConfig struct {
+	// Board is the status mailbox the control loop publishes to.
+	// Required.
+	Board *Board
+	// Hub serves GET /v1/events; nil returns 501 there.
+	Hub *stream.Hub
+	// Metrics serves GET /metrics; nil returns 501 there.
+	Metrics *stream.MetricSet
+	// Reload runs phase one of a hot reload (Reloader.Queue) when
+	// POST /v1/reload arrives; nil returns 501 there.
+	Reload func() error
+	// Key enables HMAC request signing (fleet.RequireSignature) on the
+	// mutating and streaming endpoints. The read-only probes /healthz,
+	// /readyz and /metrics stay exempt: kubelets and scrapers do not
+	// sign.
+	Key []byte
+	// Logf receives admin-surface log lines; nil discards.
+	Logf func(format string, args ...any)
+	// StreamHeartbeat is the SSE heartbeat cadence; 0 means 15s.
+	StreamHeartbeat time.Duration
+}
+
+// Admin is stayawayd's HTTP admin surface:
+//
+//	GET  /healthz    liveness (process up)
+//	GET  /readyz     readiness + full Status JSON (503 while not ready)
+//	GET  /metrics    Prometheus text
+//	GET  /v1/events  SSE: period events, lane changes, reload outcomes
+//	POST /v1/reload  programmatic twin of SIGHUP (two-phase validate)
+type Admin struct {
+	cfg AdminConfig
+}
+
+// NewAdmin validates the wiring.
+func NewAdmin(cfg AdminConfig) (*Admin, error) {
+	if cfg.Board == nil {
+		return nil, fmt.Errorf("daemon: admin needs a status board")
+	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 15 * time.Second
+	}
+	return &Admin{cfg: cfg}, nil
+}
+
+// Handler returns the admin mux, HMAC-wrapped when a key is configured.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", a.getReadyz)
+	mux.HandleFunc("GET /metrics", a.getMetrics)
+	mux.HandleFunc("GET /v1/events", a.getEvents)
+	mux.HandleFunc("POST /v1/reload", a.postReload)
+	return fleet.RequireSignature(a.cfg.Key, a.cfg.Logf, mux, "/healthz", "/readyz", "/metrics")
+}
+
+func (a *Admin) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+func (a *Admin) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	a.logf("admin: %d %s", code, msg)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// getReadyz serves the full status; the HTTP code is the readiness
+// verdict (200 ready, 503 not), so probes need no JSON parsing while
+// operators still get the whole picture from the same endpoint.
+func (a *Admin) getReadyz(w http.ResponseWriter, _ *http.Request) {
+	s := a.cfg.Board.Snapshot()
+	code := http.StatusOK
+	if !s.Ready || s.WatchdogStalled {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(s)
+}
+
+func (a *Admin) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	if a.cfg.Metrics == nil {
+		a.writeError(w, http.StatusNotImplemented, "metrics not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.cfg.Metrics.WriteTo(w)
+}
+
+// postReload is the programmatic twin of SIGHUP: phase-one validation
+// runs synchronously so the caller learns immediately whether the file
+// was accepted (202: applies at the next period boundary) or rejected
+// (400 with the reason; the running set is untouched).
+func (a *Admin) postReload(w http.ResponseWriter, _ *http.Request) {
+	if a.cfg.Reload == nil {
+		a.writeError(w, http.StatusNotImplemented, "hot reload not enabled (start stayawayd with -lanes-file)")
+		return
+	}
+	if err := a.cfg.Reload(); err != nil {
+		a.writeError(w, http.StatusBadRequest, "reload rejected: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"status": "queued for next period boundary"})
+}
+
+// getEvents serves the daemon's SSE stream with replay and
+// Last-Event-ID resume, mirroring the registry's stream contract: a
+// resume position this incarnation cannot replay produces an explicit
+// reset event.
+func (a *Admin) getEvents(w http.ResponseWriter, r *http.Request) {
+	if a.cfg.Hub == nil {
+		a.writeError(w, http.StatusNotImplemented, "event streaming not enabled")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		a.writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id")
+	}
+	appFilter := r.URL.Query().Get("app")
+
+	sub, resumed := a.cfg.Hub.Subscribe(lastID)
+	if sub == nil {
+		a.writeError(w, http.StatusServiceUnavailable, "event stream shutting down")
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	enc := stream.NewEncoder(w)
+	if lastID != "" && !resumed {
+		if err := enc.WriteEvent(stream.Event{
+			Epoch: a.cfg.Hub.Epoch(), Seq: 0, Type: stream.TypeReset,
+		}); err != nil {
+			return
+		}
+	}
+	if err := enc.WriteHeartbeat(); err != nil {
+		return
+	}
+	fl.Flush()
+
+	tick := time.NewTicker(a.cfg.StreamHeartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if err := enc.WriteHeartbeat(); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev, open := <-sub.C:
+			if !open {
+				return
+			}
+			if appFilter != "" && ev.App != "" && ev.App != appFilter {
+				continue
+			}
+			if err := enc.WriteEvent(ev); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/stream"
+)
+
+func newTestAdmin(t *testing.T, cfg AdminConfig) *httptest.Server {
+	t.Helper()
+	if cfg.Board == nil {
+		cfg.Board = NewBoard()
+	}
+	if cfg.StreamHeartbeat == 0 {
+		cfg.StreamHeartbeat = 50 * time.Millisecond
+	}
+	a, err := NewAdmin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestAdminRequiresBoard(t *testing.T) {
+	if _, err := NewAdmin(AdminConfig{}); err == nil {
+		t.Fatal("nil board accepted")
+	}
+}
+
+func TestAdminHealthAndReadiness(t *testing.T) {
+	board := NewBoard()
+	ts := newTestAdmin(t, AdminConfig{Board: board})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+
+	// Not ready before the first period.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz before first period = %d, want 503", resp.StatusCode)
+	}
+
+	board.Update(func(s *Status) {
+		s.Ready = true
+		s.Periods = 7
+		s.Lanes = []core.LaneHealth{{App: "vlc", Periods: 7, Throttled: true, Level: 0.5}}
+		s.LedgerRecovered = 2
+	})
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Status
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz when ready = %d", resp.StatusCode)
+	}
+	if got.Periods != 7 || len(got.Lanes) != 1 || got.Lanes[0].App != "vlc" || got.LedgerRecovered != 2 {
+		t.Errorf("readyz body = %+v", got)
+	}
+
+	// A stalled watchdog flips readiness even while the loop nominally runs.
+	board.Update(func(s *Status) { s.WatchdogStalled = true })
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while stalled = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestAdminMetrics(t *testing.T) {
+	ts := newTestAdmin(t, AdminConfig{})
+	resp, _ := http.Get(ts.URL + "/metrics")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("metrics without a set = %d, want 501", resp.StatusCode)
+	}
+
+	ms := stream.NewMetricSet()
+	ms.Counter("stayaway_test_total", "A test counter.").Add(3)
+	ts2 := newTestAdmin(t, AdminConfig{Metrics: ms})
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "stayaway_test_total 3") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+}
+
+func TestAdminReload(t *testing.T) {
+	ts := newTestAdmin(t, AdminConfig{})
+	resp, _ := http.Post(ts.URL+"/v1/reload", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("reload without wiring = %d, want 501", resp.StatusCode)
+	}
+
+	var calls int
+	var fail error
+	ts2 := newTestAdmin(t, AdminConfig{Reload: func() error { calls++; return fail }})
+	resp, err := http.Post(ts2.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || calls != 1 {
+		t.Errorf("reload = %d (calls %d), want 202", resp.StatusCode, calls)
+	}
+
+	fail = fmt.Errorf("daemon: invalid lanes file: version 9")
+	resp, err = http.Post(ts2.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("rejected reload = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "version 9") {
+		t.Errorf("rejection body misses the reason: %s", body)
+	}
+
+	// GET is not a reload.
+	resp, _ = http.Get(ts2.URL + "/v1/reload")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/reload = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAdminEventsSSE(t *testing.T) {
+	hub := stream.NewHub(stream.HubConfig{Epoch: 42})
+	ts := newTestAdmin(t, AdminConfig{Hub: hub})
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	dec := stream.NewDecoder(resp.Body)
+
+	// First frame is the liveness heartbeat.
+	ev, err := dec.Next()
+	if err != nil || ev.Type != stream.TypeHeartbeat {
+		t.Fatalf("first frame = %+v, %v", ev, err)
+	}
+
+	published := hub.Publish(PeriodEvent(core.Event{Period: 3, App: "vlc", Throttled: true}))
+	hub.Publish(LaneEvent(LaneChange{Op: "add", App: "kv"}))
+	hub.Publish(ReloadEvent(ReloadOutcome{Generation: 1, Diff: "+1 ~0 -0"}))
+
+	var got []stream.Event
+	for len(got) < 3 {
+		ev, err := dec.Next()
+		if err != nil {
+			t.Fatalf("decode: %v (got %d events)", err, len(got))
+		}
+		if ev.Type == stream.TypeHeartbeat {
+			continue
+		}
+		got = append(got, ev)
+	}
+	if got[0].Type != TypePeriod {
+		t.Errorf("event 0 = %+v", got[0])
+	}
+	// App and the period detail ride inside the JSON payload on the wire.
+	var pe core.Event
+	if err := json.Unmarshal(got[0].Data, &pe); err != nil || pe.App != "vlc" || pe.Period != 3 || !pe.Throttled {
+		t.Errorf("period payload = %+v, %v", pe, err)
+	}
+	if got[1].Type != TypeLane || got[2].Type != TypeReload {
+		t.Errorf("event types = %s, %s", got[1].Type, got[2].Type)
+	}
+
+	// Resume from the first event's ID: replay delivers the later two.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/events", nil)
+	req.Header.Set("Last-Event-ID", published.ID())
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	dec2 := stream.NewDecoder(resp2.Body)
+	var resumed []stream.Event
+	for len(resumed) < 2 {
+		ev, err := dec2.Next()
+		if err != nil {
+			t.Fatalf("resume decode: %v", err)
+		}
+		if ev.Type == stream.TypeHeartbeat {
+			continue
+		}
+		if ev.Type == stream.TypeReset {
+			t.Fatal("valid resume position got a reset")
+		}
+		resumed = append(resumed, ev)
+	}
+	if resumed[0].Type != TypeLane || resumed[1].Type != TypeReload {
+		t.Errorf("resumed types = %s, %s", resumed[0].Type, resumed[1].Type)
+	}
+
+	// A resume position from another incarnation resets.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/events", nil)
+	req.Header.Set("Last-Event-ID", "7:5")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	ev, err = stream.NewDecoder(resp3.Body).Next()
+	if err != nil || ev.Type != stream.TypeReset {
+		t.Fatalf("cross-epoch resume = %+v, %v, want reset", ev, err)
+	}
+}
+
+func TestAdminHMAC(t *testing.T) {
+	key := []byte("fleet-secret")
+	board := NewBoard()
+	ts := newTestAdmin(t, AdminConfig{
+		Board:  board,
+		Reload: func() error { return nil },
+	})
+	tsSigned := newTestAdmin(t, AdminConfig{
+		Board:  board,
+		Reload: func() error { return nil },
+		Key:    key,
+	})
+
+	// Unsigned server takes everything.
+	resp, _ := http.Post(ts.URL+"/v1/reload", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("unsigned server reload = %d", resp.StatusCode)
+	}
+
+	// Signed server: probes stay open (kubelets do not sign)...
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get(tsSigned.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusUnauthorized {
+			t.Errorf("probe %s rejected as unsigned", path)
+		}
+	}
+	// ...but an unsigned reload is refused...
+	resp, _ = http.Post(tsSigned.URL+"/v1/reload", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unsigned reload on signed server = %d, want 401", resp.StatusCode)
+	}
+	// ...and a signed one goes through.
+	req, _ := http.NewRequest(http.MethodPost, tsSigned.URL+"/v1/reload", nil)
+	fleet.SignRequest(key, req, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("signed reload = %d, want 202", resp.StatusCode)
+	}
+}
+
+func TestBoardSnapshotIsolation(t *testing.T) {
+	b := NewBoard()
+	b.Update(func(s *Status) {
+		s.Ready = true
+		s.Lanes = []core.LaneHealth{{App: "a"}}
+	})
+	snap := b.Snapshot()
+	snap.Lanes[0].App = "mutated"
+	if got := b.Snapshot().Lanes[0].App; got != "a" {
+		t.Errorf("snapshot mutation leaked into the board: %q", got)
+	}
+}

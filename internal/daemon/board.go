@@ -1,0 +1,60 @@
+package daemon
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Status is the daemon's point-in-time operational state: what /readyz
+// serves and what the control loop publishes after every period. It is
+// a value — the loop builds a fresh one and swaps it in, so admin
+// handlers never read half-updated state.
+type Status struct {
+	// Ready means the control loop is running periods. False before the
+	// first period, after shutdown begins, and while the loop is wedged.
+	Ready bool `json:"ready"`
+	// Periods counts completed host periods.
+	Periods int `json:"periods"`
+	// Lanes is every lane's health as of the last period boundary.
+	Lanes []core.LaneHealth `json:"lanes"`
+	// WatchdogStalled is set while the loop watchdog considers the loop
+	// wedged; WatchdogStalls counts distinct stall episodes.
+	WatchdogStalled bool `json:"watchdog_stalled"`
+	WatchdogStalls  int  `json:"watchdog_stalls"`
+	// LedgerRecovered is how many cgroups boot-time ledger replay thawed;
+	// LedgerRecoveryError is the (non-fatal) replay failure, if any.
+	LedgerRecovered     int    `json:"ledger_recovered"`
+	LedgerRecoveryError string `json:"ledger_recovery_error,omitempty"`
+	// Reload is the hot-reload pipeline state.
+	Reload ReloadStatus `json:"reload"`
+}
+
+// Board is the thread-safe mailbox between the single-threaded control
+// loop (writer) and the admin handlers (readers).
+type Board struct {
+	mu sync.RWMutex
+	s  Status
+}
+
+// NewBoard returns a board holding the zero Status (not ready).
+func NewBoard() *Board { return &Board{} }
+
+// Update mutates the status under the lock. The callback must not
+// retain the pointer.
+func (b *Board) Update(fn func(*Status)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fn(&b.s)
+}
+
+// Snapshot returns a copy of the current status. The Lanes slice is
+// copied so a handler marshalling it never races the next Update.
+func (b *Board) Snapshot() Status {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s := b.s
+	s.Lanes = append([]core.LaneHealth(nil), b.s.Lanes...)
+	s.Reload.Lanes = append([]LaneDef(nil), b.s.Reload.Lanes...)
+	return s
+}

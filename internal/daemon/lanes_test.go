@@ -1,0 +1,133 @@
+package daemon
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLanesStrict(t *testing.T) {
+	good := `{"version":1,"lanes":[{"app":"vlc","sensitive_cgroup":"s/vlc","qos_file":"/run/vlc.qos"}]}`
+	lf, err := ParseLanes([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf.Lanes) != 1 || lf.Lanes[0].App != "vlc" {
+		t.Fatalf("parsed %+v", lf)
+	}
+
+	cases := []struct{ name, doc string }{
+		{"unknown field", `{"version":1,"lanes":[{"app":"a","sensitive_cgroup":"s","qos_file":"q","typo":"x"}]}`},
+		{"unknown top-level field", `{"version":1,"lanez":[]}`},
+		{"trailing garbage", good + `{"version":2}`},
+		{"not json", `version: 1`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseLanes([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLaneDefName(t *testing.T) {
+	if got := (LaneDef{App: "vlc", SensitiveCgroup: "s/other"}).Name(); got != "vlc" {
+		t.Errorf("explicit app: Name() = %q", got)
+	}
+	if got := (LaneDef{SensitiveCgroup: "stayaway/vlc"}).Name(); got != "vlc" {
+		t.Errorf("defaulted app: Name() = %q", got)
+	}
+}
+
+func TestLanesValidate(t *testing.T) {
+	lane := func(app, cg, qos string) LaneDef {
+		return LaneDef{App: app, SensitiveCgroup: cg, QoSFile: qos}
+	}
+	cases := []struct {
+		name    string
+		lf      LanesFile
+		batch   []string
+		wantErr string // substring; "" = valid
+	}{
+		{"valid", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "s/a", "qa"), lane("b", "s/b", "qb")}}, nil, ""},
+		{"bad version", LanesFile{Version: 2, Lanes: []LaneDef{lane("a", "s/a", "qa")}}, nil, "version 2"},
+		{"no lanes", LanesFile{Version: 1}, nil, "no lanes"},
+		{"missing cgroup", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "", "qa")}}, nil, "sensitive_cgroup is required"},
+		{"missing qos", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "s/a", "")}}, nil, "qos_file is required"},
+		{"dup app", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "s/a", "qa"), lane("a", "s/b", "qb")}}, nil, "declared twice"},
+		{"dup cgroup", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "s/x", "qa"), lane("b", "s/x", "qb")}}, nil, "declared twice"},
+		{"dup qos", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "s/a", "q"), lane("b", "s/b", "q")}}, nil, "already used"},
+		{"sensitive is batch", LanesFile{Version: 1, Lanes: []LaneDef{lane("a", "s/b1", "qa")}}, []string{"s/b1"}, "batch cgroup"},
+	}
+	for _, tc := range cases {
+		err := tc.lf.Validate(tc.batch)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// Every problem is reported at once.
+	lf := LanesFile{Version: 3, Lanes: []LaneDef{lane("a", "", ""), lane("a", "", "")}}
+	err := lf.Validate(nil)
+	if err == nil {
+		t.Fatal("multi-problem file accepted")
+	}
+	for _, want := range []string{"version 3", "sensitive_cgroup is required", "qos_file is required"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error misses %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestDiffLanes(t *testing.T) {
+	a := LaneDef{App: "a", SensitiveCgroup: "s/a", QoSFile: "qa"}
+	b := LaneDef{App: "b", SensitiveCgroup: "s/b", QoSFile: "qb"}
+	c := LaneDef{App: "c", SensitiveCgroup: "s/c", QoSFile: "qc"}
+	bChanged := b
+	bChanged.QoSFile = "qb2"
+
+	d := DiffLanes([]LaneDef{a, b}, []LaneDef{bChanged, c})
+	if len(d.Add) != 1 || d.Add[0].App != "c" {
+		t.Errorf("Add = %+v", d.Add)
+	}
+	if len(d.Change) != 1 || d.Change[0].QoSFile != "qb2" {
+		t.Errorf("Change = %+v", d.Change)
+	}
+	if len(d.Remove) != 1 || d.Remove[0] != "a" {
+		t.Errorf("Remove = %+v", d.Remove)
+	}
+	if d.Empty() {
+		t.Error("non-empty diff reports Empty")
+	}
+	if got := d.String(); got != "+1 ~1 -1" {
+		t.Errorf("String() = %q", got)
+	}
+
+	if !DiffLanes([]LaneDef{a, b}, []LaneDef{a, b}).Empty() {
+		t.Error("identical sets should diff empty")
+	}
+}
+
+func TestLoadLanes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lanes.json")
+	if _, err := LoadLanes(path); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"version":1,"lanes":[{"sensitive_cgroup":"s/vlc","qos_file":"q"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lf, err := LoadLanes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Lanes[0].Name() != "vlc" {
+		t.Errorf("Name() = %q", lf.Lanes[0].Name())
+	}
+}

@@ -1,0 +1,143 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+)
+
+// Reloader is the two-phase hot-reload pipeline for the lanes file.
+//
+// Phase one, Queue, may run on any goroutine (the SIGHUP handler, the
+// watcher check, the POST /v1/reload handler): it loads and strictly
+// parses the file and runs every static validation. A bad file is
+// rejected here — recorded with its reason, running set untouched
+// (rollback-by-default) — and a good one is stashed as the single
+// pending config (a newer Queue replaces an unconsumed older one; the
+// file is the source of truth, not the queue).
+//
+// Phase two runs on the control-loop goroutine at a period boundary:
+// TakePending hands over the validated config, the loop diffs and
+// applies it against the live runtime, and Commit records the outcome.
+type Reloader struct {
+	path  string
+	batch []string
+
+	mu      sync.Mutex
+	current []LaneDef
+	pending *LanesFile
+	// generation counts accepted Queues; applied is the generation the
+	// loop last committed. applied < generation means a reload is in
+	// flight (or was superseded before the loop took it).
+	generation int
+	applied    int
+	lastErr    string
+	lastErrAt  time.Time
+	appliedAt  time.Time
+}
+
+// ReloadStatus is the reloader's observable state, served by /readyz.
+type ReloadStatus struct {
+	// Generation counts accepted (validated) reloads; Applied is the
+	// generation the control loop last committed. Pending means a
+	// validated config is waiting for the next period boundary.
+	Generation int  `json:"generation"`
+	Applied    int  `json:"applied"`
+	Pending    bool `json:"pending"`
+	// LastError is the reason the most recent rejected config was
+	// refused, with its timestamp; empty if the last Queue was accepted.
+	LastError   string    `json:"last_error,omitempty"`
+	LastErrorAt time.Time `json:"last_error_at"`
+	// AppliedAt is when the last commit happened.
+	AppliedAt time.Time `json:"applied_at"`
+	// Lanes is the committed lane set.
+	Lanes []LaneDef `json:"lanes,omitempty"`
+}
+
+// NewReloader tracks reloads of the lanes file at path. current is the
+// lane set the daemon started with; batch is the shared batch cgroup
+// set used for validation.
+func NewReloader(path string, current []LaneDef, batch []string) *Reloader {
+	return &Reloader{
+		path:    path,
+		batch:   append([]string(nil), batch...),
+		current: append([]LaneDef(nil), current...),
+	}
+}
+
+// Queue validates the lanes file and stages it for the next period
+// boundary. The returned error is the logged rejection reason; on error
+// nothing is staged and any previously staged config stays staged (it
+// already passed validation — a bad edit must not cancel a good one).
+func (r *Reloader) Queue() error {
+	lf, err := LoadLanes(r.path)
+	if err == nil {
+		err = lf.Validate(r.batch)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.lastErr = err.Error()
+		r.lastErrAt = time.Now()
+		return err
+	}
+	r.lastErr = ""
+	r.pending = lf
+	r.generation++
+	return nil
+}
+
+// TakePending hands the staged config to the control loop and clears
+// the stage. ok is false when nothing is pending.
+func (r *Reloader) TakePending() (lanes []LaneDef, gen int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending == nil {
+		return nil, 0, false
+	}
+	lanes = r.pending.Lanes
+	r.pending = nil
+	return lanes, r.generation, true
+}
+
+// Commit records the lane set the loop actually applied for generation
+// gen. The applied set can differ from the desired one when individual
+// lane operations failed (the loop keeps the survivors); committing the
+// truth keeps later diffs correct.
+func (r *Reloader) Commit(gen int, lanes []LaneDef) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.current = append([]LaneDef(nil), lanes...)
+	if gen > r.applied {
+		r.applied = gen
+	}
+	r.appliedAt = time.Now()
+}
+
+// Current returns the committed lane set.
+func (r *Reloader) Current() []LaneDef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]LaneDef(nil), r.current...)
+}
+
+// Status snapshots the reloader for the admin surface.
+func (r *Reloader) Status() ReloadStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReloadStatus{
+		Generation:  r.generation,
+		Applied:     r.applied,
+		Pending:     r.pending != nil,
+		LastError:   r.lastErr,
+		LastErrorAt: r.lastErrAt,
+		AppliedAt:   r.appliedAt,
+		Lanes:       append([]LaneDef(nil), r.current...),
+	}
+}
+
+// Diff computes the lane diff from the committed set to desired.
+func (r *Reloader) Diff(desired []LaneDef) LaneDiff {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return DiffLanes(r.current, desired)
+}

@@ -1,0 +1,136 @@
+package daemon
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeLanes(t *testing.T, path, doc string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReloaderTwoPhase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lanes.json")
+	initial := []LaneDef{{App: "vlc", SensitiveCgroup: "s/vlc", QoSFile: "q1"}}
+	r := NewReloader(path, initial, []string{"s/b1"})
+
+	// Phase one rejects a bad file with a reason; nothing staged.
+	writeLanes(t, path, `{"version":1,"lanes":[{"app":"x","sensitive_cgroup":"s/b1","qos_file":"q"}]}`)
+	err := r.Queue()
+	if err == nil || !strings.Contains(err.Error(), "batch cgroup") {
+		t.Fatalf("bad config error = %v", err)
+	}
+	if _, _, ok := r.TakePending(); ok {
+		t.Fatal("rejected config was staged")
+	}
+	st := r.Status()
+	if st.LastError == "" || st.Generation != 0 || st.Pending {
+		t.Fatalf("status after rejection = %+v", st)
+	}
+
+	// A good file stages; the rejection reason clears.
+	writeLanes(t, path, `{"version":1,"lanes":[`+
+		`{"app":"vlc","sensitive_cgroup":"s/vlc","qos_file":"q1"},`+
+		`{"app":"kv","sensitive_cgroup":"s/kv","qos_file":"q2"}]}`)
+	if err := r.Queue(); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Status()
+	if st.LastError != "" || st.Generation != 1 || !st.Pending {
+		t.Fatalf("status after accept = %+v", st)
+	}
+
+	// Phase two: the loop takes the staged set, diffs, commits.
+	lanes, gen, ok := r.TakePending()
+	if !ok || gen != 1 || len(lanes) != 2 {
+		t.Fatalf("TakePending = %v gen %d ok %v", lanes, gen, ok)
+	}
+	if _, _, ok := r.TakePending(); ok {
+		t.Fatal("stage not cleared after take")
+	}
+	d := r.Diff(lanes)
+	if len(d.Add) != 1 || d.Add[0].App != "kv" || len(d.Remove) != 0 {
+		t.Fatalf("diff = %+v", d)
+	}
+	r.Commit(gen, lanes)
+	st = r.Status()
+	if st.Applied != 1 || st.Pending || len(st.Lanes) != 2 {
+		t.Fatalf("status after commit = %+v", st)
+	}
+	if st.AppliedAt.IsZero() || time.Since(st.AppliedAt) > time.Minute {
+		t.Fatalf("AppliedAt = %v", st.AppliedAt)
+	}
+
+	// A later bad edit does not cancel an already-staged good one.
+	if err := r.Queue(); err != nil { // same good file again
+		t.Fatal(err)
+	}
+	writeLanes(t, path, `not json`)
+	if err := r.Queue(); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, gen, ok := r.TakePending(); !ok || gen != 2 {
+		t.Fatalf("staged good config lost after bad edit (gen %d ok %v)", gen, ok)
+	}
+}
+
+func TestWatcherDetectsRewriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lanes.json")
+	writeLanes(t, path, `{"version":1,"lanes":[]}`)
+	w := NewWatcher(path)
+	if w.Changed() {
+		t.Fatal("primed watcher fired without a change")
+	}
+
+	// Same size, newer mtime.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Changed() {
+		t.Fatal("mtime change missed")
+	}
+	if w.Changed() {
+		t.Fatal("watcher fired twice for one change")
+	}
+
+	// Write-temp-then-rename (what editors and config management do).
+	tmp := filepath.Join(dir, "lanes.json.tmp")
+	writeLanes(t, tmp, `{"version":1,"lanes":[{"sensitive_cgroup":"s/a","qos_file":"q"}]}`)
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Changed() {
+		t.Fatal("rename-over missed")
+	}
+
+	// Missing file is not a change; reappearing is.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if w.Changed() {
+		t.Fatal("deletion reported as a change")
+	}
+	writeLanes(t, path, `{"version":1,"lanes":[]}`)
+	if !w.Changed() {
+		t.Fatal("reappearance missed")
+	}
+
+	// A watcher on a not-yet-existing path fires when the file lands.
+	w2 := NewWatcher(filepath.Join(dir, "later.json"))
+	if w2.Changed() {
+		t.Fatal("missing file fired")
+	}
+	writeLanes(t, filepath.Join(dir, "later.json"), `{}`)
+	if !w2.Changed() {
+		t.Fatal("file landing missed")
+	}
+}

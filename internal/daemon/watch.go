@@ -1,0 +1,57 @@
+package daemon
+
+import (
+	"os"
+	"time"
+)
+
+// Watcher detects lanes-file changes by polling mtime and size — no
+// fsnotify, no new dependency, and it keeps working across the
+// write-temp-then-rename pattern editors and config management use
+// (the rename changes the inode; a stat by path sees the new file).
+// Polling is the daemon's own period cadence, so the watcher adds no
+// goroutine: the control loop calls Changed between periods.
+type Watcher struct {
+	path  string
+	mtime time.Time
+	size  int64
+	// missing tracks whether the last stat failed, so a file that
+	// disappears and comes back identical still triggers.
+	missing bool
+}
+
+// NewWatcher primes a watcher on the file's current state, so the
+// configuration the daemon just started from does not immediately
+// re-trigger as a "change".
+func NewWatcher(path string) *Watcher {
+	w := &Watcher{path: path}
+	w.stat()
+	return w
+}
+
+// Changed stats the file and reports whether its mtime or size moved
+// since the last call. A missing file is not a change (half-written
+// deploys recover when the file lands); the transition back to existing
+// is one.
+func (w *Watcher) Changed() bool {
+	prevMtime, prevSize, prevMissing := w.mtime, w.size, w.missing
+	w.stat()
+	if w.missing {
+		return false
+	}
+	if prevMissing {
+		return true
+	}
+	return !w.mtime.Equal(prevMtime) || w.size != prevSize
+}
+
+func (w *Watcher) stat() {
+	fi, err := os.Stat(w.path)
+	if err != nil {
+		w.missing = true
+		return
+	}
+	w.missing = false
+	w.mtime = fi.ModTime()
+	w.size = fi.Size()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestReloadChaosInvariants(t *testing.T) {
+	f, err := ReloadChaos(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The suite polices itself; spot-check that it really exercised the
+	// lifecycle and the fault injector.
+	for _, key := range []string{"adds", "removes", "reconfigs", "crashes", "injected_faults", "pauses", "resumes"} {
+		if f.Summary[key] == 0 {
+			t.Errorf("summary[%q] = 0, suite under-exercised", key)
+		}
+	}
+	if f.Summary["over_freezes"] != 0 || f.Summary["restriction_gaps"] != 0 || f.Summary["final_replay_thawed"] != 0 {
+		t.Errorf("invariant counters non-zero: %+v", f.Summary)
+	}
+}
+
+func TestReloadChaosDeterministic(t *testing.T) {
+	a, err := ReloadChaos(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReloadChaos(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Summary {
+		if b.Summary[k] != v {
+			t.Errorf("summary[%q] differs across identical seeds: %v vs %v", k, v, b.Summary[k])
+		}
+	}
+}

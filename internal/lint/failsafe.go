@@ -34,10 +34,15 @@ var failsafePkgs = []string{
 }
 
 // failsafeReleaseNames are the calls that lift restrictions. SetLevel is
-// handled separately (release only at full quota).
+// handled separately (release only at full quota). RemoveLane and
+// DropLane are the lane-removal/shutdown paths: both drain a lane out of
+// the merged actuation (the arbiter's DropLane can only loosen), so an
+// early return between an acquire and one of them strands the departing
+// lane's restrictions just like a skipped Resume would.
 var failsafeReleaseNames = map[string]bool{
 	"Resume": true, "Release": true, "ReleaseAll": true,
 	"Thaw": true, "runFailSafe": true,
+	"RemoveLane": true, "DropLane": true,
 }
 
 func runFailsafe(pass *analysis.Pass) (any, error) {

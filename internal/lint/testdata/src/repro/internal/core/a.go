@@ -70,3 +70,52 @@ func badButUnexported(a Act, ids []string) error {
 func ReleaseOnly(a Act, ids []string) error {
 	return a.Resume(ids)
 }
+
+// Host stands in for the lane runtime: RemoveLane and DropLane drain a
+// lane's restrictions out of the merged actuation, so they count as
+// releases for the span check.
+type Host interface {
+	RemoveLane(app string) error
+	DropLane(app string)
+}
+
+func BadRemoveLaneWindow(a Act, h Host, ids []string, app string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // want `leaves the batch pool throttled`
+	}
+	return h.RemoveLane(app)
+}
+
+func BadDropLaneWindow(a Act, h Host, ids []string, app string) error {
+	if err := a.SetLevel(ids, 0.5); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // want `leaves the batch pool throttled`
+	}
+	h.DropLane(app)
+	return nil
+}
+
+func GoodDeferredRemoveLane(a Act, h Host, ids []string, app string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	defer h.RemoveLane(app)
+	if err := work(); err != nil {
+		return err // the deferred drain runs on every path: fine
+	}
+	return nil
+}
+
+func GoodStraightLineDropLane(a Act, h Host, ids []string, app string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	err := work()
+	h.DropLane(app)
+	return err
+}

@@ -146,6 +146,79 @@ func (a *Arbiter) ReleaseAll() error {
 	return err
 }
 
+// mergeDelta collects per-target downstream transitions, grouped into
+// batch downstream calls. Downstream Resume clears quotas
+// (cgroup.Actuator, the simulator and the ledger all treat thaw as a full
+// release), so a target thawing into another lane's surviving quota needs
+// the quota re-applied AFTER the thaw. The brief fully-released window is
+// the safe direction: a crash inside it makes recovery over-thaw, never
+// over-freeze.
+type mergeDelta struct {
+	freeze, thaw []string
+	levelSet     map[float64][]string // quota changes while unfrozen
+	thawInto     map[float64][]string // quotas to re-apply post-thaw
+}
+
+// diffLocked compares a target's merged desire against the cached
+// effective downstream state, appends the needed transition to d, and
+// updates the cache. Caller holds a.mu.
+func (a *Arbiter) diffLocked(d *mergeDelta, id string) {
+	newFrozen, newLevel := a.mergedLocked(id)
+	oldFrozen := a.effFrozen[id]
+	oldLevel, hadLevel := a.effLevel[id]
+	if !hadLevel {
+		oldLevel = 1
+	}
+	switch {
+	case newFrozen && !oldFrozen:
+		d.freeze = append(d.freeze, id)
+	case !newFrozen && oldFrozen:
+		d.thaw = append(d.thaw, id)
+		if newLevel < 1 {
+			if d.thawInto == nil {
+				d.thawInto = make(map[float64][]string)
+			}
+			d.thawInto[newLevel] = append(d.thawInto[newLevel], id)
+		}
+	case !newFrozen && newLevel != oldLevel:
+		if d.levelSet == nil {
+			d.levelSet = make(map[float64][]string)
+		}
+		d.levelSet[newLevel] = append(d.levelSet[newLevel], id)
+	}
+	a.effFrozen[id] = newFrozen
+	a.effLevel[id] = newLevel
+}
+
+// actuate applies a collected delta downstream. Restrictions before
+// releases, and tightening quotas before loosening ones, so a
+// mid-sequence crash leaves the ledger holding the more severe record
+// (over-thaw on replay).
+func (a *Arbiter) actuate(d *mergeDelta, graded GradedActuator) error {
+	if graded == nil && (len(d.levelSet) > 0 || len(d.thawInto) > 0) {
+		return fmt.Errorf("throttle: downstream actuator %T is not graded", a.downstream)
+	}
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(d.freeze) > 0 {
+		record(a.downstream.Pause(d.freeze))
+	}
+	for _, level := range sortedLevels(d.levelSet) {
+		record(graded.SetLevel(d.levelSet[level], level))
+	}
+	if len(d.thaw) > 0 {
+		record(a.downstream.Resume(d.thaw))
+	}
+	for _, level := range sortedLevels(d.thawInto) {
+		record(graded.SetLevel(d.thawInto[level], level))
+	}
+	return firstErr
+}
+
 // apply records a lane's desire for the given targets and actuates the
 // merged delta downstream. fn mutates the lane's per-target desire.
 func (a *Arbiter) apply(lane string, ids []string, fn func(ln *arbiterLane, id string)) error {
@@ -155,72 +228,57 @@ func (a *Arbiter) apply(lane string, ids []string, fn func(ln *arbiterLane, id s
 		a.mu.Unlock()
 		return fmt.Errorf("throttle: unknown arbiter lane %q", lane)
 	}
-
-	// Per-target merged transitions, grouped into batch downstream calls.
-	// Downstream Resume clears quotas (cgroup.Actuator, the simulator and
-	// the ledger all treat thaw as a full release), so a target thawing
-	// into another lane's surviving quota needs the quota re-applied AFTER
-	// the thaw. The brief fully-released window is the safe direction: a
-	// crash inside it makes recovery over-thaw, never over-freeze.
-	var freeze, thaw []string
-	levelSet := make(map[float64][]string) // quota changes while unfrozen
-	thawInto := make(map[float64][]string) // quotas to re-apply post-thaw
+	var d mergeDelta
 	for _, id := range ids {
 		if id == "" {
 			continue
 		}
 		a.known[id] = true
 		fn(ln, id)
-
-		newFrozen, newLevel := a.mergedLocked(id)
-		oldFrozen := a.effFrozen[id]
-		oldLevel, hadLevel := a.effLevel[id]
-		if !hadLevel {
-			oldLevel = 1
-		}
-		switch {
-		case newFrozen && !oldFrozen:
-			freeze = append(freeze, id)
-		case !newFrozen && oldFrozen:
-			thaw = append(thaw, id)
-			if newLevel < 1 {
-				thawInto[newLevel] = append(thawInto[newLevel], id)
-			}
-		case !newFrozen && newLevel != oldLevel:
-			levelSet[newLevel] = append(levelSet[newLevel], id)
-		}
-		a.effFrozen[id] = newFrozen
-		a.effLevel[id] = newLevel
+		a.diffLocked(&d, id)
 	}
 	graded := a.graded
 	a.mu.Unlock()
+	return a.actuate(&d, graded)
+}
 
-	if graded == nil && (len(levelSet) > 0 || len(thawInto) > 0) {
-		return fmt.Errorf("throttle: downstream actuator %T is not graded", a.downstream)
+// DropLane withdraws the named lane from the merge entirely: its desires
+// are discarded and every target it was restricting is re-merged over the
+// surviving lanes — thawed when nobody else restricts it, thawed into the
+// surviving quota otherwise. Dropping a lane can only loosen restrictions
+// (over-thaw is the allowed direction; over-freeze is impossible by
+// construction), so this is the fail-safe half of live lane removal.
+// Unknown lanes are a no-op: removal must be idempotent.
+func (a *Arbiter) DropLane(name string) error {
+	a.mu.Lock()
+	ln, ok := a.lanes[name]
+	if !ok {
+		a.mu.Unlock()
+		return nil
 	}
-
-	// Restrictions before releases, and tightening quotas before loosening
-	// ones, so a mid-sequence crash leaves the ledger holding the more
-	// severe record (over-thaw on replay).
-	var firstErr error
-	record := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
+	ids := make([]string, 0, len(ln.frozen)+len(ln.level))
+	seen := make(map[string]bool)
+	for id := range ln.frozen {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
 		}
 	}
-	if len(freeze) > 0 {
-		record(a.downstream.Pause(freeze))
+	for id := range ln.level {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
 	}
-	for _, level := range sortedLevels(levelSet) {
-		record(graded.SetLevel(levelSet[level], level))
+	sort.Strings(ids)
+	delete(a.lanes, name)
+	var d mergeDelta
+	for _, id := range ids {
+		a.diffLocked(&d, id)
 	}
-	if len(thaw) > 0 {
-		record(a.downstream.Resume(thaw))
-	}
-	for _, level := range sortedLevels(thawInto) {
-		record(graded.SetLevel(thawInto[level], level))
-	}
-	return firstErr
+	graded := a.graded
+	a.mu.Unlock()
+	return a.actuate(&d, graded)
 }
 
 // mergedLocked computes a target's effective (frozen, level) over all

@@ -229,3 +229,94 @@ func TestArbiterNonGradedDownstreamRejectsQuota(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestArbiterDropLaneThawsIntoSurvivingQuota(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, _ := NewArbiter(rec)
+	ids := []string{"b1", "b2"}
+	laneA := arb.Lane("A")
+	laneB := arb.Lane("B")
+
+	// A freezes the pool; B holds a 40% quota underneath.
+	if err := laneA.Pause(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := laneB.SetLevel(ids, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", true, 0.4)
+
+	// Dropping A must thaw the pool INTO B's surviving quota — no
+	// restriction gap beyond the unavoidable thaw/re-quota window, and
+	// certainly no lingering freeze.
+	if err := arb.DropLane("A"); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 0.4)
+	if got := rec.Paused(); len(got) != 0 {
+		t.Fatalf("still frozen after DropLane: %v", got)
+	}
+	if got := rec.Level("b1"); got != 0.4 {
+		t.Fatalf("b1 level = %v, want surviving 0.4 quota", got)
+	}
+	if got := arb.Restricting("b1"); !reflect.DeepEqual(got, []string{"B"}) {
+		t.Fatalf("Restricting = %v, want [B]", got)
+	}
+
+	// Dropping the last restricting lane fully releases, exactly once.
+	if err := arb.DropLane("B"); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", false, 1)
+	if got := rec.Level("b1"); got != 1 {
+		t.Fatalf("b1 level = %v after last drop, want 1", got)
+	}
+	if got := countActions(rec.Events())[ActionResume]; got != 1 {
+		t.Fatalf("downstream resumes = %d, want exactly 1 (the thaw when A dropped)", got)
+	}
+}
+
+func TestArbiterDropLaneIdempotentAndUnknown(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, _ := NewArbiter(rec)
+	lane := arb.Lane("A")
+	if err := lane.Pause([]string{"b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.DropLane("A"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(rec.Events())
+	// Second drop and a never-registered lane: no-ops, no actuation.
+	if err := arb.DropLane("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.DropLane("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Events()); got != before {
+		t.Fatalf("idempotent drops actuated downstream: %d events, want %d", got, before)
+	}
+}
+
+func TestArbiterDropLaneOnlyLoosens(t *testing.T) {
+	rec := NewRecordingActuator()
+	arb, _ := NewArbiter(rec)
+	ids := []string{"b1"}
+	laneA := arb.Lane("A")
+	laneB := arb.Lane("B")
+	// B freezes, A only quotas: dropping A must leave B's freeze in force.
+	if err := laneB.Pause(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := laneA.SetLevel(ids, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.DropLane("A"); err != nil {
+		t.Fatal(err)
+	}
+	effective(t, arb, "b1", true, 1)
+	if got := rec.Paused(); !reflect.DeepEqual(got, []string{"b1"}) {
+		t.Fatalf("paused = %v, want b1 still frozen for lane B", got)
+	}
+}
