@@ -8,6 +8,7 @@ package stayaway_test
 // themselves live in internal/experiments tests.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -19,6 +20,8 @@ import (
 	"repro/internal/sim"
 	"repro/internal/statespace"
 	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 const benchSeed = 42
@@ -384,6 +387,161 @@ func BenchmarkAblationAggregation(b *testing.B) {
 func BenchmarkAblationGraded(b *testing.B) {
 	benchFigure(b, experiments.AblationGraded,
 		"violations_binary", "violations_graded", "work_retention")
+}
+
+// BenchmarkScenarioZoo runs the open-loop scenario-zoo suite (the
+// -scenarios CI gate) and reports the open-vs-closed ablation gap.
+func BenchmarkScenarioZoo(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, _, err := experiments.ScenarioZoo(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = f
+	}
+	for _, k := range []string{"ablation_open_violations", "ablation_closed_violations", "ablation_peak_backlog"} {
+		if v, ok := fig.Summary[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkReplayMultiDay replays a 30-day diurnal trace through a full
+// Stay-Away scenario — open-loop service under trace-replay arrivals, CPU
+// bomb aggressor, runtime active every tick. The PR's throughput floor:
+// the whole replay must finish in well under 10 seconds.
+func BenchmarkReplayMultiDay(b *testing.B) {
+	cfg := trace.Config{
+		Days:           30,
+		SamplesPerHour: 2,
+		BaseRate:       2600,
+		DailyAmplitude: 0.45,
+		PeakHour:       14,
+		Noise:          0.05,
+	}
+	pts, err := trace.Generate(cfg, rand.New(rand.NewSource(benchSeed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay, err := workload.NewTraceReplay(pts, 30.0/2600, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ticks := replay.Ticks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(experiments.Scenario{
+			Name:        "bench-replay",
+			SensitiveID: "web",
+			Sensitive: func(rng *rand.Rand) sim.QoSApp {
+				svc, err := apps.NewOpenLoopService(apps.DefaultOpenLoopConfig(apps.CPUIntensive, replay))
+				if err != nil {
+					b.Fatal(err)
+				}
+				return svc
+			},
+			Batch: []experiments.Placement{{ID: "cpubomb", StartTick: 30, App: func(rng *rand.Rand) sim.App {
+				return apps.NewCPUBomb(apps.DefaultCPUBombConfig())
+			}}},
+			Ticks:    ticks,
+			Seed:     benchSeed,
+			StayAway: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) != ticks {
+			b.Fatalf("replayed %d ticks, want %d", len(res.Records), ticks)
+		}
+	}
+	b.ReportMetric(float64(cfg.Days), "trace_days")
+	b.ReportMetric(float64(ticks), "ticks")
+}
+
+// BenchmarkPeriodScaling measures one runtime period (collect → map →
+// predict → act) against a pre-learned state space of 10² to 10⁵ states —
+// the regime template sharing and fleet merging produce. Merging is
+// disabled so the synthetic states import verbatim, and refreshes use
+// landmark MDS so no period pays the full O(N²) SMACOF.
+func BenchmarkPeriodScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("states=%d", n), func(b *testing.B) {
+			host := sim.DefaultHostConfig()
+			simulator, err := sim.NewSimulator(host)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vlc := apps.NewVLCStream(apps.DefaultVLCStreamConfig(), rand.New(rand.NewSource(1)))
+			if _, err := simulator.AddContainer("vlc", vlc); err != nil {
+				b.Fatal(err)
+			}
+			twCfg := apps.DefaultTwitterConfig()
+			twCfg.TotalWork = 0
+			if _, err := simulator.AddContainer("tw", apps.NewTwitterAnalysis(twCfg, rand.New(rand.NewSource(2)))); err != nil {
+				b.Fatal(err)
+			}
+			env := experiments.NewSimEnvironment(simulator, "vlc", []string{"tw"}, vlc)
+			ranges := metrics.DefaultRanges(host.Cores, host.MemoryMB, host.DiskMBps, host.NetMbps)
+			cfg := core.DefaultConfig("vlc", []string{"tw"}, ranges)
+			cfg.DedupEpsilon = -1       // imported synthetic states must not collapse
+			cfg.LandmarkThreshold = 256 // refreshes stay approximate at scale
+			rt, err := core.New(cfg, env, experiments.NewSimActuator(simulator))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rt.ImportTemplate(syntheticTemplate(b, n, ranges)); err != nil {
+				b.Fatal(err)
+			}
+			// Warm up past the first refreshes so the loop measures the
+			// steady-state period cost.
+			for i := 0; i < 12; i++ {
+				simulator.Step()
+				if _, err := rt.Period(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				simulator.Step()
+				if _, err := rt.Period(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rt.Report().States), "states")
+		})
+	}
+}
+
+// syntheticTemplate fabricates a learned map with n states (one in ten a
+// violation state) across the unit measurement cube.
+func syntheticTemplate(b *testing.B, n int, ranges map[metrics.Metric]metrics.Range) *statespace.Template {
+	b.Helper()
+	rng := rand.New(rand.NewSource(benchSeed))
+	t := &statespace.Template{
+		Version:      1, // dim-only compatibility: schema fields omitted
+		SensitiveApp: "vlc",
+		Dim:          8,
+		Ranges:       ranges,
+	}
+	for i := 0; i < n; i++ {
+		vec := make([]float64, t.Dim)
+		for d := range vec {
+			vec[d] = rng.Float64()
+		}
+		label := statespace.Safe.String()
+		if i%10 == 9 {
+			label = statespace.Violation.String()
+		}
+		t.States = append(t.States, statespace.TemplateState{
+			X:      rng.Float64(),
+			Y:      rng.Float64(),
+			Label:  label,
+			Weight: 1,
+			Vector: vec,
+		})
+	}
+	return t
 }
 
 // BenchmarkOverheadControllerStep measures the cost of one full Stay-Away

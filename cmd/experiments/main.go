@@ -17,9 +17,13 @@
 //	-multitenant   run the two-sensitive conflicting-lane scenario
 //	-sched         run the cluster-placement-vs-baselines ablation
 //	-fleet         run the streaming fleet-convergence simulation
+//	-scenarios     run the open-loop scenario zoo and the open-vs-closed
+//	               QoS ablation (non-zero exit when the ablation gap
+//	               closes, protection regresses a class, or the suite is
+//	               nondeterministic)
 //	-all           regenerate everything including the summary, ablations,
 //	               multi-tenant scenario, placement ablation, fleet
-//	               convergence and chaos suite
+//	               convergence, scenario zoo and chaos suite
 //	-o DIR         additionally write each figure to DIR/<id>.txt
 package main
 
@@ -52,6 +56,7 @@ func run() error {
 	multiTenant := flag.Bool("multitenant", false, "run the two-sensitive conflicting-lane scenario")
 	schedAblation := flag.Bool("sched", false, "run the cluster-placement-vs-baselines ablation")
 	fleetConv := flag.Bool("fleet", false, "run the streaming fleet-convergence simulation (non-zero exit when convergence misses the 99% floor)")
+	scenarios := flag.Bool("scenarios", false, "run the open-loop scenario zoo (non-zero exit on a failed gate)")
 	all := flag.Bool("all", false, "regenerate every figure and the summary")
 	outDir := flag.String("o", "", "directory to write per-figure text files into")
 	flag.Parse()
@@ -91,11 +96,11 @@ func run() error {
 			}
 			wanted = append(wanted, n)
 		}
-	case *summary || *ablations || *chaosSuite || *reloadChaos || *multiTenant || *schedAblation || *fleetConv:
+	case *summary || *ablations || *chaosSuite || *reloadChaos || *multiTenant || *schedAblation || *fleetConv || *scenarios:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -reload-chaos, -multitenant, -sched, -fleet or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -summary, -ablations, -chaos, -reload-chaos, -multitenant, -sched, -fleet, -scenarios or -all")
 	}
 
 	emit := func(f *experiments.Figure) error {
@@ -176,6 +181,43 @@ func run() error {
 			if r.DeltaBytes >= r.FullBytes {
 				return fmt.Errorf("fleet convergence: %d hosts: delta sync shipped %d bytes, whole-template polling %d — delta must win",
 					r.Hosts, r.DeltaBytes, r.FullBytes)
+			}
+		}
+	}
+	if *scenarios || *all {
+		f, report, err := experiments.ScenarioZoo(*seed)
+		if err != nil {
+			return fmt.Errorf("scenario zoo: %w", err)
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+		// Gate 1: the open-loop QoS must register violations under the
+		// throttle schedule that the closed-loop grant-ratio QoS misses.
+		if report.Ablation.ClosedViolations >= report.Ablation.OpenViolations {
+			return fmt.Errorf("scenario zoo: open-vs-closed gap closed: open=%d closed=%d violations",
+				report.Ablation.OpenViolations, report.Ablation.ClosedViolations)
+		}
+		// Gate 2: Stay-Away must not regress any class, and the protected
+		// co-location must still get batch work done.
+		for _, r := range report.Rows {
+			if r.ProtectedRate > r.UnprotectedRate {
+				return fmt.Errorf("scenario zoo: %s: protection regressed the violation rate (%.3f > %.3f)",
+					r.Class, r.ProtectedRate, r.UnprotectedRate)
+			}
+			if r.BatchWork <= 0 {
+				return fmt.Errorf("scenario zoo: %s: protected run performed no batch work", r.Class)
+			}
+		}
+		// Gate 3: the suite must replay deterministically for CI.
+		g, _, err := experiments.ScenarioZoo(*seed)
+		if err != nil {
+			return fmt.Errorf("scenario zoo replay: %w", err)
+		}
+		for k, v := range f.Summary {
+			if g.Summary[k] != v {
+				return fmt.Errorf("scenario zoo: nondeterministic replay: summary[%q] %v vs %v",
+					k, v, g.Summary[k])
 			}
 		}
 	}

@@ -1,14 +1,17 @@
-// Command tracegen emits a synthetic Wikipedia-like diurnal request-rate
-// trace as CSV (Fig 1 of the paper), suitable for driving the Webservice
-// workload.
+// Command tracegen emits a synthetic request-rate trace as CSV, suitable
+// for driving the Webservice workload or the open-loop scenario zoo: the
+// Wikipedia-like diurnal shape of Fig 1 of the paper, or a flash-crowd
+// variant with a superimposed surge.
 //
 // Usage:
 //
-//	tracegen [-days N] [-rate R] [-amplitude A] [-noise S] [-drift D]
-//	         [-samples-per-hour K] [-seed N] [-o FILE]
+//	tracegen [-shape diurnal|flash] [-days N] [-rate R] [-amplitude A]
+//	         [-noise S] [-drift D] [-samples-per-hour K] [-seed N]
+//	         [-flash-multiplier M] [-flash-start H] [-o FILE]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,26 +23,49 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
 	cfg := trace.DefaultConfig()
-	flag.IntVar(&cfg.Days, "days", cfg.Days, "trace length in days")
-	flag.Float64Var(&cfg.BaseRate, "rate", cfg.BaseRate, "mean request rate (req/s)")
-	flag.Float64Var(&cfg.DailyAmplitude, "amplitude", cfg.DailyAmplitude, "diurnal amplitude fraction [0,1]")
-	flag.Float64Var(&cfg.Noise, "noise", cfg.Noise, "relative multiplicative noise")
-	flag.Float64Var(&cfg.Drift, "drift", cfg.Drift, "per-day relative growth")
-	flag.IntVar(&cfg.SamplesPerHour, "samples-per-hour", cfg.SamplesPerHour, "samples per hour")
-	flag.Float64Var(&cfg.PeakHour, "peak-hour", cfg.PeakHour, "hour of day with maximal load")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+	fc := trace.DefaultFlashConfig()
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.IntVar(&cfg.Days, "days", cfg.Days, "trace length in days")
+	fs.Float64Var(&cfg.BaseRate, "rate", cfg.BaseRate, "mean request rate (req/s)")
+	fs.Float64Var(&cfg.DailyAmplitude, "amplitude", cfg.DailyAmplitude, "diurnal amplitude fraction [0,1]")
+	fs.Float64Var(&cfg.Noise, "noise", cfg.Noise, "relative multiplicative noise")
+	fs.Float64Var(&cfg.Drift, "drift", cfg.Drift, "per-day relative growth")
+	fs.IntVar(&cfg.SamplesPerHour, "samples-per-hour", cfg.SamplesPerHour, "samples per hour")
+	fs.Float64Var(&cfg.PeakHour, "peak-hour", cfg.PeakHour, "hour of day with maximal load")
+	shape := fs.String("shape", "diurnal", "trace shape: diurnal or flash")
+	fs.Float64Var(&fc.Multiplier, "flash-multiplier", fc.Multiplier, "flash-crowd peak multiplier (≥ 1)")
+	fs.Float64Var(&fc.StartHour, "flash-start", fc.StartHour, "flash-crowd onset hour")
+	fs.Float64Var(&fc.RampHours, "flash-ramp", fc.RampHours, "flash-crowd ramp duration (hours)")
+	fs.Float64Var(&fc.HoldHours, "flash-hold", fc.HoldHours, "flash-crowd hold duration (hours)")
+	fs.Float64Var(&fc.DecayHours, "flash-decay", fc.DecayHours, "flash-crowd decay duration (hours)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	pts, err := trace.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	if err := validateFlags(cfg, *shape); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var pts []trace.Point
+	var err error
+	switch *shape {
+	case "diurnal":
+		pts, err = trace.Generate(cfg, rng)
+	case "flash":
+		fc.Base = cfg
+		pts, err = trace.GenerateFlash(fc, rng)
+	}
 	if err != nil {
 		return err
 	}
@@ -48,5 +74,25 @@ func run() error {
 			return trace.WriteCSV(w, pts)
 		})
 	}
-	return trace.WriteCSV(os.Stdout, pts)
+	return trace.WriteCSV(stdout, pts)
+}
+
+// validateFlags rejects bad flag combinations up front — all of them at
+// once, so a caller fixing a scripted invocation sees every problem in one
+// run instead of one per run.
+func validateFlags(cfg trace.Config, shape string) error {
+	var errs []error
+	if cfg.Days <= 0 {
+		errs = append(errs, fmt.Errorf("-days must be positive, got %d", cfg.Days))
+	}
+	if cfg.DailyAmplitude < 0 || cfg.DailyAmplitude > 1 {
+		errs = append(errs, fmt.Errorf("-amplitude must be in [0,1], got %v", cfg.DailyAmplitude))
+	}
+	if cfg.SamplesPerHour <= 0 {
+		errs = append(errs, fmt.Errorf("-samples-per-hour must be positive, got %d", cfg.SamplesPerHour))
+	}
+	if shape != "diurnal" && shape != "flash" {
+		errs = append(errs, fmt.Errorf("-shape must be diurnal or flash, got %q", shape))
+	}
+	return errors.Join(errs...)
 }

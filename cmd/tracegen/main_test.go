@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunDiurnalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "2", "-samples-per-hour", "2", "-noise", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("tracegen output must round-trip through ReadCSV: %v", err)
+	}
+	if want := 2 * 24 * 2; len(pts) != want {
+		t.Fatalf("rows = %d, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Rate <= 0 {
+			t.Fatalf("non-positive rate %v at hour %v", p.Rate, p.Hour)
+		}
+	}
+}
+
+func TestRunFlashRoundTrip(t *testing.T) {
+	gen := func(shape string) []trace.Point {
+		var buf bytes.Buffer
+		args := []string{"-shape", shape, "-days", "3", "-noise", "0",
+			"-flash-start", "30", "-flash-multiplier", "5"}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		pts, err := trace.ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	diurnal := gen("diurnal")
+	flash := gen("flash")
+	if len(flash) != len(diurnal) {
+		t.Fatalf("flash rows %d != diurnal rows %d", len(flash), len(diurnal))
+	}
+	// The surge hour must stand out ~5× over the same hour without it.
+	var ratio float64
+	for i, p := range flash {
+		if p.Hour == 32 { // mid-hold
+			ratio = p.Rate / diurnal[i].Rate
+		}
+	}
+	if ratio < 4.9 || ratio > 5.1 {
+		t.Fatalf("surge ratio = %v, want ~5", ratio)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	err := run([]string{"-days", "0", "-amplitude", "1.5", "-samples-per-hour", "-2", "-shape", "square"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("bad flags should error")
+	}
+	// errors.Join reports every problem at once.
+	for _, want := range []string{"-days", "-amplitude", "-samples-per-hour", "-shape"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q should mention %s", err, want)
+		}
+	}
+}
+
+func TestRunValidFlagsNoError(t *testing.T) {
+	if err := validateFlags(trace.DefaultConfig(), "flash"); err != nil {
+		t.Fatalf("default config with flash shape should validate: %v", err)
+	}
+}

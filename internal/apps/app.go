@@ -21,7 +21,11 @@
 // contention for Twitter against VLC.
 package apps
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
 
 // Intensity drives a workload's load level over time, in [0,1]. The
 // Webservice experiments drive it from the diurnal trace.
@@ -39,28 +43,11 @@ func ConstantIntensity(v float64) Intensity {
 }
 
 // SeriesIntensity replays a normalized series, one value per tick,
-// clamping past the end to the final value. An empty series yields 0.
+// clamping past the end to the final value. An empty series yields 0. It
+// is the closed-loop adapter over an open-loop workload.Series with peak 1
+// — both loops can replay the same shape (see ArrivalIntensity).
 func SeriesIntensity(series []float64) Intensity {
-	cp := append([]float64(nil), series...)
-	return func(tick int) float64 {
-		if len(cp) == 0 {
-			return 0
-		}
-		if tick < 0 {
-			tick = 0
-		}
-		if tick >= len(cp) {
-			tick = len(cp) - 1
-		}
-		v := cp[tick]
-		if v < 0 {
-			return 0
-		}
-		if v > 1 {
-			return 1
-		}
-		return v
-	}
+	return ArrivalIntensity(workload.NewSeries(series), 1)
 }
 
 // StepIntensity switches between levels at the given tick boundaries:

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// IOBurstConfig tunes the bursty storage batch job.
+type IOBurstConfig struct {
+	// TotalWorkCPU is effective CPU until completion.
+	TotalWorkCPU float64
+	// PeriodTicks is the burst cycle length; BurstTicks of each period are
+	// spent in a storage storm.
+	PeriodTicks int
+	BurstTicks  int
+	// BurstDiskMBps is disk demand during a storm (quiet phases use a
+	// trickle). Sized against sim.DefaultHostConfig's 200 MB/s disk, a
+	// single storm saturates the device.
+	BurstDiskMBps float64
+	// Jitter is per-tick relative CPU variation.
+	Jitter float64
+}
+
+// DefaultIOBurstConfig returns a batch job whose storms claim ~90% of the
+// default host's disk for a quarter of each cycle.
+func DefaultIOBurstConfig() IOBurstConfig {
+	return IOBurstConfig{
+		TotalWorkCPU:  30000,
+		PeriodTicks:   40,
+		BurstTicks:    10,
+		BurstDiskMBps: 180,
+		Jitter:        0.05,
+	}
+}
+
+// IOBurstBatch is a compaction/backup-style batch job: moderate steady CPU
+// with periodic disk storms. It is the aggressor of the bursty-I/O-batch
+// scenario class — it barely contends for CPU, so a grant-ratio QoS on the
+// victim sees nothing, while a storage-coupled open-loop service loses
+// disk throughput during each storm and its latency percentile climbs.
+type IOBurstBatch struct {
+	cfg IOBurstConfig
+	rng *rand.Rand
+
+	doneCPU float64
+}
+
+var _ sim.App = (*IOBurstBatch)(nil)
+
+// NewIOBurstBatch returns the batch job; rng may be nil for a
+// deterministic instance.
+func NewIOBurstBatch(cfg IOBurstConfig, rng *rand.Rand) *IOBurstBatch {
+	if cfg.TotalWorkCPU <= 0 {
+		cfg.TotalWorkCPU = DefaultIOBurstConfig().TotalWorkCPU
+	}
+	if cfg.PeriodTicks <= 0 {
+		cfg.PeriodTicks = DefaultIOBurstConfig().PeriodTicks
+	}
+	if cfg.BurstTicks <= 0 || cfg.BurstTicks > cfg.PeriodTicks {
+		cfg.BurstTicks = cfg.PeriodTicks / 4
+	}
+	if cfg.BurstDiskMBps <= 0 {
+		cfg.BurstDiskMBps = DefaultIOBurstConfig().BurstDiskMBps
+	}
+	return &IOBurstBatch{cfg: cfg, rng: rng}
+}
+
+// Name implements sim.App.
+func (b *IOBurstBatch) Name() string { return "io-burst-batch" }
+
+// Progress returns completed work as a fraction of the total.
+func (b *IOBurstBatch) Progress() float64 { return b.doneCPU / b.cfg.TotalWorkCPU }
+
+// Demand implements sim.App.
+func (b *IOBurstBatch) Demand(tick int) sim.Demand {
+	inBurst := tick%b.cfg.PeriodTicks < b.cfg.BurstTicks
+	disk := 5.0
+	cpu := 80.0
+	if inBurst {
+		disk = b.cfg.BurstDiskMBps
+		cpu = 110 // storms also checksum/compress
+	}
+	return sim.Demand{
+		CPU:         jitter(b.rng, cpu, b.cfg.Jitter),
+		MemoryMB:    500,
+		ActiveMemMB: 250,
+		MemBWMBps:   800,
+		DiskMBps:    disk,
+		NetMbps:     5,
+	}
+}
+
+// Advance implements sim.App.
+func (b *IOBurstBatch) Advance(tick int, g sim.Grant) bool {
+	b.doneCPU += g.EffectiveCPU()
+	return b.doneCPU >= b.cfg.TotalWorkCPU
+}

@@ -1,0 +1,294 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ArrivalIntensity adapts an open-loop arrival process into the closed-loop
+// Intensity signal: the process's rate divided by peak, clamped to [0,1].
+// This is the bridge that lets the legacy closed-loop apps and the new
+// open-loop services replay the *same* load shape, which is what makes the
+// open-vs-closed ablation an apples-to-apples comparison.
+func ArrivalIntensity(p workload.Process, peak float64) Intensity {
+	if p == nil || peak <= 0 {
+		return ConstantIntensity(0)
+	}
+	return func(tick int) float64 {
+		v := p.Arrivals(tick) / peak
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+}
+
+// OpenLoopConfig assembles an open-loop service.
+type OpenLoopConfig struct {
+	// Name labels the app; empty defaults to "openloop-<kind>".
+	Name string
+	// Kind selects the resource footprint shape (same calibration as the
+	// closed-loop Webservice).
+	Kind WorkloadKind
+	// Engine is the open-loop queueing configuration. Engine.Process is
+	// required.
+	Engine workload.Config
+	// DiskPerRequest is storage traffic per in-flight request (MB/s). When
+	// set, the service rate is also bounded by the granted disk throughput,
+	// so disk contention (a bursty batch neighbour) degrades latency QoS
+	// even while CPU is plentiful.
+	DiskPerRequest float64
+}
+
+// DefaultOpenLoopConfig returns an open-loop service of the given kind
+// driven by the given arrival process, calibrated so full concurrency
+// matches the closed-loop Webservice's peak CPU demand.
+func DefaultOpenLoopConfig(kind WorkloadKind, p workload.Process) OpenLoopConfig {
+	return OpenLoopConfig{
+		Kind: kind,
+		Engine: workload.Config{
+			Process:        p,
+			CPUPerRequest:  2,
+			MaxConcurrency: 120, // × CPUPerRequest = the closed-loop peak of 240 CPU
+			TargetLatency:  3,
+			Percentile:     0.99,
+			WindowTicks:    40,
+			Threshold:      0.95,
+		},
+	}
+}
+
+// OpenLoopService is the open-loop refactor of the sensitive Webservice:
+// requests arrive from an arrival process whether or not the container can
+// serve them, queue in a bounded buffer, and QoS is the p99 (configurable)
+// queueing latency against an SLO target rather than the instantaneous
+// grant/demand ratio. The difference matters under actuation: a freeze or
+// quota that the closed-loop QoS shrugs off leaves a backlog whose
+// queueing delay violates the SLO for many ticks after the grant recovers.
+type OpenLoopService struct {
+	cfg     OpenLoopConfig
+	name    string
+	baseCPU float64
+	engine  *workload.Engine
+
+	lastWorkCPU float64
+}
+
+var (
+	_ sim.QoSApp   = (*OpenLoopService)(nil)
+	_ sim.QueueApp = (*OpenLoopService)(nil)
+)
+
+// NewOpenLoopService builds the service.
+func NewOpenLoopService(cfg OpenLoopConfig) (*OpenLoopService, error) {
+	eng, err := workload.NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("apps: open-loop %s: %w", cfg.Kind, err)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "openloop-" + cfg.Kind.String()
+	}
+	return &OpenLoopService{
+		cfg:     cfg,
+		name:    name,
+		baseCPU: baseCPUFor(cfg.Kind),
+		engine:  eng,
+	}, nil
+}
+
+// baseCPUFor is the load-independent CPU overhead per kind, matching the
+// closed-loop Webservice's intercept so the two models agree at idle.
+func baseCPUFor(kind WorkloadKind) float64 {
+	switch kind {
+	case CPUIntensive:
+		return 60
+	case MemoryIntensive:
+		return 80
+	default:
+		return 70
+	}
+}
+
+// Name implements sim.App.
+func (s *OpenLoopService) Name() string { return s.name }
+
+// Engine exposes the underlying queueing engine (experiments read it for
+// per-tick accounting).
+func (s *OpenLoopService) Engine() *workload.Engine { return s.engine }
+
+// Demand implements sim.App: baseline overhead plus whatever CPU it takes
+// to work the queue at full concurrency, with the non-CPU footprint scaled
+// by queue utilization exactly as the closed-loop shapes scale with
+// intensity.
+func (s *OpenLoopService) Demand(tick int) sim.Demand {
+	work := s.engine.BeginTick(tick)
+	s.lastWorkCPU = work
+	ecfg := s.engine.Config()
+	u := work / (ecfg.MaxConcurrency * ecfg.CPUPerRequest) // utilization in [0,1]
+	d := footprintFor(s.cfg.Kind, u)
+	d.CPU = s.baseCPU + work
+	if s.cfg.DiskPerRequest > 0 {
+		d.DiskMBps += s.cfg.DiskPerRequest * math.Min(s.engine.Queue().Depth(), ecfg.MaxConcurrency)
+	}
+	return d
+}
+
+// footprintFor mirrors the closed-loop Webservice's non-CPU demand shapes
+// at intensity x (the CPU term is supplied by the queue engine).
+func footprintFor(kind WorkloadKind, x float64) sim.Demand {
+	switch kind {
+	case CPUIntensive:
+		return sim.Demand{MemoryMB: 700, ActiveMemMB: 300, MemBWMBps: 600, NetMbps: 30 + 40*x}
+	case MemoryIntensive:
+		return sim.Demand{
+			MemoryMB:    800 + 2400*x,
+			ActiveMemMB: 600 + 2400*x,
+			MemBWMBps:   2000,
+			DiskMBps:    10,
+			NetMbps:     30 + 40*x,
+		}
+	default:
+		return sim.Demand{
+			MemoryMB:    700 + 1700*x,
+			ActiveMemMB: 500 + 1700*x,
+			MemBWMBps:   1200,
+			DiskMBps:    5,
+			NetMbps:     30 + 40*x,
+		}
+	}
+}
+
+// Advance implements sim.App: the baseline overhead consumes effective CPU
+// first, the remainder serves requests — bounded by granted disk
+// throughput when the service is storage-coupled.
+func (s *OpenLoopService) Advance(tick int, g sim.Grant) bool {
+	served := math.Max(0, g.EffectiveCPU()-s.baseCPU) / s.engine.Config().CPUPerRequest
+	if s.cfg.DiskPerRequest > 0 {
+		served = math.Min(served, g.DiskMBps/s.cfg.DiskPerRequest)
+	}
+	s.engine.EndTick(tick, served)
+	return false // a service never finishes
+}
+
+// QoS implements sim.QoSApp: percentile latency vs the SLO target.
+func (s *OpenLoopService) QoS() (value, threshold float64) { return s.engine.QoS() }
+
+// QueueStats implements sim.QueueApp.
+func (s *OpenLoopService) QueueStats() sim.QueueStats {
+	st := s.engine.Stats()
+	return sim.QueueStats{
+		Depth:             st.Depth,
+		OldestAge:         st.OldestAge,
+		PercentileLatency: st.PercentileLatency,
+		Arrived:           st.TotalArrived,
+		Served:            st.TotalServed,
+		Dropped:           st.TotalDropped,
+	}
+}
+
+// ChainStage is one container of a microservice chain: it demands CPU for
+// its own stage queue and forwards completions downstream. The chain's QoS
+// is end-to-end, so only the front stage (ChainFront) reports QoS — one
+// violation signal per chain, measured across every dependent container.
+type ChainStage struct {
+	chain   *workload.Chain
+	index   int
+	name    string
+	baseCPU float64
+}
+
+var _ sim.QueueApp = (*ChainStage)(nil)
+
+// ChainFront is the chain's entry stage; it additionally ingests arrivals
+// and reports the end-to-end QoS, making it the sensitive app the
+// controller watches.
+type ChainFront struct {
+	ChainStage
+}
+
+var _ sim.QoSApp = (*ChainFront)(nil)
+
+// NewChainService builds the per-stage apps for a chain: the front plus
+// one ChainStage per remaining stage, to be hosted in separate containers
+// in order (the simulator advances containers in insertion order, so a
+// request can traverse the whole chain within one tick when every stage
+// has capacity).
+func NewChainService(name string, cfg workload.ChainConfig) (*ChainFront, []*ChainStage, error) {
+	ch, err := workload.NewChain(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("apps: chain %s: %w", name, err)
+	}
+	if name == "" {
+		name = "chain"
+	}
+	front := &ChainFront{ChainStage{chain: ch, index: 0, name: fmt.Sprintf("%s-stage0", name), baseCPU: 40}}
+	rest := make([]*ChainStage, 0, ch.NumStages()-1)
+	for i := 1; i < ch.NumStages(); i++ {
+		rest = append(rest, &ChainStage{chain: ch, index: i, name: fmt.Sprintf("%s-stage%d", name, i), baseCPU: 40})
+	}
+	return front, rest, nil
+}
+
+// Chain exposes the underlying chain.
+func (c *ChainStage) Chain() *workload.Chain { return c.chain }
+
+// Name implements sim.App.
+func (c *ChainStage) Name() string { return c.name }
+
+// Demand implements sim.App. The front stage ingests arrivals first.
+func (c *ChainStage) Demand(tick int) sim.Demand {
+	if c.index == 0 {
+		c.chain.BeginTick(tick)
+	}
+	work := c.chain.StageDemand(c.index)
+	u := math.Min(1, work/math.Max(1, c.cfg().MaxConcurrency*c.cfg().CPUPerRequest))
+	return sim.Demand{
+		CPU:         c.baseCPU + work,
+		MemoryMB:    400,
+		ActiveMemMB: 150 + 150*u,
+		MemBWMBps:   400,
+		NetMbps:     20 + 30*u,
+	}
+}
+
+func (c *ChainStage) cfg() workload.StageConfig { return c.chain.Config().Stages[c.index] }
+
+// Advance implements sim.App; the last stage closes the chain's tick.
+func (c *ChainStage) Advance(tick int, g sim.Grant) bool {
+	served := math.Max(0, g.EffectiveCPU()-c.baseCPU) / c.cfg().CPUPerRequest
+	c.chain.ServeStage(c.index, tick, served)
+	if c.index == c.chain.NumStages()-1 {
+		c.chain.EndTick(tick)
+	}
+	return false
+}
+
+// QueueStats implements sim.QueueApp with this stage's backlog and the
+// chain's end-to-end percentile.
+func (c *ChainStage) QueueStats() sim.QueueStats {
+	st := c.chain.Stats()
+	var depth, oldest float64
+	if c.index < len(st.StageDepths) {
+		depth = st.StageDepths[c.index]
+	}
+	oldest = st.OldestAge
+	return sim.QueueStats{
+		Depth:             depth,
+		OldestAge:         oldest,
+		PercentileLatency: st.PercentileLatency,
+		Arrived:           st.TotalArrived,
+		Served:            st.TotalServed,
+		Dropped:           st.TotalDropped,
+	}
+}
+
+// QoS implements sim.QoSApp on the front stage only: end-to-end latency vs
+// the chain SLO.
+func (c *ChainFront) QoS() (value, threshold float64) { return c.chain.QoS() }

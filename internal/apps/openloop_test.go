@@ -1,0 +1,227 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestArrivalIntensityAdapter(t *testing.T) {
+	in := ArrivalIntensity(workload.Constant(50), 100)
+	if got := in(0); got != 0.5 {
+		t.Fatalf("intensity = %v, want 0.5", got)
+	}
+	over := ArrivalIntensity(workload.Constant(500), 100)
+	if got := over(0); got != 1 {
+		t.Fatalf("over-peak intensity should clamp to 1, got %v", got)
+	}
+	if got := ArrivalIntensity(nil, 100)(0); got != 0 {
+		t.Fatalf("nil process intensity = %v, want 0", got)
+	}
+	// SeriesIntensity is now the same adapter with peak 1.
+	s := SeriesIntensity([]float64{0.2, 1.5, -3})
+	if got := s(0); got != 0.2 {
+		t.Fatalf("series[0] = %v, want 0.2", got)
+	}
+	if got := s(1); got != 1 {
+		t.Fatalf("series[1] should clamp to 1, got %v", got)
+	}
+	if got := s(2); got != 0 {
+		t.Fatalf("series[2] should clamp to 0, got %v", got)
+	}
+	if got := s(99); got != 0 {
+		t.Fatalf("series past end holds final value, got %v", got)
+	}
+}
+
+func TestOpenLoopServiceHealthyAlone(t *testing.T) {
+	svc, err := NewOpenLoopService(DefaultOpenLoopConfig(CPUIntensive, workload.Constant(60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AddContainer("web", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60)
+	if v, thr := svc.QoS(); v < thr {
+		t.Fatalf("uncontended open-loop QoS = %v, want ≥ %v", v, thr)
+	}
+	st, ok := c.QueueStats()
+	if !ok {
+		t.Fatal("open-loop container should expose queue stats")
+	}
+	if st.Depth != 0 {
+		t.Fatalf("uncontended queue depth = %v, want 0", st.Depth)
+	}
+	if st.Served < 0.9*st.Arrived {
+		t.Fatalf("served %v of %v arrived", st.Served, st.Arrived)
+	}
+}
+
+// TestOpenLoopFreezeLeavesBacklogViolation is the sim-level half of the
+// freeze/thaw story: the closed-loop Webservice's QoS is perfect the very
+// tick after a thaw (fresh grant ratio), while the open-loop service is
+// still violating — its backlog carries the freeze's cost forward.
+func TestOpenLoopFreezeLeavesBacklogViolation(t *testing.T) {
+	svc, err := NewOpenLoopService(DefaultOpenLoopConfig(CPUIntensive, workload.Constant(60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := NewWebservice(WebserviceConfig{Kind: CPUIntensive, Intensity: ConstantIntensity(0.5), Threshold: 0.9}, nil)
+	// Separate hosts so the open-loop service's post-thaw catch-up demand
+	// does not CPU-contend the closed-loop app — the schedules must be
+	// identical and independent.
+	sOpen, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sClosed, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sOpen.AddContainer("open", svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sClosed.AddContainer("closed", closed); err != nil {
+		t.Fatal(err)
+	}
+	both := func(f func(s *sim.Simulator, id string) error) {
+		if err := f(sOpen, "open"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f(sClosed, "closed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sOpen.Run(50)
+	sClosed.Run(50)
+	both((*sim.Simulator).Freeze)
+	sOpen.Run(10)
+	sClosed.Run(10)
+	both((*sim.Simulator).Thaw)
+	sOpen.Step() // one post-thaw tick
+	sClosed.Step()
+	if v, thr := closed.QoS(); v < thr {
+		t.Fatalf("closed-loop QoS right after thaw = %v: the grant ratio has no memory, want ≥ %v", v, thr)
+	}
+	if v, thr := svc.QoS(); v >= thr {
+		t.Fatalf("open-loop QoS right after thaw = %v, want violation (< %v): 600 queued requests", v, thr)
+	}
+	// And it recovers once the backlog drains and the window slides.
+	sOpen.Run(80)
+	if v, thr := svc.QoS(); v < thr {
+		t.Fatalf("open-loop QoS after drain = %v, want recovered ≥ %v", v, thr)
+	}
+}
+
+func TestChainServiceAcrossContainers(t *testing.T) {
+	front, rest, err := NewChainService("svc", workload.ChainConfig{
+		Process: workload.Constant(20),
+		Stages: []workload.StageConfig{
+			{CPUPerRequest: 2, MaxConcurrency: 50},
+			{CPUPerRequest: 1, MaxConcurrency: 50},
+			{CPUPerRequest: 1, MaxConcurrency: 50},
+		},
+		TargetLatency: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("stage0", front); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range rest {
+		if _, err := s.AddContainer(st.Name(), st); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	s.Run(40)
+	if v, thr := front.QoS(); v < thr {
+		t.Fatalf("uncontended chain QoS = %v, want ≥ %v", v, thr)
+	}
+	// Freeze a mid-chain stage: the *front* reports the end-to-end
+	// violation even though its own container is untouched.
+	if err := s.Freeze("svc-stage1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(12)
+	if v, thr := front.QoS(); v >= thr {
+		t.Fatalf("chain QoS with frozen mid-stage = %v, want violation (< %v)", v, thr)
+	}
+	c1, err := s.Container("svc-stage1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := c1.QueueStats()
+	if !ok {
+		t.Fatal("chain stage should expose queue stats")
+	}
+	if st.Depth < 200 {
+		t.Fatalf("frozen stage backlog = %v, want the freeze's 12×20 arrivals parked there", st.Depth)
+	}
+}
+
+func TestIOBurstStarvesStorageCoupledService(t *testing.T) {
+	cfg := DefaultOpenLoopConfig(CPUIntensive, workload.Constant(40))
+	// 40 req/tick × 4 MB/s = 160 MB/s steady disk need: fine alone, but
+	// during a storm even the service's maximum proportional share serves
+	// fewer than 40 requests/tick, so the backlog grows for the storm's
+	// whole duration.
+	cfg.DiskPerRequest = 4
+	cfg.Engine.TargetLatency = 2 // the storm drives p99 to 3 ticks
+	svc, err := NewOpenLoopService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddContainer("web", svc); err != nil {
+		t.Fatal(err)
+	}
+	batch := NewIOBurstBatch(DefaultIOBurstConfig(), nil)
+	if _, err := s.AddContainer("batch", batch); err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for tick := 0; tick < 80; tick++ {
+		s.Step()
+		if v, thr := svc.QoS(); v < thr {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("disk storms (180 of 200 MB/s) should push the storage-coupled service into latency violations")
+	}
+	if batch.Progress() <= 0 {
+		t.Fatal("batch made no progress")
+	}
+}
+
+func TestIOBurstFinishes(t *testing.T) {
+	batch := NewIOBurstBatch(IOBurstConfig{TotalWorkCPU: 100, PeriodTicks: 10, BurstTicks: 2, BurstDiskMBps: 50}, nil)
+	s, err := sim.NewSimulator(sim.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AddContainer("batch", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if c.State() != sim.StateFinished {
+		t.Fatalf("batch state = %v, want finished", c.State())
+	}
+}

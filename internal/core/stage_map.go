@@ -190,10 +190,6 @@ func (m *mapStage) mapVector(period int, vec []float64) (stateID int, created bo
 // aligned with the previous one.
 func (m *mapStage) refreshEmbedding() error {
 	vectors := m.space.Vectors()
-	delta, err := mds.DistanceMatrix(vectors)
-	if err != nil {
-		return fmt.Errorf("core: distance matrix: %w", err)
-	}
 	// Solve from a Torgerson (classical-scaling) start rather than the
 	// current layout: incremental placement can degenerate toward
 	// low-dimensional configurations, and a warm start cannot escape them
@@ -201,17 +197,22 @@ func (m *mapStage) refreshEmbedding() error {
 	// is Procrustes-aligned back onto the previous layout below, so
 	// trajectories remain comparable across refreshes. Above the
 	// configured threshold the full quadratic solve is replaced by
-	// landmark MDS.
+	// landmark MDS working straight off the vectors, so neither the O(n²)
+	// distance matrix nor its memory is ever paid at scale.
 	prev := m.space.Coords()
 	var config []mds.Coord
 	var stress float64
 	if m.cfg.LandmarkThreshold > 0 && m.space.Len() > m.cfg.LandmarkThreshold {
-		res, err := mds.LandmarkMDS(delta, m.cfg.LandmarkThreshold, mds.DefaultOptions(m.rng))
+		res, err := mds.LandmarkMDSVectors(vectors, m.cfg.LandmarkThreshold, mds.DefaultOptions(m.rng))
 		if err != nil {
 			return fmt.Errorf("core: landmark refresh: %w", err)
 		}
 		config, stress = res.Config, res.Stress
 	} else {
+		delta, err := mds.DistanceMatrix(vectors)
+		if err != nil {
+			return fmt.Errorf("core: distance matrix: %w", err)
+		}
 		res, err := mds.SMACOF(delta, mds.DefaultOptions(m.rng))
 		if err != nil {
 			return fmt.Errorf("core: smacof refresh: %w", err)

@@ -18,6 +18,7 @@ type SimEnvironment struct {
 	sim         *sim.Simulator
 	sensitiveID string
 	batchIDs    []string
+	serviceIDs  []string
 	qosApp      sim.QoSApp
 }
 
@@ -35,8 +36,29 @@ func NewSimEnvironment(s *sim.Simulator, sensitiveID string, batchIDs []string, 
 	}
 }
 
+// AddServiceIDs registers extra service-tier containers (e.g. the
+// downstream stages of a microservice chain) whose usage belongs to the
+// sensitive application: their samples are merged into the sensitive
+// schema slot, so the measurement vector's dimensionality — and with it
+// the learned state space — is independent of the chain's length.
+func (e *SimEnvironment) AddServiceIDs(ids ...string) {
+	e.serviceIDs = append(e.serviceIDs, ids...)
+}
+
 // Collect implements core.Environment.
-func (e *SimEnvironment) Collect() []metrics.Sample { return e.sim.Samples() }
+func (e *SimEnvironment) Collect() []metrics.Sample {
+	samples := e.sim.Samples()
+	if len(e.serviceIDs) == 0 {
+		return samples
+	}
+	sensitive := make(map[string]bool, len(e.serviceIDs)+1)
+	sensitive[e.sensitiveID] = true
+	for _, id := range e.serviceIDs {
+		sensitive[id] = true
+	}
+	return metrics.AggregateByRole(e.sensitiveID, samples,
+		func(vm string) bool { return sensitive[vm] })
+}
 
 // QoSViolation implements core.Environment: the sensitive application
 // reports a violation when its value drops below threshold while it runs.

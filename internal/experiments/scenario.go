@@ -36,6 +36,11 @@ type Scenario struct {
 	Sensitive   func(rng *rand.Rand) sim.QoSApp
 	// SensitiveStart delays the sensitive container's creation.
 	SensitiveStart int
+	// Services schedules additional service-tier containers that belong to
+	// the sensitive application (the downstream stages of a microservice
+	// chain). Their usage is aggregated into the sensitive schema slot and
+	// they are never throttled; QoS still comes from the Sensitive app.
+	Services []Placement
 	// Batch schedules the batch containers.
 	Batch []Placement
 	// Ticks is the run length.
@@ -131,6 +136,16 @@ func Run(sc Scenario) (*RunResult, error) {
 		sensitiveRNG = rand.New(rand.NewSource(appSeed()))
 	}
 
+	serviceIDs := make([]string, 0, len(sc.Services))
+	serviceRNGs := make([]*rand.Rand, len(sc.Services))
+	for i, p := range sc.Services {
+		if p.ID == "" || p.App == nil {
+			return nil, fmt.Errorf("experiments: service placement %d incomplete", i)
+		}
+		serviceIDs = append(serviceIDs, p.ID)
+		serviceRNGs[i] = rand.New(rand.NewSource(appSeed()))
+	}
+
 	batchIDs := make([]string, 0, len(sc.Batch))
 	batchRNGs := make([]*rand.Rand, len(sc.Batch))
 	for i, p := range sc.Batch {
@@ -156,6 +171,7 @@ func Run(sc Scenario) (*RunResult, error) {
 		}
 		// env is created after the sensitive app exists; placeholder below.
 		env = NewSimEnvironment(simulator, sc.SensitiveID, batchIDs, nil)
+		env.AddServiceIDs(serviceIDs...)
 		rt, err = core.New(cfg, env, NewSimActuator(simulator))
 		if err != nil {
 			return nil, err
@@ -177,6 +193,13 @@ func Run(sc Scenario) (*RunResult, error) {
 			}
 			if env != nil {
 				env.qosApp = qosApp
+			}
+		}
+		for i, p := range sc.Services {
+			if tick == p.StartTick {
+				if _, err := simulator.AddContainer(p.ID, p.App(serviceRNGs[i])); err != nil {
+					return nil, err
+				}
 			}
 		}
 		for i, p := range sc.Batch {

@@ -13,7 +13,8 @@ import (
 // byte-identical under a fixed seed, which is what makes crash recovery
 // and cross-host template exchange testable. In internal/mds,
 // internal/statespace, internal/predictor, internal/trajectory,
-// internal/sim and internal/sched (non-test files) it flags:
+// internal/sim, internal/sched and internal/workload (non-test files) it
+// flags:
 //
 //   - time.Now — wall-clock reads; time must flow in from the caller;
 //   - the global math/rand (and math/rand/v2) top-level functions, whose
@@ -41,6 +42,10 @@ var determinismPkgs = []string{
 	// Placement plans are reproducible artifacts: the same inventory, jobs
 	// and seed must yield the same decisions.
 	"internal/sched",
+	// Open-loop arrival processes and queues drive every scenario-zoo
+	// figure and the CI -scenarios determinism gate: a same-seed replay
+	// must reproduce each summary value bit-for-bit.
+	"internal/workload",
 }
 
 // globalRandFuncs are the math/rand top-level functions backed by the

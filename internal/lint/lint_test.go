@@ -20,7 +20,7 @@ func TestAtomicWrite(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.DeterminismAnalyzer,
-		"repro/internal/mds", "repro/internal/sched", "notmath")
+		"repro/internal/mds", "repro/internal/sched", "repro/internal/workload", "notmath")
 }
 
 func TestFloatCmp(t *testing.T) {

@@ -1,0 +1,56 @@
+// Package workload stands in for the open-loop workload engine, covered
+// by the determinism analyzer: arrival processes and queues drive the
+// scenario-zoo CI gate, whose same-seed replay must reproduce every
+// summary value bit-for-bit — no wall clock, no global rand source, no
+// map-ordered output.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func arrivalsAtWallClock() float64 {
+	return float64(time.Now().Unix() % 100) // want `time.Now`
+}
+
+func poissonGlobal(mean float64) float64 {
+	return mean * rand.ExpFloat64() // want `math/rand`
+}
+
+func poissonSeeded(r *rand.Rand, mean float64) float64 {
+	return mean * r.ExpFloat64() // explicitly seeded source: fine
+}
+
+func ratesUnsorted(perClass map[string]float64) []float64 {
+	var rates []float64
+	for _, r := range perClass {
+		rates = append(rates, r) // want `map iteration`
+	}
+	return rates
+}
+
+func ratesSorted(perClass map[string]float64) []float64 {
+	var rates []float64
+	for _, r := range perClass {
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+	return rates
+}
+
+func totalRate(perClass map[string]float64) float64 {
+	var sum float64
+	for _, r := range perClass {
+		sum += r // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func dumpRates(perClass map[string]float64) {
+	for class, r := range perClass {
+		fmt.Printf("%s: %v\n", class, r) // want `map iteration`
+	}
+}

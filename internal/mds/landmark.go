@@ -31,6 +31,43 @@ func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("mds: empty dissimilarity matrix")
 	}
+	res, err := landmarkMDS(n, k, delta.At, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The caller already paid for the full matrix, so the exact full-
+	// configuration stress is affordable here.
+	res.Stress = Stress1(delta, res.Config)
+	return res, nil
+}
+
+// LandmarkMDSVectors runs landmark MDS directly from the data vectors,
+// computing distances on demand. It never materializes the n×n
+// dissimilarity matrix, so memory stays O(n·k) and time O(n·k) plus the
+// O(k²) landmark solve — the difference between a 10⁵-state refresh
+// finishing in milliseconds and allocating tens of gigabytes. Stress is
+// the landmark subproblem's stress (the full-configuration stress would
+// need the quadratic matrix this function exists to avoid).
+func LandmarkMDSVectors(vectors [][]float64, k int, opts Options) (*LandmarkResult, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("mds: no vectors")
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("mds: vector %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	return landmarkMDS(n, k, func(i, j int) float64 {
+		return Euclidean(vectors[i], vectors[j])
+	}, opts)
+}
+
+// landmarkMDS is the shared core: n points whose dissimilarities are read
+// through dist, k landmarks. The returned Stress is the landmark
+// subproblem's stress; LandmarkMDS overwrites it with the exact value.
+func landmarkMDS(n, k int, dist func(i, j int) float64, opts Options) (*LandmarkResult, error) {
 	if opts.RNG == nil {
 		return nil, fmt.Errorf("mds: RNG required for landmark selection")
 	}
@@ -41,7 +78,7 @@ func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
 		k = n
 	}
 
-	landmarks := maxminLandmarks(delta, k, opts.RNG)
+	landmarks := maxminLandmarks(n, k, dist, opts.RNG)
 
 	// Full SMACOF on the landmark submatrix.
 	sub, err := NewMatrix(len(landmarks))
@@ -51,7 +88,7 @@ func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
 	for i, li := range landmarks {
 		for j, lj := range landmarks {
 			if j > i {
-				sub.Set(i, j, delta.At(li, lj))
+				sub.Set(i, j, dist(li, lj))
 			}
 		}
 	}
@@ -75,7 +112,7 @@ func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
 			continue
 		}
 		for i, li := range landmarks {
-			d[i] = delta.At(p, li)
+			d[i] = dist(p, li)
 		}
 		pos, _, err := Place(res.Config, d, PlaceOptions{})
 		if err != nil {
@@ -87,7 +124,7 @@ func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
 	return &LandmarkResult{
 		Config:    config,
 		Landmarks: landmarks,
-		Stress:    Stress1(delta, config),
+		Stress:    res.Stress,
 	}, nil
 }
 
@@ -95,8 +132,7 @@ func LandmarkMDS(delta *Matrix, k int, opts Options) (*LandmarkResult, error) {
 // to already-chosen landmarks, starting from a random seed point. This is
 // the standard farthest-point heuristic: it spreads landmarks across the
 // data's extent so the triangulation anchors every region.
-func maxminLandmarks(delta *Matrix, k int, rng *rand.Rand) []int {
-	n := delta.Size()
+func maxminLandmarks(n, k int, dist func(i, j int) float64, rng *rand.Rand) []int {
 	chosen := make([]int, 0, k)
 	minDist := make([]float64, n)
 	for i := range minDist {
@@ -107,7 +143,7 @@ func maxminLandmarks(delta *Matrix, k int, rng *rand.Rand) []int {
 		chosen = append(chosen, next)
 		best, bestD := -1, -1.0
 		for i := 0; i < n; i++ {
-			if d := delta.At(i, next); d < minDist[i] {
+			if d := dist(i, next); d < minDist[i] {
 				minDist[i] = d
 			}
 			if minDist[i] > bestD && minDist[i] > 0 {

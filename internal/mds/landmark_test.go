@@ -119,7 +119,7 @@ func TestMaxminLandmarksSpread(t *testing.T) {
 	// Two far clusters: the first two landmarks must hit both clusters.
 	truth := []Coord{{0, 0}, {0.1, 0}, {0.2, 0}, {10, 0}, {10.1, 0}, {10.2, 0}}
 	delta := planted2D(truth)
-	lms := maxminLandmarks(delta, 2, rand.New(rand.NewSource(5)))
+	lms := maxminLandmarks(delta.Size(), 2, delta.At, rand.New(rand.NewSource(5)))
 	if len(lms) != 2 {
 		t.Fatalf("landmarks = %v", lms)
 	}
@@ -127,6 +127,39 @@ func TestMaxminLandmarksSpread(t *testing.T) {
 	sideB := lms[1] < 3
 	if sideA == sideB {
 		t.Errorf("landmarks %v landed in one cluster", lms)
+	}
+}
+
+func TestLandmarkVectorsMatchesMatrixPath(t *testing.T) {
+	// The vector path must be the same algorithm as the matrix path — only
+	// the distance storage differs. Same seed → identical landmarks and
+	// configuration (stress definitions differ by design).
+	rng := rand.New(rand.NewSource(9))
+	vecs := clusteredVectors(rng, 14) // ~40 points
+	delta, err := DistanceMatrix(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMatrix, err := LandmarkMDS(delta, 12, DefaultOptions(rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVectors, err := LandmarkMDSVectors(vecs, 12, DefaultOptions(rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaMatrix.Landmarks) != len(viaVectors.Landmarks) {
+		t.Fatalf("landmark counts differ: %v vs %v", viaMatrix.Landmarks, viaVectors.Landmarks)
+	}
+	for i, l := range viaMatrix.Landmarks {
+		if viaVectors.Landmarks[i] != l {
+			t.Fatalf("landmark %d differs: %d vs %d", i, l, viaVectors.Landmarks[i])
+		}
+	}
+	for i, p := range viaMatrix.Config {
+		if p.Dist(viaVectors.Config[i]) > 1e-9 {
+			t.Fatalf("config %d differs: %v vs %v", i, p, viaVectors.Config[i])
+		}
 	}
 }
 

@@ -27,6 +27,31 @@ type QoSApp interface {
 	QoS() (value, threshold float64)
 }
 
+// QueueStats is an open-loop application's request-queue state for the
+// most recent tick. Closed-loop apps have no queue and report nothing.
+type QueueStats struct {
+	// Depth is the request backlog after the tick's service.
+	Depth float64
+	// OldestAge is how many ticks the oldest queued request has waited.
+	OldestAge float64
+	// PercentileLatency is the app's SLO-percentile latency in ticks.
+	PercentileLatency float64
+	// Arrived, Served, Dropped are cumulative request totals.
+	Arrived float64
+	Served  float64
+	Dropped float64
+}
+
+// QueueApp is implemented by open-loop applications that expose their
+// request-queue state — the observable the closed-loop grant/demand view
+// cannot provide: backlog and queueing delay persist after the grant
+// recovers.
+type QueueApp interface {
+	App
+	// QueueStats returns the most recent tick's queue state.
+	QueueStats() QueueStats
+}
+
 // ContainerState is the lifecycle state of a container.
 type ContainerState int
 
@@ -127,6 +152,16 @@ func (c *Container) TicksFrozen() int { return c.ticksFrozen }
 
 // CPUQuota returns the container's fractional CPU allowance in (0,1].
 func (c *Container) CPUQuota() float64 { return c.cpuQuota }
+
+// QueueStats returns the hosted application's request-queue state when the
+// app is open-loop (implements QueueApp); ok is false for closed-loop
+// apps.
+func (c *Container) QueueStats() (st QueueStats, ok bool) {
+	if qa, is := c.app.(QueueApp); is {
+		return qa.QueueStats(), true
+	}
+	return QueueStats{}, false
+}
 
 // demandForTick produces the container's demand respecting its state.
 func (c *Container) demandForTick(tick int) Demand {

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FlashConfig describes a flash-crowd trace: the usual diurnal baseline
+// with one superimposed surge — ramp to Multiplier× the baseline over
+// RampHours, hold for HoldHours, decay back over DecayHours.
+type FlashConfig struct {
+	// Base is the underlying diurnal trace.
+	Base Config
+	// Multiplier scales the baseline at the surge peak; must be ≥ 1.
+	Multiplier float64
+	// StartHour is the surge onset in hours from the trace start.
+	StartHour float64
+	// RampHours, HoldHours and DecayHours shape the surge; zero ramp or
+	// decay is instantaneous.
+	RampHours  float64
+	HoldHours  float64
+	DecayHours float64
+}
+
+// DefaultFlashConfig is the default diurnal trace with a 4× surge on day
+// two: a one-hour ramp, two-hour hold, three-hour decay.
+func DefaultFlashConfig() FlashConfig {
+	return FlashConfig{
+		Base:       DefaultConfig(),
+		Multiplier: 4,
+		StartHour:  30,
+		RampHours:  1,
+		HoldHours:  2,
+		DecayHours: 3,
+	}
+}
+
+func (c FlashConfig) validate() error {
+	if err := c.Base.validate(); err != nil {
+		return err
+	}
+	if c.Multiplier < 1 {
+		return fmt.Errorf("trace: flash Multiplier must be ≥ 1, got %v", c.Multiplier)
+	}
+	if c.StartHour < 0 || c.RampHours < 0 || c.HoldHours < 0 || c.DecayHours < 0 {
+		return fmt.Errorf("trace: flash hours must be non-negative: %+v", c)
+	}
+	return nil
+}
+
+// flashEnvelope returns the surge multiplier at hour h.
+func (c FlashConfig) flashEnvelope(h float64) float64 {
+	t := h - c.StartHour
+	switch {
+	case t < 0:
+		return 1
+	case c.RampHours > 0 && t < c.RampHours:
+		return 1 + (c.Multiplier-1)*(t/c.RampHours)
+	case t < c.RampHours+c.HoldHours:
+		return c.Multiplier
+	case c.DecayHours > 0 && t < c.RampHours+c.HoldHours+c.DecayHours:
+		frac := (t - c.RampHours - c.HoldHours) / c.DecayHours
+		return c.Multiplier - (c.Multiplier-1)*frac
+	default:
+		return 1
+	}
+}
+
+// GenerateFlash synthesizes a flash-crowd trace: Generate's diurnal series
+// with the surge envelope applied.
+func GenerateFlash(cfg FlashConfig, rng *rand.Rand) ([]Point, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pts, err := Generate(cfg.Base, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		pts[i].Rate *= cfg.flashEnvelope(pts[i].Hour)
+	}
+	return pts, nil
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func noiselessFlash() FlashConfig {
+	fc := DefaultFlashConfig()
+	fc.Base.Noise = 0
+	return fc
+}
+
+func TestGenerateFlashValidation(t *testing.T) {
+	fc := noiselessFlash()
+	fc.Multiplier = 0.5
+	if _, err := GenerateFlash(fc, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("multiplier < 1 should error")
+	}
+	fc = noiselessFlash()
+	fc.StartHour = -1
+	if _, err := GenerateFlash(fc, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative start hour should error")
+	}
+	fc = noiselessFlash()
+	fc.Base.Days = 0
+	if _, err := GenerateFlash(fc, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid base config should error")
+	}
+}
+
+func TestGenerateFlashSurge(t *testing.T) {
+	fc := noiselessFlash()
+	base, err := Generate(fc.Base, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash, err := GenerateFlash(fc, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flash) != len(base) {
+		t.Fatalf("flash length %d != base length %d", len(flash), len(base))
+	}
+	for i, p := range flash {
+		h := p.Hour
+		ratio := p.Rate / base[i].Rate
+		inSurge := h >= fc.StartHour && h < fc.StartHour+fc.RampHours+fc.HoldHours+fc.DecayHours
+		if !inSurge {
+			if ratio < 0.999 || ratio > 1.001 {
+				t.Fatalf("hour %v outside surge: ratio %v, want 1", h, ratio)
+			}
+			continue
+		}
+		if ratio < 0.999 || ratio > fc.Multiplier+0.001 {
+			t.Fatalf("hour %v in surge: ratio %v outside [1,%v]", h, ratio, fc.Multiplier)
+		}
+	}
+	// The hold phase sits at exactly Multiplier× the baseline.
+	holdHour := fc.StartHour + fc.RampHours + fc.HoldHours/2
+	for i, p := range flash {
+		if p.Hour >= holdHour {
+			if ratio := p.Rate / base[i].Rate; ratio < fc.Multiplier-0.001 {
+				t.Fatalf("hold phase ratio %v, want %v", ratio, fc.Multiplier)
+			}
+			break
+		}
+	}
+}
+
+// TestFlashCSVRoundTrip: a generated flash trace survives WriteCSV →
+// ReadCSV exactly (the property tracegen consumers depend on).
+func TestFlashCSVRoundTrip(t *testing.T) {
+	pts, err := GenerateFlash(DefaultFlashConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(pts) {
+		t.Fatalf("round trip changed row count: %d vs %d", len(again), len(pts))
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("row %d changed: %+v vs %+v", i, pts[i], again[i])
+		}
+	}
+}

@@ -16,6 +16,10 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("1,2,3\n")
 	f.Add("0,-5\n")
 	f.Add("1e309,2\n")
+	// Malformed rows past the header: the parser must reject, not panic.
+	f.Add("hour,rate\n0,100\nNaN,abc\n")
+	f.Add("hour,rate\n\"0,100\n")
+	f.Add("hour,rate\n0,100\n1,\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		pts, err := ReadCSV(strings.NewReader(input))
 		if err != nil {

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// StageConfig sizes one stage of a service chain.
+type StageConfig struct {
+	// CPUPerRequest converts this stage's effective CPU into requests
+	// processed. Required, > 0.
+	CPUPerRequest float64
+	// MaxConcurrency caps requests in flight per tick. <= 0 defaults to
+	// the chain's queue capacity.
+	MaxConcurrency float64
+}
+
+// ChainConfig assembles a Chain.
+type ChainConfig struct {
+	// Process generates arrivals into the first stage. Required.
+	Process Process
+	// Stages lists the dependent services front to back. Required,
+	// at least one.
+	Stages []StageConfig
+	// QueueCap bounds every stage's queue. <= 0 defaults to 10000.
+	QueueCap float64
+	// TargetLatency is the end-to-end SLO bound in ticks. <= 0 defaults
+	// to 3 × len(Stages) (each stage contributes at least one tick of
+	// pipeline latency).
+	TargetLatency float64
+	// Percentile, WindowTicks, Threshold, DropPenalty mirror Config.
+	Percentile  float64
+	WindowTicks int
+	Threshold   float64
+	DropPenalty float64
+}
+
+// ChainStats is one tick's view of the whole chain.
+type ChainStats struct {
+	// Depth is the total backlog across stages.
+	Depth float64
+	// StageDepths is the per-stage backlog.
+	StageDepths []float64
+	// OldestAge is the oldest request anywhere in the chain.
+	OldestAge float64
+	// PercentileLatency is the end-to-end SLO quantile, censored by every
+	// stage's waiting backlog.
+	PercentileLatency float64
+	// TotalArrived, TotalServed, TotalDropped are cumulative; served
+	// counts requests that exited the final stage, dropped counts sheds
+	// at any stage.
+	TotalArrived float64
+	TotalServed  float64
+	TotalDropped float64
+}
+
+// Chain is an open-loop microservice chain: arrivals enter stage 0, each
+// stage's completions feed the next stage's queue with the original birth
+// tick preserved, and QoS is the percentile of *end-to-end* latency —
+// arrival at the chain through exit from the last stage. Throttling any
+// one stage therefore degrades the sensitive service's QoS, which is the
+// end-to-end framing the C-Koordinator line of work argues for.
+//
+// Each stage is expected to be driven by its own container: the front
+// container calls BeginTick, every stage's container calls StageDemand /
+// ServeStage, and the last stage's container calls EndTick. A frozen stage
+// simply stops serving; upstream forwards keep queueing into it and
+// BeginTick catches up arrivals missed while the front was frozen.
+type Chain struct {
+	cfg    ChainConfig
+	queues []*Queue
+	window *Window
+
+	nextTick int
+	started  bool
+
+	lastValue float64
+	lastStats ChainStats
+}
+
+// NewChain validates cfg and returns a chain.
+func NewChain(cfg ChainConfig) (*Chain, error) {
+	if cfg.Process == nil {
+		return nil, fmt.Errorf("workload: ChainConfig.Process required")
+	}
+	if len(cfg.Stages) == 0 {
+		return nil, fmt.Errorf("workload: chain needs at least one stage")
+	}
+	for i, s := range cfg.Stages {
+		if s.CPUPerRequest <= 0 {
+			return nil, fmt.Errorf("workload: stage %d CPUPerRequest must be positive, got %v", i, s.CPUPerRequest)
+		}
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 10000
+	}
+	for i := range cfg.Stages {
+		if cfg.Stages[i].MaxConcurrency <= 0 {
+			cfg.Stages[i].MaxConcurrency = cfg.QueueCap
+		}
+	}
+	if cfg.TargetLatency <= 0 {
+		cfg.TargetLatency = 3 * float64(len(cfg.Stages))
+	}
+	if cfg.Percentile <= 0 {
+		cfg.Percentile = 0.99
+	}
+	if cfg.WindowTicks <= 0 {
+		cfg.WindowTicks = 40
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.95
+	}
+	if cfg.DropPenalty <= 0 {
+		cfg.DropPenalty = 5 * cfg.TargetLatency
+	}
+	queues := make([]*Queue, len(cfg.Stages))
+	for i := range queues {
+		queues[i] = NewQueue(cfg.QueueCap)
+	}
+	return &Chain{
+		cfg:       cfg,
+		queues:    queues,
+		window:    NewWindow(cfg.WindowTicks),
+		lastValue: 1,
+	}, nil
+}
+
+// Config returns the chain's effective (defaulted) configuration.
+func (c *Chain) Config() ChainConfig { return c.cfg }
+
+// NumStages returns the number of stages.
+func (c *Chain) NumStages() int { return len(c.cfg.Stages) }
+
+// BeginTick ingests arrivals into the first stage for every tick since the
+// last call through tick (inclusive), shedding at the queue bound.
+func (c *Chain) BeginTick(tick int) {
+	from := tick
+	if c.started && c.nextTick < tick {
+		from = c.nextTick
+	}
+	for t := from; t <= tick; t++ {
+		n := c.cfg.Process.Arrivals(t)
+		_, d := c.queues[0].Push(float64(t), n)
+		if d > 0 {
+			c.window.Add(t, c.cfg.DropPenalty, d)
+		}
+	}
+	c.started = true
+	c.nextTick = tick + 1
+}
+
+// StageDemand returns stage i's CPU demand: enough to work its backlog at
+// full concurrency.
+func (c *Chain) StageDemand(i int) float64 {
+	s := c.cfg.Stages[i]
+	return math.Min(c.queues[i].Depth(), s.MaxConcurrency) * s.CPUPerRequest
+}
+
+// ServeStage completes up to served requests at stage i. Completions
+// forward into stage i+1's queue with their original birth tick, so
+// end-to-end latency survives the hop; final-stage completions enter the
+// SLO window. Returns the number of requests processed.
+func (c *Chain) ServeStage(i int, tick int, served float64) float64 {
+	served = math.Min(served, c.cfg.Stages[i].MaxConcurrency)
+	var done float64
+	for _, comp := range c.queues[i].Serve(tick, served) {
+		done += comp.Count
+		if i+1 < len(c.queues) {
+			_, d := c.queues[i+1].Push(comp.Birth, comp.Count)
+			if d > 0 {
+				c.window.Add(tick, c.cfg.DropPenalty, d)
+			}
+		} else {
+			c.window.Add(tick, comp.Latency, comp.Count)
+		}
+	}
+	return done
+}
+
+// StageDepth returns stage i's current backlog.
+func (c *Chain) StageDepth(i int) float64 { return c.queues[i].Depth() }
+
+// StageOldestAge returns how long stage i's oldest request has waited in
+// the chain as of tick.
+func (c *Chain) StageOldestAge(i, tick int) float64 { return c.queues[i].OldestAge(tick) }
+
+// EndTick closes the tick: the end-to-end percentile is recomputed with
+// every stage's waiting backlog as right-censored observations. Call after
+// all stages have served.
+func (c *Chain) EndTick(tick int) ChainStats {
+	c.window.Advance(tick)
+	var censored []Completion
+	st := ChainStats{StageDepths: make([]float64, len(c.queues))}
+	var arrived, served, dropped float64
+	for i, q := range c.queues {
+		q.WaitingAges(tick, func(age, count float64) {
+			censored = append(censored, Completion{Latency: age, Count: count})
+		})
+		st.StageDepths[i] = q.Depth()
+		st.Depth += q.Depth()
+		st.OldestAge = math.Max(st.OldestAge, q.OldestAge(tick))
+		dropped += q.Dropped()
+	}
+	arrived = c.queues[0].Arrived()
+	served = c.queues[len(c.queues)-1].Served()
+	st.TotalArrived = arrived
+	st.TotalServed = served
+	st.TotalDropped = dropped
+	st.PercentileLatency = c.window.Percentile(c.cfg.Percentile, censored)
+	c.lastValue = qosFromLatency(c.cfg.TargetLatency, st.PercentileLatency)
+	c.lastStats = st
+	return st
+}
+
+// QoS returns the chain's end-to-end latency QoS value and violation
+// threshold. Value < threshold is a violation.
+func (c *Chain) QoS() (value, threshold float64) {
+	return c.lastValue, c.cfg.Threshold
+}
+
+// Stats returns the most recent EndTick's stats.
+func (c *Chain) Stats() ChainStats { return c.lastStats }

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config assembles an open-loop Engine.
+type Config struct {
+	// Process generates arrivals. Required.
+	Process Process
+	// QueueCap bounds the request queue; overflow is shed and counted
+	// against the SLO at DropPenalty. <= 0 defaults to 10000.
+	QueueCap float64
+	// CPUPerRequest converts service capacity (effective CPU,
+	// percent-of-core × tick) into requests served. Required, > 0.
+	CPUPerRequest float64
+	// MaxConcurrency caps how many requests the service can work on per
+	// tick regardless of queue depth — the worker-pool size. It bounds
+	// both CPU demand and drain rate. <= 0 defaults to QueueCap.
+	MaxConcurrency float64
+	// TargetLatency is the SLO latency bound in ticks (a request served in
+	// its arrival tick has latency 1). <= 0 defaults to 3.
+	TargetLatency float64
+	// Percentile is the SLO quantile (0.95, 0.99, …). <= 0 defaults to 0.99.
+	Percentile float64
+	// WindowTicks is how many ticks of completions the percentile is
+	// computed over. <= 0 defaults to 40.
+	WindowTicks int
+	// Threshold is the QoS violation threshold: QoS value is
+	// min(1, TargetLatency/pXX) and a value below Threshold is a
+	// violation. <= 0 defaults to 0.95.
+	Threshold float64
+	// DropPenalty is the latency charged for a shed request. <= 0
+	// defaults to 5 × TargetLatency.
+	DropPenalty float64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Process == nil {
+		return fmt.Errorf("workload: Config.Process required")
+	}
+	if c.CPUPerRequest <= 0 {
+		return fmt.Errorf("workload: CPUPerRequest must be positive, got %v", c.CPUPerRequest)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 10000
+	}
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = c.QueueCap
+	}
+	if c.TargetLatency <= 0 {
+		c.TargetLatency = 3
+	}
+	if c.Percentile <= 0 {
+		c.Percentile = 0.99
+	}
+	if c.WindowTicks <= 0 {
+		c.WindowTicks = 40
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.95
+	}
+	if c.DropPenalty <= 0 {
+		c.DropPenalty = 5 * c.TargetLatency
+	}
+	return nil
+}
+
+// Stats is one tick's observable queue state.
+type Stats struct {
+	// Depth is the backlog after serving.
+	Depth float64
+	// OldestAge is the oldest waiting request's age in ticks.
+	OldestAge float64
+	// PercentileLatency is the SLO quantile over the completion window,
+	// censored by the waiting backlog.
+	PercentileLatency float64
+	// Arrived, Served, Dropped are this tick's counts.
+	Arrived float64
+	Served  float64
+	Dropped float64
+	// TotalArrived, TotalServed, TotalDropped are cumulative.
+	TotalArrived float64
+	TotalServed  float64
+	TotalDropped float64
+}
+
+// Engine is the open-loop request loop for one service: arrivals keep
+// coming (even while the host has the container frozen), queue in a
+// bounded buffer, and are served at whatever rate the granted CPU allows.
+// QoS is the percentile latency against the SLO target — a signal with
+// memory: it degrades while throttled and recovers only as the backlog
+// drains.
+//
+// Call BeginTick to ingest arrivals and obtain the tick's CPU demand, then
+// EndTick with the requests actually served. Ticks may be skipped (a
+// frozen container's app is never invoked); BeginTick catches up the
+// arrival process over the gap, which is exactly the open-loop property —
+// demand does not pause because the service did.
+type Engine struct {
+	cfg    Config
+	queue  *Queue
+	window *Window
+
+	nextTick int
+	started  bool
+
+	lastStats Stats
+	lastValue float64
+}
+
+// NewEngine validates cfg and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:       cfg,
+		queue:     NewQueue(cfg.QueueCap),
+		window:    NewWindow(cfg.WindowTicks),
+		lastValue: 1,
+	}, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Queue exposes the underlying queue (read-mostly; chain stages share it).
+func (e *Engine) Queue() *Queue { return e.queue }
+
+// BeginTick ingests arrivals for every tick since the last call through
+// tick (inclusive) and returns the CPU demand required to work the
+// backlog at full concurrency.
+func (e *Engine) BeginTick(tick int) (demandCPU float64) {
+	from := tick
+	if e.started && e.nextTick < tick {
+		from = e.nextTick // catch up ticks missed while frozen
+	}
+	var arrived, dropped float64
+	for t := from; t <= tick; t++ {
+		n := e.cfg.Process.Arrivals(t)
+		a, d := e.queue.Push(float64(t), n)
+		arrived += a + d
+		dropped += d
+		if d > 0 {
+			// A shed request is an SLO miss; charge it immediately.
+			e.window.Add(t, e.cfg.DropPenalty, d)
+		}
+	}
+	e.started = true
+	e.nextTick = tick + 1
+	e.lastStats.Arrived = arrived
+	e.lastStats.Dropped = dropped
+	return math.Min(e.queue.Depth(), e.cfg.MaxConcurrency) * e.cfg.CPUPerRequest
+}
+
+// EndTick completes the tick: served requests (already converted from the
+// grant by the caller, capped at MaxConcurrency) drain the queue and their
+// latencies enter the SLO window.
+func (e *Engine) EndTick(tick int, served float64) Stats {
+	served = math.Min(served, e.cfg.MaxConcurrency)
+	e.window.Advance(tick)
+	var done float64
+	for _, c := range e.queue.Serve(tick, served) {
+		e.window.Add(tick, c.Latency, c.Count)
+		done += c.Count
+	}
+	st := &e.lastStats
+	st.Served = done
+	st.Depth = e.queue.Depth()
+	st.OldestAge = e.queue.OldestAge(tick)
+	st.PercentileLatency = e.percentile(tick)
+	st.TotalArrived = e.queue.Arrived()
+	st.TotalServed = e.queue.Served()
+	st.TotalDropped = e.queue.Dropped()
+	e.lastValue = qosFromLatency(e.cfg.TargetLatency, st.PercentileLatency)
+	return *st
+}
+
+// percentile computes the SLO quantile with the waiting backlog as
+// right-censored observations: a request that has already waited a ticks
+// will complete with latency ≥ a+1, so it bounds the percentile from
+// below even though it has not completed.
+func (e *Engine) percentile(tick int) float64 {
+	var censored []Completion
+	e.queue.WaitingAges(tick, func(age, count float64) {
+		censored = append(censored, Completion{Latency: age, Count: count})
+	})
+	return e.window.Percentile(e.cfg.Percentile, censored)
+}
+
+// QoS returns the engine's latency QoS: value = min(1, target/pXX) and
+// the violation threshold. Value < threshold is a violation. Before any
+// request has been observed the value is 1 (an idle service is healthy).
+func (e *Engine) QoS() (value, threshold float64) {
+	return e.lastValue, e.cfg.Threshold
+}
+
+// Stats returns the most recent tick's stats.
+func (e *Engine) Stats() Stats { return e.lastStats }
+
+// qosFromLatency normalizes a percentile latency against the SLO target:
+// 1 while at or under target, decaying toward 0 as the percentile grows.
+func qosFromLatency(target, pXX float64) float64 {
+	if pXX <= 0 || target <= 0 {
+		return 1
+	}
+	v := target / pXX
+	if v > 1 {
+		return 1
+	}
+	return v
+}

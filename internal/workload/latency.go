@@ -1,0 +1,100 @@
+package workload
+
+import "sort"
+
+// Window is a sliding window over completion latencies, weighted by
+// request count. Percentiles are computed over the retained completions
+// plus any right-censored observations the caller adds for requests still
+// waiting (their eventual latency is at least their current age), so a
+// starved queue degrades the percentile before a single starved request
+// completes.
+type Window struct {
+	ticks   int
+	entries []windowEntry
+}
+
+type windowEntry struct {
+	tick    int
+	latency float64
+	count   float64
+}
+
+// NewWindow returns a window retaining completions from the last ticks
+// ticks (minimum 1).
+func NewWindow(ticks int) *Window {
+	if ticks < 1 {
+		ticks = 1
+	}
+	return &Window{ticks: ticks}
+}
+
+// Add records count completions with the given latency at tick, evicting
+// entries that have slid out of the window. Ticks must be nondecreasing.
+func (w *Window) Add(tick int, latency, count float64) {
+	if count <= 0 {
+		return
+	}
+	w.evict(tick)
+	w.entries = append(w.entries, windowEntry{tick: tick, latency: latency, count: count})
+}
+
+// Advance evicts expired entries without adding anything — call once per
+// tick so quiet periods age out stale completions.
+func (w *Window) Advance(tick int) { w.evict(tick) }
+
+func (w *Window) evict(tick int) {
+	cut := 0
+	for cut < len(w.entries) && w.entries[cut].tick <= tick-w.ticks {
+		cut++
+	}
+	if cut > 0 {
+		w.entries = append(w.entries[:0], w.entries[cut:]...)
+	}
+}
+
+// Count returns the total weighted completions retained.
+func (w *Window) Count() float64 {
+	var n float64
+	for _, e := range w.entries {
+		n += e.count
+	}
+	return n
+}
+
+// Percentile returns the p-quantile (p in (0,1], e.g. 0.99) of the
+// retained latencies plus the censored extras, weighted by count. An empty
+// window with no extras returns 0.
+func (w *Window) Percentile(p float64, extra []Completion) float64 {
+	type wl struct{ latency, count float64 }
+	items := make([]wl, 0, len(w.entries)+len(extra))
+	var total float64
+	for _, e := range w.entries {
+		items = append(items, wl{e.latency, e.count})
+		total += e.count
+	}
+	for _, e := range extra {
+		if e.Count > 0 {
+			items = append(items, wl{e.Latency, e.Count})
+			total += e.Count
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.5
+	}
+	if p > 1 {
+		p = 1
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].latency < items[j].latency })
+	target := p * total
+	var cum float64
+	for _, it := range items {
+		cum += it.count
+		if cum >= target-1e-12 {
+			return it.latency
+		}
+	}
+	return items[len(items)-1].latency
+}

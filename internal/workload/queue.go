@@ -1,0 +1,127 @@
+package workload
+
+import "math"
+
+// cohort is a group of requests that entered the system during the same
+// tick. Requests are fluid: counts may be fractional.
+type cohort struct {
+	// birth is the tick the requests entered the system. For chain stages
+	// past the head this is the tick the request entered the *chain*, so
+	// end-to-end latency survives forwarding.
+	birth float64
+	count float64
+}
+
+// Completion is a served cohort: count requests that waited latency ticks
+// from arrival through completion (inclusive; same-tick service is
+// latency 1).
+type Completion struct {
+	Birth   float64
+	Count   float64
+	Latency float64
+}
+
+// Queue is a bounded FIFO of request cohorts. Arrivals beyond the capacity
+// are dropped (load shedding at the listen backlog); service drains the
+// oldest cohorts first.
+type Queue struct {
+	capacity float64
+	cohorts  []cohort
+	depth    float64
+
+	arrived float64
+	dropped float64
+	served  float64
+}
+
+// NewQueue returns a queue holding at most capacity requests;
+// capacity <= 0 means unbounded.
+func NewQueue(capacity float64) *Queue {
+	return &Queue{capacity: capacity}
+}
+
+// Depth returns the number of queued requests.
+func (q *Queue) Depth() float64 { return q.depth }
+
+// Arrived, Dropped and Served return cumulative totals.
+func (q *Queue) Arrived() float64 { return q.arrived }
+func (q *Queue) Dropped() float64 { return q.dropped }
+func (q *Queue) Served() float64  { return q.served }
+
+// OldestAge returns how many ticks the oldest queued request has been
+// waiting as of tick (0 when empty).
+func (q *Queue) OldestAge(tick int) float64 {
+	if len(q.cohorts) == 0 {
+		return 0
+	}
+	return math.Max(0, float64(tick)-q.cohorts[0].birth)
+}
+
+// Push enqueues n requests born at the given tick, returning how many were
+// admitted and how many were shed at the capacity bound.
+func (q *Queue) Push(birth float64, n float64) (admitted, dropped float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	q.arrived += n
+	admitted = n
+	if q.capacity > 0 && q.depth+n > q.capacity {
+		admitted = math.Max(0, q.capacity-q.depth)
+		dropped = n - admitted
+		q.dropped += dropped
+	}
+	if admitted > 0 {
+		// Same-birth pushes merge so a long replay cannot grow the cohort
+		// list beyond the queue's age span.
+		if k := len(q.cohorts); k > 0 && q.cohorts[k-1].birth == birth {
+			q.cohorts[k-1].count += admitted
+		} else {
+			q.cohorts = append(q.cohorts, cohort{birth: birth, count: admitted})
+		}
+		q.depth += admitted
+	}
+	return admitted, dropped
+}
+
+// Serve completes up to n requests at the given tick, oldest first, and
+// returns the completed cohorts with their latencies (tick − birth + 1:
+// a request served in its arrival tick spent one period in the system).
+func (q *Queue) Serve(tick int, n float64) []Completion {
+	if n <= 0 || q.depth <= 0 {
+		return nil
+	}
+	var out []Completion
+	for n > 0 && len(q.cohorts) > 0 {
+		c := &q.cohorts[0]
+		take := math.Min(n, c.count)
+		out = append(out, Completion{
+			Birth:   c.birth,
+			Count:   take,
+			Latency: float64(tick) - c.birth + 1,
+		})
+		c.count -= take
+		q.depth -= take
+		q.served += take
+		n -= take
+		if c.count <= 1e-9 {
+			q.depth -= c.count // absorb fluid residue
+			q.cohorts = q.cohorts[1:]
+		}
+	}
+	if q.depth < 0 {
+		q.depth = 0
+	}
+	if len(q.cohorts) == 0 {
+		q.cohorts = nil // let the backing array go once drained
+	}
+	return out
+}
+
+// WaitingAges reports the queue's cohorts as (age+1, count) pairs at the
+// given tick — the latency each waiting request would see if it completed
+// right now. The latency Window uses these as right-censored observations.
+func (q *Queue) WaitingAges(tick int, visit func(age, count float64)) {
+	for _, c := range q.cohorts {
+		visit(float64(tick)-c.birth+1, c.count)
+	}
+}
