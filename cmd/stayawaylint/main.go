@@ -68,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enable  = fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
 		disable = fs.String("disable", "", "comma-separated analyzer names to skip")
 		asJSON  = fs.Bool("json", false, "emit findings as JSON")
+		audit   = fs.Bool("suppressions", false, "audit //lint:stayaway-ignore directives (file, line, analyzer, reason, liveness) instead of reporting findings")
 		dir     = fs.String("C", ".", "directory to resolve package patterns in")
 	)
 	fs.Usage = func() {
@@ -103,6 +104,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
 		return exitError
+	}
+	if *audit {
+		audits, err := lint.AuditSuppressions(pkgs, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+			return exitError
+		}
+		return reportSuppressions(audits, *asJSON, stdout, stderr)
 	}
 	findings, err := lint.Run(pkgs, analyzers)
 	if err != nil {
@@ -157,16 +166,36 @@ func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
 
 func report(findings []lint.Finding, asJSON bool, stdout, stderr io.Writer) int {
 	if asJSON {
+		type jsonEdit struct {
+			Line      int    `json:"line"`
+			Column    int    `json:"column"`
+			EndLine   int    `json:"end_line"`
+			EndColumn int    `json:"end_column"`
+			NewText   string `json:"new_text"`
+		}
+		type jsonFix struct {
+			Message string     `json:"message"`
+			Edits   []jsonEdit `json:"edits"`
+		}
 		type jsonFinding struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Message  string `json:"message"`
+			Analyzer string    `json:"analyzer"`
+			File     string    `json:"file"`
+			Line     int       `json:"line"`
+			Column   int       `json:"column"`
+			Message  string    `json:"message"`
+			Fixes    []jsonFix `json:"fixes,omitempty"`
 		}
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
-			out = append(out, jsonFinding{f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message})
+			jf := jsonFinding{f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, nil}
+			for _, fix := range f.Fixes {
+				jfx := jsonFix{Message: fix.Message}
+				for _, e := range fix.Edits {
+					jfx.Edits = append(jfx.Edits, jsonEdit{e.Pos.Line, e.Pos.Column, e.End.Line, e.End.Column, e.NewText})
+				}
+				jf.Fixes = append(jf.Fixes, jfx)
+			}
+			out = append(out, jf)
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -182,6 +211,43 @@ func report(findings []lint.Finding, asJSON bool, stdout, stderr io.Writer) int 
 	if len(findings) > 0 {
 		return exitFindings
 	}
+	return exitOK
+}
+
+// reportSuppressions renders the -suppressions audit. Every directive is
+// listed with its location, target analyzer, reason, and whether it still
+// silences a diagnostic; dead directives are called out so they get
+// deleted rather than lingering to swallow a future, different finding.
+// The audit always exits 0 — it is an artifact, not a gate.
+func reportSuppressions(audits []lint.SuppressionAudit, asJSON bool, stdout, stderr io.Writer) int {
+	if asJSON {
+		type jsonSuppression struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+			Used     bool   `json:"used"`
+		}
+		out := make([]jsonSuppression, 0, len(audits))
+		for _, a := range audits {
+			out = append(out, jsonSuppression{a.File, a.Line, a.Analyzer, a.Reason, a.Used})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "stayawaylint: %v\n", err)
+			return exitError
+		}
+		return exitOK
+	}
+	for _, a := range audits {
+		status := ""
+		if !a.Used {
+			status = " [unused — delete this directive]"
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s: %s%s\n", a.File, a.Line, a.Analyzer, a.Reason, status)
+	}
+	fmt.Fprintf(stdout, "%d suppression(s)\n", len(audits))
 	return exitOK
 }
 

@@ -196,7 +196,6 @@ func (f *FS) WriteFile(name string, data []byte) error {
 	if err != nil {
 		return pathError("write", name, err)
 	}
-	//lint:stayaway-ignore ledgeredactuation fault-injection decorator forwarding to the wrapped cgroupfs; it sits below the actuator and ledger by construction
 	return f.inner.WriteFile(name, data)
 }
 

@@ -65,20 +65,17 @@ type countingActuator struct {
 
 func (c *countingActuator) Pause(ids []string) error {
 	c.pauses++
-	//lint:stayaway-ignore ledgeredactuation instrumentation shim below the ledger, forwarding to the real inner actuator
 	return c.inner.Pause(ids)
 }
 
 func (c *countingActuator) Resume(ids []string) error {
 	c.resumes++
-	//lint:stayaway-ignore ledgeredactuation instrumentation shim below the ledger, forwarding to the real inner actuator
 	return c.inner.Resume(ids)
 }
 
 // SetLevel forwards graded quotas uncounted: recovery's quota clear is
 // part of a release, not a separate actuation.
 func (c *countingActuator) SetLevel(ids []string, level float64) error {
-	//lint:stayaway-ignore ledgeredactuation instrumentation shim below the ledger, forwarding to the real inner actuator
 	return c.inner.SetLevel(ids, level)
 }
 

@@ -50,8 +50,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. SuggestedFixes, when
+// present, carry machine-applicable rewrites that would resolve the
+// finding; drivers surface them (e.g. in JSON output) but never apply
+// them automatically.
 type Diagnostic struct {
-	Pos     token.Pos
+	Pos            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained rewrite that resolves a
+// diagnostic. Its edits must be applied together or not at all, and
+// must not overlap.
+type SuggestedFix struct {
+	// Message describes the rewrite ("replace with epsilon comparison").
 	Message string
+	// TextEdits are the concrete replacements.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }

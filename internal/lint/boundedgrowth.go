@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/flow"
+)
+
+// BoundedGrowthAnalyzer keeps the long-lived daemon/stream/registry
+// structures from growing without bound: an append to a receiver field
+// slice, or an insert into a receiver field map, must be paired with a
+// cap, ring trim, or eviction. A subscriber table or replay ring that
+// only ever grows turns fleet churn into a slow memory leak on exactly
+// the hosts that run longest.
+//
+// A growth site is considered bounded when any of these hold:
+//   - on EVERY path from function entry to the site, the function
+//     consults a bound for the field (a len(...) check), evicts from it
+//     (delete), trims it (a slice reassignment), or resets it;
+//   - every path from the site to the function exit passes such a
+//     guard (the append-then-trim ring idiom);
+//   - some other method on the same receiver type evicts, trims, or
+//     resets the field (insert-here/evict-there protocols like a
+//     subscribe/unsubscribe pair).
+//
+// Deliberately unbounded structures (static registration sets sized by
+// code, not input) carry a //lint:stayaway-ignore boundedgrowth
+// directive with a reason.
+var BoundedGrowthAnalyzer = &analysis.Analyzer{
+	Name: "boundedgrowth",
+	Doc:  "appends/map-inserts to long-lived receiver fields in internal/{daemon,stream,registry} must be guarded by a cap, ring, or eviction",
+	Run:  runBoundedGrowth,
+}
+
+var boundedGrowthPkgs = []string{
+	"internal/daemon",
+	"internal/stream",
+	"internal/registry",
+}
+
+// growthSite is one append/insert to a receiver field.
+type growthSite struct {
+	node  ast.Node   // the AssignStmt
+	expr  ast.Expr   // the field selector being grown
+	key   string     // field path with the receiver name stripped ("set.byKey")
+	kind  string     // "append" or "map insert"
+	block *cfg.Block // block holding the site
+	idx   int        // node index within the block
+}
+
+func runBoundedGrowth(pass *analysis.Pass) (any, error) {
+	if !pkgMatches(pass.Pkg.Path(), boundedGrowthPkgs...) {
+		return nil, nil
+	}
+	// First pass: which receiver-type/field pairs have an eviction
+	// (delete, trim, reset) in which methods — the cross-method
+	// protocol. A method's OWN evictions don't exempt its growth sites
+	// (those are what the per-path flow check is for); only an eviction
+	// owned by a different method does.
+	evicted := make(map[string]map[*ast.FuncDecl]bool) // "TypeName.field.path"
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv, tname := recvInfo(pass, fd)
+			if recv == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if key, ok := evictionOf(n, recv); ok {
+					full := tname + "." + key
+					if evicted[full] == nil {
+						evicted[full] = make(map[*ast.FuncDecl]bool)
+					}
+					evicted[full][fd] = true
+				}
+				return true
+			})
+		}
+	}
+
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv, tname := recvInfo(pass, fd)
+			if recv == "" {
+				continue
+			}
+			checkGrowthIn(pass, fd, recv, tname, evicted)
+		}
+	}
+	return nil, nil
+}
+
+// recvInfo returns the receiver's identifier name and its type name, or
+// "" when fd is not a method with a named receiver.
+func recvInfo(pass *analysis.Pass, fd *ast.FuncDecl) (recv, typeName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return "", ""
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return name, named.Obj().Name()
+	}
+	return name, ""
+}
+
+// fieldKey flattens a receiver-rooted selector chain to its field path
+// ("h.set.byKey" with receiver h → "set.byKey"); ok is false when e is
+// not rooted at the receiver identifier.
+func fieldKey(e ast.Expr, recv string) (string, bool) {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.Ident:
+			if x.Name != recv || len(parts) == 0 {
+				return "", false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), true
+		default:
+			return "", false
+		}
+	}
+}
+
+// evictionOf reports whether n shrinks or resets a receiver field:
+// delete(recv.f, ...), recv.f = <no self-append> (trim/reset), or a
+// len(recv.f) bound check.
+func evictionOf(n ast.Node, recv string) (key string, ok bool) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if id, isIdent := n.Fun.(*ast.Ident); isIdent && id.Name == "delete" && len(n.Args) >= 1 {
+			if k, rooted := fieldKey(n.Args[0], recv); rooted {
+				return k, true
+			}
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			k, rooted := fieldKey(lhs, recv)
+			if !rooted {
+				continue
+			}
+			if i < len(n.Rhs) && selfAppendOf(n.Rhs[i], lhs) {
+				continue // growth, not a reset
+			}
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// boundCheckOf reports whether n consults len(recv.f).
+func boundCheckOf(n ast.Node, recv, key string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		c, ok := x.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if id, isIdent := c.Fun.(*ast.Ident); isIdent && id.Name == "len" && len(c.Args) == 1 {
+			if k, rooted := fieldKey(c.Args[0], recv); rooted && k == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// selfAppendOf reports whether rhs is append(target, ...) growing the
+// very selector it is assigned to. append([]T(nil), x...) style resets
+// are not self-appends.
+func selfAppendOf(rhs ast.Expr, target ast.Expr) bool {
+	c, ok := rhs.(*ast.CallExpr)
+	if !ok || len(c.Args) == 0 {
+		return false
+	}
+	id, ok := c.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	return types.ExprString(c.Args[0]) == types.ExprString(target)
+}
+
+// guardPred reports whether node n guards key's growth: a bound check,
+// eviction, trim, or reset of the field.
+func guardPred(n ast.Node, recv, key string) bool {
+	if boundCheckOf(n, recv, key) {
+		return true
+	}
+	guarded := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if guarded {
+			return false
+		}
+		if k, ok := evictionOf(x, recv); ok && k == key {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}
+
+// mustFlow is a generic must-analysis: "pred held on every path since
+// entry", joined with AND.
+type mustFlow struct{ pred func(ast.Node) bool }
+
+func (mustFlow) Entry() bool { return false }
+func (m mustFlow) Transfer(n ast.Node, s bool) bool {
+	if s || m.pred(n) {
+		return true
+	}
+	return false
+}
+func (mustFlow) Join(a, b bool) bool  { return a && b }
+func (mustFlow) Equal(a, b bool) bool { return a == b }
+
+func checkGrowthIn(pass *analysis.Pass, fd *ast.FuncDecl, recv, tname string, evicted map[string]map[*ast.FuncDecl]bool) {
+	g := cfg.New(fd.Body)
+	reach := g.Reachable()
+
+	// Collect growth sites block-by-block so flow states line up.
+	var sites []growthSite
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for i, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for li, lhs := range as.Lhs {
+				// Slice growth: recv.f = append(recv.f, ...).
+				if k, rooted := fieldKey(lhs, recv); rooted {
+					if li < len(as.Rhs) && selfAppendOf(as.Rhs[li], lhs) {
+						sites = append(sites, growthSite{as, lhs, k, "append", b, i})
+					}
+					continue
+				}
+				// Map growth: recv.f[k] = v with a map-typed field.
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				k, rooted := fieldKey(ix.X, recv)
+				if !rooted {
+					continue
+				}
+				if _, isMap := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+					continue
+				}
+				sites = append(sites, growthSite{as, ix.X, k, "map insert", b, i})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	for _, site := range sites {
+		if tname != "" && evictedElsewhere(evicted[tname+"."+site.key], fd) {
+			continue // another method on this receiver evicts the field
+		}
+		pred := func(n ast.Node) bool { return guardPred(n, recv, site.key) }
+		if mustGuardBefore(g, site, pred) || mustGuardAfter(g, site, pred) {
+			continue
+		}
+		pass.Reportf(site.node.Pos(),
+			"unbounded growth: %s to long-lived field %s.%s has no cap, ring, or eviction on some path and no evicting method on %s; bound it or evict entries",
+			site.kind, recv, site.key, receiverLabel(tname))
+	}
+}
+
+// evictedElsewhere reports whether any method other than fd evicts the
+// field.
+func evictedElsewhere(owners map[*ast.FuncDecl]bool, fd *ast.FuncDecl) bool {
+	for owner := range owners {
+		if owner != fd {
+			return true
+		}
+	}
+	return false
+}
+
+func receiverLabel(tname string) string {
+	if tname == "" {
+		return "the receiver"
+	}
+	return tname
+}
+
+// mustGuardBefore: the guard is seen on every path from entry to the
+// site (checked at node granularity inside the site's block).
+func mustGuardBefore(g *cfg.CFG, site growthSite, pred func(ast.Node) bool) bool {
+	fl := mustFlow{pred: pred}
+	r := flow.Run[bool](g, fl)
+	before, ok := r.In[site.block]
+	if !ok {
+		return true // unreachable: nothing to flag
+	}
+	s := before
+	for _, n := range site.block.Nodes[:site.idx] {
+		s = fl.Transfer(n, s)
+	}
+	return s
+}
+
+// mustGuardAfter: every path from the site to the normal exit passes a
+// guard — the append-then-trim ring idiom. A guard later in the site's
+// own block counts; otherwise every block path to Exit must cross a
+// guard block.
+func mustGuardAfter(g *cfg.CFG, site growthSite, pred func(ast.Node) bool) bool {
+	for _, n := range site.block.Nodes[site.idx+1:] {
+		if pred(n) {
+			return true
+		}
+	}
+	guardBlock := func(b *cfg.Block) bool {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return true
+			}
+		}
+		return false
+	}
+	// A guard-free path from the site to Exit means the growth can
+	// escape unbounded; panic paths are crashes, not leaks.
+	return flow.Trace(site.block, g.Exit, guardBlock) == nil
+}

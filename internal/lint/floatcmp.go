@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
+	"go/types"
 
 	"repro/internal/lint/analysis"
 )
@@ -63,13 +65,42 @@ func runFloatCmp(pass *analysis.Pass) (any, error) {
 			if xtv.Value != nil && ytv.Value != nil {
 				return true
 			}
-			pass.Reportf(bin.OpPos,
-				"%s on floating-point operands compares exact bit patterns; use an epsilon comparison (stats.ApproxEqual)",
-				bin.Op)
+			pass.Report(analysis.Diagnostic{
+				Pos: bin.OpPos,
+				Message: fmt.Sprintf(
+					"%s on floating-point operands compares exact bit patterns; use an epsilon comparison (stats.ApproxEqual)",
+					bin.Op),
+				SuggestedFixes: []analysis.SuggestedFix{approxEqualFix(pass, bin)},
+			})
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// approxEqualFix builds the epsilon-comparison rewrite for an exact
+// float comparison: `x == y` becomes `stats.ApproxEqual(x, y, 1e-9)`
+// (bare ApproxEqual inside internal/stats itself), and `x != y` the
+// negation. The edit spans the whole comparison so precedence is
+// preserved regardless of the surrounding expression.
+func approxEqualFix(pass *analysis.Pass, bin *ast.BinaryExpr) analysis.SuggestedFix {
+	qual := "stats."
+	if pkgMatches(pass.Pkg.Path(), "internal/stats") {
+		qual = ""
+	}
+	call := fmt.Sprintf("%sApproxEqual(%s, %s, 1e-9)",
+		qual, types.ExprString(bin.X), types.ExprString(bin.Y))
+	if bin.Op == token.NEQ {
+		call = "!" + call
+	}
+	return analysis.SuggestedFix{
+		Message: "replace the exact comparison with " + qual + "ApproxEqual",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     bin.Pos(),
+			End:     bin.End(),
+			NewText: []byte(call),
+		}},
+	}
 }
 
 // isExactZero reports whether v is the constant 0 (of any numeric form).

@@ -1,0 +1,202 @@
+// Package flow is a small forward-dataflow engine over lint/cfg graphs:
+// an analyzer supplies a join-semilattice of abstract states and a
+// per-node transfer function, and Run iterates a worklist to the least
+// fixed point. It also carries the two helpers the stayawaylint
+// analyzers share: memoized per-call-site summaries for same-package
+// helpers (so release/record logic hidden behind an unexported function
+// is still seen), and witness-path extraction for diagnostics that name
+// the concrete violating path.
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// Analysis defines one forward dataflow problem. S is the abstract state;
+// implementations must treat states as immutable values (Transfer and
+// Join return fresh states rather than mutating their arguments).
+type Analysis[S any] interface {
+	// Entry is the state on function entry.
+	Entry() S
+	// Transfer propagates s across one block node.
+	Transfer(n ast.Node, s S) S
+	// Join merges the states of two incoming edges.
+	Join(a, b S) S
+	// Equal reports state equality; the fixed point is reached when no
+	// block's output changes under Equal.
+	Equal(a, b S) bool
+}
+
+// EdgeAnalysis optionally refines states per edge: EdgeTransfer adapts
+// the state flowing along from→to before it joins to's input. Analyzers
+// use it for branch correlation the node-level Transfer cannot express —
+// e.g. "on the error branch of `if err := acquire(); err != nil`, the
+// acquisition did not happen".
+type EdgeAnalysis[S any] interface {
+	Analysis[S]
+	EdgeTransfer(from, to *cfg.Block, s S) S
+}
+
+// Result holds the fixed-point states. Blocks unreachable from entry are
+// absent from both maps.
+type Result[S any] struct {
+	// In is the state at block entry; Out after its last node.
+	In, Out map[*cfg.Block]S
+	// Visits counts block evaluations until convergence (worklist
+	// iterations), exposed for the convergence tests.
+	Visits int
+}
+
+// Run iterates a to its least fixed point over g.
+func Run[S any](g *cfg.CFG, a Analysis[S]) *Result[S] {
+	r := &Result[S]{In: make(map[*cfg.Block]S), Out: make(map[*cfg.Block]S)}
+	r.In[g.Entry] = a.Entry()
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		r.Visits++
+		s := r.In[b]
+		for _, n := range b.Nodes {
+			s = a.Transfer(n, s)
+		}
+		if old, ok := r.Out[b]; ok && a.Equal(old, s) {
+			continue
+		}
+		r.Out[b] = s
+		ea, edgeAware := any(a).(EdgeAnalysis[S])
+		for _, succ := range b.Succs {
+			next := s
+			if edgeAware {
+				next = ea.EdgeTransfer(b, succ, s)
+			}
+			if cur, ok := r.In[succ]; ok {
+				next = a.Join(cur, next)
+				if a.Equal(cur, next) {
+					continue
+				}
+			}
+			r.In[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return r
+}
+
+// NodeStates walks b's nodes from the block's fixed-point In state,
+// calling visit with the state holding immediately BEFORE each node.
+// Analyzers use it to test a fact at a precise statement (a return, an
+// actuation call) rather than at block granularity.
+func (r *Result[S]) NodeStates(a Analysis[S], b *cfg.Block, visit func(n ast.Node, before S)) {
+	s, ok := r.In[b]
+	if !ok {
+		return // unreachable
+	}
+	for _, n := range b.Nodes {
+		visit(n, s)
+		s = a.Transfer(n, s)
+	}
+}
+
+// Trace returns a shortest from→to block path along which avoid is never
+// true (both endpoints included; avoid is not consulted for them), or nil
+// when every such path is cut. Analyzers use it to surface the concrete
+// violating path — "the release is skipped via these lines" — in a
+// diagnostic.
+func Trace(from, to *cfg.Block, avoid func(*cfg.Block) bool) []*cfg.Block {
+	if from == to {
+		return []*cfg.Block{from}
+	}
+	prev := map[*cfg.Block]*cfg.Block{from: nil}
+	queue := []*cfg.Block{from}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, s := range b.Succs {
+			if _, seen := prev[s]; seen {
+				continue
+			}
+			if s != to && avoid != nil && avoid(s) {
+				continue
+			}
+			prev[s] = b
+			if s == to {
+				var path []*cfg.Block
+				for at := to; at != nil; at = prev[at] {
+					path = append(path, at)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, s)
+		}
+	}
+	return nil
+}
+
+// Summaries memoizes a per-function summary V, keyed by the function's
+// types object, with a recursion cut-off: while fn's own summary is being
+// computed, a re-entrant request for it (direct or mutual recursion)
+// yields fallback instead of diverging. One Summaries instance per
+// analyzer pass gives every call site of a helper the same computed
+// summary — the "per-call-site summaries" reuse the flow tests pin down.
+type Summaries[V any] struct {
+	cache map[*types.Func]V
+	busy  map[*types.Func]bool
+	// Computed counts cold computations (cache misses), exposed for the
+	// summary-reuse tests.
+	Computed int
+}
+
+// NewSummaries creates an empty summary cache.
+func NewSummaries[V any]() *Summaries[V] {
+	return &Summaries[V]{
+		cache: make(map[*types.Func]V),
+		busy:  make(map[*types.Func]bool),
+	}
+}
+
+// Get returns fn's summary, computing and caching it on first use.
+func (s *Summaries[V]) Get(fn *types.Func, fallback V, compute func() V) V {
+	if v, ok := s.cache[fn]; ok {
+		return v
+	}
+	if s.busy[fn] {
+		return fallback
+	}
+	s.busy[fn] = true
+	s.Computed++
+	v := compute()
+	delete(s.busy, fn)
+	s.cache[fn] = v
+	return v
+}
+
+// DeclIndex maps the package's *types.Func objects to their syntax, so
+// analyzers can summarize same-package helpers. Functions without bodies
+// (externally linked) are omitted.
+func DeclIndex(files []*ast.File, info *types.Info) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd
+			}
+		}
+	}
+	return idx
+}

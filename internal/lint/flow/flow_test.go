@@ -1,0 +1,330 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// assignSet is a test analysis: the state is the set of identifiers
+// assigned so far (joined by union), a textbook join-semilattice.
+type assignSet struct{}
+
+func (assignSet) Entry() map[string]bool { return map[string]bool{} }
+
+func (assignSet) Transfer(n ast.Node, s map[string]bool) map[string]bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return s
+	}
+	out := make(map[string]bool, len(s)+1)
+	for k := range s {
+		out[k] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func (assignSet) Join(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (assignSet) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func names(s map[string]bool) string {
+	var ks []string
+	for k := range s {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+func buildCFG(t *testing.T, body string) *cfg.CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(file.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// TestJoinIsUnion pins the diamond shape: facts from both branches meet
+// at the join with set union, and the exit sees the merged state.
+func TestJoinIsUnion(t *testing.T) {
+	g := buildCFG(t, `
+if cond() {
+	a = 1
+} else {
+	b = 2
+}
+c = 3`)
+	r := Run[map[string]bool](g, assignSet{})
+	got := names(r.In[g.Exit])
+	if got != "a,b,c" {
+		t.Errorf("exit state = {%s}, want {a,b,c}", got)
+	}
+}
+
+// TestBranchStatesStaySeparate checks flow-sensitivity: before the join,
+// each branch carries only its own facts.
+func TestBranchStatesStaySeparate(t *testing.T) {
+	g := buildCFG(t, `
+if cond() {
+	a = 1
+} else {
+	b = 2
+}`)
+	r := Run[map[string]bool](g, assignSet{})
+	for b := range g.Reachable() {
+		switch b.Kind {
+		case "if.then":
+			if got := names(r.Out[b]); got != "a" {
+				t.Errorf("then out = {%s}, want {a}", got)
+			}
+		case "if.else":
+			if got := names(r.Out[b]); got != "b" {
+				t.Errorf("else out = {%s}, want {b}", got)
+			}
+		}
+	}
+}
+
+// TestLoopConvergence: a loop whose body keeps re-adding the same facts
+// must converge (monotone lattice + Equal cut-off), and facts assigned in
+// the body must flow around the back edge into the loop head.
+func TestLoopConvergence(t *testing.T) {
+	g := buildCFG(t, `
+x = 0
+for i := 0; i < 10; i = i + 1 {
+	y = x
+}
+z = y`)
+	r := Run[map[string]bool](g, assignSet{})
+	if got := names(r.In[g.Exit]); got != "i,x,y,z" {
+		t.Errorf("exit state = {%s}, want {i,x,y,z}", got)
+	}
+	// Convergence sanity: chaotic iteration must settle in a handful of
+	// visits, not loop-count-many.
+	if r.Visits > 4*len(g.Blocks) {
+		t.Errorf("worklist took %d visits for %d blocks; not converging monotonically", r.Visits, len(g.Blocks))
+	}
+	// The loop head's In must include body-assigned y (via the back edge).
+	for b := range g.Reachable() {
+		if b.Kind == "for.head" && !r.In[b]["y"] {
+			t.Errorf("back edge did not propagate y into loop head: {%s}", names(r.In[b]))
+		}
+	}
+}
+
+// TestUnreachableBlocksAbsent: code after an unconditional return is not
+// analyzed.
+func TestUnreachableBlocksAbsent(t *testing.T) {
+	g := buildCFG(t, `
+a = 1
+return
+b = 2`)
+	r := Run[map[string]bool](g, assignSet{})
+	if r.In[g.Exit]["b"] {
+		t.Errorf("dead assignment leaked into exit state: {%s}", names(r.In[g.Exit]))
+	}
+	for b, s := range r.Out {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "b" {
+					t.Errorf("unreachable block was analyzed: %v", names(s))
+				}
+			}
+		}
+	}
+}
+
+// TestNodeStates: the before-state is per node, not per block.
+func TestNodeStates(t *testing.T) {
+	g := buildCFG(t, "a = 1\nb = 2")
+	r := Run[map[string]bool](g, assignSet{})
+	var seen []string
+	r.NodeStates(assignSet{}, g.Entry, func(n ast.Node, before map[string]bool) {
+		seen = append(seen, names(before))
+	})
+	if len(seen) != 2 || seen[0] != "" || seen[1] != "a" {
+		t.Errorf("per-node before-states = %q, want [\"\" \"a\"]", seen)
+	}
+}
+
+// edgeTagger layers EdgeTransfer on assignSet: crossing into an if.then
+// block records the synthetic fact "then". Pins that edge refinement is
+// applied on the from→to edge only, before joining the successor input.
+type edgeTagger struct{ assignSet }
+
+func (edgeTagger) EdgeTransfer(from, to *cfg.Block, s map[string]bool) map[string]bool {
+	if to.Kind != "if.then" {
+		return s
+	}
+	out := make(map[string]bool, len(s)+1)
+	for k := range s {
+		out[k] = true
+	}
+	out["then"] = true
+	return out
+}
+
+func TestEdgeTransferRefinesBranch(t *testing.T) {
+	g := buildCFG(t, `
+if cond() {
+	a = 1
+} else {
+	b = 2
+}
+c = 3`)
+	r := Run[map[string]bool](g, edgeTagger{})
+	for b := range g.Reachable() {
+		switch b.Kind {
+		case "if.then":
+			if !r.In[b]["then"] {
+				t.Errorf("then-branch missing edge fact: {%s}", names(r.In[b]))
+			}
+		case "if.else":
+			if r.In[b]["then"] {
+				t.Errorf("edge fact leaked into else branch: {%s}", names(r.In[b]))
+			}
+		}
+	}
+	// The join sees the fact only via the then path (union), which is the
+	// correct may-semantics for a set lattice.
+	if got := names(r.In[g.Exit]); got != "a,b,c,then" {
+		t.Errorf("exit state = {%s}, want {a,b,c,then}", got)
+	}
+}
+
+func TestTraceAvoidsBlocks(t *testing.T) {
+	g := buildCFG(t, `
+if cond() {
+	a = 1
+} else {
+	b = 2
+}
+c = 3`)
+	var thenB *cfg.Block
+	for b := range g.Reachable() {
+		if b.Kind == "if.then" {
+			thenB = b
+		}
+	}
+	// Unconstrained: a path entry→exit exists.
+	if Trace(g.Entry, g.Exit, nil) == nil {
+		t.Fatal("no unconstrained path entry→exit")
+	}
+	// Avoiding the then-branch still leaves the else path.
+	p := Trace(g.Entry, g.Exit, func(b *cfg.Block) bool { return b == thenB })
+	if p == nil {
+		t.Fatal("avoiding then-branch severed all paths; else path should remain")
+	}
+	for _, b := range p {
+		if b == thenB {
+			t.Error("trace passed through an avoided block")
+		}
+	}
+	// Avoiding the join (the only way out) severs everything.
+	p = Trace(g.Entry, g.Exit, func(b *cfg.Block) bool { return b.Kind == "if.join" })
+	if p != nil {
+		t.Error("trace found a path through the only avoided cut vertex")
+	}
+}
+
+// TestSummariesReuse: one computation per function, later Gets hit the
+// cache, and recursive self-lookup yields the fallback instead of
+// diverging.
+func TestSummariesReuse(t *testing.T) {
+	src := `package p
+func helper() {}
+func mutualA() { mutualB() }
+func mutualB() { mutualA() }
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object)}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	idx := DeclIndex([]*ast.File{file}, info)
+	if len(idx) != 3 {
+		t.Fatalf("DeclIndex found %d functions, want 3", len(idx))
+	}
+	var helper *types.Func
+	for fn := range idx {
+		if fn.Name() == "helper" {
+			helper = fn
+		}
+	}
+	s := NewSummaries[int]()
+	calls := 0
+	compute := func() int { calls++; return 42 }
+	if got := s.Get(helper, -1, compute); got != 42 {
+		t.Errorf("first Get = %d, want 42", got)
+	}
+	if got := s.Get(helper, -1, compute); got != 42 {
+		t.Errorf("second Get = %d, want 42", got)
+	}
+	if calls != 1 || s.Computed != 1 {
+		t.Errorf("compute ran %d times (Computed=%d), want exactly once", calls, s.Computed)
+	}
+
+	// Recursion cut-off: a summary that asks for itself mid-computation
+	// sees the fallback, and the final cached value is the computed one.
+	var rec *types.Func
+	for fn := range idx {
+		if fn.Name() == "mutualA" {
+			rec = fn
+		}
+	}
+	var sawFallback bool
+	v := s.Get(rec, -7, func() int {
+		if inner := s.Get(rec, -7, func() int { return 99 }); inner == -7 {
+			sawFallback = true
+		}
+		return 7
+	})
+	if !sawFallback {
+		t.Error("re-entrant Get did not yield the fallback")
+	}
+	if v != 7 {
+		t.Errorf("recursive Get = %d, want 7", v)
+	}
+	if got := s.Get(rec, -7, func() int { return 99 }); got != 7 {
+		t.Errorf("cached value after recursion = %d, want 7", got)
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/flow"
+)
+
+// GoroutineLeakAnalyzer guards the streaming/daemon/fleet layers against
+// goroutine leaks: every `go` statement there must have a reachable stop
+// signal on all paths. Concretely, the spawned body's CFG must be able
+// to reach an exit (return or panic) from every reachable block — a
+// loop with no conditional way out (`for { work() }`, or a select whose
+// every case loops back) runs until process death, which under lane
+// reloads and fleet churn accumulates one stuck goroutine per cycle.
+//
+// Shapes that pass: a select case on ctx.Done()/a done channel that
+// returns, `for range ch` (channel close is the stop signal), bounded
+// loops, and bodies that simply run to completion. Only goroutine bodies
+// visible to the analysis are checked: function literals and
+// same-package functions/methods; spawning an external function is out
+// of scope.
+var GoroutineLeakAnalyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "go statements in internal/{stream,daemon,fleet} must have a reachable stop signal (context, done channel, channel close) on all paths",
+	Run:  runGoroutineLeak,
+}
+
+var goroutineLeakPkgs = []string{
+	"internal/stream",
+	"internal/daemon",
+	"internal/fleet",
+}
+
+func runGoroutineLeak(pass *analysis.Pass) (any, error) {
+	if !pkgMatches(pass.Pkg.Path(), goroutineLeakPkgs...) {
+		return nil, nil
+	}
+	decls := flow.DeclIndex(pass.Files, pass.TypesInfo)
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(pass, decls, g)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goroutineBody resolves the block the go statement will run: a literal's
+// body, or the body of a same-package function or method.
+func goroutineBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil
+	}
+	if decl, ok := decls[fn]; ok {
+		return decl.Body
+	}
+	return nil
+}
+
+// checkGoroutineBody flags the spawn when some reachable block of the
+// body has no path to any exit: once control enters it, the goroutine
+// can never stop.
+func checkGoroutineBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) {
+	body := goroutineBody(pass, decls, g.Call)
+	if body == nil {
+		return
+	}
+	bg := cfg.New(body)
+	reach := bg.Reachable()
+	for _, b := range bg.Blocks {
+		if !reach[b] {
+			continue
+		}
+		if bg.CanReach(b, bg.Exit) || bg.CanReach(b, bg.Panic) {
+			continue
+		}
+		pos := b.Pos()
+		loc := ""
+		if pos.IsValid() {
+			loc = " (unstoppable loop near line " + strconv.Itoa(pass.Fset.Position(pos).Line) + ")"
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine has no reachable stop signal on some path%s; add a context/done-channel case that returns, range over a closable channel, or bound the loop",
+			loc)
+		return
+	}
+}

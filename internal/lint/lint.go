@@ -2,12 +2,19 @@
 // enforce the repository's safety and determinism contracts — the rules
 // that previously lived only in DESIGN.md prose and review vigilance.
 //
-// The analyzers (see Analyzers) encode, respectively: the write-ahead
-// ledger's upper-bound invariant (ledgeredactuation), crash-safe
-// persistence (atomicwrite), reproducible mapping/prediction pipelines
+// The analyzers (see Analyzers) encode: the write-ahead ledger's
+// upper-bound invariant (ledgeredactuation), crash-safe persistence
+// (atomicwrite), reproducible mapping/prediction pipelines
 // (determinism), epsilon-safe float comparison in the math packages
-// (floatcmp), and the fail-safe release contract of the control runtime
-// (failsafe). Run them via `go run ./cmd/stayawaylint ./...`.
+// (floatcmp), the fail-safe release contract of the control runtime
+// (failsafe), goroutine stop signals in the streaming layers
+// (goroutineleak), capped long-lived structures (boundedgrowth), and
+// the lock release protocol (locksafe). The failsafe, ledger, and
+// concurrency analyzers are flow-sensitive: they run a forward dataflow
+// over per-function CFGs (lint/cfg, lint/flow) so invariants hold along
+// every path — early returns, panic edges, helper indirection — not
+// just straight-line code. Run them via `go run ./cmd/stayawaylint
+// ./...`.
 //
 // A finding can be acknowledged in place with a mandatory-reason
 // directive; see DirectivePrefix.
@@ -26,10 +33,13 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AtomicWriteAnalyzer,
+		BoundedGrowthAnalyzer,
 		DeterminismAnalyzer,
 		FailsafeAnalyzer,
 		FloatCmpAnalyzer,
+		GoroutineLeakAnalyzer,
 		LedgeredActuationAnalyzer,
+		LockSafeAnalyzer,
 	}
 }
 
@@ -42,6 +52,23 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fixes are the analyzer's suggested rewrites, with token positions
+	// resolved to file coordinates so consumers (JSON output, editors)
+	// need no FileSet.
+	Fixes []Fix
+}
+
+// Fix is one machine-applicable rewrite suggested for a Finding.
+type Fix struct {
+	Message string
+	Edits   []FixEdit
+}
+
+// FixEdit replaces the source range [Pos, End) with NewText.
+type FixEdit struct {
+	Pos     token.Position
+	End     token.Position
+	NewText string
 }
 
 func (f Finding) String() string {
@@ -84,7 +111,19 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 						return
 					}
 				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				for _, sf := range d.SuggestedFixes {
+					fix := Fix{Message: sf.Message}
+					for _, e := range sf.TextEdits {
+						fix.Edits = append(fix.Edits, FixEdit{
+							Pos:     pkg.Fset.Position(e.Pos),
+							End:     pkg.Fset.Position(e.End),
+							NewText: string(e.NewText),
+						})
+					}
+					f.Fixes = append(f.Fixes, fix)
+				}
+				findings = append(findings, f)
 			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, err

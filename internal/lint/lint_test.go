@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 	"repro/internal/lint/analysistest"
 )
 
@@ -31,6 +32,87 @@ func TestFloatCmp(t *testing.T) {
 func TestFailsafe(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.FailsafeAnalyzer,
 		"repro/internal/core")
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoroutineLeakAnalyzer,
+		"repro/internal/stream")
+}
+
+func TestBoundedGrowth(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.BoundedGrowthAnalyzer,
+		"repro/internal/daemon")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockSafeAnalyzer,
+		"repro/internal/registry")
+}
+
+// TestFloatCmpSuggestedFix checks that floatcmp findings carry a
+// machine-applicable rewrite: the whole comparison replaced by an
+// ApproxEqual call (bare inside internal/stats, negated for !=).
+func TestFloatCmpSuggestedFix(t *testing.T) {
+	pkgs := analysistest.Load(t, "testdata", "repro/internal/stats")
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{lint.FloatCmpAnalyzer})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	wantRewrites := map[int]string{ // keyed by finding line
+		8:  "ApproxEqual(a, b, 1e-9)",
+		12: "!ApproxEqual(a, b, 1e-9)",
+		16: "ApproxEqual(a, 1.5, 1e-9)",
+		20: "!ApproxEqual(a, b, 1e-9)",
+	}
+	if len(findings) != len(wantRewrites) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want %d", len(findings), len(wantRewrites))
+	}
+	for _, f := range findings {
+		want, ok := wantRewrites[f.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected finding line %d: %s", f.Pos.Line, f)
+			continue
+		}
+		if len(f.Fixes) != 1 || len(f.Fixes[0].Edits) != 1 {
+			t.Errorf("line %d: got %d fixes, want exactly 1 with 1 edit", f.Pos.Line, len(f.Fixes))
+			continue
+		}
+		e := f.Fixes[0].Edits[0]
+		if e.NewText != want {
+			t.Errorf("line %d: rewrite = %q, want %q", f.Pos.Line, e.NewText, want)
+		}
+		if e.Pos.Line != f.Pos.Line || e.End.Line != f.Pos.Line || e.End.Column <= e.Pos.Column {
+			t.Errorf("line %d: edit range %v-%v does not span the comparison", f.Pos.Line, e.Pos, e.End)
+		}
+	}
+}
+
+// TestAuditSuppressions exercises the -suppressions audit path over the
+// suppress fixture: the one well-formed directive is reported as used.
+func TestAuditSuppressions(t *testing.T) {
+	pkgs := analysistest.Load(t, "testdata", "suppress")
+	audits, err := lint.AuditSuppressions(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("AuditSuppressions: %v", err)
+	}
+	// The fixture has exactly two well-formed directives: the atomicwrite
+	// one on line 10 (silences line 11, so live) and the floatcmp one on
+	// line 21 (names the wrong analyzer for its site, so dead).
+	if len(audits) != 2 {
+		for _, a := range audits {
+			t.Logf("audit: %s:%d %s used=%v", a.File, a.Line, a.Analyzer, a.Used)
+		}
+		t.Fatalf("got %d suppressions, want 2", len(audits))
+	}
+	if a := audits[0]; a.Line != 10 || a.Analyzer != "atomicwrite" || !a.Used {
+		t.Errorf("audit[0] = %s:%d %s used=%v; want line 10 atomicwrite used", a.File, a.Line, a.Analyzer, a.Used)
+	}
+	if a := audits[1]; a.Line != 21 || a.Analyzer != "floatcmp" || a.Used {
+		t.Errorf("audit[1] = %s:%d %s used=%v; want line 21 floatcmp unused", a.File, a.Line, a.Analyzer, a.Used)
+	}
 }
 
 // TestSuppressionIntegration runs the full pipeline — all analyzers plus

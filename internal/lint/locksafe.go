@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/flow"
+)
+
+// LockSafeAnalyzer checks the arbiter/hub/registry locking protocol: a
+// sync mutex locked in a function must be unlocked on every exit path,
+// including panic edges. A return (or panic) with the lock held wedges
+// every other lane, subscriber, or registry client behind it — in the
+// control plane that converts one bug into a fleet-wide stall, the
+// exact failure the Stay-Away fail-safes exist to avoid.
+//
+// Each mutex is tracked by its receiver expression (h.mu and v.set.mu
+// are distinct), with read locks tracked separately from write locks.
+// A deferred unlock covers every later exit, including unwinding
+// panics; an explicit unlock must appear on each path. Intentional
+// lock-across-return protocols need a //lint:stayaway-ignore locksafe
+// directive with a reason.
+var LockSafeAnalyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "sync mutexes locked in internal/{throttle,stream,registry} must be unlocked on every exit path, including panic edges; unlock on all paths or via defer",
+	Run:  runLockSafe,
+}
+
+var lockSafePkgs = []string{
+	"internal/throttle",
+	"internal/stream",
+	"internal/registry",
+}
+
+// lockState maps a mutex key to its fsState bitset; absent keys are
+// fsFree. States are treated as immutable values.
+type lockState map[string]fsState
+
+func (s lockState) get(k string) fsState {
+	if v, ok := s[k]; ok {
+		return v
+	}
+	return fsFree
+}
+
+func (s lockState) with(k string, v fsState) lockState {
+	out := make(lockState, len(s)+1)
+	for key, val := range s {
+		out[key] = val
+	}
+	out[k] = v
+	return out
+}
+
+// lockOp classifies a call against the sync mutex surface; op is
+// "lock"/"unlock", key identifies the mutex (with an "/R" suffix for
+// the read side of an RWMutex).
+func lockOp(pass *analysis.Pass, c *ast.CallExpr) (key, op string) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn := methodObj(pass, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	key = types.ExprString(sel.X)
+	if name == "RLock" || name == "RUnlock" {
+		key += "/R"
+	}
+	if name == "Lock" || name == "RLock" {
+		return key, "lock"
+	}
+	return key, "unlock"
+}
+
+// lockFlow is the dataflow problem: per-mutex fsState bitsets joined by
+// union.
+type lockFlow struct {
+	pass *analysis.Pass
+}
+
+func (lockFlow) Entry() lockState { return lockState{} }
+
+func (f lockFlow) Transfer(n ast.Node, s lockState) lockState {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range f.deferredUnlocks(d) {
+			s = s.with(key, fsDeferOp(s.get(key)))
+		}
+		return s
+	}
+	for _, c := range callsIn(n) {
+		switch key, op := lockOp(f.pass, c); op {
+		case "lock":
+			s = s.with(key, fsAcquireOp(s.get(key)))
+		case "unlock":
+			s = s.with(key, fsReleaseOp(s.get(key)))
+		}
+	}
+	return s
+}
+
+// deferredUnlocks returns the mutex keys d unlocks, directly or through
+// a closure body.
+func (f lockFlow) deferredUnlocks(d *ast.DeferStmt) []string {
+	var keys []string
+	if key, op := lockOp(f.pass, d.Call); op == "unlock" {
+		keys = append(keys, key)
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		for _, c := range callsIn(lit.Body) {
+			if key, op := lockOp(f.pass, c); op == "unlock" {
+				keys = append(keys, key)
+			}
+		}
+	}
+	return keys
+}
+
+func (lockFlow) Join(a, b lockState) lockState {
+	out := make(lockState, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v | b.get(k)
+	}
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v | a.get(k)
+		}
+	}
+	return out
+}
+
+func (lockFlow) Equal(a, b lockState) bool {
+	for k, v := range a {
+		if b.get(k) != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a.get(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runLockSafe(pass *analysis.Pass) (any, error) {
+	if !pkgMatches(pass.Pkg.Path(), lockSafePkgs...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockSafeFn(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkLockSafeFn(pass *analysis.Pass, fd *ast.FuncDecl) {
+	g := cfg.New(fd.Body)
+	reach := g.Reachable()
+
+	// Record where each mutex is locked and unlocked, for the witness
+	// trace; skip functions with no lock at all.
+	lockBlocks := make(map[string][]*cfg.Block)
+	unlockIn := make(map[string]map[*cfg.Block]bool)
+	fl := lockFlow{pass: pass}
+	hasLock := false
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				for _, key := range fl.deferredUnlocks(d) {
+					if unlockIn[key] == nil {
+						unlockIn[key] = make(map[*cfg.Block]bool)
+					}
+					unlockIn[key][b] = true
+				}
+				continue
+			}
+			for _, c := range callsIn(n) {
+				switch key, op := lockOp(pass, c); op {
+				case "lock":
+					hasLock = true
+					lockBlocks[key] = append(lockBlocks[key], b)
+				case "unlock":
+					if unlockIn[key] == nil {
+						unlockIn[key] = make(map[*cfg.Block]bool)
+					}
+					unlockIn[key][b] = true
+				}
+			}
+		}
+	}
+	if !hasLock {
+		return
+	}
+
+	r := flow.Run[lockState](g, fl)
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		out, ok := r.Out[b]
+		if !ok {
+			continue
+		}
+		exits := false
+		panics := false
+		for _, succ := range b.Succs {
+			if succ == g.Exit {
+				exits = true
+			}
+			if succ == g.Panic {
+				panics = true
+			}
+		}
+		if !exits && !panics {
+			continue
+		}
+		for key, v := range out {
+			if v&fsHeld == 0 {
+				continue
+			}
+			pos := fd.Body.Rbrace
+			if len(b.Nodes) > 0 {
+				pos = b.Nodes[len(b.Nodes)-1].Pos()
+			}
+			exitWord := "return"
+			if panics {
+				exitWord = "panic"
+			}
+			mutex := key
+			if cut := len(mutex) - 2; cut > 0 && mutex[cut:] == "/R" {
+				mutex = mutex[:cut] + " (read lock)"
+			}
+			msg := fmt.Sprintf("%s is still locked at this %s", mutex, exitWord)
+			var path []*cfg.Block
+			for _, lb := range lockBlocks[key] {
+				if p := flow.Trace(lb, b, func(x *cfg.Block) bool { return unlockIn[key][x] }); p != nil {
+					path = p
+					break
+				}
+			}
+			if trace := traceLines(pass.Fset, path); trace != "" {
+				msg += " (path: " + trace + ")"
+			}
+			msg += "; unlock on every path or defer the unlock"
+			pass.Reportf(pos, "%s", msg)
+		}
+	}
+}

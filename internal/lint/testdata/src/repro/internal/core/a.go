@@ -119,3 +119,74 @@ func GoodStraightLineDropLane(a Act, h Host, ids []string, app string) error {
 	h.DropLane(app)
 	return err
 }
+
+// BadBranchRelease releases only on the verbose branch. The old
+// syntactic pass paired the acquire with the branch release and saw no
+// return statement between them — a false negative only flow analysis
+// over both paths can catch.
+func BadBranchRelease(a Act, ids []string, verbose bool) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	if verbose {
+		return a.Resume(ids)
+	}
+	return nil // want `leaves the batch pool throttled`
+}
+
+// release hides the Resume behind same-package indirection; the flow
+// engine summarizes it as releasing on every exit, so its call sites
+// count as releases.
+func release(a Act, ids []string) error { return a.Resume(ids) }
+
+func GoodHelperRelease(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		release(a, ids)
+		return err
+	}
+	return release(a, ids)
+}
+
+// throttleHalf acquires through indirection: the helper summary marks
+// its callers held even though no Pause/SetLevel appears in their own
+// bodies — invisible to the old syntactic pass.
+func throttleHalf(a Act, ids []string) error { return a.SetLevel(ids, 0.5) }
+
+func BadHelperAcquire(a Act, ids []string) error {
+	if err := throttleHalf(a, ids); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // want `leaves the batch pool throttled`
+	}
+	return a.SetLevel(ids, 1)
+}
+
+func validate() bool { return true }
+
+// BadPanicWindow exits via the panic edge while the restriction is
+// held and no deferred release is pending: the unwind strands the
+// throttle. The old pass only looked at return statements.
+func BadPanicWindow(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	if !validate() {
+		panic("invariant violated") // want `leaves the batch pool throttled`
+	}
+	return a.Resume(ids)
+}
+
+func GoodPanicDeferred(a Act, ids []string) error {
+	if err := a.Pause(ids); err != nil {
+		return err
+	}
+	defer a.Resume(ids)
+	if !validate() {
+		panic("invariant violated") // the deferred Resume runs during unwind: fine
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package daemon exercises the boundedgrowth analyzer: appends and
+// map-inserts to long-lived receiver fields must be bounded by a cap,
+// ring trim, or eviction — locally on every path, or by another method
+// of the same receiver.
+package daemon
+
+type Queue struct {
+	items []string
+	index map[string]string
+}
+
+// BadAppend: plain unbounded append, no eviction anywhere on Queue.
+func (q *Queue) BadAppend(v string) {
+	q.items = append(q.items, v) // want `unbounded growth`
+}
+
+// BadInsert: plain unbounded map insert.
+func (q *Queue) BadInsert(k, v string) {
+	q.index[k] = v // want `unbounded growth`
+}
+
+type Ring struct {
+	buf []int
+}
+
+// GoodRing: the append-then-trim ring idiom — every path from the
+// append to the exit passes the bound check.
+func (r *Ring) GoodRing(v int) {
+	r.buf = append(r.buf, v)
+	if len(r.buf) > 64 {
+		r.buf = r.buf[1:]
+	}
+}
+
+type Cache struct {
+	entries map[string]int
+}
+
+// GoodCapBefore: the bound is consulted on every path before the
+// insert (taking the eviction branch or not, the cap was checked).
+func (c *Cache) GoodCapBefore(k string, v int) {
+	if len(c.entries) >= 128 {
+		for old := range c.entries {
+			delete(c.entries, old)
+			break
+		}
+	}
+	c.entries[k] = v
+}
+
+type Journal struct {
+	lines []string
+}
+
+// BadConditionalTrim: the trim runs only on the audited path — the
+// other path grows unbounded. The old syntactic shape "a trim exists
+// somewhere in the method" cannot tell these apart; the per-path flow
+// can.
+func (j *Journal) BadConditionalTrim(v string, audit bool) {
+	if audit {
+		if len(j.lines) > 100 {
+			j.lines = j.lines[1:]
+		}
+	}
+	j.lines = append(j.lines, v) // want `unbounded growth`
+}
+
+type SubTable struct {
+	subs map[string]chan int
+}
+
+// Subscribe inserts; Unsubscribe evicts. The insert-here/evict-there
+// protocol is bounded by the pairing, not by a local check.
+func (t *SubTable) Subscribe(id string, ch chan int) {
+	t.subs[id] = ch
+}
+
+func (t *SubTable) Unsubscribe(id string) {
+	delete(t.subs, id)
+}
+
+type Snapshot struct {
+	rows []string
+}
+
+// GoodReset: replacing the slice wholesale is a reset, not growth.
+func (s *Snapshot) GoodReset(rows []string) {
+	s.rows = append([]string(nil), rows...)
+}
+
+// Local variables are not long-lived: never flagged.
+func (s *Snapshot) GoodLocal(rows []string) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}

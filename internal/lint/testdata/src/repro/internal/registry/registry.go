@@ -1,0 +1,92 @@
+// Package registry exercises the locksafe analyzer: a sync mutex
+// locked in a function must be unlocked on every exit path, panic
+// edges included.
+package registry
+
+import "sync"
+
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+}
+
+func check() bool { return true }
+
+// GoodDeferred: the canonical shape; the deferred unlock covers every
+// exit, unwinding panics included.
+func (s *Store) GoodDeferred(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// GoodExplicitPaths: both exits unlock explicitly.
+func (s *Store) GoodExplicitPaths(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// BadEarlyReturn: the not-found path returns with the lock held —
+// every later caller wedges behind it.
+func (s *Store) BadEarlyReturn(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false // want `still locked`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// BadPanicWindow: the panic unwinds with the lock held; only the CFG's
+// panic edge sees this exit.
+func (s *Store) BadPanicWindow(k string, v int) {
+	s.mu.Lock()
+	if !check() {
+		panic("corrupt store") // want `still locked`
+	}
+	s.vals[k] = v
+	s.mu.Unlock()
+}
+
+// GoodDeferredClosure: a deferred closure unlock also covers the panic
+// unwind.
+func (s *Store) GoodDeferredClosure(k string, v int) {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	if !check() {
+		panic("corrupt store")
+	}
+	s.vals[k] = v
+}
+
+// BadReadLock: the read side is tracked separately from the write side.
+func (s *Store) BadReadLock(k string) (int, bool) {
+	s.rw.RLock()
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false // want `still locked`
+	}
+	s.rw.RUnlock()
+	return v, true
+}
+
+// GoodJoin: the unlock at the join covers both branches.
+func (s *Store) GoodJoin(k string) int {
+	s.mu.Lock()
+	v := s.vals[k]
+	if v < 0 {
+		v = 0
+	}
+	s.mu.Unlock()
+	return v
+}

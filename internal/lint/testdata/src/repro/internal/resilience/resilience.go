@@ -22,3 +22,54 @@ func Recover(act throttle.Actuator, fs cgroup.Cgroupfs, ids []string) error {
 	}
 	return fs.WriteFile("batch/cgroup.freeze", []byte("0"))
 }
+
+// Inside the ledger layer the raw surface is legal but ordered: every
+// restrictive actuation must have a record call on ALL paths before it.
+
+type Ledger struct{}
+
+func (*Ledger) RecordFreeze(ids []string) error { return nil }
+
+type Wrapper struct {
+	inner  throttle.Actuator
+	graded throttle.GradedActuator
+	ledger *Ledger
+}
+
+// Pause records the freeze intent before freezing: the sanctioned order.
+func (w *Wrapper) Pause(ids []string) error {
+	if err := w.ledger.RecordFreeze(ids); err != nil {
+		return err
+	}
+	return w.inner.Pause(ids)
+}
+
+// BadPause freezes without any record: crash replay cannot see it.
+func (w *Wrapper) BadPause(ids []string) error {
+	return w.inner.Pause(ids) // want `unledgered`
+}
+
+// BadBranchRecord records only on the audited branch; the other path
+// reaches the freeze unrecorded — visible only to a per-path analysis.
+func (w *Wrapper) BadBranchRecord(ids []string, audited bool) error {
+	if audited {
+		if err := w.ledger.RecordFreeze(ids); err != nil {
+			return err
+		}
+	}
+	return w.inner.Pause(ids) // want `unledgered`
+}
+
+// ThrottleHalf tightens quota below full without a record.
+func (w *Wrapper) ThrottleHalf(ids []string) error {
+	return w.graded.SetLevel(ids, 0.5) // want `unledgered`
+}
+
+// Release needs no prior record: under-recording a loosening only
+// over-thaws, which is the safe direction.
+func (w *Wrapper) Release(ids []string) error {
+	if err := w.inner.Resume(ids); err != nil {
+		return err
+	}
+	return w.graded.SetLevel(ids, 1)
+}

@@ -1,0 +1,104 @@
+// Package stream exercises the goroutineleak analyzer: every go
+// statement must have a reachable stop signal — a context/done case
+// that returns, a closable channel, or a bounded loop — on all paths.
+package stream
+
+import "context"
+
+func work() {}
+
+type Hub struct {
+	events chan int
+	done   chan struct{}
+}
+
+// GoodContextLoop: the ctx.Done case returns — a reachable stop signal.
+func (h *Hub) GoodContextLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case e := <-h.events:
+				_ = e
+			}
+		}
+	}()
+}
+
+// GoodRange: channel close is the stop signal.
+func (h *Hub) GoodRange() {
+	go func() {
+		for e := range h.events {
+			_ = e
+		}
+	}()
+}
+
+// GoodFinite: the body runs to completion on its own.
+func (h *Hub) GoodFinite() {
+	go work()
+}
+
+// BadForever: nothing can ever stop the loop.
+func (h *Hub) BadForever() {
+	go func() { // want `no reachable stop signal`
+		for {
+			work()
+		}
+	}()
+}
+
+// BadTickOnly: the select has cases, but none of them exits — under
+// lane reloads this accumulates one stuck goroutine per cycle.
+func (h *Hub) BadTickOnly(tick chan int) {
+	go func() { // want `no reachable stop signal`
+		for {
+			select {
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// pump loops forever; BadNamed is flagged through the same-package
+// method resolution, which the analyzer summarizes by building pump's
+// own CFG.
+func (h *Hub) pump() {
+	for {
+		work()
+	}
+}
+
+func (h *Hub) BadNamed() {
+	go h.pump() // want `no reachable stop signal`
+}
+
+// GoodConditionalStop: the loop can stop via the flag check — only a
+// block with NO path out of the goroutine is flagged.
+func (h *Hub) GoodConditionalStop(stop bool) {
+	go func() {
+		for {
+			if stop {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// GoodDoneChannel: a done-channel case that returns counts the same as
+// a context.
+func (h *Hub) GoodDoneChannel() {
+	go func() {
+		for {
+			select {
+			case <-h.done:
+				return
+			case e := <-h.events:
+				_ = e
+			}
+		}
+	}()
+}

